@@ -1,0 +1,183 @@
+//! Criterion micro-benchmarks of the CheCL stack's hot paths.
+//!
+//! Unlike the `fig*` harnesses (which report *virtual-clock* results),
+//! these measure real wall-clock performance of the implementation:
+//! the checkpoint codec, the kernel-signature parser, the handle
+//! translation layer, the forwarding path, and a full
+//! checkpoint/restart cycle.
+
+use checl::{CheclConfig, RestoreTarget};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use osproc::Cluster;
+use simcore::codec::Codec;
+use simcore::SimTime;
+use std::hint::black_box;
+use workloads::{workload_by_name, CheclSession, NativeSession, StopCondition, WorkloadCfg};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let image = {
+        let mut img = osproc::MemImage::new();
+        img.put("data", vec![0xabu8; 1 << 20]);
+        img.put("small", vec![1u8; 128]);
+        img
+    };
+    let bytes = image.to_bytes();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("memimage_encode_1mib", |b| {
+        b.iter(|| black_box(image.to_bytes()))
+    });
+    g.bench_function("memimage_decode_1mib", |b| {
+        b.iter(|| black_box(osproc::MemImage::from_bytes(&bytes).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sig_parser");
+    let big_source: String = clkernels::corpus::all_program_names()
+        .iter()
+        .map(|n| clkernels::program_source(n).unwrap().source)
+        .collect();
+    g.throughput(Throughput::Bytes(big_source.len() as u64));
+    g.bench_function("parse_full_corpus", |b| {
+        b.iter(|| black_box(clspec::sig::parse_kernel_sigs(&big_source).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_forward_path(c: &mut Criterion) {
+    // Real cost of one interposed API call end to end (translate,
+    // pipe accounting, driver dispatch, wrap).
+    let mut g = c.benchmark_group("forward");
+    let mut cluster = Cluster::with_standard_nodes(1);
+    let node = cluster.node_ids()[0];
+    let pid = cluster.spawn(node);
+    let mut booted = checl::boot_checl(
+        &mut cluster,
+        pid,
+        cldriver::vendor::nimbus(),
+        CheclConfig::default(),
+    );
+    let mut now = SimTime::ZERO;
+    use clspec::api::ClApi;
+    let platforms = booted
+        .lib
+        .call(&mut now, clspec::ApiRequest::GetPlatformIds)
+        .unwrap()
+        .into_platforms()
+        .unwrap();
+    g.bench_function("get_platform_ids_interposed", |b| {
+        b.iter(|| {
+            black_box(
+                booted
+                    .lib
+                    .call(&mut now, clspec::ApiRequest::GetPlatformIds)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("get_platform_info_interposed", |b| {
+        b.iter(|| {
+            black_box(
+                booted
+                    .lib
+                    .call(
+                        &mut now,
+                        clspec::ApiRequest::GetPlatformInfo {
+                            platform: platforms[0],
+                        },
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.sample_size(20);
+    let cfg = WorkloadCfg {
+        scale: 1.0 / 256.0,
+        ..WorkloadCfg::default()
+    };
+    let w = workload_by_name("oclVectorAdd").unwrap();
+    g.bench_function("vecadd_native", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::with_standard_nodes(1);
+            let node = cluster.node_ids()[0];
+            let mut s = NativeSession::launch(
+                &mut cluster,
+                node,
+                cldriver::vendor::nimbus(),
+                w.script(&cfg),
+            );
+            s.run(&mut cluster, StopCondition::Completion).unwrap();
+            black_box(s.program.checksums)
+        })
+    });
+    g.bench_function("vecadd_checl", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::with_standard_nodes(1);
+            let node = cluster.node_ids()[0];
+            let mut s = CheclSession::launch(
+                &mut cluster,
+                node,
+                cldriver::vendor::nimbus(),
+                CheclConfig::default(),
+                w.script(&cfg),
+            );
+            s.run(&mut cluster, StopCondition::Completion).unwrap();
+            black_box(s.program.checksums)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cpr_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpr");
+    g.sample_size(10);
+    let cfg = WorkloadCfg {
+        scale: 1.0 / 256.0,
+        ..WorkloadCfg::default()
+    };
+    let w = workload_by_name("oclMatrixMul").unwrap();
+    g.bench_function("checkpoint_restart_cycle", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::with_standard_nodes(1);
+            let node = cluster.node_ids()[0];
+            let mut s = CheclSession::launch(
+                &mut cluster,
+                node,
+                cldriver::vendor::nimbus(),
+                CheclConfig::default(),
+                w.script(&cfg),
+            );
+            s.run(&mut cluster, StopCondition::AfterKernel(1)).unwrap();
+            s.checkpoint(&mut cluster, "/ram/bench.ckpt").unwrap();
+            s.kill(&mut cluster);
+            let mut resumed = CheclSession::restart(
+                &mut cluster,
+                node,
+                "/ram/bench.ckpt",
+                cldriver::vendor::nimbus(),
+                RestoreTarget::default(),
+            )
+            .unwrap();
+            resumed.run(&mut cluster, StopCondition::Completion).unwrap();
+            black_box(resumed.program.checksums)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_parser,
+    bench_forward_path,
+    bench_workload_run,
+    bench_cpr_cycle
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation (§V extension): local vs remote API proxy.
+//!
+//! The same workload runs with (a) the standard local proxy (pipe IPC)
+//! and (b) a proxy on a different node reached over gigabit Ethernet —
+//! the rCUDA-style remote-device mode the paper sketches as future
+//! work. Remote access multiplies the forwarding cost, especially for
+//! transfer-heavy programs.
+
+use checl::boot::{boot_checl, boot_checl_remote};
+use checl::CheclConfig;
+use checl_bench::{eval_targets, secs, HARNESS_SCALE};
+use osproc::Cluster;
+use workloads::{workload_by_name, AppProgram, StopCondition};
+
+fn main() {
+    let target = &eval_targets()[0];
+    println!("=== Ablation: local vs remote API proxy ===");
+    println!(
+        "{:<22}{:>14}{:>14}{:>10}",
+        "benchmark", "local [s]", "remote [s]", "ratio"
+    );
+
+    for name in ["oclMatrixMul", "oclVectorAdd", "Triad", "oclScan"] {
+        let w = workload_by_name(name).unwrap();
+        let run = |remote: bool| {
+            let mut cluster = Cluster::with_standard_nodes(2);
+            let nodes = cluster.node_ids();
+            let app = cluster.spawn(nodes[0]);
+            let mut booted = if remote {
+                boot_checl_remote(
+                    &mut cluster,
+                    app,
+                    nodes[1],
+                    (target.vendor)(),
+                    CheclConfig::default(),
+                )
+            } else {
+                boot_checl(&mut cluster, app, (target.vendor)(), CheclConfig::default())
+            };
+            let mut program = AppProgram::new(w.script(&target.cfg(HARNESS_SCALE)));
+            let mut now = cluster.process(app).clock;
+            program
+                .run_until(&mut booted.lib, &mut now, StopCondition::Completion)
+                .unwrap();
+            now.since(simcore::SimTime::ZERO)
+        };
+        let local = run(false);
+        let remote = run(true);
+        println!(
+            "{:<22}{:>14}{:>14}{:>10.2}",
+            name,
+            secs(local),
+            secs(remote),
+            remote.as_secs_f64() / local.as_secs_f64()
+        );
+    }
+    println!(
+        "\nexpectation: compute-bound programs tolerate the remote proxy; \
+         transfer-heavy ones pay the full Ethernet penalty — the same \
+         trade-off rCUDA reports"
+    );
+}

@@ -1,0 +1,73 @@
+//! Regenerates Fig. 8: migration cost prediction — actual migration
+//! time vs the model `Tm = α·M + Tr + β`, alongside checkpoint file
+//! size.
+//!
+//! Each benchmark is migrated from node 0 to node 1 through the shared
+//! NFS mount; the model is fitted from Table I bandwidths and the
+//! destination compiler's recompilation estimate.
+
+use checl::{CheclConfig, RestoreTarget};
+use checl_bench::{eval_targets, mb, secs, HARNESS_SCALE};
+use osproc::Cluster;
+use workloads::{all_workloads, CheclSession, StopCondition};
+
+fn main() {
+    for target in eval_targets() {
+        println!("\n=== Fig. 8: Migration cost prediction — {} ===", target.label);
+        println!(
+            "{:<26}{:>14}{:>14}{:>12}{:>14}",
+            "benchmark", "actual [s]", "predicted [s]", "error", "file [MB]"
+        );
+        let mut errs = Vec::new();
+        for w in all_workloads() {
+            if w.script(&target.cfg(HARNESS_SCALE)).kernel_launches() == 0 {
+                continue;
+            }
+            let mut cluster = Cluster::with_standard_nodes(2);
+            let nodes = cluster.node_ids();
+            let mut s = CheclSession::launch(
+                &mut cluster,
+                nodes[0],
+                (target.vendor)(),
+                CheclConfig::default(),
+                w.script(&target.cfg(HARNESS_SCALE)),
+            );
+            // Migration is scheduler-initiated at a synchronization
+            // point (delayed mode): the program has run its course and
+            // its queues are drained, so the measured cost is pure
+            // checkpoint + transfer + restore, which is what the model
+            // predicts.
+            if s.run(&mut cluster, StopCondition::Completion).is_err() {
+                println!("{:<26}{:>14}", w.name, "n/a");
+                continue;
+            }
+            s.persist_program(&mut cluster);
+            let (_resumed, report) = s
+                .migrate(
+                    &mut cluster,
+                    nodes[1],
+                    (target.vendor)(),
+                    "/nfs/fig8.ckpt",
+                    RestoreTarget::default(),
+                )
+                .expect("migration failed");
+            let err = (report.predicted.as_secs_f64() - report.actual.as_secs_f64()).abs()
+                / report.actual.as_secs_f64();
+            errs.push(err);
+            println!(
+                "{:<26}{:>14}{:>14}{:>11.1}%{:>14}",
+                w.name,
+                secs(report.actual),
+                secs(report.predicted),
+                err * 100.0,
+                mb(report.checkpoint.file_size),
+            );
+        }
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        println!("mean relative prediction error: {:.1}%", mean * 100.0);
+    }
+    println!(
+        "\npaper reference: the total of checkpoint and restart time is \
+         estimated well by the simple linear model Tm = αM + Tr + β"
+    );
+}

@@ -1,0 +1,208 @@
+//! `checl-bench` — harnesses that regenerate every table and figure of
+//! the paper's evaluation (§IV).
+//!
+//! One binary per artifact:
+//!
+//! | binary                  | artifact |
+//! |-------------------------|----------|
+//! | `table1`                | Table I system specifications |
+//! | `fig4_overhead`         | Fig. 4 runtime overhead of CheCL vs native |
+//! | `fig5_checkpoint`       | Fig. 5 checkpoint phase breakdown + file sizes |
+//! | `fig6_mpi`              | Fig. 6 MPI MD global-snapshot times |
+//! | `fig7_restart`          | Fig. 7 object-recreation breakdown |
+//! | `fig8_migration`        | Fig. 8 migration cost, actual vs predicted |
+//! | `ablation_modes`        | §III-C delayed vs immediate checkpointing |
+//! | `ablation_incremental`  | §IV-D incremental checkpointing (future work) |
+//! | `ablation_procsel`      | §IV-C runtime processor selection via RAM disk |
+//! | `ablation_hostptr`      | §IV-D CL_MEM_USE_HOST_PTR degradation |
+//!
+//! All timings are virtual-clock measurements, deterministic across
+//! runs. `cargo bench` additionally runs Criterion micro-benchmarks of
+//! the simulator's own hot paths (`benches/micro.rs`).
+
+use checl::CheclConfig;
+use clspec::error::ClResult;
+use clspec::types::DeviceType;
+use osproc::Cluster;
+use simcore::{ByteSize, SimDuration};
+use workloads::{CheclSession, NativeSession, StopCondition, Workload, WorkloadCfg};
+
+/// One column of the paper's evaluation: a vendor + device pairing.
+#[derive(Clone)]
+pub struct EvalTarget {
+    /// Display label, matching the paper's figure captions.
+    pub label: &'static str,
+    /// Vendor configuration factory.
+    pub vendor: fn() -> cldriver::VendorConfig,
+    /// Device class requested by the applications.
+    pub device_type: DeviceType,
+    /// Device memory used for workload sizing.
+    pub device_mem: ByteSize,
+}
+
+impl EvalTarget {
+    /// Workload configuration for this target at `scale`.
+    pub fn cfg(&self, scale: f64) -> WorkloadCfg {
+        WorkloadCfg {
+            device_mem: self.device_mem,
+            scale,
+            device_type: self.device_type,
+        }
+    }
+}
+
+/// The paper's three evaluation columns: NVIDIA GPU, AMD GPU, AMD CPU.
+pub fn eval_targets() -> Vec<EvalTarget> {
+    vec![
+        EvalTarget {
+            label: "NVIDIA OpenCL / Tesla C1060",
+            vendor: cldriver::vendor::nimbus,
+            device_type: DeviceType::Gpu,
+            device_mem: simcore::calib::tesla_c1060_memory(),
+        },
+        EvalTarget {
+            label: "AMD OpenCL / Radeon HD5870",
+            vendor: cldriver::vendor::crimson,
+            device_type: DeviceType::Gpu,
+            device_mem: simcore::calib::radeon_hd5870_memory(),
+        },
+        EvalTarget {
+            label: "AMD OpenCL / Core i7 (CPU)",
+            vendor: cldriver::vendor::crimson,
+            device_type: DeviceType::Cpu,
+            device_mem: simcore::calib::host_memory(),
+        },
+    ]
+}
+
+/// Default problem scale for the harnesses: paper-proportional sizes.
+pub const HARNESS_SCALE: f64 = 1.0;
+
+/// Run a workload natively; returns the total virtual execution time,
+/// or the OpenCL error for non-portable combinations (the paper also
+/// reports those, e.g. oclSortingNetworks on the Radeon).
+pub fn run_native(w: &Workload, target: &EvalTarget, scale: f64) -> ClResult<SimDuration> {
+    let mut cluster = Cluster::with_standard_nodes(1);
+    let node = cluster.node_ids()[0];
+    let mut s = NativeSession::launch(&mut cluster, node, (target.vendor)(), w.script(&target.cfg(scale)));
+    s.run(&mut cluster, StopCondition::Completion)?;
+    Ok(s.elapsed(&cluster))
+}
+
+/// Run a workload under CheCL; returns the total virtual execution
+/// time.
+pub fn run_checl(w: &Workload, target: &EvalTarget, scale: f64) -> ClResult<SimDuration> {
+    let mut cluster = Cluster::with_standard_nodes(1);
+    let node = cluster.node_ids()[0];
+    let mut s = CheclSession::launch(
+        &mut cluster,
+        node,
+        (target.vendor)(),
+        CheclConfig::default(),
+        w.script(&target.cfg(scale)),
+    );
+    s.run(&mut cluster, StopCondition::Completion)?;
+    Ok(s.elapsed(&cluster))
+}
+
+/// A CheCL session paused right after its first kernel launch,
+/// together with its cluster.
+pub fn session_at_first_kernel(
+    w: &Workload,
+    target: &EvalTarget,
+    scale: f64,
+) -> ClResult<(Cluster, CheclSession)> {
+    session_at_kernel(w, target, scale, 1)
+}
+
+/// A CheCL session paused right after its *last* kernel launch, with
+/// all earlier work drained — every object the program will ever
+/// create exists, and exactly one command is in flight. This is the
+/// Fig. 5 measurement point: "at least one uncompleted kernel
+/// execution command always exists in the queue when the process is
+/// checkpointed", taken once per program as the paper does after each
+/// kernel execution.
+pub fn session_at_last_kernel(
+    w: &Workload,
+    target: &EvalTarget,
+    scale: f64,
+) -> ClResult<(Cluster, CheclSession)> {
+    let launches = w.script(&target.cfg(scale)).kernel_launches() as u64;
+    if launches > 1 {
+        let (mut cluster, mut s) = session_at_kernel(w, target, scale, launches - 1)?;
+        s.drain(&mut cluster);
+        s.run(&mut cluster, StopCondition::AfterKernel(launches))?;
+        Ok((cluster, s))
+    } else {
+        session_at_kernel(w, target, scale, launches)
+    }
+}
+
+fn session_at_kernel(
+    w: &Workload,
+    target: &EvalTarget,
+    scale: f64,
+    nth: u64,
+) -> ClResult<(Cluster, CheclSession)> {
+    let mut cluster = Cluster::with_standard_nodes(2);
+    let node = cluster.node_ids()[0];
+    let mut s = CheclSession::launch(
+        &mut cluster,
+        node,
+        (target.vendor)(),
+        CheclConfig::default(),
+        w.script(&target.cfg(scale)),
+    );
+    s.run(&mut cluster, StopCondition::AfterKernel(nth))?;
+    Ok((cluster, s))
+}
+
+/// Formatting: seconds with three decimals.
+pub fn secs(d: SimDuration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formatting: MB with one decimal.
+pub fn mb(b: ByteSize) -> String {
+    format!("{:.1}", b.as_mib_f64())
+}
+
+/// Print a header row followed by a separator.
+pub fn print_header(title: &str, cols: &[&str]) {
+    println!("\n=== {title} ===");
+    println!("{}", cols.join("\t"));
+    println!("{}", "-".repeat(cols.len() * 12));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::workload_by_name;
+
+    #[test]
+    fn targets_match_paper_columns() {
+        let t = eval_targets();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].device_type, DeviceType::Gpu);
+        assert_eq!(t[2].device_type, DeviceType::Cpu);
+        assert!(t[1].device_mem < t[0].device_mem);
+    }
+
+    #[test]
+    fn native_and_checl_runners_work() {
+        let w = workload_by_name("oclVectorAdd").unwrap();
+        let t = &eval_targets()[0];
+        let native = run_native(&w, t, 1.0 / 128.0).unwrap();
+        let checl = run_checl(&w, t, 1.0 / 128.0).unwrap();
+        assert!(checl > native);
+    }
+
+    #[test]
+    fn paused_session_has_inflight_kernel() {
+        let w = workload_by_name("MaxFlops").unwrap();
+        let t = &eval_targets()[0];
+        let (_cluster, s) = session_at_first_kernel(&w, t, 1.0 / 128.0).unwrap();
+        assert_eq!(s.program.kernels_launched, 1);
+        assert!(!s.program.is_done());
+    }
+}

@@ -1,0 +1,120 @@
+//! The on-disk checkpoint file layout.
+//!
+//! ```text
+//! +----------------+----------------------------+------------------+
+//! | frame_len: u64 | framed payload (checksummed) | zero padding …  |
+//! +----------------+----------------------------+------------------+
+//! ```
+//!
+//! The framed payload holds the dumped [`MemImage`] plus metadata. The
+//! zero padding stands in for the parts of a real dump that our
+//! simulation has no bytes for — program text, stacks, libc, the
+//! runtime heap outside named segments — sized by
+//! [`simcore::calib::base_process_image`]. Fig. 5 of the paper shows
+//! checkpoint files have exactly this structure: a benchmark-dependent
+//! data part on top of a tens-of-MB process baseline.
+
+use osproc::MemImage;
+use simcore::codec::{decode_framed, encode_framed, Codec, CodecError, Reader};
+use simcore::{calib, impl_codec_struct, ByteSize};
+
+/// Magic bytes of a checkpoint frame.
+pub const CKPT_MAGIC: [u8; 4] = *b"BLCR";
+/// Format version.
+pub const CKPT_VERSION: u32 = 1;
+
+/// Decoded checkpoint contents.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointFile {
+    /// Pid the dump was taken from (diagnostic only; a restarted
+    /// process gets a fresh pid, as with real BLCR without pid
+    /// restoration).
+    pub source_pid: u32,
+    /// Hostname of the source node (diagnostic only; the file must not
+    /// carry host-*dependent* state, which is what makes migration
+    /// possible, §IV-C).
+    pub source_host: String,
+    /// The dumped host memory.
+    pub image: MemImage,
+}
+
+impl_codec_struct!(CheckpointFile {
+    source_pid,
+    source_host,
+    image
+});
+
+impl CheckpointFile {
+    /// Serialise to file bytes, appending the process-baseline padding.
+    pub fn to_file_bytes(&self) -> Vec<u8> {
+        let frame = encode_framed(CKPT_MAGIC, CKPT_VERSION, self);
+        let mut out = Vec::with_capacity(frame.len() + 16);
+        (frame.len() as u64).encode(&mut out);
+        out.extend_from_slice(&frame);
+        out.resize(out.len() + calib::base_process_image().as_u64() as usize, 0);
+        out
+    }
+
+    /// Parse file bytes written by [`CheckpointFile::to_file_bytes`].
+    pub fn from_file_bytes(bytes: &[u8]) -> Result<CheckpointFile, CodecError> {
+        let mut r = Reader::new(bytes);
+        let frame_len = u64::decode(&mut r)? as usize;
+        let frame = r.take(frame_len)?;
+        decode_framed(CKPT_MAGIC, CKPT_VERSION, frame)
+    }
+
+    /// The file size this checkpoint will occupy.
+    pub fn file_size(&self) -> ByteSize {
+        ByteSize::bytes(self.to_file_bytes().len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointFile {
+        let mut image = MemImage::new();
+        image.put("heap", vec![1, 2, 3, 4]);
+        image.put("script", vec![9; 100]);
+        CheckpointFile {
+            source_pid: 42,
+            source_host: "pc0".into(),
+            image,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ck = sample();
+        let bytes = ck.to_file_bytes();
+        let back = CheckpointFile::from_file_bytes(&bytes).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn file_includes_process_baseline() {
+        let ck = sample();
+        let sz = ck.file_size();
+        assert!(sz >= calib::base_process_image());
+        // Bigger image → bigger file, byte for byte.
+        let mut big = ck.clone();
+        big.image.put("extra", vec![0u8; 1_000_000]);
+        assert!(big.file_size().as_u64() >= sz.as_u64() + 1_000_000);
+    }
+
+    #[test]
+    fn corrupt_frame_detected() {
+        let ck = sample();
+        let mut bytes = ck.to_file_bytes();
+        bytes[40] ^= 0xff; // flip a payload byte
+        assert!(CheckpointFile::from_file_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let ck = sample();
+        let bytes = ck.to_file_bytes();
+        assert!(CheckpointFile::from_file_bytes(&bytes[..16]).is_err());
+    }
+}

@@ -1,0 +1,709 @@
+//! The checkpoint/restart engine (§III-C).
+//!
+//! Checkpoint = synchronize → preprocess (device→host copies) → write
+//! (BLCR dump) → postprocess (free the copies). Restart = BLCR restore
+//! → fork a new proxy → re-create OpenCL objects in dependency order →
+//! upload user data → mint dummy events.
+
+use crate::boot::refork_proxy;
+use crate::objects::{ObjectRecord, RecordedArg};
+use crate::runtime::{ChecLib, StructArgPolicy};
+use blcr::CprError;
+use cldriver::VendorConfig;
+use clspec::api::ApiRequest;
+use clspec::error::ClError;
+use clspec::handles::{
+    CommandQueue, Context, DeviceId, Event, HandleKind, Kernel, Mem, PlatformId, Program,
+    RawHandle,
+};
+use clspec::types::{ArgValue, DeviceType, MemFlags};
+use osproc::{Cluster, NodeId, Pid};
+use simcore::codec::CodecError;
+use simcore::{ByteSize, SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// When checkpointing happens relative to the triggering signal
+/// (§III-C).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CheckpointMode {
+    /// Synchronize and checkpoint as soon as the signal is seen, even
+    /// if commands are in flight (pays the synchronization wait).
+    #[default]
+    Immediate,
+    /// Postpone until the application reaches its next natural
+    /// synchronization point (`clFinish`), hiding the sync cost.
+    Delayed,
+}
+
+/// Per-phase timing of one checkpoint — the Fig. 5 breakdown.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CheckpointReport {
+    /// Waiting for the host and all command queues to drain.
+    pub sync: SimDuration,
+    /// Copying all user data from device to host memory.
+    pub preprocess: SimDuration,
+    /// BLCR writing the process image to the checkpoint file.
+    pub write: SimDuration,
+    /// Deleting the host copies.
+    pub postprocess: SimDuration,
+    /// Size of the checkpoint file.
+    pub file_size: ByteSize,
+}
+
+impl CheckpointReport {
+    /// Total checkpoint time across all four phases.
+    pub fn total(&self) -> SimDuration {
+        self.sync + self.preprocess + self.write + self.postprocess
+    }
+}
+
+/// Per-kind object recreation timing of one restart — the Fig. 7
+/// breakdown.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RestoreReport {
+    /// Time spent re-creating each kind of object, in restore order.
+    pub per_kind: BTreeMap<HandleKind, SimDuration>,
+    /// Number of objects re-created per kind.
+    pub counts: BTreeMap<HandleKind, usize>,
+}
+
+impl RestoreReport {
+    /// Total object-recreation time.
+    pub fn total(&self) -> SimDuration {
+        self.per_kind.values().copied().sum()
+    }
+}
+
+/// Device selection override at restore time — the runtime processor
+/// selection of §IV-C (e.g. re-create everything on the CPU instead of
+/// the GPU).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RestoreTarget {
+    /// If set, device queries are re-issued with this type instead of
+    /// the recorded one.
+    pub device_type: Option<DeviceType>,
+}
+
+/// CheCL CPR failures.
+#[derive(Debug)]
+pub enum CheclCprError {
+    /// An OpenCL call failed during preprocess/restore.
+    Cl(ClError),
+    /// The underlying CPR system failed.
+    Cpr(CprError),
+    /// No proxy is attached when one was needed.
+    NoProxy,
+    /// A binary-created program cannot be restored here (§IV-D: "the
+    /// binary code used when being checkpointed is not always valid for
+    /// the node, on which the process restarts").
+    BinaryNotPortable,
+    /// The dumped CheCL state segment is missing or corrupt.
+    BadState(CodecError),
+    /// The dump did not contain a CheCL state segment.
+    MissingState,
+}
+
+impl fmt::Display for CheclCprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheclCprError::Cl(e) => write!(f, "OpenCL failure during CPR: {e}"),
+            CheclCprError::Cpr(e) => write!(f, "CPR system failure: {e}"),
+            CheclCprError::NoProxy => write!(f, "no API proxy attached"),
+            CheclCprError::BinaryNotPortable => {
+                write!(f, "binary-created program not restorable on this node")
+            }
+            CheclCprError::BadState(e) => write!(f, "CheCL state segment corrupt: {e}"),
+            CheclCprError::MissingState => write!(f, "no CheCL state in checkpoint"),
+        }
+    }
+}
+
+impl std::error::Error for CheclCprError {}
+
+impl From<ClError> for CheclCprError {
+    fn from(e: ClError) -> Self {
+        CheclCprError::Cl(e)
+    }
+}
+
+impl From<CprError> for CheclCprError {
+    fn from(e: CprError) -> Self {
+        CheclCprError::Cpr(e)
+    }
+}
+
+/// Name of the image segment the CheCL state is dumped into.
+pub const CHECL_STATE_SEGMENT: &str = "checl-state";
+
+/// Find a restored queue in the same context, for internal transfers.
+fn queue_in_context(lib: &ChecLib, context: u64) -> Option<(u64, RawHandle)> {
+    lib.db
+        .live_of_kind(HandleKind::CommandQueue)
+        .find(|e| matches!(e.record, ObjectRecord::Queue { context: c, .. } if c == context))
+        .map(|e| (e.checl, e.vendor))
+}
+
+/// Checkpoint a CheCL application process (§III-C steps 1–4).
+///
+/// The caller is responsible for *when* this runs (immediately on
+/// signal, or delayed to the next sync point — [`CheckpointMode`]); the
+/// phases and their costs are the same either way, except that in
+/// delayed mode the queues are already drained so the sync phase is
+/// almost free.
+pub fn checkpoint_checl(
+    lib: &mut ChecLib,
+    cluster: &mut Cluster,
+    app_pid: Pid,
+    path: &str,
+) -> Result<CheckpointReport, CheclCprError> {
+    checkpoint_checl_inner(lib, cluster, app_pid, path, false)
+}
+
+/// Incremental checkpoint (the §IV-D future-work feature): buffers
+/// whose device data has not changed since their last save are *not*
+/// copied or re-written — their records keep a reference to the
+/// checkpoint file already holding their bytes. Preprocess and write
+/// phases shrink accordingly. Restart transparently resolves the
+/// references ([`restart_checl_process`]).
+pub fn checkpoint_checl_incremental(
+    lib: &mut ChecLib,
+    cluster: &mut Cluster,
+    app_pid: Pid,
+    path: &str,
+) -> Result<CheckpointReport, CheclCprError> {
+    checkpoint_checl_inner(lib, cluster, app_pid, path, true)
+}
+
+fn checkpoint_checl_inner(
+    lib: &mut ChecLib,
+    cluster: &mut Cluster,
+    app_pid: Pid,
+    path: &str,
+    incremental: bool,
+) -> Result<CheckpointReport, CheclCprError> {
+    if !lib.has_proxy() {
+        return Err(CheclCprError::NoProxy);
+    }
+    let mut now = cluster.process(app_pid).clock;
+
+    // Phase 1: synchronize the host and all command queues.
+    let t0 = now;
+    let queues: Vec<RawHandle> = lib
+        .db
+        .live_of_kind(HandleKind::CommandQueue)
+        .map(|e| e.vendor)
+        .collect();
+    for q in queues {
+        lib.forward(
+            &mut now,
+            ApiRequest::Finish {
+                queue: CommandQueue::from_raw(q),
+            },
+        )?;
+    }
+    let sync = now.since(t0);
+
+    // Phase 2: preprocess — copy all user data in device memory to the
+    // host memory.
+    let t0 = now;
+    let mems: Vec<(u64, RawHandle, u64, u64, bool)> = lib
+        .db
+        .live_of_kind(HandleKind::Mem)
+        .map(|e| {
+            let (context, size, skip) = match &e.record {
+                ObjectRecord::Mem {
+                    context,
+                    size,
+                    dirty,
+                    saved_in,
+                    ..
+                } => (*context, *size, incremental && !dirty && saved_in.is_some()),
+                _ => unreachable!("kind filter"),
+            };
+            (e.checl, e.vendor, context, size, skip)
+        })
+        .collect();
+    for (checl_mem, vendor_mem, context, size, skip) in mems {
+        if skip {
+            // Clean buffer: its bytes already live in a previous
+            // checkpoint file; nothing to copy.
+            continue;
+        }
+        let (_q_checl, q_vendor) =
+            queue_in_context(lib, context).ok_or(CheclCprError::Cl(ClError::InvalidContext))?;
+        let (data, ev) = lib
+            .forward(
+                &mut now,
+                ApiRequest::EnqueueReadBuffer {
+                    queue: CommandQueue::from_raw(q_vendor),
+                    mem: Mem::from_raw(vendor_mem),
+                    blocking: true,
+                    offset: 0,
+                    size,
+                    wait_list: vec![],
+                },
+            )?
+            .into_data_event()?;
+        lib.forward(
+            &mut now,
+            ApiRequest::ReleaseEvent {
+                event: Event::from_raw(ev.raw()),
+            },
+        )?;
+        if let Some(e) = lib.db.get_mut(checl_mem) {
+            if let ObjectRecord::Mem {
+                saved_data,
+                dirty,
+                saved_in,
+                ..
+            } = &mut e.record
+            {
+                *saved_data = Some(data);
+                *dirty = false;
+                *saved_in = Some(path.to_string());
+            }
+        }
+    }
+    let preprocess = now.since(t0);
+
+    // Phase 3: write — dump the host process (CheCL state included)
+    // via the conventional CPR system.
+    let t0 = now;
+    cluster
+        .process_mut(app_pid)
+        .image
+        .put(CHECL_STATE_SEGMENT, lib.encode_state());
+    cluster.process_mut(app_pid).clock = now;
+    let file_size = blcr::checkpoint(cluster, app_pid, path)?;
+    now = cluster.process(app_pid).clock;
+    let write = now.since(t0);
+
+    // Phase 4: postprocess — delete the host copies to save memory.
+    let t0 = now;
+    let mem_handles: Vec<u64> = lib
+        .db
+        .live_of_kind(HandleKind::Mem)
+        .map(|e| e.checl)
+        .collect();
+    for h in mem_handles {
+        if let Some(e) = lib.db.get_mut(h) {
+            if let ObjectRecord::Mem { saved_data, .. } = &mut e.record {
+                *saved_data = None;
+            }
+        }
+        now += SimDuration::from_micros(15); // free()
+    }
+    cluster.process_mut(app_pid).image.take(CHECL_STATE_SEGMENT);
+    cluster.process_mut(app_pid).clock = now;
+    let postprocess = now.since(t0);
+
+    Ok(CheckpointReport {
+        sync,
+        preprocess,
+        write,
+        postprocess,
+        file_size,
+    })
+}
+
+/// Re-create every OpenCL object recorded in the database, in the
+/// dependency order of §III-C, against a freshly attached proxy.
+/// Returns the Fig. 7 per-kind timing breakdown.
+pub fn restore_checl(
+    lib: &mut ChecLib,
+    now: &mut SimTime,
+    target: RestoreTarget,
+) -> Result<RestoreReport, CheclCprError> {
+    if !lib.has_proxy() {
+        return Err(CheclCprError::NoProxy);
+    }
+    let mut report = RestoreReport::default();
+
+    for kind in HandleKind::RESTORE_ORDER {
+        let t0 = *now;
+        let entries: Vec<(u64, ObjectRecord)> = lib
+            .db
+            .live_of_kind(kind)
+            .map(|e| (e.checl, e.record.clone()))
+            .collect();
+        let count = entries.len();
+        for (checl, record) in entries {
+            let vendor = restore_one(lib, now, checl, &record, target)?;
+            if let Some(e) = lib.db.get_mut(checl) {
+                e.vendor = vendor;
+            }
+        }
+        if count > 0 {
+            report.per_kind.insert(kind, now.since(t0));
+            report.counts.insert(kind, count);
+        }
+    }
+    Ok(report)
+}
+
+fn restore_one(
+    lib: &mut ChecLib,
+    now: &mut SimTime,
+    checl: u64,
+    record: &ObjectRecord,
+    target: RestoreTarget,
+) -> Result<RawHandle, CheclCprError> {
+    let vendor_of = |lib: &ChecLib, h: u64| -> Result<RawHandle, CheclCprError> {
+        lib.db
+            .vendor_of(h)
+            .ok_or(CheclCprError::Cl(ClError::InvalidValue))
+    };
+    match record {
+        ObjectRecord::Platform { index } => {
+            let platforms = lib
+                .forward(now, ApiRequest::GetPlatformIds)?
+                .into_platforms()?;
+            let i = (*index as usize).min(platforms.len() - 1);
+            Ok(platforms[i].raw())
+        }
+        ObjectRecord::Device {
+            platform,
+            query_type,
+            index,
+        } => {
+            let v_platform = vendor_of(lib, *platform)?;
+            let qt = target.device_type.unwrap_or(*query_type);
+            let devices = lib
+                .forward(
+                    now,
+                    ApiRequest::GetDeviceIds {
+                        platform: PlatformId::from_raw(v_platform),
+                        device_type: qt,
+                    },
+                )?
+                .into_devices()?;
+            // Clamp: the new platform may expose fewer devices of this
+            // type than the source did.
+            let i = (*index as usize).min(devices.len() - 1);
+            Ok(devices[i].raw())
+        }
+        ObjectRecord::Context { devices } => {
+            let v_devices = devices
+                .iter()
+                .map(|d| Ok(DeviceId::from_raw(vendor_of(lib, *d)?)))
+                .collect::<Result<Vec<_>, CheclCprError>>()?;
+            Ok(lib
+                .forward(now, ApiRequest::CreateContext { devices: v_devices })?
+                .into_context()?
+                .raw())
+        }
+        ObjectRecord::Queue {
+            context,
+            device,
+            props,
+        } => {
+            let v_ctx = vendor_of(lib, *context)?;
+            let v_dev = vendor_of(lib, *device)?;
+            Ok(lib
+                .forward(
+                    now,
+                    ApiRequest::CreateCommandQueue {
+                        context: Context::from_raw(v_ctx),
+                        device: DeviceId::from_raw(v_dev),
+                        props: *props,
+                    },
+                )?
+                .into_queue()?
+                .raw())
+        }
+        ObjectRecord::Mem {
+            context,
+            flags,
+            size,
+            saved_data,
+            host_cache,
+            image_dims,
+            ..
+        } => {
+            let v_ctx = vendor_of(lib, *context)?;
+            // Host-pointer flags are creation-time concepts; the
+            // restored buffer is created empty and refilled explicitly.
+            let mut clean = MemFlags::empty();
+            for f in [
+                MemFlags::READ_WRITE,
+                MemFlags::READ_ONLY,
+                MemFlags::WRITE_ONLY,
+            ] {
+                if flags.contains(f) {
+                    clean = clean | f;
+                }
+            }
+            let create = match image_dims {
+                Some((w, h)) => ApiRequest::CreateImage2D {
+                    context: Context::from_raw(v_ctx),
+                    flags: clean,
+                    width: *w,
+                    height: *h,
+                    host_data: None,
+                },
+                None => ApiRequest::CreateBuffer {
+                    context: Context::from_raw(v_ctx),
+                    flags: clean,
+                    size: *size,
+                    host_data: None,
+                },
+            };
+            let v_mem = lib.forward(now, create)?.into_mem()?;
+            // "Send the user data back to the device memory" (§III-C).
+            let data = saved_data.as_ref().or(host_cache.as_ref()).cloned();
+            if let Some(data) = data {
+                let (_qc, q_vendor) = queue_in_context(lib, *context)
+                    .ok_or(CheclCprError::Cl(ClError::InvalidContext))?;
+                let ev = lib
+                    .forward(
+                        now,
+                        ApiRequest::EnqueueWriteBuffer {
+                            queue: CommandQueue::from_raw(q_vendor),
+                            mem: v_mem,
+                            blocking: true,
+                            offset: 0,
+                            data,
+                            wait_list: vec![],
+                        },
+                    )?
+                    .into_event()?;
+                lib.forward(now, ApiRequest::ReleaseEvent { event: ev })?;
+            }
+            // Drop the host copy now that the device owns the data, and
+            // forget any incremental-file reference: the referenced
+            // checkpoint may live on the *old* node's local disk, so a
+            // later incremental checkpoint must re-save this buffer
+            // rather than point across the migration.
+            if let Some(e) = lib.db.get_mut(checl) {
+                if let ObjectRecord::Mem {
+                    saved_data,
+                    saved_in,
+                    dirty,
+                    ..
+                } = &mut e.record
+                {
+                    *saved_data = None;
+                    *saved_in = None;
+                    *dirty = true;
+                }
+            }
+            Ok(v_mem.raw())
+        }
+        ObjectRecord::Sampler { context, desc } => {
+            let v_ctx = vendor_of(lib, *context)?;
+            Ok(lib
+                .forward(
+                    now,
+                    ApiRequest::CreateSampler {
+                        context: Context::from_raw(v_ctx),
+                        desc: *desc,
+                    },
+                )?
+                .into_sampler()?
+                .raw())
+        }
+        ObjectRecord::Program {
+            context,
+            source,
+            binary,
+            build_options,
+            ..
+        } => {
+            let v_ctx = vendor_of(lib, *context)?;
+            let v_prog = match (source, binary) {
+                (Some(src), _) => lib
+                    .forward(
+                        now,
+                        ApiRequest::CreateProgramWithSource {
+                            context: Context::from_raw(v_ctx),
+                            source: src.clone(),
+                        },
+                    )?
+                    .into_program()?,
+                (None, Some(bin)) => {
+                    // Deprecated path: works only if the new node's
+                    // vendor accepts the old binary.
+                    let device = lib
+                        .db
+                        .live_of_kind(HandleKind::Device)
+                        .next()
+                        .map(|e| e.vendor)
+                        .ok_or(CheclCprError::Cl(ClError::InvalidDevice))?;
+                    lib.forward(
+                        now,
+                        ApiRequest::CreateProgramWithBinary {
+                            context: Context::from_raw(v_ctx),
+                            device: DeviceId::from_raw(device),
+                            binary: bin.clone(),
+                        },
+                    )
+                    .map_err(|e| match e {
+                        ClError::InvalidBinary => CheclCprError::BinaryNotPortable,
+                        other => CheclCprError::Cl(other),
+                    })?
+                    .into_program()?
+                }
+                (None, None) => return Err(CheclCprError::Cl(ClError::InvalidProgram)),
+            };
+            if let Some(options) = build_options {
+                // The program was built before the checkpoint: rebuild
+                // (recompile) — the Tr term of the migration model.
+                lib.forward(
+                    now,
+                    ApiRequest::BuildProgram {
+                        program: v_prog,
+                        options: options.clone(),
+                    },
+                )?;
+            }
+            Ok(v_prog.raw())
+        }
+        ObjectRecord::Kernel {
+            program,
+            name,
+            args,
+        } => {
+            let v_prog = vendor_of(lib, *program)?;
+            let v_kernel = lib
+                .forward(
+                    now,
+                    ApiRequest::CreateKernel {
+                        program: Program::from_raw(v_prog),
+                        name: name.clone(),
+                    },
+                )?
+                .into_kernel()?;
+            // Replay the argument history against the new objects.
+            for (index, arg) in args {
+                let value = match arg {
+                    RecordedArg::Handle(h) => {
+                        let v = vendor_of(lib, *h)?;
+                        ArgValue::Bytes(v.0.to_le_bytes().to_vec())
+                    }
+                    RecordedArg::Bytes(b) => {
+                        let mut blob = b.clone();
+                        if lib.config().struct_arg_policy == StructArgPolicy::ScanAndTranslate {
+                            let db = &lib.db;
+                            crate::guess::rewrite_handles_in_struct(db, &mut blob, |h| {
+                                db.vendor_of(h).map(|v| v.0)
+                            });
+                        }
+                        ArgValue::Bytes(blob)
+                    }
+                    RecordedArg::Local(n) => ArgValue::LocalMem(*n),
+                };
+                lib.forward(
+                    now,
+                    ApiRequest::SetKernelArg {
+                        kernel: Kernel::from_raw(v_kernel.raw()),
+                        index: *index,
+                        value,
+                    },
+                )?;
+            }
+            Ok(v_kernel.raw())
+        }
+        ObjectRecord::Event { queue } => {
+            // "CheCL gets a dummy event object by calling
+            // clEnqueueMarker" (§III-C, Fig. 3). All queues are empty at
+            // this point, so the marker completes immediately and the
+            // dummy never blocks anything.
+            let v_queue = vendor_of(lib, *queue)?;
+            Ok(lib
+                .forward(
+                    now,
+                    ApiRequest::EnqueueMarker {
+                        queue: CommandQueue::from_raw(v_queue),
+                    },
+                )?
+                .into_event()?
+                .raw())
+        }
+    }
+}
+
+/// Full restart: BLCR-restore the application process from `path` on
+/// `node`, rebuild the CheCL shim from its dumped state, fork a new
+/// proxy with `vendor`, and re-create all OpenCL objects.
+pub fn restart_checl_process(
+    cluster: &mut Cluster,
+    node: NodeId,
+    path: &str,
+    vendor: VendorConfig,
+    target: RestoreTarget,
+) -> Result<(ChecLib, Pid, RestoreReport), CheclCprError> {
+    let pid = blcr::restart(cluster, node, path)?;
+    let state = cluster
+        .process(pid)
+        .image
+        .get(CHECL_STATE_SEGMENT)
+        .ok_or(CheclCprError::MissingState)?
+        .to_vec();
+    let mut lib = ChecLib::decode_state(&state).map_err(CheclCprError::BadState)?;
+    resolve_incremental_data(cluster, pid, &mut lib, path)?;
+    refork_proxy(cluster, &mut lib, pid, vendor);
+    let mut now = cluster.process(pid).clock;
+    let report = restore_checl(&mut lib, &mut now, target)?;
+    cluster.process_mut(pid).clock = now;
+    Ok((lib, pid, report))
+}
+
+/// Fill in buffer data that an incremental checkpoint left in earlier
+/// checkpoint files. Each referenced file is read (and its CheCL state
+/// decoded) at most once.
+fn resolve_incremental_data(
+    cluster: &mut Cluster,
+    pid: Pid,
+    lib: &mut ChecLib,
+    current_path: &str,
+) -> Result<(), CheclCprError> {
+    let missing: Vec<(u64, String)> = lib
+        .db
+        .live_of_kind(HandleKind::Mem)
+        .filter_map(|e| match &e.record {
+            ObjectRecord::Mem {
+                saved_data: None,
+                saved_in: Some(file),
+                ..
+            } if file != current_path => Some((e.checl, file.clone())),
+            _ => None,
+        })
+        .collect();
+    if missing.is_empty() {
+        return Ok(());
+    }
+    let mut cache: BTreeMap<String, ChecLib> = BTreeMap::new();
+    for (checl_mem, file) in missing {
+        if !cache.contains_key(&file) {
+            let bytes = cluster
+                .read_file(pid, &file)
+                .map_err(|e| CheclCprError::Cpr(CprError::Fs(e)))?;
+            let ck = blcr::CheckpointFile::from_file_bytes(&bytes)
+                .map_err(CheclCprError::BadState)?;
+            let state = ck
+                .image
+                .get(CHECL_STATE_SEGMENT)
+                .ok_or(CheclCprError::MissingState)?;
+            let old = ChecLib::decode_state(state).map_err(CheclCprError::BadState)?;
+            cache.insert(file.clone(), old);
+        }
+        let old = &cache[&file];
+        let data = old.db.get(checl_mem).and_then(|e| match &e.record {
+            ObjectRecord::Mem {
+                saved_data: Some(d),
+                ..
+            } => Some(d.clone()),
+            _ => None,
+        });
+        let Some(data) = data else {
+            return Err(CheclCprError::MissingState);
+        };
+        if let Some(e) = lib.db.get_mut(checl_mem) {
+            if let ObjectRecord::Mem { saved_data, .. } = &mut e.record {
+                *saved_data = Some(data);
+            }
+        }
+    }
+    Ok(())
+}

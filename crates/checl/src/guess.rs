@@ -1,0 +1,132 @@
+//! Address-based handle guessing for binary-created programs.
+//!
+//! When a program is created with `clCreateProgramWithBinary`, the
+//! kernel source — and thus the parameter list — is unavailable. CheCL
+//! then "estimates whether a given argument is a CheCL handle … based
+//! on the memory address", with the documented hazard that "there is a
+//! possibility that CheCL incorrectly converts a given address to
+//! another invalid address because the given address may accidentally
+//! coincide with the address of one CheCL handle" (§IV-D).
+
+use crate::objects::CheclDb;
+
+/// Decide whether an 8-byte `clSetKernelArg` blob *looks like* a live
+/// CheCL handle. Returns the handle value if so.
+///
+/// False positives are possible by design: a `u64` scalar whose value
+/// happens to equal a live CheCL handle will be misclassified. The
+/// supported path — programs created from source — never uses this.
+pub fn guess_handle(db: &CheclDb, blob: &[u8]) -> Option<u64> {
+    if blob.len() != 8 {
+        return None;
+    }
+    let value = u64::from_le_bytes(blob.try_into().unwrap());
+    db.is_live_handle(value).then_some(value)
+}
+
+/// Scan an arbitrary-size blob (e.g. a user-defined struct passed by
+/// value) for 8-byte-aligned words that match live CheCL handles, and
+/// rewrite them with the translated values produced by `translate`.
+///
+/// This is the extension the paper leaves as future work ("its OpenCL C
+/// code parser is under development to check if each user-defined
+/// structure includes OpenCL handles"). Returns the number of words
+/// rewritten.
+pub fn rewrite_handles_in_struct(
+    db: &CheclDb,
+    blob: &mut [u8],
+    mut translate: impl FnMut(u64) -> Option<u64>,
+) -> usize {
+    let mut rewritten = 0;
+    let words = blob.len() / 8;
+    for w in 0..words {
+        let off = w * 8;
+        let value = u64::from_le_bytes(blob[off..off + 8].try_into().unwrap());
+        if db.is_live_handle(value) {
+            if let Some(new) = translate(value) {
+                blob[off..off + 8].copy_from_slice(&new.to_le_bytes());
+                rewritten += 1;
+            }
+        }
+    }
+    rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::ObjectRecord;
+    use clspec::handles::RawHandle;
+
+    fn db_with_one_buffer() -> (CheclDb, u64) {
+        let mut db = CheclDb::new();
+        let ctx = db.insert(RawHandle(10), ObjectRecord::Context { devices: vec![] });
+        let mem = db.insert(
+            RawHandle(20),
+            ObjectRecord::Mem {
+                context: ctx,
+                flags: clspec::types::MemFlags::READ_WRITE,
+                size: 4,
+                saved_data: None,
+                host_cache: None,
+                dirty: true,
+                saved_in: None,
+                image_dims: None,
+            },
+        );
+        (db, mem)
+    }
+
+    #[test]
+    fn guesses_live_handles() {
+        let (db, mem) = db_with_one_buffer();
+        assert_eq!(guess_handle(&db, &mem.to_le_bytes()), Some(mem));
+        assert_eq!(guess_handle(&db, &0u64.to_le_bytes()), None);
+        assert_eq!(guess_handle(&db, &[0u8; 4]), None); // not handle-sized
+    }
+
+    #[test]
+    fn false_positive_hazard_is_real() {
+        // A scalar argument whose value equals a live CheCL handle is
+        // indistinguishable — the paper's documented limitation.
+        let (db, mem) = db_with_one_buffer();
+        let innocent_scalar: u64 = mem; // unlucky coincidence
+        assert_eq!(
+            guess_handle(&db, &innocent_scalar.to_le_bytes()),
+            Some(mem),
+            "the hazard must reproduce"
+        );
+    }
+
+    #[test]
+    fn struct_scan_rewrites_embedded_handles() {
+        let (db, mem) = db_with_one_buffer();
+        // struct { u64 handle; f64 value; u64 not_a_handle; }
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&mem.to_le_bytes());
+        blob.extend_from_slice(&3.25f64.to_le_bytes());
+        blob.extend_from_slice(&0xdead_beefu64.to_le_bytes());
+        let n = rewrite_handles_in_struct(&db, &mut blob, |h| Some(h + 1));
+        assert_eq!(n, 1);
+        assert_eq!(
+            u64::from_le_bytes(blob[0..8].try_into().unwrap()),
+            mem + 1
+        );
+        // Non-handle words untouched.
+        assert_eq!(
+            f64::from_le_bytes(blob[8..16].try_into().unwrap()),
+            3.25
+        );
+        assert_eq!(
+            u64::from_le_bytes(blob[16..24].try_into().unwrap()),
+            0xdead_beef
+        );
+    }
+
+    #[test]
+    fn struct_scan_ignores_short_blobs() {
+        let (db, _) = db_with_one_buffer();
+        let mut blob = vec![0u8; 7];
+        assert_eq!(rewrite_handles_in_struct(&db, &mut blob, Some), 0);
+    }
+}

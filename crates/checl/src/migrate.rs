@@ -1,0 +1,146 @@
+//! Process migration and the migration-cost model (§IV-C).
+//!
+//! `Tm = α·M + Tr + β`: migration time is linear in the checkpoint
+//! file size `M` (α is set by the storage write+read bandwidths), plus
+//! the program recompilation time `Tr`, plus a system constant β
+//! (proxy fork, object-creation overheads).
+
+use crate::cpr::{
+    checkpoint_checl, restart_checl_process, CheckpointReport, CheclCprError, RestoreReport,
+    RestoreTarget,
+};
+use crate::objects::ObjectRecord;
+use crate::runtime::ChecLib;
+use cldriver::VendorConfig;
+use clspec::handles::HandleKind;
+use osproc::{Cluster, FsKind, NodeId, Pid};
+use simcore::{ByteSize, SimDuration};
+
+/// The fitted `Tm = αM + Tr + β` predictor.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationModel {
+    /// Seconds per byte of checkpoint file (write on the source +
+    /// read on the destination).
+    pub alpha: f64,
+    /// Fixed cost: proxy fork at restart, object-creation chatter,
+    /// filesystem latencies.
+    pub beta: SimDuration,
+}
+
+impl MigrationModel {
+    /// Fit α and β for a storage medium (the paper's α "mainly depends
+    /// on the bandwidth of writing the checkpoint file").
+    pub fn for_medium(kind: FsKind) -> MigrationModel {
+        let w = kind.write_link();
+        let r = kind.read_link();
+        MigrationModel {
+            alpha: 1.0 / w.bandwidth.as_bytes_per_sec() + 1.0 / r.bandwidth.as_bytes_per_sec(),
+            beta: w.latency
+                + r.latency
+                + simcore::calib::checl_init_overhead()
+                + SimDuration::from_millis(40),
+        }
+    }
+
+    /// Predict the migration time for a checkpoint of size `m` whose
+    /// programs need `tr` to recompile.
+    pub fn predict(&self, m: ByteSize, tr: SimDuration) -> SimDuration {
+        SimDuration::from_secs_f64(self.alpha * m.as_u64() as f64) + tr + self.beta
+    }
+}
+
+/// Estimate `Tr`: time to recompile every live source program on the
+/// destination vendor ("if the recompilation time is known a priori,
+/// the process migration cost can be estimated", §IV-C).
+pub fn estimate_recompile_time(lib: &ChecLib, dest: &VendorConfig) -> SimDuration {
+    lib.db
+        .live_of_kind(HandleKind::Program)
+        .map(|e| match &e.record {
+            ObjectRecord::Program {
+                source: Some(src),
+                sigs,
+                build_options: Some(_),
+                ..
+            } => dest.compile.compile_time(src.len(), sigs.len()),
+            _ => SimDuration::ZERO,
+        })
+        .sum()
+}
+
+/// Convenience wrapper: predict a migration over `kind` storage.
+pub fn predict_migration_time(
+    lib: &ChecLib,
+    dest: &VendorConfig,
+    kind: FsKind,
+    file_size: ByteSize,
+) -> SimDuration {
+    MigrationModel::for_medium(kind).predict(file_size, estimate_recompile_time(lib, dest))
+}
+
+/// The outcome of one migration.
+pub struct MigrationReport {
+    /// Checkpoint phase breakdown on the source node.
+    pub checkpoint: CheckpointReport,
+    /// Object recreation breakdown on the destination node.
+    pub restore: RestoreReport,
+    /// Measured end-to-end migration time: checkpoint total plus
+    /// everything the destination process did before it was ready
+    /// (file read, proxy fork, object recreation).
+    pub actual: SimDuration,
+    /// Model prediction for comparison (Fig. 8).
+    pub predicted: SimDuration,
+    /// The new application process.
+    pub new_pid: Pid,
+    /// The rebuilt shim driving the new process.
+    pub new_lib: ChecLib,
+}
+
+/// Migrate a CheCL application: checkpoint on its current node, kill
+/// it (and its proxy), restart on `dest_node` with `dest_vendor`.
+///
+/// `path` must be reachable from both nodes (the shared `/nfs` mount,
+/// or `/ram` for same-node processor switching).
+pub fn migrate_process(
+    cluster: &mut Cluster,
+    mut lib: ChecLib,
+    app_pid: Pid,
+    dest_node: NodeId,
+    dest_vendor: VendorConfig,
+    path: &str,
+    target: RestoreTarget,
+) -> Result<MigrationReport, CheclCprError> {
+    let medium = {
+        let node = cluster.process(app_pid).node;
+        let (fs_id, _) = cluster
+            .node(node)
+            .resolve(path)
+            .ok_or_else(|| CheclCprError::Cpr(blcr::CprError::Fs(osproc::FsError::NotFound(path.into()))))?;
+        cluster.fs(fs_id).kind()
+    };
+    let predicted_tr = estimate_recompile_time(&lib, &dest_vendor);
+
+    let checkpoint = checkpoint_checl(&mut lib, cluster, app_pid, path)?;
+    let predicted = MigrationModel::for_medium(medium).predict(checkpoint.file_size, predicted_tr);
+
+    // Tear down the source: the proxy dies with its vendor objects,
+    // then the application itself.
+    crate::boot::kill_proxy(cluster, &mut lib);
+    cluster.kill(app_pid);
+    drop(lib);
+
+    let (new_lib, new_pid, restore) =
+        restart_checl_process(cluster, dest_node, path, dest_vendor, target)?;
+    // The destination process clock started at zero and now reads
+    // "everything the restart cost": file read + proxy fork + restore.
+    let dest_side = cluster.process(new_pid).clock.since(simcore::SimTime::ZERO);
+    let actual = checkpoint.total() + dest_side;
+
+    Ok(MigrationReport {
+        checkpoint,
+        restore,
+        actual,
+        predicted,
+        new_pid,
+        new_lib,
+    })
+}

@@ -1,0 +1,607 @@
+//! CheCL objects: wrapper records for every OpenCL object.
+//!
+//! "CheCL uses a wrapper class instead of an OpenCL object, called a
+//! CheCL object. … every API function … records the actual OpenCL
+//! handle and arguments in a CheCL object, and then returns its pointer
+//! called a CheCL handle" (§III-B).
+//!
+//! The database of CheCL objects is ordinary host memory: it rides
+//! inside the BLCR dump, which is how the restart procedure knows what
+//! to re-create. Everything here is therefore [`Codec`].
+
+use clspec::handles::{HandleKind, RawHandle};
+use clspec::sig::KernelSig;
+use clspec::types::{DeviceType, MemFlags, QueueProps, SamplerDesc};
+use simcore::codec::{decode_bytes, encode_bytes, Codec, CodecError, Reader};
+use simcore::impl_codec_struct;
+use std::collections::BTreeMap;
+
+/// A recorded `clSetKernelArg` value, in CheCL-handle space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecordedArg {
+    /// The blob held a CheCL handle (decided by signature parsing or
+    /// address guessing); we store the CheCL handle so the argument can
+    /// be replayed after the underlying object is re-created.
+    Handle(u64),
+    /// Plain by-value bytes.
+    Bytes(Vec<u8>),
+    /// `__local` size.
+    Local(u64),
+}
+
+impl Codec for RecordedArg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RecordedArg::Handle(h) => {
+                out.push(0);
+                h.encode(out);
+            }
+            RecordedArg::Bytes(b) => {
+                out.push(1);
+                encode_bytes(out, b);
+            }
+            RecordedArg::Local(n) => {
+                out.push(2);
+                n.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match u8::decode(r)? {
+            0 => RecordedArg::Handle(u64::decode(r)?),
+            1 => RecordedArg::Bytes(decode_bytes(r)?),
+            2 => RecordedArg::Local(u64::decode(r)?),
+            _ => return Err(CodecError::Invalid("RecordedArg tag")),
+        })
+    }
+}
+
+/// Restore information for one object, by kind.
+///
+/// Cross-references between objects use *CheCL handles* (`u64`), which
+/// are stable across restarts — only the wrapped vendor handles change.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ObjectRecord {
+    /// `clGetPlatformIDs` result, identified by position.
+    Platform {
+        /// Index in the platform list.
+        index: u32,
+    },
+    /// `clGetDeviceIDs` result.
+    Device {
+        /// CheCL handle of the owning platform.
+        platform: u64,
+        /// Device type used in the query.
+        query_type: DeviceType,
+        /// Index within the query result.
+        index: u32,
+    },
+    /// `clCreateContext` arguments.
+    Context {
+        /// CheCL handles of the devices.
+        devices: Vec<u64>,
+    },
+    /// `clCreateCommandQueue` arguments.
+    Queue {
+        /// CheCL handle of the context.
+        context: u64,
+        /// CheCL handle of the device.
+        device: u64,
+        /// Queue properties.
+        props: QueueProps,
+    },
+    /// `clCreateBuffer` arguments plus data captured at checkpoint.
+    Mem {
+        /// CheCL handle of the context.
+        context: u64,
+        /// Creation flags.
+        flags: MemFlags,
+        /// Buffer size in bytes.
+        size: u64,
+        /// Device data saved in the preprocessing phase; present only
+        /// between checkpoint and postprocessing/restart.
+        saved_data: Option<Vec<u8>>,
+        /// Host-side cached copy for `CL_MEM_USE_HOST_PTR` buffers.
+        host_cache: Option<Vec<u8>>,
+        /// `true` if the device copy may have changed since the last
+        /// checkpoint (kernel wrote to it, or the host wrote it).
+        /// Drives incremental checkpointing (§IV-D future work).
+        dirty: bool,
+        /// Checkpoint file that holds this buffer's most recent saved
+        /// data, when an incremental checkpoint skipped it.
+        saved_in: Option<String>,
+        /// `Some((w, h))` when the object is a 2-D image rather than a
+        /// plain buffer (created via `clCreateImage2D`).
+        image_dims: Option<(u64, u64)>,
+    },
+    /// `clCreateSampler` arguments.
+    Sampler {
+        /// CheCL handle of the context.
+        context: u64,
+        /// Creation descriptor.
+        desc: SamplerDesc,
+    },
+    /// `clCreateProgramWith{Source,Binary}` arguments.
+    Program {
+        /// CheCL handle of the context.
+        context: u64,
+        /// Kernel source, if created from source.
+        source: Option<String>,
+        /// Vendor binary, if created from binary (deprecated path).
+        binary: Option<Vec<u8>>,
+        /// `clBuildProgram` options, recorded when the app builds.
+        build_options: Option<String>,
+        /// Parsed kernel signatures (empty for binary programs — the
+        /// source is unavailable, forcing address-guessing, §IV-D).
+        sigs: Vec<KernelSig>,
+    },
+    /// `clCreateKernel` arguments plus the argument history.
+    Kernel {
+        /// CheCL handle of the program.
+        program: u64,
+        /// Kernel function name.
+        name: String,
+        /// Latest value set for each argument index.
+        args: BTreeMap<u32, RecordedArg>,
+    },
+    /// An event returned by some enqueue. Cannot be re-created; the
+    /// restart procedure substitutes a dummy `clEnqueueMarker` event
+    /// (§III-C, Fig. 3).
+    Event {
+        /// CheCL handle of the queue the command went to.
+        queue: u64,
+    },
+}
+
+impl ObjectRecord {
+    /// The object kind this record restores.
+    pub fn kind(&self) -> HandleKind {
+        match self {
+            ObjectRecord::Platform { .. } => HandleKind::Platform,
+            ObjectRecord::Device { .. } => HandleKind::Device,
+            ObjectRecord::Context { .. } => HandleKind::Context,
+            ObjectRecord::Queue { .. } => HandleKind::CommandQueue,
+            ObjectRecord::Mem { .. } => HandleKind::Mem,
+            ObjectRecord::Sampler { .. } => HandleKind::Sampler,
+            ObjectRecord::Program { .. } => HandleKind::Program,
+            ObjectRecord::Kernel { .. } => HandleKind::Kernel,
+            ObjectRecord::Event { .. } => HandleKind::Event,
+        }
+    }
+}
+
+impl Codec for ObjectRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ObjectRecord::Platform { index } => {
+                out.push(0);
+                index.encode(out);
+            }
+            ObjectRecord::Device {
+                platform,
+                query_type,
+                index,
+            } => {
+                out.push(1);
+                platform.encode(out);
+                query_type.encode(out);
+                index.encode(out);
+            }
+            ObjectRecord::Context { devices } => {
+                out.push(2);
+                devices.encode(out);
+            }
+            ObjectRecord::Queue {
+                context,
+                device,
+                props,
+            } => {
+                out.push(3);
+                context.encode(out);
+                device.encode(out);
+                props.encode(out);
+            }
+            ObjectRecord::Mem {
+                context,
+                flags,
+                size,
+                saved_data,
+                host_cache,
+                dirty,
+                saved_in,
+                image_dims,
+            } => {
+                out.push(4);
+                context.encode(out);
+                flags.encode(out);
+                size.encode(out);
+                saved_data.encode(out);
+                host_cache.encode(out);
+                dirty.encode(out);
+                saved_in.encode(out);
+                image_dims.encode(out);
+            }
+            ObjectRecord::Sampler { context, desc } => {
+                out.push(5);
+                context.encode(out);
+                desc.encode(out);
+            }
+            ObjectRecord::Program {
+                context,
+                source,
+                binary,
+                build_options,
+                sigs,
+            } => {
+                out.push(6);
+                context.encode(out);
+                source.encode(out);
+                binary.encode(out);
+                build_options.encode(out);
+                sigs.encode(out);
+            }
+            ObjectRecord::Kernel {
+                program,
+                name,
+                args,
+            } => {
+                out.push(7);
+                program.encode(out);
+                name.encode(out);
+                args.encode(out);
+            }
+            ObjectRecord::Event { queue } => {
+                out.push(8);
+                queue.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match u8::decode(r)? {
+            0 => ObjectRecord::Platform {
+                index: u32::decode(r)?,
+            },
+            1 => ObjectRecord::Device {
+                platform: u64::decode(r)?,
+                query_type: DeviceType::decode(r)?,
+                index: u32::decode(r)?,
+            },
+            2 => ObjectRecord::Context {
+                devices: Vec::decode(r)?,
+            },
+            3 => ObjectRecord::Queue {
+                context: u64::decode(r)?,
+                device: u64::decode(r)?,
+                props: QueueProps::decode(r)?,
+            },
+            4 => ObjectRecord::Mem {
+                context: u64::decode(r)?,
+                flags: MemFlags::decode(r)?,
+                size: u64::decode(r)?,
+                saved_data: Option::decode(r)?,
+                host_cache: Option::decode(r)?,
+                dirty: bool::decode(r)?,
+                saved_in: Option::decode(r)?,
+                image_dims: Option::decode(r)?,
+            },
+            5 => ObjectRecord::Sampler {
+                context: u64::decode(r)?,
+                desc: SamplerDesc::decode(r)?,
+            },
+            6 => ObjectRecord::Program {
+                context: u64::decode(r)?,
+                source: Option::decode(r)?,
+                binary: Option::decode(r)?,
+                build_options: Option::decode(r)?,
+                sigs: Vec::decode(r)?,
+            },
+            7 => ObjectRecord::Kernel {
+                program: u64::decode(r)?,
+                name: String::decode(r)?,
+                args: BTreeMap::decode(r)?,
+            },
+            8 => ObjectRecord::Event {
+                queue: u64::decode(r)?,
+            },
+            _ => return Err(CodecError::Invalid("ObjectRecord tag")),
+        })
+    }
+}
+
+/// One database entry: a CheCL object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheclEntry {
+    /// The CheCL handle the application holds (stable forever).
+    pub checl: u64,
+    /// The vendor handle currently wrapped. Changes on every restore;
+    /// meaningless while no proxy is attached.
+    pub vendor: RawHandle,
+    /// Restore information.
+    pub record: ObjectRecord,
+    /// OpenCL reference count mirrored from the app's retain/release
+    /// calls. 0 means released — kept for diagnostics, not restored.
+    pub refs: u32,
+}
+
+impl_codec_struct!(CheclEntry {
+    checl,
+    vendor,
+    record,
+    refs
+});
+
+/// The CheCL object database (§III-C: "a database is managed to hold
+/// the pointers to all CheCL objects").
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheclDb {
+    /// Entries in creation order — which is also a valid dependency
+    /// order within each kind.
+    entries: Vec<CheclEntry>,
+    /// checl handle → index in `entries`.
+    index: BTreeMap<u64, usize>,
+    next_handle: u64,
+}
+
+/// CheCL handles live in a recognisable range so tests (and the
+/// address-guessing heuristic) can tell them from vendor handles.
+const CHECL_HANDLE_BASE: u64 = 0x6000_0000_0000_0000;
+
+impl CheclDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        CheclDb::default()
+    }
+
+    /// Register a new object; returns its CheCL handle.
+    pub fn insert(&mut self, vendor: RawHandle, record: ObjectRecord) -> u64 {
+        self.next_handle += 1;
+        let checl = CHECL_HANDLE_BASE | (self.next_handle << 4);
+        self.index.insert(checl, self.entries.len());
+        self.entries.push(CheclEntry {
+            checl,
+            vendor,
+            record,
+            refs: 1,
+        });
+        checl
+    }
+
+    /// Look up by CheCL handle.
+    pub fn get(&self, checl: u64) -> Option<&CheclEntry> {
+        self.index.get(&checl).map(|&i| &self.entries[i])
+    }
+
+    /// Mutable lookup by CheCL handle.
+    pub fn get_mut(&mut self, checl: u64) -> Option<&mut CheclEntry> {
+        let i = *self.index.get(&checl)?;
+        Some(&mut self.entries[i])
+    }
+
+    /// The vendor handle currently wrapped by `checl`, if the object is
+    /// live.
+    pub fn vendor_of(&self, checl: u64) -> Option<RawHandle> {
+        self.get(checl).filter(|e| e.refs > 0).map(|e| e.vendor)
+    }
+
+    /// `true` if `value` is a live CheCL handle (used both for argument
+    /// translation and for address-guessing).
+    pub fn is_live_handle(&self, value: u64) -> bool {
+        self.get(value).map(|e| e.refs > 0).unwrap_or(false)
+    }
+
+    /// Iterate live entries in creation order.
+    pub fn live_entries(&self) -> impl Iterator<Item = &CheclEntry> {
+        self.entries.iter().filter(|e| e.refs > 0)
+    }
+
+    /// Iterate live entries of one kind, in creation order.
+    pub fn live_of_kind(&self, kind: HandleKind) -> impl Iterator<Item = &CheclEntry> {
+        self.live_entries().filter(move |e| e.record.kind() == kind)
+    }
+
+    /// Mutable iteration over all entries (restore rewrites vendor
+    /// handles in place).
+    pub fn entries_mut(&mut self) -> impl Iterator<Item = &mut CheclEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Retain: bump the mirrored refcount.
+    pub fn retain(&mut self, checl: u64) -> bool {
+        match self.get_mut(checl) {
+            Some(e) if e.refs > 0 => {
+                e.refs += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Release: drop the mirrored refcount. Returns the new count, or
+    /// `None` for an unknown/dead handle.
+    pub fn release(&mut self, checl: u64) -> Option<u32> {
+        let e = self.get_mut(checl)?;
+        if e.refs == 0 {
+            return None;
+        }
+        e.refs -= 1;
+        Some(e.refs)
+    }
+
+    /// Count of live objects per kind, in restore order — the Fig. 7
+    /// category breakdown.
+    pub fn live_counts(&self) -> BTreeMap<HandleKind, usize> {
+        let mut m = BTreeMap::new();
+        for e in self.live_entries() {
+            *m.entry(e.record.kind()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Total bytes of saved buffer data currently held (checkpoint
+    /// payload size contribution).
+    pub fn saved_data_bytes(&self) -> u64 {
+        self.live_entries()
+            .map(|e| match &e.record {
+                ObjectRecord::Mem {
+                    saved_data: Some(d),
+                    ..
+                } => d.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl Codec for CheclDb {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.entries.encode(out);
+        self.next_handle.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let entries: Vec<CheclEntry> = Vec::decode(r)?;
+        let next_handle = u64::decode(r)?;
+        let mut index = BTreeMap::new();
+        for (i, e) in entries.iter().enumerate() {
+            index.insert(e.checl, i);
+        }
+        Ok(CheclDb {
+            entries,
+            index,
+            next_handle,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_stable_and_distinct() {
+        let mut db = CheclDb::new();
+        let a = db.insert(RawHandle(100), ObjectRecord::Platform { index: 0 });
+        let b = db.insert(RawHandle(200), ObjectRecord::Platform { index: 1 });
+        assert_ne!(a, b);
+        assert!(a & CHECL_HANDLE_BASE == CHECL_HANDLE_BASE);
+        assert_eq!(db.vendor_of(a), Some(RawHandle(100)));
+        assert_eq!(db.vendor_of(b), Some(RawHandle(200)));
+    }
+
+    #[test]
+    fn refcounts_mirror_retain_release() {
+        let mut db = CheclDb::new();
+        let h = db.insert(RawHandle(1), ObjectRecord::Context { devices: vec![] });
+        assert!(db.retain(h));
+        assert_eq!(db.release(h), Some(1));
+        assert_eq!(db.release(h), Some(0));
+        assert!(!db.is_live_handle(h));
+        assert_eq!(db.vendor_of(h), None);
+        assert_eq!(db.release(h), None);
+        assert!(!db.retain(h));
+    }
+
+    #[test]
+    fn live_counts_by_kind() {
+        let mut db = CheclDb::new();
+        db.insert(RawHandle(1), ObjectRecord::Platform { index: 0 });
+        let ctx = db.insert(RawHandle(2), ObjectRecord::Context { devices: vec![] });
+        db.insert(
+            RawHandle(3),
+            ObjectRecord::Mem {
+                context: ctx,
+                flags: MemFlags::READ_WRITE,
+                size: 64,
+                saved_data: None,
+                host_cache: None,
+                dirty: true,
+                saved_in: None,
+                image_dims: None,
+            },
+        );
+        db.insert(
+            RawHandle(4),
+            ObjectRecord::Mem {
+                context: ctx,
+                flags: MemFlags::READ_WRITE,
+                size: 64,
+                saved_data: None,
+                host_cache: None,
+                dirty: true,
+                saved_in: None,
+                image_dims: None,
+            },
+        );
+        let counts = db.live_counts();
+        assert_eq!(counts[&HandleKind::Mem], 2);
+        assert_eq!(counts[&HandleKind::Context], 1);
+        assert_eq!(counts.get(&HandleKind::Kernel), None);
+    }
+
+    #[test]
+    fn db_codec_roundtrip() {
+        let mut db = CheclDb::new();
+        let p = db.insert(RawHandle(1), ObjectRecord::Platform { index: 0 });
+        let d = db.insert(
+            RawHandle(2),
+            ObjectRecord::Device {
+                platform: p,
+                query_type: DeviceType::Gpu,
+                index: 0,
+            },
+        );
+        let c = db.insert(RawHandle(3), ObjectRecord::Context { devices: vec![d] });
+        let prog = db.insert(
+            RawHandle(4),
+            ObjectRecord::Program {
+                context: c,
+                source: Some("__kernel void k(__global float* x) {}".into()),
+                binary: None,
+                build_options: Some("-O2".into()),
+                sigs: clspec::sig::parse_kernel_sigs("__kernel void k(__global float* x) {}")
+                    .unwrap(),
+            },
+        );
+        let mut args = BTreeMap::new();
+        args.insert(0, RecordedArg::Handle(c));
+        args.insert(1, RecordedArg::Bytes(vec![1, 2, 3, 4]));
+        args.insert(2, RecordedArg::Local(128));
+        db.insert(
+            RawHandle(5),
+            ObjectRecord::Kernel {
+                program: prog,
+                name: "k".into(),
+                args,
+            },
+        );
+        db.release(p); // dead entries must survive serialization too
+        let bytes = db.to_bytes();
+        let back = CheclDb::from_bytes(&bytes).unwrap();
+        assert_eq!(back, db);
+        // Handle allocation continues without collisions after decode.
+        let mut back = back;
+        let newest = back.insert(RawHandle(9), ObjectRecord::Platform { index: 0 });
+        assert!(back.get(newest).is_some());
+        assert!(db.get(newest).is_none());
+    }
+
+    #[test]
+    fn saved_data_accounting() {
+        let mut db = CheclDb::new();
+        let c = db.insert(RawHandle(1), ObjectRecord::Context { devices: vec![] });
+        db.insert(
+            RawHandle(2),
+            ObjectRecord::Mem {
+                context: c,
+                flags: MemFlags::READ_WRITE,
+                size: 100,
+                saved_data: Some(vec![0u8; 100]),
+                host_cache: None,
+                dirty: true,
+                saved_in: None,
+                image_dims: None,
+            },
+        );
+        assert_eq!(db.saved_data_bytes(), 100);
+    }
+}

@@ -1,0 +1,1289 @@
+//! The interposed `libOpenCL.so`: record, translate, forward.
+//!
+//! [`ChecLib`] implements [`ClApi`] — the application cannot tell it
+//! apart from a vendor library. Internally every call is:
+//!
+//! 1. **translated** — CheCL handles in the request are swapped for the
+//!    vendor handles currently wrapped by the database (`clSetKernelArg`
+//!    blobs need the kernel signature to decide, §III-B);
+//! 2. **forwarded** — shipped over the app↔proxy pipe, paying the IPC
+//!    latency plus an extra host-memory copy of any bulk payload
+//!    (§IV-A: this is the measured runtime overhead of Fig. 4);
+//! 3. **recorded** — creation calls insert a CheCL object; state
+//!    changes (`clBuildProgram`, `clSetKernelArg`) update it; releases
+//!    mark it dead;
+//! 4. **wrapped** — returned vendor handles are replaced by fresh CheCL
+//!    handles before the application sees them.
+
+use crate::guess::{guess_handle, rewrite_handles_in_struct};
+use crate::objects::{CheclDb, ObjectRecord, RecordedArg};
+use cldriver::Driver;
+use clspec::api::{ApiRequest, ApiResponse, ClApi};
+use clspec::error::{ClError, ClResult};
+use clspec::handles::{
+    CommandQueue, Context, DeviceId, Event, HandleKind, Kernel, Mem, PlatformId, Program,
+    RawHandle, Sampler,
+};
+use clspec::sig::{parse_kernel_sigs, parse_struct_defs, ParamKind};
+use clspec::types::ArgValue;
+use osproc::{Pid, Pipe};
+use simcore::codec::Codec;
+use simcore::SimTime;
+
+/// What to do with a by-value struct argument that contains handles —
+/// the limitation of §IV-D.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StructArgPolicy {
+    /// Paper behaviour: CheCL "overlooks the handles in the structure";
+    /// the unconverted CheCL handles reach the vendor driver and the
+    /// launch fails.
+    #[default]
+    PassThrough,
+    /// Extension (the paper's in-development parser): scan the blob for
+    /// words matching live CheCL handles and translate them.
+    ScanAndTranslate,
+}
+
+/// CheCL configuration knobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheclConfig {
+    /// Struct-argument handling policy.
+    pub struct_arg_policy: StructArgPolicy,
+}
+
+/// Cumulative CheCL bookkeeping statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheclStats {
+    /// API calls forwarded to the proxy.
+    pub forwarded_calls: u64,
+    /// Bytes moved over the app↔proxy pipe (both directions).
+    pub ipc_bytes: u64,
+    /// CheCL→vendor handle translations performed.
+    pub handle_translations: u64,
+    /// `clSetKernelArg` blobs classified by address guessing (binary
+    /// programs only).
+    pub guessed_args: u64,
+    /// Build callbacks the application registered and CheCL ignored
+    /// (§IV-D).
+    pub callbacks_ignored: u64,
+}
+
+/// The live connection to an API proxy process.
+pub struct ProxyLink {
+    /// The vendor driver the proxy loaded. Owned here for simulation
+    /// convenience; *logically* it lives in the proxy's address space —
+    /// the proxy pid is the process that carries its device mappings.
+    pub driver: Driver,
+    /// The forwarding pipe.
+    pub pipe: Pipe,
+    /// Pid of the proxy process.
+    pub proxy_pid: Pid,
+}
+
+/// The CheCL shim library, as loaded into one application process.
+pub struct ChecLib {
+    /// The CheCL object database (application host memory).
+    pub db: CheclDb,
+    config: CheclConfig,
+    stats: CheclStats,
+    /// Forwarded calls per OpenCL entry point (for overhead analysis:
+    /// the "API-chatty" programs of Fig. 4 show up here).
+    call_histogram: std::collections::BTreeMap<&'static str, u64>,
+    proxy: Option<ProxyLink>,
+}
+
+impl ChecLib {
+    /// A shim with no proxy attached yet (use [`crate::boot::boot_checl`]
+    /// for the full fork-and-attach sequence).
+    pub fn new(config: CheclConfig) -> Self {
+        ChecLib {
+            db: CheclDb::new(),
+            config,
+            stats: CheclStats::default(),
+            call_histogram: std::collections::BTreeMap::new(),
+            proxy: None,
+        }
+    }
+
+    /// Attach a freshly forked proxy.
+    pub fn attach_proxy(&mut self, link: ProxyLink) {
+        assert!(self.proxy.is_none(), "proxy already attached");
+        self.proxy = Some(link);
+    }
+
+    /// Detach (e.g. the proxy is being killed for checkpointing under
+    /// DMTCP, or the process is migrating away).
+    pub fn detach_proxy(&mut self) -> Option<ProxyLink> {
+        self.proxy.take()
+    }
+
+    /// `true` while a proxy is attached and calls can be forwarded.
+    pub fn has_proxy(&self) -> bool {
+        self.proxy.is_some()
+    }
+
+    /// Pid of the attached proxy process.
+    pub fn proxy_pid(&self) -> Option<Pid> {
+        self.proxy.as_ref().map(|p| p.proxy_pid)
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CheclStats {
+        self.stats
+    }
+
+    /// Forwarded calls per OpenCL entry point.
+    pub fn call_histogram(&self) -> &std::collections::BTreeMap<&'static str, u64> {
+        &self.call_histogram
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> CheclConfig {
+        self.config
+    }
+
+    /// Record that the application registered a build callback, which
+    /// CheCL ignores (§IV-D: "CheCL just ignores those callback
+    /// functions").
+    pub fn ignore_build_callback(&mut self) {
+        self.stats.callbacks_ignored += 1;
+    }
+
+    /// Serialize the CheCL state that lives in application host memory
+    /// (and therefore inside the BLCR dump).
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.db.encode(&mut out);
+        (self.config.struct_arg_policy == StructArgPolicy::ScanAndTranslate).encode(&mut out);
+        out
+    }
+
+    /// Rebuild the shim from a dumped state segment. No proxy is
+    /// attached; the restart procedure forks a new one.
+    pub fn decode_state(bytes: &[u8]) -> Result<ChecLib, simcore::CodecError> {
+        let mut r = simcore::Reader::new(bytes);
+        let db = CheclDb::decode(&mut r)?;
+        let scan = bool::decode(&mut r)?;
+        Ok(ChecLib {
+            db,
+            config: CheclConfig {
+                struct_arg_policy: if scan {
+                    StructArgPolicy::ScanAndTranslate
+                } else {
+                    StructArgPolicy::PassThrough
+                },
+            },
+            stats: CheclStats::default(),
+            call_histogram: std::collections::BTreeMap::new(),
+            proxy: None,
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Forwarding and translation machinery
+    // -----------------------------------------------------------------
+
+    /// Ship one request to the proxy and return its response, paying
+    /// the IPC costs on both legs.
+    pub(crate) fn forward(
+        &mut self,
+        now: &mut SimTime,
+        req: ApiRequest,
+    ) -> ClResult<ApiResponse> {
+        let link = self.proxy.as_mut().ok_or(ClError::DeviceNotAvailable)?;
+        *self.call_histogram.entry(req.api_name()).or_insert(0) += 1;
+        let req_size = req.wire_size();
+        link.pipe.transfer(now, req_size);
+        let resp = link.driver.call(now, req)?;
+        let resp_size = resp.wire_size();
+        link.pipe.transfer(now, resp_size);
+        self.stats.forwarded_calls += 1;
+        self.stats.ipc_bytes += req_size + resp_size;
+        Ok(resp)
+    }
+
+    fn kind_error(kind: HandleKind) -> ClError {
+        match kind {
+            HandleKind::Platform => ClError::InvalidPlatform,
+            HandleKind::Device => ClError::InvalidDevice,
+            HandleKind::Context => ClError::InvalidContext,
+            HandleKind::CommandQueue => ClError::InvalidCommandQueue,
+            HandleKind::Mem => ClError::InvalidMemObject,
+            HandleKind::Sampler => ClError::InvalidSampler,
+            HandleKind::Program => ClError::InvalidProgram,
+            HandleKind::Kernel => ClError::InvalidKernel,
+            HandleKind::Event => ClError::InvalidEvent,
+        }
+    }
+
+    /// Translate one CheCL handle to the wrapped vendor handle,
+    /// checking liveness and kind.
+    pub(crate) fn xlate(&mut self, checl: u64, kind: HandleKind) -> ClResult<RawHandle> {
+        let entry = self.db.get(checl).ok_or_else(|| Self::kind_error(kind))?;
+        if entry.refs == 0 || entry.record.kind() != kind {
+            return Err(Self::kind_error(kind));
+        }
+        self.stats.handle_translations += 1;
+        Ok(entry.vendor)
+    }
+
+    /// Mark a buffer's device copy as modified since its last save
+    /// (drives incremental checkpointing).
+    fn mark_mem_dirty(&mut self, checl_mem: u64) {
+        if let Some(e) = self.db.get_mut(checl_mem) {
+            if let ObjectRecord::Mem { dirty, .. } = &mut e.record {
+                *dirty = true;
+            }
+        }
+    }
+
+    /// Wrap a vendor handle in a fresh CheCL object and hand the CheCL
+    /// handle back in `RawHandle` clothing.
+    fn wrap(&mut self, vendor: RawHandle, record: ObjectRecord) -> RawHandle {
+        RawHandle(self.db.insert(vendor, record))
+    }
+
+    fn release_common(
+        &mut self,
+        now: &mut SimTime,
+        checl: u64,
+        kind: HandleKind,
+        make_req: impl FnOnce(RawHandle) -> ApiRequest,
+    ) -> ClResult<ApiResponse> {
+        let vendor = self.xlate(checl, kind)?;
+        let resp = self.forward(now, make_req(vendor))?;
+        self.db.release(checl);
+        Ok(resp)
+    }
+
+    fn retain_common(
+        &mut self,
+        now: &mut SimTime,
+        checl: u64,
+        kind: HandleKind,
+        make_req: impl FnOnce(RawHandle) -> ApiRequest,
+    ) -> ClResult<ApiResponse> {
+        let vendor = self.xlate(checl, kind)?;
+        let resp = self.forward(now, make_req(vendor))?;
+        self.db.retain(checl);
+        Ok(resp)
+    }
+
+    // -----------------------------------------------------------------
+    // Per-call handlers needing real logic
+    // -----------------------------------------------------------------
+
+    fn get_platform_ids(&mut self, now: &mut SimTime) -> ClResult<ApiResponse> {
+        // Idempotent wrapping: repeated queries return the same CheCL
+        // handles, as applications expect platform ids to be stable.
+        let existing: Vec<u64> = self
+            .db
+            .live_of_kind(HandleKind::Platform)
+            .map(|e| e.checl)
+            .collect();
+        if !existing.is_empty() {
+            return Ok(ApiResponse::Platforms(
+                existing
+                    .into_iter()
+                    .map(|h| PlatformId::from_raw(RawHandle(h)))
+                    .collect(),
+            ));
+        }
+        let vendor_ids = self
+            .forward(now, ApiRequest::GetPlatformIds)?
+            .into_platforms()?;
+        let out = vendor_ids
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                PlatformId::from_raw(
+                    self.wrap(p.raw(), ObjectRecord::Platform { index: i as u32 }),
+                )
+            })
+            .collect();
+        Ok(ApiResponse::Platforms(out))
+    }
+
+    fn get_device_ids(
+        &mut self,
+        now: &mut SimTime,
+        platform: PlatformId,
+        device_type: clspec::types::DeviceType,
+    ) -> ClResult<ApiResponse> {
+        let checl_platform = platform.raw().0;
+        let vendor_platform = self.xlate(checl_platform, HandleKind::Platform)?;
+        // Idempotent for a repeated identical query.
+        let existing: Vec<u64> = self
+            .db
+            .live_of_kind(HandleKind::Device)
+            .filter(|e| {
+                matches!(
+                    e.record,
+                    ObjectRecord::Device { platform: p, query_type: qt, .. }
+                        if p == checl_platform && qt == device_type
+                )
+            })
+            .map(|e| e.checl)
+            .collect();
+        if !existing.is_empty() {
+            return Ok(ApiResponse::Devices(
+                existing
+                    .into_iter()
+                    .map(|h| DeviceId::from_raw(RawHandle(h)))
+                    .collect(),
+            ));
+        }
+        let vendor_devs = self
+            .forward(
+                now,
+                ApiRequest::GetDeviceIds {
+                    platform: PlatformId::from_raw(vendor_platform),
+                    device_type,
+                },
+            )?
+            .into_devices()?;
+        let out = vendor_devs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                DeviceId::from_raw(self.wrap(
+                    d.raw(),
+                    ObjectRecord::Device {
+                        platform: checl_platform,
+                        query_type: device_type,
+                        index: i as u32,
+                    },
+                ))
+            })
+            .collect();
+        Ok(ApiResponse::Devices(out))
+    }
+
+    /// Decide how to record + translate one `clSetKernelArg` value.
+    fn classify_and_translate_arg(
+        &mut self,
+        kernel_checl: u64,
+        index: u32,
+        value: &ArgValue,
+    ) -> ClResult<(RecordedArg, ArgValue)> {
+        // Pull what we need from the kernel/program records first.
+        let (param_kind, program_source) = {
+            let kentry = self
+                .db
+                .get(kernel_checl)
+                .ok_or(ClError::InvalidKernel)?;
+            let (program, name) = match &kentry.record {
+                ObjectRecord::Kernel { program, name, .. } => (*program, name.clone()),
+                _ => return Err(ClError::InvalidKernel),
+            };
+            let pentry = self.db.get(program).ok_or(ClError::InvalidProgram)?;
+            match &pentry.record {
+                ObjectRecord::Program { sigs, source, .. } => {
+                    let kind = sigs
+                        .iter()
+                        .find(|s| s.name == name)
+                        .and_then(|s| s.params.get(index as usize))
+                        .map(|p| p.kind.clone());
+                    (kind, source.clone())
+                }
+                _ => return Err(ClError::InvalidProgram),
+            }
+        };
+
+        match (param_kind, value) {
+            // Source unavailable (binary program): guess by address.
+            (None, ArgValue::Bytes(b)) => {
+                if let Some(h) = guess_handle(&self.db, b) {
+                    self.stats.guessed_args += 1;
+                    let entry = self.db.get(h).expect("guessed handle is live");
+                    let vendor = entry.vendor;
+                    Ok((
+                        RecordedArg::Handle(h),
+                        ArgValue::Bytes(vendor.0.to_le_bytes().to_vec()),
+                    ))
+                } else {
+                    Ok((RecordedArg::Bytes(b.clone()), value.clone()))
+                }
+            }
+            (None, ArgValue::LocalMem(n)) => {
+                Ok((RecordedArg::Local(*n), value.clone()))
+            }
+            (Some(ParamKind::LocalPtr), ArgValue::LocalMem(n)) => {
+                Ok((RecordedArg::Local(*n), value.clone()))
+            }
+            (Some(ParamKind::LocalPtr), _) => Err(ClError::InvalidArgValue),
+            (Some(kind), ArgValue::Bytes(b)) if kind.is_handle() => {
+                let checl_h = ArgValue::Bytes(b.clone())
+                    .as_handle()
+                    .ok_or(ClError::InvalidArgValue)?
+                    .0;
+                let want = match kind {
+                    ParamKind::Sampler => HandleKind::Sampler,
+                    _ => HandleKind::Mem,
+                };
+                let vendor = self.xlate(checl_h, want)?;
+                Ok((
+                    RecordedArg::Handle(checl_h),
+                    ArgValue::Bytes(vendor.0.to_le_bytes().to_vec()),
+                ))
+            }
+            (Some(ParamKind::Scalar(ty)), ArgValue::Bytes(b)) => {
+                // Is this a user-defined struct containing handles?
+                let is_handle_struct = program_source
+                    .as_deref()
+                    .map(|src| parse_struct_defs(src).get(&ty) == Some(&true))
+                    .unwrap_or(false);
+                if is_handle_struct {
+                    match self.config.struct_arg_policy {
+                        StructArgPolicy::PassThrough => {
+                            // Paper behaviour: the handles inside are
+                            // overlooked and reach the vendor raw.
+                            Ok((RecordedArg::Bytes(b.clone()), value.clone()))
+                        }
+                        StructArgPolicy::ScanAndTranslate => {
+                            let mut blob = b.clone();
+                            let db = &self.db;
+                            let mut translations = 0u64;
+                            rewrite_handles_in_struct(db, &mut blob, |h| {
+                                translations += 1;
+                                db.vendor_of(h).map(|v| v.0)
+                            });
+                            self.stats.handle_translations += translations;
+                            Ok((RecordedArg::Bytes(b.clone()), ArgValue::Bytes(blob)))
+                        }
+                    }
+                } else {
+                    Ok((RecordedArg::Bytes(b.clone()), value.clone()))
+                }
+            }
+            (Some(_), ArgValue::LocalMem(_)) => Err(ClError::InvalidArgValue),
+            // Handle kinds and scalars are fully covered above; the
+            // compiler cannot see through the `is_handle()` guard.
+            (Some(_), ArgValue::Bytes(_)) => unreachable!("param kind not classified"),
+        }
+    }
+
+    fn set_kernel_arg(
+        &mut self,
+        now: &mut SimTime,
+        kernel: Kernel,
+        index: u32,
+        value: ArgValue,
+    ) -> ClResult<ApiResponse> {
+        let kernel_checl = kernel.raw().0;
+        let vendor_kernel = self.xlate(kernel_checl, HandleKind::Kernel)?;
+        let (recorded, translated) =
+            self.classify_and_translate_arg(kernel_checl, index, &value)?;
+        let resp = self.forward(
+            now,
+            ApiRequest::SetKernelArg {
+                kernel: Kernel::from_raw(vendor_kernel),
+                index,
+                value: translated,
+            },
+        )?;
+        if let Some(entry) = self.db.get_mut(kernel_checl) {
+            if let ObjectRecord::Kernel { args, .. } = &mut entry.record {
+                args.insert(index, recorded);
+            }
+        }
+        Ok(resp)
+    }
+
+    /// CheCL handles of `USE_HOST_PTR` buffers currently bound to the
+    /// kernel's arguments.
+    fn host_ptr_args_of_kernel(&self, kernel_checl: u64) -> Vec<(u64, u64)> {
+        let Some(entry) = self.db.get(kernel_checl) else {
+            return Vec::new();
+        };
+        let ObjectRecord::Kernel { args, .. } = &entry.record else {
+            return Vec::new();
+        };
+        args.values()
+            .filter_map(|a| match a {
+                RecordedArg::Handle(h) => self.db.get(*h),
+                _ => None,
+            })
+            .filter_map(|e| match &e.record {
+                ObjectRecord::Mem {
+                    host_cache: Some(c),
+                    ..
+                } => Some((e.checl, c.len() as u64)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn enqueue_nd_range(
+        &mut self,
+        now: &mut SimTime,
+        queue: CommandQueue,
+        kernel: Kernel,
+        global: clspec::types::NDRange,
+        local: Option<clspec::types::NDRange>,
+        wait_list: Vec<Event>,
+    ) -> ClResult<ApiResponse> {
+        let checl_queue = queue.raw().0;
+        let vendor_queue = CommandQueue::from_raw(self.xlate(checl_queue, HandleKind::CommandQueue)?);
+        let vendor_kernel = Kernel::from_raw(self.xlate(kernel.raw().0, HandleKind::Kernel)?);
+        let vendor_waits = wait_list
+            .iter()
+            .map(|e| Ok(Event::from_raw(self.xlate(e.raw().0, HandleKind::Event)?)))
+            .collect::<ClResult<Vec<_>>>()?;
+
+        // A launch may write any buffer bound through a *writable*
+        // parameter. Pointer-to-const and __constant parameters cannot
+        // be written, so their buffers stay clean — the per-parameter
+        // modification tracking the paper lists as future work, which
+        // is what makes incremental checkpointing effective.
+        let bound_mems: Vec<u64> = {
+            let writable_of = |idx: u32, sigs: &[clspec::sig::KernelSig], name: &str| {
+                sigs.iter()
+                    .find(|s| s.name == name)
+                    .and_then(|s| s.params.get(idx as usize))
+                    // Unknown signature (binary program): conservative.
+                    .map_or(true, |p| {
+                        !p.is_const
+                            && !matches!(
+                                p.kind,
+                                ParamKind::ConstantPtr | ParamKind::Sampler
+                            )
+                    })
+            };
+            match self.db.get(kernel.raw().0).map(|e| &e.record) {
+                Some(ObjectRecord::Kernel {
+                    args,
+                    program,
+                    name,
+                }) => {
+                    let sigs: Vec<clspec::sig::KernelSig> =
+                        match self.db.get(*program).map(|e| &e.record) {
+                            Some(ObjectRecord::Program { sigs, .. }) => sigs.clone(),
+                            _ => Vec::new(),
+                        };
+                    args.iter()
+                        .filter_map(|(idx, a)| match a {
+                            RecordedArg::Handle(h) if writable_of(*idx, &sigs, name) => {
+                                Some(*h)
+                            }
+                            _ => None,
+                        })
+                        .collect()
+                }
+                _ => Vec::new(),
+            }
+        };
+        for m in bound_mems {
+            self.mark_mem_dirty(m);
+        }
+
+        // CL_MEM_USE_HOST_PTR: the cached host copy is pushed to the
+        // device before the kernel and pulled back afterwards — "usually
+        // causes severe performance degradation" (§IV-D).
+        let host_ptr_mems = self.host_ptr_args_of_kernel(kernel.raw().0);
+        for (mem_checl, _) in &host_ptr_mems {
+            let cache = match self.db.get(*mem_checl) {
+                Some(e) => match &e.record {
+                    ObjectRecord::Mem {
+                        host_cache: Some(c),
+                        ..
+                    } => c.clone(),
+                    _ => continue,
+                },
+                None => continue,
+            };
+            let vendor_mem = Mem::from_raw(self.xlate(*mem_checl, HandleKind::Mem)?);
+            self.forward(
+                now,
+                ApiRequest::EnqueueWriteBuffer {
+                    queue: vendor_queue,
+                    mem: vendor_mem,
+                    blocking: true,
+                    offset: 0,
+                    data: cache,
+                    wait_list: vec![],
+                },
+            )?;
+        }
+
+        let resp = self.forward(
+            now,
+            ApiRequest::EnqueueNDRangeKernel {
+                queue: vendor_queue,
+                kernel: vendor_kernel,
+                global,
+                local,
+                wait_list: vendor_waits,
+            },
+        )?;
+        let vendor_event = resp.into_event()?;
+
+        for (mem_checl, size) in &host_ptr_mems {
+            let vendor_mem = Mem::from_raw(self.xlate(*mem_checl, HandleKind::Mem)?);
+            let (data, _ev) = self
+                .forward(
+                    now,
+                    ApiRequest::EnqueueReadBuffer {
+                        queue: vendor_queue,
+                        mem: vendor_mem,
+                        blocking: true,
+                        offset: 0,
+                        size: *size,
+                        wait_list: vec![],
+                    },
+                )?
+                .into_data_event()?;
+            if let Some(e) = self.db.get_mut(*mem_checl) {
+                if let ObjectRecord::Mem { host_cache, .. } = &mut e.record {
+                    *host_cache = Some(data);
+                }
+            }
+        }
+
+        let checl_event = self.wrap(
+            vendor_event.raw(),
+            ObjectRecord::Event { queue: checl_queue },
+        );
+        Ok(ApiResponse::Event(Event::from_raw(checl_event)))
+    }
+
+    fn wrap_event_response(
+        &mut self,
+        resp: ApiResponse,
+        checl_queue: u64,
+    ) -> ClResult<ApiResponse> {
+        match resp {
+            ApiResponse::Event(e) => {
+                let h = self.wrap(e.raw(), ObjectRecord::Event { queue: checl_queue });
+                Ok(ApiResponse::Event(Event::from_raw(h)))
+            }
+            ApiResponse::DataEvent { data, event } => {
+                let h = self.wrap(event.raw(), ObjectRecord::Event { queue: checl_queue });
+                Ok(ApiResponse::DataEvent {
+                    data,
+                    event: Event::from_raw(h),
+                })
+            }
+            other => Ok(other),
+        }
+    }
+}
+
+impl ClApi for ChecLib {
+    fn call(&mut self, now: &mut SimTime, req: ApiRequest) -> ClResult<ApiResponse> {
+        use ApiRequest::*;
+        match req {
+            GetPlatformIds => self.get_platform_ids(now),
+            GetPlatformInfo { platform } => {
+                let vendor = self.xlate(platform.raw().0, HandleKind::Platform)?;
+                self.forward(
+                    now,
+                    GetPlatformInfo {
+                        platform: PlatformId::from_raw(vendor),
+                    },
+                )
+            }
+            GetDeviceIds {
+                platform,
+                device_type,
+            } => self.get_device_ids(now, platform, device_type),
+            GetDeviceInfo { device } => {
+                let vendor = self.xlate(device.raw().0, HandleKind::Device)?;
+                self.forward(
+                    now,
+                    GetDeviceInfo {
+                        device: DeviceId::from_raw(vendor),
+                    },
+                )
+            }
+            CreateContext { devices } => {
+                let checl_devices: Vec<u64> = devices.iter().map(|d| d.raw().0).collect();
+                let vendor_devices = checl_devices
+                    .iter()
+                    .map(|d| Ok(DeviceId::from_raw(self.xlate(*d, HandleKind::Device)?)))
+                    .collect::<ClResult<Vec<_>>>()?;
+                let vendor_ctx = self
+                    .forward(
+                        now,
+                        CreateContext {
+                            devices: vendor_devices,
+                        },
+                    )?
+                    .into_context()?;
+                let h = self.wrap(
+                    vendor_ctx.raw(),
+                    ObjectRecord::Context {
+                        devices: checl_devices,
+                    },
+                );
+                Ok(ApiResponse::Context(Context::from_raw(h)))
+            }
+            RetainContext { context } => self.retain_common(
+                now,
+                context.raw().0,
+                HandleKind::Context,
+                |v| RetainContext {
+                    context: Context::from_raw(v),
+                },
+            ),
+            ReleaseContext { context } => self.release_common(
+                now,
+                context.raw().0,
+                HandleKind::Context,
+                |v| ReleaseContext {
+                    context: Context::from_raw(v),
+                },
+            ),
+            CreateCommandQueue {
+                context,
+                device,
+                props,
+            } => {
+                let checl_ctx = context.raw().0;
+                let checl_dev = device.raw().0;
+                let v_ctx = Context::from_raw(self.xlate(checl_ctx, HandleKind::Context)?);
+                let v_dev = DeviceId::from_raw(self.xlate(checl_dev, HandleKind::Device)?);
+                let vendor_q = self
+                    .forward(
+                        now,
+                        CreateCommandQueue {
+                            context: v_ctx,
+                            device: v_dev,
+                            props,
+                        },
+                    )?
+                    .into_queue()?;
+                let h = self.wrap(
+                    vendor_q.raw(),
+                    ObjectRecord::Queue {
+                        context: checl_ctx,
+                        device: checl_dev,
+                        props,
+                    },
+                );
+                Ok(ApiResponse::Queue(CommandQueue::from_raw(h)))
+            }
+            RetainCommandQueue { queue } => self.retain_common(
+                now,
+                queue.raw().0,
+                HandleKind::CommandQueue,
+                |v| RetainCommandQueue {
+                    queue: CommandQueue::from_raw(v),
+                },
+            ),
+            ReleaseCommandQueue { queue } => self.release_common(
+                now,
+                queue.raw().0,
+                HandleKind::CommandQueue,
+                |v| ReleaseCommandQueue {
+                    queue: CommandQueue::from_raw(v),
+                },
+            ),
+            CreateBuffer {
+                context,
+                flags,
+                size,
+                host_data,
+            } => {
+                let checl_ctx = context.raw().0;
+                let v_ctx = Context::from_raw(self.xlate(checl_ctx, HandleKind::Context)?);
+                let host_cache = if flags.contains(clspec::types::MemFlags::USE_HOST_PTR) {
+                    host_data.clone()
+                } else {
+                    None
+                };
+                let vendor_mem = self
+                    .forward(
+                        now,
+                        CreateBuffer {
+                            context: v_ctx,
+                            flags,
+                            size,
+                            host_data,
+                        },
+                    )?
+                    .into_mem()?;
+                let h = self.wrap(
+                    vendor_mem.raw(),
+                    ObjectRecord::Mem {
+                        context: checl_ctx,
+                        flags,
+                        size,
+                        saved_data: None,
+                        host_cache,
+                        dirty: true,
+                        saved_in: None,
+                        image_dims: None,
+                    },
+                );
+                Ok(ApiResponse::Mem(Mem::from_raw(h)))
+            }
+            CreateImage2D {
+                context,
+                flags,
+                width,
+                height,
+                host_data,
+            } => {
+                let checl_ctx = context.raw().0;
+                let v_ctx = Context::from_raw(self.xlate(checl_ctx, HandleKind::Context)?);
+                let host_cache = if flags.contains(clspec::types::MemFlags::USE_HOST_PTR) {
+                    host_data.clone()
+                } else {
+                    None
+                };
+                let vendor_mem = self
+                    .forward(
+                        now,
+                        CreateImage2D {
+                            context: v_ctx,
+                            flags,
+                            width,
+                            height,
+                            host_data,
+                        },
+                    )?
+                    .into_mem()?;
+                let h = self.wrap(
+                    vendor_mem.raw(),
+                    ObjectRecord::Mem {
+                        context: checl_ctx,
+                        flags,
+                        size: width * height * 4,
+                        saved_data: None,
+                        host_cache,
+                        dirty: true,
+                        saved_in: None,
+                        image_dims: Some((width, height)),
+                    },
+                );
+                Ok(ApiResponse::Mem(Mem::from_raw(h)))
+            }
+            EnqueueReadImage {
+                queue,
+                image,
+                blocking,
+                wait_list,
+            } => {
+                let checl_q = queue.raw().0;
+                let v_q = CommandQueue::from_raw(self.xlate(checl_q, HandleKind::CommandQueue)?);
+                let v_m = Mem::from_raw(self.xlate(image.raw().0, HandleKind::Mem)?);
+                let v_w = wait_list
+                    .iter()
+                    .map(|e| Ok(Event::from_raw(self.xlate(e.raw().0, HandleKind::Event)?)))
+                    .collect::<ClResult<Vec<_>>>()?;
+                let resp = self.forward(
+                    now,
+                    EnqueueReadImage {
+                        queue: v_q,
+                        image: v_m,
+                        blocking,
+                        wait_list: v_w,
+                    },
+                )?;
+                self.wrap_event_response(resp, checl_q)
+            }
+            EnqueueWriteImage {
+                queue,
+                image,
+                blocking,
+                data,
+                wait_list,
+            } => {
+                let checl_q = queue.raw().0;
+                let checl_m = image.raw().0;
+                let v_q = CommandQueue::from_raw(self.xlate(checl_q, HandleKind::CommandQueue)?);
+                let v_m = Mem::from_raw(self.xlate(checl_m, HandleKind::Mem)?);
+                let v_w = wait_list
+                    .iter()
+                    .map(|e| Ok(Event::from_raw(self.xlate(e.raw().0, HandleKind::Event)?)))
+                    .collect::<ClResult<Vec<_>>>()?;
+                self.mark_mem_dirty(checl_m);
+                let resp = self.forward(
+                    now,
+                    EnqueueWriteImage {
+                        queue: v_q,
+                        image: v_m,
+                        blocking,
+                        data,
+                        wait_list: v_w,
+                    },
+                )?;
+                self.wrap_event_response(resp, checl_q)
+            }
+            RetainMemObject { mem } => self.retain_common(
+                now,
+                mem.raw().0,
+                HandleKind::Mem,
+                |v| RetainMemObject {
+                    mem: Mem::from_raw(v),
+                },
+            ),
+            ReleaseMemObject { mem } => self.release_common(
+                now,
+                mem.raw().0,
+                HandleKind::Mem,
+                |v| ReleaseMemObject {
+                    mem: Mem::from_raw(v),
+                },
+            ),
+            CreateSampler { context, desc } => {
+                let checl_ctx = context.raw().0;
+                let v_ctx = Context::from_raw(self.xlate(checl_ctx, HandleKind::Context)?);
+                let vendor_s = self
+                    .forward(
+                        now,
+                        CreateSampler {
+                            context: v_ctx,
+                            desc,
+                        },
+                    )?
+                    .into_sampler()?;
+                let h = self.wrap(
+                    vendor_s.raw(),
+                    ObjectRecord::Sampler {
+                        context: checl_ctx,
+                        desc,
+                    },
+                );
+                Ok(ApiResponse::Sampler(Sampler::from_raw(h)))
+            }
+            RetainSampler { sampler } => self.retain_common(
+                now,
+                sampler.raw().0,
+                HandleKind::Sampler,
+                |v| RetainSampler {
+                    sampler: Sampler::from_raw(v),
+                },
+            ),
+            ReleaseSampler { sampler } => self.release_common(
+                now,
+                sampler.raw().0,
+                HandleKind::Sampler,
+                |v| ReleaseSampler {
+                    sampler: Sampler::from_raw(v),
+                },
+            ),
+            CreateProgramWithSource { context, source } => {
+                let checl_ctx = context.raw().0;
+                let v_ctx = Context::from_raw(self.xlate(checl_ctx, HandleKind::Context)?);
+                // CheCL's Clang pass: parse the kernel parameter lists
+                // now, while the source is in hand (§III-B).
+                let sigs = parse_kernel_sigs(&source).map_err(|_| ClError::InvalidValue)?;
+                let vendor_p = self
+                    .forward(
+                        now,
+                        CreateProgramWithSource {
+                            context: v_ctx,
+                            source: source.clone(),
+                        },
+                    )?
+                    .into_program()?;
+                let h = self.wrap(
+                    vendor_p.raw(),
+                    ObjectRecord::Program {
+                        context: checl_ctx,
+                        source: Some(source),
+                        binary: None,
+                        build_options: None,
+                        sigs,
+                    },
+                );
+                Ok(ApiResponse::Program(Program::from_raw(h)))
+            }
+            CreateProgramWithBinary {
+                context,
+                device,
+                binary,
+            } => {
+                // Deprecated under CheCL (§IV-D): the binary may be
+                // invalid on the restart node and the source is
+                // unavailable for signature parsing.
+                let checl_ctx = context.raw().0;
+                let v_ctx = Context::from_raw(self.xlate(checl_ctx, HandleKind::Context)?);
+                let v_dev = DeviceId::from_raw(self.xlate(device.raw().0, HandleKind::Device)?);
+                let vendor_p = self
+                    .forward(
+                        now,
+                        CreateProgramWithBinary {
+                            context: v_ctx,
+                            device: v_dev,
+                            binary: binary.clone(),
+                        },
+                    )?
+                    .into_program()?;
+                let h = self.wrap(
+                    vendor_p.raw(),
+                    ObjectRecord::Program {
+                        context: checl_ctx,
+                        source: None,
+                        binary: Some(binary),
+                        build_options: None,
+                        sigs: Vec::new(),
+                    },
+                );
+                Ok(ApiResponse::Program(Program::from_raw(h)))
+            }
+            BuildProgram { program, options } => {
+                let checl_p = program.raw().0;
+                let vendor = self.xlate(checl_p, HandleKind::Program)?;
+                let resp = self.forward(
+                    now,
+                    BuildProgram {
+                        program: Program::from_raw(vendor),
+                        options: options.clone(),
+                    },
+                )?;
+                if let Some(e) = self.db.get_mut(checl_p) {
+                    if let ObjectRecord::Program { build_options, .. } = &mut e.record {
+                        *build_options = Some(options);
+                    }
+                }
+                Ok(resp)
+            }
+            GetProgramBuildLog { program } => {
+                let vendor = self.xlate(program.raw().0, HandleKind::Program)?;
+                self.forward(
+                    now,
+                    GetProgramBuildLog {
+                        program: Program::from_raw(vendor),
+                    },
+                )
+            }
+            GetProgramBinary { program } => {
+                let vendor = self.xlate(program.raw().0, HandleKind::Program)?;
+                self.forward(
+                    now,
+                    GetProgramBinary {
+                        program: Program::from_raw(vendor),
+                    },
+                )
+            }
+            RetainProgram { program } => self.retain_common(
+                now,
+                program.raw().0,
+                HandleKind::Program,
+                |v| RetainProgram {
+                    program: Program::from_raw(v),
+                },
+            ),
+            ReleaseProgram { program } => self.release_common(
+                now,
+                program.raw().0,
+                HandleKind::Program,
+                |v| ReleaseProgram {
+                    program: Program::from_raw(v),
+                },
+            ),
+            CreateKernel { program, name } => {
+                let checl_p = program.raw().0;
+                let vendor = self.xlate(checl_p, HandleKind::Program)?;
+                let vendor_k = self
+                    .forward(
+                        now,
+                        CreateKernel {
+                            program: Program::from_raw(vendor),
+                            name: name.clone(),
+                        },
+                    )?
+                    .into_kernel()?;
+                let h = self.wrap(
+                    vendor_k.raw(),
+                    ObjectRecord::Kernel {
+                        program: checl_p,
+                        name,
+                        args: Default::default(),
+                    },
+                );
+                Ok(ApiResponse::Kernel(Kernel::from_raw(h)))
+            }
+            RetainKernel { kernel } => self.retain_common(
+                now,
+                kernel.raw().0,
+                HandleKind::Kernel,
+                |v| RetainKernel {
+                    kernel: Kernel::from_raw(v),
+                },
+            ),
+            ReleaseKernel { kernel } => self.release_common(
+                now,
+                kernel.raw().0,
+                HandleKind::Kernel,
+                |v| ReleaseKernel {
+                    kernel: Kernel::from_raw(v),
+                },
+            ),
+            SetKernelArg {
+                kernel,
+                index,
+                value,
+            } => self.set_kernel_arg(now, kernel, index, value),
+            EnqueueNDRangeKernel {
+                queue,
+                kernel,
+                global,
+                local,
+                wait_list,
+            } => self.enqueue_nd_range(now, queue, kernel, global, local, wait_list),
+            EnqueueReadBuffer {
+                queue,
+                mem,
+                blocking,
+                offset,
+                size,
+                wait_list,
+            } => {
+                let checl_q = queue.raw().0;
+                let v_q = CommandQueue::from_raw(self.xlate(checl_q, HandleKind::CommandQueue)?);
+                let v_m = Mem::from_raw(self.xlate(mem.raw().0, HandleKind::Mem)?);
+                let v_w = wait_list
+                    .iter()
+                    .map(|e| Ok(Event::from_raw(self.xlate(e.raw().0, HandleKind::Event)?)))
+                    .collect::<ClResult<Vec<_>>>()?;
+                let resp = self.forward(
+                    now,
+                    EnqueueReadBuffer {
+                        queue: v_q,
+                        mem: v_m,
+                        blocking,
+                        offset,
+                        size,
+                        wait_list: v_w,
+                    },
+                )?;
+                self.wrap_event_response(resp, checl_q)
+            }
+            EnqueueWriteBuffer {
+                queue,
+                mem,
+                blocking,
+                offset,
+                data,
+                wait_list,
+            } => {
+                let checl_q = queue.raw().0;
+                let checl_m = mem.raw().0;
+                let v_q = CommandQueue::from_raw(self.xlate(checl_q, HandleKind::CommandQueue)?);
+                let v_m = Mem::from_raw(self.xlate(checl_m, HandleKind::Mem)?);
+                let v_w = wait_list
+                    .iter()
+                    .map(|e| Ok(Event::from_raw(self.xlate(e.raw().0, HandleKind::Event)?)))
+                    .collect::<ClResult<Vec<_>>>()?;
+                self.mark_mem_dirty(checl_m);
+                // Keep the USE_HOST_PTR cache coherent with app writes.
+                if let Some(e) = self.db.get_mut(checl_m) {
+                    if let ObjectRecord::Mem {
+                        host_cache: Some(c),
+                        ..
+                    } = &mut e.record
+                    {
+                        let off = offset as usize;
+                        if off + data.len() <= c.len() {
+                            c[off..off + data.len()].copy_from_slice(&data);
+                        }
+                    }
+                }
+                let resp = self.forward(
+                    now,
+                    EnqueueWriteBuffer {
+                        queue: v_q,
+                        mem: v_m,
+                        blocking,
+                        offset,
+                        data,
+                        wait_list: v_w,
+                    },
+                )?;
+                self.wrap_event_response(resp, checl_q)
+            }
+            EnqueueCopyBuffer {
+                queue,
+                src,
+                dst,
+                src_offset,
+                dst_offset,
+                size,
+                wait_list,
+            } => {
+                let checl_q = queue.raw().0;
+                let v_q = CommandQueue::from_raw(self.xlate(checl_q, HandleKind::CommandQueue)?);
+                let v_s = Mem::from_raw(self.xlate(src.raw().0, HandleKind::Mem)?);
+                let v_d = Mem::from_raw(self.xlate(dst.raw().0, HandleKind::Mem)?);
+                self.mark_mem_dirty(dst.raw().0);
+                let v_w = wait_list
+                    .iter()
+                    .map(|e| Ok(Event::from_raw(self.xlate(e.raw().0, HandleKind::Event)?)))
+                    .collect::<ClResult<Vec<_>>>()?;
+                let resp = self.forward(
+                    now,
+                    EnqueueCopyBuffer {
+                        queue: v_q,
+                        src: v_s,
+                        dst: v_d,
+                        src_offset,
+                        dst_offset,
+                        size,
+                        wait_list: v_w,
+                    },
+                )?;
+                self.wrap_event_response(resp, checl_q)
+            }
+            EnqueueMarker { queue } => {
+                let checl_q = queue.raw().0;
+                let v_q = CommandQueue::from_raw(self.xlate(checl_q, HandleKind::CommandQueue)?);
+                let resp = self.forward(now, EnqueueMarker { queue: v_q })?;
+                self.wrap_event_response(resp, checl_q)
+            }
+            Flush { queue } => {
+                let v_q = CommandQueue::from_raw(
+                    self.xlate(queue.raw().0, HandleKind::CommandQueue)?,
+                );
+                self.forward(now, Flush { queue: v_q })
+            }
+            Finish { queue } => {
+                let v_q = CommandQueue::from_raw(
+                    self.xlate(queue.raw().0, HandleKind::CommandQueue)?,
+                );
+                self.forward(now, Finish { queue: v_q })
+            }
+            WaitForEvents { events } => {
+                let v = events
+                    .iter()
+                    .map(|e| Ok(Event::from_raw(self.xlate(e.raw().0, HandleKind::Event)?)))
+                    .collect::<ClResult<Vec<_>>>()?;
+                self.forward(now, WaitForEvents { events: v })
+            }
+            GetEventStatus { event } => {
+                let v = Event::from_raw(self.xlate(event.raw().0, HandleKind::Event)?);
+                self.forward(now, GetEventStatus { event: v })
+            }
+            GetEventProfiling { event } => {
+                let v = Event::from_raw(self.xlate(event.raw().0, HandleKind::Event)?);
+                self.forward(now, GetEventProfiling { event: v })
+            }
+            RetainEvent { event } => self.retain_common(
+                now,
+                event.raw().0,
+                HandleKind::Event,
+                |v| RetainEvent {
+                    event: Event::from_raw(v),
+                },
+            ),
+            ReleaseEvent { event } => self.release_common(
+                now,
+                event.raw().0,
+                HandleKind::Event,
+                |v| ReleaseEvent {
+                    event: Event::from_raw(v),
+                },
+            ),
+        }
+    }
+
+    fn impl_name(&self) -> String {
+        match &self.proxy {
+            Some(p) => format!("CheCL (proxy: {})", p.driver.impl_name()),
+            None => "CheCL (no proxy)".to_string(),
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests on the CheCL object database.
+
+use checl::{CheclDb, ObjectRecord};
+use clspec::handles::{HandleKind, RawHandle};
+use proptest::prelude::*;
+use simcore::codec::Codec;
+
+/// A simple model of retain/release traffic against one object.
+#[derive(Debug, Clone)]
+enum RefOp {
+    Retain,
+    Release,
+}
+
+fn arb_ref_ops() -> impl Strategy<Value = Vec<RefOp>> {
+    proptest::collection::vec(
+        prop_oneof![Just(RefOp::Retain), Just(RefOp::Release)],
+        0..24,
+    )
+}
+
+proptest! {
+    /// The mirrored refcount behaves exactly like an OpenCL refcount:
+    /// alive while > 0, dead at 0, and dead forever after.
+    #[test]
+    fn refcount_model(ops in arb_ref_ops()) {
+        let mut db = CheclDb::new();
+        let h = db.insert(RawHandle(7), ObjectRecord::Context { devices: vec![] });
+        let mut model: i64 = 1;
+        for op in ops {
+            match op {
+                RefOp::Retain => {
+                    let ok = db.retain(h);
+                    prop_assert_eq!(ok, model > 0);
+                    if model > 0 { model += 1; }
+                }
+                RefOp::Release => {
+                    let res = db.release(h);
+                    if model > 0 {
+                        model -= 1;
+                        prop_assert_eq!(res, Some(model as u32));
+                    } else {
+                        prop_assert_eq!(res, None);
+                    }
+                }
+            }
+            prop_assert_eq!(db.is_live_handle(h), model > 0);
+        }
+    }
+
+    /// Databases round-trip through the codec for any mix of object
+    /// kinds, preserving handle values, order and liveness.
+    #[test]
+    fn db_roundtrip_any_population(
+        kinds in proptest::collection::vec(0u8..6, 0..30),
+        kill in proptest::collection::vec(any::<bool>(), 0..30),
+    ) {
+        let mut db = CheclDb::new();
+        let mut handles = Vec::new();
+        let ctx_seed = db.insert(RawHandle(1), ObjectRecord::Context { devices: vec![] });
+        for (i, k) in kinds.iter().enumerate() {
+            let rec = match k {
+                0 => ObjectRecord::Platform { index: i as u32 },
+                1 => ObjectRecord::Context { devices: vec![] },
+                2 => ObjectRecord::Queue {
+                    context: ctx_seed,
+                    device: ctx_seed,
+                    props: Default::default(),
+                },
+                3 => ObjectRecord::Mem {
+                    context: ctx_seed,
+                    flags: clspec::types::MemFlags::READ_WRITE,
+                    size: (i as u64 + 1) * 16,
+                    saved_data: (i % 2 == 0).then(|| vec![i as u8; 8]),
+                    host_cache: None,
+                    dirty: i % 3 == 0,
+                    saved_in: (i % 4 == 0).then(|| format!("/ckpt/{i}")),
+                    image_dims: (i % 5 == 0).then_some((8, 8)),
+                },
+                4 => ObjectRecord::Event { queue: ctx_seed },
+                _ => ObjectRecord::Kernel {
+                    program: ctx_seed,
+                    name: format!("k{i}"),
+                    args: Default::default(),
+                },
+            };
+            handles.push(db.insert(RawHandle(100 + i as u64), rec));
+        }
+        for (h, kill) in handles.iter().zip(&kill) {
+            if *kill {
+                db.release(*h);
+            }
+        }
+        let back = CheclDb::from_bytes(&db.to_bytes()).unwrap();
+        prop_assert_eq!(&back, &db);
+        for h in &handles {
+            prop_assert_eq!(back.is_live_handle(*h), db.is_live_handle(*h));
+            prop_assert_eq!(back.vendor_of(*h), db.vendor_of(*h));
+        }
+        prop_assert_eq!(back.live_counts(), db.live_counts());
+    }
+
+    /// Handle allocation never collides, even across serialize/decode
+    /// boundaries interleaved with inserts.
+    #[test]
+    fn handles_never_collide(batches in proptest::collection::vec(1usize..8, 1..5)) {
+        let mut db = CheclDb::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for batch in batches {
+            for _ in 0..batch {
+                let h = db.insert(RawHandle(1), ObjectRecord::Platform { index: 0 });
+                prop_assert!(seen.insert(h), "collision on {h:#x}");
+            }
+            // Round-trip mid-stream (a checkpoint/restart boundary).
+            db = CheclDb::from_bytes(&db.to_bytes()).unwrap();
+        }
+    }
+
+    /// live_of_kind partitions live_entries: every live entry appears
+    /// under exactly its own kind.
+    #[test]
+    fn kind_partition(kinds in proptest::collection::vec(0u8..3, 0..20)) {
+        let mut db = CheclDb::new();
+        for (i, k) in kinds.iter().enumerate() {
+            let rec = match k {
+                0 => ObjectRecord::Platform { index: i as u32 },
+                1 => ObjectRecord::Context { devices: vec![] },
+                _ => ObjectRecord::Event { queue: 0 },
+            };
+            db.insert(RawHandle(i as u64 + 1), rec);
+        }
+        let total: usize = HandleKind::RESTORE_ORDER
+            .iter()
+            .map(|k| db.live_of_kind(*k).count())
+            .sum();
+        prop_assert_eq!(total, db.live_entries().count());
+    }
+}

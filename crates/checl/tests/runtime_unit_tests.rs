@@ -1,0 +1,225 @@
+//! Focused tests of the interposition layer's bookkeeping.
+
+use checl::{boot_checl, CheclConfig, ChecLib, MigrationModel, StructArgPolicy};
+use cldriver::vendor::{crimson, nimbus};
+use clspec::error::ClError;
+use clspec::handles::HandleKind;
+use clspec::types::{DeviceType, MemFlags, QueueProps};
+use clspec::{Ocl, RawHandle};
+use osproc::{Cluster, FsKind};
+use simcore::{ByteSize, SimDuration};
+
+fn booted(cluster: &mut Cluster) -> (checl::BootedChecl, osproc::Pid) {
+    let node = cluster.node_ids()[0];
+    let app = cluster.spawn(node);
+    let b = boot_checl(cluster, app, nimbus(), CheclConfig::default());
+    (b, app)
+}
+
+#[test]
+fn platform_and_device_queries_are_idempotent() {
+    let mut cluster = Cluster::with_standard_nodes(1);
+    let (mut b, app) = booted(&mut cluster);
+    let mut now = cluster.process(app).clock;
+    let mut ocl = Ocl::new(&mut b.lib, &mut now);
+    let p1 = ocl.get_platform_ids().unwrap();
+    let p2 = ocl.get_platform_ids().unwrap();
+    assert_eq!(p1, p2, "repeated queries return the same CheCL handles");
+    let d1 = ocl.get_device_ids(p1[0], DeviceType::Gpu).unwrap();
+    let d2 = ocl.get_device_ids(p1[0], DeviceType::Gpu).unwrap();
+    assert_eq!(d1, d2);
+    let _ = ocl;
+    // Exactly one platform object and one device object were wrapped.
+    assert_eq!(
+        b.lib.db.live_of_kind(HandleKind::Platform).count(),
+        1
+    );
+    assert_eq!(b.lib.db.live_of_kind(HandleKind::Device).count(), 1);
+}
+
+#[test]
+fn distinct_query_types_wrap_distinct_devices() {
+    let mut cluster = Cluster::with_standard_nodes(1);
+    let node = cluster.node_ids()[0];
+    let app = cluster.spawn(node);
+    let mut b = boot_checl(&mut cluster, app, crimson(), CheclConfig::default());
+    let mut now = cluster.process(app).clock;
+    let mut ocl = Ocl::new(&mut b.lib, &mut now);
+    let p = ocl.get_platform_ids().unwrap();
+    let gpus = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
+    let cpus = ocl.get_device_ids(p[0], DeviceType::Cpu).unwrap();
+    assert_ne!(gpus[0], cpus[0]);
+    let alls = ocl.get_device_ids(p[0], DeviceType::All).unwrap();
+    assert_eq!(alls.len(), 2);
+}
+
+#[test]
+fn handle_kind_mismatch_is_rejected() {
+    let mut cluster = Cluster::with_standard_nodes(1);
+    let (mut b, app) = booted(&mut cluster);
+    let mut now = cluster.process(app).clock;
+    let mut ocl = Ocl::new(&mut b.lib, &mut now);
+    let p = ocl.get_platform_ids().unwrap();
+    let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
+    let ctx = ocl.create_context(&d).unwrap();
+    // Pass the *context* CheCL handle where a queue is expected.
+    let bogus_queue = clspec::CommandQueue::from_raw(ctx.raw());
+    assert_eq!(
+        ocl.finish(bogus_queue).unwrap_err(),
+        ClError::InvalidCommandQueue
+    );
+    // And a totally foreign value.
+    let foreign = clspec::CommandQueue::from_raw(RawHandle(0xdede_dede));
+    assert_eq!(ocl.finish(foreign).unwrap_err(), ClError::InvalidCommandQueue);
+}
+
+#[test]
+fn released_objects_cannot_be_used() {
+    let mut cluster = Cluster::with_standard_nodes(1);
+    let (mut b, app) = booted(&mut cluster);
+    let mut now = cluster.process(app).clock;
+    let mut ocl = Ocl::new(&mut b.lib, &mut now);
+    let p = ocl.get_platform_ids().unwrap();
+    let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
+    let ctx = ocl.create_context(&d).unwrap();
+    let q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
+    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 64, None).unwrap();
+    ocl.release_mem(buf).unwrap();
+    assert_eq!(
+        ocl.enqueue_read_buffer(q, buf, true, 0, 64, &[]).unwrap_err(),
+        ClError::InvalidMemObject
+    );
+    // Releasing twice is also an error.
+    assert_eq!(ocl.release_mem(buf).unwrap_err(), ClError::InvalidMemObject);
+}
+
+#[test]
+fn retain_release_roundtrip_keeps_object_alive() {
+    let mut cluster = Cluster::with_standard_nodes(1);
+    let (mut b, app) = booted(&mut cluster);
+    let mut now = cluster.process(app).clock;
+    let mut ocl = Ocl::new(&mut b.lib, &mut now);
+    let p = ocl.get_platform_ids().unwrap();
+    let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
+    let ctx = ocl.create_context(&d).unwrap();
+    let q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
+    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 64, None).unwrap();
+    ocl.call(clspec::ApiRequest::RetainMemObject { mem: buf }).unwrap();
+    ocl.release_mem(buf).unwrap(); // refcount 2 -> 1: still alive
+    ocl.enqueue_read_buffer(q, buf, true, 0, 64, &[]).unwrap();
+    ocl.release_mem(buf).unwrap(); // 1 -> 0: gone
+    assert_eq!(
+        ocl.enqueue_read_buffer(q, buf, true, 0, 64, &[]).unwrap_err(),
+        ClError::InvalidMemObject
+    );
+}
+
+#[test]
+fn state_encode_decode_preserves_db_and_policy() {
+    let mut cluster = Cluster::with_standard_nodes(1);
+    let node = cluster.node_ids()[0];
+    let app = cluster.spawn(node);
+    let mut b = boot_checl(
+        &mut cluster,
+        app,
+        nimbus(),
+        CheclConfig {
+            struct_arg_policy: StructArgPolicy::ScanAndTranslate,
+        },
+    );
+    let mut now = cluster.process(app).clock;
+    let mut ocl = Ocl::new(&mut b.lib, &mut now);
+    let p = ocl.get_platform_ids().unwrap();
+    let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
+    let ctx = ocl.create_context(&d).unwrap();
+    let _q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
+    let _ = ocl;
+
+    let state = b.lib.encode_state();
+    let restored = ChecLib::decode_state(&state).unwrap();
+    assert_eq!(restored.db, b.lib.db);
+    assert_eq!(
+        restored.config().struct_arg_policy,
+        StructArgPolicy::ScanAndTranslate
+    );
+    assert!(!restored.has_proxy());
+}
+
+#[test]
+fn callbacks_are_counted_as_ignored() {
+    let mut lib = ChecLib::new(CheclConfig::default());
+    assert_eq!(lib.stats().callbacks_ignored, 0);
+    lib.ignore_build_callback();
+    lib.ignore_build_callback();
+    assert_eq!(lib.stats().callbacks_ignored, 2);
+}
+
+#[test]
+fn migration_model_ordering_matches_media() {
+    let size = ByteSize::mib(100);
+    let tr = SimDuration::from_millis(200);
+    let ram = MigrationModel::for_medium(FsKind::RamDisk).predict(size, tr);
+    let disk = MigrationModel::for_medium(FsKind::LocalDisk).predict(size, tr);
+    let nfs = MigrationModel::for_medium(FsKind::Nfs).predict(size, tr);
+    assert!(ram < disk, "{ram} < {disk}");
+    assert!(disk < nfs, "{disk} < {nfs}");
+    // Tr is additive: doubling it shifts every medium equally.
+    let nfs2 = MigrationModel::for_medium(FsKind::Nfs).predict(size, tr + tr);
+    assert_eq!(nfs2 - nfs, tr);
+}
+
+#[test]
+fn recompile_estimate_counts_only_built_source_programs() {
+    let mut cluster = Cluster::with_standard_nodes(1);
+    let (mut b, app) = booted(&mut cluster);
+    let mut now = cluster.process(app).clock;
+    let mut ocl = Ocl::new(&mut b.lib, &mut now);
+    let p = ocl.get_platform_ids().unwrap();
+    let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
+    let ctx = ocl.create_context(&d).unwrap();
+    let src = clkernels::program_source("vector_add").unwrap().source;
+    // One built and one unbuilt program.
+    let prog1 = ocl.create_program_with_source(ctx, &src).unwrap();
+    ocl.build_program(prog1, "").unwrap();
+    let _prog2 = ocl.create_program_with_source(ctx, &src).unwrap();
+    let _ = ocl;
+
+    let est = checl::migrate::estimate_recompile_time(&b.lib, &crimson());
+    let one_compile = crimson().compile.compile_time(src.len(), 1);
+    assert_eq!(est, one_compile, "only the built program recompiles");
+}
+
+#[test]
+fn ipc_accounting_scales_with_transfer_size() {
+    let mut cluster = Cluster::with_standard_nodes(1);
+    let (mut b, app) = booted(&mut cluster);
+    let mut now = cluster.process(app).clock;
+    let mut ocl = Ocl::new(&mut b.lib, &mut now);
+    let p = ocl.get_platform_ids().unwrap();
+    let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
+    let ctx = ocl.create_context(&d).unwrap();
+    let q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
+    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 1 << 20, None).unwrap();
+    let _ = ocl;
+    let before = b.lib.stats().ipc_bytes;
+    let mut ocl = Ocl::new(&mut b.lib, &mut now);
+    ocl.enqueue_write_buffer(q, buf, true, 0, vec![0u8; 1 << 20], &[]).unwrap();
+    let _ = ocl;
+    let after = b.lib.stats().ipc_bytes;
+    assert!(after - before >= 1 << 20, "payload crossed the pipe");
+}
+
+#[test]
+fn call_histogram_names_forwarded_entry_points() {
+    let mut cluster = Cluster::with_standard_nodes(1);
+    let (mut b, app) = booted(&mut cluster);
+    let mut now = cluster.process(app).clock;
+    let mut ocl = Ocl::new(&mut b.lib, &mut now);
+    let p = ocl.get_platform_ids().unwrap();
+    ocl.get_platform_info(p[0]).unwrap();
+    ocl.get_platform_info(p[0]).unwrap();
+    let _ = ocl;
+    let hist = b.lib.call_histogram();
+    assert_eq!(hist["clGetPlatformIDs"], 1);
+    assert_eq!(hist["clGetPlatformInfo"], 2);
+}

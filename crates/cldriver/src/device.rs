@@ -1,0 +1,155 @@
+//! Compute-device capability profiles.
+
+use clspec::types::{DeviceType, NDRange};
+use simcore::{calib, Bandwidth, ByteSize, LinkModel, SimDuration};
+
+/// Static capabilities of one compute device, used both for
+/// `clGetDeviceInfo` answers and for the roofline cost model that
+/// places kernel executions on the virtual timeline.
+#[derive(Clone, Debug)]
+pub struct DeviceProfile {
+    /// Marketing name (`"Tesla C1060"`, …).
+    pub name: String,
+    /// CPU or GPU.
+    pub device_type: DeviceType,
+    /// Device (global) memory capacity.
+    pub memory: ByteSize,
+    /// Number of compute units.
+    pub compute_units: u32,
+    /// Maximum work-group size.
+    pub max_work_group_size: u64,
+    /// Peak single-precision rate, flops/sec.
+    pub flops_rate: f64,
+    /// Sustained global-memory bandwidth.
+    pub mem_bandwidth: Bandwidth,
+    /// Host→device transfer path.
+    pub htod: LinkModel,
+    /// Device→host transfer path.
+    pub dtoh: LinkModel,
+    /// Fixed kernel-launch overhead (enqueue→start, the QueueDelay
+    /// measurement).
+    pub launch_overhead: SimDuration,
+}
+
+impl DeviceProfile {
+    /// Roofline duration of a kernel doing `flops` operations and
+    /// moving `bytes` of global memory, excluding launch overhead.
+    pub fn kernel_time(&self, flops: f64, bytes: f64) -> SimDuration {
+        let compute = flops / self.flops_rate;
+        let memory = bytes / self.mem_bandwidth.as_bytes_per_sec();
+        SimDuration::from_secs_f64(compute.max(memory))
+    }
+
+    /// `clGetDeviceInfo` view of this profile.
+    pub fn info(&self, vendor: &str) -> clspec::types::DeviceInfo {
+        clspec::types::DeviceInfo {
+            name: self.name.clone(),
+            device_type: self.device_type,
+            vendor: vendor.to_string(),
+            global_mem_size: self.memory,
+            max_compute_units: self.compute_units,
+            max_work_group_size: self.max_work_group_size,
+            max_work_item_sizes: NDRange::d3(
+                self.max_work_group_size,
+                self.max_work_group_size,
+                64,
+            ),
+        }
+    }
+}
+
+/// The NVIDIA Tesla C1060 of Table I: 4 GB GDDR3, 30 SMs, ~933 Gflop/s
+/// single precision, ~102 GB/s memory bandwidth, PCIe transfer rates
+/// measured in the paper.
+pub fn tesla_c1060() -> DeviceProfile {
+    DeviceProfile {
+        name: "Tesla C1060".into(),
+        device_type: DeviceType::Gpu,
+        memory: calib::tesla_c1060_memory(),
+        compute_units: 30,
+        max_work_group_size: 512,
+        flops_rate: 933e9,
+        mem_bandwidth: Bandwidth::gb_per_sec(102.0),
+        htod: LinkModel::new(SimDuration::from_micros(10), calib::pcie_htod()),
+        dtoh: LinkModel::new(SimDuration::from_micros(10), calib::pcie_dtoh()),
+        launch_overhead: SimDuration::from_micros(7),
+    }
+}
+
+/// The AMD Radeon HD5870 of Table I: 1 GB GDDR5, 20 CUs, ~2.72 Tflop/s,
+/// ~154 GB/s. Its work-group x-dimension limit of 256 is the
+/// portability wall the paper mentions for oclSortingNetworks.
+pub fn radeon_hd5870() -> DeviceProfile {
+    DeviceProfile {
+        name: "Radeon HD5870".into(),
+        device_type: DeviceType::Gpu,
+        memory: calib::radeon_hd5870_memory(),
+        compute_units: 20,
+        max_work_group_size: 256,
+        flops_rate: 2_720e9,
+        mem_bandwidth: Bandwidth::gb_per_sec(154.0),
+        htod: LinkModel::new(SimDuration::from_micros(12), calib::pcie_htod()),
+        dtoh: LinkModel::new(SimDuration::from_micros(12), calib::pcie_dtoh()),
+        launch_overhead: SimDuration::from_micros(9),
+    }
+}
+
+/// The Intel Core i7 920 exposed as an OpenCL CPU device by the
+/// Crimson (AMD-like) platform: 12 GB host DDR3, 4 cores / 8 threads,
+/// ~42 Gflop/s, host memory bandwidth; "transfers" are plain memcpys,
+/// so there is no PCIe latency but far lower compute throughput.
+pub fn core_i7_920() -> DeviceProfile {
+    DeviceProfile {
+        name: "Core i7 920".into(),
+        device_type: DeviceType::Cpu,
+        memory: calib::host_memory(),
+        compute_units: 8,
+        max_work_group_size: 1024,
+        flops_rate: 60e9,
+        mem_bandwidth: Bandwidth::gb_per_sec(16.0),
+        htod: LinkModel::new(SimDuration::from_micros(1), calib::host_memcpy()),
+        dtoh: LinkModel::new(SimDuration::from_micros(1), calib::host_memcpy()),
+        launch_overhead: SimDuration::from_micros(18),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_picks_binding_resource() {
+        let gpu = tesla_c1060();
+        // Compute-bound: lots of flops, few bytes.
+        let t1 = gpu.kernel_time(933e9, 1.0);
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-9);
+        // Memory-bound: few flops, lots of bytes.
+        let t2 = gpu.kernel_time(1.0, 102e9);
+        assert!((t2.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cpu_slower_compute_than_gpus() {
+        assert!(core_i7_920().flops_rate < tesla_c1060().flops_rate / 10.0);
+        assert!(core_i7_920().flops_rate < radeon_hd5870().flops_rate / 10.0);
+    }
+
+    #[test]
+    fn radeon_smaller_memory_and_wg_limit() {
+        // These two facts drive the paper's observations about
+        // oclFDTD3d/oclMatVecMul problem sizes and oclSortingNetworks
+        // portability.
+        assert!(radeon_hd5870().memory < tesla_c1060().memory);
+        assert_eq!(radeon_hd5870().max_work_group_size, 256);
+        assert_eq!(core_i7_920().max_work_group_size, 1024);
+    }
+
+    #[test]
+    fn info_reflects_profile() {
+        let info = tesla_c1060().info("Nimbus");
+        assert_eq!(info.name, "Tesla C1060");
+        assert_eq!(info.vendor, "Nimbus");
+        assert_eq!(info.global_mem_size, ByteSize::gib(4));
+        assert_eq!(info.device_type, DeviceType::Gpu);
+    }
+}

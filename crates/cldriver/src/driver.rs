@@ -1,0 +1,1175 @@
+//! The vendor driver: a full `ClApi` implementation.
+
+use crate::device::DeviceProfile;
+use crate::vendor::{VendorConfig, VendorKind};
+use clkernels::{execute, kernel_cost_spec, ArgData};
+use clspec::api::{ApiRequest, ApiResponse, ClApi};
+use clspec::error::{ClError, ClResult};
+use clspec::handles::{
+    CommandQueue, Context, DeviceId, Event, Kernel, Mem, PlatformId, Program, RawHandle, Sampler,
+};
+use clspec::sig::{parse_kernel_sigs, KernelSig, ParamKind};
+use clspec::types::{
+    ArgValue, DeviceType, EventStatus, MemFlags, NDRange, ProfilingInfo, QueueProps, SamplerDesc,
+};
+use simcore::codec::{decode_framed, encode_framed};
+use simcore::{ByteSize, SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Each driver instance salts its handles so that re-creating an object
+/// after restart yields a *different* handle value — the behaviour that
+/// forces CheCL to keep its own stable handles (§III-B).
+static INSTANCE_SALT: AtomicU64 = AtomicU64::new(1);
+
+/// Cumulative driver statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DriverStats {
+    /// API calls served.
+    pub api_calls: u64,
+    /// Kernels launched.
+    pub kernels_launched: u64,
+    /// Bytes moved host→device.
+    pub bytes_htod: u64,
+    /// Bytes moved device→host.
+    pub bytes_dtoh: u64,
+    /// Programs compiled from source.
+    pub programs_built: u64,
+}
+
+#[derive(Debug)]
+struct DeviceState {
+    profile: DeviceProfile,
+    handle: RawHandle,
+    /// When the device's compute engine frees up.
+    compute_busy: SimTime,
+    /// When the DMA engine frees up.
+    dma_busy: SimTime,
+    mem_used: u64,
+}
+
+#[derive(Debug)]
+struct CtxObj {
+    devices: Vec<usize>,
+    refs: u32,
+}
+
+#[derive(Debug)]
+struct QueueObj {
+    #[allow(dead_code)]
+    ctx: u64,
+    device: usize,
+    props: QueueProps,
+    /// Completion time of the last command enqueued here (in-order
+    /// queue semantics).
+    busy_until: SimTime,
+    refs: u32,
+}
+
+#[derive(Debug)]
+struct BufObj {
+    #[allow(dead_code)]
+    ctx: u64,
+    device: usize,
+    #[allow(dead_code)]
+    flags: MemFlags,
+    size: u64,
+    data: Vec<u8>,
+    /// `Some((w, h))` when this mem object is a 2-D image (single
+    /// channel, f32 texels); `None` for plain buffers.
+    image_dims: Option<(u64, u64)>,
+    refs: u32,
+}
+
+#[derive(Debug)]
+struct SamplerObj {
+    #[allow(dead_code)]
+    ctx: u64,
+    #[allow(dead_code)]
+    desc: SamplerDesc,
+    refs: u32,
+}
+
+#[derive(Debug)]
+struct ProgObj {
+    #[allow(dead_code)]
+    ctx: u64,
+    source_len: usize,
+    sigs: Vec<KernelSig>,
+    /// User-defined struct types whose members contain handles: a real
+    /// compiler knows these, and the device faults if a kernel
+    /// dereferences a bogus embedded pointer.
+    handle_structs: Vec<String>,
+    built: bool,
+    build_log: String,
+    refs: u32,
+}
+
+#[derive(Debug)]
+struct KernelObj {
+    #[allow(dead_code)]
+    prog: u64,
+    sig: KernelSig,
+    handle_structs: Vec<String>,
+    args: BTreeMap<u32, ArgValue>,
+    refs: u32,
+}
+
+#[derive(Debug)]
+struct EventObj {
+    #[allow(dead_code)]
+    queue: u64,
+    profiling: ProfilingInfo,
+    end: SimTime,
+    refs: u32,
+}
+
+enum EngineKind {
+    Compute,
+    Dma,
+}
+
+/// `(argument index, vendor buffer handle)` pairs whose mutated data
+/// must be copied back to device memory after a launch.
+type WritebackList = Vec<(usize, u64)>;
+
+/// A vendor OpenCL driver instance.
+///
+/// One instance corresponds to one loaded `libOpenCL.so` + device
+/// driver in one process. Dropping the instance models process death:
+/// every object it owned is gone.
+pub struct Driver {
+    cfg: VendorConfig,
+    salt: u64,
+    next_serial: u64,
+    platform: RawHandle,
+    devices: Vec<DeviceState>,
+    contexts: BTreeMap<u64, CtxObj>,
+    queues: BTreeMap<u64, QueueObj>,
+    buffers: BTreeMap<u64, BufObj>,
+    samplers: BTreeMap<u64, SamplerObj>,
+    programs: BTreeMap<u64, ProgObj>,
+    kernels: BTreeMap<u64, KernelObj>,
+    events: BTreeMap<u64, EventObj>,
+    stats: DriverStats,
+    initialized: bool,
+}
+
+impl Driver {
+    /// Load a driver instance for the given vendor.
+    pub fn new(cfg: VendorConfig) -> Self {
+        let salt = INSTANCE_SALT.fetch_add(1, Ordering::Relaxed) & 0xffff;
+        let mut d = Driver {
+            salt,
+            platform: RawHandle::NULL,
+            devices: Vec::new(),
+            contexts: BTreeMap::new(),
+            queues: BTreeMap::new(),
+            buffers: BTreeMap::new(),
+            samplers: BTreeMap::new(),
+            programs: BTreeMap::new(),
+            kernels: BTreeMap::new(),
+            events: BTreeMap::new(),
+            stats: DriverStats::default(),
+            next_serial: 0,
+            initialized: false,
+            cfg,
+        };
+        d.platform = d.fresh_handle();
+        let profiles = d.cfg.devices.clone();
+        for profile in profiles {
+            let handle = d.fresh_handle();
+            d.devices.push(DeviceState {
+                profile,
+                handle,
+                compute_busy: SimTime::ZERO,
+                dma_busy: SimTime::ZERO,
+                mem_used: 0,
+            });
+        }
+        d
+    }
+
+    /// The vendor configuration in force.
+    pub fn vendor(&self) -> &VendorConfig {
+        &self.cfg
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> DriverStats {
+        self.stats
+    }
+
+    /// Device regions this driver maps into its hosting process.
+    /// The runner registers these with `osproc` so a conventional CPR
+    /// system can observe (and choke on) them.
+    pub fn device_files(&self) -> Vec<(String, ByteSize)> {
+        self.devices
+            .iter()
+            .map(|d| {
+                // Mapped BAR window: 64 MiB, bounded by device memory.
+                let window = ByteSize::mib(64).as_u64().min(d.profile.memory.as_u64());
+                (self.cfg.device_file.clone(), ByteSize::bytes(window))
+            })
+            .collect()
+    }
+
+    fn fresh_handle(&mut self) -> RawHandle {
+        self.next_serial += 1;
+        // vendor id | instance salt | scrambled serial: distinct across
+        // instances and never equal to a small scalar.
+        let scrambled = self.next_serial.wrapping_mul(0x9e37_79b9) & 0xffff_ffff;
+        RawHandle(
+            ((self.cfg.kind.id() as u64) << 56) | (self.salt << 40) | (scrambled << 4) | 0x8,
+        )
+    }
+
+    fn device_slot(&self, dev: DeviceId) -> ClResult<usize> {
+        self.devices
+            .iter()
+            .position(|d| d.handle == dev.raw())
+            .ok_or(ClError::InvalidDevice)
+    }
+
+    fn ctx(&self, h: Context) -> ClResult<&CtxObj> {
+        self.contexts.get(&h.raw().0).ok_or(ClError::InvalidContext)
+    }
+
+    fn queue_mut(&mut self, h: CommandQueue) -> ClResult<&mut QueueObj> {
+        self.queues
+            .get_mut(&h.raw().0)
+            .ok_or(ClError::InvalidCommandQueue)
+    }
+
+    fn queue(&self, h: CommandQueue) -> ClResult<&QueueObj> {
+        self.queues
+            .get(&h.raw().0)
+            .ok_or(ClError::InvalidCommandQueue)
+    }
+
+    fn buffer(&self, h: Mem) -> ClResult<&BufObj> {
+        self.buffers.get(&h.raw().0).ok_or(ClError::InvalidMemObject)
+    }
+
+    fn buffer_mut(&mut self, h: Mem) -> ClResult<&mut BufObj> {
+        self.buffers
+            .get_mut(&h.raw().0)
+            .ok_or(ClError::InvalidMemObject)
+    }
+
+    fn program(&self, h: Program) -> ClResult<&ProgObj> {
+        self.programs.get(&h.raw().0).ok_or(ClError::InvalidProgram)
+    }
+
+    fn kernel(&self, h: Kernel) -> ClResult<&KernelObj> {
+        self.kernels.get(&h.raw().0).ok_or(ClError::InvalidKernel)
+    }
+
+    fn event(&self, h: Event) -> ClResult<&EventObj> {
+        self.events.get(&h.raw().0).ok_or(ClError::InvalidEvent)
+    }
+
+    /// Wait-list dependency resolution: latest completion time.
+    fn wait_list_end(&self, wait_list: &[Event]) -> ClResult<SimTime> {
+        let mut end = SimTime::ZERO;
+        for e in wait_list {
+            end = end.max(self.event(*e)?.end);
+        }
+        Ok(end)
+    }
+
+    /// Place a command on a queue's timeline and mint its event.
+    fn schedule(
+        &mut self,
+        queue_h: CommandQueue,
+        now: SimTime,
+        engine: EngineKind,
+        duration: SimDuration,
+        wait_list: &[Event],
+    ) -> ClResult<(Event, SimTime)> {
+        let deps = self.wait_list_end(wait_list)?;
+        let q = self.queue(queue_h)?;
+        let device = q.device;
+        // An out-of-order queue (CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE)
+        // imposes no ordering between its own commands: only wait lists
+        // and engine availability constrain the start time.
+        let queue_free = if q.props.out_of_order {
+            SimTime::ZERO
+        } else {
+            q.busy_until
+        };
+        let engine_free = match engine {
+            EngineKind::Compute => self.devices[device].compute_busy,
+            EngineKind::Dma => self.devices[device].dma_busy,
+        };
+        let submit = now;
+        let start = submit.max(queue_free).max(deps).max(engine_free);
+        let end = start + duration;
+        {
+            let q = self.queue_mut(queue_h)?;
+            // clFinish still waits for everything ever enqueued here.
+            q.busy_until = q.busy_until.max(end);
+        }
+        match engine {
+            EngineKind::Compute => self.devices[device].compute_busy = end,
+            EngineKind::Dma => self.devices[device].dma_busy = end,
+        }
+        let eh = self.fresh_handle();
+        self.events.insert(
+            eh.0,
+            EventObj {
+                queue: queue_h.raw().0,
+                profiling: ProfilingInfo {
+                    queued: submit.as_nanos(),
+                    submit: submit.as_nanos(),
+                    start: start.as_nanos(),
+                    end: end.as_nanos(),
+                },
+                end,
+                refs: 1,
+            },
+        );
+        Ok((Event::from_raw(eh), end))
+    }
+
+    fn enqueue_cost(&self) -> SimDuration {
+        simcore::calib::native_call_latency() + SimDuration::from_micros(2)
+    }
+
+    // -----------------------------------------------------------------
+    // Request handlers
+    // -----------------------------------------------------------------
+
+    fn get_platform_ids(&mut self, now: &mut SimTime) -> ClResult<ApiResponse> {
+        if !self.initialized {
+            *now += self.cfg.init_cost;
+            self.initialized = true;
+        }
+        Ok(ApiResponse::Platforms(vec![PlatformId::from_raw(
+            self.platform,
+        )]))
+    }
+
+    fn get_device_ids(
+        &mut self,
+        platform: PlatformId,
+        device_type: DeviceType,
+    ) -> ClResult<ApiResponse> {
+        if platform.raw() != self.platform {
+            return Err(ClError::InvalidPlatform);
+        }
+        let ids: Vec<DeviceId> = self
+            .devices
+            .iter()
+            .filter(|d| match device_type {
+                DeviceType::All => true,
+                t => d.profile.device_type == t,
+            })
+            .map(|d| DeviceId::from_raw(d.handle))
+            .collect();
+        if ids.is_empty() {
+            return Err(ClError::DeviceNotFound);
+        }
+        Ok(ApiResponse::Devices(ids))
+    }
+
+    fn create_context(&mut self, devices: &[DeviceId]) -> ClResult<ApiResponse> {
+        if devices.is_empty() {
+            return Err(ClError::InvalidValue);
+        }
+        let slots = devices
+            .iter()
+            .map(|d| self.device_slot(*d))
+            .collect::<ClResult<Vec<_>>>()?;
+        let h = self.fresh_handle();
+        self.contexts.insert(h.0, CtxObj {
+            devices: slots,
+            refs: 1,
+        });
+        Ok(ApiResponse::Context(Context::from_raw(h)))
+    }
+
+    fn create_queue(
+        &mut self,
+        context: Context,
+        device: DeviceId,
+        props: QueueProps,
+    ) -> ClResult<ApiResponse> {
+        let ctx = self.ctx(context)?;
+        let slot = self.device_slot(device)?;
+        if !ctx.devices.contains(&slot) {
+            return Err(ClError::InvalidDevice);
+        }
+        let h = self.fresh_handle();
+        self.queues.insert(h.0, QueueObj {
+            ctx: context.raw().0,
+            device: slot,
+            props,
+            busy_until: SimTime::ZERO,
+            refs: 1,
+        });
+        Ok(ApiResponse::Queue(CommandQueue::from_raw(h)))
+    }
+
+    fn create_buffer(
+        &mut self,
+        now: &mut SimTime,
+        context: Context,
+        flags: MemFlags,
+        size: u64,
+        host_data: Option<Vec<u8>>,
+    ) -> ClResult<ApiResponse> {
+        if size == 0 {
+            return Err(ClError::InvalidBufferSize);
+        }
+        let needs_host = flags.contains(MemFlags::COPY_HOST_PTR)
+            || flags.contains(MemFlags::USE_HOST_PTR);
+        if needs_host && host_data.is_none() {
+            return Err(ClError::InvalidValue);
+        }
+        if let Some(d) = &host_data {
+            if d.len() as u64 != size {
+                return Err(ClError::InvalidValue);
+            }
+        }
+        let slot = self.ctx(context)?.devices[0];
+        let dev = &mut self.devices[slot];
+        if dev.mem_used + size > dev.profile.memory.as_u64() {
+            return Err(ClError::MemObjectAllocationFailure);
+        }
+        dev.mem_used += size;
+        let data = match host_data {
+            Some(d) => {
+                // Initialising from host memory costs an HtoD transfer.
+                *now += dev.profile.htod.cost(ByteSize::bytes(size));
+                self.stats.bytes_htod += size;
+                d
+            }
+            None => vec![0u8; size as usize],
+        };
+        let h = self.fresh_handle();
+        self.buffers.insert(h.0, BufObj {
+            ctx: context.raw().0,
+            device: slot,
+            flags,
+            size,
+            data,
+            image_dims: None,
+            refs: 1,
+        });
+        Ok(ApiResponse::Mem(Mem::from_raw(h)))
+    }
+
+    /// `clCreateImage2D`: an image is a `cl_mem` with a 2-D layout; we
+    /// model single-channel float texels (4 bytes each).
+    fn create_image2d(
+        &mut self,
+        now: &mut SimTime,
+        context: Context,
+        flags: MemFlags,
+        width: u64,
+        height: u64,
+        host_data: Option<Vec<u8>>,
+    ) -> ClResult<ApiResponse> {
+        if width == 0 || height == 0 {
+            return Err(ClError::InvalidValue);
+        }
+        let size = width * height * 4;
+        if let Some(d) = &host_data {
+            if d.len() as u64 != size {
+                return Err(ClError::InvalidValue);
+            }
+        }
+        let slot = self.ctx(context)?.devices[0];
+        let dev = &mut self.devices[slot];
+        if dev.mem_used + size > dev.profile.memory.as_u64() {
+            return Err(ClError::MemObjectAllocationFailure);
+        }
+        dev.mem_used += size;
+        let data = match host_data {
+            Some(d) => {
+                *now += dev.profile.htod.cost(ByteSize::bytes(size));
+                self.stats.bytes_htod += size;
+                d
+            }
+            None => vec![0u8; size as usize],
+        };
+        let h = self.fresh_handle();
+        self.buffers.insert(h.0, BufObj {
+            ctx: context.raw().0,
+            device: slot,
+            flags,
+            size,
+            data,
+            image_dims: Some((width, height)),
+            refs: 1,
+        });
+        Ok(ApiResponse::Mem(Mem::from_raw(h)))
+    }
+
+    fn create_sampler(&mut self, context: Context, desc: SamplerDesc) -> ClResult<ApiResponse> {
+        self.ctx(context)?;
+        let h = self.fresh_handle();
+        self.samplers.insert(h.0, SamplerObj {
+            ctx: context.raw().0,
+            desc,
+            refs: 1,
+        });
+        Ok(ApiResponse::Sampler(Sampler::from_raw(h)))
+    }
+
+    fn create_program_source(&mut self, context: Context, source: &str) -> ClResult<ApiResponse> {
+        self.ctx(context)?;
+        let sigs = parse_kernel_sigs(source).map_err(|_| ClError::InvalidValue)?;
+        let handle_structs = clspec::sig::parse_struct_defs(source)
+            .into_iter()
+            .filter(|(_, has)| *has)
+            .map(|(name, _)| name)
+            .collect();
+        let h = self.fresh_handle();
+        self.programs.insert(h.0, ProgObj {
+            ctx: context.raw().0,
+            source_len: source.len(),
+            sigs,
+            handle_structs,
+            built: false,
+            build_log: String::new(),
+            refs: 1,
+        });
+        Ok(ApiResponse::Program(Program::from_raw(h)))
+    }
+
+    fn create_program_binary(
+        &mut self,
+        context: Context,
+        device: DeviceId,
+        binary: &[u8],
+    ) -> ClResult<ApiResponse> {
+        self.ctx(context)?;
+        self.device_slot(device)?;
+        let (source_len, sigs): (u64, Vec<KernelSig>) =
+            decode_framed(self.cfg.kind.binary_magic(), 1, binary)
+                .map_err(|_| ClError::InvalidBinary)?;
+        let h = self.fresh_handle();
+        self.programs.insert(h.0, ProgObj {
+            ctx: context.raw().0,
+            source_len: source_len as usize,
+            sigs,
+            handle_structs: Vec::new(),
+            // Binaries are pre-compiled: building them is nearly free.
+            built: true,
+            build_log: "loaded from binary".into(),
+            refs: 1,
+        });
+        Ok(ApiResponse::Program(Program::from_raw(h)))
+    }
+
+    fn build_program(&mut self, now: &mut SimTime, program: Program) -> ClResult<ApiResponse> {
+        let compile = self.cfg.compile;
+        let p = self
+            .programs
+            .get_mut(&program.raw().0)
+            .ok_or(ClError::InvalidProgram)?;
+        if p.built {
+            // Rebuild of an already-built program (or binary) is fast.
+            *now += SimDuration::from_micros(200);
+            return Ok(ApiResponse::Unit);
+        }
+        let cost = compile.compile_time(p.source_len, p.sigs.len());
+        *now += cost;
+        p.built = true;
+        p.build_log = format!(
+            "{}: build OK ({} kernels, {} bytes of source)",
+            match self.cfg.kind {
+                VendorKind::Nimbus => "nimbus-clc",
+                VendorKind::Crimson => "crimson-clc",
+            },
+            p.sigs.len(),
+            p.source_len
+        );
+        self.stats.programs_built += 1;
+        Ok(ApiResponse::Unit)
+    }
+
+    fn get_program_binary(&self, program: Program) -> ClResult<ApiResponse> {
+        let p = self.program(program)?;
+        if !p.built {
+            return Err(ClError::InvalidProgramExecutable);
+        }
+        let payload = (p.source_len as u64, p.sigs.clone());
+        Ok(ApiResponse::Binary(encode_framed(
+            self.cfg.kind.binary_magic(),
+            1,
+            &payload,
+        )))
+    }
+
+    fn create_kernel(&mut self, program: Program, name: &str) -> ClResult<ApiResponse> {
+        let p = self.program(program)?;
+        if !p.built {
+            return Err(ClError::InvalidProgramExecutable);
+        }
+        let sig = p
+            .sigs
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or(ClError::InvalidKernelName)?
+            .clone();
+        let handle_structs = p.handle_structs.clone();
+        let h = self.fresh_handle();
+        self.kernels.insert(h.0, KernelObj {
+            prog: program.raw().0,
+            sig,
+            handle_structs,
+            args: BTreeMap::new(),
+            refs: 1,
+        });
+        Ok(ApiResponse::Kernel(Kernel::from_raw(h)))
+    }
+
+    fn set_kernel_arg(
+        &mut self,
+        kernel: Kernel,
+        index: u32,
+        value: ArgValue,
+    ) -> ClResult<ApiResponse> {
+        let k = self
+            .kernels
+            .get_mut(&kernel.raw().0)
+            .ok_or(ClError::InvalidKernel)?;
+        if index as usize >= k.sig.params.len() {
+            return Err(ClError::InvalidArgIndex);
+        }
+        let kind = &k.sig.params[index as usize].kind;
+        match (kind, &value) {
+            (ParamKind::LocalPtr, ArgValue::LocalMem(_)) => {}
+            (ParamKind::LocalPtr, _) => return Err(ClError::InvalidArgValue),
+            (_, ArgValue::LocalMem(_)) => return Err(ClError::InvalidArgValue),
+            _ => {}
+        }
+        k.args.insert(index, value);
+        Ok(ApiResponse::Unit)
+    }
+
+    /// Resolve bound arguments against the kernel signature, returning
+    /// engine-ready data plus the list of buffer handles to write back
+    /// (as `(arg index, vendor buffer handle)` pairs).
+    ///
+    /// Buffer contents are copied in and out of the engine per launch.
+    /// That is O(buffer size) of memcpy on the simulator's hot path —
+    /// accepted deliberately: it keeps the engine free of aliasing
+    /// concerns (the same buffer may be bound to several parameters)
+    /// and failed launches can never leave device memory half-moved.
+    fn resolve_args(&self, k: &KernelObj) -> ClResult<(Vec<ArgData>, WritebackList)> {
+        let mut out = Vec::with_capacity(k.sig.params.len());
+        let mut writeback = Vec::new();
+        for (i, p) in k.sig.params.iter().enumerate() {
+            let v = k.args.get(&(i as u32)).ok_or(ClError::InvalidKernelArgs)?;
+            match &p.kind {
+                ParamKind::GlobalPtr | ParamKind::ConstantPtr | ParamKind::Image2d
+                | ParamKind::Image3d => {
+                    let h = v.as_handle().ok_or(ClError::InvalidArgValue)?;
+                    let buf = self
+                        .buffers
+                        .get(&h.0)
+                        .ok_or(ClError::InvalidMemObject)?;
+                    // Buffers and images are distinct cl_mem flavours:
+                    // binding one where the kernel expects the other is
+                    // rejected, as real drivers do.
+                    let wants_image =
+                        matches!(p.kind, ParamKind::Image2d | ParamKind::Image3d);
+                    if wants_image != buf.image_dims.is_some() {
+                        return Err(ClError::InvalidArgValue);
+                    }
+                    writeback.push((i, h.0));
+                    out.push(ArgData::Buffer(buf.data.clone()));
+                }
+                ParamKind::Sampler => {
+                    let h = v.as_handle().ok_or(ClError::InvalidArgValue)?;
+                    if !self.samplers.contains_key(&h.0) {
+                        return Err(ClError::InvalidSampler);
+                    }
+                    out.push(ArgData::Scalar(h.0.to_le_bytes().to_vec()));
+                }
+                ParamKind::LocalPtr => match v {
+                    ArgValue::LocalMem(sz) => out.push(ArgData::Local(*sz)),
+                    _ => return Err(ClError::InvalidArgValue),
+                },
+                ParamKind::Scalar(ty) => match v {
+                    ArgValue::Bytes(b) => {
+                        // A struct whose members include device pointers
+                        // is dereferenced on the device: if the embedded
+                        // handle is not a live buffer of this driver,
+                        // the launch faults (the fate of CheCL's
+                        // overlooked struct handles, §IV-D).
+                        if k.handle_structs.contains(ty) {
+                            if b.len() < 8 {
+                                return Err(ClError::InvalidArgSize);
+                            }
+                            let word = u64::from_le_bytes(b[..8].try_into().unwrap());
+                            if !self.buffers.contains_key(&word) {
+                                return Err(ClError::InvalidMemObject);
+                            }
+                        }
+                        out.push(ArgData::Scalar(b.clone()))
+                    }
+                    _ => return Err(ClError::InvalidArgValue),
+                },
+            }
+        }
+        Ok((out, writeback))
+    }
+
+    fn enqueue_nd_range(
+        &mut self,
+        now: &mut SimTime,
+        queue: CommandQueue,
+        kernel: Kernel,
+        global: NDRange,
+        local: Option<NDRange>,
+        wait_list: &[Event],
+    ) -> ClResult<ApiResponse> {
+        let q = self.queue(queue)?;
+        let dev_slot = q.device;
+        let profile = self.devices[dev_slot].profile.clone();
+        if let Some(l) = local {
+            if l.total() > profile.max_work_group_size
+                || l.sizes[0] > profile.max_work_group_size
+            {
+                // E.g. oclSortingNetworks requesting 1024-wide groups on
+                // the Radeon (max 256): the paper's portability failure.
+                return Err(ClError::InvalidWorkGroupSize);
+            }
+        }
+        let k = self.kernel(kernel)?;
+        let name = k.sig.name.clone();
+        let (mut args, writeback) = self.resolve_args(k)?;
+
+        execute(&name, global.sizes, &mut args).map_err(|e| match e {
+            clkernels::ExecError::UnknownKernel(_) => ClError::InvalidKernelName,
+            clkernels::ExecError::ArgCount { .. } => ClError::InvalidKernelArgs,
+            clkernels::ExecError::ArgType { .. } => ClError::InvalidArgValue,
+            clkernels::ExecError::BufferTooSmall { .. } => ClError::InvalidArgSize,
+        })?;
+
+        // Write mutated buffer args back to device memory.
+        for (arg_idx, buf_h) in writeback {
+            if let ArgData::Buffer(data) = &args[arg_idx] {
+                let buf = self.buffers.get_mut(&buf_h).expect("buffer vanished");
+                buf.data.clone_from(data);
+            }
+        }
+
+        let spec = kernel_cost_spec(&name);
+        let items = global.total();
+        let duration = profile.kernel_time(spec.total_flops(items), spec.total_bytes(items))
+            + profile.launch_overhead;
+        let (event, _end) = self.schedule(queue, *now, EngineKind::Compute, duration, wait_list)?;
+        *now += self.enqueue_cost();
+        self.stats.kernels_launched += 1;
+        Ok(ApiResponse::Event(event))
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the clEnqueue* C signature
+    fn enqueue_read(
+        &mut self,
+        now: &mut SimTime,
+        queue: CommandQueue,
+        mem: Mem,
+        blocking: bool,
+        offset: u64,
+        size: u64,
+        wait_list: &[Event],
+    ) -> ClResult<ApiResponse> {
+        let dev_slot = self.queue(queue)?.device;
+        let link = self.devices[dev_slot].profile.dtoh;
+        let buf = self.buffer(mem)?;
+        if offset + size > buf.size {
+            return Err(ClError::InvalidValue);
+        }
+        let data = buf.data[offset as usize..(offset + size) as usize].to_vec();
+        let duration = link.cost(ByteSize::bytes(size));
+        let (event, end) = self.schedule(queue, *now, EngineKind::Dma, duration, wait_list)?;
+        *now += self.enqueue_cost();
+        if blocking {
+            *now = (*now).max(end);
+        }
+        self.stats.bytes_dtoh += size;
+        Ok(ApiResponse::DataEvent { data, event })
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the clEnqueue* C signature
+    fn enqueue_write(
+        &mut self,
+        now: &mut SimTime,
+        queue: CommandQueue,
+        mem: Mem,
+        blocking: bool,
+        offset: u64,
+        data: Vec<u8>,
+        wait_list: &[Event],
+    ) -> ClResult<ApiResponse> {
+        let dev_slot = self.queue(queue)?.device;
+        let link = self.devices[dev_slot].profile.htod;
+        let size = data.len() as u64;
+        {
+            let buf = self.buffer_mut(mem)?;
+            if offset + size > buf.size {
+                return Err(ClError::InvalidValue);
+            }
+            buf.data[offset as usize..(offset + size) as usize].copy_from_slice(&data);
+        }
+        let duration = link.cost(ByteSize::bytes(size));
+        let (event, end) = self.schedule(queue, *now, EngineKind::Dma, duration, wait_list)?;
+        *now += self.enqueue_cost();
+        if blocking {
+            *now = (*now).max(end);
+        }
+        self.stats.bytes_htod += size;
+        Ok(ApiResponse::Event(event))
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the clEnqueue* C signature
+    fn enqueue_copy(
+        &mut self,
+        now: &mut SimTime,
+        queue: CommandQueue,
+        src: Mem,
+        dst: Mem,
+        src_offset: u64,
+        dst_offset: u64,
+        size: u64,
+        wait_list: &[Event],
+    ) -> ClResult<ApiResponse> {
+        let dev_slot = self.queue(queue)?.device;
+        let bw = self.devices[dev_slot].profile.mem_bandwidth;
+        {
+            let s = self.buffer(src)?;
+            if src_offset + size > s.size {
+                return Err(ClError::InvalidValue);
+            }
+        }
+        let chunk = {
+            let s = self.buffer(src)?;
+            s.data[src_offset as usize..(src_offset + size) as usize].to_vec()
+        };
+        {
+            let d = self.buffer_mut(dst)?;
+            if dst_offset + size > d.size {
+                return Err(ClError::InvalidValue);
+            }
+            d.data[dst_offset as usize..(dst_offset + size) as usize].copy_from_slice(&chunk);
+        }
+        let duration = bw.transfer_time(ByteSize::bytes(size));
+        let (event, _) = self.schedule(queue, *now, EngineKind::Dma, duration, wait_list)?;
+        *now += self.enqueue_cost();
+        Ok(ApiResponse::Event(event))
+    }
+
+    fn enqueue_marker(&mut self, now: &mut SimTime, queue: CommandQueue) -> ClResult<ApiResponse> {
+        // A marker completes when everything before it completes; it
+        // consumes no engine time. clEnqueueMarker "immediately returns
+        // with an event object" — the dummy-event source of §III-C.
+        let (event, _) = self.schedule(queue, *now, EngineKind::Compute, SimDuration::ZERO, &[])?;
+        *now += self.enqueue_cost();
+        Ok(ApiResponse::Event(event))
+    }
+
+    fn finish(&mut self, now: &mut SimTime, queue: CommandQueue) -> ClResult<ApiResponse> {
+        let busy = self.queue(queue)?.busy_until;
+        *now = (*now).max(busy);
+        *now += self.enqueue_cost();
+        Ok(ApiResponse::Unit)
+    }
+
+    fn wait_for_events(&mut self, now: &mut SimTime, events: &[Event]) -> ClResult<ApiResponse> {
+        if events.is_empty() {
+            return Err(ClError::InvalidEventWaitList);
+        }
+        let end = self.wait_list_end(events)?;
+        *now = (*now).max(end);
+        Ok(ApiResponse::Unit)
+    }
+
+    fn event_status(&self, now: SimTime, event: Event) -> ClResult<ApiResponse> {
+        let e = self.event(event)?;
+        let status = if now >= e.end {
+            EventStatus::Complete
+        } else if now.as_nanos() >= e.profiling.start {
+            EventStatus::Running
+        } else {
+            EventStatus::Submitted
+        };
+        Ok(ApiResponse::EventStatus(status))
+    }
+
+    fn release_mem(&mut self, mem: Mem) -> ClResult<ApiResponse> {
+        let buf = self.buffer_mut(mem)?;
+        buf.refs -= 1;
+        if buf.refs == 0 {
+            let (slot, size) = (buf.device, buf.size);
+            self.buffers.remove(&mem.raw().0);
+            self.devices[slot].mem_used -= size;
+        }
+        Ok(ApiResponse::Unit)
+    }
+
+    /// Used-memory gauge of a device slot (tests, capacity planning).
+    pub fn device_mem_used(&self, slot: usize) -> u64 {
+        self.devices[slot].mem_used
+    }
+
+    /// Number of live objects of each kind, in restore order. Used by
+    /// tests to prove the proxy really is the only owner of GPU state.
+    pub fn live_object_counts(&self) -> [usize; 7] {
+        [
+            self.contexts.len(),
+            self.queues.len(),
+            self.buffers.len(),
+            self.samplers.len(),
+            self.programs.len(),
+            self.kernels.len(),
+            self.events.len(),
+        ]
+    }
+
+    fn release_generic<T>(
+        table: &mut BTreeMap<u64, T>,
+        h: u64,
+        err: ClError,
+        refs: impl Fn(&mut T) -> &mut u32,
+    ) -> ClResult<ApiResponse> {
+        let obj = table.get_mut(&h).ok_or(err)?;
+        let r = refs(obj);
+        *r -= 1;
+        if *r == 0 {
+            table.remove(&h);
+        }
+        Ok(ApiResponse::Unit)
+    }
+
+    fn retain_generic<T>(
+        table: &mut BTreeMap<u64, T>,
+        h: u64,
+        err: ClError,
+        refs: impl Fn(&mut T) -> &mut u32,
+    ) -> ClResult<ApiResponse> {
+        let obj = table.get_mut(&h).ok_or(err)?;
+        *refs(obj) += 1;
+        Ok(ApiResponse::Unit)
+    }
+}
+
+impl ClApi for Driver {
+    fn call(&mut self, now: &mut SimTime, req: ApiRequest) -> ClResult<ApiResponse> {
+        self.stats.api_calls += 1;
+        // Every native call pays the ICD dispatch latency.
+        *now += simcore::calib::native_call_latency();
+        use ApiRequest::*;
+        match req {
+            GetPlatformIds => self.get_platform_ids(now),
+            GetPlatformInfo { platform } => {
+                if platform.raw() != self.platform {
+                    return Err(ClError::InvalidPlatform);
+                }
+                Ok(ApiResponse::PlatformInfo(self.cfg.platform.clone()))
+            }
+            GetDeviceIds {
+                platform,
+                device_type,
+            } => self.get_device_ids(platform, device_type),
+            GetDeviceInfo { device } => {
+                let slot = self.device_slot(device)?;
+                Ok(ApiResponse::DeviceInfo(Box::new(
+                    self.devices[slot].profile.info(&self.cfg.platform.vendor),
+                )))
+            }
+            CreateContext { devices } => self.create_context(&devices),
+            RetainContext { context } => Self::retain_generic(
+                &mut self.contexts,
+                context.raw().0,
+                ClError::InvalidContext,
+                |o| &mut o.refs,
+            ),
+            ReleaseContext { context } => Self::release_generic(
+                &mut self.contexts,
+                context.raw().0,
+                ClError::InvalidContext,
+                |o| &mut o.refs,
+            ),
+            CreateCommandQueue {
+                context,
+                device,
+                props,
+            } => self.create_queue(context, device, props),
+            RetainCommandQueue { queue } => Self::retain_generic(
+                &mut self.queues,
+                queue.raw().0,
+                ClError::InvalidCommandQueue,
+                |o| &mut o.refs,
+            ),
+            ReleaseCommandQueue { queue } => Self::release_generic(
+                &mut self.queues,
+                queue.raw().0,
+                ClError::InvalidCommandQueue,
+                |o| &mut o.refs,
+            ),
+            CreateBuffer {
+                context,
+                flags,
+                size,
+                host_data,
+            } => self.create_buffer(now, context, flags, size, host_data),
+            CreateImage2D {
+                context,
+                flags,
+                width,
+                height,
+                host_data,
+            } => self.create_image2d(now, context, flags, width, height, host_data),
+            EnqueueReadImage {
+                queue,
+                image,
+                blocking,
+                wait_list,
+            } => {
+                let size = self.buffer(image)?.size;
+                self.enqueue_read(now, queue, image, blocking, 0, size, &wait_list)
+            }
+            EnqueueWriteImage {
+                queue,
+                image,
+                blocking,
+                data,
+                wait_list,
+            } => {
+                if data.len() as u64 != self.buffer(image)?.size {
+                    return Err(ClError::InvalidValue);
+                }
+                self.enqueue_write(now, queue, image, blocking, 0, data, &wait_list)
+            }
+            RetainMemObject { mem } => Self::retain_generic(
+                &mut self.buffers,
+                mem.raw().0,
+                ClError::InvalidMemObject,
+                |o| &mut o.refs,
+            ),
+            ReleaseMemObject { mem } => self.release_mem(mem),
+            CreateSampler { context, desc } => self.create_sampler(context, desc),
+            RetainSampler { sampler } => Self::retain_generic(
+                &mut self.samplers,
+                sampler.raw().0,
+                ClError::InvalidSampler,
+                |o| &mut o.refs,
+            ),
+            ReleaseSampler { sampler } => Self::release_generic(
+                &mut self.samplers,
+                sampler.raw().0,
+                ClError::InvalidSampler,
+                |o| &mut o.refs,
+            ),
+            CreateProgramWithSource { context, source } => {
+                self.create_program_source(context, &source)
+            }
+            CreateProgramWithBinary {
+                context,
+                device,
+                binary,
+            } => self.create_program_binary(context, device, &binary),
+            BuildProgram { program, .. } => self.build_program(now, program),
+            GetProgramBuildLog { program } => {
+                Ok(ApiResponse::BuildLog(self.program(program)?.build_log.clone()))
+            }
+            GetProgramBinary { program } => self.get_program_binary(program),
+            RetainProgram { program } => Self::retain_generic(
+                &mut self.programs,
+                program.raw().0,
+                ClError::InvalidProgram,
+                |o| &mut o.refs,
+            ),
+            ReleaseProgram { program } => Self::release_generic(
+                &mut self.programs,
+                program.raw().0,
+                ClError::InvalidProgram,
+                |o| &mut o.refs,
+            ),
+            CreateKernel { program, name } => self.create_kernel(program, &name),
+            RetainKernel { kernel } => Self::retain_generic(
+                &mut self.kernels,
+                kernel.raw().0,
+                ClError::InvalidKernel,
+                |o| &mut o.refs,
+            ),
+            ReleaseKernel { kernel } => Self::release_generic(
+                &mut self.kernels,
+                kernel.raw().0,
+                ClError::InvalidKernel,
+                |o| &mut o.refs,
+            ),
+            SetKernelArg {
+                kernel,
+                index,
+                value,
+            } => self.set_kernel_arg(kernel, index, value),
+            EnqueueNDRangeKernel {
+                queue,
+                kernel,
+                global,
+                local,
+                wait_list,
+            } => self.enqueue_nd_range(now, queue, kernel, global, local, &wait_list),
+            EnqueueReadBuffer {
+                queue,
+                mem,
+                blocking,
+                offset,
+                size,
+                wait_list,
+            } => self.enqueue_read(now, queue, mem, blocking, offset, size, &wait_list),
+            EnqueueWriteBuffer {
+                queue,
+                mem,
+                blocking,
+                offset,
+                data,
+                wait_list,
+            } => self.enqueue_write(now, queue, mem, blocking, offset, data, &wait_list),
+            EnqueueCopyBuffer {
+                queue,
+                src,
+                dst,
+                src_offset,
+                dst_offset,
+                size,
+                wait_list,
+            } => self.enqueue_copy(now, queue, src, dst, src_offset, dst_offset, size, &wait_list),
+            EnqueueMarker { queue } => self.enqueue_marker(now, queue),
+            Flush { queue } => {
+                self.queue(queue)?;
+                Ok(ApiResponse::Unit)
+            }
+            Finish { queue } => self.finish(now, queue),
+            WaitForEvents { events } => self.wait_for_events(now, &events),
+            GetEventStatus { event } => self.event_status(*now, event),
+            GetEventProfiling { event } => {
+                Ok(ApiResponse::Profiling(self.event(event)?.profiling))
+            }
+            RetainEvent { event } => Self::retain_generic(
+                &mut self.events,
+                event.raw().0,
+                ClError::InvalidEvent,
+                |o| &mut o.refs,
+            ),
+            ReleaseEvent { event } => Self::release_generic(
+                &mut self.events,
+                event.raw().0,
+                ClError::InvalidEvent,
+                |o| &mut o.refs,
+            ),
+        }
+    }
+
+    fn impl_name(&self) -> String {
+        self.cfg.platform.name.clone()
+    }
+}

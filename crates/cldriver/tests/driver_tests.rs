@@ -1,0 +1,595 @@
+//! Integration tests: vendor drivers behave like OpenCL.
+
+use cldriver::vendor::{crimson, nimbus};
+use cldriver::Driver;
+use clspec::api::ClApi;
+use clspec::error::ClError;
+use clspec::types::{ArgValue, DeviceType, EventStatus, MemFlags, NDRange, QueueProps};
+use clspec::{Context, DeviceId, Mem, Ocl};
+use simcore::{SimDuration, SimTime};
+
+/// Standard setup: platform → device → context → queue.
+fn setup(
+    api: &mut dyn ClApi,
+    now: &mut SimTime,
+    device_type: DeviceType,
+) -> (Context, DeviceId, clspec::CommandQueue) {
+    let mut ocl = Ocl::new(api, now);
+    let platforms = ocl.get_platform_ids().unwrap();
+    assert_eq!(platforms.len(), 1);
+    let devices = ocl.get_device_ids(platforms[0], device_type).unwrap();
+    let dev = devices[0];
+    let ctx = ocl.create_context(&[dev]).unwrap();
+    let q = ocl
+        .create_command_queue(ctx, dev, QueueProps::default())
+        .unwrap();
+    (ctx, dev, q)
+}
+
+fn f32s(vals: &[f32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn to_f32(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[test]
+fn end_to_end_vector_add() {
+    let mut drv = Driver::new(nimbus());
+    let mut now = SimTime::ZERO;
+    let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+
+    let n = 1024u32;
+    let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let b: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
+    let buf_a = ocl
+        .create_buffer(ctx, MemFlags::READ_ONLY | MemFlags::COPY_HOST_PTR, (n * 4) as u64, Some(f32s(&a)))
+        .unwrap();
+    let buf_b = ocl
+        .create_buffer(ctx, MemFlags::READ_ONLY | MemFlags::COPY_HOST_PTR, (n * 4) as u64, Some(f32s(&b)))
+        .unwrap();
+    let buf_c = ocl
+        .create_buffer(ctx, MemFlags::WRITE_ONLY, (n * 4) as u64, None)
+        .unwrap();
+
+    let src = clkernels::program_source("vector_add").unwrap().source;
+    let prog = ocl.create_program_with_source(ctx, &src).unwrap();
+    ocl.build_program(prog, "").unwrap();
+    let kernel = ocl.create_kernel(prog, "vec_add").unwrap();
+    ocl.set_arg_mem(kernel, 0, buf_a).unwrap();
+    ocl.set_arg_mem(kernel, 1, buf_b).unwrap();
+    ocl.set_arg_mem(kernel, 2, buf_c).unwrap();
+    ocl.set_arg_scalar(kernel, 3, n).unwrap();
+    let ev = ocl
+        .enqueue_nd_range(q, kernel, NDRange::d1(n as u64), None, &[])
+        .unwrap();
+    ocl.finish(q).unwrap();
+    assert_eq!(ocl.get_event_status(ev).unwrap(), EventStatus::Complete);
+
+    let (data, _) = ocl
+        .enqueue_read_buffer(q, buf_c, true, 0, (n * 4) as u64, &[])
+        .unwrap();
+    let c = to_f32(&data);
+    for (i, v) in c.iter().enumerate().take(n as usize) {
+        assert_eq!(*v, 3.0 * i as f32);
+    }
+}
+
+#[test]
+fn clock_advances_with_work() {
+    let mut drv = Driver::new(nimbus());
+    let mut now = SimTime::ZERO;
+    let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let after_setup = now;
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+
+    // 32 MB write at ~5.35 GB/s should cost ~6 ms of virtual time.
+    let size = 32 * 1024 * 1024u64;
+    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, size, None).unwrap();
+    ocl.enqueue_write_buffer(q, buf, true, 0, vec![0u8; size as usize], &[])
+        .unwrap();
+    let took = now.since(after_setup).as_secs_f64();
+    assert!((0.004..0.012).contains(&took), "HtoD took {took}s");
+}
+
+#[test]
+fn queue_serializes_kernels() {
+    let mut drv = Driver::new(nimbus());
+    let mut now = SimTime::ZERO;
+    let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+
+    let n = 1u64 << 18;
+    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, n * 4, None).unwrap();
+    let src = clkernels::program_source("max_flops").unwrap().source;
+    let prog = ocl.create_program_with_source(ctx, &src).unwrap();
+    ocl.build_program(prog, "").unwrap();
+    let k = ocl.create_kernel(prog, "max_flops").unwrap();
+    ocl.set_arg_mem(k, 0, buf).unwrap();
+    ocl.set_arg_scalar(k, 1, n as u32).unwrap();
+    ocl.set_arg_scalar(k, 2, 16u32).unwrap();
+
+    let e1 = ocl.enqueue_nd_range(q, k, NDRange::d1(n), None, &[]).unwrap();
+    let e2 = ocl.enqueue_nd_range(q, k, NDRange::d1(n), None, &[]).unwrap();
+    let p1 = ocl.get_event_profiling(e1).unwrap();
+    let p2 = ocl.get_event_profiling(e2).unwrap();
+    // In-order queue: the second kernel starts when the first ends.
+    assert!(p2.start >= p1.end, "p2.start {} < p1.end {}", p2.start, p1.end);
+    // Enqueue returned immediately: host clock is far behind completion.
+    assert!(ocl.now().as_nanos() < p2.end);
+    ocl.finish(q).unwrap();
+    assert!(ocl.now().as_nanos() >= p2.end);
+}
+
+#[test]
+fn wait_list_orders_across_queues() {
+    let mut drv = Driver::new(nimbus());
+    let mut now = SimTime::ZERO;
+    let (ctx, dev, q1) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+    let q2 = ocl.create_command_queue(ctx, dev, QueueProps::default()).unwrap();
+
+    let n = 1u64 << 16;
+    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, n * 4, None).unwrap();
+    let src = clkernels::program_source("max_flops").unwrap().source;
+    let prog = ocl.create_program_with_source(ctx, &src).unwrap();
+    ocl.build_program(prog, "").unwrap();
+    let k = ocl.create_kernel(prog, "max_flops").unwrap();
+    ocl.set_arg_mem(k, 0, buf).unwrap();
+    ocl.set_arg_scalar(k, 1, n as u32).unwrap();
+    ocl.set_arg_scalar(k, 2, 64u32).unwrap();
+
+    let e1 = ocl.enqueue_nd_range(q1, k, NDRange::d1(n), None, &[]).unwrap();
+    let e2 = ocl.enqueue_nd_range(q2, k, NDRange::d1(n), None, &[e1]).unwrap();
+    let p1 = ocl.get_event_profiling(e1).unwrap();
+    let p2 = ocl.get_event_profiling(e2).unwrap();
+    assert!(p2.start >= p1.end);
+    ocl.wait_for_events(&[e2]).unwrap();
+    assert!(ocl.now().as_nanos() >= p2.end);
+}
+
+#[test]
+fn marker_completes_with_queue() {
+    let mut drv = Driver::new(nimbus());
+    let mut now = SimTime::ZERO;
+    let (_ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+    // Marker on an empty queue completes immediately.
+    let m = ocl.enqueue_marker(q).unwrap();
+    assert_eq!(ocl.get_event_status(m).unwrap(), EventStatus::Complete);
+}
+
+#[test]
+fn handles_differ_between_driver_instances() {
+    let mut d1 = Driver::new(nimbus());
+    let mut d2 = Driver::new(nimbus());
+    let mut t1 = SimTime::ZERO;
+    let mut t2 = SimTime::ZERO;
+    let (ctx1, ..) = setup(&mut d1, &mut t1, DeviceType::Gpu);
+    let (ctx2, ..) = setup(&mut d2, &mut t2, DeviceType::Gpu);
+    // Same creation sequence, different handle values: the reason CheCL
+    // cannot hand vendor handles to the application.
+    assert_ne!(ctx1.raw(), ctx2.raw());
+}
+
+#[test]
+fn crimson_exposes_cpu_device_nimbus_does_not() {
+    let mut nim = Driver::new(nimbus());
+    let mut cri = Driver::new(crimson());
+    let mut now = SimTime::ZERO;
+    let mut ocl = Ocl::new(&mut nim, &mut now);
+    let p = ocl.get_platform_ids().unwrap()[0];
+    assert_eq!(
+        ocl.get_device_ids(p, DeviceType::Cpu).unwrap_err(),
+        ClError::DeviceNotFound
+    );
+    let mut now2 = SimTime::ZERO;
+    let mut ocl2 = Ocl::new(&mut cri, &mut now2);
+    let p2 = ocl2.get_platform_ids().unwrap()[0];
+    let cpus = ocl2.get_device_ids(p2, DeviceType::Cpu).unwrap();
+    assert_eq!(cpus.len(), 1);
+    let info = ocl2.get_device_info(cpus[0]).unwrap();
+    assert_eq!(info.device_type, DeviceType::Cpu);
+    assert_eq!(info.name, "Core i7 920");
+}
+
+#[test]
+fn radeon_rejects_oversized_work_groups() {
+    // oclSortingNetworks "can run on the CPU but not on the AMD GPU,
+    // because the number of work items in the x-dimension of a work
+    // group is limited to 256 in the AMD GPU and to 1024 in the CPU".
+    let mut drv = Driver::new(crimson());
+    let mut now = SimTime::ZERO;
+    let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+    let src = clkernels::program_source("sorting_networks").unwrap().source;
+    let prog = ocl.create_program_with_source(ctx, &src).unwrap();
+    ocl.build_program(prog, "").unwrap();
+    let k = ocl.create_kernel(prog, "bitonic_sort").unwrap();
+    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 4096 * 4, None).unwrap();
+    ocl.set_arg_mem(k, 0, buf).unwrap();
+    ocl.set_arg_scalar(k, 1, 4096u32).unwrap();
+    ocl.set_arg_scalar(k, 2, 0u32).unwrap();
+    ocl.set_arg_scalar(k, 3, 0u32).unwrap();
+    let err = ocl
+        .enqueue_nd_range(q, k, NDRange::d1(4096), Some(NDRange::d1(1024)), &[])
+        .unwrap_err();
+    assert_eq!(err, ClError::InvalidWorkGroupSize);
+    // The CPU device accepts the same launch.
+    let mut drv2 = Driver::new(crimson());
+    let mut now2 = SimTime::ZERO;
+    let (ctx2, _d2, q2) = setup(&mut drv2, &mut now2, DeviceType::Cpu);
+    let mut ocl2 = Ocl::new(&mut drv2, &mut now2);
+    let prog2 = ocl2.create_program_with_source(ctx2, &src).unwrap();
+    ocl2.build_program(prog2, "").unwrap();
+    let k2 = ocl2.create_kernel(prog2, "bitonic_sort").unwrap();
+    let buf2 = ocl2.create_buffer(ctx2, MemFlags::READ_WRITE, 4096 * 4, None).unwrap();
+    ocl2.set_arg_mem(k2, 0, buf2).unwrap();
+    ocl2.set_arg_scalar(k2, 1, 4096u32).unwrap();
+    ocl2.set_arg_scalar(k2, 2, 0u32).unwrap();
+    ocl2.set_arg_scalar(k2, 3, 0u32).unwrap();
+    ocl2.enqueue_nd_range(q2, k2, NDRange::d1(4096), Some(NDRange::d1(1024)), &[])
+        .unwrap();
+}
+
+#[test]
+fn device_memory_capacity_enforced() {
+    // Radeon HD5870 has 1 GB: a 1.5 GB buffer must fail, and the
+    // failure is how oclFDTD3d sizes itself down on the AMD GPU.
+    let mut drv = Driver::new(crimson());
+    let mut now = SimTime::ZERO;
+    let (ctx, ..) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+    let err = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, 1_500_000_000, None)
+        .unwrap_err();
+    assert_eq!(err, ClError::MemObjectAllocationFailure);
+    // Several small buffers accumulate against the same budget.
+    let a = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 600_000_000, None).unwrap();
+    assert!(ocl.create_buffer(ctx, MemFlags::READ_WRITE, 600_000_000, None).is_err());
+    // Releasing frees the budget.
+    ocl.release_mem(a).unwrap();
+    ocl.create_buffer(ctx, MemFlags::READ_WRITE, 600_000_000, None).unwrap();
+}
+
+#[test]
+fn program_binary_roundtrip_same_vendor_only() {
+    let mut drv = Driver::new(nimbus());
+    let mut now = SimTime::ZERO;
+    let (ctx, dev, _q) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+    let src = clkernels::program_source("vector_add").unwrap().source;
+    let prog = ocl.create_program_with_source(ctx, &src).unwrap();
+    ocl.build_program(prog, "").unwrap();
+    let binary = ocl.get_program_binary(prog).unwrap();
+
+    // Same vendor: accepted, kernels available, build is fast.
+    let prog2 = ocl.create_program_with_binary(ctx, dev, binary.clone()).unwrap();
+    let before = ocl.now();
+    ocl.build_program(prog2, "").unwrap();
+    let build_cost = ocl.now().since(before);
+    assert!(build_cost < SimDuration::from_millis(1));
+    ocl.create_kernel(prog2, "vec_add").unwrap();
+
+    // Other vendor: rejected as an invalid binary.
+    let mut other = Driver::new(crimson());
+    let mut now2 = SimTime::ZERO;
+    let (ctx2, dev2, _) = setup(&mut other, &mut now2, DeviceType::Gpu);
+    let mut ocl2 = Ocl::new(&mut other, &mut now2);
+    assert_eq!(
+        ocl2.create_program_with_binary(ctx2, dev2, binary).unwrap_err(),
+        ClError::InvalidBinary
+    );
+}
+
+#[test]
+fn crimson_builds_slower_than_nimbus() {
+    let src = clkernels::program_source("mri_fhd").unwrap().source;
+    let time_build = |cfg: cldriver::VendorConfig| {
+        let mut drv = Driver::new(cfg);
+        let mut now = SimTime::ZERO;
+        let (ctx, ..) = setup(&mut drv, &mut now, DeviceType::Gpu);
+        let mut ocl = Ocl::new(&mut drv, &mut now);
+        let prog = ocl.create_program_with_source(ctx, &src).unwrap();
+        let t0 = ocl.now();
+        ocl.build_program(prog, "").unwrap();
+        ocl.now().since(t0)
+    };
+    let n = time_build(nimbus());
+    let c = time_build(crimson());
+    assert!(c > n, "crimson {c} should compile slower than nimbus {n}");
+}
+
+#[test]
+fn stale_handles_are_rejected() {
+    let mut drv = Driver::new(nimbus());
+    let mut now = SimTime::ZERO;
+    let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 64, None).unwrap();
+    ocl.release_mem(buf).unwrap();
+    // The handle value is now dangling.
+    let err = ocl
+        .enqueue_read_buffer(q, buf, true, 0, 64, &[])
+        .unwrap_err();
+    assert_eq!(err, ClError::InvalidMemObject);
+    let bogus = Mem::from_raw(clspec::RawHandle(0x1234));
+    assert_eq!(
+        ocl.enqueue_read_buffer(q, bogus, true, 0, 4, &[]).unwrap_err(),
+        ClError::InvalidMemObject
+    );
+}
+
+#[test]
+fn kernel_arg_validation() {
+    let mut drv = Driver::new(nimbus());
+    let mut now = SimTime::ZERO;
+    let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+    let src = clkernels::program_source("vector_add").unwrap().source;
+    let prog = ocl.create_program_with_source(ctx, &src).unwrap();
+    ocl.build_program(prog, "").unwrap();
+    let k = ocl.create_kernel(prog, "vec_add").unwrap();
+    // Unknown kernel name.
+    assert_eq!(
+        ocl.create_kernel(prog, "no_such").unwrap_err(),
+        ClError::InvalidKernelName
+    );
+    // Arg index out of range.
+    assert_eq!(
+        ocl.set_kernel_arg(k, 9, ArgValue::scalar(1u32)).unwrap_err(),
+        ClError::InvalidArgIndex
+    );
+    // Launch with missing args.
+    assert_eq!(
+        ocl.enqueue_nd_range(q, k, NDRange::d1(4), None, &[]).unwrap_err(),
+        ClError::InvalidKernelArgs
+    );
+    // Local-mem value for a global pointer param.
+    assert_eq!(
+        ocl.set_kernel_arg(k, 0, ArgValue::LocalMem(64)).unwrap_err(),
+        ClError::InvalidArgValue
+    );
+}
+
+#[test]
+fn unbuilt_program_cannot_make_kernels() {
+    let mut drv = Driver::new(nimbus());
+    let mut now = SimTime::ZERO;
+    let (ctx, ..) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+    let src = clkernels::program_source("vector_add").unwrap().source;
+    let prog = ocl.create_program_with_source(ctx, &src).unwrap();
+    assert_eq!(
+        ocl.create_kernel(prog, "vec_add").unwrap_err(),
+        ClError::InvalidProgramExecutable
+    );
+}
+
+#[test]
+fn profiling_timestamps_are_ordered() {
+    let mut drv = Driver::new(nimbus());
+    let mut now = SimTime::ZERO;
+    let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 1 << 20, None).unwrap();
+    let ev = ocl
+        .enqueue_write_buffer(q, buf, false, 0, vec![0u8; 1 << 20], &[])
+        .unwrap();
+    let p = ocl.get_event_profiling(ev).unwrap();
+    assert!(p.queued <= p.submit);
+    assert!(p.submit <= p.start);
+    assert!(p.start < p.end);
+}
+
+#[test]
+fn device_files_reported_for_mapping() {
+    let drv = Driver::new(nimbus());
+    let files = drv.device_files();
+    assert_eq!(files.len(), 1);
+    assert_eq!(files[0].0, "/dev/nimbus0");
+    let crim = Driver::new(crimson());
+    assert_eq!(crim.device_files().len(), 2);
+}
+
+#[test]
+fn stats_track_activity() {
+    let mut drv = Driver::new(nimbus());
+    let mut now = SimTime::ZERO;
+    let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 1024, None).unwrap();
+    ocl.enqueue_write_buffer(q, buf, true, 0, vec![1u8; 1024], &[]).unwrap();
+    ocl.enqueue_read_buffer(q, buf, true, 0, 1024, &[]).unwrap();
+    let s = drv.stats();
+    assert!(s.api_calls >= 6);
+    assert_eq!(s.bytes_htod, 1024);
+    assert_eq!(s.bytes_dtoh, 1024);
+}
+
+#[test]
+fn offset_reads_and_writes() {
+    let mut drv = Driver::new(nimbus());
+    let mut now = SimTime::ZERO;
+    let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 16, None).unwrap();
+    ocl.enqueue_write_buffer(q, buf, true, 4, vec![7u8; 4], &[]).unwrap();
+    let (data, _) = ocl.enqueue_read_buffer(q, buf, true, 0, 16, &[]).unwrap();
+    assert_eq!(&data[4..8], &[7, 7, 7, 7]);
+    assert_eq!(&data[0..4], &[0, 0, 0, 0]);
+    // Out-of-bounds rejected.
+    assert_eq!(
+        ocl.enqueue_read_buffer(q, buf, true, 12, 8, &[]).unwrap_err(),
+        ClError::InvalidValue
+    );
+}
+
+#[test]
+fn copy_buffer_moves_device_data() {
+    let mut drv = Driver::new(nimbus());
+    let mut now = SimTime::ZERO;
+    let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+    let src = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE | MemFlags::COPY_HOST_PTR, 8, Some(vec![1, 2, 3, 4, 5, 6, 7, 8]))
+        .unwrap();
+    let dst = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 8, None).unwrap();
+    ocl.enqueue_copy_buffer(q, src, dst, 2, 0, 4, &[]).unwrap();
+    ocl.finish(q).unwrap();
+    let (data, _) = ocl.enqueue_read_buffer(q, dst, true, 0, 8, &[]).unwrap();
+    assert_eq!(data, vec![3, 4, 5, 6, 0, 0, 0, 0]);
+}
+
+#[test]
+fn cpu_device_transfers_have_no_pcie_cost() {
+    // DtoH of 8 MB: GPU pays PCIe (~1.6ms), CPU device pays memcpy
+    // (~1ms at 8GB/s) — but critically GPU latency includes the
+    // PCIe round trip; assert CPU is faster.
+    let size = 8 * 1024 * 1024u64;
+    let run = |dt: DeviceType| {
+        let mut drv = Driver::new(crimson());
+        let mut now = SimTime::ZERO;
+        let (ctx, _dev, q) = setup(&mut drv, &mut now, dt);
+        let mut ocl = Ocl::new(&mut drv, &mut now);
+        let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, size, None).unwrap();
+        let t0 = ocl.now();
+        ocl.enqueue_read_buffer(q, buf, true, 0, size, &[]).unwrap();
+        ocl.now().since(t0)
+    };
+    let gpu = run(DeviceType::Gpu);
+    let cpu = run(DeviceType::Cpu);
+    assert!(cpu < gpu, "cpu {cpu} should beat gpu {gpu}");
+}
+
+#[test]
+fn out_of_order_queue_overlaps_compute_and_dma() {
+    // In-order: a kernel then a big DtoH read serialize. Out-of-order:
+    // the read (DMA engine) overlaps the kernel (compute engine)
+    // because nothing orders them.
+    let run = |ooo: bool| {
+        let mut drv = Driver::new(nimbus());
+        let mut now = SimTime::ZERO;
+        let (ctx, dev, _q0) = setup(&mut drv, &mut now, DeviceType::Gpu);
+        let mut ocl = Ocl::new(&mut drv, &mut now);
+        let q = ocl
+            .create_command_queue(
+                ctx,
+                dev,
+                QueueProps {
+                    out_of_order: ooo,
+                    profiling: true,
+                },
+            )
+            .unwrap();
+        let n = 1u64 << 20;
+        let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, n * 4, None).unwrap();
+        let src = clkernels::program_source("max_flops").unwrap().source;
+        let prog = ocl.create_program_with_source(ctx, &src).unwrap();
+        ocl.build_program(prog, "").unwrap();
+        let k = ocl.create_kernel(prog, "max_flops").unwrap();
+        ocl.set_arg_mem(k, 0, buf).unwrap();
+        ocl.set_arg_scalar(k, 1, n as u32).unwrap();
+        ocl.set_arg_scalar(k, 2, 1u32).unwrap();
+        let e1 = ocl.enqueue_nd_range(q, k, NDRange::d1(n), None, &[]).unwrap();
+        let (_, e2) = ocl.enqueue_read_buffer(q, buf, false, 0, n * 4, &[]).unwrap();
+        let p1 = ocl.get_event_profiling(e1).unwrap();
+        let p2 = ocl.get_event_profiling(e2).unwrap();
+        ocl.finish(q).unwrap();
+        let finish_at = ocl.now().as_nanos();
+        (p1, p2, finish_at)
+    };
+    let (k_in, r_in, _) = run(false);
+    assert!(r_in.start >= k_in.end, "in-order must serialize");
+    let (k_ooo, r_ooo, finish) = run(true);
+    assert!(
+        r_ooo.start < k_ooo.end,
+        "out-of-order read should overlap the kernel"
+    );
+    // clFinish still waited for both.
+    assert!(finish >= k_ooo.end && finish >= r_ooo.end);
+    // And an explicit wait list restores ordering even on an OOO queue.
+    let mut drv = Driver::new(nimbus());
+    let mut now = SimTime::ZERO;
+    let (ctx, dev, _q0) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+    let q = ocl
+        .create_command_queue(
+            ctx,
+            dev,
+            QueueProps {
+                out_of_order: true,
+                profiling: true,
+            },
+        )
+        .unwrap();
+    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 1 << 20, None).unwrap();
+    let e1 = ocl
+        .enqueue_write_buffer(q, buf, false, 0, vec![0u8; 1 << 20], &[])
+        .unwrap();
+    let (_, e2) = ocl.enqueue_read_buffer(q, buf, false, 0, 1 << 20, &[e1]).unwrap();
+    let p1 = ocl.get_event_profiling(e1).unwrap();
+    let p2 = ocl.get_event_profiling(e2).unwrap();
+    assert!(p2.start >= p1.end);
+}
+
+#[test]
+fn image2d_end_to_end_with_sampler() {
+    let mut drv = Driver::new(nimbus());
+    let mut now = SimTime::ZERO;
+    let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
+    let mut ocl = Ocl::new(&mut drv, &mut now);
+    let (w, h) = (16u64, 8u64);
+    let texels: Vec<f32> = (0..w * h).map(|i| i as f32).collect();
+    let img = ocl
+        .create_image2d(ctx, MemFlags::READ_ONLY, w, h, Some(f32s(&texels)))
+        .unwrap();
+    let out = ocl.create_buffer(ctx, MemFlags::WRITE_ONLY, w * h * 4, None).unwrap();
+    let smp = ocl
+        .create_sampler(
+            ctx,
+            clspec::types::SamplerDesc {
+                normalized_coords: false,
+                addressing_mode: 0,
+                filter_mode: 0,
+            },
+        )
+        .unwrap();
+    let src = clkernels::program_source("image_demo").unwrap().source;
+    let prog = ocl.create_program_with_source(ctx, &src).unwrap();
+    ocl.build_program(prog, "").unwrap();
+    let k = ocl.create_kernel(prog, "image_scale").unwrap();
+    ocl.set_arg_mem(k, 0, img).unwrap();
+    ocl.set_arg_sampler(k, 1, smp).unwrap();
+    ocl.set_arg_mem(k, 2, out).unwrap();
+    ocl.set_arg_scalar(k, 3, w as u32).unwrap();
+    ocl.set_arg_scalar(k, 4, h as u32).unwrap();
+    ocl.enqueue_nd_range(q, k, NDRange::d2(w, h), None, &[]).unwrap();
+    ocl.finish(q).unwrap();
+    let (data, _) = ocl.enqueue_read_buffer(q, out, true, 0, w * h * 4, &[]).unwrap();
+    let result = to_f32(&data);
+    for (i, v) in result.iter().enumerate() {
+        assert_eq!(*v, 2.0 * i as f32);
+    }
+    // Whole-image read returns the original texels.
+    let (back, _) = ocl.enqueue_read_image(q, img, true, &[]).unwrap();
+    assert_eq!(back, f32s(&texels));
+    // Image write replaces them.
+    let new_texels: Vec<f32> = (0..w * h).map(|i| -(i as f32)).collect();
+    ocl.enqueue_write_image(q, img, true, f32s(&new_texels), &[]).unwrap();
+    let (back, _) = ocl.enqueue_read_image(q, img, true, &[]).unwrap();
+    assert_eq!(back, f32s(&new_texels));
+    // Size-mismatched write rejected.
+    assert_eq!(
+        ocl.enqueue_write_image(q, img, true, vec![0u8; 4], &[]).unwrap_err(),
+        ClError::InvalidValue
+    );
+    // Image memory counts against the device budget.
+    drop(ocl);
+    assert!(drv.device_mem_used(0) >= w * h * 4);
+}

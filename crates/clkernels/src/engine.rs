@@ -1,0 +1,1341 @@
+//! The kernel execution engine.
+//!
+//! Every kernel in the corpus has a deterministic Rust implementation
+//! here, operating on the resolved [`ArgData`] list. The engine is the
+//! ground truth the checkpoint/restart tests verify against: a workload
+//! run that is checkpointed, migrated across vendors, and resumed must
+//! produce byte-identical buffers to an uninterrupted run.
+//!
+//! Implementations are sequential and in a fixed order, so
+//! floating-point results are reproducible across runs and platforms
+//! (`f32` arithmetic on the host is IEEE-754 and unaffected by the
+//! virtual-time model).
+
+use crate::args::{ArgData, ExecError};
+use crate::f32util::{to_f32_vec, to_u32_vec, write_f32s, write_u32s};
+
+/// Execute `name` over `global` work items with the given arguments.
+///
+/// `global` is `[x, y, z]` work-item counts. Buffer arguments are
+/// mutated in place.
+pub fn execute(name: &str, global: [u64; 3], args: &mut [ArgData]) -> Result<(), ExecError> {
+    if let Some(idx) = name.strip_prefix("rate_") {
+        let k: u32 = idx
+            .parse()
+            .map_err(|_| ExecError::UnknownKernel(name.to_string()))?;
+        return k_s3d_rate(k, args);
+    }
+    match name {
+        "vec_add" => k_vec_add(args),
+        "triad" => k_triad(args),
+        "copy_buf" => k_copy_buf(args),
+        "null_kernel" => k_null(args),
+        "max_flops" => k_max_flops(args),
+        "reduce_sum" => k_reduce_sum(args),
+        "scan_exclusive" => k_scan_exclusive(args),
+        "bitonic_sort" => k_bitonic_sort(args),
+        "radix_sort" => k_radix_sort(args),
+        "transpose" => k_transpose(args),
+        "matmul" => k_matmul(args),
+        "sgemm" => k_sgemm(args),
+        "matvec" => k_matvec(args),
+        "black_scholes" => k_black_scholes(args),
+        "dot_product" => k_dot_product(args),
+        "conv_rows" => k_conv(args, true),
+        "conv_cols" => k_conv(args, false),
+        "dct8x8" => k_dct8x8(args),
+        "dxt_compress" => k_dxt_compress(args),
+        "histogram64" => k_histogram64(args),
+        "mersenne_twister" => k_mersenne_twister(args),
+        "quasirandom" => k_quasirandom(args, global),
+        "fdtd3d" => k_fdtd3d(args),
+        "stencil2d" => k_stencil2d(args),
+        "md_forces" => k_md_forces(args),
+        "fft_radix2" => k_fft_radix2(args),
+        "cp_potential" => k_cp_potential(args),
+        "mri_fhd" => k_mri_fhd(args),
+        "mri_q" => k_mri_q(args),
+        "sampler_scale" => k_sampler_scale(args),
+        "consume" => k_consume(args),
+        "image_scale" => k_image_scale(args),
+        _ => Err(ExecError::UnknownKernel(name.to_string())),
+    }
+}
+
+fn expect_args(args: &[ArgData], n: usize) -> Result<(), ExecError> {
+    if args.len() != n {
+        return Err(ExecError::ArgCount {
+            expected: n,
+            got: args.len(),
+        });
+    }
+    Ok(())
+}
+
+fn check_len(arg_index: usize, buf: &[u8], needed: usize) -> Result<(), ExecError> {
+    if buf.len() < needed {
+        return Err(ExecError::BufferTooSmall {
+            arg_index,
+            needed,
+            actual: buf.len(),
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Streaming / memory kernels
+// ---------------------------------------------------------------------
+
+fn k_vec_add(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 4)?;
+    let n = args[3].scalar_u32()? as usize;
+    let a = to_f32_vec(args[0].buffer()?);
+    let b = to_f32_vec(args[1].buffer()?);
+    check_len(0, args[0].buffer()?, n * 4)?;
+    check_len(1, args[1].buffer()?, n * 4)?;
+    check_len(2, args[2].buffer()?, n * 4)?;
+    let c: Vec<f32> = (0..n).map(|i| a[i] + b[i]).collect();
+    write_f32s(args[2].buffer_mut()?, &c);
+    Ok(())
+}
+
+fn k_triad(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 5)?;
+    let s = args[3].scalar_f32()?;
+    let n = args[4].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, n * 4)?;
+    let b = to_f32_vec(args[1].buffer()?);
+    let c = to_f32_vec(args[2].buffer()?);
+    check_len(1, args[1].buffer()?, n * 4)?;
+    check_len(2, args[2].buffer()?, n * 4)?;
+    let a: Vec<f32> = (0..n).map(|i| b[i] + s * c[i]).collect();
+    write_f32s(args[0].buffer_mut()?, &a);
+    Ok(())
+}
+
+fn k_copy_buf(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 3)?;
+    let n = args[2].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, n * 4)?;
+    check_len(1, args[1].buffer()?, n * 4)?;
+    let src = args[0].buffer()?[..n * 4].to_vec();
+    args[1].buffer_mut()?[..n * 4].copy_from_slice(&src);
+    Ok(())
+}
+
+fn k_null(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 1)?;
+    args[0].buffer()?;
+    Ok(())
+}
+
+fn k_max_flops(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 3)?;
+    let n = args[1].scalar_u32()? as usize;
+    let iters = args[2].scalar_u32()?;
+    check_len(0, args[0].buffer()?, n * 4)?;
+    let mut data = to_f32_vec(args[0].buffer()?);
+    for x in data.iter_mut().take(n) {
+        let mut v = *x;
+        for _ in 0..iters {
+            v = v * 1.000_001 + 0.000_000_1;
+        }
+        *x = v;
+    }
+    write_f32s(args[0].buffer_mut()?, &data);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Reductions, scans and sorts
+// ---------------------------------------------------------------------
+
+fn k_reduce_sum(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 4)?;
+    let n = args[3].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, n * 4)?;
+    check_len(1, args[1].buffer()?, 4)?;
+    match &args[2] {
+        ArgData::Local(_) => {}
+        other => {
+            return Err(ExecError::ArgType {
+                expected: "local scratch",
+                got: match other {
+                    ArgData::Buffer(_) => "buffer",
+                    ArgData::Scalar(_) => "scalar",
+                    ArgData::Local(_) => unreachable!(),
+                },
+            })
+        }
+    }
+    let input = to_f32_vec(args[0].buffer()?);
+    let sum: f32 = input[..n].iter().sum();
+    write_f32s(args[1].buffer_mut()?, &[sum]);
+    Ok(())
+}
+
+fn k_scan_exclusive(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 4)?;
+    let n = args[3].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, n * 4)?;
+    check_len(1, args[1].buffer()?, n * 4)?;
+    let input = to_f32_vec(args[0].buffer()?);
+    let mut out = Vec::with_capacity(n);
+    let mut acc = 0.0f32;
+    for v in input.iter().take(n) {
+        out.push(acc);
+        acc += v;
+    }
+    write_f32s(args[1].buffer_mut()?, &out);
+    Ok(())
+}
+
+fn k_bitonic_sort(args: &mut [ArgData]) -> Result<(), ExecError> {
+    // One compare-exchange pass of the bitonic network; the benchmark
+    // launches O(log² n) of these — making oclSortingNetworks one of the
+    // "API-chatty" programs whose proxy overhead Fig. 4 highlights.
+    expect_args(args, 4)?;
+    let n = args[1].scalar_u32()? as usize;
+    let stage = args[2].scalar_u32()?;
+    let pass = args[3].scalar_u32()?;
+    check_len(0, args[0].buffer()?, n * 4)?;
+    let mut keys = to_u32_vec(args[0].buffer()?);
+    let block = 1usize << (stage + 1);
+    let dist = 1usize << pass;
+    for i in 0..n {
+        let partner = i ^ dist;
+        if partner > i && partner < n {
+            let ascending = (i & block) == 0;
+            if (keys[i] > keys[partner]) == ascending {
+                keys.swap(i, partner);
+            }
+        }
+    }
+    write_u32s(args[0].buffer_mut()?, &keys);
+    Ok(())
+}
+
+fn k_radix_sort(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 2)?;
+    let n = args[1].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, n * 4)?;
+    let mut keys = to_u32_vec(args[0].buffer()?);
+    // LSD radix, 8 bits per pass — the actual algorithm, not a stand-in.
+    let mut aux = vec![0u32; n];
+    for shift in [0u32, 8, 16, 24] {
+        let mut counts = [0usize; 256];
+        for &k in keys.iter().take(n) {
+            counts[((k >> shift) & 0xff) as usize] += 1;
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0;
+        for (o, c) in offsets.iter_mut().zip(counts.iter()) {
+            *o = acc;
+            acc += c;
+        }
+        for &k in keys.iter().take(n) {
+            let d = ((k >> shift) & 0xff) as usize;
+            aux[offsets[d]] = k;
+            offsets[d] += 1;
+        }
+        keys[..n].copy_from_slice(&aux[..n]);
+    }
+    write_u32s(args[0].buffer_mut()?, &keys);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Linear algebra
+// ---------------------------------------------------------------------
+
+fn k_transpose(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 4)?;
+    let w = args[2].scalar_u32()? as usize;
+    let h = args[3].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, w * h * 4)?;
+    check_len(1, args[1].buffer()?, w * h * 4)?;
+    let input = to_f32_vec(args[0].buffer()?);
+    let mut out = vec![0.0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            out[x * h + y] = input[y * w + x];
+        }
+    }
+    write_f32s(args[1].buffer_mut()?, &out);
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)] // the BLAS gemm signature
+fn gemm_core(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    beta: f32,
+) {
+    for row in 0..m {
+        for col in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a[row * k + l] * b[l * n + col];
+            }
+            c[row * n + col] = alpha * acc + beta * c[row * n + col];
+        }
+    }
+}
+
+fn k_matmul(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 6)?;
+    let m = args[3].scalar_u32()? as usize;
+    let n = args[4].scalar_u32()? as usize;
+    let k = args[5].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, m * k * 4)?;
+    check_len(1, args[1].buffer()?, k * n * 4)?;
+    check_len(2, args[2].buffer()?, m * n * 4)?;
+    let a = to_f32_vec(args[0].buffer()?);
+    let b = to_f32_vec(args[1].buffer()?);
+    let mut c = vec![0.0f32; m * n];
+    gemm_core(&a, &b, &mut c, m, n, k, 1.0, 0.0);
+    write_f32s(args[2].buffer_mut()?, &c);
+    Ok(())
+}
+
+fn k_sgemm(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 8)?;
+    let m = args[3].scalar_u32()? as usize;
+    let n = args[4].scalar_u32()? as usize;
+    let k = args[5].scalar_u32()? as usize;
+    let alpha = args[6].scalar_f32()?;
+    let beta = args[7].scalar_f32()?;
+    check_len(0, args[0].buffer()?, m * k * 4)?;
+    check_len(1, args[1].buffer()?, k * n * 4)?;
+    check_len(2, args[2].buffer()?, m * n * 4)?;
+    let a = to_f32_vec(args[0].buffer()?);
+    let b = to_f32_vec(args[1].buffer()?);
+    let mut c = to_f32_vec(args[2].buffer()?);
+    gemm_core(&a, &b, &mut c[..m * n], m, n, k, alpha, beta);
+    write_f32s(args[2].buffer_mut()?, &c[..m * n]);
+    Ok(())
+}
+
+fn k_matvec(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 5)?;
+    let rows = args[3].scalar_u32()? as usize;
+    let cols = args[4].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, rows * cols * 4)?;
+    check_len(1, args[1].buffer()?, cols * 4)?;
+    check_len(2, args[2].buffer()?, rows * 4)?;
+    let mat = to_f32_vec(args[0].buffer()?);
+    let vec = to_f32_vec(args[1].buffer()?);
+    let out: Vec<f32> = (0..rows)
+        .map(|r| (0..cols).map(|c| mat[r * cols + c] * vec[c]).sum())
+        .collect();
+    write_f32s(args[2].buffer_mut()?, &out);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Finance / math kernels
+// ---------------------------------------------------------------------
+
+fn cnd(d: f32) -> f32 {
+    const A1: f32 = 0.319_381_53;
+    const A2: f32 = -0.356_563_78;
+    const A3: f32 = 1.781_477_9;
+    const A4: f32 = -1.821_256;
+    const A5: f32 = 1.330_274_4;
+    let k = 1.0 / (1.0 + 0.231_641_9 * d.abs());
+    let poly = k * (A1 + k * (A2 + k * (A3 + k * (A4 + k * A5))));
+    let w = 1.0 - 0.398_942_3 * (-0.5 * d * d).exp() * poly;
+    if d < 0.0 {
+        1.0 - w
+    } else {
+        w
+    }
+}
+
+fn k_black_scholes(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 8)?;
+    let r = args[5].scalar_f32()?;
+    let v = args[6].scalar_f32()?;
+    let n = args[7].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, n * 4)?;
+    check_len(1, args[1].buffer()?, n * 4)?;
+    check_len(2, args[2].buffer()?, n * 4)?;
+    check_len(3, args[3].buffer()?, n * 4)?;
+    check_len(4, args[4].buffer()?, n * 4)?;
+    let s = to_f32_vec(args[2].buffer()?);
+    let x = to_f32_vec(args[3].buffer()?);
+    let t = to_f32_vec(args[4].buffer()?);
+    let mut call = vec![0.0f32; n];
+    let mut put = vec![0.0f32; n];
+    for i in 0..n {
+        let sq = t[i].sqrt();
+        let d1 = ((s[i] / x[i]).ln() + (r + 0.5 * v * v) * t[i]) / (v * sq);
+        let d2 = d1 - v * sq;
+        let e = x[i] * (-r * t[i]).exp();
+        call[i] = s[i] * cnd(d1) - e * cnd(d2);
+        put[i] = e * cnd(-d2) - s[i] * cnd(-d1);
+    }
+    write_f32s(args[0].buffer_mut()?, &call);
+    write_f32s(args[1].buffer_mut()?, &put);
+    Ok(())
+}
+
+fn k_dot_product(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 4)?;
+    let n = args[3].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, n * 16)?;
+    check_len(1, args[1].buffer()?, n * 16)?;
+    check_len(2, args[2].buffer()?, n * 4)?;
+    let a = to_f32_vec(args[0].buffer()?);
+    let b = to_f32_vec(args[1].buffer()?);
+    let c: Vec<f32> = (0..n)
+        .map(|i| (0..4).map(|j| a[4 * i + j] * b[4 * i + j]).sum())
+        .collect();
+    write_f32s(args[2].buffer_mut()?, &c);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Image / stencil kernels
+// ---------------------------------------------------------------------
+
+fn k_conv(args: &mut [ArgData], rows: bool) -> Result<(), ExecError> {
+    expect_args(args, 6)?;
+    let w = args[3].scalar_u32()? as usize;
+    let h = args[4].scalar_u32()? as usize;
+    let radius = args[5].scalar_u32()? as i64;
+    check_len(0, args[0].buffer()?, w * h * 4)?;
+    check_len(1, args[1].buffer()?, w * h * 4)?;
+    check_len(2, args[2].buffer()?, (2 * radius as usize + 1) * 4)?;
+    let srcv = to_f32_vec(args[0].buffer()?);
+    let filter = to_f32_vec(args[2].buffer()?);
+    let mut dst = vec![0.0f32; w * h];
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            let mut acc = 0.0f32;
+            for k in -radius..=radius {
+                let (xx, yy) = if rows {
+                    ((x + k).clamp(0, w as i64 - 1), y)
+                } else {
+                    (x, (y + k).clamp(0, h as i64 - 1))
+                };
+                acc += srcv[(yy * w as i64 + xx) as usize] * filter[(k + radius) as usize];
+            }
+            dst[(y * w as i64 + x) as usize] = acc;
+        }
+    }
+    write_f32s(args[1].buffer_mut()?, &dst);
+    Ok(())
+}
+
+fn k_dct8x8(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 4)?;
+    let w = args[2].scalar_u32()? as usize;
+    let h = args[3].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, w * h * 4)?;
+    check_len(1, args[1].buffer()?, w * h * 4)?;
+    let src = to_f32_vec(args[0].buffer()?);
+    let mut dst = vec![0.0f32; w * h];
+    let bw = w / 8;
+    let bh = h / 8;
+    let pi = std::f32::consts::PI;
+    for by in 0..bh {
+        for bx in 0..bw {
+            for u in 0..8 {
+                for v in 0..8 {
+                    let cu = if u == 0 { 1.0 / 2f32.sqrt() } else { 1.0 };
+                    let cv = if v == 0 { 1.0 / 2f32.sqrt() } else { 1.0 };
+                    let mut acc = 0.0f32;
+                    for iy in 0..8 {
+                        for ix in 0..8 {
+                            let px = src[(by * 8 + iy) * w + bx * 8 + ix];
+                            acc += px
+                                * ((2 * ix + 1) as f32 * u as f32 * pi / 16.0).cos()
+                                * ((2 * iy + 1) as f32 * v as f32 * pi / 16.0).cos();
+                        }
+                    }
+                    dst[(by * 8 + v) * w + bx * 8 + u] = 0.25 * cu * cv * acc;
+                }
+            }
+        }
+    }
+    write_f32s(args[1].buffer_mut()?, &dst);
+    Ok(())
+}
+
+fn k_dxt_compress(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 4)?;
+    let w = args[2].scalar_u32()? as usize;
+    let h = args[3].scalar_u32()? as usize;
+    let n = w * h;
+    let blocks = n / 16;
+    check_len(0, args[0].buffer()?, n * 4)?;
+    check_len(1, args[1].buffer()?, blocks * 8)?;
+    let src = to_f32_vec(args[0].buffer()?);
+    let mut dst = vec![0.0f32; blocks * 2];
+    for b in 0..blocks {
+        let block = &src[b * 16..b * 16 + 16];
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &px in block {
+            lo = lo.min(px);
+            hi = hi.max(px);
+        }
+        dst[b * 2] = lo;
+        dst[b * 2 + 1] = hi;
+    }
+    write_f32s(args[1].buffer_mut()?, &dst);
+    Ok(())
+}
+
+fn k_histogram64(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 4)?;
+    let n = args[3].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, n * 4)?;
+    check_len(1, args[1].buffer()?, 64 * 4)?;
+    let data = to_f32_vec(args[0].buffer()?);
+    let mut hist = [0u32; 64];
+    for &v in data.iter().take(n) {
+        let bin = ((v * 64.0) as i64).clamp(0, 63) as usize;
+        hist[bin] += 1;
+    }
+    write_u32s(args[1].buffer_mut()?, &hist);
+    Ok(())
+}
+
+fn k_fdtd3d(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 5)?;
+    let dx = args[2].scalar_u32()? as usize;
+    let dy = args[3].scalar_u32()? as usize;
+    let dz = args[4].scalar_u32()? as usize;
+    let n = dx * dy * dz;
+    check_len(0, args[0].buffer()?, n * 4)?;
+    check_len(1, args[1].buffer()?, n * 4)?;
+    let input = to_f32_vec(args[0].buffer()?);
+    let mut out = vec![0.0f32; n];
+    let idx = |x: usize, y: usize, z: usize| (z * dy + y) * dx + x;
+    for z in 0..dz {
+        for y in 0..dy {
+            for x in 0..dx {
+                let c = input[idx(x, y, z)];
+                let xm = input[idx(x.saturating_sub(1), y, z)];
+                let xp = input[idx((x + 1).min(dx - 1), y, z)];
+                let ym = input[idx(x, y.saturating_sub(1), z)];
+                let yp = input[idx(x, (y + 1).min(dy - 1), z)];
+                let zm = input[idx(x, y, z.saturating_sub(1))];
+                let zp = input[idx(x, y, (z + 1).min(dz - 1))];
+                out[idx(x, y, z)] = 0.4 * c + 0.1 * (xm + xp + ym + yp + zm + zp);
+            }
+        }
+    }
+    write_f32s(args[1].buffer_mut()?, &out);
+    Ok(())
+}
+
+fn k_stencil2d(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 4)?;
+    let w = args[2].scalar_u32()? as usize;
+    let h = args[3].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, w * h * 4)?;
+    check_len(1, args[1].buffer()?, w * h * 4)?;
+    let input = to_f32_vec(args[0].buffer()?);
+    let mut out = vec![0.0f32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0f32;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let xx = (x as i64 + dx).clamp(0, w as i64 - 1) as usize;
+                    let yy = (y as i64 + dy).clamp(0, h as i64 - 1) as usize;
+                    let wgt = if dx == 0 && dy == 0 { 0.5 } else { 0.0625 };
+                    acc += input[yy * w + xx] * wgt;
+                }
+            }
+            out[y * w + x] = acc;
+        }
+    }
+    write_f32s(args[1].buffer_mut()?, &out);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Physics / simulation kernels
+// ---------------------------------------------------------------------
+
+fn k_md_forces(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 4)?;
+    let n = args[2].scalar_u32()? as usize;
+    let cutoff = args[3].scalar_f32()?;
+    check_len(0, args[0].buffer()?, n * 12)?;
+    check_len(1, args[1].buffer()?, n * 12)?;
+    let pos = to_f32_vec(args[0].buffer()?);
+    let mut force = vec![0.0f32; n * 3];
+    let cutoff2 = cutoff * cutoff;
+    // Neighbour-window Lennard-Jones: deterministic and O(n).
+    const WINDOW: i64 = 8;
+    for i in 0..n as i64 {
+        let (mut fx, mut fy, mut fz) = (0.0f32, 0.0f32, 0.0f32);
+        let lo = (i - WINDOW).max(0);
+        let hi = (i + WINDOW).min(n as i64 - 1);
+        for j in lo..=hi {
+            if j == i {
+                continue;
+            }
+            let dx = pos[3 * i as usize] - pos[3 * j as usize];
+            let dy = pos[3 * i as usize + 1] - pos[3 * j as usize + 1];
+            let dz = pos[3 * i as usize + 2] - pos[3 * j as usize + 2];
+            let r2 = (dx * dx + dy * dy + dz * dz).max(0.01);
+            if r2 > cutoff2 {
+                continue;
+            }
+            let inv_r2 = 1.0 / r2;
+            let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+            let f = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+            fx += f * dx;
+            fy += f * dy;
+            fz += f * dz;
+        }
+        force[3 * i as usize] = fx;
+        force[3 * i as usize + 1] = fy;
+        force[3 * i as usize + 2] = fz;
+    }
+    write_f32s(args[1].buffer_mut()?, &force);
+    Ok(())
+}
+
+fn k_fft_radix2(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 3)?;
+    let n = args[2].scalar_u32()? as usize;
+    if n == 0 || !n.is_power_of_two() {
+        return Err(ExecError::ArgType {
+            expected: "power-of-two n",
+            got: "non-power-of-two n",
+        });
+    }
+    check_len(0, args[0].buffer()?, n * 4)?;
+    check_len(1, args[1].buffer()?, n * 4)?;
+    let mut re = to_f32_vec(args[0].buffer()?);
+    let mut im = to_f32_vec(args[1].buffer()?);
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Iterative Cooley-Tukey.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f32::consts::PI / len as f32;
+        for start in (0..n).step_by(len) {
+            for k in 0..len / 2 {
+                let (wr, wi) = ((ang * k as f32).cos(), (ang * k as f32).sin());
+                let (i, j) = (start + k, start + k + len / 2);
+                let (tr, ti) = (re[j] * wr - im[j] * wi, re[j] * wi + im[j] * wr);
+                re[j] = re[i] - tr;
+                im[j] = im[i] - ti;
+                re[i] += tr;
+                im[i] += ti;
+            }
+        }
+        len <<= 1;
+    }
+    write_f32s(args[0].buffer_mut()?, &re);
+    write_f32s(args[1].buffer_mut()?, &im);
+    Ok(())
+}
+
+fn k_s3d_rate(k: u32, args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 3)?;
+    let n = args[2].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, n * 4)?;
+    check_len(1, args[1].buffer()?, n * 4)?;
+    let state = to_f32_vec(args[0].buffer()?);
+    let (c0, c1, c2) = ((k + 1) as f32, (k + 2) as f32, (k + 3) as f32);
+    let rates: Vec<f32> = state[..n]
+        .iter()
+        .map(|&t| c0 + c1 * t + c2 * t * t)
+        .collect();
+    write_f32s(args[1].buffer_mut()?, &rates);
+    Ok(())
+}
+
+fn k_cp_potential(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 5)?;
+    let natoms = args[2].scalar_u32()? as usize;
+    let gw = args[3].scalar_u32()? as usize;
+    let gh = args[4].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, natoms * 16)?;
+    check_len(1, args[1].buffer()?, gw * gh * 4)?;
+    let atoms = to_f32_vec(args[0].buffer()?);
+    let mut grid = vec![0.0f32; gw * gh];
+    for gy in 0..gh {
+        for gx in 0..gw {
+            let mut acc = 0.0f32;
+            for a in 0..natoms {
+                let dx = atoms[4 * a] - gx as f32;
+                let dy = atoms[4 * a + 1] - gy as f32;
+                let dz = atoms[4 * a + 2];
+                acc += atoms[4 * a + 3] / (dx * dx + dy * dy + dz * dz + 1.0).sqrt();
+            }
+            grid[gy * gw + gx] = acc;
+        }
+    }
+    write_f32s(args[1].buffer_mut()?, &grid);
+    Ok(())
+}
+
+fn mri_core(args: &mut [ArgData], fhd: bool) -> Result<(), ExecError> {
+    let (nk_idx, nx_idx) = if fhd { (10, 11) } else { (9, 10) };
+    let nk = args[nk_idx].scalar_u32()? as usize;
+    let nx = args[nx_idx].scalar_u32()? as usize;
+    let tau = 2.0 * std::f32::consts::PI;
+    if fhd {
+        // k-space inputs are nk long, spatial inputs and outputs nx.
+        for idx in 0..5 {
+            check_len(idx, args[idx].buffer()?, nk * 4)?;
+        }
+        for idx in 5..10 {
+            check_len(idx, args[idx].buffer()?, nx * 4)?;
+        }
+        let rphi = to_f32_vec(args[0].buffer()?);
+        let iphi = to_f32_vec(args[1].buffer()?);
+        let kx = to_f32_vec(args[2].buffer()?);
+        let ky = to_f32_vec(args[3].buffer()?);
+        let kz = to_f32_vec(args[4].buffer()?);
+        let x = to_f32_vec(args[5].buffer()?);
+        let y = to_f32_vec(args[6].buffer()?);
+        let z = to_f32_vec(args[7].buffer()?);
+        let mut rr_out = vec![0.0f32; nx];
+        let mut ii_out = vec![0.0f32; nx];
+        for i in 0..nx {
+            let (mut rr, mut ii) = (0.0f32, 0.0f32);
+            for k in 0..nk {
+                let e = tau * (kx[k] * x[i] + ky[k] * y[i] + kz[k] * z[i]);
+                let (s, c) = e.sin_cos();
+                rr += rphi[k] * c - iphi[k] * s;
+                ii += iphi[k] * c + rphi[k] * s;
+            }
+            rr_out[i] = rr;
+            ii_out[i] = ii;
+        }
+        write_f32s(args[8].buffer_mut()?, &rr_out);
+        write_f32s(args[9].buffer_mut()?, &ii_out);
+    } else {
+        for idx in 0..4 {
+            check_len(idx, args[idx].buffer()?, nk * 4)?;
+        }
+        for idx in 4..9 {
+            check_len(idx, args[idx].buffer()?, nx * 4)?;
+        }
+        let phi = to_f32_vec(args[0].buffer()?);
+        let kx = to_f32_vec(args[1].buffer()?);
+        let ky = to_f32_vec(args[2].buffer()?);
+        let kz = to_f32_vec(args[3].buffer()?);
+        let x = to_f32_vec(args[4].buffer()?);
+        let y = to_f32_vec(args[5].buffer()?);
+        let z = to_f32_vec(args[6].buffer()?);
+        let mut qr = vec![0.0f32; nx];
+        let mut qi = vec![0.0f32; nx];
+        for i in 0..nx {
+            let (mut rr, mut ii) = (0.0f32, 0.0f32);
+            for k in 0..nk {
+                let e = tau * (kx[k] * x[i] + ky[k] * y[i] + kz[k] * z[i]);
+                let (s, c) = e.sin_cos();
+                rr += phi[k] * c;
+                ii += phi[k] * s;
+            }
+            qr[i] = rr;
+            qi[i] = ii;
+        }
+        write_f32s(args[7].buffer_mut()?, &qr);
+        write_f32s(args[8].buffer_mut()?, &qi);
+    }
+    Ok(())
+}
+
+fn k_mri_fhd(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 12)?;
+    mri_core(args, true)
+}
+
+fn k_mri_q(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 11)?;
+    mri_core(args, false)
+}
+
+// ---------------------------------------------------------------------
+// Miscellaneous
+// ---------------------------------------------------------------------
+
+fn k_mersenne_twister(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 4)?;
+    let n = args[2].scalar_u32()? as usize;
+    let per = args[3].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, n * 4)?;
+    check_len(1, args[1].buffer()?, n * per * 4)?;
+    let seeds = to_u32_vec(args[0].buffer()?);
+    let mut out = vec![0.0f32; n * per];
+    for i in 0..n {
+        let mut state = seeds[i];
+        for (j, slot) in out[i * per..(i + 1) * per].iter_mut().enumerate() {
+            let _ = j;
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            *slot = (state >> 8) as f32 / 16_777_216.0;
+        }
+    }
+    write_f32s(args[1].buffer_mut()?, &out);
+    Ok(())
+}
+
+fn k_quasirandom(args: &mut [ArgData], _global: [u64; 3]) -> Result<(), ExecError> {
+    expect_args(args, 2)?;
+    let n = args[1].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, n * 4)?;
+    const PHI: f64 = 0.618_033_988_749_894_9;
+    let out: Vec<f32> = (0..n)
+        .map(|i| {
+            let v = i as f64 * PHI;
+            (v - v.floor()) as f32
+        })
+        .collect();
+    write_f32s(args[0].buffer_mut()?, &out);
+    Ok(())
+}
+
+fn k_sampler_scale(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 3)?;
+    let n = args[2].scalar_u32()? as usize;
+    check_len(0, args[0].buffer()?, n * 4)?;
+    // The sampler handle arrives as an 8-byte opaque scalar; its value
+    // does not affect the computation (as with a real const sampler).
+    match &args[1] {
+        ArgData::Scalar(b) if b.len() == 8 => {}
+        _ => {
+            return Err(ExecError::ArgType {
+                expected: "8-byte sampler handle",
+                got: "other",
+            })
+        }
+    }
+    let out: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+    write_f32s(args[0].buffer_mut()?, &out);
+    Ok(())
+}
+
+fn k_image_scale(args: &mut [ArgData]) -> Result<(), ExecError> {
+    expect_args(args, 5)?;
+    let w = args[3].scalar_u32()? as usize;
+    let h = args[4].scalar_u32()? as usize;
+    match &args[1] {
+        ArgData::Scalar(b) if b.len() == 8 => {} // the sampler handle
+        _ => {
+            return Err(ExecError::ArgType {
+                expected: "8-byte sampler handle",
+                got: "other",
+            })
+        }
+    }
+    check_len(0, args[0].buffer()?, w * h * 4)?;
+    check_len(2, args[2].buffer()?, w * h * 4)?;
+    let img = to_f32_vec(args[0].buffer()?);
+    let out: Vec<f32> = img[..w * h].iter().map(|v| v * 2.0).collect();
+    write_f32s(args[2].buffer_mut()?, &out);
+    Ok(())
+}
+
+fn k_consume(args: &mut [ArgData]) -> Result<(), ExecError> {
+    // Takes a by-value struct (opaque 16-byte blob holding a device
+    // pointer the driver has already validated) plus an output buffer.
+    expect_args(args, 2)?;
+    match &args[0] {
+        ArgData::Scalar(b) if b.len() == 16 => {}
+        _ => {
+            return Err(ExecError::ArgType {
+                expected: "16-byte struct",
+                got: "other",
+            })
+        }
+    }
+    let out = args[1].buffer_mut()?;
+    if out.len() >= 4 {
+        out[..4].copy_from_slice(&1.0f32.to_le_bytes());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::f32util::{f32s_to_bytes, u32s_to_bytes};
+
+    fn buf_f32(v: &[f32]) -> ArgData {
+        ArgData::Buffer(f32s_to_bytes(v))
+    }
+
+    fn buf_u32(v: &[u32]) -> ArgData {
+        ArgData::Buffer(u32s_to_bytes(v))
+    }
+
+    fn scalar_u32(v: u32) -> ArgData {
+        ArgData::Scalar(v.to_le_bytes().to_vec())
+    }
+
+    fn scalar_f32(v: f32) -> ArgData {
+        ArgData::Scalar(v.to_le_bytes().to_vec())
+    }
+
+    fn out_f32(args: &[ArgData], idx: usize) -> Vec<f32> {
+        to_f32_vec(args[idx].buffer().unwrap())
+    }
+
+    #[test]
+    fn vec_add_adds() {
+        let mut args = vec![
+            buf_f32(&[1.0, 2.0, 3.0]),
+            buf_f32(&[10.0, 20.0, 30.0]),
+            buf_f32(&[0.0; 3]),
+            scalar_u32(3),
+        ];
+        execute("vec_add", [3, 1, 1], &mut args).unwrap();
+        assert_eq!(out_f32(&args, 2), vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn triad_fma() {
+        let mut args = vec![
+            buf_f32(&[0.0; 2]),
+            buf_f32(&[1.0, 2.0]),
+            buf_f32(&[10.0, 20.0]),
+            scalar_f32(0.5),
+            scalar_u32(2),
+        ];
+        execute("triad", [2, 1, 1], &mut args).unwrap();
+        assert_eq!(out_f32(&args, 0), vec![6.0, 12.0]);
+    }
+
+    #[test]
+    fn reduce_and_scan() {
+        let mut args = vec![
+            buf_f32(&[1.0, 2.0, 3.0, 4.0]),
+            buf_f32(&[0.0]),
+            ArgData::Local(64),
+            scalar_u32(4),
+        ];
+        execute("reduce_sum", [4, 1, 1], &mut args).unwrap();
+        assert_eq!(out_f32(&args, 1), vec![10.0]);
+
+        let mut args = vec![
+            buf_f32(&[1.0, 2.0, 3.0, 4.0]),
+            buf_f32(&[0.0; 4]),
+            ArgData::Local(64),
+            scalar_u32(4),
+        ];
+        execute("scan_exclusive", [4, 1, 1], &mut args).unwrap();
+        assert_eq!(out_f32(&args, 1), vec![0.0, 1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn full_bitonic_schedule_sorts() {
+        let n: usize = 64;
+        let mut keys: Vec<u32> =
+            (0..n as u32).map(|i| i.wrapping_mul(2_654_435_761) % 1000).collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        let mut buf = buf_u32(&keys);
+        let log_n = n.trailing_zeros();
+        for stage in 0..log_n {
+            for pass in (0..=stage).rev() {
+                let mut args = vec![
+                    buf.clone(),
+                    scalar_u32(n as u32),
+                    scalar_u32(stage),
+                    scalar_u32(pass),
+                ];
+                execute("bitonic_sort", [n as u64, 1, 1], &mut args).unwrap();
+                buf = args.swap_remove(0);
+            }
+        }
+        keys = to_u32_vec(buf.buffer().unwrap());
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn radix_sort_sorts() {
+        let keys: Vec<u32> = (0..200u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        let mut args = vec![buf_u32(&keys), scalar_u32(200)];
+        execute("radix_sort", [200, 1, 1], &mut args).unwrap();
+        assert_eq!(to_u32_vec(args[0].buffer().unwrap()), expected);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let w = 3usize;
+        let h = 2usize;
+        let input: Vec<f32> = (0..(w * h)).map(|i| i as f32).collect();
+        let mut args = vec![
+            buf_f32(&input),
+            buf_f32(&vec![0.0; w * h]),
+            scalar_u32(w as u32),
+            scalar_u32(h as u32),
+        ];
+        execute("transpose", [w as u64, h as u64, 1], &mut args).unwrap();
+        let t = out_f32(&args, 1);
+        // Transpose of transpose restores the original.
+        let mut args2 = vec![
+            buf_f32(&t),
+            buf_f32(&vec![0.0; w * h]),
+            scalar_u32(h as u32),
+            scalar_u32(w as u32),
+        ];
+        execute("transpose", [h as u64, w as u64, 1], &mut args2).unwrap();
+        assert_eq!(out_f32(&args2, 1), input);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = 4usize;
+        let mut ident = vec![0.0f32; m * m];
+        for i in 0..m {
+            ident[i * m + i] = 1.0;
+        }
+        let a: Vec<f32> = (0..m * m).map(|i| i as f32).collect();
+        let mut args = vec![
+            buf_f32(&a),
+            buf_f32(&ident),
+            buf_f32(&vec![0.0; m * m]),
+            scalar_u32(m as u32),
+            scalar_u32(m as u32),
+            scalar_u32(m as u32),
+        ];
+        execute("matmul", [m as u64, m as u64, 1], &mut args).unwrap();
+        assert_eq!(out_f32(&args, 2), a);
+    }
+
+    #[test]
+    fn sgemm_alpha_beta() {
+        // 1x1 case: c = alpha*a*b + beta*c.
+        let mut args = vec![
+            buf_f32(&[2.0]),
+            buf_f32(&[3.0]),
+            buf_f32(&[10.0]),
+            scalar_u32(1),
+            scalar_u32(1),
+            scalar_u32(1),
+            scalar_f32(2.0),
+            scalar_f32(0.5),
+        ];
+        execute("sgemm", [1, 1, 1], &mut args).unwrap();
+        assert_eq!(out_f32(&args, 2), vec![17.0]);
+    }
+
+    #[test]
+    fn black_scholes_sane() {
+        // At-the-money call with positive rates is worth more than zero
+        // and less than the stock.
+        let mut args = vec![
+            buf_f32(&[0.0]),
+            buf_f32(&[0.0]),
+            buf_f32(&[100.0]),
+            buf_f32(&[100.0]),
+            buf_f32(&[1.0]),
+            scalar_f32(0.05),
+            scalar_f32(0.2),
+            scalar_u32(1),
+        ];
+        execute("black_scholes", [1, 1, 1], &mut args).unwrap();
+        let call = out_f32(&args, 0)[0];
+        let put = out_f32(&args, 1)[0];
+        assert!(call > 5.0 && call < 20.0, "call {call}");
+        assert!(put > 0.0 && put < call, "put {put}");
+        // Put-call parity: C - P = S - X e^{-rT}.
+        let parity = 100.0 - 100.0 * (-0.05f32).exp();
+        assert!((call - put - parity).abs() < 0.05);
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let data: Vec<f32> = (0..128).map(|i| (i % 64) as f32 / 64.0).collect();
+        let mut args = vec![
+            buf_f32(&data),
+            buf_u32(&[0; 64]),
+            ArgData::Local(256),
+            scalar_u32(128),
+        ];
+        execute("histogram64", [128, 1, 1], &mut args).unwrap();
+        let hist = to_u32_vec(args[1].buffer().unwrap());
+        assert_eq!(hist.iter().sum::<u32>(), 128);
+        assert!(hist.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn fft_roundtrip_via_parseval() {
+        // FFT of a unit impulse is flat with magnitude 1 in every bin.
+        let n = 16usize;
+        let mut re = vec![0.0f32; n];
+        re[0] = 1.0;
+        let im = vec![0.0f32; n];
+        let mut args = vec![buf_f32(&re), buf_f32(&im), scalar_u32(n as u32)];
+        execute("fft_radix2", [n as u64, 1, 1], &mut args).unwrap();
+        let re_out = out_f32(&args, 0);
+        let im_out = out_f32(&args, 1);
+        for k in 0..n {
+            let mag = (re_out[k] * re_out[k] + im_out[k] * im_out[k]).sqrt();
+            assert!((mag - 1.0).abs() < 1e-5, "bin {k} mag {mag}");
+        }
+    }
+
+    #[test]
+    fn fft_rejects_non_power_of_two() {
+        let mut args = vec![buf_f32(&[0.0; 12]), buf_f32(&[0.0; 12]), scalar_u32(12)];
+        assert!(execute("fft_radix2", [12, 1, 1], &mut args).is_err());
+    }
+
+    #[test]
+    fn s3d_rates_differ_by_program() {
+        let state = vec![2.0f32];
+        let mut a0 = vec![buf_f32(&state), buf_f32(&[0.0]), scalar_u32(1)];
+        execute("rate_0", [1, 1, 1], &mut a0).unwrap();
+        let mut a5 = vec![buf_f32(&state), buf_f32(&[0.0]), scalar_u32(1)];
+        execute("rate_5", [1, 1, 1], &mut a5).unwrap();
+        // rate_0: 1 + 2t + 3t² = 17; rate_5: 6 + 7t + 8t² = 52.
+        assert_eq!(out_f32(&a0, 1), vec![17.0]);
+        assert_eq!(out_f32(&a5, 1), vec![52.0]);
+    }
+
+    #[test]
+    fn md_forces_antisymmetric_for_pair() {
+        // Two atoms on the x axis: forces are equal and opposite.
+        let pos = vec![0.0f32, 0.0, 0.0, 1.5, 0.0, 0.0];
+        let mut args = vec![
+            buf_f32(&pos),
+            buf_f32(&[0.0; 6]),
+            scalar_u32(2),
+            scalar_f32(3.0),
+        ];
+        execute("md_forces", [2, 1, 1], &mut args).unwrap();
+        let f = out_f32(&args, 1);
+        assert!((f[0] + f[3]).abs() < 1e-5);
+        assert_eq!(f[1], 0.0);
+        assert_eq!(f[2], 0.0);
+        assert_ne!(f[0], 0.0);
+    }
+
+    #[test]
+    fn quasirandom_in_unit_interval() {
+        let mut args = vec![buf_f32(&vec![0.0; 100]), scalar_u32(100)];
+        execute("quasirandom", [100, 1, 1], &mut args).unwrap();
+        let out = out_f32(&args, 0);
+        assert!(out.iter().all(|&v| (0.0..1.0).contains(&v)));
+        assert_eq!(out[0], 0.0);
+        assert!(out[1] > 0.6 && out[1] < 0.63);
+    }
+
+    #[test]
+    fn mersenne_deterministic() {
+        let seeds = vec![1u32, 2];
+        let run = || {
+            let mut args = vec![
+                buf_u32(&seeds),
+                buf_f32(&[0.0; 8]),
+                scalar_u32(2),
+                scalar_u32(4),
+            ];
+            execute("mersenne_twister", [2, 1, 1], &mut args).unwrap();
+            out_f32(&args, 1)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn dxt_endpoints_are_min_max() {
+        let src: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let mut args = vec![
+            buf_f32(&src),
+            buf_f32(&[0.0, 0.0]),
+            scalar_u32(4),
+            scalar_u32(4),
+        ];
+        execute("dxt_compress", [1, 1, 1], &mut args).unwrap();
+        assert_eq!(out_f32(&args, 1), vec![0.0, 15.0]);
+    }
+
+    #[test]
+    fn dct_preserves_energy_of_dc_block() {
+        // A constant 8x8 block transforms to a single DC coefficient.
+        let src = vec![1.0f32; 64];
+        let mut args = vec![
+            buf_f32(&src),
+            buf_f32(&vec![0.0; 64]),
+            scalar_u32(8),
+            scalar_u32(8),
+        ];
+        execute("dct8x8", [8, 8, 1], &mut args).unwrap();
+        let out = out_f32(&args, 1);
+        assert!((out[0] - 8.0).abs() < 1e-4, "DC {}", out[0]);
+        assert!(out[1..].iter().all(|&v| v.abs() < 1e-4));
+    }
+
+    #[test]
+    fn conv_identity_filter() {
+        let src: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let mut args = vec![
+            buf_f32(&src),
+            buf_f32(&[0.0; 12]),
+            buf_f32(&[0.0, 1.0, 0.0]),
+            scalar_u32(4),
+            scalar_u32(3),
+            scalar_u32(1),
+        ];
+        execute("conv_rows", [4, 3, 1], &mut args).unwrap();
+        assert_eq!(out_f32(&args, 1), src);
+        let mut args = vec![
+            buf_f32(&src),
+            buf_f32(&[0.0; 12]),
+            buf_f32(&[0.0, 1.0, 0.0]),
+            scalar_u32(4),
+            scalar_u32(3),
+            scalar_u32(1),
+        ];
+        execute("conv_cols", [4, 3, 1], &mut args).unwrap();
+        assert_eq!(out_f32(&args, 1), src);
+    }
+
+    #[test]
+    fn stencil_preserves_constant_field() {
+        let src = vec![2.0f32; 16];
+        let mut args = vec![
+            buf_f32(&src),
+            buf_f32(&[0.0; 16]),
+            scalar_u32(4),
+            scalar_u32(4),
+        ];
+        execute("stencil2d", [4, 4, 1], &mut args).unwrap();
+        for v in out_f32(&args, 1) {
+            assert!((v - 2.0).abs() < 1e-5);
+        }
+        // FDTD coefficients also sum to 1.0.
+        let src3 = vec![3.0f32; 27];
+        let mut args = vec![
+            buf_f32(&src3),
+            buf_f32(&[0.0; 27]),
+            scalar_u32(3),
+            scalar_u32(3),
+            scalar_u32(3),
+        ];
+        execute("fdtd3d", [3, 3, 3], &mut args).unwrap();
+        for v in out_f32(&args, 1) {
+            assert!((v - 3.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mri_q_single_sample() {
+        // One k-space sample at the origin: q = phi * (cos 0, sin 0).
+        let mut args = vec![
+            buf_f32(&[2.0]),                      // phi_mag
+            buf_f32(&[0.0]),                      // kx
+            buf_f32(&[0.0]),                      // ky
+            buf_f32(&[0.0]),                      // kz
+            buf_f32(&[1.0]),                      // x
+            buf_f32(&[1.0]),                      // y
+            buf_f32(&[1.0]),                      // z
+            buf_f32(&[0.0]),                      // qr
+            buf_f32(&[0.0]),                      // qi
+            scalar_u32(1),
+            scalar_u32(1),
+        ];
+        execute("mri_q", [1, 1, 1], &mut args).unwrap();
+        assert_eq!(out_f32(&args, 7), vec![2.0]);
+        assert_eq!(out_f32(&args, 8), vec![0.0]);
+    }
+
+    #[test]
+    fn cp_potential_positive_charges() {
+        let atoms = vec![0.0f32, 0.0, 1.0, 5.0]; // one atom, charge 5
+        let mut args = vec![
+            buf_f32(&atoms),
+            buf_f32(&[0.0; 4]),
+            scalar_u32(1),
+            scalar_u32(2),
+            scalar_u32(2),
+        ];
+        execute("cp_potential", [2, 2, 1], &mut args).unwrap();
+        let grid = out_f32(&args, 1);
+        assert!(grid.iter().all(|&v| v > 0.0));
+        // Closest grid point (0,0) sees the highest potential.
+        assert!(grid[0] >= grid[3]);
+    }
+
+    #[test]
+    fn mri_rejects_undersized_buffers() {
+        // Regression: only the first 4 bytes used to be validated.
+        let mut args = vec![
+            buf_f32(&[1.0]), // phi_mag: 1 element but nk = 8
+            buf_f32(&[0.0]),
+            buf_f32(&[0.0]),
+            buf_f32(&[0.0]),
+            buf_f32(&[1.0]),
+            buf_f32(&[1.0]),
+            buf_f32(&[1.0]),
+            buf_f32(&[0.0]),
+            buf_f32(&[0.0]),
+            scalar_u32(8),
+            scalar_u32(1),
+        ];
+        assert!(matches!(
+            execute("mri_q", [1, 1, 1], &mut args),
+            Err(ExecError::BufferTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_for_bad_launches() {
+        assert!(matches!(
+            execute("no_such_kernel", [1, 1, 1], &mut []),
+            Err(ExecError::UnknownKernel(_))
+        ));
+        let mut args = vec![buf_f32(&[1.0])];
+        assert!(matches!(
+            execute("vec_add", [1, 1, 1], &mut args),
+            Err(ExecError::ArgCount { expected: 4, got: 1 })
+        ));
+        // Buffer too small for requested n.
+        let mut args = vec![
+            buf_f32(&[1.0]),
+            buf_f32(&[1.0]),
+            buf_f32(&[1.0]),
+            scalar_u32(100),
+        ];
+        assert!(matches!(
+            execute("vec_add", [100, 1, 1], &mut args),
+            Err(ExecError::BufferTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn sampler_scale_requires_sampler_arg() {
+        let mut ok = vec![
+            buf_f32(&[0.0; 4]),
+            ArgData::Scalar(vec![0u8; 8]),
+            scalar_u32(4),
+        ];
+        execute("sampler_scale", [4, 1, 1], &mut ok).unwrap();
+        assert_eq!(out_f32(&ok, 0), vec![0.0, 0.5, 1.0, 1.5]);
+        let mut bad = vec![buf_f32(&[0.0; 4]), scalar_u32(1), scalar_u32(4)];
+        assert!(execute("sampler_scale", [4, 1, 1], &mut bad).is_err());
+    }
+}

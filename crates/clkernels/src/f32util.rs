@@ -1,0 +1,106 @@
+//! Byte ↔ typed-slice conversions for kernel implementations.
+//!
+//! Device buffers are raw bytes; kernels view them as `f32`/`u32`
+//! arrays. Conversions are explicit copies (no unsafe transmutes), with
+//! little-endian layout fixed so results are platform-independent.
+
+/// Interpret a byte buffer as `f32` values (little-endian). Trailing
+/// bytes that don't fill a lane are ignored, as on a real device.
+pub fn to_f32_vec(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Write `f32` values back to a byte buffer starting at element 0.
+/// Panics if the buffer is too small — callers validate sizes first.
+pub fn write_f32s(bytes: &mut [u8], values: &[f32]) {
+    assert!(
+        bytes.len() >= values.len() * 4,
+        "buffer too small: {} bytes for {} f32s",
+        bytes.len(),
+        values.len()
+    );
+    for (i, v) in values.iter().enumerate() {
+        bytes[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Interpret a byte buffer as `u32` values (little-endian).
+pub fn to_u32_vec(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Write `u32` values back to a byte buffer starting at element 0.
+pub fn write_u32s(bytes: &mut [u8], values: &[u32]) {
+    assert!(
+        bytes.len() >= values.len() * 4,
+        "buffer too small: {} bytes for {} u32s",
+        bytes.len(),
+        values.len()
+    );
+    for (i, v) in values.iter().enumerate() {
+        bytes[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Pack `f32` values into a fresh byte vector.
+pub fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Pack `u32` values into a fresh byte vector.
+pub fn u32s_to_bytes(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip() {
+        let vals = [1.0f32, -2.5, 3.25];
+        let bytes = f32s_to_bytes(&vals);
+        assert_eq!(to_f32_vec(&bytes), vals);
+        let mut buf = vec![0u8; 12];
+        write_f32s(&mut buf, &vals);
+        assert_eq!(buf, bytes);
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let vals = [1u32, 0xdead_beef, 42];
+        let bytes = u32s_to_bytes(&vals);
+        assert_eq!(to_u32_vec(&bytes), vals);
+        let mut buf = vec![0u8; 12];
+        write_u32s(&mut buf, &vals);
+        assert_eq!(buf, bytes);
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        let mut bytes = f32s_to_bytes(&[1.0]);
+        bytes.push(0xff);
+        assert_eq!(to_f32_vec(&bytes), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer too small")]
+    fn write_overflow_panics() {
+        let mut buf = vec![0u8; 4];
+        write_f32s(&mut buf, &[1.0, 2.0]);
+    }
+}

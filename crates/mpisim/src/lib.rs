@@ -1,0 +1,311 @@
+//! `mpisim` — MPI-like ranks and coordinated global snapshots.
+//!
+//! The paper demonstrates CheCL on MPI programs (Open MPI + the Hursey
+//! et al. coordinated checkpointing: "the checkpoint files of
+//! individual computing nodes, called local snapshots, are aggregated
+//! into a global snapshot, and stored in an NFS file. Therefore, the
+//! checkpoint time also increases with the number of nodes", §IV-B /
+//! Fig. 6). This crate provides exactly that substrate:
+//!
+//! * [`MpiWorld`] — a set of rank processes spread over cluster nodes,
+//!   with barrier/allreduce collectives that advance the ranks'
+//!   virtual clocks through a gigabit-Ethernet cost model;
+//! * [`coordinated_checkpoint`] — barrier, then per-rank local
+//!   snapshots serialized onto the shared NFS server (one writer at a
+//!   time — the contention that makes global snapshot time grow with
+//!   rank count).
+//!
+//! The checkpoint mechanism itself is injected as a closure, so the
+//! same machinery snapshots plain CPU ranks via `blcr` and CheCL ranks
+//! via `checl` without a dependency cycle.
+
+use osproc::{Cluster, NodeId, Pid};
+use simcore::{calib, ByteSize, SimDuration, SimTime};
+
+/// A communicator: rank index → process.
+#[derive(Clone, Debug)]
+pub struct MpiWorld {
+    ranks: Vec<Pid>,
+}
+
+impl MpiWorld {
+    /// Launch `n_ranks` processes round-robin across `nodes`
+    /// (`mpirun -np n`).
+    pub fn init(cluster: &mut Cluster, nodes: &[NodeId], n_ranks: usize) -> MpiWorld {
+        assert!(!nodes.is_empty(), "need at least one node");
+        assert!(n_ranks > 0, "need at least one rank");
+        let ranks = (0..n_ranks)
+            .map(|i| cluster.spawn(nodes[i % nodes.len()]))
+            .collect();
+        MpiWorld { ranks }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The process behind a rank.
+    pub fn rank_pid(&self, rank: usize) -> Pid {
+        self.ranks[rank]
+    }
+
+    /// All rank pids in rank order.
+    pub fn pids(&self) -> &[Pid] {
+        &self.ranks
+    }
+
+    /// Replace a rank's process (after restart/migration).
+    pub fn replace_rank(&mut self, rank: usize, pid: Pid) {
+        self.ranks[rank] = pid;
+    }
+
+    /// The latest clock among all ranks.
+    pub fn max_clock(&self, cluster: &Cluster) -> SimTime {
+        self.ranks
+            .iter()
+            .map(|&p| cluster.process(p).clock)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// `MPI_Barrier`: all ranks synchronize to the slowest, paying a
+    /// log₂(n)-deep exchange over the interconnect.
+    pub fn barrier(&self, cluster: &mut Cluster) {
+        let rounds = (self.size().max(2) as f64).log2().ceil() as u64;
+        let cost = calib::gige_link().cost_empty() * rounds;
+        let target = self.max_clock(cluster) + cost;
+        for &p in &self.ranks {
+            cluster.process_mut(p).clock = target;
+        }
+    }
+
+    /// `MPI_Allreduce` on `bytes` of payload: a barrier-equivalent
+    /// exchange that also moves data every round.
+    pub fn allreduce(&self, cluster: &mut Cluster, bytes: ByteSize) {
+        let rounds = (self.size().max(2) as f64).log2().ceil() as u64;
+        let per_round = calib::gige_link().cost(bytes);
+        let target = self.max_clock(cluster) + per_round * rounds;
+        for &p in &self.ranks {
+            cluster.process_mut(p).clock = target;
+        }
+    }
+
+    /// Point-to-point send: advances both clocks past the transfer.
+    pub fn send(&self, cluster: &mut Cluster, from: usize, to: usize, bytes: ByteSize) {
+        let cost = calib::gige_link().cost(bytes);
+        let sender = self.ranks[from];
+        let receiver = self.ranks[to];
+        let depart = cluster.process(sender).clock + cost;
+        cluster.process_mut(sender).clock = depart;
+        let r = cluster.process_mut(receiver);
+        r.clock = r.clock.max(depart);
+    }
+}
+
+/// The result of one coordinated (global) checkpoint.
+#[derive(Clone, Debug)]
+pub struct GlobalSnapshot {
+    /// Per-rank snapshot file paths (on the shared mount).
+    pub files: Vec<String>,
+    /// Per-rank snapshot sizes.
+    pub sizes: Vec<ByteSize>,
+    /// Wall time from the coordination barrier to the last local
+    /// snapshot landing in the global store.
+    pub elapsed: SimDuration,
+}
+
+impl GlobalSnapshot {
+    /// Total global snapshot size.
+    pub fn total_size(&self) -> ByteSize {
+        self.sizes.iter().copied().sum()
+    }
+}
+
+/// Coordinated checkpointing (Hursey et al.): barrier all ranks, then
+/// write each rank's local snapshot into the shared store under
+/// `prefix`. The shared NFS server admits one snapshot writer at a
+/// time, so elapsed time grows with both snapshot size *and* rank
+/// count — the two trends of Fig. 6.
+///
+/// `ckpt_rank(cluster, pid, path)` performs one rank's snapshot and
+/// returns its file size; it is `blcr::checkpoint` for plain ranks or
+/// a `checl` checkpoint for OpenCL ranks.
+pub fn coordinated_checkpoint<E>(
+    cluster: &mut Cluster,
+    world: &MpiWorld,
+    prefix: &str,
+    mut ckpt_rank: impl FnMut(&mut Cluster, Pid, &str) -> Result<ByteSize, E>,
+) -> Result<GlobalSnapshot, E> {
+    world.barrier(cluster);
+    let start = world.max_clock(cluster);
+    let mut files = Vec::with_capacity(world.size());
+    let mut sizes = Vec::with_capacity(world.size());
+    // One writer at a time on the shared server: each rank may begin
+    // its write only when the previous rank's write has finished.
+    let mut server_free = start;
+    for rank in 0..world.size() {
+        let pid = world.rank_pid(rank);
+        {
+            let p = cluster.process_mut(pid);
+            p.clock = p.clock.max(server_free);
+        }
+        let path = format!("{prefix}.rank{rank}.ckpt");
+        let size = ckpt_rank(cluster, pid, &path)?;
+        server_free = cluster.process(pid).clock;
+        files.push(path);
+        sizes.push(size);
+    }
+    Ok(GlobalSnapshot {
+        files,
+        sizes,
+        elapsed: server_free.since(start),
+    })
+}
+
+/// Restart every rank of a failed job from a global snapshot,
+/// round-robin across `nodes`, returning the new world.
+///
+/// `restart_rank(cluster, node, path)` restores one rank (plain
+/// `blcr::restart`, or a CheCL restart for OpenCL ranks).
+pub fn restart_world<E>(
+    cluster: &mut Cluster,
+    snapshot: &GlobalSnapshot,
+    nodes: &[NodeId],
+    mut restart_rank: impl FnMut(&mut Cluster, NodeId, &str) -> Result<Pid, E>,
+) -> Result<MpiWorld, E> {
+    assert!(!nodes.is_empty(), "need at least one node");
+    let mut ranks = Vec::with_capacity(snapshot.files.len());
+    for (i, file) in snapshot.files.iter().enumerate() {
+        let node = nodes[i % nodes.len()];
+        ranks.push(restart_rank(cluster, node, file)?);
+    }
+    Ok(MpiWorld { ranks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_and_world(nodes: usize, ranks: usize) -> (Cluster, MpiWorld) {
+        let mut cluster = Cluster::with_standard_nodes(nodes);
+        let node_ids = cluster.node_ids();
+        let world = MpiWorld::init(&mut cluster, &node_ids, ranks);
+        (cluster, world)
+    }
+
+    #[test]
+    fn ranks_distributed_round_robin() {
+        let (cluster, world) = cluster_and_world(2, 4);
+        assert_eq!(world.size(), 4);
+        let n0 = cluster.process(world.rank_pid(0)).node;
+        let n1 = cluster.process(world.rank_pid(1)).node;
+        let n2 = cluster.process(world.rank_pid(2)).node;
+        assert_ne!(n0, n1);
+        assert_eq!(n0, n2);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let (mut cluster, world) = cluster_and_world(2, 4);
+        cluster.process_mut(world.rank_pid(2)).clock += SimDuration::from_millis(5);
+        world.barrier(&mut cluster);
+        let clocks: Vec<SimTime> = world
+            .pids()
+            .iter()
+            .map(|&p| cluster.process(p).clock)
+            .collect();
+        assert!(clocks.windows(2).all(|w| w[0] == w[1]));
+        assert!(clocks[0] > SimTime::ZERO + SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn allreduce_costs_more_with_payload() {
+        let (mut cluster, world) = cluster_and_world(2, 4);
+        world.allreduce(&mut cluster, ByteSize::mib(1));
+        let t1 = world.max_clock(&cluster);
+        world.allreduce(&mut cluster, ByteSize::mib(8));
+        let t2 = world.max_clock(&cluster);
+        assert!(t2.since(t1) > t1.since(SimTime::ZERO));
+    }
+
+    #[test]
+    fn send_advances_receiver() {
+        let (mut cluster, world) = cluster_and_world(2, 2);
+        world.send(&mut cluster, 0, 1, ByteSize::mib(4));
+        let s = cluster.process(world.rank_pid(0)).clock;
+        let r = cluster.process(world.rank_pid(1)).clock;
+        assert_eq!(s, r);
+        assert!(s > SimTime::ZERO);
+    }
+
+    #[test]
+    fn global_snapshot_grows_with_ranks_and_size() {
+        let snap = |ranks: usize, bytes: usize| {
+            let (mut cluster, world) = cluster_and_world(2, ranks);
+            for &p in world.pids() {
+                cluster.process_mut(p).image.put("data", vec![0u8; bytes]);
+            }
+            coordinated_checkpoint(&mut cluster, &world, "/nfs/job", blcr::checkpoint).unwrap()
+        };
+        let small_few = snap(2, 1 << 20);
+        let small_many = snap(4, 1 << 20);
+        let big_few = snap(2, 8 << 20);
+        // More ranks → longer (serialized NFS writes).
+        assert!(small_many.elapsed > small_few.elapsed);
+        // Bigger problem → longer.
+        assert!(big_few.elapsed > small_few.elapsed);
+        // And the snapshot sizes add up.
+        assert_eq!(small_many.sizes.len(), 4);
+        assert!(small_many.total_size() > small_few.total_size());
+    }
+
+    #[test]
+    fn whole_world_restart() {
+        let (mut cluster, world) = cluster_and_world(2, 4);
+        for (i, &p) in world.pids().iter().enumerate() {
+            cluster
+                .process_mut(p)
+                .image
+                .put("rank", vec![i as u8 + 1; 16]);
+        }
+        let snap =
+            coordinated_checkpoint(&mut cluster, &world, "/nfs/w", blcr::checkpoint).unwrap();
+        // The whole job dies.
+        for &p in world.pids() {
+            cluster.kill(p);
+        }
+        // Bring it back on one surviving node.
+        let nodes = [cluster.node_ids()[0]];
+        let new_world =
+            restart_world(&mut cluster, &snap, &nodes, blcr::restart).unwrap();
+        assert_eq!(new_world.size(), 4);
+        for (i, &p) in new_world.pids().iter().enumerate() {
+            assert_eq!(
+                cluster.process(p).image.get("rank"),
+                Some(&vec![i as u8 + 1; 16][..]),
+                "rank {i} state"
+            );
+            assert_eq!(cluster.process(p).node, nodes[0]);
+        }
+    }
+
+    #[test]
+    fn global_snapshot_restartable_per_rank() {
+        let (mut cluster, world) = cluster_and_world(2, 2);
+        for (i, &p) in world.pids().iter().enumerate() {
+            cluster
+                .process_mut(p)
+                .image
+                .put("rank-data", vec![i as u8; 64]);
+        }
+        let snap =
+            coordinated_checkpoint(&mut cluster, &world, "/nfs/md", blcr::checkpoint).unwrap();
+        // Restart rank 1 on node 0 (cross-node via NFS).
+        let node0 = cluster.node_ids()[0];
+        let new_pid = blcr::restart(&mut cluster, node0, &snap.files[1]).unwrap();
+        assert_eq!(
+            cluster.process(new_pid).image.get("rank-data"),
+            Some(&[1u8; 64][..])
+        );
+    }
+}

@@ -1,0 +1,374 @@
+//! The cluster: nodes, mounted filesystems, and the process table.
+
+use crate::fs::{Fs, FsError, FsKind};
+use crate::ids::{FsId, NodeId, Pid};
+use crate::process::{ProcState, Process, Signal};
+use simcore::{ByteSize, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// A machine in the cluster.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Node id.
+    pub id: NodeId,
+    /// Host name (e.g. `"pc0"`).
+    pub name: String,
+    /// Mount table: mount point → filesystem. Longest-prefix match wins
+    /// during path resolution.
+    pub mounts: BTreeMap<String, FsId>,
+}
+
+impl Node {
+    /// Resolve an absolute path to `(filesystem, path)` via the mount
+    /// table.
+    pub fn resolve(&self, path: &str) -> Option<(FsId, String)> {
+        self.mounts
+            .iter()
+            .filter(|(mp, _)| path == *mp || path.starts_with(&format!("{mp}/")))
+            .max_by_key(|(mp, _)| mp.len())
+            .map(|(_, fs)| (*fs, path.to_string()))
+    }
+}
+
+/// The whole simulated cluster.
+///
+/// Processes, nodes and filesystems are arena-allocated and addressed
+/// by id so the simulation stays single-threaded and deterministic.
+#[derive(Debug, Default)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    filesystems: Vec<Fs>,
+    processes: BTreeMap<Pid, Process>,
+    next_pid: u32,
+}
+
+impl Cluster {
+    /// An empty cluster.
+    pub fn new() -> Self {
+        Cluster::default()
+    }
+
+    /// Build the standard evaluation node layout of the paper: every
+    /// node gets a local disk (`/local`) and a RAM disk (`/ram`), and
+    /// all nodes share one NFS mount (`/nfs`).
+    pub fn with_standard_nodes(n: usize) -> Self {
+        let mut c = Cluster::new();
+        let nfs = c.add_fs(Fs::new(FsKind::Nfs, "nfs-shared"));
+        for i in 0..n {
+            let node = c.add_node(format!("pc{i}"));
+            let local = c.add_fs(Fs::new(FsKind::LocalDisk, format!("pc{i}-disk")));
+            let ram = c.add_fs(Fs::new(FsKind::RamDisk, format!("pc{i}-ram")));
+            c.mount(node, "/local", local);
+            c.mount(node, "/ram", ram);
+            c.mount(node, "/nfs", nfs);
+        }
+        c
+    }
+
+    /// Add a node.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            name: name.into(),
+            mounts: BTreeMap::new(),
+        });
+        id
+    }
+
+    /// Add a filesystem instance.
+    pub fn add_fs(&mut self, fs: Fs) -> FsId {
+        let id = FsId(self.filesystems.len() as u32);
+        self.filesystems.push(fs);
+        id
+    }
+
+    /// Mount a filesystem on a node.
+    pub fn mount(&mut self, node: NodeId, mount_point: &str, fs: FsId) {
+        self.nodes[node.0 as usize]
+            .mounts
+            .insert(mount_point.to_string(), fs);
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(|n| n.id).collect()
+    }
+
+    /// Filesystem accessor.
+    pub fn fs(&self, id: FsId) -> &Fs {
+        &self.filesystems[id.0 as usize]
+    }
+
+    /// Mutable filesystem accessor.
+    pub fn fs_mut(&mut self, id: FsId) -> &mut Fs {
+        &mut self.filesystems[id.0 as usize]
+    }
+
+    /// Spawn a fresh process on `node`.
+    pub fn spawn(&mut self, node: NodeId) -> Pid {
+        assert!(
+            (node.0 as usize) < self.nodes.len(),
+            "spawn on unknown node"
+        );
+        self.next_pid += 1;
+        let pid = Pid(self.next_pid);
+        self.processes.insert(pid, Process::new(pid, node, None));
+        pid
+    }
+
+    /// Fork a child of `parent` on the same node. The child starts with
+    /// an empty image (we model `fork` + `exec` of a helper binary, which
+    /// is how CheCL launches its API proxy) and inherits the parent's
+    /// clock plus the fork cost.
+    pub fn fork(&mut self, parent: Pid, cost: SimDuration) -> Pid {
+        let (node, clock) = {
+            let p = self.process(parent);
+            assert!(p.is_alive(), "fork from dead process");
+            (p.node, p.clock)
+        };
+        self.next_pid += 1;
+        let child = Pid(self.next_pid);
+        let mut proc = Process::new(child, node, Some(parent));
+        proc.clock = clock + cost;
+        self.processes.insert(child, proc);
+        let parent_proc = self.process_mut(parent);
+        parent_proc.children.push(child);
+        parent_proc.clock += cost;
+        child
+    }
+
+    /// Process accessor. Panics on unknown pid (a simulation bug).
+    pub fn process(&self, pid: Pid) -> &Process {
+        self.processes
+            .get(&pid)
+            .unwrap_or_else(|| panic!("unknown {pid}"))
+    }
+
+    /// Mutable process accessor.
+    pub fn process_mut(&mut self, pid: Pid) -> &mut Process {
+        self.processes
+            .get_mut(&pid)
+            .unwrap_or_else(|| panic!("unknown {pid}"))
+    }
+
+    /// All pids, in creation order.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.processes.keys().copied().collect()
+    }
+
+    /// Kill a process (and implicitly orphan its children).
+    pub fn kill(&mut self, pid: Pid) {
+        let p = self.process_mut(pid);
+        if p.is_alive() {
+            p.state = ProcState::Killed;
+        }
+    }
+
+    /// Fail an entire node: every process running there is killed (the
+    /// scenario CPR exists for — power loss, kernel panic, cooling
+    /// failure on a commodity PC, §I of the paper). Files on the
+    /// node's local mounts survive, as they would on disk.
+    pub fn fail_node(&mut self, node: NodeId) {
+        let victims: Vec<Pid> = self
+            .processes
+            .values()
+            .filter(|p| p.node == node && p.is_alive())
+            .map(|p| p.pid)
+            .collect();
+        for pid in victims {
+            self.kill(pid);
+        }
+    }
+
+    /// Mark a process exited.
+    pub fn exit(&mut self, pid: Pid, code: i32) {
+        let p = self.process_mut(pid);
+        if p.is_alive() {
+            p.state = ProcState::Exited(code);
+        }
+    }
+
+    /// Deliver a signal to a process's pending queue.
+    pub fn signal(&mut self, pid: Pid, sig: Signal) {
+        let p = self.process_mut(pid);
+        if p.is_alive() {
+            p.pending_signals.push_back(sig);
+        }
+    }
+
+    /// Write a file at an absolute path as seen by `pid`, charging that
+    /// process's clock. Returns the I/O cost.
+    pub fn write_file(&mut self, pid: Pid, path: &str, data: Vec<u8>) -> Result<SimDuration, FsError> {
+        let (fs_id, rel, mut clock) = self.resolve_for(pid, path)?;
+        let cost = self.filesystems[fs_id.0 as usize].write(&mut clock, &rel, data);
+        self.process_mut(pid).clock = clock;
+        Ok(cost)
+    }
+
+    /// Read a file at an absolute path as seen by `pid`.
+    pub fn read_file(&mut self, pid: Pid, path: &str) -> Result<Vec<u8>, FsError> {
+        let (fs_id, rel, mut clock) = self.resolve_for(pid, path)?;
+        let data = self.filesystems[fs_id.0 as usize].read(&mut clock, &rel)?;
+        self.process_mut(pid).clock = clock;
+        Ok(data)
+    }
+
+    /// Delete a file at an absolute path as seen by `pid`.
+    pub fn delete_file(&mut self, pid: Pid, path: &str) -> Result<(), FsError> {
+        let (fs_id, rel, mut clock) = self.resolve_for(pid, path)?;
+        self.filesystems[fs_id.0 as usize].delete(&mut clock, &rel)?;
+        self.process_mut(pid).clock = clock;
+        Ok(())
+    }
+
+    /// Size of a file at an absolute path as seen by any process on
+    /// `node`.
+    pub fn file_size_on(&self, node: NodeId, path: &str) -> Option<ByteSize> {
+        let (fs_id, rel) = self.node(node.to_owned()).resolve(path)?;
+        self.fs(fs_id).file_size(&rel)
+    }
+
+    fn resolve_for(&self, pid: Pid, path: &str) -> Result<(FsId, String, SimTime), FsError> {
+        let p = self.process(pid);
+        let node = self.node(p.node);
+        let (fs_id, rel) = node
+            .resolve(path)
+            .ok_or_else(|| FsError::NotFound(format!("{path} (no mount on {})", node.name)))?;
+        Ok((fs_id, rel, p.clock))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_layout_shares_nfs() {
+        let mut c = Cluster::with_standard_nodes(2);
+        let nodes = c.node_ids();
+        let p0 = c.spawn(nodes[0]);
+        let p1 = c.spawn(nodes[1]);
+        c.write_file(p0, "/nfs/global.ckpt", vec![42]).unwrap();
+        // Visible from the other node through the shared mount.
+        assert_eq!(c.read_file(p1, "/nfs/global.ckpt").unwrap(), vec![42]);
+        // Local disks are private.
+        c.write_file(p0, "/local/x", vec![1]).unwrap();
+        assert!(c.read_file(p1, "/local/x").is_err());
+    }
+
+    #[test]
+    fn fork_links_parent_and_child() {
+        let mut c = Cluster::with_standard_nodes(1);
+        let n = c.node_ids()[0];
+        let parent = c.spawn(n);
+        let child = c.fork(parent, SimDuration::from_millis(80));
+        assert_eq!(c.process(child).parent, Some(parent));
+        assert_eq!(c.process(parent).children, vec![child]);
+        // Both clocks advanced by the fork cost.
+        assert_eq!(c.process(parent).clock, SimTime::ZERO + SimDuration::from_millis(80));
+        assert_eq!(c.process(child).clock, c.process(parent).clock);
+    }
+
+    #[test]
+    fn kill_and_exit_change_state() {
+        let mut c = Cluster::with_standard_nodes(1);
+        let n = c.node_ids()[0];
+        let a = c.spawn(n);
+        let b = c.spawn(n);
+        c.kill(a);
+        c.exit(b, 0);
+        assert_eq!(c.process(a).state, ProcState::Killed);
+        assert_eq!(c.process(b).state, ProcState::Exited(0));
+        assert!(!c.process(a).is_alive());
+    }
+
+    #[test]
+    fn signals_reach_pending_queue() {
+        let mut c = Cluster::with_standard_nodes(1);
+        let n = c.node_ids()[0];
+        let p = c.spawn(n);
+        c.signal(p, Signal::Usr1);
+        assert_eq!(c.process_mut(p).poll_signal(), Some(Signal::Usr1));
+    }
+
+    #[test]
+    fn signals_to_dead_process_dropped() {
+        let mut c = Cluster::with_standard_nodes(1);
+        let n = c.node_ids()[0];
+        let p = c.spawn(n);
+        c.kill(p);
+        c.signal(p, Signal::Usr1);
+        assert_eq!(c.process_mut(p).poll_signal(), None);
+    }
+
+    #[test]
+    fn io_charges_calling_process_clock() {
+        let mut c = Cluster::with_standard_nodes(1);
+        let n = c.node_ids()[0];
+        let p = c.spawn(n);
+        let before = c.process(p).clock;
+        c.write_file(p, "/local/big", vec![0u8; 11_000_000]).unwrap();
+        let after = c.process(p).clock;
+        // 11 MB at 110 MB/s = 100 ms (+8 ms seek).
+        let took = after.since(before).as_secs_f64();
+        assert!((0.09..0.13).contains(&took), "write took {took}");
+    }
+
+    #[test]
+    fn unknown_mount_is_an_error() {
+        let mut c = Cluster::with_standard_nodes(1);
+        let n = c.node_ids()[0];
+        let p = c.spawn(n);
+        assert!(c.write_file(p, "/does-not-exist/f", vec![1]).is_err());
+    }
+
+    #[test]
+    fn longest_prefix_mount_wins() {
+        let mut c = Cluster::new();
+        let n = c.add_node("pc0");
+        let outer = c.add_fs(Fs::new(FsKind::LocalDisk, "outer"));
+        let inner = c.add_fs(Fs::new(FsKind::RamDisk, "inner"));
+        c.mount(n, "/data", outer);
+        c.mount(n, "/data/fast", inner);
+        let (fs, _) = c.node(n).resolve("/data/fast/file").unwrap();
+        assert_eq!(fs, inner);
+        let (fs, _) = c.node(n).resolve("/data/slow/file").unwrap();
+        assert_eq!(fs, outer);
+        // Prefix match must respect path component boundaries.
+        let (fs, _) = c.node(n).resolve("/data/fastfile").unwrap();
+        assert_eq!(fs, outer);
+    }
+
+    #[test]
+    fn node_failure_kills_only_that_node() {
+        let mut c = Cluster::with_standard_nodes(2);
+        let nodes = c.node_ids();
+        let a = c.spawn(nodes[0]);
+        let b = c.spawn(nodes[0]);
+        let other = c.spawn(nodes[1]);
+        c.write_file(a, "/local/survives", vec![1]).unwrap();
+        c.fail_node(nodes[0]);
+        assert!(!c.process(a).is_alive());
+        assert!(!c.process(b).is_alive());
+        assert!(c.process(other).is_alive());
+        // Local disk contents survive the crash for post-mortem restart.
+        let p2 = c.spawn(nodes[0]);
+        assert_eq!(c.read_file(p2, "/local/survives").unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn file_size_on_node() {
+        let mut c = Cluster::with_standard_nodes(1);
+        let n = c.node_ids()[0];
+        let p = c.spawn(n);
+        c.write_file(p, "/ram/ckpt", vec![0u8; 123]).unwrap();
+        assert_eq!(c.file_size_on(n, "/ram/ckpt"), Some(ByteSize::bytes(123)));
+        assert_eq!(c.file_size_on(n, "/ram/none"), None);
+    }
+}

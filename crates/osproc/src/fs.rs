@@ -1,0 +1,256 @@
+//! Simulated filesystems.
+//!
+//! Three kinds, with the sequential-I/O bandwidths measured with
+//! Bonnie++ in Table I of the paper: the local hard disk, the Linux RAM
+//! disk, and NFS. A write or read charges `latency + size/bandwidth` to
+//! the calling process's clock; contents are held in memory so
+//! checkpoint files can actually be read back and restored from.
+
+use simcore::calib;
+use simcore::{Bandwidth, ByteSize, LinkModel, SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kind of storage backing a filesystem.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FsKind {
+    /// Local hard disk (Table I: 110 / 106 MB/s write/read).
+    LocalDisk,
+    /// Linux RAM disk (Table I: 2881 / 4800 MB/s write/read).
+    RamDisk,
+    /// NFS over gigabit Ethernet (Table I: 72.5 / 21.2 MB/s write/read).
+    Nfs,
+}
+
+impl FsKind {
+    /// The calibrated write path for this storage kind.
+    pub fn write_link(self) -> LinkModel {
+        match self {
+            FsKind::LocalDisk => LinkModel::new(SimDuration::from_millis(8), calib::disk_local_write()),
+            FsKind::RamDisk => LinkModel::new(SimDuration::from_micros(5), calib::ramdisk_write()),
+            FsKind::Nfs => LinkModel::new(SimDuration::from_millis(1), calib::nfs_write()),
+        }
+    }
+
+    /// The calibrated read path for this storage kind.
+    pub fn read_link(self) -> LinkModel {
+        match self {
+            FsKind::LocalDisk => LinkModel::new(SimDuration::from_millis(8), calib::disk_local_read()),
+            FsKind::RamDisk => LinkModel::new(SimDuration::from_micros(5), calib::ramdisk_read()),
+            FsKind::Nfs => LinkModel::new(SimDuration::from_millis(1), calib::nfs_read()),
+        }
+    }
+}
+
+/// Filesystem operation errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Cumulative I/O statistics of one filesystem.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FsStats {
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Number of write operations.
+    pub writes: u64,
+    /// Number of read operations.
+    pub reads: u64,
+}
+
+/// One simulated filesystem instance.
+#[derive(Clone, Debug)]
+pub struct Fs {
+    kind: FsKind,
+    label: String,
+    files: BTreeMap<String, Vec<u8>>,
+    stats: FsStats,
+}
+
+impl Fs {
+    /// Create an empty filesystem.
+    pub fn new(kind: FsKind, label: impl Into<String>) -> Self {
+        Fs {
+            kind,
+            label: label.into(),
+            files: BTreeMap::new(),
+            stats: FsStats::default(),
+        }
+    }
+
+    /// Storage kind.
+    pub fn kind(&self) -> FsKind {
+        self.kind
+    }
+
+    /// Human-readable label (e.g. `"nfs-shared"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> FsStats {
+        self.stats
+    }
+
+    /// Write (create or replace) a file, charging the caller's clock.
+    pub fn write(&mut self, now: &mut SimTime, path: &str, data: Vec<u8>) -> SimDuration {
+        let cost = self
+            .kind
+            .write_link()
+            .cost(ByteSize::bytes(data.len() as u64));
+        *now += cost;
+        self.stats.bytes_written += data.len() as u64;
+        self.stats.writes += 1;
+        self.files.insert(path.to_string(), data);
+        cost
+    }
+
+    /// Read a file, charging the caller's clock.
+    pub fn read(&mut self, now: &mut SimTime, path: &str) -> Result<Vec<u8>, FsError> {
+        let data = self
+            .files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        *now += self
+            .kind
+            .read_link()
+            .cost(ByteSize::bytes(data.len() as u64));
+        self.stats.bytes_read += data.len() as u64;
+        self.stats.reads += 1;
+        Ok(data)
+    }
+
+    /// Delete a file (cheap; metadata only).
+    pub fn delete(&mut self, now: &mut SimTime, path: &str) -> Result<(), FsError> {
+        if self.files.remove(path).is_none() {
+            return Err(FsError::NotFound(path.to_string()));
+        }
+        *now += SimDuration::from_micros(50);
+        Ok(())
+    }
+
+    /// `true` if the path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Size of a file, if it exists.
+    pub fn file_size(&self, path: &str) -> Option<ByteSize> {
+        self.files.get(path).map(|d| ByteSize::bytes(d.len() as u64))
+    }
+
+    /// All paths currently stored, in sorted order.
+    pub fn list(&self) -> Vec<&str> {
+        self.files.keys().map(String::as_str).collect()
+    }
+
+    /// The effective sequential write bandwidth (for cost prediction,
+    /// e.g. the α of the migration model in §IV-C).
+    pub fn write_bandwidth(&self) -> Bandwidth {
+        self.kind.write_link().bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrips_data() {
+        let mut fs = Fs::new(FsKind::RamDisk, "ram");
+        let mut now = SimTime::ZERO;
+        fs.write(&mut now, "/ckpt/a", vec![1, 2, 3]);
+        assert_eq!(fs.read(&mut now, "/ckpt/a").unwrap(), vec![1, 2, 3]);
+        assert!(fs.exists("/ckpt/a"));
+        assert_eq!(fs.file_size("/ckpt/a"), Some(ByteSize::bytes(3)));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let mut fs = Fs::new(FsKind::LocalDisk, "hd");
+        let mut now = SimTime::ZERO;
+        assert!(matches!(
+            fs.read(&mut now, "/nope"),
+            Err(FsError::NotFound(_))
+        ));
+        assert!(fs.delete(&mut now, "/nope").is_err());
+    }
+
+    #[test]
+    fn write_cost_scales_with_size_and_medium() {
+        let mb32 = vec![0u8; 32 * 1024 * 1024];
+        let mut disk = Fs::new(FsKind::LocalDisk, "hd");
+        let mut ram = Fs::new(FsKind::RamDisk, "ram");
+        let mut t_disk = SimTime::ZERO;
+        let mut t_ram = SimTime::ZERO;
+        disk.write(&mut t_disk, "/f", mb32.clone());
+        ram.write(&mut t_ram, "/f", mb32);
+        // 32 MiB at 110 MB/s ≈ 0.305 s; at 2881 MB/s ≈ 11.6 ms.
+        let d = t_disk.since(SimTime::ZERO).as_secs_f64();
+        let r = t_ram.since(SimTime::ZERO).as_secs_f64();
+        assert!((0.25..0.40).contains(&d), "disk write took {d}");
+        assert!((0.005..0.020).contains(&r), "ram write took {r}");
+    }
+
+    #[test]
+    fn nfs_read_slower_than_write() {
+        // Table I: NFS write 72.5 MB/s, read only 21.2 MB/s.
+        let data = vec![0u8; 16 * 1024 * 1024];
+        let mut fs = Fs::new(FsKind::Nfs, "nfs");
+        let mut t0 = SimTime::ZERO;
+        let w = fs.write(&mut t0, "/f", data);
+        let before = t0;
+        fs.read(&mut t0, "/f").unwrap();
+        let r = t0.since(before);
+        assert!(r > w, "read {r} should exceed write {w}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut fs = Fs::new(FsKind::RamDisk, "ram");
+        let mut now = SimTime::ZERO;
+        fs.write(&mut now, "/a", vec![0; 10]);
+        fs.write(&mut now, "/b", vec![0; 20]);
+        fs.read(&mut now, "/a").unwrap();
+        let s = fs.stats();
+        assert_eq!(s.bytes_written, 30);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.bytes_read, 10);
+        assert_eq!(s.reads, 1);
+    }
+
+    #[test]
+    fn overwrite_replaces_contents() {
+        let mut fs = Fs::new(FsKind::RamDisk, "ram");
+        let mut now = SimTime::ZERO;
+        fs.write(&mut now, "/a", vec![1]);
+        fs.write(&mut now, "/a", vec![2, 3]);
+        assert_eq!(fs.read(&mut now, "/a").unwrap(), vec![2, 3]);
+        assert_eq!(fs.list(), vec!["/a"]);
+    }
+
+    #[test]
+    fn delete_removes_file() {
+        let mut fs = Fs::new(FsKind::RamDisk, "ram");
+        let mut now = SimTime::ZERO;
+        fs.write(&mut now, "/a", vec![1]);
+        fs.delete(&mut now, "/a").unwrap();
+        assert!(!fs.exists("/a"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Identifier newtypes for OS objects.
+
+use simcore::codec::{Codec, CodecError, Reader};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl Codec for $name {
+            fn encode(&self, out: &mut Vec<u8>) {
+                self.0.encode(out);
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                Ok($name(u32::decode(r)?))
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A process identifier, unique within the whole cluster (the
+    /// simulation never recycles pids).
+    Pid,
+    "pid"
+);
+define_id!(
+    /// A node (machine) identifier.
+    NodeId,
+    "node"
+);
+define_id!(
+    /// A filesystem identifier. Filesystems are cluster-level objects so
+    /// that one NFS instance can be mounted by many nodes.
+    FsId,
+    "fs"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{:?}", Pid(3)), "pid3");
+        assert_eq!(format!("{}", NodeId(0)), "node0");
+        assert_eq!(format!("{}", FsId(2)), "fs2");
+    }
+
+    #[test]
+    fn ids_roundtrip_codec() {
+        assert_eq!(Pid::from_bytes(&Pid(9).to_bytes()).unwrap(), Pid(9));
+    }
+}

@@ -1,0 +1,124 @@
+//! The serializable host-memory image of a process.
+//!
+//! A real CPR system dumps the raw address space. We model the address
+//! space as *named segments* — "script", "heap", "checl-state", … —
+//! each an opaque byte blob owned by whatever runtime put it there.
+//! BLCR serialises segments wholesale without understanding them, which
+//! is exactly the transparency contract of the paper: CheCL's object
+//! database rides along inside the dumped host memory.
+
+use simcore::codec::{decode_bytes, encode_bytes, Codec, CodecError, Reader};
+use simcore::ByteSize;
+use std::collections::BTreeMap;
+
+/// A process's host memory: named, opaque segments.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemImage {
+    segments: BTreeMap<String, Vec<u8>>,
+}
+
+impl MemImage {
+    /// An empty image.
+    pub fn new() -> Self {
+        MemImage::default()
+    }
+
+    /// Install or replace a segment.
+    pub fn put(&mut self, name: &str, data: Vec<u8>) {
+        self.segments.insert(name.to_string(), data);
+    }
+
+    /// Read a segment.
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.segments.get(name).map(Vec::as_slice)
+    }
+
+    /// Remove a segment, returning its contents.
+    pub fn take(&mut self, name: &str) -> Option<Vec<u8>> {
+        self.segments.remove(name)
+    }
+
+    /// `true` if the segment exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.segments.contains_key(name)
+    }
+
+    /// Names of all segments, sorted.
+    pub fn segment_names(&self) -> Vec<&str> {
+        self.segments.keys().map(String::as_str).collect()
+    }
+
+    /// Total bytes across all segments — what the CPR system will have
+    /// to write. Checkpoint file size is this plus the fixed process
+    /// baseline (text, stacks, libc; see `simcore::calib`).
+    pub fn total_size(&self) -> ByteSize {
+        ByteSize::bytes(self.segments.values().map(|v| v.len() as u64).sum())
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// `true` if there are no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+impl Codec for MemImage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.segments.len() as u64).encode(out);
+        for (name, data) in &self.segments {
+            name.encode(out);
+            encode_bytes(out, data);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = u64::decode(r)? as usize;
+        if n > r.remaining() {
+            return Err(CodecError::Invalid("segment count exceeds stream"));
+        }
+        let mut segments = BTreeMap::new();
+        for _ in 0..n {
+            let name = String::decode(r)?;
+            let data = decode_bytes(r)?;
+            segments.insert(name, data);
+        }
+        Ok(MemImage { segments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_take() {
+        let mut img = MemImage::new();
+        img.put("heap", vec![1, 2, 3]);
+        img.put("script", vec![9]);
+        assert_eq!(img.get("heap"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(img.segment_names(), vec!["heap", "script"]);
+        assert_eq!(img.total_size(), ByteSize::bytes(4));
+        assert_eq!(img.take("heap"), Some(vec![1, 2, 3]));
+        assert!(!img.contains("heap"));
+        assert_eq!(img.len(), 1);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut img = MemImage::new();
+        img.put("a", vec![0u8; 100]);
+        img.put("b", b"hello".to_vec());
+        let back = MemImage::from_bytes(&img.to_bytes()).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn empty_image_roundtrips() {
+        let img = MemImage::new();
+        assert!(img.is_empty());
+        assert_eq!(MemImage::from_bytes(&img.to_bytes()).unwrap(), img);
+    }
+}

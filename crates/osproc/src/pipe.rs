@@ -1,0 +1,118 @@
+//! IPC pipes between processes.
+//!
+//! The application↔proxy channel of CheCL. Each message charges the
+//! caller a fixed latency (two small control messages over a Unix
+//! domain socket) plus one extra host-memory copy of the payload —
+//! §IV-A: "to send some data in the memory space of an application
+//! process to the device memory, the data must be first copied to the
+//! memory space of the API proxy".
+
+use crate::ids::Pid;
+use simcore::{calib, ByteSize, LinkModel, SimDuration, SimTime};
+
+/// Cumulative pipe statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipeStats {
+    /// Messages sent in either direction.
+    pub messages: u64,
+    /// Payload bytes moved in either direction.
+    pub bytes: u64,
+}
+
+/// A bidirectional IPC channel between two processes on the same node.
+#[derive(Clone, Debug)]
+pub struct Pipe {
+    /// One endpoint (conventionally the application).
+    pub a: Pid,
+    /// The other endpoint (conventionally the API proxy).
+    pub b: Pid,
+    link: LinkModel,
+    stats: PipeStats,
+}
+
+impl Pipe {
+    /// Create a pipe with the calibrated app↔proxy link model.
+    pub fn new(a: Pid, b: Pid) -> Self {
+        Pipe {
+            a,
+            b,
+            link: calib::ipc_link(),
+            stats: PipeStats::default(),
+        }
+    }
+
+    /// Create a pipe with a custom link model (tests, remote proxies).
+    pub fn with_link(a: Pid, b: Pid, link: LinkModel) -> Self {
+        Pipe {
+            a,
+            b,
+            link,
+            stats: PipeStats::default(),
+        }
+    }
+
+    /// Charge one message of `payload` bytes to the sender's clock and
+    /// return the cost.
+    pub fn transfer(&mut self, now: &mut SimTime, payload: u64) -> SimDuration {
+        let cost = self.link.cost(ByteSize::bytes(payload));
+        *now += cost;
+        self.stats.messages += 1;
+        self.stats.bytes += payload;
+        cost
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> PipeStats {
+        self.stats
+    }
+
+    /// The link model in force.
+    pub fn link(&self) -> LinkModel {
+        self.link
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Bandwidth;
+
+    #[test]
+    fn small_message_costs_latency() {
+        let mut p = Pipe::new(Pid(1), Pid(2));
+        let mut now = SimTime::ZERO;
+        let cost = p.transfer(&mut now, 64);
+        // Dominated by the 8us call latency.
+        assert!(cost >= SimDuration::from_micros(8));
+        assert!(cost < SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn bulk_message_costs_copy() {
+        let mut p = Pipe::new(Pid(1), Pid(2));
+        let mut now = SimTime::ZERO;
+        // 32 MB at 8 GB/s host memcpy ≈ 4 ms.
+        let cost = p.transfer(&mut now, 32_000_000);
+        let secs = cost.as_secs_f64();
+        assert!((0.003..0.006).contains(&secs), "cost {secs}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = Pipe::new(Pid(1), Pid(2));
+        let mut now = SimTime::ZERO;
+        p.transfer(&mut now, 100);
+        p.transfer(&mut now, 200);
+        assert_eq!(p.stats(), PipeStats { messages: 2, bytes: 300 });
+    }
+
+    #[test]
+    fn custom_link_respected() {
+        let slow = LinkModel::new(SimDuration::from_millis(1), Bandwidth::mb_per_sec(1.0));
+        let mut p = Pipe::with_link(Pid(1), Pid(2), slow);
+        let mut now = SimTime::ZERO;
+        let cost = p.transfer(&mut now, 1_000_000);
+        // 1ms latency + 1s transfer.
+        assert!(cost > SimDuration::from_secs(1));
+    }
+}

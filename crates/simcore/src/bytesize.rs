@@ -1,0 +1,154 @@
+//! Byte quantities with human-readable construction and display.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A number of bytes.
+///
+/// Used for buffer sizes, checkpoint file sizes and memory capacities.
+/// Construction helpers use binary units (`KiB` = 1024 bytes) because
+/// device memories and buffers are naturally power-of-two sized, while
+/// the paper's bandwidth figures (MB/sec) are decimal — the conversion
+/// happens inside [`crate::bandwidth::Bandwidth`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Construct from a raw byte count.
+    pub const fn bytes(n: u64) -> Self {
+        ByteSize(n)
+    }
+
+    /// `n` KiB.
+    pub const fn kib(n: u64) -> Self {
+        ByteSize(n * 1024)
+    }
+
+    /// `n` MiB.
+    pub const fn mib(n: u64) -> Self {
+        ByteSize(n * 1024 * 1024)
+    }
+
+    /// `n` GiB.
+    pub const fn gib(n: u64) -> Self {
+        ByteSize(n * 1024 * 1024 * 1024)
+    }
+
+    /// The raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The size in fractional MiB (for reporting file sizes as in Fig. 5
+    /// and Fig. 8 of the paper).
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+
+    /// `true` if zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.checked_add(rhs.0).expect("ByteSize overflow"))
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.checked_sub(rhs.0).expect("ByteSize underflow"))
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0.checked_mul(rhs).expect("ByteSize overflow"))
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const KIB: u64 = 1024;
+        const MIB: u64 = 1024 * 1024;
+        const GIB: u64 = 1024 * 1024 * 1024;
+        let n = self.0;
+        if n >= GIB {
+            write!(f, "{:.2}GiB", n as f64 / GIB as f64)
+        } else if n >= MIB {
+            write!(f, "{:.2}MiB", n as f64 / MIB as f64)
+        } else if n >= KIB {
+            write!(f, "{:.2}KiB", n as f64 / KIB as f64)
+        } else {
+            write!(f, "{n}B")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units() {
+        assert_eq!(ByteSize::kib(1).as_u64(), 1024);
+        assert_eq!(ByteSize::mib(1).as_u64(), 1024 * 1024);
+        assert_eq!(ByteSize::gib(1).as_u64(), 1 << 30);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ByteSize::mib(3);
+        let b = ByteSize::mib(1);
+        assert_eq!(a + b, ByteSize::mib(4));
+        assert_eq!(a - b, ByteSize::mib(2));
+        assert_eq!(b * 5, ByteSize::mib(5));
+        let total: ByteSize = [a, b].into_iter().sum();
+        assert_eq!(total, ByteSize::mib(4));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(ByteSize::bytes(12).to_string(), "12B");
+        assert_eq!(ByteSize::kib(2).to_string(), "2.00KiB");
+        assert_eq!(ByteSize::mib(32).to_string(), "32.00MiB");
+        assert_eq!(ByteSize::gib(4).to_string(), "4.00GiB");
+    }
+
+    #[test]
+    fn as_mib_reports_fraction() {
+        assert!((ByteSize::kib(512).as_mib_f64() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,506 @@
+//! The checkpoint image byte format.
+//!
+//! CheCL checkpoints are written by serialising a process image — op
+//! script, register file, host heap, and (transparently) the CheCL
+//! runtime state living inside the process — into a compact, framed,
+//! checksummed binary stream. This module defines that stream format:
+//! little-endian fixed-width primitives, `u64` length prefixes, and a
+//! `magic | version | payload | fnv64` frame.
+//!
+//! The format is deliberately hand-rolled rather than pulled from an
+//! external serialisation crate: the checkpoint file layout is part of
+//! the artifact (it determines the measured file sizes in Fig. 5 and
+//! Fig. 8), and its decoder must be robust against truncated or
+//! corrupted files.
+
+use crate::checksum::fnv1a64;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors produced while decoding a byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended before a value was fully read.
+    UnexpectedEof {
+        /// Bytes needed by the failed read.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// Frame did not start with the expected magic bytes.
+    BadMagic,
+    /// Frame version not understood by this build.
+    BadVersion(u32),
+    /// Frame checksum did not match the payload.
+    ChecksumMismatch,
+    /// A decoded value was structurally invalid.
+    Invalid(&'static str),
+    /// Decoding finished but bytes were left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected EOF: needed {needed} bytes, {remaining} remain")
+            }
+            CodecError::BadMagic => write!(f, "bad frame magic"),
+            CodecError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            CodecError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            CodecError::Invalid(what) => write!(f, "invalid value: {what}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Cursor over an encoded byte stream.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+}
+
+/// A type that can be written to / read from the checkpoint byte format.
+pub trait Codec: Sized {
+    /// Append this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decode one value from the reader.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decode from a buffer, requiring it to be fully consumed.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(CodecError::TrailingBytes(r.remaining()));
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! impl_codec_prim {
+    ($($ty:ty),+) => {$(
+        impl Codec for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                Ok(<$ty>::from_le_bytes(r.take_array()?))
+            }
+        }
+    )+};
+}
+
+impl_codec_prim!(u8, u16, u32, u64, u128, i8, i16, i32, i64, f32, f64);
+
+impl Codec for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| CodecError::Invalid("usize out of range"))
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("bool tag")),
+        }
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_bytes(out, self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let bytes = decode_bytes(r)?;
+        String::from_utf8(bytes).map_err(|_| CodecError::Invalid("utf-8 string"))
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(CodecError::Invalid("option tag")),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = u64::decode(r)? as usize;
+        // A length prefix can never legitimately exceed the remaining
+        // bytes (every element encodes to >= 1 byte), so reject early to
+        // avoid huge allocations on corrupted input.
+        if len > r.remaining() {
+            return Err(CodecError::Invalid("vec length exceeds stream"));
+        }
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<K: Codec + Ord, V: Codec> Codec for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = u64::decode(r)? as usize;
+        if len > r.remaining() {
+            return Err(CodecError::Invalid("map length exceeds stream"));
+        }
+        let mut m = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            m.insert(k, v);
+        }
+        Ok(m)
+    }
+}
+
+impl<T: Codec, const N: usize> Codec for [T; N] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let mut items = Vec::with_capacity(N);
+        for _ in 0..N {
+            items.push(T::decode(r)?);
+        }
+        items
+            .try_into()
+            .map_err(|_| CodecError::Invalid("array length"))
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl Codec for crate::time::SimDuration {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_nanos().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(crate::time::SimDuration::from_nanos(u64::decode(r)?))
+    }
+}
+
+impl Codec for crate::time::SimTime {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_nanos().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(crate::time::SimTime::from_nanos(u64::decode(r)?))
+    }
+}
+
+impl Codec for crate::bytesize::ByteSize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_u64().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(crate::bytesize::ByteSize::bytes(u64::decode(r)?))
+    }
+}
+
+/// Fast path for bulk byte payloads: `u64` length + raw bytes.
+///
+/// Layout-compatible with `Vec<u8>`'s generic encoding but O(1) memcpy
+/// instead of per-element dispatch; use for buffer contents and heap
+/// segments.
+pub fn encode_bytes(out: &mut Vec<u8>, data: &[u8]) {
+    (data.len() as u64).encode(out);
+    out.extend_from_slice(data);
+}
+
+/// Inverse of [`encode_bytes`].
+pub fn decode_bytes(r: &mut Reader<'_>) -> Result<Vec<u8>, CodecError> {
+    let len = u64::decode(r)? as usize;
+    Ok(r.take(len)?.to_vec())
+}
+
+/// Implement [`Codec`] for a struct by encoding its fields in order.
+///
+/// ```
+/// use simcore::impl_codec_struct;
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Point { x: u32, y: u32 }
+/// impl_codec_struct!(Point { x, y });
+///
+/// # use simcore::Codec;
+/// let p = Point { x: 1, y: 2 };
+/// assert_eq!(Point::from_bytes(&p.to_bytes()).unwrap(), p);
+/// ```
+#[macro_export]
+macro_rules! impl_codec_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::codec::Codec for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $($crate::codec::Codec::encode(&self.$field, out);)+
+            }
+            fn decode(
+                r: &mut $crate::codec::Reader<'_>,
+            ) -> Result<Self, $crate::codec::CodecError> {
+                Ok(Self { $($field: $crate::codec::Codec::decode(r)?),+ })
+            }
+        }
+    };
+}
+
+/// Wrap a payload in a `magic | version | len | payload | fnv64` frame.
+pub fn encode_framed<T: Codec>(magic: [u8; 4], version: u32, payload: &T) -> Vec<u8> {
+    let body = payload.to_bytes();
+    let mut out = Vec::with_capacity(body.len() + 24);
+    out.extend_from_slice(&magic);
+    version.encode(&mut out);
+    encode_bytes(&mut out, &body);
+    fnv1a64(&body).encode(&mut out);
+    out
+}
+
+/// Decode a frame produced by [`encode_framed`], validating magic,
+/// version and checksum.
+pub fn decode_framed<T: Codec>(
+    magic: [u8; 4],
+    version: u32,
+    bytes: &[u8],
+) -> Result<T, CodecError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != magic {
+        return Err(CodecError::BadMagic);
+    }
+    let v = u32::decode(&mut r)?;
+    if v != version {
+        return Err(CodecError::BadVersion(v));
+    }
+    let body = decode_bytes(&mut r)?;
+    let sum = u64::decode(&mut r)?;
+    if !r.is_empty() {
+        return Err(CodecError::TrailingBytes(r.remaining()));
+    }
+    if fnv1a64(&body) != sum {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    T::from_bytes(&body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u32::from_bytes(&0xdead_beefu32.to_bytes()).unwrap(), 0xdead_beef);
+        assert_eq!(i64::from_bytes(&(-42i64).to_bytes()).unwrap(), -42);
+        assert_eq!(f64::from_bytes(&3.25f64.to_bytes()).unwrap(), 3.25);
+        assert!(bool::from_bytes(&true.to_bytes()).unwrap());
+        assert_eq!(
+            String::from_bytes(&"héllo".to_string().to_bytes()).unwrap(),
+            "héllo"
+        );
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(Vec::<u32>::from_bytes(&v.to_bytes()).unwrap(), v);
+        let o: Option<String> = Some("x".into());
+        assert_eq!(Option::<String>::from_bytes(&o.to_bytes()).unwrap(), o);
+        let n: Option<String> = None;
+        assert_eq!(Option::<String>::from_bytes(&n.to_bytes()).unwrap(), n);
+        let mut m = BTreeMap::new();
+        m.insert(7u64, "seven".to_string());
+        assert_eq!(BTreeMap::<u64, String>::from_bytes(&m.to_bytes()).unwrap(), m);
+        let t = (1u8, "a".to_string(), 2u64);
+        assert_eq!(<(u8, String, u64)>::from_bytes(&t.to_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut b = 5u32.to_bytes();
+        b.push(0);
+        assert_eq!(u32::from_bytes(&b), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn truncation_reports_eof() {
+        let b = 5u64.to_bytes();
+        let err = u64::from_bytes(&b[..3]).unwrap_err();
+        assert!(matches!(err, CodecError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn hostile_length_rejected_without_alloc() {
+        // A Vec claiming u64::MAX elements must not attempt allocation.
+        let mut b = Vec::new();
+        u64::MAX.encode(&mut b);
+        assert_eq!(
+            Vec::<u8>::from_bytes(&b),
+            Err(CodecError::Invalid("vec length exceeds stream"))
+        );
+    }
+
+    #[test]
+    fn bulk_bytes_compatible_with_vec_u8() {
+        let data = vec![1u8, 2, 3, 4];
+        let mut fast = Vec::new();
+        encode_bytes(&mut fast, &data);
+        assert_eq!(fast, data.to_bytes());
+        let mut r = Reader::new(&fast);
+        assert_eq!(decode_bytes(&mut r).unwrap(), data);
+    }
+
+    #[test]
+    fn framing_roundtrip_and_validation() {
+        let payload = vec![9u64, 8, 7];
+        let frame = encode_framed(*b"CKPT", 1, &payload);
+        let back: Vec<u64> = decode_framed(*b"CKPT", 1, &frame).unwrap();
+        assert_eq!(back, payload);
+
+        // Wrong magic.
+        assert_eq!(
+            decode_framed::<Vec<u64>>(*b"XXXX", 1, &frame),
+            Err(CodecError::BadMagic)
+        );
+        // Wrong version.
+        assert_eq!(
+            decode_framed::<Vec<u64>>(*b"CKPT", 2, &frame),
+            Err(CodecError::BadVersion(1))
+        );
+        // Corrupt payload byte -> checksum failure.
+        let mut bad = frame.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        let res = decode_framed::<Vec<u64>>(*b"CKPT", 1, &bad);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn struct_macro_roundtrip() {
+        #[derive(Debug, PartialEq)]
+        struct Demo {
+            a: u32,
+            b: String,
+            c: Vec<u16>,
+        }
+        impl_codec_struct!(Demo { a, b, c });
+        let d = Demo {
+            a: 1,
+            b: "two".into(),
+            c: vec![3, 4],
+        };
+        assert_eq!(Demo::from_bytes(&d.to_bytes()).unwrap(), d);
+    }
+
+    #[test]
+    fn sim_types_roundtrip() {
+        use crate::{ByteSize, SimDuration, SimTime};
+        let d = SimDuration::from_millis(123);
+        assert_eq!(SimDuration::from_bytes(&d.to_bytes()).unwrap(), d);
+        let t = SimTime::from_nanos(456);
+        assert_eq!(SimTime::from_bytes(&t.to_bytes()).unwrap(), t);
+        let s = ByteSize::mib(7);
+        assert_eq!(ByteSize::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+}

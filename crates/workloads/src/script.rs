@@ -1,0 +1,934 @@
+//! The op-script application model and its interpreter.
+//!
+//! A script is host code flattened into a serializable instruction
+//! list. Handles returned by the API land in a register file as opaque
+//! `u64`s — exactly how a C program holds `cl_mem` variables on its
+//! stack/heap. The interpreter advances one op at a time so a
+//! checkpoint can land at any instruction boundary (in particular,
+//! right after a kernel launch, with the command still in flight — the
+//! Fig. 5 measurement protocol).
+
+use clspec::api::{ApiRequest, ClApi};
+use clspec::error::ClResult;
+use clspec::handles::{
+    CommandQueue, Context, DeviceId, Event, Kernel, Mem, Program, RawHandle,
+};
+use clspec::types::{ArgValue, DeviceType, MemFlags, NDRange, QueueProps, SamplerDesc};
+use simcore::codec::{Codec, CodecError, Reader};
+use simcore::{fnv1a64, impl_codec_struct, SimTime, SplitMix64};
+
+/// A register index in the application's handle file.
+pub type Reg = u16;
+
+/// Number of registers every application gets.
+pub const NUM_REGS: usize = 96;
+
+/// How a buffer (or a `WriteBuffer`'s payload) is filled.
+///
+/// Data is generated deterministically from the seed so that a restart
+/// replays identical inputs and checksums are comparable across runs,
+/// vendors and devices.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BufInit {
+    /// All zeroes.
+    Zero,
+    /// Uniform `f32` values in `[lo, hi)`.
+    RandomF32 {
+        /// Generator seed.
+        seed: u64,
+        /// Lower bound.
+        lo: f32,
+        /// Upper bound.
+        hi: f32,
+    },
+    /// Uniform random `u32` values.
+    RandomU32 {
+        /// Generator seed.
+        seed: u64,
+    },
+    /// `0.0, 1.0, 2.0, …` ramp of `f32`s.
+    Ramp,
+}
+
+impl BufInit {
+    /// Materialise `size` bytes of data.
+    pub fn generate(&self, size: u64) -> Vec<u8> {
+        let size = size as usize;
+        match self {
+            BufInit::Zero => vec![0u8; size],
+            BufInit::RandomF32 { seed, lo, hi } => {
+                let mut rng = SplitMix64::new(*seed);
+                let mut out = Vec::with_capacity(size);
+                for _ in 0..size / 4 {
+                    let v = lo + (hi - lo) * rng.next_f32();
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out.resize(size, 0);
+                out
+            }
+            BufInit::RandomU32 { seed } => {
+                let mut rng = SplitMix64::new(*seed);
+                let mut out = Vec::with_capacity(size);
+                for _ in 0..size / 4 {
+                    out.extend_from_slice(&rng.next_u32().to_le_bytes());
+                }
+                out.resize(size, 0);
+                out
+            }
+            BufInit::Ramp => {
+                let mut out = Vec::with_capacity(size);
+                for i in 0..size / 4 {
+                    out.extend_from_slice(&(i as f32).to_le_bytes());
+                }
+                out.resize(size, 0);
+                out
+            }
+        }
+    }
+}
+
+impl Codec for BufInit {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            BufInit::Zero => out.push(0),
+            BufInit::RandomF32 { seed, lo, hi } => {
+                out.push(1);
+                seed.encode(out);
+                lo.encode(out);
+                hi.encode(out);
+            }
+            BufInit::RandomU32 { seed } => {
+                out.push(2);
+                seed.encode(out);
+            }
+            BufInit::Ramp => out.push(3),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match u8::decode(r)? {
+            0 => BufInit::Zero,
+            1 => BufInit::RandomF32 {
+                seed: u64::decode(r)?,
+                lo: f32::decode(r)?,
+                hi: f32::decode(r)?,
+            },
+            2 => BufInit::RandomU32 {
+                seed: u64::decode(r)?,
+            },
+            3 => BufInit::Ramp,
+            _ => return Err(CodecError::Invalid("BufInit tag")),
+        })
+    }
+}
+
+/// One host-code operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// `clGetPlatformIDs`; stores the first platform.
+    GetPlatform { out: Reg },
+    /// `clGetDeviceIDs`; stores up to `count` devices in consecutive
+    /// registers starting at `out` (missing slots repeat the first).
+    GetDevices {
+        platform: Reg,
+        dtype: DeviceType,
+        out: Reg,
+        count: u16,
+    },
+    /// `clCreateContext` over one device.
+    CreateContext { device: Reg, out: Reg },
+    /// `clCreateCommandQueue`.
+    CreateQueue {
+        context: Reg,
+        device: Reg,
+        out: Reg,
+    },
+    /// `clCreateBuffer`, optionally initialised via `COPY_HOST_PTR`.
+    CreateBuffer {
+        context: Reg,
+        flags: MemFlags,
+        size: u64,
+        init: Option<BufInit>,
+        out: Reg,
+    },
+    /// `clEnqueueWriteBuffer` (blocking) with generated data.
+    WriteBuffer {
+        queue: Reg,
+        buf: Reg,
+        size: u64,
+        init: BufInit,
+    },
+    /// `clEnqueueReadBuffer` (blocking); the FNV-64 of the bytes is
+    /// appended to the application's checksum log.
+    ReadBufferChecksum { queue: Reg, buf: Reg, size: u64 },
+    /// `clCreateProgramWithSource` from the named corpus program.
+    CreateProgram { name: String, context: Reg, out: Reg },
+    /// `clBuildProgram`.
+    BuildProgram { prog: Reg },
+    /// `clCreateKernel`.
+    CreateKernel {
+        prog: Reg,
+        name: String,
+        out: Reg,
+    },
+    /// `clCreateSampler`.
+    CreateSampler { context: Reg, out: Reg },
+    /// `clSetKernelArg` with a buffer handle.
+    SetArgMem { kernel: Reg, index: u32, buf: Reg },
+    /// `clSetKernelArg` with a sampler handle.
+    SetArgSampler {
+        kernel: Reg,
+        index: u32,
+        sampler: Reg,
+    },
+    /// `clSetKernelArg` with a `u32` scalar.
+    SetArgU32 { kernel: Reg, index: u32, value: u32 },
+    /// `clSetKernelArg` with an `f32` scalar.
+    SetArgF32 { kernel: Reg, index: u32, value: f32 },
+    /// `clSetKernelArg` declaring `__local` scratch.
+    SetArgLocal { kernel: Reg, index: u32, size: u64 },
+    /// `clEnqueueNDRangeKernel`.
+    Launch {
+        kernel: Reg,
+        queue: Reg,
+        global: [u64; 3],
+        local: Option<[u64; 3]>,
+    },
+    /// `clFinish`.
+    Finish { queue: Reg },
+    /// `clEnqueueMarker`, event stored.
+    Marker { queue: Reg, out: Reg },
+    /// `clWaitForEvents` on one stored event.
+    WaitEvent { event: Reg },
+    /// `clReleaseMemObject`.
+    ReleaseMem { buf: Reg },
+    /// `clCreateImage2D` (single-channel float texels).
+    CreateImage {
+        context: Reg,
+        width: u64,
+        height: u64,
+        init: Option<BufInit>,
+        out: Reg,
+    },
+    /// `clEnqueueReadImage` (whole image, blocking) with checksum.
+    ReadImageChecksum { queue: Reg, image: Reg },
+}
+
+macro_rules! op_codec {
+    ($($tag:literal => $variant:ident { $($field:ident),* }),+ $(,)?) => {
+        impl Codec for Op {
+            fn encode(&self, out: &mut Vec<u8>) {
+                match self {
+                    $(Op::$variant { $($field),* } => {
+                        out.push($tag);
+                        $($field.encode(out);)*
+                    })+
+                }
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                Ok(match u8::decode(r)? {
+                    $($tag => Op::$variant {
+                        $($field: Codec::decode(r)?),*
+                    },)+
+                    _ => return Err(CodecError::Invalid("Op tag")),
+                })
+            }
+        }
+    };
+}
+
+op_codec! {
+    0 => GetPlatform { out },
+    1 => GetDevices { platform, dtype, out, count },
+    2 => CreateContext { device, out },
+    3 => CreateQueue { context, device, out },
+    4 => CreateBuffer { context, flags, size, init, out },
+    5 => WriteBuffer { queue, buf, size, init },
+    6 => ReadBufferChecksum { queue, buf, size },
+    7 => CreateProgram { name, context, out },
+    8 => BuildProgram { prog },
+    9 => CreateKernel { prog, name, out },
+    10 => CreateSampler { context, out },
+    11 => SetArgMem { kernel, index, buf },
+    12 => SetArgSampler { kernel, index, sampler },
+    13 => SetArgU32 { kernel, index, value },
+    14 => SetArgF32 { kernel, index, value },
+    15 => SetArgLocal { kernel, index, size },
+    16 => Launch { kernel, queue, global, local },
+    17 => Finish { queue },
+    18 => Marker { queue, out },
+    19 => WaitEvent { event },
+    20 => ReleaseMem { buf },
+    21 => CreateImage { context, width, height, init, out },
+    22 => ReadImageChecksum { queue, image },
+}
+
+/// A complete benchmark program.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Script {
+    /// Instructions in execution order.
+    pub ops: Vec<Op>,
+}
+
+impl Script {
+    /// Number of `Launch` ops in the script.
+    pub fn kernel_launches(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, Op::Launch { .. })).count()
+    }
+}
+
+impl Codec for Script {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.ops.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Script {
+            ops: Vec::decode(r)?,
+        })
+    }
+}
+
+/// The live (and checkpointable) state of a running application.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppProgram {
+    /// The program text.
+    pub script: Script,
+    /// Program counter: next op to execute.
+    pub pc: u64,
+    /// Handle register file.
+    pub regs: Vec<u64>,
+    /// Checksum log from `ReadBufferChecksum` ops.
+    pub checksums: Vec<u64>,
+    /// Kernel launches executed so far.
+    pub kernels_launched: u64,
+}
+
+impl_codec_struct!(AppProgram {
+    script,
+    pc,
+    regs,
+    checksums,
+    kernels_launched
+});
+
+impl AppProgram {
+    /// Load a script, ready to run from the first op.
+    pub fn new(script: Script) -> Self {
+        AppProgram {
+            script,
+            pc: 0,
+            regs: vec![0; NUM_REGS],
+            checksums: Vec::new(),
+            kernels_launched: 0,
+        }
+    }
+
+    /// `true` once every op has executed.
+    pub fn is_done(&self) -> bool {
+        self.pc as usize >= self.script.ops.len()
+    }
+
+    fn reg(&self, r: Reg) -> u64 {
+        self.regs[r as usize]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r as usize] = v;
+    }
+
+    /// Execute exactly one op against `api`, advancing `now`.
+    pub fn step(&mut self, api: &mut dyn ClApi, now: &mut SimTime) -> ClResult<()> {
+        let op = self.script.ops[self.pc as usize].clone();
+        self.exec(api, now, &op)?;
+        self.pc += 1;
+        Ok(())
+    }
+
+    /// Run until `stop` is satisfied (or the script ends).
+    pub fn run_until(
+        &mut self,
+        api: &mut dyn ClApi,
+        now: &mut SimTime,
+        stop: StopCondition,
+    ) -> ClResult<RunStatus> {
+        while !self.is_done() {
+            self.step(api, now)?;
+            match stop {
+                StopCondition::Completion => {}
+                StopCondition::AfterKernel(n) => {
+                    if self.kernels_launched >= n {
+                        return Ok(RunStatus::Paused);
+                    }
+                }
+                StopCondition::AfterOps(n) => {
+                    if self.pc >= n {
+                        return Ok(RunStatus::Paused);
+                    }
+                }
+            }
+        }
+        Ok(RunStatus::Done)
+    }
+
+    fn exec(&mut self, api: &mut dyn ClApi, now: &mut SimTime, op: &Op) -> ClResult<()> {
+        match op {
+            Op::GetPlatform { out } => {
+                let platforms = api.call(now, ApiRequest::GetPlatformIds)?.into_platforms()?;
+                self.set_reg(*out, platforms[0].raw().0);
+            }
+            Op::GetDevices {
+                platform,
+                dtype,
+                out,
+                count,
+            } => {
+                let devices = api
+                    .call(
+                        now,
+                        ApiRequest::GetDeviceIds {
+                            platform: clspec::PlatformId::from_raw(RawHandle(self.reg(*platform))),
+                            device_type: *dtype,
+                        },
+                    )?
+                    .into_devices()?;
+                for i in 0..*count {
+                    let dev = devices.get(i as usize).unwrap_or(&devices[0]);
+                    self.set_reg(out + i, dev.raw().0);
+                }
+            }
+            Op::CreateContext { device, out } => {
+                let ctx = api
+                    .call(
+                        now,
+                        ApiRequest::CreateContext {
+                            devices: vec![DeviceId::from_raw(RawHandle(self.reg(*device)))],
+                        },
+                    )?
+                    .into_context()?;
+                self.set_reg(*out, ctx.raw().0);
+            }
+            Op::CreateQueue {
+                context,
+                device,
+                out,
+            } => {
+                let q = api
+                    .call(
+                        now,
+                        ApiRequest::CreateCommandQueue {
+                            context: Context::from_raw(RawHandle(self.reg(*context))),
+                            device: DeviceId::from_raw(RawHandle(self.reg(*device))),
+                            props: QueueProps::default(),
+                        },
+                    )?
+                    .into_queue()?;
+                self.set_reg(*out, q.raw().0);
+            }
+            Op::CreateBuffer {
+                context,
+                flags,
+                size,
+                init,
+                out,
+            } => {
+                let host_data = init.as_ref().map(|i| i.generate(*size));
+                let mut flags = *flags;
+                if host_data.is_some() && !flags.contains(MemFlags::USE_HOST_PTR) {
+                    flags = flags | MemFlags::COPY_HOST_PTR;
+                }
+                let mem = api
+                    .call(
+                        now,
+                        ApiRequest::CreateBuffer {
+                            context: Context::from_raw(RawHandle(self.reg(*context))),
+                            flags,
+                            size: *size,
+                            host_data,
+                        },
+                    )?
+                    .into_mem()?;
+                self.set_reg(*out, mem.raw().0);
+            }
+            Op::WriteBuffer {
+                queue,
+                buf,
+                size,
+                init,
+            } => {
+                let data = init.generate(*size);
+                let ev = api
+                    .call(
+                        now,
+                        ApiRequest::EnqueueWriteBuffer {
+                            queue: CommandQueue::from_raw(RawHandle(self.reg(*queue))),
+                            mem: Mem::from_raw(RawHandle(self.reg(*buf))),
+                            blocking: true,
+                            offset: 0,
+                            data,
+                            wait_list: vec![],
+                        },
+                    )?
+                    .into_event()?;
+                api.call(now, ApiRequest::ReleaseEvent { event: ev })?;
+            }
+            Op::ReadBufferChecksum { queue, buf, size } => {
+                let (data, ev) = api
+                    .call(
+                        now,
+                        ApiRequest::EnqueueReadBuffer {
+                            queue: CommandQueue::from_raw(RawHandle(self.reg(*queue))),
+                            mem: Mem::from_raw(RawHandle(self.reg(*buf))),
+                            blocking: true,
+                            offset: 0,
+                            size: *size,
+                            wait_list: vec![],
+                        },
+                    )?
+                    .into_data_event()?;
+                api.call(now, ApiRequest::ReleaseEvent { event: ev })?;
+                self.checksums.push(fnv1a64(&data));
+            }
+            Op::CreateProgram { name, context, out } => {
+                let source = clkernels::program_source(name)
+                    .unwrap_or_else(|| panic!("unknown corpus program {name}"))
+                    .source;
+                let p = api
+                    .call(
+                        now,
+                        ApiRequest::CreateProgramWithSource {
+                            context: Context::from_raw(RawHandle(self.reg(*context))),
+                            source,
+                        },
+                    )?
+                    .into_program()?;
+                self.set_reg(*out, p.raw().0);
+            }
+            Op::BuildProgram { prog } => {
+                api.call(
+                    now,
+                    ApiRequest::BuildProgram {
+                        program: Program::from_raw(RawHandle(self.reg(*prog))),
+                        options: String::new(),
+                    },
+                )?;
+            }
+            Op::CreateKernel { prog, name, out } => {
+                let k = api
+                    .call(
+                        now,
+                        ApiRequest::CreateKernel {
+                            program: Program::from_raw(RawHandle(self.reg(*prog))),
+                            name: name.clone(),
+                        },
+                    )?
+                    .into_kernel()?;
+                self.set_reg(*out, k.raw().0);
+            }
+            Op::CreateSampler { context, out } => {
+                let s = api
+                    .call(
+                        now,
+                        ApiRequest::CreateSampler {
+                            context: Context::from_raw(RawHandle(self.reg(*context))),
+                            desc: SamplerDesc {
+                                normalized_coords: true,
+                                addressing_mode: 0,
+                                filter_mode: 0,
+                            },
+                        },
+                    )?
+                    .into_sampler()?;
+                self.set_reg(*out, s.raw().0);
+            }
+            Op::SetArgMem { kernel, index, buf } => {
+                self.set_arg(api, now, *kernel, *index, ArgValue::handle(RawHandle(self.reg(*buf))))?;
+            }
+            Op::SetArgSampler {
+                kernel,
+                index,
+                sampler,
+            } => {
+                self.set_arg(
+                    api,
+                    now,
+                    *kernel,
+                    *index,
+                    ArgValue::handle(RawHandle(self.reg(*sampler))),
+                )?;
+            }
+            Op::SetArgU32 {
+                kernel,
+                index,
+                value,
+            } => {
+                self.set_arg(api, now, *kernel, *index, ArgValue::scalar(*value))?;
+            }
+            Op::SetArgF32 {
+                kernel,
+                index,
+                value,
+            } => {
+                self.set_arg(api, now, *kernel, *index, ArgValue::scalar(*value))?;
+            }
+            Op::SetArgLocal {
+                kernel,
+                index,
+                size,
+            } => {
+                self.set_arg(api, now, *kernel, *index, ArgValue::LocalMem(*size))?;
+            }
+            Op::Launch {
+                kernel,
+                queue,
+                global,
+                local,
+            } => {
+                let nd = |s: &[u64; 3]| NDRange {
+                    dims: if s[2] > 1 {
+                        3
+                    } else if s[1] > 1 {
+                        2
+                    } else {
+                        1
+                    },
+                    sizes: *s,
+                };
+                let ev = api
+                    .call(
+                        now,
+                        ApiRequest::EnqueueNDRangeKernel {
+                            queue: CommandQueue::from_raw(RawHandle(self.reg(*queue))),
+                            kernel: Kernel::from_raw(RawHandle(self.reg(*kernel))),
+                            global: nd(global),
+                            local: local.as_ref().map(nd),
+                            wait_list: vec![],
+                        },
+                    )?
+                    .into_event()?;
+                api.call(now, ApiRequest::ReleaseEvent { event: ev })?;
+                self.kernels_launched += 1;
+            }
+            Op::Finish { queue } => {
+                api.call(
+                    now,
+                    ApiRequest::Finish {
+                        queue: CommandQueue::from_raw(RawHandle(self.reg(*queue))),
+                    },
+                )?;
+            }
+            Op::Marker { queue, out } => {
+                let ev = api
+                    .call(
+                        now,
+                        ApiRequest::EnqueueMarker {
+                            queue: CommandQueue::from_raw(RawHandle(self.reg(*queue))),
+                        },
+                    )?
+                    .into_event()?;
+                self.set_reg(*out, ev.raw().0);
+            }
+            Op::WaitEvent { event } => {
+                api.call(
+                    now,
+                    ApiRequest::WaitForEvents {
+                        events: vec![Event::from_raw(RawHandle(self.reg(*event)))],
+                    },
+                )?;
+            }
+            Op::ReleaseMem { buf } => {
+                api.call(
+                    now,
+                    ApiRequest::ReleaseMemObject {
+                        mem: Mem::from_raw(RawHandle(self.reg(*buf))),
+                    },
+                )?;
+            }
+            Op::CreateImage {
+                context,
+                width,
+                height,
+                init,
+                out,
+            } => {
+                let host_data = init.as_ref().map(|i| i.generate(width * height * 4));
+                let flags = if host_data.is_some() {
+                    MemFlags::READ_WRITE | MemFlags::COPY_HOST_PTR
+                } else {
+                    MemFlags::READ_WRITE
+                };
+                let mem = api
+                    .call(
+                        now,
+                        ApiRequest::CreateImage2D {
+                            context: Context::from_raw(RawHandle(self.reg(*context))),
+                            flags,
+                            width: *width,
+                            height: *height,
+                            host_data,
+                        },
+                    )?
+                    .into_mem()?;
+                self.set_reg(*out, mem.raw().0);
+            }
+            Op::ReadImageChecksum { queue, image } => {
+                let (data, ev) = api
+                    .call(
+                        now,
+                        ApiRequest::EnqueueReadImage {
+                            queue: CommandQueue::from_raw(RawHandle(self.reg(*queue))),
+                            image: Mem::from_raw(RawHandle(self.reg(*image))),
+                            blocking: true,
+                            wait_list: vec![],
+                        },
+                    )?
+                    .into_data_event()?;
+                api.call(now, ApiRequest::ReleaseEvent { event: ev })?;
+                self.checksums.push(fnv1a64(&data));
+            }
+        }
+        Ok(())
+    }
+
+    fn set_arg(
+        &self,
+        api: &mut dyn ClApi,
+        now: &mut SimTime,
+        kernel: Reg,
+        index: u32,
+        value: ArgValue,
+    ) -> ClResult<()> {
+        api.call(
+            now,
+            ApiRequest::SetKernelArg {
+                kernel: Kernel::from_raw(RawHandle(self.reg(kernel))),
+                index,
+                value,
+            },
+        )?
+        .into_unit()
+    }
+}
+
+/// Where to pause execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Run the whole script.
+    Completion,
+    /// Stop right after the n-th kernel launch (1-based), leaving the
+    /// command in flight.
+    AfterKernel(u64),
+    /// Stop after `n` ops.
+    AfterOps(u64),
+}
+
+/// Result of a `run_until`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Script completed.
+    Done,
+    /// Stop condition hit; more ops remain.
+    Paused,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bufinit_deterministic() {
+        let a = BufInit::RandomF32 {
+            seed: 7,
+            lo: 0.0,
+            hi: 1.0,
+        }
+        .generate(64);
+        let b = BufInit::RandomF32 {
+            seed: 7,
+            lo: 0.0,
+            hi: 1.0,
+        }
+        .generate(64);
+        assert_eq!(a, b);
+        let c = BufInit::RandomF32 {
+            seed: 8,
+            lo: 0.0,
+            hi: 1.0,
+        }
+        .generate(64);
+        assert_ne!(a, c);
+        assert_eq!(BufInit::Zero.generate(16), vec![0u8; 16]);
+        let ramp = BufInit::Ramp.generate(12);
+        assert_eq!(f32::from_le_bytes(ramp[4..8].try_into().unwrap()), 1.0);
+    }
+
+    #[test]
+    fn script_codec_roundtrip() {
+        let script = Script {
+            ops: vec![
+                Op::GetPlatform { out: 0 },
+                Op::GetDevices {
+                    platform: 0,
+                    dtype: DeviceType::Gpu,
+                    out: 1,
+                    count: 2,
+                },
+                Op::CreateContext { device: 1, out: 3 },
+                Op::CreateBuffer {
+                    context: 3,
+                    flags: MemFlags::READ_WRITE,
+                    size: 1024,
+                    init: Some(BufInit::Ramp),
+                    out: 4,
+                },
+                Op::CreateProgram {
+                    name: "vector_add".into(),
+                    context: 3,
+                    out: 5,
+                },
+                Op::SetArgF32 {
+                    kernel: 6,
+                    index: 3,
+                    value: 2.5,
+                },
+                Op::Launch {
+                    kernel: 6,
+                    queue: 7,
+                    global: [1024, 1, 1],
+                    local: Some([256, 1, 1]),
+                },
+                Op::Finish { queue: 7 },
+            ],
+        };
+        let bytes = script.to_bytes();
+        assert_eq!(Script::from_bytes(&bytes).unwrap(), script);
+        assert_eq!(script.kernel_launches(), 1);
+    }
+
+    #[test]
+    fn app_program_codec_roundtrip_mid_run() {
+        let mut app = AppProgram::new(Script {
+            ops: vec![Op::GetPlatform { out: 0 }, Op::Finish { queue: 1 }],
+        });
+        app.pc = 1;
+        app.regs[0] = 0xdead;
+        app.checksums.push(42);
+        app.kernels_launched = 3;
+        let back = AppProgram::from_bytes(&app.to_bytes()).unwrap();
+        assert_eq!(back, app);
+        assert!(!back.is_done());
+    }
+
+    #[test]
+    fn runs_against_a_driver() {
+        let mut drv = cldriver::Driver::new(cldriver::vendor::nimbus());
+        let mut now = SimTime::ZERO;
+        let mut app = AppProgram::new(Script {
+            ops: vec![
+                Op::GetPlatform { out: 0 },
+                Op::GetDevices {
+                    platform: 0,
+                    dtype: DeviceType::Gpu,
+                    out: 1,
+                    count: 1,
+                },
+                Op::CreateContext { device: 1, out: 2 },
+                Op::CreateQueue {
+                    context: 2,
+                    device: 1,
+                    out: 3,
+                },
+                Op::CreateBuffer {
+                    context: 2,
+                    flags: MemFlags::READ_WRITE,
+                    size: 64,
+                    init: Some(BufInit::Ramp),
+                    out: 4,
+                },
+                Op::ReadBufferChecksum {
+                    queue: 3,
+                    buf: 4,
+                    size: 64,
+                },
+            ],
+        });
+        let status = app
+            .run_until(&mut drv, &mut now, StopCondition::Completion)
+            .unwrap();
+        assert_eq!(status, RunStatus::Done);
+        assert_eq!(app.checksums.len(), 1);
+        assert_eq!(app.checksums[0], fnv1a64(&BufInit::Ramp.generate(64)));
+    }
+
+    #[test]
+    fn pause_after_kernel_leaves_work_in_flight() {
+        let mut drv = cldriver::Driver::new(cldriver::vendor::nimbus());
+        let mut now = SimTime::ZERO;
+        let mut app = AppProgram::new(Script {
+            ops: vec![
+                Op::GetPlatform { out: 0 },
+                Op::GetDevices {
+                    platform: 0,
+                    dtype: DeviceType::Gpu,
+                    out: 1,
+                    count: 1,
+                },
+                Op::CreateContext { device: 1, out: 2 },
+                Op::CreateQueue {
+                    context: 2,
+                    device: 1,
+                    out: 3,
+                },
+                Op::CreateBuffer {
+                    context: 2,
+                    flags: MemFlags::READ_WRITE,
+                    size: 4096,
+                    init: Some(BufInit::Ramp),
+                    out: 4,
+                },
+                Op::CreateProgram {
+                    name: "max_flops".into(),
+                    context: 2,
+                    out: 5,
+                },
+                Op::BuildProgram { prog: 5 },
+                Op::CreateKernel {
+                    prog: 5,
+                    name: "max_flops".into(),
+                    out: 6,
+                },
+                Op::SetArgMem {
+                    kernel: 6,
+                    index: 0,
+                    buf: 4,
+                },
+                Op::SetArgU32 {
+                    kernel: 6,
+                    index: 1,
+                    value: 1024,
+                },
+                Op::SetArgU32 {
+                    kernel: 6,
+                    index: 2,
+                    value: 4,
+                },
+                Op::Launch {
+                    kernel: 6,
+                    queue: 3,
+                    global: [1024, 1, 1],
+                    local: None,
+                },
+                Op::Finish { queue: 3 },
+            ],
+        });
+        let status = app
+            .run_until(&mut drv, &mut now, StopCondition::AfterKernel(1))
+            .unwrap();
+        assert_eq!(status, RunStatus::Paused);
+        assert_eq!(app.kernels_launched, 1);
+        assert!(!app.is_done()); // Finish not yet executed
+        // Resume.
+        let status = app
+            .run_until(&mut drv, &mut now, StopCondition::Completion)
+            .unwrap();
+        assert_eq!(status, RunStatus::Done);
+    }
+}

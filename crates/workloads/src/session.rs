@@ -1,0 +1,331 @@
+//! Sessions: a workload running in a simulated process, natively or
+//! under CheCL, with checkpoint/restart/migration plumbing.
+//!
+//! The session owns the pieces a real OS would keep implicitly — the
+//! process, the loaded `libOpenCL` implementation, and the running
+//! program — and keeps the process clock in the cluster coherent with
+//! the interpreter.
+
+use crate::script::{AppProgram, RunStatus, Script, StopCondition};
+use checl::cpr::{restart_checl_process, CheckpointReport, CheclCprError, RestoreTarget};
+use checl::migrate::MigrationReport;
+use checl::{boot_checl, checkpoint_checl, CheclConfig, ChecLib};
+use cldriver::{Driver, VendorConfig};
+use clspec::api::ClApi;
+use clspec::error::ClResult;
+use osproc::{Cluster, NodeId, Pid};
+use simcore::codec::Codec;
+use simcore::{SimDuration, SimTime};
+
+/// Image segment holding the serialized application state (script, pc,
+/// registers, checksums) — the part of "host memory" the interpreter
+/// owns.
+pub const APP_SEGMENT: &str = "app-state";
+
+/// A workload linked directly against a vendor driver (no CheCL).
+pub struct NativeSession {
+    /// The application process.
+    pub pid: Pid,
+    /// The vendor driver, loaded *in the application process* — which
+    /// is what makes the process uncheckpointable.
+    pub driver: Driver,
+    /// The running program.
+    pub program: AppProgram,
+}
+
+impl NativeSession {
+    /// Launch a script natively on `node`.
+    pub fn launch(
+        cluster: &mut Cluster,
+        node: NodeId,
+        vendor: VendorConfig,
+        script: Script,
+    ) -> NativeSession {
+        let pid = cluster.spawn(node);
+        let driver = checl::boot::boot_native(cluster, pid, vendor);
+        NativeSession {
+            pid,
+            driver,
+            program: AppProgram::new(script),
+        }
+    }
+
+    /// Run until `stop`, keeping the cluster clock coherent.
+    pub fn run(&mut self, cluster: &mut Cluster, stop: StopCondition) -> ClResult<RunStatus> {
+        let mut now = cluster.process(self.pid).clock;
+        let status = self.program.run_until(&mut self.driver, &mut now, stop);
+        cluster.process_mut(self.pid).clock = now;
+        status
+    }
+
+    /// Virtual time elapsed since process start.
+    pub fn elapsed(&self, cluster: &Cluster) -> SimDuration {
+        cluster.process(self.pid).clock.since(SimTime::ZERO)
+    }
+}
+
+/// A workload transparently linked against CheCL.
+pub struct CheclSession {
+    /// The application process.
+    pub pid: Pid,
+    /// The CheCL shim (proxy + object database).
+    pub lib: ChecLib,
+    /// The running program — identical to the native case; the program
+    /// cannot tell which library it is linked against.
+    pub program: AppProgram,
+}
+
+impl CheclSession {
+    /// Launch a script under CheCL on `node`.
+    pub fn launch(
+        cluster: &mut Cluster,
+        node: NodeId,
+        vendor: VendorConfig,
+        config: CheclConfig,
+        script: Script,
+    ) -> CheclSession {
+        let pid = cluster.spawn(node);
+        Self::attach(cluster, pid, vendor, config, script)
+    }
+
+    /// Bind a script to an *existing* process (e.g. an MPI rank).
+    pub fn attach(
+        cluster: &mut Cluster,
+        pid: Pid,
+        vendor: VendorConfig,
+        config: CheclConfig,
+        script: Script,
+    ) -> CheclSession {
+        let booted = boot_checl(cluster, pid, vendor, config);
+        CheclSession {
+            pid,
+            lib: booted.lib,
+            program: AppProgram::new(script),
+        }
+    }
+
+    /// Run until `stop`, keeping the cluster clock coherent.
+    pub fn run(&mut self, cluster: &mut Cluster, stop: StopCondition) -> ClResult<RunStatus> {
+        let mut now = cluster.process(self.pid).clock;
+        let status = self.program.run_until(&mut self.lib, &mut now, stop);
+        cluster.process_mut(self.pid).clock = now;
+        status
+    }
+
+    /// Virtual time elapsed since process start.
+    pub fn elapsed(&self, cluster: &Cluster) -> SimDuration {
+        cluster.process(self.pid).clock.since(SimTime::ZERO)
+    }
+
+    /// Block until every command queue of this session has drained
+    /// (a `clFinish` on each), advancing the process clock past the
+    /// device work. Used to model checkpoints or scheduling decisions
+    /// taken at a synchronization point.
+    pub fn drain(&mut self, cluster: &mut Cluster) {
+        let mut now = cluster.process(self.pid).clock;
+        let queues: Vec<u64> = self
+            .lib
+            .db
+            .live_of_kind(clspec::handles::HandleKind::CommandQueue)
+            .map(|e| e.checl)
+            .collect();
+        for q in queues {
+            let _ = self.lib.call(
+                &mut now,
+                clspec::ApiRequest::Finish {
+                    queue: clspec::CommandQueue::from_raw(clspec::RawHandle(q)),
+                },
+            );
+        }
+        cluster.process_mut(self.pid).clock = now;
+    }
+
+    /// Persist the interpreter state into the process image (it *is*
+    /// host memory; a real program would not need this step because the
+    /// dump captures its heap wholesale).
+    pub fn persist_program(&mut self, cluster: &mut Cluster) {
+        cluster
+            .process_mut(self.pid)
+            .image
+            .put(APP_SEGMENT, self.program.to_bytes());
+    }
+
+    /// Checkpoint this application (CheCL §III-C procedure).
+    pub fn checkpoint(
+        &mut self,
+        cluster: &mut Cluster,
+        path: &str,
+    ) -> Result<CheckpointReport, CheclCprError> {
+        self.persist_program(cluster);
+        checkpoint_checl(&mut self.lib, cluster, self.pid, path)
+    }
+
+    /// Kill this session's processes (simulating failure or teardown).
+    pub fn kill(mut self, cluster: &mut Cluster) {
+        checl::boot::kill_proxy(cluster, &mut self.lib);
+        cluster.kill(self.pid);
+    }
+
+    /// Restart a checkpointed session on `node` with `vendor`.
+    pub fn restart(
+        cluster: &mut Cluster,
+        node: NodeId,
+        path: &str,
+        vendor: VendorConfig,
+        target: RestoreTarget,
+    ) -> Result<CheclSession, CheclCprError> {
+        let (lib, pid, _report) = restart_checl_process(cluster, node, path, vendor, target)?;
+        let bytes = cluster
+            .process(pid)
+            .image
+            .get(APP_SEGMENT)
+            .ok_or(CheclCprError::MissingState)?
+            .to_vec();
+        let program = AppProgram::from_bytes(&bytes).map_err(CheclCprError::BadState)?;
+        Ok(CheclSession { pid, lib, program })
+    }
+
+    /// Migrate this session to another node/vendor/device and resume.
+    pub fn migrate(
+        mut self,
+        cluster: &mut Cluster,
+        dest_node: NodeId,
+        dest_vendor: VendorConfig,
+        path: &str,
+        target: RestoreTarget,
+    ) -> Result<(CheclSession, MigrationReport), CheclCprError> {
+        self.persist_program(cluster);
+        let mut report = checl::migrate_process(
+            cluster,
+            self.lib,
+            self.pid,
+            dest_node,
+            dest_vendor,
+            path,
+            target,
+        )?;
+        let bytes = cluster
+            .process(report.new_pid)
+            .image
+            .get(APP_SEGMENT)
+            .ok_or(CheclCprError::MissingState)?
+            .to_vec();
+        let program = AppProgram::from_bytes(&bytes).map_err(CheclCprError::BadState)?;
+        // Take the rebuilt shim out of the report and into the session.
+        let lib = std::mem::replace(&mut report.new_lib, ChecLib::new(CheclConfig::default()));
+        let session = CheclSession {
+            pid: report.new_pid,
+            lib,
+            program,
+        };
+        Ok((session, report))
+    }
+}
+
+/// Outcome of a signal-aware run segment.
+#[derive(Debug, PartialEq)]
+pub enum CprRunOutcome {
+    /// Script finished; no checkpoint was triggered.
+    Done,
+    /// A checkpoint was taken (triggered by SIGUSR1) and the program
+    /// paused right after it; call `run_with_cpr` again to continue.
+    Checkpointed(checl::CheckpointReport),
+}
+
+impl CheclSession {
+    /// Run the program while honouring checkpoint signals (§III-C).
+    ///
+    /// When a `SIGUSR1` is pending on the application process:
+    /// * **Immediate mode** checkpoints before the next op executes,
+    ///   paying the synchronization wait for any in-flight commands;
+    /// * **Delayed mode** postpones until the program's next `clFinish`
+    ///   (its natural synchronization point), so the checkpoint's sync
+    ///   phase is nearly free. If the script ends first, the checkpoint
+    ///   is taken at exit (all queues drained by then).
+    ///
+    /// Returns after the first checkpoint so callers can decide whether
+    /// to continue, migrate or kill.
+    pub fn run_with_cpr(
+        &mut self,
+        cluster: &mut Cluster,
+        mode: checl::CheckpointMode,
+        path: &str,
+    ) -> Result<CprRunOutcome, CheclCprError> {
+        use crate::script::Op;
+        let mut armed = false;
+        loop {
+            if self.program.is_done() {
+                return if armed {
+                    // Delayed past the end of the script: checkpoint at
+                    // exit, queues already drained.
+                    Ok(CprRunOutcome::Checkpointed(self.checkpoint(cluster, path)?))
+                } else {
+                    Ok(CprRunOutcome::Done)
+                };
+            }
+            if cluster.process_mut(self.pid).poll_signal() == Some(osproc::Signal::Usr1) {
+                armed = true;
+            }
+            if armed {
+                let at_sync_point = matches!(
+                    self.program.script.ops[self.program.pc as usize],
+                    Op::Finish { .. }
+                );
+                let take_now = match mode {
+                    checl::CheckpointMode::Immediate => true,
+                    checl::CheckpointMode::Delayed => at_sync_point,
+                };
+                if take_now {
+                    return Ok(CprRunOutcome::Checkpointed(self.checkpoint(cluster, path)?));
+                }
+            }
+            let mut now = cluster.process(self.pid).clock;
+            let step = self.program.step(&mut self.lib, &mut now);
+            cluster.process_mut(self.pid).clock = now;
+            step.map_err(CheclCprError::Cl)?;
+        }
+    }
+}
+
+/// Which `ClApi` implementation a generic runner should use — lets
+/// tests and benches run the same workload both ways.
+pub enum AnySession {
+    /// Direct vendor linking.
+    Native(Box<NativeSession>),
+    /// CheCL interposition.
+    Checl(Box<CheclSession>),
+}
+
+impl AnySession {
+    /// Run until `stop`.
+    pub fn run(&mut self, cluster: &mut Cluster, stop: StopCondition) -> ClResult<RunStatus> {
+        match self {
+            AnySession::Native(s) => s.run(cluster, stop),
+            AnySession::Checl(s) => s.run(cluster, stop),
+        }
+    }
+
+    /// The running program.
+    pub fn program(&self) -> &AppProgram {
+        match self {
+            AnySession::Native(s) => &s.program,
+            AnySession::Checl(s) => &s.program,
+        }
+    }
+
+    /// Elapsed virtual time.
+    pub fn elapsed(&self, cluster: &Cluster) -> SimDuration {
+        match self {
+            AnySession::Native(s) => s.elapsed(cluster),
+            AnySession::Checl(s) => s.elapsed(cluster),
+        }
+    }
+
+    /// The implementation name the app is (unknowingly) linked against.
+    pub fn impl_name(&self) -> String {
+        match self {
+            AnySession::Native(s) => s.driver.impl_name(),
+            AnySession::Checl(s) => s.lib.impl_name(),
+        }
+    }
+}

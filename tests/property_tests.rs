@@ -1,0 +1,273 @@
+//! Property-based tests over the core invariants.
+
+use checl_repro as _;
+use proptest::prelude::*;
+use simcore::codec::Codec;
+
+// ---------------------------------------------------------------------
+// Codec invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Any MemImage round-trips through the checkpoint codec.
+    #[test]
+    fn memimage_roundtrip(segments in proptest::collection::btree_map(
+        "[a-z]{1,12}", proptest::collection::vec(any::<u8>(), 0..512), 0..6)
+    ) {
+        let mut img = osproc::MemImage::new();
+        for (name, data) in &segments {
+            img.put(name, data.clone());
+        }
+        let back = osproc::MemImage::from_bytes(&img.to_bytes()).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    /// Any checkpoint file round-trips; any single-byte corruption of
+    /// the frame region is detected (never silently accepted as
+    /// different data).
+    #[test]
+    fn checkpoint_file_integrity(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        pid in any::<u32>(),
+        flip in any::<u8>(),
+    ) {
+        let mut img = osproc::MemImage::new();
+        img.put("seg", data);
+        let ck = blcr::CheckpointFile {
+            source_pid: pid,
+            source_host: "pc0".into(),
+            image: img,
+        };
+        let bytes = ck.to_file_bytes();
+        prop_assert_eq!(blcr::CheckpointFile::from_file_bytes(&bytes).unwrap(), ck.clone());
+
+        // Corrupt one byte inside the frame (skip the trailing zero
+        // padding, which is not covered by the checksum).
+        let frame_len = 8 + u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+        let pos = 8 + (flip as usize % (frame_len - 8));
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x55;
+        match blcr::CheckpointFile::from_file_bytes(&bad) {
+            Err(_) => {}
+            Ok(parsed) => prop_assert_eq!(parsed, ck),
+        }
+    }
+
+    /// The generic codec rejects truncation of any encoded stream
+    /// rather than panicking or looping.
+    #[test]
+    fn truncation_always_errors(
+        values in proptest::collection::vec(any::<u64>(), 1..20),
+        cut in any::<u16>(),
+    ) {
+        let bytes = values.to_bytes();
+        let cut = (cut as usize) % bytes.len();
+        if cut < bytes.len() {
+            prop_assert!(Vec::<u64>::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Signature parser invariants
+// ---------------------------------------------------------------------
+
+fn arb_param() -> impl Strategy<Value = (String, clspec::sig::ParamKind)> {
+    use clspec::sig::ParamKind;
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,8}".prop_map(|n| {
+            (format!("__global float* {n}"), ParamKind::GlobalPtr)
+        }),
+        "[a-z][a-z0-9_]{0,8}".prop_map(|n| {
+            (format!("__constant float* {n}"), ParamKind::ConstantPtr)
+        }),
+        "[a-z][a-z0-9_]{0,8}".prop_map(|n| {
+            (format!("__local float* {n}"), ParamKind::LocalPtr)
+        }),
+        "[a-z][a-z0-9_]{0,8}".prop_map(|n| (format!("image2d_t {n}"), ParamKind::Image2d)),
+        "[a-z][a-z0-9_]{0,8}".prop_map(|n| (format!("sampler_t {n}"), ParamKind::Sampler)),
+        "[a-z][a-z0-9_]{0,8}".prop_map(|n| {
+            (format!("const uint {n}"), ParamKind::Scalar("uint".into()))
+        }),
+        "[a-z][a-z0-9_]{0,8}".prop_map(|n| {
+            (format!("float {n}"), ParamKind::Scalar("float".into()))
+        }),
+    ]
+}
+
+proptest! {
+    /// For any synthesized kernel declaration, the parser recovers the
+    /// kernel name, arity and per-parameter classification exactly.
+    #[test]
+    fn parser_recovers_synthesized_signatures(
+        kname in "[a-z][a-z0-9_]{0,12}",
+        params in proptest::collection::vec(arb_param(), 0..8),
+    ) {
+        let list: Vec<String> = params.iter().map(|(d, _)| d.clone()).collect();
+        let src = format!(
+            "// synthesized\n__kernel void {kname}({}) {{ /* body */ }}\n",
+            list.join(", ")
+        );
+        let sigs = clspec::sig::parse_kernel_sigs(&src).unwrap();
+        prop_assert_eq!(sigs.len(), 1);
+        prop_assert_eq!(&sigs[0].name, &kname);
+        prop_assert_eq!(sigs[0].params.len(), params.len());
+        for (got, (_, want)) in sigs[0].params.iter().zip(&params) {
+            prop_assert_eq!(&got.kind, want);
+        }
+        // And the signature round-trips through the codec (it is part
+        // of the CheCL database).
+        let sig = sigs[0].clone();
+        prop_assert_eq!(
+            clspec::sig::KernelSig::from_bytes(&sig.to_bytes()).unwrap(),
+            sig
+        );
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total_on_garbage(src in ".{0,300}") {
+        let _ = clspec::sig::parse_kernel_sigs(&src);
+        let _ = clspec::sig::parse_struct_defs(&src);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel engine invariants
+// ---------------------------------------------------------------------
+
+fn u32s_to_bytes(v: &[u32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn bytes_to_u32s(b: &[u8]) -> Vec<u32> {
+    b.chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+proptest! {
+    /// radix_sort agrees with the standard library sort on any input.
+    #[test]
+    fn radix_sort_correct(mut keys in proptest::collection::vec(any::<u32>(), 1..300)) {
+        let n = keys.len() as u32;
+        let mut args = vec![
+            clkernels::ArgData::Buffer(u32s_to_bytes(&keys)),
+            clkernels::ArgData::Scalar(n.to_le_bytes().to_vec()),
+        ];
+        clkernels::execute("radix_sort", [n as u64, 1, 1], &mut args).unwrap();
+        keys.sort_unstable();
+        prop_assert_eq!(bytes_to_u32s(args[0].buffer().unwrap()), keys);
+    }
+
+    /// The full bitonic schedule sorts any power-of-two input.
+    #[test]
+    fn bitonic_schedule_correct(seed in any::<u64>(), log_n in 2u32..9) {
+        let n = 1usize << log_n;
+        let mut rng = simcore::SplitMix64::new(seed);
+        let keys: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+        let mut buf = clkernels::ArgData::Buffer(u32s_to_bytes(&keys));
+        for stage in 0..log_n {
+            for pass in (0..=stage).rev() {
+                let mut args = vec![
+                    buf.clone(),
+                    clkernels::ArgData::Scalar((n as u32).to_le_bytes().to_vec()),
+                    clkernels::ArgData::Scalar(stage.to_le_bytes().to_vec()),
+                    clkernels::ArgData::Scalar(pass.to_le_bytes().to_vec()),
+                ];
+                clkernels::execute("bitonic_sort", [n as u64, 1, 1], &mut args).unwrap();
+                buf = args.swap_remove(0);
+            }
+        }
+        let mut expected = keys;
+        expected.sort_unstable();
+        prop_assert_eq!(bytes_to_u32s(buf.buffer().unwrap()), expected);
+    }
+
+    /// Exclusive scan and reduction are consistent:
+    /// scan[n-1] + input[n-1] == reduce(input).
+    #[test]
+    fn scan_reduce_consistent(values in proptest::collection::vec(0.0f32..10.0, 1..200)) {
+        let n = values.len() as u32;
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut scan_args = vec![
+            clkernels::ArgData::Buffer(bytes.clone()),
+            clkernels::ArgData::Buffer(vec![0u8; bytes.len()]),
+            clkernels::ArgData::Local(64),
+            clkernels::ArgData::Scalar(n.to_le_bytes().to_vec()),
+        ];
+        clkernels::execute("scan_exclusive", [n as u64, 1, 1], &mut scan_args).unwrap();
+        let mut red_args = vec![
+            clkernels::ArgData::Buffer(bytes),
+            clkernels::ArgData::Buffer(vec![0u8; 4]),
+            clkernels::ArgData::Local(64),
+            clkernels::ArgData::Scalar(n.to_le_bytes().to_vec()),
+        ];
+        clkernels::execute("reduce_sum", [n as u64, 1, 1], &mut red_args).unwrap();
+
+        let scan_out = scan_args[1].buffer().unwrap();
+        let last_scan = f32::from_le_bytes(
+            scan_out[(n as usize - 1) * 4..(n as usize) * 4].try_into().unwrap(),
+        );
+        let total = f32::from_le_bytes(red_args[1].buffer().unwrap()[..4].try_into().unwrap());
+        let expected = last_scan + values[values.len() - 1];
+        prop_assert!((total - expected).abs() <= total.abs().max(1.0) * 1e-4);
+    }
+}
+
+// ---------------------------------------------------------------------
+// CheCL end-to-end invariant
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Arbitrary buffer contents survive checkpoint + cross-vendor
+    /// restart bit-exactly, whatever the bytes are.
+    #[test]
+    fn arbitrary_buffers_survive_cpr(data in proptest::collection::vec(any::<u8>(), 64..512)) {
+        use checl::{CheclConfig, RestoreTarget};
+        use clspec::types::{DeviceType, MemFlags, QueueProps};
+        use clspec::Ocl;
+        use osproc::Cluster;
+
+        let size = (data.len() & !3) as u64;
+        let data = data[..size as usize].to_vec();
+
+        let mut cluster = Cluster::with_standard_nodes(2);
+        let nodes = cluster.node_ids();
+        let app = cluster.spawn(nodes[0]);
+        let mut booted = checl::boot_checl(
+            &mut cluster, app, cldriver::vendor::nimbus(), CheclConfig::default());
+        let mut now = cluster.process(app).clock;
+        let mut ocl = Ocl::new(&mut booted.lib, &mut now);
+        let p = ocl.get_platform_ids().unwrap();
+        let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
+        let ctx = ocl.create_context(&d).unwrap();
+        // The application keeps this CheCL queue handle across the
+        // checkpoint — handles are stable, only the wrapped vendor
+        // handles change.
+        let q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
+        let buf = ocl
+            .create_buffer(ctx, MemFlags::READ_WRITE | MemFlags::COPY_HOST_PTR, size, Some(data.clone()))
+            .unwrap();
+        let _ = ocl;
+        cluster.process_mut(app).clock = now;
+
+        checl::checkpoint_checl(&mut booted.lib, &mut cluster, app, "/nfs/prop.ckpt").unwrap();
+        checl::boot::kill_proxy(&mut cluster, &mut booted.lib);
+        cluster.kill(app);
+
+        let (mut lib2, pid2, _) = checl::cpr::restart_checl_process(
+            &mut cluster,
+            nodes[1],
+            "/nfs/prop.ckpt",
+            cldriver::vendor::crimson(),
+            RestoreTarget::default(),
+        )
+        .unwrap();
+        let mut now2 = cluster.process(pid2).clock;
+        let mut ocl2 = Ocl::new(&mut lib2, &mut now2);
+        let (back, _) = ocl2.enqueue_read_buffer(q, buf, true, 0, size, &[]).unwrap();
+        prop_assert_eq!(back, data);
+    }
+}
