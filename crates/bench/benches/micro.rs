@@ -1,21 +1,65 @@
-//! Criterion micro-benchmarks of the CheCL stack's hot paths.
+//! Micro-benchmarks of the CheCL stack's hot paths.
 //!
 //! Unlike the `fig*` harnesses (which report *virtual-clock* results),
 //! these measure real wall-clock performance of the implementation:
 //! the checkpoint codec, the kernel-signature parser, the handle
 //! translation layer, the forwarding path, and a full
 //! checkpoint/restart cycle.
+//!
+//! The harness is dependency-free (`harness = false`): each benchmark
+//! is warmed up, then timed over enough iterations to fill a fixed
+//! measurement window, and the mean ns/iter (plus throughput where a
+//! byte count applies) is printed. Pass a substring argument to run a
+//! subset, e.g. `cargo bench --bench micro -- codec`.
 
 use checl::{CheclConfig, RestoreTarget};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use osproc::Cluster;
 use simcore::codec::Codec;
 use simcore::SimTime;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 use workloads::{workload_by_name, CheclSession, NativeSession, StopCondition, WorkloadCfg};
 
-fn bench_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("codec");
+const WARMUP: Duration = Duration::from_millis(150);
+const MEASURE: Duration = Duration::from_millis(500);
+
+/// Run `f` repeatedly for roughly [`MEASURE`] after a warmup, printing
+/// mean time per iteration (and MiB/s when `bytes` is known).
+fn bench(filter: &str, name: &str, bytes: Option<u64>, mut f: impl FnMut()) {
+    if !name.contains(filter) {
+        return;
+    }
+    // Warmup: also discovers a rough per-iter cost for batch sizing.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP {
+        f();
+        warm_iters += 1;
+    }
+    let per_iter = WARMUP.as_nanos() as u64 / warm_iters.max(1);
+    let batch = (1_000_000 / per_iter.max(1)).clamp(1, 10_000);
+
+    let mut iters = 0u64;
+    let mut elapsed = Duration::ZERO;
+    while elapsed < MEASURE {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        elapsed += t.elapsed();
+        iters += batch;
+    }
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    let thpt = bytes
+        .map(|b| {
+            let mib_s = b as f64 / (ns / 1e9) / (1 << 20) as f64;
+            format!("  {mib_s:>10.1} MiB/s")
+        })
+        .unwrap_or_default();
+    println!("{name:<36}{:>14.1} ns/iter{thpt}   ({iters} iters)", ns);
+}
+
+fn bench_codec(filter: &str) {
     let image = {
         let mut img = osproc::MemImage::new();
         img.put("data", vec![0xabu8; 1 << 20]);
@@ -23,33 +67,29 @@ fn bench_codec(c: &mut Criterion) {
         img
     };
     let bytes = image.to_bytes();
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("memimage_encode_1mib", |b| {
-        b.iter(|| black_box(image.to_bytes()))
+    let len = bytes.len() as u64;
+    bench(filter, "codec/memimage_encode_1mib", Some(len), || {
+        black_box(image.to_bytes());
     });
-    g.bench_function("memimage_decode_1mib", |b| {
-        b.iter(|| black_box(osproc::MemImage::from_bytes(&bytes).unwrap()))
+    bench(filter, "codec/memimage_decode_1mib", Some(len), || {
+        black_box(osproc::MemImage::from_bytes(&bytes).unwrap());
     });
-    g.finish();
 }
 
-fn bench_parser(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sig_parser");
+fn bench_parser(filter: &str) {
     let big_source: String = clkernels::corpus::all_program_names()
         .iter()
         .map(|n| clkernels::program_source(n).unwrap().source)
         .collect();
-    g.throughput(Throughput::Bytes(big_source.len() as u64));
-    g.bench_function("parse_full_corpus", |b| {
-        b.iter(|| black_box(clspec::sig::parse_kernel_sigs(&big_source).unwrap()))
+    let len = big_source.len() as u64;
+    bench(filter, "sig_parser/parse_full_corpus", Some(len), || {
+        black_box(clspec::sig::parse_kernel_sigs(&big_source).unwrap());
     });
-    g.finish();
 }
 
-fn bench_forward_path(c: &mut Criterion) {
+fn bench_forward_path(filter: &str) {
     // Real cost of one interposed API call end to end (translate,
     // pipe accounting, driver dispatch, wrap).
-    let mut g = c.benchmark_group("forward");
     let mut cluster = Cluster::with_standard_nodes(1);
     let node = cluster.node_ids()[0];
     let pid = cluster.spawn(node);
@@ -67,117 +107,105 @@ fn bench_forward_path(c: &mut Criterion) {
         .unwrap()
         .into_platforms()
         .unwrap();
-    g.bench_function("get_platform_ids_interposed", |b| {
-        b.iter(|| {
-            black_box(
-                booted
-                    .lib
-                    .call(&mut now, clspec::ApiRequest::GetPlatformIds)
-                    .unwrap(),
-            )
-        })
+    bench(filter, "forward/get_platform_ids_interposed", None, || {
+        black_box(
+            booted
+                .lib
+                .call(&mut now, clspec::ApiRequest::GetPlatformIds)
+                .unwrap(),
+        );
     });
-    g.bench_function("get_platform_info_interposed", |b| {
-        b.iter(|| {
-            black_box(
-                booted
-                    .lib
-                    .call(
-                        &mut now,
-                        clspec::ApiRequest::GetPlatformInfo {
-                            platform: platforms[0],
-                        },
-                    )
-                    .unwrap(),
-            )
-        })
+    bench(filter, "forward/get_platform_info_interposed", None, || {
+        black_box(
+            booted
+                .lib
+                .call(
+                    &mut now,
+                    clspec::ApiRequest::GetPlatformInfo {
+                        platform: platforms[0],
+                    },
+                )
+                .unwrap(),
+        );
     });
-    g.finish();
 }
 
-fn bench_workload_run(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload");
-    g.sample_size(20);
+fn bench_workload_run(filter: &str) {
     let cfg = WorkloadCfg {
         scale: 1.0 / 256.0,
         ..WorkloadCfg::default()
     };
     let w = workload_by_name("oclVectorAdd").unwrap();
-    g.bench_function("vecadd_native", |b| {
-        b.iter(|| {
-            let mut cluster = Cluster::with_standard_nodes(1);
-            let node = cluster.node_ids()[0];
-            let mut s = NativeSession::launch(
-                &mut cluster,
-                node,
-                cldriver::vendor::nimbus(),
-                w.script(&cfg),
-            );
-            s.run(&mut cluster, StopCondition::Completion).unwrap();
-            black_box(s.program.checksums)
-        })
+    bench(filter, "workload/vecadd_native", None, || {
+        let mut cluster = Cluster::with_standard_nodes(1);
+        let node = cluster.node_ids()[0];
+        let mut s = NativeSession::launch(
+            &mut cluster,
+            node,
+            cldriver::vendor::nimbus(),
+            w.script(&cfg),
+        );
+        s.run(&mut cluster, StopCondition::Completion).unwrap();
+        black_box(&s.program.checksums);
     });
-    g.bench_function("vecadd_checl", |b| {
-        b.iter(|| {
-            let mut cluster = Cluster::with_standard_nodes(1);
-            let node = cluster.node_ids()[0];
-            let mut s = CheclSession::launch(
-                &mut cluster,
-                node,
-                cldriver::vendor::nimbus(),
-                CheclConfig::default(),
-                w.script(&cfg),
-            );
-            s.run(&mut cluster, StopCondition::Completion).unwrap();
-            black_box(s.program.checksums)
-        })
+    bench(filter, "workload/vecadd_checl", None, || {
+        let mut cluster = Cluster::with_standard_nodes(1);
+        let node = cluster.node_ids()[0];
+        let mut s = CheclSession::launch(
+            &mut cluster,
+            node,
+            cldriver::vendor::nimbus(),
+            CheclConfig::default(),
+            w.script(&cfg),
+        );
+        s.run(&mut cluster, StopCondition::Completion).unwrap();
+        black_box(&s.program.checksums);
     });
-    g.finish();
 }
 
-fn bench_cpr_cycle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cpr");
-    g.sample_size(10);
+fn bench_cpr_cycle(filter: &str) {
     let cfg = WorkloadCfg {
         scale: 1.0 / 256.0,
         ..WorkloadCfg::default()
     };
     let w = workload_by_name("oclMatrixMul").unwrap();
-    g.bench_function("checkpoint_restart_cycle", |b| {
-        b.iter(|| {
-            let mut cluster = Cluster::with_standard_nodes(1);
-            let node = cluster.node_ids()[0];
-            let mut s = CheclSession::launch(
-                &mut cluster,
-                node,
-                cldriver::vendor::nimbus(),
-                CheclConfig::default(),
-                w.script(&cfg),
-            );
-            s.run(&mut cluster, StopCondition::AfterKernel(1)).unwrap();
-            s.checkpoint(&mut cluster, "/ram/bench.ckpt").unwrap();
-            s.kill(&mut cluster);
-            let mut resumed = CheclSession::restart(
-                &mut cluster,
-                node,
-                "/ram/bench.ckpt",
-                cldriver::vendor::nimbus(),
-                RestoreTarget::default(),
-            )
+    bench(filter, "cpr/checkpoint_restart_cycle", None, || {
+        let mut cluster = Cluster::with_standard_nodes(1);
+        let node = cluster.node_ids()[0];
+        let mut s = CheclSession::launch(
+            &mut cluster,
+            node,
+            cldriver::vendor::nimbus(),
+            CheclConfig::default(),
+            w.script(&cfg),
+        );
+        s.run(&mut cluster, StopCondition::AfterKernel(1)).unwrap();
+        s.checkpoint(&mut cluster, "/ram/bench.ckpt").unwrap();
+        s.kill(&mut cluster);
+        let mut resumed = CheclSession::restart(
+            &mut cluster,
+            node,
+            "/ram/bench.ckpt",
+            cldriver::vendor::nimbus(),
+            RestoreTarget::default(),
+        )
+        .unwrap();
+        resumed
+            .run(&mut cluster, StopCondition::Completion)
             .unwrap();
-            resumed.run(&mut cluster, StopCondition::Completion).unwrap();
-            black_box(resumed.program.checksums)
-        })
+        black_box(&resumed.program.checksums);
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_codec,
-    bench_parser,
-    bench_forward_path,
-    bench_workload_run,
-    bench_cpr_cycle
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes `--bench`; any other argument is a filter.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_default();
+    bench_codec(&filter);
+    bench_parser(&filter);
+    bench_forward_path(&filter);
+    bench_workload_run(&filter);
+    bench_cpr_cycle(&filter);
+}

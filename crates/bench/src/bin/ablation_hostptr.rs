@@ -6,30 +6,36 @@
 //! `COPY_HOST_PTR` buffer.
 
 use checl::CheclConfig;
-use checl_bench::{eval_targets, secs, HARNESS_SCALE};
+use checl_bench::{eval_targets, Cell, FigureWriter, TraceSession, HARNESS_SCALE};
 use clspec::api::ClApi;
 use clspec::types::{MemFlags, NDRange, QueueProps};
 use clspec::{DeviceType, Ocl};
 use osproc::Cluster;
 
 fn main() {
+    let trace = TraceSession::from_args();
     let target = &eval_targets()[0];
-    println!("=== Ablation: CL_MEM_USE_HOST_PTR degradation (null kernel x8) ===");
-    println!("{:<22}{:>14}", "buffer flags", "time [s]");
+    let mut fig = FigureWriter::new("ablation_hostptr");
+    fig.section(
+        "Ablation: CL_MEM_USE_HOST_PTR degradation (null kernel x8)",
+        &["buffer flags", "time [s]"],
+    );
 
     for (label, flags) in [
-        ("COPY_HOST_PTR", MemFlags::READ_WRITE | MemFlags::COPY_HOST_PTR),
-        ("USE_HOST_PTR", MemFlags::READ_WRITE | MemFlags::USE_HOST_PTR),
+        (
+            "COPY_HOST_PTR",
+            MemFlags::READ_WRITE | MemFlags::COPY_HOST_PTR,
+        ),
+        (
+            "USE_HOST_PTR",
+            MemFlags::READ_WRITE | MemFlags::USE_HOST_PTR,
+        ),
     ] {
         let mut cluster = Cluster::with_standard_nodes(1);
         let node = cluster.node_ids()[0];
         let pid = cluster.spawn(node);
-        let mut booted = checl::boot_checl(
-            &mut cluster,
-            pid,
-            (target.vendor)(),
-            CheclConfig::default(),
-        );
+        let mut booted =
+            checl::boot_checl(&mut cluster, pid, (target.vendor)(), CheclConfig::default());
         let mut now = cluster.process(pid).clock;
         let mut ocl = Ocl::new(&mut booted.lib, &mut now);
         let p = ocl.get_platform_ids().unwrap();
@@ -49,16 +55,19 @@ fn main() {
         ocl.set_arg_mem(k, 0, buf).unwrap();
         let t0 = ocl.now();
         for _ in 0..8 {
-            ocl.enqueue_nd_range(q, k, NDRange::d1(n / 4), None, &[]).unwrap();
+            ocl.enqueue_nd_range(q, k, NDRange::d1(n / 4), None, &[])
+                .unwrap();
             ocl.finish(q).unwrap();
         }
         let elapsed = ocl.now().since(t0);
-        println!("{:<22}{:>14}", label, secs(elapsed));
+        fig.row(vec![label.into(), Cell::secs(elapsed)]);
         let _ = ocl;
         let _ = booted.lib.impl_name();
     }
-    println!(
-        "\nexpectation: USE_HOST_PTR pays two extra transfers per launch \
-         (host cache → device before, device → host cache after)"
+    fig.note(
+        "expectation: USE_HOST_PTR pays two extra transfers per launch \
+         (host cache → device before, device → host cache after)",
     );
+    fig.finish().unwrap();
+    trace.finish().unwrap();
 }

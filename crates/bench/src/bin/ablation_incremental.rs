@@ -9,19 +9,27 @@
 //! checkpoint time will be significantly shortened".
 
 use checl::{checkpoint_checl, checkpoint_checl_incremental, CheclConfig};
-use checl_bench::{eval_targets, mb, secs, HARNESS_SCALE};
+use checl_bench::{eval_targets, Cell, FigureWriter, TraceSession, HARNESS_SCALE};
 use osproc::Cluster;
 use workloads::{workload_by_name, CheclSession, StopCondition};
 
 fn main() {
+    let trace = TraceSession::from_args();
     let target = &eval_targets()[0];
     // BlackScholes: three const inputs, two written outputs.
     let w = workload_by_name("oclBlackScholes").unwrap();
 
-    println!("=== Ablation: full vs incremental checkpointing (BlackScholes) ===");
-    println!(
-        "{:<14}{:>8}{:>12}{:>10}{:>12}{:>12}",
-        "mode", "ckpt#", "preproc[s]", "write[s]", "total[s]", "file[MB]"
+    let mut fig = FigureWriter::new("ablation_incremental");
+    fig.section(
+        "Ablation: full vs incremental checkpointing (BlackScholes)",
+        &[
+            "mode",
+            "ckpt#",
+            "preproc[s]",
+            "write[s]",
+            "total[s]",
+            "file[MB]",
+        ],
     );
 
     for incremental in [false, true] {
@@ -45,20 +53,21 @@ fn main() {
                 checkpoint_checl(&mut s.lib, &mut cluster, s.pid, &path)
             }
             .unwrap();
-            println!(
-                "{:<14}{:>8}{:>12}{:>10}{:>12}{:>12}",
-                if incremental { "incremental" } else { "full" },
-                i,
-                secs(report.preprocess),
-                secs(report.write),
-                secs(report.total()),
-                mb(report.file_size),
-            );
+            fig.row(vec![
+                if incremental { "incremental" } else { "full" }.into(),
+                i.into(),
+                Cell::secs(report.preprocess),
+                Cell::secs(report.write),
+                Cell::secs(report.total()),
+                Cell::mib(report.file_size),
+            ]);
         }
     }
-    println!(
-        "\nexpectation: incremental checkpoints after the first skip the three \
+    fig.note(
+        "expectation: incremental checkpoints after the first skip the three \
          const input buffers (s, x, t); only the call/put outputs are re-saved, \
-         so later files shrink by the input volume"
+         so later files shrink by the input volume",
     );
+    fig.finish().unwrap();
+    trace.finish().unwrap();
 }

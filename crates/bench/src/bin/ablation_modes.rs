@@ -7,18 +7,26 @@
 //! nearly free.
 
 use checl::CheclConfig;
-use checl_bench::{eval_targets, secs, HARNESS_SCALE};
+use checl_bench::{eval_targets, Cell, FigureWriter, TraceSession, HARNESS_SCALE};
 use osproc::Cluster;
 use workloads::{workload_by_name, CheclSession, StopCondition};
 
 fn main() {
+    let trace = TraceSession::from_args();
     let target = &eval_targets()[0];
     let w = workload_by_name("MaxFlops").unwrap();
 
-    println!("=== Ablation: delayed vs immediate checkpointing (MaxFlops) ===");
-    println!(
-        "{:<12}{:>10}{:>12}{:>10}{:>12}{:>12}",
-        "mode", "sync[s]", "preproc[s]", "write[s]", "total[s]", "kernels in flight"
+    let mut fig = FigureWriter::new("ablation_modes");
+    fig.section(
+        "Ablation: delayed vs immediate checkpointing (MaxFlops)",
+        &[
+            "mode",
+            "sync[s]",
+            "preproc[s]",
+            "write[s]",
+            "total[s]",
+            "kernels in flight",
+        ],
     );
 
     for (mode, kernels_before_ckpt, drain_first) in
@@ -33,27 +41,35 @@ fn main() {
             CheclConfig::default(),
             w.script(&target.cfg(HARNESS_SCALE)),
         );
-        s.run(&mut cluster, StopCondition::AfterKernel(kernels_before_ckpt))
-            .unwrap();
+        s.run(
+            &mut cluster,
+            StopCondition::AfterKernel(kernels_before_ckpt),
+        )
+        .unwrap();
         if drain_first {
             // Delayed mode: the signal is held until the app reaches
             // its own clFinish — model by draining before checkpoint.
             s.drain(&mut cluster);
         }
         let report = s.checkpoint(&mut cluster, "/local/modes.ckpt").unwrap();
-        println!(
-            "{:<12}{:>10}{:>12}{:>10}{:>12}{:>12}",
-            mode,
-            secs(report.sync),
-            secs(report.preprocess),
-            secs(report.write),
-            secs(report.total()),
-            if drain_first { 0 } else { kernels_before_ckpt },
-        );
+        fig.row(vec![
+            mode.into(),
+            Cell::secs(report.sync),
+            Cell::secs(report.preprocess),
+            Cell::secs(report.write),
+            Cell::secs(report.total()),
+            if drain_first {
+                0u64.into()
+            } else {
+                kernels_before_ckpt.into()
+            },
+        ]);
     }
-    println!(
-        "\nexpectation: the sync phase collapses in delayed mode; the other \
+    fig.note(
+        "expectation: the sync phase collapses in delayed mode; the other \
          phases are unchanged (the synchronization wait moves into the \
-         application's own execution instead of the checkpoint)"
+         application's own execution instead of the checkpoint)",
     );
+    fig.finish().unwrap();
+    trace.finish().unwrap();
 }

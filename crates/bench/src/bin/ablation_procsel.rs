@@ -6,19 +6,20 @@
 //! the compute device from one to another."
 
 use checl::{CheclConfig, RestoreTarget};
-use checl_bench::{eval_targets, mb, secs, HARNESS_SCALE};
+use checl_bench::{eval_targets, Cell, FigureWriter, TraceSession, HARNESS_SCALE};
 use clspec::types::DeviceType;
 use osproc::Cluster;
 use workloads::{workload_by_name, CheclSession, StopCondition};
 
 fn main() {
+    let trace = TraceSession::from_args();
     let target = &eval_targets()[1]; // Crimson GPU as the starting point
     let w = workload_by_name("SGEMM").unwrap();
 
-    println!("=== Ablation: runtime processor selection GPU→CPU (SGEMM) ===");
-    println!(
-        "{:<14}{:>14}{:>14}{:>14}",
-        "medium", "switch [s]", "predicted [s]", "file [MB]"
+    let mut fig = FigureWriter::new("ablation_procsel");
+    fig.section(
+        "Ablation: runtime processor selection GPU→CPU (SGEMM)",
+        &["medium", "switch [s]", "predicted [s]", "file [MB]"],
     );
 
     for (label, path) in [
@@ -48,17 +49,20 @@ fn main() {
             )
             .expect("processor switch failed");
         // Prove the app now really runs on the CPU and still finishes.
-        resumed.run(&mut cluster, StopCondition::Completion).unwrap();
-        println!(
-            "{:<14}{:>14}{:>14}{:>14}",
-            label,
-            secs(report.actual),
-            secs(report.predicted),
-            mb(report.checkpoint.file_size),
-        );
+        resumed
+            .run(&mut cluster, StopCondition::Completion)
+            .unwrap();
+        fig.row(vec![
+            label.into(),
+            Cell::secs(report.actual),
+            Cell::secs(report.predicted),
+            Cell::mib(report.checkpoint.file_size),
+        ]);
     }
-    println!(
-        "\nexpectation: the RAM disk switch is far cheaper than disk/NFS — \
-         the enabler for aggressive runtime processor selection"
+    fig.note(
+        "expectation: the RAM disk switch is far cheaper than disk/NFS — \
+         the enabler for aggressive runtime processor selection",
     );
+    fig.finish().unwrap();
+    trace.finish().unwrap();
 }

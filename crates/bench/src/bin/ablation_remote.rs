@@ -8,16 +8,17 @@
 
 use checl::boot::{boot_checl, boot_checl_remote};
 use checl::CheclConfig;
-use checl_bench::{eval_targets, secs, HARNESS_SCALE};
+use checl_bench::{eval_targets, Cell, FigureWriter, TraceSession, HARNESS_SCALE};
 use osproc::Cluster;
 use workloads::{workload_by_name, AppProgram, StopCondition};
 
 fn main() {
+    let trace = TraceSession::from_args();
     let target = &eval_targets()[0];
-    println!("=== Ablation: local vs remote API proxy ===");
-    println!(
-        "{:<22}{:>14}{:>14}{:>10}",
-        "benchmark", "local [s]", "remote [s]", "ratio"
+    let mut fig = FigureWriter::new("ablation_remote");
+    fig.section(
+        "Ablation: local vs remote API proxy",
+        &["benchmark", "local [s]", "remote [s]", "ratio"],
     );
 
     for name in ["oclMatrixMul", "oclVectorAdd", "Triad", "oclScan"] {
@@ -46,17 +47,18 @@ fn main() {
         };
         let local = run(false);
         let remote = run(true);
-        println!(
-            "{:<22}{:>14}{:>14}{:>10.2}",
-            name,
-            secs(local),
-            secs(remote),
-            remote.as_secs_f64() / local.as_secs_f64()
-        );
+        fig.row(vec![
+            name.into(),
+            Cell::secs(local),
+            Cell::secs(remote),
+            Cell::num(remote.as_secs_f64() / local.as_secs_f64(), 2),
+        ]);
     }
-    println!(
-        "\nexpectation: compute-bound programs tolerate the remote proxy; \
+    fig.note(
+        "expectation: compute-bound programs tolerate the remote proxy; \
          transfer-heavy ones pay the full Ethernet penalty — the same \
-         trade-off rCUDA reports"
+         trade-off rCUDA reports",
     );
+    fig.finish().unwrap();
+    trace.finish().unwrap();
 }

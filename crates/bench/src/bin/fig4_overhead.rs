@@ -7,57 +7,64 @@
 //! overhead). Non-portable combinations print `n/a`, like
 //! oclSortingNetworks on the AMD GPU in the paper.
 
-use checl_bench::{eval_targets, run_checl, run_native, HARNESS_SCALE};
+use checl_bench::{
+    eval_targets, run_checl, run_native, Cell, FigureWriter, TraceSession, HARNESS_SCALE,
+};
 use workloads::all_workloads;
 
 fn main() {
+    let trace = TraceSession::from_args();
     let targets = eval_targets();
     let workloads = all_workloads();
 
-    println!("=== Fig. 4: Timing Overhead Caused by CheCL Runtime System ===");
-    println!("(normalized execution time: CheCL / native; 1.00 = no overhead)\n");
-    print!("{:<26}", "benchmark");
-    for t in &targets {
-        print!("{:>30}", t.label);
-    }
-    println!();
+    let mut fig = FigureWriter::new("fig4_overhead");
+    let mut cols = vec!["benchmark"];
+    cols.extend(targets.iter().map(|t| t.label));
+    fig.section(
+        "Fig. 4: Timing Overhead Caused by CheCL Runtime System \
+         (normalized execution time: CheCL / native; 1.00 = no overhead)",
+        &cols,
+    );
 
     let mut sums = vec![0.0f64; targets.len()];
     let mut counts = vec![0usize; targets.len()];
 
     for w in &workloads {
-        print!("{:<26}", w.name);
+        let mut row: Vec<Cell> = vec![w.name.into()];
         for (i, t) in targets.iter().enumerate() {
-            match (run_native(w, t, HARNESS_SCALE), run_checl(w, t, HARNESS_SCALE)) {
+            match (
+                run_native(w, t, HARNESS_SCALE),
+                run_checl(w, t, HARNESS_SCALE),
+            ) {
                 (Ok(native), Ok(checl)) => {
                     let ratio = checl.as_secs_f64() / native.as_secs_f64();
                     sums[i] += ratio;
                     counts[i] += 1;
-                    print!("{ratio:>30.3}");
+                    row.push(Cell::num(ratio, 3));
                 }
-                _ => print!("{:>30}", "n/a"),
+                _ => row.push(Cell::Na),
             }
         }
-        println!();
+        fig.row(row);
     }
 
-    println!();
-    print!("{:<26}", "AVERAGE");
+    let mut avg_row: Vec<Cell> = vec!["AVERAGE".into()];
     for i in 0..targets.len() {
-        let avg = sums[i] / counts[i] as f64;
-        print!("{avg:>30.3}");
+        avg_row.push(Cell::num(sums[i] / counts[i] as f64, 3));
     }
-    println!();
+    fig.row(avg_row);
     for (i, t) in targets.iter().enumerate() {
         let avg = sums[i] / counts[i] as f64;
-        println!(
+        fig.note(format!(
             "average runtime overhead on {}: {:.1}%",
             t.label,
             (avg - 1.0) * 100.0
-        );
+        ));
     }
-    println!(
-        "\npaper reference: 10.1% (NVIDIA), 19.0% (AMD GPU), 12.2% (AMD CPU); \
-         transfer-bound and API-chatty programs dominate the tail"
+    fig.note(
+        "paper reference: 10.1% (NVIDIA), 19.0% (AMD GPU), 12.2% (AMD CPU); \
+         transfer-bound and API-chatty programs dominate the tail",
     );
+    fig.finish().unwrap();
+    trace.finish().unwrap();
 }

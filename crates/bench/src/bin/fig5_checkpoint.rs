@@ -7,48 +7,67 @@
 //! Benchmarks with no kernel (oclBandwidthTest, BusSpeed*,
 //! KernelCompile) are excluded, as in the paper.
 
-use checl_bench::{eval_targets, mb, secs, session_at_last_kernel, HARNESS_SCALE};
+use checl_bench::{
+    eval_targets, session_at_last_kernel, Cell, FigureWriter, TraceSession, HARNESS_SCALE,
+};
 use workloads::all_workloads;
 
 fn main() {
+    let trace = TraceSession::from_args();
+    let mut fig = FigureWriter::new("fig5_checkpoint");
     for target in eval_targets() {
-        println!("\n=== Fig. 5: Checkpoint overheads — {} ===", target.label);
-        println!(
-            "{:<26}{:>10}{:>12}{:>10}{:>14}{:>12}{:>14}",
-            "benchmark", "sync[s]", "preproc[s]", "write[s]", "postproc[s]", "total[s]", "file[MB]"
+        fig.section(
+            &format!("Fig. 5: Checkpoint overheads — {}", target.label),
+            &[
+                "benchmark",
+                "sync[s]",
+                "preproc[s]",
+                "write[s]",
+                "postproc[s]",
+                "total[s]",
+                "file[MB]",
+            ],
         );
         let mut pairs: Vec<(f64, f64)> = Vec::new(); // (file MB, total s)
         for w in all_workloads() {
             if w.script(&target.cfg(HARNESS_SCALE)).kernel_launches() == 0 {
                 continue;
             }
-            let Ok((mut cluster, mut session)) =
-                session_at_last_kernel(&w, &target, HARNESS_SCALE)
+            let Ok((mut cluster, mut session)) = session_at_last_kernel(&w, &target, HARNESS_SCALE)
             else {
-                println!("{:<26}{:>10}", w.name, "n/a");
+                fig.row(vec![
+                    w.name.into(),
+                    Cell::Na,
+                    Cell::Na,
+                    Cell::Na,
+                    Cell::Na,
+                    Cell::Na,
+                    Cell::Na,
+                ]);
                 continue;
             };
             let report = session
                 .checkpoint(&mut cluster, "/local/fig5.ckpt")
                 .expect("checkpoint failed");
-            println!(
-                "{:<26}{:>10}{:>12}{:>10}{:>14}{:>12}{:>14}",
-                w.name,
-                secs(report.sync),
-                secs(report.preprocess),
-                secs(report.write),
-                secs(report.postprocess),
-                secs(report.total()),
-                mb(report.file_size),
-            );
+            fig.row(vec![
+                w.name.into(),
+                Cell::secs(report.sync),
+                Cell::secs(report.preprocess),
+                Cell::secs(report.write),
+                Cell::secs(report.postprocess),
+                Cell::secs(report.total()),
+                Cell::mib(report.file_size),
+            ]);
             pairs.push((report.file_size.as_mib_f64(), report.total().as_secs_f64()));
         }
-        println!("{}", correlation_line(&pairs));
+        fig.note(correlation_line(&pairs));
     }
-    println!(
-        "\npaper reference: writing dominates; total checkpoint time strongly \
-         correlated with file size (r = 0.99); postprocessing negligible"
+    fig.note(
+        "paper reference: writing dominates; total checkpoint time strongly \
+         correlated with file size (r = 0.99); postprocessing negligible",
     );
+    fig.finish().unwrap();
+    trace.finish().unwrap();
 }
 
 /// Pearson correlation between file size and total checkpoint time.

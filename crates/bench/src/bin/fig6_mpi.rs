@@ -7,19 +7,20 @@
 //! al.), whose single server serializes the writes.
 
 use checl::CheclConfig;
-use checl_bench::{eval_targets, mb, secs};
+use checl_bench::{eval_targets, Cell, FigureWriter, TraceSession};
 use mpisim::{coordinated_checkpoint, MpiWorld};
 use osproc::Cluster;
 use workloads::{workload_by_name, CheclSession, StopCondition};
 
 fn main() {
+    let trace = TraceSession::from_args();
     let target = &eval_targets()[0]; // NVIDIA nodes, as in the paper
     let md = workload_by_name("MD").unwrap();
 
-    println!("=== Fig. 6: Checkpoint Time for MPI Application (MD) ===");
-    println!(
-        "{:<14}{:>8}{:>18}{:>18}",
-        "problem", "nodes", "global ckpt [s]", "snapshot [MB]"
+    let mut fig = FigureWriter::new("fig6_mpi");
+    fig.section(
+        "Fig. 6: Checkpoint Time for MPI Application (MD)",
+        &["problem", "nodes", "global ckpt [s]", "snapshot [MB]"],
     );
 
     for &scale in &[0.25f64, 0.5, 1.0, 2.0] {
@@ -64,18 +65,19 @@ fn main() {
             )
             .expect("coordinated checkpoint failed");
 
-            println!(
-                "{:<14}{:>8}{:>18}{:>18}",
-                format!("{:.2}x", scale),
-                n_nodes,
-                secs(snapshot.elapsed),
-                mb(snapshot.total_size()),
-            );
+            fig.row(vec![
+                format!("{scale:.2}x").into(),
+                n_nodes.into(),
+                Cell::secs(snapshot.elapsed),
+                Cell::mib(snapshot.total_size()),
+            ]);
         }
     }
-    println!(
-        "\npaper reference: checkpoint time increases with the problem size \
+    fig.note(
+        "paper reference: checkpoint time increases with the problem size \
          (file size ∝ memory usage) and with the number of nodes \
-         (local snapshots aggregated into one NFS global snapshot)"
+         (local snapshots aggregated into one NFS global snapshot)",
     );
+    fig.finish().unwrap();
+    trace.finish().unwrap();
 }

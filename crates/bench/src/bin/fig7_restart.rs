@@ -8,27 +8,38 @@
 
 use checl::cpr::restart_checl_process;
 use checl::RestoreTarget;
-use checl_bench::{eval_targets, secs, session_at_last_kernel, HARNESS_SCALE};
+use checl_bench::{
+    eval_targets, session_at_last_kernel, Cell, FigureWriter, TraceSession, HARNESS_SCALE,
+};
 use clspec::handles::HandleKind;
 use workloads::all_workloads;
 
 fn main() {
+    let trace = TraceSession::from_args();
+    let mut fig = FigureWriter::new("fig7_restart");
     for target in eval_targets() {
-        println!("\n=== Fig. 7: Object recreation time on restart — {} ===", target.label);
-        print!("{:<26}", "benchmark");
-        for kind in HandleKind::RESTORE_ORDER {
-            print!("{:>10}", kind.short_name());
-        }
-        println!("{:>10}", "total[s]");
+        let mut cols = vec!["benchmark"];
+        cols.extend(HandleKind::RESTORE_ORDER.iter().map(|k| k.short_name()));
+        cols.push("total[s]");
+        fig.section(
+            &format!(
+                "Fig. 7: Object recreation time on restart — {}",
+                target.label
+            ),
+            &cols,
+        );
 
         for w in all_workloads() {
             if w.script(&target.cfg(HARNESS_SCALE)).kernel_launches() == 0 {
                 continue;
             }
-            let Ok((mut cluster, mut session)) =
-                session_at_last_kernel(&w, &target, HARNESS_SCALE)
+            let Ok((mut cluster, mut session)) = session_at_last_kernel(&w, &target, HARNESS_SCALE)
             else {
-                println!("{:<26}{:>10}", w.name, "n/a");
+                fig.row(
+                    std::iter::once(Cell::from(w.name))
+                        .chain((0..cols.len() - 1).map(|_| Cell::Na))
+                        .collect(),
+                );
                 continue;
             };
             session
@@ -45,21 +56,24 @@ fn main() {
             )
             .expect("restart failed");
 
-            print!("{:<26}", w.name);
+            let mut row: Vec<Cell> = vec![w.name.into()];
             for kind in HandleKind::RESTORE_ORDER {
                 let d = report
                     .per_kind
                     .get(&kind)
                     .copied()
                     .unwrap_or(simcore::SimDuration::ZERO);
-                print!("{:>10}", secs(d));
+                row.push(Cell::secs(d));
             }
-            println!("{:>10}", secs(report.total()));
+            row.push(Cell::secs(report.total()));
+            fig.row(row);
         }
     }
-    println!(
-        "\npaper reference: mem (data upload) and prog (recompilation) dominate; \
+    fig.note(
+        "paper reference: mem (data upload) and prog (recompilation) dominate; \
          Crimson/AMD recompiles slower than Nimbus/NVIDIA; S3D with its 27 \
-         program objects is the recompilation outlier"
+         program objects is the recompilation outlier",
     );
+    fig.finish().unwrap();
+    trace.finish().unwrap();
 }

@@ -7,16 +7,23 @@
 //! destination compiler's recompilation estimate.
 
 use checl::{CheclConfig, RestoreTarget};
-use checl_bench::{eval_targets, mb, secs, HARNESS_SCALE};
+use checl_bench::{eval_targets, Cell, FigureWriter, TraceSession, HARNESS_SCALE};
 use osproc::Cluster;
 use workloads::{all_workloads, CheclSession, StopCondition};
 
 fn main() {
+    let trace = TraceSession::from_args();
+    let mut fig = FigureWriter::new("fig8_migration");
     for target in eval_targets() {
-        println!("\n=== Fig. 8: Migration cost prediction — {} ===", target.label);
-        println!(
-            "{:<26}{:>14}{:>14}{:>12}{:>14}",
-            "benchmark", "actual [s]", "predicted [s]", "error", "file [MB]"
+        fig.section(
+            &format!("Fig. 8: Migration cost prediction — {}", target.label),
+            &[
+                "benchmark",
+                "actual [s]",
+                "predicted [s]",
+                "error",
+                "file [MB]",
+            ],
         );
         let mut errs = Vec::new();
         for w in all_workloads() {
@@ -38,7 +45,7 @@ fn main() {
             // checkpoint + transfer + restore, which is what the model
             // predicts.
             if s.run(&mut cluster, StopCondition::Completion).is_err() {
-                println!("{:<26}{:>14}", w.name, "n/a");
+                fig.row(vec![w.name.into(), Cell::Na, Cell::Na, Cell::Na, Cell::Na]);
                 continue;
             }
             s.persist_program(&mut cluster);
@@ -54,20 +61,24 @@ fn main() {
             let err = (report.predicted.as_secs_f64() - report.actual.as_secs_f64()).abs()
                 / report.actual.as_secs_f64();
             errs.push(err);
-            println!(
-                "{:<26}{:>14}{:>14}{:>11.1}%{:>14}",
-                w.name,
-                secs(report.actual),
-                secs(report.predicted),
-                err * 100.0,
-                mb(report.checkpoint.file_size),
-            );
+            fig.row(vec![
+                w.name.into(),
+                Cell::secs(report.actual),
+                Cell::secs(report.predicted),
+                Cell::Pct(err * 100.0),
+                Cell::mib(report.checkpoint.file_size),
+            ]);
         }
         let mean = errs.iter().sum::<f64>() / errs.len() as f64;
-        println!("mean relative prediction error: {:.1}%", mean * 100.0);
+        fig.note(format!(
+            "mean relative prediction error: {:.1}%",
+            mean * 100.0
+        ));
     }
-    println!(
-        "\npaper reference: the total of checkpoint and restart time is \
-         estimated well by the simple linear model Tm = αM + Tr + β"
+    fig.note(
+        "paper reference: the total of checkpoint and restart time is \
+         estimated well by the simple linear model Tm = αM + Tr + β",
     );
+    fig.finish().unwrap();
+    trace.finish().unwrap();
 }

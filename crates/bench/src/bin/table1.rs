@@ -1,26 +1,52 @@
 //! Regenerates Table I: system specifications (calibration constants).
 
+use checl_bench::{FigureWriter, TraceSession};
 use simcore::calib;
 
 fn main() {
-    println!("=== Table I: System Specifications (calibrated constants) ===");
+    let trace = TraceSession::from_args();
+    let mut fig = FigureWriter::new("table1");
+    fig.section(
+        "Table I: System Specifications (calibrated constants)",
+        &["parameter", "value"],
+    );
     let rows: Vec<(&str, String)> = vec![
         ("CPU", "Intel Core i7 920 (DDR3 12GB)".into()),
         ("NVIDIA GPU", "NVIDIA Tesla C1060 (GDDR3 4GB)".into()),
         ("AMD GPU", "AMD Radeon HD5870 (GDDR5 1GB)".into()),
-        ("File Write Perf. (RAM disk)", format!("{}", calib::ramdisk_write())),
-        ("File Write Perf. (Local)", format!("{}", calib::disk_local_write())),
+        (
+            "File Write Perf. (RAM disk)",
+            format!("{}", calib::ramdisk_write()),
+        ),
+        (
+            "File Write Perf. (Local)",
+            format!("{}", calib::disk_local_write()),
+        ),
         ("File Write Perf. (NFS)", format!("{}", calib::nfs_write())),
-        ("File Read Perf. (RAM disk)", format!("{}", calib::ramdisk_read())),
-        ("File Read Perf. (Local)", format!("{}", calib::disk_local_read())),
+        (
+            "File Read Perf. (RAM disk)",
+            format!("{}", calib::ramdisk_read()),
+        ),
+        (
+            "File Read Perf. (Local)",
+            format!("{}", calib::disk_local_read()),
+        ),
         ("File Read Perf. (NFS)", format!("{}", calib::nfs_read())),
         ("PCIe Perf. (HtoD)", format!("{}", calib::pcie_htod())),
         ("PCIe Perf. (DtoH)", format!("{}", calib::pcie_dtoh())),
-        ("CheCL init (proxy fork)", format!("{}", calib::checl_init_overhead())),
+        (
+            "CheCL init (proxy fork)",
+            format!("{}", calib::checl_init_overhead()),
+        ),
         ("IPC call latency", format!("{}", calib::ipc_call_latency())),
-        ("Process image baseline", format!("{}", calib::base_process_image())),
+        (
+            "Process image baseline",
+            format!("{}", calib::base_process_image()),
+        ),
     ];
     for (k, v) in rows {
-        println!("{k:<32} {v}");
+        fig.row(vec![k.into(), v.into()]);
     }
+    fig.finish().unwrap();
+    trace.finish().unwrap();
 }

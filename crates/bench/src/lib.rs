@@ -17,8 +17,12 @@
 //! | `ablation_hostptr`      | §IV-D CL_MEM_USE_HOST_PTR degradation |
 //!
 //! All timings are virtual-clock measurements, deterministic across
-//! runs. `cargo bench` additionally runs Criterion micro-benchmarks of
-//! the simulator's own hot paths (`benches/micro.rs`).
+//! runs. Every binary prints an aligned table and writes the same data
+//! as `results/BENCH_<figure>.json`; passing `--trace <file>` records
+//! the run's telemetry and exports it as Chrome trace-event JSON
+//! (loadable in Perfetto). `cargo bench` additionally runs wall-clock
+//! micro-benchmarks of the simulator's own hot paths
+//! (`benches/micro.rs`).
 
 use checl::CheclConfig;
 use clspec::error::ClResult;
@@ -84,7 +88,12 @@ pub const HARNESS_SCALE: f64 = 1.0;
 pub fn run_native(w: &Workload, target: &EvalTarget, scale: f64) -> ClResult<SimDuration> {
     let mut cluster = Cluster::with_standard_nodes(1);
     let node = cluster.node_ids()[0];
-    let mut s = NativeSession::launch(&mut cluster, node, (target.vendor)(), w.script(&target.cfg(scale)));
+    let mut s = NativeSession::launch(
+        &mut cluster,
+        node,
+        (target.vendor)(),
+        w.script(&target.cfg(scale)),
+    );
     s.run(&mut cluster, StopCondition::Completion)?;
     Ok(s.elapsed(&cluster))
 }
@@ -157,21 +166,333 @@ fn session_at_kernel(
     Ok((cluster, s))
 }
 
-/// Formatting: seconds with three decimals.
-pub fn secs(d: SimDuration) -> String {
-    format!("{:.3}", d.as_secs_f64())
+// ---------------------------------------------------------------------
+// Figure output: aligned text + machine-readable JSON
+// ---------------------------------------------------------------------
+
+/// One table cell: text, a number with display precision, or `n/a`.
+#[derive(Clone, Debug)]
+pub enum Cell {
+    /// Verbatim text.
+    Text(String),
+    /// A number rendered with `decimals` places in the text table; the
+    /// full value goes into the JSON.
+    Num {
+        /// The value.
+        v: f64,
+        /// Text-table display precision.
+        decimals: u8,
+    },
+    /// An integer.
+    Int(u64),
+    /// A percentage, rendered `{:.1}%`.
+    Pct(f64),
+    /// Not applicable (failed/non-portable combination).
+    Na,
 }
 
-/// Formatting: MB with one decimal.
-pub fn mb(b: ByteSize) -> String {
-    format!("{:.1}", b.as_mib_f64())
+impl Cell {
+    /// Seconds with three decimals from a virtual duration.
+    pub fn secs(d: SimDuration) -> Cell {
+        Cell::Num {
+            v: d.as_secs_f64(),
+            decimals: 3,
+        }
+    }
+
+    /// MiB with one decimal from a byte size.
+    pub fn mib(b: ByteSize) -> Cell {
+        Cell::Num {
+            v: b.as_mib_f64(),
+            decimals: 1,
+        }
+    }
+
+    /// A plain number with chosen display precision.
+    pub fn num(v: f64, decimals: u8) -> Cell {
+        Cell::Num { v, decimals }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Num { v, decimals } => format!("{v:.*}", *decimals as usize),
+            Cell::Int(v) => v.to_string(),
+            Cell::Pct(v) => format!("{v:.1}%"),
+            Cell::Na => "n/a".into(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        match self {
+            Cell::Text(s) => json_string(s),
+            Cell::Num { v, .. } | Cell::Pct(v) => json_number(*v),
+            Cell::Int(v) => v.to_string(),
+            Cell::Na => "null".into(),
+        }
+    }
 }
 
-/// Print a header row followed by a separator.
-pub fn print_header(title: &str, cols: &[&str]) {
-    println!("\n=== {title} ===");
-    println!("{}", cols.join("\t"));
-    println!("{}", "-".repeat(cols.len() * 12));
+impl From<&str> for Cell {
+    fn from(s: &str) -> Cell {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Cell {
+        Cell::Text(s)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Cell {
+        Cell::Int(v)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Cell {
+        Cell::Int(v as u64)
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".into();
+    }
+    let s = format!("{v}");
+    // Bare integral floats need a fraction to read back as floats.
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+struct Section {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+    notes: Vec<String>,
+}
+
+/// Collects one figure's tables and emits them twice on
+/// [`FigureWriter::finish`]: an aligned text report on stdout, and a
+/// machine-readable `results/BENCH_<figure>.json`.
+pub struct FigureWriter {
+    figure: String,
+    sections: Vec<Section>,
+}
+
+impl FigureWriter {
+    /// Start a report for `figure` (e.g. `"fig5_checkpoint"`).
+    pub fn new(figure: &str) -> FigureWriter {
+        FigureWriter {
+            figure: figure.to_string(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Open a new table with `title` and column headers.
+    pub fn section(&mut self, title: &str, columns: &[&str]) {
+        self.sections.push(Section {
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        });
+    }
+
+    /// Append a row to the current section.
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        let section = self.sections.last_mut().expect("row before section");
+        assert_eq!(
+            cells.len(),
+            section.columns.len(),
+            "row width does not match '{}' header",
+            section.title
+        );
+        section.rows.push(cells);
+    }
+
+    /// Attach a free-form note to the current section (printed under
+    /// the table, kept in the JSON).
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.sections
+            .last_mut()
+            .expect("note before section")
+            .notes
+            .push(text.into());
+    }
+
+    /// Print the aligned text report and write
+    /// `results/BENCH_<figure>.json`. Returns the JSON path.
+    pub fn finish(self) -> std::io::Result<std::path::PathBuf> {
+        for section in &self.sections {
+            println!("\n=== {} ===", section.title);
+            let mut widths: Vec<usize> = section.columns.iter().map(|c| c.len()).collect();
+            let rendered: Vec<Vec<String>> = section
+                .rows
+                .iter()
+                .map(|r| r.iter().map(Cell::render).collect())
+                .collect();
+            for row in &rendered {
+                for (w, cell) in widths.iter_mut().zip(row) {
+                    *w = (*w).max(cell.len());
+                }
+            }
+            let line = |cells: &[String]| {
+                let mut out = String::new();
+                for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                    if i == 0 {
+                        out.push_str(&format!("{cell:<w$}"));
+                    } else {
+                        out.push_str(&format!("  {cell:>w$}"));
+                    }
+                }
+                out
+            };
+            println!("{}", line(&section.columns));
+            println!(
+                "{}",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+            );
+            for row in &rendered {
+                println!("{}", line(row));
+            }
+            for note in &section.notes {
+                println!("{note}");
+            }
+        }
+
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str(&format!("  \"figure\": {},\n", json_string(&self.figure)));
+        json.push_str("  \"sections\": [\n");
+        for (si, section) in self.sections.iter().enumerate() {
+            json.push_str("    {\n");
+            json.push_str(&format!(
+                "      \"title\": {},\n",
+                json_string(&section.title)
+            ));
+            let cols: Vec<String> = section.columns.iter().map(|c| json_string(c)).collect();
+            json.push_str(&format!("      \"columns\": [{}],\n", cols.join(", ")));
+            json.push_str("      \"rows\": [\n");
+            for (ri, row) in section.rows.iter().enumerate() {
+                let cells: Vec<String> = row.iter().map(Cell::to_json).collect();
+                let comma = if ri + 1 < section.rows.len() { "," } else { "" };
+                json.push_str(&format!("        [{}]{comma}\n", cells.join(", ")));
+            }
+            json.push_str("      ],\n");
+            let notes: Vec<String> = section.notes.iter().map(|n| json_string(n)).collect();
+            json.push_str(&format!("      \"notes\": [{}]\n", notes.join(", ")));
+            let comma = if si + 1 < self.sections.len() {
+                ","
+            } else {
+                ""
+            };
+            json.push_str(&format!("    }}{comma}\n"));
+        }
+        json.push_str("  ]\n}\n");
+
+        let dir = std::path::Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.figure));
+        std::fs::write(&path, json)?;
+        println!("\nwrote {}", path.display());
+        Ok(path)
+    }
+}
+
+// ---------------------------------------------------------------------
+// --trace wiring
+// ---------------------------------------------------------------------
+
+/// Telemetry recording session for a figure binary, driven by a
+/// `--trace <file>` command-line argument. With the flag absent this
+/// is a no-op (and the instrumentation stays on its near-zero-cost
+/// disabled path).
+pub struct TraceSession {
+    path: Option<std::path::PathBuf>,
+}
+
+impl TraceSession {
+    /// Parse `--trace <file>` / `--trace=<file>` from `std::env::args`
+    /// and, when present, start recording on this thread.
+    pub fn from_args() -> TraceSession {
+        let args: Vec<String> = std::env::args().collect();
+        let mut path = None;
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(v) = args[i].strip_prefix("--trace=") {
+                path = Some(std::path::PathBuf::from(v));
+            } else if args[i] == "--trace" && i + 1 < args.len() {
+                path = Some(std::path::PathBuf::from(&args[i + 1]));
+                i += 1;
+            }
+            i += 1;
+        }
+        if path.is_some() {
+            simcore::telemetry::start_recording();
+        }
+        TraceSession { path }
+    }
+
+    /// Whether a recording is active.
+    pub fn active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Stop recording, validate the trace, export Chrome trace JSON to
+    /// the requested file, and print a one-line summary. Panics if the
+    /// trace fails validation — a figure run must produce a
+    /// structurally sound trace.
+    pub fn finish(self) -> std::io::Result<()> {
+        let Some(path) = self.path else { return Ok(()) };
+        let rec =
+            simcore::telemetry::stop_recording().expect("--trace recording was replaced mid-run");
+        match simcore::telemetry::validate(&rec.events) {
+            Ok(stats) => println!(
+                "trace: {} events ({} spans, {} async, {} instants, depth {}) validated",
+                rec.events.len(),
+                stats.spans,
+                stats.async_pairs,
+                stats.instants,
+                stats.max_depth,
+            ),
+            Err(e) => panic!("trace validation failed: {e}"),
+        }
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(&path, simcore::telemetry::export_chrome_trace(&rec))?;
+        println!(
+            "trace: wrote {} (load in Perfetto / chrome://tracing)",
+            path.display()
+        );
+        Ok(())
+    }
 }
 
 #[cfg(test)]

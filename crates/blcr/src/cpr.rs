@@ -3,7 +3,7 @@
 use crate::ckptfile::CheckpointFile;
 use osproc::{Cluster, DeviceMapping, FsError, NodeId, Pid};
 use simcore::codec::CodecError;
-use simcore::ByteSize;
+use simcore::{telemetry, ByteSize};
 use std::fmt;
 
 /// CPR failures.
@@ -89,7 +89,33 @@ pub fn checkpoint(cluster: &mut Cluster, pid: Pid, path: &str) -> Result<ByteSiz
     };
     let bytes = file.to_file_bytes();
     let size = ByteSize::bytes(bytes.len() as u64);
+    let t0 = cluster.process(pid).clock;
     cluster.write_file(pid, path, bytes)?;
+    if telemetry::enabled() {
+        let t1 = cluster.process(pid).clock;
+        let dur = t1.since(t0).as_secs_f64();
+        let mb_per_s = if dur > 0.0 {
+            size.as_mib_f64() / dur
+        } else {
+            0.0
+        };
+        let _scope = telemetry::track_scope(telemetry::Track::process(pid.0 as u64));
+        telemetry::span_begin(
+            "blcr",
+            "blcr.write",
+            t0,
+            vec![("path", path.into()), ("bytes", size.as_u64().into())],
+        );
+        telemetry::span_end(
+            "blcr",
+            "blcr.write",
+            t1,
+            vec![("mb_per_s", mb_per_s.into())],
+        );
+        telemetry::counter_add("blcr.checkpoints", 1);
+        telemetry::counter_add("blcr.bytes_written", size.as_u64());
+        telemetry::observe("blcr.write_ns", t1.since(t0).as_nanos());
+    }
     Ok(size)
 }
 
@@ -97,11 +123,7 @@ pub fn checkpoint(cluster: &mut Cluster, pid: Pid, path: &str) -> Result<ByteSiz
 /// `pid`. Fails if any live child maps devices — exactly why stock
 /// DMTCP cannot checkpoint a CheCL application while its API proxy is
 /// alive (§V). Kill the proxy first and this succeeds.
-pub fn dmtcp_checkpoint(
-    cluster: &mut Cluster,
-    pid: Pid,
-    path: &str,
-) -> Result<ByteSize, CprError> {
+pub fn dmtcp_checkpoint(cluster: &mut Cluster, pid: Pid, path: &str) -> Result<ByteSize, CprError> {
     let children = cluster.process(pid).children.clone();
     for child in children {
         let c = cluster.process(child);
@@ -118,7 +140,28 @@ pub fn dmtcp_checkpoint(
 /// restart cost in Fig. 7 / Fig. 8.
 pub fn restart(cluster: &mut Cluster, node: NodeId, path: &str) -> Result<Pid, CprError> {
     let pid = cluster.spawn(node);
+    let t0 = cluster.process(pid).clock;
     let bytes = cluster.read_file(pid, path)?;
+    if telemetry::enabled() {
+        let t1 = cluster.process(pid).clock;
+        let size = ByteSize::bytes(bytes.len() as u64);
+        let dur = t1.since(t0).as_secs_f64();
+        let mb_per_s = if dur > 0.0 {
+            size.as_mib_f64() / dur
+        } else {
+            0.0
+        };
+        let _scope = telemetry::track_scope(telemetry::Track::process(pid.0 as u64));
+        telemetry::span_begin(
+            "blcr",
+            "blcr.read",
+            t0,
+            vec![("path", path.into()), ("bytes", size.as_u64().into())],
+        );
+        telemetry::span_end("blcr", "blcr.read", t1, vec![("mb_per_s", mb_per_s.into())]);
+        telemetry::counter_add("blcr.restarts", 1);
+        telemetry::counter_add("blcr.bytes_read", size.as_u64());
+    }
     let file = CheckpointFile::from_file_bytes(&bytes).map_err(CprError::Corrupt)?;
     cluster.process_mut(pid).image = file.image;
     Ok(pid)
@@ -137,8 +180,8 @@ mod tests {
         c.process_mut(p).image.put("state", vec![5, 6, 7]);
         let size = checkpoint(&mut c, p, "/nfs/a.ckpt").unwrap();
         assert!(size > ByteSize::mib(20)); // baseline included
-        // Restart on the *other* node via the shared NFS mount:
-        // process migration.
+                                           // Restart on the *other* node via the shared NFS mount:
+                                           // process migration.
         let p2 = restart(&mut c, nodes[1], "/nfs/a.ckpt").unwrap();
         assert_ne!(p, p2);
         assert_eq!(c.process(p2).image.get("state"), Some(&[5u8, 6, 7][..]));
@@ -150,7 +193,8 @@ mod tests {
         let mut c = Cluster::with_standard_nodes(1);
         let n = c.node_ids()[0];
         let p = c.spawn(n);
-        c.process_mut(p).map_device("/dev/nimbus0", ByteSize::mib(64));
+        c.process_mut(p)
+            .map_device("/dev/nimbus0", ByteSize::mib(64));
         let err = checkpoint(&mut c, p, "/local/x.ckpt").unwrap_err();
         match err {
             CprError::DeviceMapped { pid, mappings } => {
@@ -182,10 +226,17 @@ mod tests {
         let n = c.node_ids()[0];
         let app = c.spawn(n);
         let proxy = c.fork(app, simcore::SimDuration::from_millis(80));
-        c.process_mut(proxy).map_device("/dev/nimbus0", ByteSize::mib(64));
+        c.process_mut(proxy)
+            .map_device("/dev/nimbus0", ByteSize::mib(64));
         // Stock DMTCP: checkpoints the tree, trips over the proxy.
         let err = dmtcp_checkpoint(&mut c, app, "/local/a.ckpt").unwrap_err();
-        assert_eq!(err, CprError::ChildDeviceMapped { pid: app, child: proxy });
+        assert_eq!(
+            err,
+            CprError::ChildDeviceMapped {
+                pid: app,
+                child: proxy
+            }
+        );
         // Paper's workaround: kill the proxy before checkpointing.
         c.kill(proxy);
         dmtcp_checkpoint(&mut c, app, "/local/a.ckpt").unwrap();

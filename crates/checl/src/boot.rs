@@ -9,8 +9,20 @@
 
 use crate::runtime::{ChecLib, CheclConfig, ProxyLink};
 use cldriver::{Driver, VendorConfig};
+use clspec::api::ClApi as _;
 use osproc::{Cluster, Pid, Pipe};
-use simcore::calib;
+use simcore::{calib, telemetry};
+
+/// Name the app and proxy tracks for trace exports.
+fn name_tracks(app_pid: Pid, proxy_pid: Pid, vendor_name: &str, flavor: &str) {
+    if telemetry::enabled() {
+        telemetry::name_process(app_pid.0 as u64, &format!("app {app_pid} ({flavor})"));
+        telemetry::name_process(
+            proxy_pid.0 as u64,
+            &format!("api-proxy {proxy_pid} ({vendor_name})"),
+        );
+    }
+}
 
 /// A CheCL shim bound to an application process, with its proxy forked.
 pub struct BootedChecl {
@@ -43,6 +55,7 @@ pub fn boot_checl(
         }
     }
     cluster.process_mut(app_pid).bound_opencl = Some("checl".to_string());
+    name_tracks(app_pid, proxy_pid, driver.impl_name().as_str(), "checl");
     let pipe = Pipe::new(app_pid, proxy_pid);
     let mut lib = ChecLib::new(config);
     lib.attach_proxy(ProxyLink {
@@ -82,6 +95,12 @@ pub fn boot_checl_remote(
         }
     }
     cluster.process_mut(app_pid).bound_opencl = Some("checl-remote".to_string());
+    name_tracks(
+        app_pid,
+        proxy_pid,
+        driver.impl_name().as_str(),
+        "checl-remote",
+    );
     let pipe = Pipe::with_link(app_pid, proxy_pid, calib::gige_link());
     let mut lib = ChecLib::new(config);
     lib.attach_proxy(ProxyLink {
@@ -95,12 +114,7 @@ pub fn boot_checl_remote(
 /// Fork a *new* proxy for an existing shim — the restart path: "Fork a
 /// new API proxy and recreate OpenCL objects via the new proxy"
 /// (§III-C). The shim must currently have no proxy.
-pub fn refork_proxy(
-    cluster: &mut Cluster,
-    lib: &mut ChecLib,
-    app_pid: Pid,
-    vendor: VendorConfig,
-) {
+pub fn refork_proxy(cluster: &mut Cluster, lib: &mut ChecLib, app_pid: Pid, vendor: VendorConfig) {
     assert!(!lib.has_proxy(), "refork with a live proxy");
     let proxy_pid = cluster.fork(app_pid, calib::checl_init_overhead());
     let driver = Driver::new(vendor);
@@ -111,6 +125,7 @@ pub fn refork_proxy(
             proxy.map_device(device, size);
         }
     }
+    name_tracks(app_pid, proxy_pid, driver.impl_name().as_str(), "checl");
     let pipe = Pipe::new(app_pid, proxy_pid);
     lib.attach_proxy(ProxyLink {
         driver,
@@ -168,10 +183,7 @@ mod tests {
         let proxy = booted.lib.proxy_pid().unwrap();
         assert!(cluster.process(proxy).has_device_mappings());
         assert_eq!(cluster.process(proxy).parent, Some(app));
-        assert_eq!(
-            cluster.process(app).bound_opencl.as_deref(),
-            Some("checl")
-        );
+        assert_eq!(cluster.process(app).bound_opencl.as_deref(), Some("checl"));
     }
 
     #[test]
@@ -279,20 +291,30 @@ mod remote_tests {
         let p = ocl.get_platform_ids().unwrap();
         let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
         let ctx = ocl.create_context(&d).unwrap();
-        let q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
+        let q = ocl
+            .create_command_queue(ctx, d[0], QueueProps::default())
+            .unwrap();
         let n = 1024u32;
         let data: Vec<u8> = (0..n * 4).map(|i| i as u8).collect();
         let buf = ocl
-            .create_buffer(ctx, MemFlags::READ_WRITE | MemFlags::COPY_HOST_PTR, (n * 4) as u64, Some(data.clone()))
+            .create_buffer(
+                ctx,
+                MemFlags::READ_WRITE | MemFlags::COPY_HOST_PTR,
+                (n * 4) as u64,
+                Some(data.clone()),
+            )
             .unwrap();
         let src = clkernels::program_source("null").unwrap().source;
         let prog = ocl.create_program_with_source(ctx, &src).unwrap();
         ocl.build_program(prog, "").unwrap();
         let k = ocl.create_kernel(prog, "null_kernel").unwrap();
         ocl.set_arg_mem(k, 0, buf).unwrap();
-        ocl.enqueue_nd_range(q, k, NDRange::d1(n as u64), None, &[]).unwrap();
+        ocl.enqueue_nd_range(q, k, NDRange::d1(n as u64), None, &[])
+            .unwrap();
         ocl.finish(q).unwrap();
-        let (back, _) = ocl.enqueue_read_buffer(q, buf, true, 0, (n * 4) as u64, &[]).unwrap();
+        let (back, _) = ocl
+            .enqueue_read_buffer(q, buf, true, 0, (n * 4) as u64, &[])
+            .unwrap();
         assert_eq!(back, data);
     }
 
@@ -325,9 +347,13 @@ mod remote_tests {
             let p = ocl.get_platform_ids().unwrap();
             let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
             let ctx = ocl.create_context(&d).unwrap();
-            let q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
+            let q = ocl
+                .create_command_queue(ctx, d[0], QueueProps::default())
+                .unwrap();
             let size = 8u64 << 20;
-            let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, size, None).unwrap();
+            let buf = ocl
+                .create_buffer(ctx, MemFlags::READ_WRITE, size, None)
+                .unwrap();
             let t0 = ocl.now();
             ocl.enqueue_write_buffer(q, buf, true, 0, vec![0u8; size as usize], &[])
                 .unwrap();

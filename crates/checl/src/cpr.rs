@@ -13,13 +13,12 @@ use cldriver::VendorConfig;
 use clspec::api::ApiRequest;
 use clspec::error::ClError;
 use clspec::handles::{
-    CommandQueue, Context, DeviceId, Event, HandleKind, Kernel, Mem, PlatformId, Program,
-    RawHandle,
+    CommandQueue, Context, DeviceId, Event, HandleKind, Kernel, Mem, PlatformId, Program, RawHandle,
 };
 use clspec::types::{ArgValue, DeviceType, MemFlags};
 use osproc::{Cluster, NodeId, Pid};
 use simcore::codec::CodecError;
-use simcore::{ByteSize, SimDuration, SimTime};
+use simcore::{telemetry, ByteSize, SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -186,14 +185,27 @@ fn checkpoint_checl_inner(
         return Err(CheclCprError::NoProxy);
     }
     let mut now = cluster.process(app_pid).clock;
+    let _scope = telemetry::track_scope(telemetry::Track::process(app_pid.0 as u64));
+    let start = now;
+    telemetry::span_begin(
+        "cpr",
+        "checkpoint",
+        start,
+        vec![
+            ("path", path.into()),
+            ("incremental", u64::from(incremental).into()),
+        ],
+    );
 
     // Phase 1: synchronize the host and all command queues.
     let t0 = now;
+    telemetry::span_begin("cpr", telemetry::QUIESCE_AFTER, t0, Vec::new());
     let queues: Vec<RawHandle> = lib
         .db
         .live_of_kind(HandleKind::CommandQueue)
         .map(|e| e.vendor)
         .collect();
+    let queue_count = queues.len();
     for q in queues {
         lib.forward(
             &mut now,
@@ -203,10 +215,19 @@ fn checkpoint_checl_inner(
         )?;
     }
     let sync = now.since(t0);
+    telemetry::span_end(
+        "cpr",
+        telemetry::QUIESCE_AFTER,
+        now,
+        vec![("queues", queue_count.into())],
+    );
 
     // Phase 2: preprocess — copy all user data in device memory to the
     // host memory.
     let t0 = now;
+    telemetry::span_begin("cpr", "checkpoint.preprocess", t0, Vec::new());
+    let mut copied_bytes: u64 = 0;
+    let mut skipped: u64 = 0;
     let mems: Vec<(u64, RawHandle, u64, u64, bool)> = lib
         .db
         .live_of_kind(HandleKind::Mem)
@@ -228,8 +249,10 @@ fn checkpoint_checl_inner(
         if skip {
             // Clean buffer: its bytes already live in a previous
             // checkpoint file; nothing to copy.
+            skipped += 1;
             continue;
         }
+        copied_bytes += size;
         let (_q_checl, q_vendor) =
             queue_in_context(lib, context).ok_or(CheclCprError::Cl(ClError::InvalidContext))?;
         let (data, ev) = lib
@@ -266,10 +289,20 @@ fn checkpoint_checl_inner(
         }
     }
     let preprocess = now.since(t0);
+    telemetry::span_end(
+        "cpr",
+        "checkpoint.preprocess",
+        now,
+        vec![
+            ("copied_bytes", copied_bytes.into()),
+            ("skipped_clean", skipped.into()),
+        ],
+    );
 
     // Phase 3: write — dump the host process (CheCL state included)
     // via the conventional CPR system.
     let t0 = now;
+    telemetry::span_begin("cpr", telemetry::QUIESCE_UNTIL, t0, Vec::new());
     cluster
         .process_mut(app_pid)
         .image
@@ -278,9 +311,16 @@ fn checkpoint_checl_inner(
     let file_size = blcr::checkpoint(cluster, app_pid, path)?;
     now = cluster.process(app_pid).clock;
     let write = now.since(t0);
+    telemetry::span_end(
+        "cpr",
+        telemetry::QUIESCE_UNTIL,
+        now,
+        vec![("file_bytes", file_size.as_u64().into())],
+    );
 
     // Phase 4: postprocess — delete the host copies to save memory.
     let t0 = now;
+    telemetry::span_begin("cpr", "checkpoint.postprocess", t0, Vec::new());
     let mem_handles: Vec<u64> = lib
         .db
         .live_of_kind(HandleKind::Mem)
@@ -297,14 +337,30 @@ fn checkpoint_checl_inner(
     cluster.process_mut(app_pid).image.take(CHECL_STATE_SEGMENT);
     cluster.process_mut(app_pid).clock = now;
     let postprocess = now.since(t0);
+    telemetry::span_end("cpr", "checkpoint.postprocess", now, Vec::new());
 
-    Ok(CheckpointReport {
+    let report = CheckpointReport {
         sync,
         preprocess,
         write,
         postprocess,
         file_size,
-    })
+    };
+    debug_assert_eq!(now.since(start), report.total());
+    telemetry::span_end(
+        "cpr",
+        "checkpoint",
+        now,
+        vec![
+            ("total_ns", report.total().into()),
+            ("file_bytes", file_size.as_u64().into()),
+        ],
+    );
+    if telemetry::enabled() {
+        telemetry::counter_add("cpr.checkpoints", 1);
+        telemetry::observe("cpr.checkpoint_ns", report.total().as_nanos());
+    }
+    Ok(report)
 }
 
 /// Re-create every OpenCL object recorded in the database, in the
@@ -328,6 +384,14 @@ pub fn restore_checl(
             .map(|e| (e.checl, e.record.clone()))
             .collect();
         let count = entries.len();
+        if count > 0 && telemetry::enabled() {
+            telemetry::span_begin(
+                "cpr",
+                &format!("restore.{}", kind.short_name()),
+                t0,
+                vec![("objects", count.into())],
+            );
+        }
         for (checl, record) in entries {
             let vendor = restore_one(lib, now, checl, &record, target)?;
             if let Some(e) = lib.db.get_mut(checl) {
@@ -335,6 +399,14 @@ pub fn restore_checl(
             }
         }
         if count > 0 {
+            if telemetry::enabled() {
+                telemetry::span_end(
+                    "cpr",
+                    &format!("restore.{}", kind.short_name()),
+                    *now,
+                    Vec::new(),
+                );
+            }
             report.per_kind.insert(kind, now.since(t0));
             report.counts.insert(kind, count);
         }
@@ -634,6 +706,7 @@ pub fn restart_checl_process(
     target: RestoreTarget,
 ) -> Result<(ChecLib, Pid, RestoreReport), CheclCprError> {
     let pid = blcr::restart(cluster, node, path)?;
+    let _scope = telemetry::track_scope(telemetry::Track::process(pid.0 as u64));
     let state = cluster
         .process(pid)
         .image
@@ -642,10 +715,25 @@ pub fn restart_checl_process(
         .to_vec();
     let mut lib = ChecLib::decode_state(&state).map_err(CheclCprError::BadState)?;
     resolve_incremental_data(cluster, pid, &mut lib, path)?;
+    telemetry::span_begin(
+        "cpr",
+        "restart",
+        cluster.process(pid).clock,
+        vec![("path", path.into())],
+    );
     refork_proxy(cluster, &mut lib, pid, vendor);
     let mut now = cluster.process(pid).clock;
     let report = restore_checl(&mut lib, &mut now, target)?;
     cluster.process_mut(pid).clock = now;
+    telemetry::span_end(
+        "cpr",
+        "restart",
+        now,
+        vec![("restore_total_ns", report.total().into())],
+    );
+    if telemetry::enabled() {
+        telemetry::counter_add("cpr.restarts", 1);
+    }
     Ok((lib, pid, report))
 }
 
@@ -679,8 +767,8 @@ fn resolve_incremental_data(
             let bytes = cluster
                 .read_file(pid, &file)
                 .map_err(|e| CheclCprError::Cpr(CprError::Fs(e)))?;
-            let ck = blcr::CheckpointFile::from_file_bytes(&bytes)
-                .map_err(CheclCprError::BadState)?;
+            let ck =
+                blcr::CheckpointFile::from_file_bytes(&bytes).map_err(CheclCprError::BadState)?;
             let state = ck
                 .image
                 .get(CHECL_STATE_SEGMENT)

@@ -108,15 +108,9 @@ mod tests {
         blob.extend_from_slice(&0xdead_beefu64.to_le_bytes());
         let n = rewrite_handles_in_struct(&db, &mut blob, |h| Some(h + 1));
         assert_eq!(n, 1);
-        assert_eq!(
-            u64::from_le_bytes(blob[0..8].try_into().unwrap()),
-            mem + 1
-        );
+        assert_eq!(u64::from_le_bytes(blob[0..8].try_into().unwrap()), mem + 1);
         // Non-handle words untouched.
-        assert_eq!(
-            f64::from_le_bytes(blob[8..16].try_into().unwrap()),
-            3.25
-        );
+        assert_eq!(f64::from_le_bytes(blob[8..16].try_into().unwrap()), 3.25);
         assert_eq!(
             u64::from_le_bytes(blob[16..24].try_into().unwrap()),
             0xdead_beef

@@ -14,7 +14,7 @@ use crate::runtime::ChecLib;
 use cldriver::VendorConfig;
 use clspec::handles::HandleKind;
 use osproc::{Cluster, FsKind, NodeId, Pid};
-use simcore::{ByteSize, SimDuration};
+use simcore::{telemetry, ByteSize, SimDuration, SimTime};
 
 /// The fitted `Tm = αM + Tr + β` predictor.
 #[derive(Clone, Copy, Debug)]
@@ -111,16 +111,32 @@ pub fn migrate_process(
 ) -> Result<MigrationReport, CheclCprError> {
     let medium = {
         let node = cluster.process(app_pid).node;
-        let (fs_id, _) = cluster
-            .node(node)
-            .resolve(path)
-            .ok_or_else(|| CheclCprError::Cpr(blcr::CprError::Fs(osproc::FsError::NotFound(path.into()))))?;
+        let (fs_id, _) = cluster.node(node).resolve(path).ok_or_else(|| {
+            CheclCprError::Cpr(blcr::CprError::Fs(osproc::FsError::NotFound(path.into())))
+        })?;
         cluster.fs(fs_id).kind()
     };
     let predicted_tr = estimate_recompile_time(&lib, &dest_vendor);
 
+    // Migration spans two processes, so its stages live on the
+    // cluster-wide track rather than either pid's timeline.
+    let t_start = cluster.process(app_pid).clock;
+    {
+        let _cluster = telemetry::track_scope(telemetry::Track::CLUSTER);
+        telemetry::span_begin("migrate", "migrate", t_start, vec![("path", path.into())]);
+    }
+
     let checkpoint = checkpoint_checl(&mut lib, cluster, app_pid, path)?;
     let predicted = MigrationModel::for_medium(medium).predict(checkpoint.file_size, predicted_tr);
+    {
+        let _cluster = telemetry::track_scope(telemetry::Track::CLUSTER);
+        telemetry::instant(
+            "migrate",
+            "migrate.checkpointed",
+            t_start + checkpoint.total(),
+            vec![("file_bytes", checkpoint.file_size.as_u64().into())],
+        );
+    }
 
     // Tear down the source: the proxy dies with its vendor objects,
     // then the application itself.
@@ -132,8 +148,30 @@ pub fn migrate_process(
         restart_checl_process(cluster, dest_node, path, dest_vendor, target)?;
     // The destination process clock started at zero and now reads
     // "everything the restart cost": file read + proxy fork + restore.
-    let dest_side = cluster.process(new_pid).clock.since(simcore::SimTime::ZERO);
+    let dest_side = cluster.process(new_pid).clock.since(SimTime::ZERO);
     let actual = checkpoint.total() + dest_side;
+
+    if telemetry::enabled() {
+        let _cluster = telemetry::track_scope(telemetry::Track::CLUSTER);
+        let err_pct = if actual > SimDuration::ZERO {
+            (predicted.as_secs_f64() - actual.as_secs_f64()).abs() / actual.as_secs_f64() * 100.0
+        } else {
+            0.0
+        };
+        telemetry::span_end(
+            "migrate",
+            "migrate",
+            t_start + actual,
+            vec![
+                ("predicted_ns", predicted.into()),
+                ("actual_ns", actual.into()),
+                ("predicted_tr_ns", predicted_tr.into()),
+                ("error_pct", err_pct.into()),
+                ("file_bytes", checkpoint.file_size.as_u64().into()),
+            ],
+        );
+        telemetry::counter_add("migrate.migrations", 1);
+    }
 
     Ok(MigrationReport {
         checkpoint,

@@ -28,7 +28,7 @@ use clspec::sig::{parse_kernel_sigs, parse_struct_defs, ParamKind};
 use clspec::types::ArgValue;
 use osproc::{Pid, Pipe};
 use simcore::codec::Codec;
-use simcore::SimTime;
+use simcore::{telemetry, SimTime};
 
 /// What to do with a by-value struct argument that contains handles —
 /// the limitation of §IV-D.
@@ -137,6 +137,43 @@ impl ChecLib {
         &self.call_histogram
     }
 
+    /// The `top_n` busiest entry points, most-called first (ties break
+    /// alphabetically for deterministic output).
+    pub fn top_calls(&self, top_n: usize) -> Vec<(&'static str, u64)> {
+        let mut entries: Vec<(&'static str, u64)> =
+            self.call_histogram.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        entries.truncate(top_n);
+        entries
+    }
+
+    /// Human-readable statistics summary: the cumulative
+    /// [`CheclStats`] plus the `top_n` busiest entry points out of the
+    /// call histogram.
+    pub fn stats_summary(&self, top_n: usize) -> String {
+        use std::fmt::Write as _;
+        let s = self.stats;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "forwarded {} call(s), {} IPC byte(s), {} handle translation(s), \
+             {} guessed arg(s), {} callback(s) ignored",
+            s.forwarded_calls,
+            s.ipc_bytes,
+            s.handle_translations,
+            s.guessed_args,
+            s.callbacks_ignored
+        );
+        let shown = self.top_calls(top_n);
+        if !shown.is_empty() {
+            let _ = writeln!(out, "top {} entry point(s):", shown.len());
+            for (name, count) in shown {
+                let _ = writeln!(out, "  {name:<28}{count:>10}");
+            }
+        }
+        out
+    }
+
     /// Configuration in force.
     pub fn config(&self) -> CheclConfig {
         self.config
@@ -185,13 +222,17 @@ impl ChecLib {
 
     /// Ship one request to the proxy and return its response, paying
     /// the IPC costs on both legs.
-    pub(crate) fn forward(
-        &mut self,
-        now: &mut SimTime,
-        req: ApiRequest,
-    ) -> ClResult<ApiResponse> {
+    pub(crate) fn forward(&mut self, now: &mut SimTime, req: ApiRequest) -> ClResult<ApiResponse> {
         let link = self.proxy.as_mut().ok_or(ClError::DeviceNotAvailable)?;
-        *self.call_histogram.entry(req.api_name()).or_insert(0) += 1;
+        // Single bookkeeping site for the per-entry-point histogram:
+        // the in-process map is always on, and the same increment is
+        // mirrored into the telemetry counter registry when a sink is
+        // installed.
+        let api = req.api_name();
+        *self.call_histogram.entry(api).or_insert(0) += 1;
+        if telemetry::enabled() {
+            telemetry::counter_add(&format!("checl.calls.{api}"), 1);
+        }
         let req_size = req.wire_size();
         link.pipe.transfer(now, req_size);
         let resp = link.driver.call(now, req)?;
@@ -199,6 +240,10 @@ impl ChecLib {
         link.pipe.transfer(now, resp_size);
         self.stats.forwarded_calls += 1;
         self.stats.ipc_bytes += req_size + resp_size;
+        if telemetry::enabled() {
+            telemetry::counter_add("checl.forwarded_calls", 1);
+            telemetry::counter_add("checl.ipc_bytes", req_size + resp_size);
+        }
         Ok(resp)
     }
 
@@ -296,9 +341,7 @@ impl ChecLib {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                PlatformId::from_raw(
-                    self.wrap(p.raw(), ObjectRecord::Platform { index: i as u32 }),
-                )
+                PlatformId::from_raw(self.wrap(p.raw(), ObjectRecord::Platform { index: i as u32 }))
             })
             .collect();
         Ok(ApiResponse::Platforms(out))
@@ -368,10 +411,7 @@ impl ChecLib {
     ) -> ClResult<(RecordedArg, ArgValue)> {
         // Pull what we need from the kernel/program records first.
         let (param_kind, program_source) = {
-            let kentry = self
-                .db
-                .get(kernel_checl)
-                .ok_or(ClError::InvalidKernel)?;
+            let kentry = self.db.get(kernel_checl).ok_or(ClError::InvalidKernel)?;
             let (program, name) = match &kentry.record {
                 ObjectRecord::Kernel { program, name, .. } => (*program, name.clone()),
                 _ => return Err(ClError::InvalidKernel),
@@ -405,9 +445,7 @@ impl ChecLib {
                     Ok((RecordedArg::Bytes(b.clone()), value.clone()))
                 }
             }
-            (None, ArgValue::LocalMem(n)) => {
-                Ok((RecordedArg::Local(*n), value.clone()))
-            }
+            (None, ArgValue::LocalMem(n)) => Ok((RecordedArg::Local(*n), value.clone())),
             (Some(ParamKind::LocalPtr), ArgValue::LocalMem(n)) => {
                 Ok((RecordedArg::Local(*n), value.clone()))
             }
@@ -524,7 +562,8 @@ impl ChecLib {
         wait_list: Vec<Event>,
     ) -> ClResult<ApiResponse> {
         let checl_queue = queue.raw().0;
-        let vendor_queue = CommandQueue::from_raw(self.xlate(checl_queue, HandleKind::CommandQueue)?);
+        let vendor_queue =
+            CommandQueue::from_raw(self.xlate(checl_queue, HandleKind::CommandQueue)?);
         let vendor_kernel = Kernel::from_raw(self.xlate(kernel.raw().0, HandleKind::Kernel)?);
         let vendor_waits = wait_list
             .iter()
@@ -542,12 +581,9 @@ impl ChecLib {
                     .find(|s| s.name == name)
                     .and_then(|s| s.params.get(idx as usize))
                     // Unknown signature (binary program): conservative.
-                    .map_or(true, |p| {
+                    .is_none_or(|p| {
                         !p.is_const
-                            && !matches!(
-                                p.kind,
-                                ParamKind::ConstantPtr | ParamKind::Sampler
-                            )
+                            && !matches!(p.kind, ParamKind::ConstantPtr | ParamKind::Sampler)
                     })
             };
             match self.db.get(kernel.raw().0).map(|e| &e.record) {
@@ -563,9 +599,7 @@ impl ChecLib {
                         };
                     args.iter()
                         .filter_map(|(idx, a)| match a {
-                            RecordedArg::Handle(h) if writable_of(*idx, &sigs, name) => {
-                                Some(*h)
-                            }
+                            RecordedArg::Handle(h) if writable_of(*idx, &sigs, name) => Some(*h),
                             _ => None,
                         })
                         .collect()
@@ -669,8 +703,9 @@ impl ChecLib {
     }
 }
 
-impl ClApi for ChecLib {
-    fn call(&mut self, now: &mut SimTime, req: ApiRequest) -> ClResult<ApiResponse> {
+impl ChecLib {
+    /// The translate/forward/record pipeline behind [`ClApi::call`].
+    fn dispatch(&mut self, now: &mut SimTime, req: ApiRequest) -> ClResult<ApiResponse> {
         use ApiRequest::*;
         match req {
             GetPlatformIds => self.get_platform_ids(now),
@@ -718,22 +753,20 @@ impl ClApi for ChecLib {
                 );
                 Ok(ApiResponse::Context(Context::from_raw(h)))
             }
-            RetainContext { context } => self.retain_common(
-                now,
-                context.raw().0,
-                HandleKind::Context,
-                |v| RetainContext {
-                    context: Context::from_raw(v),
-                },
-            ),
-            ReleaseContext { context } => self.release_common(
-                now,
-                context.raw().0,
-                HandleKind::Context,
-                |v| ReleaseContext {
-                    context: Context::from_raw(v),
-                },
-            ),
+            RetainContext { context } => {
+                self.retain_common(now, context.raw().0, HandleKind::Context, |v| {
+                    RetainContext {
+                        context: Context::from_raw(v),
+                    }
+                })
+            }
+            ReleaseContext { context } => {
+                self.release_common(now, context.raw().0, HandleKind::Context, |v| {
+                    ReleaseContext {
+                        context: Context::from_raw(v),
+                    }
+                })
+            }
             CreateCommandQueue {
                 context,
                 device,
@@ -763,22 +796,20 @@ impl ClApi for ChecLib {
                 );
                 Ok(ApiResponse::Queue(CommandQueue::from_raw(h)))
             }
-            RetainCommandQueue { queue } => self.retain_common(
-                now,
-                queue.raw().0,
-                HandleKind::CommandQueue,
-                |v| RetainCommandQueue {
-                    queue: CommandQueue::from_raw(v),
-                },
-            ),
-            ReleaseCommandQueue { queue } => self.release_common(
-                now,
-                queue.raw().0,
-                HandleKind::CommandQueue,
-                |v| ReleaseCommandQueue {
-                    queue: CommandQueue::from_raw(v),
-                },
-            ),
+            RetainCommandQueue { queue } => {
+                self.retain_common(now, queue.raw().0, HandleKind::CommandQueue, |v| {
+                    RetainCommandQueue {
+                        queue: CommandQueue::from_raw(v),
+                    }
+                })
+            }
+            ReleaseCommandQueue { queue } => {
+                self.release_common(now, queue.raw().0, HandleKind::CommandQueue, |v| {
+                    ReleaseCommandQueue {
+                        queue: CommandQueue::from_raw(v),
+                    }
+                })
+            }
             CreateBuffer {
                 context,
                 flags,
@@ -911,22 +942,16 @@ impl ClApi for ChecLib {
                 )?;
                 self.wrap_event_response(resp, checl_q)
             }
-            RetainMemObject { mem } => self.retain_common(
-                now,
-                mem.raw().0,
-                HandleKind::Mem,
-                |v| RetainMemObject {
+            RetainMemObject { mem } => {
+                self.retain_common(now, mem.raw().0, HandleKind::Mem, |v| RetainMemObject {
                     mem: Mem::from_raw(v),
-                },
-            ),
-            ReleaseMemObject { mem } => self.release_common(
-                now,
-                mem.raw().0,
-                HandleKind::Mem,
-                |v| ReleaseMemObject {
+                })
+            }
+            ReleaseMemObject { mem } => {
+                self.release_common(now, mem.raw().0, HandleKind::Mem, |v| ReleaseMemObject {
                     mem: Mem::from_raw(v),
-                },
-            ),
+                })
+            }
             CreateSampler { context, desc } => {
                 let checl_ctx = context.raw().0;
                 let v_ctx = Context::from_raw(self.xlate(checl_ctx, HandleKind::Context)?);
@@ -948,22 +973,20 @@ impl ClApi for ChecLib {
                 );
                 Ok(ApiResponse::Sampler(Sampler::from_raw(h)))
             }
-            RetainSampler { sampler } => self.retain_common(
-                now,
-                sampler.raw().0,
-                HandleKind::Sampler,
-                |v| RetainSampler {
-                    sampler: Sampler::from_raw(v),
-                },
-            ),
-            ReleaseSampler { sampler } => self.release_common(
-                now,
-                sampler.raw().0,
-                HandleKind::Sampler,
-                |v| ReleaseSampler {
-                    sampler: Sampler::from_raw(v),
-                },
-            ),
+            RetainSampler { sampler } => {
+                self.retain_common(now, sampler.raw().0, HandleKind::Sampler, |v| {
+                    RetainSampler {
+                        sampler: Sampler::from_raw(v),
+                    }
+                })
+            }
+            ReleaseSampler { sampler } => {
+                self.release_common(now, sampler.raw().0, HandleKind::Sampler, |v| {
+                    ReleaseSampler {
+                        sampler: Sampler::from_raw(v),
+                    }
+                })
+            }
             CreateProgramWithSource { context, source } => {
                 let checl_ctx = context.raw().0;
                 let v_ctx = Context::from_raw(self.xlate(checl_ctx, HandleKind::Context)?);
@@ -1059,22 +1082,20 @@ impl ClApi for ChecLib {
                     },
                 )
             }
-            RetainProgram { program } => self.retain_common(
-                now,
-                program.raw().0,
-                HandleKind::Program,
-                |v| RetainProgram {
-                    program: Program::from_raw(v),
-                },
-            ),
-            ReleaseProgram { program } => self.release_common(
-                now,
-                program.raw().0,
-                HandleKind::Program,
-                |v| ReleaseProgram {
-                    program: Program::from_raw(v),
-                },
-            ),
+            RetainProgram { program } => {
+                self.retain_common(now, program.raw().0, HandleKind::Program, |v| {
+                    RetainProgram {
+                        program: Program::from_raw(v),
+                    }
+                })
+            }
+            ReleaseProgram { program } => {
+                self.release_common(now, program.raw().0, HandleKind::Program, |v| {
+                    ReleaseProgram {
+                        program: Program::from_raw(v),
+                    }
+                })
+            }
             CreateKernel { program, name } => {
                 let checl_p = program.raw().0;
                 let vendor = self.xlate(checl_p, HandleKind::Program)?;
@@ -1097,22 +1118,16 @@ impl ClApi for ChecLib {
                 );
                 Ok(ApiResponse::Kernel(Kernel::from_raw(h)))
             }
-            RetainKernel { kernel } => self.retain_common(
-                now,
-                kernel.raw().0,
-                HandleKind::Kernel,
-                |v| RetainKernel {
+            RetainKernel { kernel } => {
+                self.retain_common(now, kernel.raw().0, HandleKind::Kernel, |v| RetainKernel {
                     kernel: Kernel::from_raw(v),
-                },
-            ),
-            ReleaseKernel { kernel } => self.release_common(
-                now,
-                kernel.raw().0,
-                HandleKind::Kernel,
-                |v| ReleaseKernel {
+                })
+            }
+            ReleaseKernel { kernel } => {
+                self.release_common(now, kernel.raw().0, HandleKind::Kernel, |v| ReleaseKernel {
                     kernel: Kernel::from_raw(v),
-                },
-            ),
+                })
+            }
             SetKernelArg {
                 kernel,
                 index,
@@ -1235,15 +1250,13 @@ impl ClApi for ChecLib {
                 self.wrap_event_response(resp, checl_q)
             }
             Flush { queue } => {
-                let v_q = CommandQueue::from_raw(
-                    self.xlate(queue.raw().0, HandleKind::CommandQueue)?,
-                );
+                let v_q =
+                    CommandQueue::from_raw(self.xlate(queue.raw().0, HandleKind::CommandQueue)?);
                 self.forward(now, Flush { queue: v_q })
             }
             Finish { queue } => {
-                let v_q = CommandQueue::from_raw(
-                    self.xlate(queue.raw().0, HandleKind::CommandQueue)?,
-                );
+                let v_q =
+                    CommandQueue::from_raw(self.xlate(queue.raw().0, HandleKind::CommandQueue)?);
                 self.forward(now, Finish { queue: v_q })
             }
             WaitForEvents { events } => {
@@ -1261,23 +1274,54 @@ impl ClApi for ChecLib {
                 let v = Event::from_raw(self.xlate(event.raw().0, HandleKind::Event)?);
                 self.forward(now, GetEventProfiling { event: v })
             }
-            RetainEvent { event } => self.retain_common(
-                now,
-                event.raw().0,
-                HandleKind::Event,
-                |v| RetainEvent {
+            RetainEvent { event } => {
+                self.retain_common(now, event.raw().0, HandleKind::Event, |v| RetainEvent {
                     event: Event::from_raw(v),
-                },
-            ),
-            ReleaseEvent { event } => self.release_common(
-                now,
-                event.raw().0,
-                HandleKind::Event,
-                |v| ReleaseEvent {
+                })
+            }
+            ReleaseEvent { event } => {
+                self.release_common(now, event.raw().0, HandleKind::Event, |v| ReleaseEvent {
                     event: Event::from_raw(v),
-                },
-            ),
+                })
+            }
         }
+    }
+}
+
+impl ClApi for ChecLib {
+    fn call(&mut self, now: &mut SimTime, req: ApiRequest) -> ClResult<ApiResponse> {
+        if !telemetry::enabled() {
+            return self.dispatch(now, req);
+        }
+        // One span per application-facing API call. CPR-internal
+        // traffic goes through `forward` directly and never opens an
+        // `api` span, which is what makes the checkpoint-quiescence
+        // invariant of `telemetry::validate` checkable.
+        let api = req.api_name();
+        let t0 = *now;
+        let before = self.stats;
+        telemetry::span_begin(telemetry::API_CATEGORY, api, t0, Vec::new());
+        let result = self.dispatch(now, req);
+        let after = self.stats;
+        telemetry::counter_add("checl.api_calls", 1);
+        telemetry::span_end(
+            telemetry::API_CATEGORY,
+            api,
+            *now,
+            vec![
+                ("ipc_bytes", (after.ipc_bytes - before.ipc_bytes).into()),
+                (
+                    "translations",
+                    (after.handle_translations - before.handle_translations).into(),
+                ),
+                (
+                    "forwards",
+                    (after.forwarded_calls - before.forwarded_calls).into(),
+                ),
+                ("ok", u64::from(result.is_ok()).into()),
+            ],
+        );
+        result
     }
 
     fn impl_name(&self) -> String {

@@ -6,11 +6,11 @@
 //! node, a different vendor, or a different device type — and continue
 //! producing bit-identical results.
 
+use checl::cpr::restart_checl_process;
+use checl::runtime::ChecLib;
 use checl::{
     boot_checl, checkpoint_checl, restore_checl, CheclConfig, RestoreTarget, StructArgPolicy,
 };
-use checl::cpr::restart_checl_process;
-use checl::runtime::ChecLib;
 use cldriver::vendor::{crimson, nimbus};
 use clspec::api::ClApi;
 use clspec::error::ClError;
@@ -42,16 +42,30 @@ fn build_app(lib: &mut ChecLib, now: &mut simcore::SimTime, n: u32) -> App {
     let devices = ocl.get_device_ids(platforms[0], DeviceType::All).unwrap();
     let dev = devices[0];
     let ctx = ocl.create_context(&[dev]).unwrap();
-    let queue = ocl.create_command_queue(ctx, dev, QueueProps::default()).unwrap();
+    let queue = ocl
+        .create_command_queue(ctx, dev, QueueProps::default())
+        .unwrap();
     let av: Vec<f32> = (0..n).map(|i| i as f32).collect();
     let bv: Vec<f32> = (0..n).map(|i| 10.0 * i as f32).collect();
     let a = ocl
-        .create_buffer(ctx, MemFlags::READ_ONLY | MemFlags::COPY_HOST_PTR, (n * 4) as u64, Some(f32s(&av)))
+        .create_buffer(
+            ctx,
+            MemFlags::READ_ONLY | MemFlags::COPY_HOST_PTR,
+            (n * 4) as u64,
+            Some(f32s(&av)),
+        )
         .unwrap();
     let b = ocl
-        .create_buffer(ctx, MemFlags::READ_ONLY | MemFlags::COPY_HOST_PTR, (n * 4) as u64, Some(f32s(&bv)))
+        .create_buffer(
+            ctx,
+            MemFlags::READ_ONLY | MemFlags::COPY_HOST_PTR,
+            (n * 4) as u64,
+            Some(f32s(&bv)),
+        )
         .unwrap();
-    let c = ocl.create_buffer(ctx, MemFlags::READ_WRITE, (n * 4) as u64, None).unwrap();
+    let c = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, (n * 4) as u64, None)
+        .unwrap();
     let src = clkernels::program_source("vector_add").unwrap().source;
     let prog = ocl.create_program_with_source(ctx, &src).unwrap();
     ocl.build_program(prog, "").unwrap();
@@ -272,7 +286,12 @@ fn checkpoint_phase_breakdown_is_sane() {
 
     let r = checkpoint_checl(&mut booted.lib, &mut cluster, app_pid, "/local/big.ckpt").unwrap();
     // Write phase dominates (Fig. 5's headline observation).
-    assert!(r.write > r.preprocess, "write {:?} vs preprocess {:?}", r.write, r.preprocess);
+    assert!(
+        r.write > r.preprocess,
+        "write {:?} vs preprocess {:?}",
+        r.write,
+        r.preprocess
+    );
     assert!(r.write > r.sync);
     assert!(r.postprocess < r.preprocess);
     // Three 8 MiB buffers plus the 24 MiB baseline.
@@ -306,7 +325,8 @@ fn delayed_mode_is_cheaper_when_kernel_in_flight() {
     }
     let _ = ocl;
     cluster.process_mut(app_pid).clock = now;
-    let immediate = checkpoint_checl(&mut booted.lib, &mut cluster, app_pid, "/ram/i.ckpt").unwrap();
+    let immediate =
+        checkpoint_checl(&mut booted.lib, &mut cluster, app_pid, "/ram/i.ckpt").unwrap();
 
     // Delayed: same, but the app reaches its natural clFinish first.
     let (mut cluster, app_pid, mut booted) = build();
@@ -537,7 +557,9 @@ fn address_guessing_translates_binary_program_args() {
     let p = ocl.get_platform_ids().unwrap();
     let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
     let ctx = ocl.create_context(&d).unwrap();
-    let q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
+    let q = ocl
+        .create_command_queue(ctx, d[0], QueueProps::default())
+        .unwrap();
     let n = 64u32;
     let buf = ocl
         .create_buffer(ctx, MemFlags::READ_WRITE, (n * 4) as u64, None)
@@ -551,8 +573,10 @@ fn address_guessing_translates_binary_program_args() {
     let k = ocl.create_kernel(prog, "null_kernel").unwrap();
     // No signature available: the 8-byte handle blob must be detected
     // by address guessing and still translated correctly.
-    ocl.set_kernel_arg(k, 0, ArgValue::handle(buf.raw())).unwrap();
-    ocl.enqueue_nd_range(q, k, NDRange::d1(n as u64), None, &[]).unwrap();
+    ocl.set_kernel_arg(k, 0, ArgValue::handle(buf.raw()))
+        .unwrap();
+    ocl.enqueue_nd_range(q, k, NDRange::d1(n as u64), None, &[])
+        .unwrap();
     ocl.finish(q).unwrap();
     let _ = ocl;
     assert!(booted.lib.stats().guessed_args >= 1);
@@ -608,10 +632,14 @@ fn use_host_ptr_works_but_degrades_performance() {
         let p = ocl.get_platform_ids().unwrap();
         let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
         let ctx = ocl.create_context(&d).unwrap();
-        let q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
+        let q = ocl
+            .create_command_queue(ctx, d[0], QueueProps::default())
+            .unwrap();
         let n = 1u32 << 20; // 4 MiB
         let init = vec![0u8; (n * 4) as usize];
-        let buf = ocl.create_buffer(ctx, flags, (n * 4) as u64, Some(init)).unwrap();
+        let buf = ocl
+            .create_buffer(ctx, flags, (n * 4) as u64, Some(init))
+            .unwrap();
         // null_kernel does no device work, so the redundant
         // host↔device traffic of USE_HOST_PTR is fully exposed.
         let src = clkernels::program_source("null").unwrap().source;
@@ -621,7 +649,8 @@ fn use_host_ptr_works_but_degrades_performance() {
         ocl.set_arg_mem(k, 0, buf).unwrap();
         let t0 = ocl.now();
         for _ in 0..4 {
-            ocl.enqueue_nd_range(q, k, NDRange::d1(n as u64), None, &[]).unwrap();
+            ocl.enqueue_nd_range(q, k, NDRange::d1(n as u64), None, &[])
+                .unwrap();
             ocl.finish(q).unwrap();
         }
         ocl.now().since(t0)
@@ -647,7 +676,9 @@ fn false_positive_scalar_matching_checl_handle() {
     let p = ocl.get_platform_ids().unwrap();
     let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
     let ctx = ocl.create_context(&d).unwrap();
-    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 64, None).unwrap();
+    let buf = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, 64, None)
+        .unwrap();
     let src = clkernels::program_source("null").unwrap().source;
     let prog_src = ocl.create_program_with_source(ctx, &src).unwrap();
     ocl.build_program(prog_src, "").unwrap();
@@ -748,9 +779,8 @@ fn incremental_equals_full_when_everything_dirty() {
     let mut now = cluster.process(app_pid).clock;
     let _app = build_app(&mut booted.lib, &mut now, 1 << 16);
     cluster.process_mut(app_pid).clock = now;
-    let inc =
-        checkpoint_checl_incremental(&mut booted.lib, &mut cluster, app_pid, "/ram/e0.ckpt")
-            .unwrap();
+    let inc = checkpoint_checl_incremental(&mut booted.lib, &mut cluster, app_pid, "/ram/e0.ckpt")
+        .unwrap();
     // Nothing was ever checkpointed before, so the incremental file
     // contains all three buffers, same as a full checkpoint would.
     assert!(inc.file_size.as_u64() > 3 * (1 << 18));
@@ -769,14 +799,18 @@ fn images_survive_checkpoint_and_cross_vendor_restart() {
     let p = ocl.get_platform_ids().unwrap();
     let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
     let ctx = ocl.create_context(&d).unwrap();
-    let q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
+    let q = ocl
+        .create_command_queue(ctx, d[0], QueueProps::default())
+        .unwrap();
     let (w, h) = (64u64, 32u64);
     let texels: Vec<u8> = (0..w * h * 4).map(|i| (i % 251) as u8).collect();
     let img = ocl
         .create_image2d(ctx, MemFlags::READ_WRITE, w, h, Some(texels.clone()))
         .unwrap();
     // A plain buffer handle must not bind to an image2d_t parameter.
-    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 256, None).unwrap();
+    let buf = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, 256, None)
+        .unwrap();
     let src = r#"
 __kernel void peek(image2d_t img, __global float* out) { }
 "#;
@@ -786,10 +820,11 @@ __kernel void peek(image2d_t img, __global float* out) { }
     ocl.set_arg_mem(k, 0, buf).unwrap(); // wrong flavour
     ocl.set_arg_mem(k, 1, buf).unwrap();
     assert_eq!(
-        ocl.enqueue_nd_range(q, k, NDRange::d1(1), None, &[]).unwrap_err(),
+        ocl.enqueue_nd_range(q, k, NDRange::d1(1), None, &[])
+            .unwrap_err(),
         ClError::InvalidArgValue
     );
-    drop(ocl);
+    let _ = ocl;
     cluster.process_mut(app_pid).clock = now;
 
     checkpoint_checl(&mut booted.lib, &mut cluster, app_pid, "/nfs/img.ckpt").unwrap();
@@ -891,8 +926,7 @@ fn incremental_chain_survives_migration() {
 
     // Incremental checkpoint onto node0's LOCAL disk, then migrate via
     // NFS to node1.
-    checkpoint_checl_incremental(&mut booted.lib, &mut cluster, app_pid, "/local/n0.ckpt")
-        .unwrap();
+    checkpoint_checl_incremental(&mut booted.lib, &mut cluster, app_pid, "/local/n0.ckpt").unwrap();
     let report = checl::migrate_process(
         &mut cluster,
         booted.lib,

@@ -1,65 +1,50 @@
-//! Property-based tests on the CheCL object database.
+//! Property-based tests on the CheCL object database, driven by the
+//! dependency-free `simcore::qcheck` harness.
 
 use checl::{CheclDb, ObjectRecord};
 use clspec::handles::{HandleKind, RawHandle};
-use proptest::prelude::*;
 use simcore::codec::Codec;
+use simcore::qcheck::qcheck;
 
-/// A simple model of retain/release traffic against one object.
-#[derive(Debug, Clone)]
-enum RefOp {
-    Retain,
-    Release,
-}
-
-fn arb_ref_ops() -> impl Strategy<Value = Vec<RefOp>> {
-    proptest::collection::vec(
-        prop_oneof![Just(RefOp::Retain), Just(RefOp::Release)],
-        0..24,
-    )
-}
-
-proptest! {
-    /// The mirrored refcount behaves exactly like an OpenCL refcount:
-    /// alive while > 0, dead at 0, and dead forever after.
-    #[test]
-    fn refcount_model(ops in arb_ref_ops()) {
+/// The mirrored refcount behaves exactly like an OpenCL refcount:
+/// alive while > 0, dead at 0, and dead forever after.
+#[test]
+fn refcount_model() {
+    qcheck("refcount_model", 96, |g| {
         let mut db = CheclDb::new();
         let h = db.insert(RawHandle(7), ObjectRecord::Context { devices: vec![] });
         let mut model: i64 = 1;
-        for op in ops {
-            match op {
-                RefOp::Retain => {
-                    let ok = db.retain(h);
-                    prop_assert_eq!(ok, model > 0);
-                    if model > 0 { model += 1; }
+        for _ in 0..g.usize_in(0, 24) {
+            if g.bool() {
+                let ok = db.retain(h);
+                assert_eq!(ok, model > 0);
+                if model > 0 {
+                    model += 1;
                 }
-                RefOp::Release => {
-                    let res = db.release(h);
-                    if model > 0 {
-                        model -= 1;
-                        prop_assert_eq!(res, Some(model as u32));
-                    } else {
-                        prop_assert_eq!(res, None);
-                    }
+            } else {
+                let res = db.release(h);
+                if model > 0 {
+                    model -= 1;
+                    assert_eq!(res, Some(model as u32));
+                } else {
+                    assert_eq!(res, None);
                 }
             }
-            prop_assert_eq!(db.is_live_handle(h), model > 0);
+            assert_eq!(db.is_live_handle(h), model > 0);
         }
-    }
+    });
+}
 
-    /// Databases round-trip through the codec for any mix of object
-    /// kinds, preserving handle values, order and liveness.
-    #[test]
-    fn db_roundtrip_any_population(
-        kinds in proptest::collection::vec(0u8..6, 0..30),
-        kill in proptest::collection::vec(any::<bool>(), 0..30),
-    ) {
+/// Databases round-trip through the codec for any mix of object
+/// kinds, preserving handle values, order and liveness.
+#[test]
+fn db_roundtrip_any_population() {
+    qcheck("db_roundtrip_any_population", 64, |g| {
         let mut db = CheclDb::new();
         let mut handles = Vec::new();
         let ctx_seed = db.insert(RawHandle(1), ObjectRecord::Context { devices: vec![] });
-        for (i, k) in kinds.iter().enumerate() {
-            let rec = match k {
+        for i in 0..g.usize_in(0, 30) {
+            let rec = match g.range(0, 6) {
                 0 => ObjectRecord::Platform { index: i as u32 },
                 1 => ObjectRecord::Context { devices: vec![] },
                 2 => ObjectRecord::Queue {
@@ -86,43 +71,47 @@ proptest! {
             };
             handles.push(db.insert(RawHandle(100 + i as u64), rec));
         }
-        for (h, kill) in handles.iter().zip(&kill) {
-            if *kill {
-                db.release(*h);
+        for &h in &handles {
+            if g.bool() {
+                db.release(h);
             }
         }
         let back = CheclDb::from_bytes(&db.to_bytes()).unwrap();
-        prop_assert_eq!(&back, &db);
+        assert_eq!(&back, &db);
         for h in &handles {
-            prop_assert_eq!(back.is_live_handle(*h), db.is_live_handle(*h));
-            prop_assert_eq!(back.vendor_of(*h), db.vendor_of(*h));
+            assert_eq!(back.is_live_handle(*h), db.is_live_handle(*h));
+            assert_eq!(back.vendor_of(*h), db.vendor_of(*h));
         }
-        prop_assert_eq!(back.live_counts(), db.live_counts());
-    }
+        assert_eq!(back.live_counts(), db.live_counts());
+    });
+}
 
-    /// Handle allocation never collides, even across serialize/decode
-    /// boundaries interleaved with inserts.
-    #[test]
-    fn handles_never_collide(batches in proptest::collection::vec(1usize..8, 1..5)) {
+/// Handle allocation never collides, even across serialize/decode
+/// boundaries interleaved with inserts.
+#[test]
+fn handles_never_collide() {
+    qcheck("handles_never_collide", 48, |g| {
         let mut db = CheclDb::new();
         let mut seen = std::collections::BTreeSet::new();
-        for batch in batches {
-            for _ in 0..batch {
+        for _ in 0..g.usize_in(1, 5) {
+            for _ in 0..g.usize_in(1, 8) {
                 let h = db.insert(RawHandle(1), ObjectRecord::Platform { index: 0 });
-                prop_assert!(seen.insert(h), "collision on {h:#x}");
+                assert!(seen.insert(h), "collision on {h:#x}");
             }
             // Round-trip mid-stream (a checkpoint/restart boundary).
             db = CheclDb::from_bytes(&db.to_bytes()).unwrap();
         }
-    }
+    });
+}
 
-    /// live_of_kind partitions live_entries: every live entry appears
-    /// under exactly its own kind.
-    #[test]
-    fn kind_partition(kinds in proptest::collection::vec(0u8..3, 0..20)) {
+/// live_of_kind partitions live_entries: every live entry appears
+/// under exactly its own kind.
+#[test]
+fn kind_partition() {
+    qcheck("kind_partition", 64, |g| {
         let mut db = CheclDb::new();
-        for (i, k) in kinds.iter().enumerate() {
-            let rec = match k {
+        for i in 0..g.usize_in(0, 20) {
+            let rec = match g.range(0, 3) {
                 0 => ObjectRecord::Platform { index: i as u32 },
                 1 => ObjectRecord::Context { devices: vec![] },
                 _ => ObjectRecord::Event { queue: 0 },
@@ -133,6 +122,6 @@ proptest! {
             .iter()
             .map(|k| db.live_of_kind(*k).count())
             .sum();
-        prop_assert_eq!(total, db.live_entries().count());
-    }
+        assert_eq!(total, db.live_entries().count());
+    });
 }

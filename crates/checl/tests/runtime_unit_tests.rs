@@ -1,6 +1,6 @@
 //! Focused tests of the interposition layer's bookkeeping.
 
-use checl::{boot_checl, CheclConfig, ChecLib, MigrationModel, StructArgPolicy};
+use checl::{boot_checl, ChecLib, CheclConfig, MigrationModel, StructArgPolicy};
 use cldriver::vendor::{crimson, nimbus};
 use clspec::error::ClError;
 use clspec::handles::HandleKind;
@@ -30,10 +30,7 @@ fn platform_and_device_queries_are_idempotent() {
     assert_eq!(d1, d2);
     let _ = ocl;
     // Exactly one platform object and one device object were wrapped.
-    assert_eq!(
-        b.lib.db.live_of_kind(HandleKind::Platform).count(),
-        1
-    );
+    assert_eq!(b.lib.db.live_of_kind(HandleKind::Platform).count(), 1);
     assert_eq!(b.lib.db.live_of_kind(HandleKind::Device).count(), 1);
 }
 
@@ -70,7 +67,10 @@ fn handle_kind_mismatch_is_rejected() {
     );
     // And a totally foreign value.
     let foreign = clspec::CommandQueue::from_raw(RawHandle(0xdede_dede));
-    assert_eq!(ocl.finish(foreign).unwrap_err(), ClError::InvalidCommandQueue);
+    assert_eq!(
+        ocl.finish(foreign).unwrap_err(),
+        ClError::InvalidCommandQueue
+    );
 }
 
 #[test]
@@ -82,11 +82,16 @@ fn released_objects_cannot_be_used() {
     let p = ocl.get_platform_ids().unwrap();
     let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
     let ctx = ocl.create_context(&d).unwrap();
-    let q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
-    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 64, None).unwrap();
+    let q = ocl
+        .create_command_queue(ctx, d[0], QueueProps::default())
+        .unwrap();
+    let buf = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, 64, None)
+        .unwrap();
     ocl.release_mem(buf).unwrap();
     assert_eq!(
-        ocl.enqueue_read_buffer(q, buf, true, 0, 64, &[]).unwrap_err(),
+        ocl.enqueue_read_buffer(q, buf, true, 0, 64, &[])
+            .unwrap_err(),
         ClError::InvalidMemObject
     );
     // Releasing twice is also an error.
@@ -102,14 +107,20 @@ fn retain_release_roundtrip_keeps_object_alive() {
     let p = ocl.get_platform_ids().unwrap();
     let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
     let ctx = ocl.create_context(&d).unwrap();
-    let q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
-    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 64, None).unwrap();
-    ocl.call(clspec::ApiRequest::RetainMemObject { mem: buf }).unwrap();
+    let q = ocl
+        .create_command_queue(ctx, d[0], QueueProps::default())
+        .unwrap();
+    let buf = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, 64, None)
+        .unwrap();
+    ocl.call(clspec::ApiRequest::RetainMemObject { mem: buf })
+        .unwrap();
     ocl.release_mem(buf).unwrap(); // refcount 2 -> 1: still alive
     ocl.enqueue_read_buffer(q, buf, true, 0, 64, &[]).unwrap();
     ocl.release_mem(buf).unwrap(); // 1 -> 0: gone
     assert_eq!(
-        ocl.enqueue_read_buffer(q, buf, true, 0, 64, &[]).unwrap_err(),
+        ocl.enqueue_read_buffer(q, buf, true, 0, 64, &[])
+            .unwrap_err(),
         ClError::InvalidMemObject
     );
 }
@@ -132,7 +143,9 @@ fn state_encode_decode_preserves_db_and_policy() {
     let p = ocl.get_platform_ids().unwrap();
     let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
     let ctx = ocl.create_context(&d).unwrap();
-    let _q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
+    let _q = ocl
+        .create_command_queue(ctx, d[0], QueueProps::default())
+        .unwrap();
     let _ = ocl;
 
     let state = b.lib.encode_state();
@@ -198,12 +211,17 @@ fn ipc_accounting_scales_with_transfer_size() {
     let p = ocl.get_platform_ids().unwrap();
     let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
     let ctx = ocl.create_context(&d).unwrap();
-    let q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
-    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 1 << 20, None).unwrap();
+    let q = ocl
+        .create_command_queue(ctx, d[0], QueueProps::default())
+        .unwrap();
+    let buf = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, 1 << 20, None)
+        .unwrap();
     let _ = ocl;
     let before = b.lib.stats().ipc_bytes;
     let mut ocl = Ocl::new(&mut b.lib, &mut now);
-    ocl.enqueue_write_buffer(q, buf, true, 0, vec![0u8; 1 << 20], &[]).unwrap();
+    ocl.enqueue_write_buffer(q, buf, true, 0, vec![0u8; 1 << 20], &[])
+        .unwrap();
     let _ = ocl;
     let after = b.lib.stats().ipc_bytes;
     assert!(after - before >= 1 << 20, "payload crossed the pipe");

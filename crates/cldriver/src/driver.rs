@@ -13,7 +13,7 @@ use clspec::types::{
     ArgValue, DeviceType, EventStatus, MemFlags, NDRange, ProfilingInfo, QueueProps, SamplerDesc,
 };
 use simcore::codec::{decode_framed, encode_framed};
-use simcore::{ByteSize, SimDuration, SimTime};
+use simcore::{telemetry, ByteSize, SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -219,9 +219,7 @@ impl Driver {
         // vendor id | instance salt | scrambled serial: distinct across
         // instances and never equal to a small scalar.
         let scrambled = self.next_serial.wrapping_mul(0x9e37_79b9) & 0xffff_ffff;
-        RawHandle(
-            ((self.cfg.kind.id() as u64) << 56) | (self.salt << 40) | (scrambled << 4) | 0x8,
-        )
+        RawHandle(((self.cfg.kind.id() as u64) << 56) | (self.salt << 40) | (scrambled << 4) | 0x8)
     }
 
     fn device_slot(&self, dev: DeviceId) -> ClResult<usize> {
@@ -248,7 +246,9 @@ impl Driver {
     }
 
     fn buffer(&self, h: Mem) -> ClResult<&BufObj> {
-        self.buffers.get(&h.raw().0).ok_or(ClError::InvalidMemObject)
+        self.buffers
+            .get(&h.raw().0)
+            .ok_or(ClError::InvalidMemObject)
     }
 
     fn buffer_mut(&mut self, h: Mem) -> ClResult<&mut BufObj> {
@@ -278,6 +278,13 @@ impl Driver {
         Ok(end)
     }
 
+    /// Salt-free 32-bit serial of a vendor handle, stable across runs
+    /// (the instance salt in the upper bits is process-global and would
+    /// break trace determinism).
+    fn stable_id(h: RawHandle) -> u64 {
+        (h.0 >> 4) & 0xffff_ffff
+    }
+
     /// Place a command on a queue's timeline and mint its event.
     fn schedule(
         &mut self,
@@ -286,6 +293,7 @@ impl Driver {
         engine: EngineKind,
         duration: SimDuration,
         wait_list: &[Event],
+        cmd: &'static str,
     ) -> ClResult<(Event, SimTime)> {
         let deps = self.wait_list_end(wait_list)?;
         let q = self.queue(queue_h)?;
@@ -329,6 +337,41 @@ impl Driver {
                 refs: 1,
             },
         );
+        if telemetry::enabled() {
+            // Device-side command lifetime: an async pair on the owning
+            // process's queue row, spanning start..end of the command as
+            // the existing profiling timestamps report them.
+            let track = telemetry::current_track().with_tid(Self::stable_id(queue_h.raw()));
+            telemetry::name_thread(
+                track.pid,
+                track.tid,
+                &format!("queue {:#x} ({})", track.tid, self.cfg.platform.name),
+            );
+            let id = Self::stable_id(eh);
+            telemetry::async_begin(
+                "queue",
+                cmd,
+                start,
+                track,
+                id,
+                vec![
+                    ("submit_ns", submit.as_nanos().into()),
+                    ("queue_wait_ns", start.since(submit).into()),
+                    ("duration_ns", duration.into()),
+                    (
+                        "engine",
+                        match engine {
+                            EngineKind::Compute => "compute",
+                            EngineKind::Dma => "dma",
+                        }
+                        .into(),
+                    ),
+                ],
+            );
+            telemetry::async_end("queue", cmd, end, track, id, Vec::new());
+            telemetry::counter_add("driver.commands", 1);
+            telemetry::observe("driver.command_ns", duration.as_nanos());
+        }
         Ok((Event::from_raw(eh), end))
     }
 
@@ -382,10 +425,13 @@ impl Driver {
             .map(|d| self.device_slot(*d))
             .collect::<ClResult<Vec<_>>>()?;
         let h = self.fresh_handle();
-        self.contexts.insert(h.0, CtxObj {
-            devices: slots,
-            refs: 1,
-        });
+        self.contexts.insert(
+            h.0,
+            CtxObj {
+                devices: slots,
+                refs: 1,
+            },
+        );
         Ok(ApiResponse::Context(Context::from_raw(h)))
     }
 
@@ -401,13 +447,16 @@ impl Driver {
             return Err(ClError::InvalidDevice);
         }
         let h = self.fresh_handle();
-        self.queues.insert(h.0, QueueObj {
-            ctx: context.raw().0,
-            device: slot,
-            props,
-            busy_until: SimTime::ZERO,
-            refs: 1,
-        });
+        self.queues.insert(
+            h.0,
+            QueueObj {
+                ctx: context.raw().0,
+                device: slot,
+                props,
+                busy_until: SimTime::ZERO,
+                refs: 1,
+            },
+        );
         Ok(ApiResponse::Queue(CommandQueue::from_raw(h)))
     }
 
@@ -422,8 +471,8 @@ impl Driver {
         if size == 0 {
             return Err(ClError::InvalidBufferSize);
         }
-        let needs_host = flags.contains(MemFlags::COPY_HOST_PTR)
-            || flags.contains(MemFlags::USE_HOST_PTR);
+        let needs_host =
+            flags.contains(MemFlags::COPY_HOST_PTR) || flags.contains(MemFlags::USE_HOST_PTR);
         if needs_host && host_data.is_none() {
             return Err(ClError::InvalidValue);
         }
@@ -448,15 +497,18 @@ impl Driver {
             None => vec![0u8; size as usize],
         };
         let h = self.fresh_handle();
-        self.buffers.insert(h.0, BufObj {
-            ctx: context.raw().0,
-            device: slot,
-            flags,
-            size,
-            data,
-            image_dims: None,
-            refs: 1,
-        });
+        self.buffers.insert(
+            h.0,
+            BufObj {
+                ctx: context.raw().0,
+                device: slot,
+                flags,
+                size,
+                data,
+                image_dims: None,
+                refs: 1,
+            },
+        );
         Ok(ApiResponse::Mem(Mem::from_raw(h)))
     }
 
@@ -495,26 +547,32 @@ impl Driver {
             None => vec![0u8; size as usize],
         };
         let h = self.fresh_handle();
-        self.buffers.insert(h.0, BufObj {
-            ctx: context.raw().0,
-            device: slot,
-            flags,
-            size,
-            data,
-            image_dims: Some((width, height)),
-            refs: 1,
-        });
+        self.buffers.insert(
+            h.0,
+            BufObj {
+                ctx: context.raw().0,
+                device: slot,
+                flags,
+                size,
+                data,
+                image_dims: Some((width, height)),
+                refs: 1,
+            },
+        );
         Ok(ApiResponse::Mem(Mem::from_raw(h)))
     }
 
     fn create_sampler(&mut self, context: Context, desc: SamplerDesc) -> ClResult<ApiResponse> {
         self.ctx(context)?;
         let h = self.fresh_handle();
-        self.samplers.insert(h.0, SamplerObj {
-            ctx: context.raw().0,
-            desc,
-            refs: 1,
-        });
+        self.samplers.insert(
+            h.0,
+            SamplerObj {
+                ctx: context.raw().0,
+                desc,
+                refs: 1,
+            },
+        );
         Ok(ApiResponse::Sampler(Sampler::from_raw(h)))
     }
 
@@ -527,15 +585,18 @@ impl Driver {
             .map(|(name, _)| name)
             .collect();
         let h = self.fresh_handle();
-        self.programs.insert(h.0, ProgObj {
-            ctx: context.raw().0,
-            source_len: source.len(),
-            sigs,
-            handle_structs,
-            built: false,
-            build_log: String::new(),
-            refs: 1,
-        });
+        self.programs.insert(
+            h.0,
+            ProgObj {
+                ctx: context.raw().0,
+                source_len: source.len(),
+                sigs,
+                handle_structs,
+                built: false,
+                build_log: String::new(),
+                refs: 1,
+            },
+        );
         Ok(ApiResponse::Program(Program::from_raw(h)))
     }
 
@@ -551,16 +612,19 @@ impl Driver {
             decode_framed(self.cfg.kind.binary_magic(), 1, binary)
                 .map_err(|_| ClError::InvalidBinary)?;
         let h = self.fresh_handle();
-        self.programs.insert(h.0, ProgObj {
-            ctx: context.raw().0,
-            source_len: source_len as usize,
-            sigs,
-            handle_structs: Vec::new(),
-            // Binaries are pre-compiled: building them is nearly free.
-            built: true,
-            build_log: "loaded from binary".into(),
-            refs: 1,
-        });
+        self.programs.insert(
+            h.0,
+            ProgObj {
+                ctx: context.raw().0,
+                source_len: source_len as usize,
+                sigs,
+                handle_structs: Vec::new(),
+                // Binaries are pre-compiled: building them is nearly free.
+                built: true,
+                build_log: "loaded from binary".into(),
+                refs: 1,
+            },
+        );
         Ok(ApiResponse::Program(Program::from_raw(h)))
     }
 
@@ -617,13 +681,16 @@ impl Driver {
             .clone();
         let handle_structs = p.handle_structs.clone();
         let h = self.fresh_handle();
-        self.kernels.insert(h.0, KernelObj {
-            prog: program.raw().0,
-            sig,
-            handle_structs,
-            args: BTreeMap::new(),
-            refs: 1,
-        });
+        self.kernels.insert(
+            h.0,
+            KernelObj {
+                prog: program.raw().0,
+                sig,
+                handle_structs,
+                args: BTreeMap::new(),
+                refs: 1,
+            },
+        );
         Ok(ApiResponse::Kernel(Kernel::from_raw(h)))
     }
 
@@ -666,18 +733,16 @@ impl Driver {
         for (i, p) in k.sig.params.iter().enumerate() {
             let v = k.args.get(&(i as u32)).ok_or(ClError::InvalidKernelArgs)?;
             match &p.kind {
-                ParamKind::GlobalPtr | ParamKind::ConstantPtr | ParamKind::Image2d
+                ParamKind::GlobalPtr
+                | ParamKind::ConstantPtr
+                | ParamKind::Image2d
                 | ParamKind::Image3d => {
                     let h = v.as_handle().ok_or(ClError::InvalidArgValue)?;
-                    let buf = self
-                        .buffers
-                        .get(&h.0)
-                        .ok_or(ClError::InvalidMemObject)?;
+                    let buf = self.buffers.get(&h.0).ok_or(ClError::InvalidMemObject)?;
                     // Buffers and images are distinct cl_mem flavours:
                     // binding one where the kernel expects the other is
                     // rejected, as real drivers do.
-                    let wants_image =
-                        matches!(p.kind, ParamKind::Image2d | ParamKind::Image3d);
+                    let wants_image = matches!(p.kind, ParamKind::Image2d | ParamKind::Image3d);
                     if wants_image != buf.image_dims.is_some() {
                         return Err(ClError::InvalidArgValue);
                     }
@@ -733,9 +798,7 @@ impl Driver {
         let dev_slot = q.device;
         let profile = self.devices[dev_slot].profile.clone();
         if let Some(l) = local {
-            if l.total() > profile.max_work_group_size
-                || l.sizes[0] > profile.max_work_group_size
-            {
+            if l.total() > profile.max_work_group_size || l.sizes[0] > profile.max_work_group_size {
                 // E.g. oclSortingNetworks requesting 1024-wide groups on
                 // the Radeon (max 256): the paper's portability failure.
                 return Err(ClError::InvalidWorkGroupSize);
@@ -764,7 +827,14 @@ impl Driver {
         let items = global.total();
         let duration = profile.kernel_time(spec.total_flops(items), spec.total_bytes(items))
             + profile.launch_overhead;
-        let (event, _end) = self.schedule(queue, *now, EngineKind::Compute, duration, wait_list)?;
+        let (event, _end) = self.schedule(
+            queue,
+            *now,
+            EngineKind::Compute,
+            duration,
+            wait_list,
+            "kernel",
+        )?;
         *now += self.enqueue_cost();
         self.stats.kernels_launched += 1;
         Ok(ApiResponse::Event(event))
@@ -789,7 +859,8 @@ impl Driver {
         }
         let data = buf.data[offset as usize..(offset + size) as usize].to_vec();
         let duration = link.cost(ByteSize::bytes(size));
-        let (event, end) = self.schedule(queue, *now, EngineKind::Dma, duration, wait_list)?;
+        let (event, end) =
+            self.schedule(queue, *now, EngineKind::Dma, duration, wait_list, "read")?;
         *now += self.enqueue_cost();
         if blocking {
             *now = (*now).max(end);
@@ -820,7 +891,8 @@ impl Driver {
             buf.data[offset as usize..(offset + size) as usize].copy_from_slice(&data);
         }
         let duration = link.cost(ByteSize::bytes(size));
-        let (event, end) = self.schedule(queue, *now, EngineKind::Dma, duration, wait_list)?;
+        let (event, end) =
+            self.schedule(queue, *now, EngineKind::Dma, duration, wait_list, "write")?;
         *now += self.enqueue_cost();
         if blocking {
             *now = (*now).max(end);
@@ -861,7 +933,8 @@ impl Driver {
             d.data[dst_offset as usize..(dst_offset + size) as usize].copy_from_slice(&chunk);
         }
         let duration = bw.transfer_time(ByteSize::bytes(size));
-        let (event, _) = self.schedule(queue, *now, EngineKind::Dma, duration, wait_list)?;
+        let (event, _) =
+            self.schedule(queue, *now, EngineKind::Dma, duration, wait_list, "copy")?;
         *now += self.enqueue_cost();
         Ok(ApiResponse::Event(event))
     }
@@ -870,7 +943,14 @@ impl Driver {
         // A marker completes when everything before it completes; it
         // consumes no engine time. clEnqueueMarker "immediately returns
         // with an event object" — the dummy-event source of §III-C.
-        let (event, _) = self.schedule(queue, *now, EngineKind::Compute, SimDuration::ZERO, &[])?;
+        let (event, _) = self.schedule(
+            queue,
+            *now,
+            EngineKind::Compute,
+            SimDuration::ZERO,
+            &[],
+            "marker",
+        )?;
         *now += self.enqueue_cost();
         Ok(ApiResponse::Event(event))
     }
@@ -1077,9 +1157,9 @@ impl ClApi for Driver {
                 binary,
             } => self.create_program_binary(context, device, &binary),
             BuildProgram { program, .. } => self.build_program(now, program),
-            GetProgramBuildLog { program } => {
-                Ok(ApiResponse::BuildLog(self.program(program)?.build_log.clone()))
-            }
+            GetProgramBuildLog { program } => Ok(ApiResponse::BuildLog(
+                self.program(program)?.build_log.clone(),
+            )),
             GetProgramBinary { program } => self.get_program_binary(program),
             RetainProgram { program } => Self::retain_generic(
                 &mut self.programs,
@@ -1142,7 +1222,9 @@ impl ClApi for Driver {
                 dst_offset,
                 size,
                 wait_list,
-            } => self.enqueue_copy(now, queue, src, dst, src_offset, dst_offset, size, &wait_list),
+            } => self.enqueue_copy(
+                now, queue, src, dst, src_offset, dst_offset, size, &wait_list,
+            ),
             EnqueueMarker { queue } => self.enqueue_marker(now, queue),
             Flush { queue } => {
                 self.queue(queue)?;
@@ -1151,9 +1233,7 @@ impl ClApi for Driver {
             Finish { queue } => self.finish(now, queue),
             WaitForEvents { events } => self.wait_for_events(now, &events),
             GetEventStatus { event } => self.event_status(*now, event),
-            GetEventProfiling { event } => {
-                Ok(ApiResponse::Profiling(self.event(event)?.profiling))
-            }
+            GetEventProfiling { event } => Ok(ApiResponse::Profiling(self.event(event)?.profiling)),
             RetainEvent { event } => Self::retain_generic(
                 &mut self.events,
                 event.raw().0,

@@ -48,10 +48,20 @@ fn end_to_end_vector_add() {
     let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
     let b: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
     let buf_a = ocl
-        .create_buffer(ctx, MemFlags::READ_ONLY | MemFlags::COPY_HOST_PTR, (n * 4) as u64, Some(f32s(&a)))
+        .create_buffer(
+            ctx,
+            MemFlags::READ_ONLY | MemFlags::COPY_HOST_PTR,
+            (n * 4) as u64,
+            Some(f32s(&a)),
+        )
         .unwrap();
     let buf_b = ocl
-        .create_buffer(ctx, MemFlags::READ_ONLY | MemFlags::COPY_HOST_PTR, (n * 4) as u64, Some(f32s(&b)))
+        .create_buffer(
+            ctx,
+            MemFlags::READ_ONLY | MemFlags::COPY_HOST_PTR,
+            (n * 4) as u64,
+            Some(f32s(&b)),
+        )
         .unwrap();
     let buf_c = ocl
         .create_buffer(ctx, MemFlags::WRITE_ONLY, (n * 4) as u64, None)
@@ -90,7 +100,9 @@ fn clock_advances_with_work() {
 
     // 32 MB write at ~5.35 GB/s should cost ~6 ms of virtual time.
     let size = 32 * 1024 * 1024u64;
-    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, size, None).unwrap();
+    let buf = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, size, None)
+        .unwrap();
     ocl.enqueue_write_buffer(q, buf, true, 0, vec![0u8; size as usize], &[])
         .unwrap();
     let took = now.since(after_setup).as_secs_f64();
@@ -105,7 +117,9 @@ fn queue_serializes_kernels() {
     let mut ocl = Ocl::new(&mut drv, &mut now);
 
     let n = 1u64 << 18;
-    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, n * 4, None).unwrap();
+    let buf = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, n * 4, None)
+        .unwrap();
     let src = clkernels::program_source("max_flops").unwrap().source;
     let prog = ocl.create_program_with_source(ctx, &src).unwrap();
     ocl.build_program(prog, "").unwrap();
@@ -114,12 +128,21 @@ fn queue_serializes_kernels() {
     ocl.set_arg_scalar(k, 1, n as u32).unwrap();
     ocl.set_arg_scalar(k, 2, 16u32).unwrap();
 
-    let e1 = ocl.enqueue_nd_range(q, k, NDRange::d1(n), None, &[]).unwrap();
-    let e2 = ocl.enqueue_nd_range(q, k, NDRange::d1(n), None, &[]).unwrap();
+    let e1 = ocl
+        .enqueue_nd_range(q, k, NDRange::d1(n), None, &[])
+        .unwrap();
+    let e2 = ocl
+        .enqueue_nd_range(q, k, NDRange::d1(n), None, &[])
+        .unwrap();
     let p1 = ocl.get_event_profiling(e1).unwrap();
     let p2 = ocl.get_event_profiling(e2).unwrap();
     // In-order queue: the second kernel starts when the first ends.
-    assert!(p2.start >= p1.end, "p2.start {} < p1.end {}", p2.start, p1.end);
+    assert!(
+        p2.start >= p1.end,
+        "p2.start {} < p1.end {}",
+        p2.start,
+        p1.end
+    );
     // Enqueue returned immediately: host clock is far behind completion.
     assert!(ocl.now().as_nanos() < p2.end);
     ocl.finish(q).unwrap();
@@ -132,10 +155,14 @@ fn wait_list_orders_across_queues() {
     let mut now = SimTime::ZERO;
     let (ctx, dev, q1) = setup(&mut drv, &mut now, DeviceType::Gpu);
     let mut ocl = Ocl::new(&mut drv, &mut now);
-    let q2 = ocl.create_command_queue(ctx, dev, QueueProps::default()).unwrap();
+    let q2 = ocl
+        .create_command_queue(ctx, dev, QueueProps::default())
+        .unwrap();
 
     let n = 1u64 << 16;
-    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, n * 4, None).unwrap();
+    let buf = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, n * 4, None)
+        .unwrap();
     let src = clkernels::program_source("max_flops").unwrap().source;
     let prog = ocl.create_program_with_source(ctx, &src).unwrap();
     ocl.build_program(prog, "").unwrap();
@@ -144,8 +171,12 @@ fn wait_list_orders_across_queues() {
     ocl.set_arg_scalar(k, 1, n as u32).unwrap();
     ocl.set_arg_scalar(k, 2, 64u32).unwrap();
 
-    let e1 = ocl.enqueue_nd_range(q1, k, NDRange::d1(n), None, &[]).unwrap();
-    let e2 = ocl.enqueue_nd_range(q2, k, NDRange::d1(n), None, &[e1]).unwrap();
+    let e1 = ocl
+        .enqueue_nd_range(q1, k, NDRange::d1(n), None, &[])
+        .unwrap();
+    let e2 = ocl
+        .enqueue_nd_range(q2, k, NDRange::d1(n), None, &[e1])
+        .unwrap();
     let p1 = ocl.get_event_profiling(e1).unwrap();
     let p2 = ocl.get_event_profiling(e2).unwrap();
     assert!(p2.start >= p1.end);
@@ -207,11 +238,15 @@ fn radeon_rejects_oversized_work_groups() {
     let mut now = SimTime::ZERO;
     let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
     let mut ocl = Ocl::new(&mut drv, &mut now);
-    let src = clkernels::program_source("sorting_networks").unwrap().source;
+    let src = clkernels::program_source("sorting_networks")
+        .unwrap()
+        .source;
     let prog = ocl.create_program_with_source(ctx, &src).unwrap();
     ocl.build_program(prog, "").unwrap();
     let k = ocl.create_kernel(prog, "bitonic_sort").unwrap();
-    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 4096 * 4, None).unwrap();
+    let buf = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, 4096 * 4, None)
+        .unwrap();
     ocl.set_arg_mem(k, 0, buf).unwrap();
     ocl.set_arg_scalar(k, 1, 4096u32).unwrap();
     ocl.set_arg_scalar(k, 2, 0u32).unwrap();
@@ -228,7 +263,9 @@ fn radeon_rejects_oversized_work_groups() {
     let prog2 = ocl2.create_program_with_source(ctx2, &src).unwrap();
     ocl2.build_program(prog2, "").unwrap();
     let k2 = ocl2.create_kernel(prog2, "bitonic_sort").unwrap();
-    let buf2 = ocl2.create_buffer(ctx2, MemFlags::READ_WRITE, 4096 * 4, None).unwrap();
+    let buf2 = ocl2
+        .create_buffer(ctx2, MemFlags::READ_WRITE, 4096 * 4, None)
+        .unwrap();
     ocl2.set_arg_mem(k2, 0, buf2).unwrap();
     ocl2.set_arg_scalar(k2, 1, 4096u32).unwrap();
     ocl2.set_arg_scalar(k2, 2, 0u32).unwrap();
@@ -250,11 +287,16 @@ fn device_memory_capacity_enforced() {
         .unwrap_err();
     assert_eq!(err, ClError::MemObjectAllocationFailure);
     // Several small buffers accumulate against the same budget.
-    let a = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 600_000_000, None).unwrap();
-    assert!(ocl.create_buffer(ctx, MemFlags::READ_WRITE, 600_000_000, None).is_err());
+    let a = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, 600_000_000, None)
+        .unwrap();
+    assert!(ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, 600_000_000, None)
+        .is_err());
     // Releasing frees the budget.
     ocl.release_mem(a).unwrap();
-    ocl.create_buffer(ctx, MemFlags::READ_WRITE, 600_000_000, None).unwrap();
+    ocl.create_buffer(ctx, MemFlags::READ_WRITE, 600_000_000, None)
+        .unwrap();
 }
 
 #[test]
@@ -269,7 +311,9 @@ fn program_binary_roundtrip_same_vendor_only() {
     let binary = ocl.get_program_binary(prog).unwrap();
 
     // Same vendor: accepted, kernels available, build is fast.
-    let prog2 = ocl.create_program_with_binary(ctx, dev, binary.clone()).unwrap();
+    let prog2 = ocl
+        .create_program_with_binary(ctx, dev, binary.clone())
+        .unwrap();
     let before = ocl.now();
     ocl.build_program(prog2, "").unwrap();
     let build_cost = ocl.now().since(before);
@@ -282,7 +326,8 @@ fn program_binary_roundtrip_same_vendor_only() {
     let (ctx2, dev2, _) = setup(&mut other, &mut now2, DeviceType::Gpu);
     let mut ocl2 = Ocl::new(&mut other, &mut now2);
     assert_eq!(
-        ocl2.create_program_with_binary(ctx2, dev2, binary).unwrap_err(),
+        ocl2.create_program_with_binary(ctx2, dev2, binary)
+            .unwrap_err(),
         ClError::InvalidBinary
     );
 }
@@ -311,7 +356,9 @@ fn stale_handles_are_rejected() {
     let mut now = SimTime::ZERO;
     let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
     let mut ocl = Ocl::new(&mut drv, &mut now);
-    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 64, None).unwrap();
+    let buf = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, 64, None)
+        .unwrap();
     ocl.release_mem(buf).unwrap();
     // The handle value is now dangling.
     let err = ocl
@@ -320,7 +367,8 @@ fn stale_handles_are_rejected() {
     assert_eq!(err, ClError::InvalidMemObject);
     let bogus = Mem::from_raw(clspec::RawHandle(0x1234));
     assert_eq!(
-        ocl.enqueue_read_buffer(q, bogus, true, 0, 4, &[]).unwrap_err(),
+        ocl.enqueue_read_buffer(q, bogus, true, 0, 4, &[])
+            .unwrap_err(),
         ClError::InvalidMemObject
     );
 }
@@ -342,17 +390,20 @@ fn kernel_arg_validation() {
     );
     // Arg index out of range.
     assert_eq!(
-        ocl.set_kernel_arg(k, 9, ArgValue::scalar(1u32)).unwrap_err(),
+        ocl.set_kernel_arg(k, 9, ArgValue::scalar(1u32))
+            .unwrap_err(),
         ClError::InvalidArgIndex
     );
     // Launch with missing args.
     assert_eq!(
-        ocl.enqueue_nd_range(q, k, NDRange::d1(4), None, &[]).unwrap_err(),
+        ocl.enqueue_nd_range(q, k, NDRange::d1(4), None, &[])
+            .unwrap_err(),
         ClError::InvalidKernelArgs
     );
     // Local-mem value for a global pointer param.
     assert_eq!(
-        ocl.set_kernel_arg(k, 0, ArgValue::LocalMem(64)).unwrap_err(),
+        ocl.set_kernel_arg(k, 0, ArgValue::LocalMem(64))
+            .unwrap_err(),
         ClError::InvalidArgValue
     );
 }
@@ -377,7 +428,9 @@ fn profiling_timestamps_are_ordered() {
     let mut now = SimTime::ZERO;
     let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
     let mut ocl = Ocl::new(&mut drv, &mut now);
-    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 1 << 20, None).unwrap();
+    let buf = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, 1 << 20, None)
+        .unwrap();
     let ev = ocl
         .enqueue_write_buffer(q, buf, false, 0, vec![0u8; 1 << 20], &[])
         .unwrap();
@@ -403,8 +456,11 @@ fn stats_track_activity() {
     let mut now = SimTime::ZERO;
     let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
     let mut ocl = Ocl::new(&mut drv, &mut now);
-    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 1024, None).unwrap();
-    ocl.enqueue_write_buffer(q, buf, true, 0, vec![1u8; 1024], &[]).unwrap();
+    let buf = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, 1024, None)
+        .unwrap();
+    ocl.enqueue_write_buffer(q, buf, true, 0, vec![1u8; 1024], &[])
+        .unwrap();
     ocl.enqueue_read_buffer(q, buf, true, 0, 1024, &[]).unwrap();
     let s = drv.stats();
     assert!(s.api_calls >= 6);
@@ -418,14 +474,18 @@ fn offset_reads_and_writes() {
     let mut now = SimTime::ZERO;
     let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
     let mut ocl = Ocl::new(&mut drv, &mut now);
-    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 16, None).unwrap();
-    ocl.enqueue_write_buffer(q, buf, true, 4, vec![7u8; 4], &[]).unwrap();
+    let buf = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, 16, None)
+        .unwrap();
+    ocl.enqueue_write_buffer(q, buf, true, 4, vec![7u8; 4], &[])
+        .unwrap();
     let (data, _) = ocl.enqueue_read_buffer(q, buf, true, 0, 16, &[]).unwrap();
     assert_eq!(&data[4..8], &[7, 7, 7, 7]);
     assert_eq!(&data[0..4], &[0, 0, 0, 0]);
     // Out-of-bounds rejected.
     assert_eq!(
-        ocl.enqueue_read_buffer(q, buf, true, 12, 8, &[]).unwrap_err(),
+        ocl.enqueue_read_buffer(q, buf, true, 12, 8, &[])
+            .unwrap_err(),
         ClError::InvalidValue
     );
 }
@@ -437,9 +497,16 @@ fn copy_buffer_moves_device_data() {
     let (ctx, _dev, q) = setup(&mut drv, &mut now, DeviceType::Gpu);
     let mut ocl = Ocl::new(&mut drv, &mut now);
     let src = ocl
-        .create_buffer(ctx, MemFlags::READ_WRITE | MemFlags::COPY_HOST_PTR, 8, Some(vec![1, 2, 3, 4, 5, 6, 7, 8]))
+        .create_buffer(
+            ctx,
+            MemFlags::READ_WRITE | MemFlags::COPY_HOST_PTR,
+            8,
+            Some(vec![1, 2, 3, 4, 5, 6, 7, 8]),
+        )
         .unwrap();
-    let dst = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 8, None).unwrap();
+    let dst = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, 8, None)
+        .unwrap();
     ocl.enqueue_copy_buffer(q, src, dst, 2, 0, 4, &[]).unwrap();
     ocl.finish(q).unwrap();
     let (data, _) = ocl.enqueue_read_buffer(q, dst, true, 0, 8, &[]).unwrap();
@@ -457,7 +524,9 @@ fn cpu_device_transfers_have_no_pcie_cost() {
         let mut now = SimTime::ZERO;
         let (ctx, _dev, q) = setup(&mut drv, &mut now, dt);
         let mut ocl = Ocl::new(&mut drv, &mut now);
-        let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, size, None).unwrap();
+        let buf = ocl
+            .create_buffer(ctx, MemFlags::READ_WRITE, size, None)
+            .unwrap();
         let t0 = ocl.now();
         ocl.enqueue_read_buffer(q, buf, true, 0, size, &[]).unwrap();
         ocl.now().since(t0)
@@ -488,7 +557,9 @@ fn out_of_order_queue_overlaps_compute_and_dma() {
             )
             .unwrap();
         let n = 1u64 << 20;
-        let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, n * 4, None).unwrap();
+        let buf = ocl
+            .create_buffer(ctx, MemFlags::READ_WRITE, n * 4, None)
+            .unwrap();
         let src = clkernels::program_source("max_flops").unwrap().source;
         let prog = ocl.create_program_with_source(ctx, &src).unwrap();
         ocl.build_program(prog, "").unwrap();
@@ -496,8 +567,12 @@ fn out_of_order_queue_overlaps_compute_and_dma() {
         ocl.set_arg_mem(k, 0, buf).unwrap();
         ocl.set_arg_scalar(k, 1, n as u32).unwrap();
         ocl.set_arg_scalar(k, 2, 1u32).unwrap();
-        let e1 = ocl.enqueue_nd_range(q, k, NDRange::d1(n), None, &[]).unwrap();
-        let (_, e2) = ocl.enqueue_read_buffer(q, buf, false, 0, n * 4, &[]).unwrap();
+        let e1 = ocl
+            .enqueue_nd_range(q, k, NDRange::d1(n), None, &[])
+            .unwrap();
+        let (_, e2) = ocl
+            .enqueue_read_buffer(q, buf, false, 0, n * 4, &[])
+            .unwrap();
         let p1 = ocl.get_event_profiling(e1).unwrap();
         let p2 = ocl.get_event_profiling(e2).unwrap();
         ocl.finish(q).unwrap();
@@ -528,11 +603,15 @@ fn out_of_order_queue_overlaps_compute_and_dma() {
             },
         )
         .unwrap();
-    let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 1 << 20, None).unwrap();
+    let buf = ocl
+        .create_buffer(ctx, MemFlags::READ_WRITE, 1 << 20, None)
+        .unwrap();
     let e1 = ocl
         .enqueue_write_buffer(q, buf, false, 0, vec![0u8; 1 << 20], &[])
         .unwrap();
-    let (_, e2) = ocl.enqueue_read_buffer(q, buf, false, 0, 1 << 20, &[e1]).unwrap();
+    let (_, e2) = ocl
+        .enqueue_read_buffer(q, buf, false, 0, 1 << 20, &[e1])
+        .unwrap();
     let p1 = ocl.get_event_profiling(e1).unwrap();
     let p2 = ocl.get_event_profiling(e2).unwrap();
     assert!(p2.start >= p1.end);
@@ -549,7 +628,9 @@ fn image2d_end_to_end_with_sampler() {
     let img = ocl
         .create_image2d(ctx, MemFlags::READ_ONLY, w, h, Some(f32s(&texels)))
         .unwrap();
-    let out = ocl.create_buffer(ctx, MemFlags::WRITE_ONLY, w * h * 4, None).unwrap();
+    let out = ocl
+        .create_buffer(ctx, MemFlags::WRITE_ONLY, w * h * 4, None)
+        .unwrap();
     let smp = ocl
         .create_sampler(
             ctx,
@@ -569,9 +650,12 @@ fn image2d_end_to_end_with_sampler() {
     ocl.set_arg_mem(k, 2, out).unwrap();
     ocl.set_arg_scalar(k, 3, w as u32).unwrap();
     ocl.set_arg_scalar(k, 4, h as u32).unwrap();
-    ocl.enqueue_nd_range(q, k, NDRange::d2(w, h), None, &[]).unwrap();
+    ocl.enqueue_nd_range(q, k, NDRange::d2(w, h), None, &[])
+        .unwrap();
     ocl.finish(q).unwrap();
-    let (data, _) = ocl.enqueue_read_buffer(q, out, true, 0, w * h * 4, &[]).unwrap();
+    let (data, _) = ocl
+        .enqueue_read_buffer(q, out, true, 0, w * h * 4, &[])
+        .unwrap();
     let result = to_f32(&data);
     for (i, v) in result.iter().enumerate() {
         assert_eq!(*v, 2.0 * i as f32);
@@ -581,15 +665,17 @@ fn image2d_end_to_end_with_sampler() {
     assert_eq!(back, f32s(&texels));
     // Image write replaces them.
     let new_texels: Vec<f32> = (0..w * h).map(|i| -(i as f32)).collect();
-    ocl.enqueue_write_image(q, img, true, f32s(&new_texels), &[]).unwrap();
+    ocl.enqueue_write_image(q, img, true, f32s(&new_texels), &[])
+        .unwrap();
     let (back, _) = ocl.enqueue_read_image(q, img, true, &[]).unwrap();
     assert_eq!(back, f32s(&new_texels));
     // Size-mismatched write rejected.
     assert_eq!(
-        ocl.enqueue_write_image(q, img, true, vec![0u8; 4], &[]).unwrap_err(),
+        ocl.enqueue_write_image(q, img, true, vec![0u8; 4], &[])
+            .unwrap_err(),
         ClError::InvalidValue
     );
     // Image memory counts against the device budget.
-    drop(ocl);
+    let _ = ocl;
     assert!(drv.device_mem_used(0) >= w * h * 4);
 }

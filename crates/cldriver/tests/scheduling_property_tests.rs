@@ -1,33 +1,40 @@
 //! Property-based tests on the driver's command scheduling and memory
-//! accounting.
+//! accounting, driven by the dependency-free `simcore::qcheck` harness.
 
 use cldriver::vendor::nimbus;
 use cldriver::Driver;
 use clspec::types::{DeviceType, MemFlags, NDRange, QueueProps};
 use clspec::Ocl;
-use proptest::prelude::*;
+use simcore::qcheck::{qcheck, Gen};
 use simcore::SimTime;
 
 /// Random launch plan: per-launch work size exponent.
-fn arb_launches() -> impl Strategy<Value = Vec<u32>> {
-    proptest::collection::vec(8u32..16, 1..12)
+fn gen_launches(g: &mut Gen) -> Vec<u32> {
+    (0..g.usize_in(1, 12))
+        .map(|_| g.range(8, 16) as u32)
+        .collect()
 }
 
-proptest! {
-    /// In-order queue invariant: for any launch sequence, event
-    /// profiling shows non-overlapping, monotonically ordered command
-    /// execution, and clFinish advances the host past the last end.
-    #[test]
-    fn in_order_queue_never_overlaps(sizes in arb_launches()) {
+/// In-order queue invariant: for any launch sequence, event
+/// profiling shows non-overlapping, monotonically ordered command
+/// execution, and clFinish advances the host past the last end.
+#[test]
+fn in_order_queue_never_overlaps() {
+    qcheck("in_order_queue_never_overlaps", 32, |g| {
+        let sizes = gen_launches(g);
         let mut drv = Driver::new(nimbus());
         let mut now = SimTime::ZERO;
         let mut ocl = Ocl::new(&mut drv, &mut now);
         let p = ocl.get_platform_ids().unwrap();
         let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
         let ctx = ocl.create_context(&d).unwrap();
-        let q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
+        let q = ocl
+            .create_command_queue(ctx, d[0], QueueProps::default())
+            .unwrap();
         let n_max = 1u64 << 16;
-        let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, n_max * 4, None).unwrap();
+        let buf = ocl
+            .create_buffer(ctx, MemFlags::READ_WRITE, n_max * 4, None)
+            .unwrap();
         let src = clkernels::program_source("max_flops").unwrap().source;
         let prog = ocl.create_program_with_source(ctx, &src).unwrap();
         ocl.build_program(prog, "").unwrap();
@@ -39,26 +46,34 @@ proptest! {
         for &e in &sizes {
             let n = 1u64 << e;
             ocl.set_arg_scalar(k, 1, n as u32).unwrap();
-            events.push(ocl.enqueue_nd_range(q, k, NDRange::d1(n), None, &[]).unwrap());
+            events.push(
+                ocl.enqueue_nd_range(q, k, NDRange::d1(n), None, &[])
+                    .unwrap(),
+            );
         }
         let mut last_end = 0u64;
         for ev in &events {
             let prof = ocl.get_event_profiling(*ev).unwrap();
-            prop_assert!(prof.queued <= prof.submit);
-            prop_assert!(prof.submit <= prof.start);
-            prop_assert!(prof.start < prof.end);
-            prop_assert!(prof.start >= last_end, "commands overlap");
+            assert!(prof.queued <= prof.submit);
+            assert!(prof.submit <= prof.start);
+            assert!(prof.start < prof.end);
+            assert!(prof.start >= last_end, "commands overlap");
             last_end = prof.end;
         }
         ocl.finish(q).unwrap();
-        prop_assert!(ocl.now().as_nanos() >= last_end);
-    }
+        assert!(ocl.now().as_nanos() >= last_end);
+    });
+}
 
-    /// Device memory accounting: for any interleaving of creates and
-    /// releases, used memory equals the sum of live buffer sizes, and
-    /// it returns to zero when everything is released.
-    #[test]
-    fn memory_accounting_balances(plan in proptest::collection::vec((1u64..512, any::<bool>()), 1..30)) {
+/// Device memory accounting: for any interleaving of creates and
+/// releases, used memory equals the sum of live buffer sizes, and
+/// it returns to zero when everything is released.
+#[test]
+fn memory_accounting_balances() {
+    qcheck("memory_accounting_balances", 48, |g| {
+        let plan: Vec<(u64, bool)> = (0..g.usize_in(1, 30))
+            .map(|_| (g.range(1, 512), g.bool()))
+            .collect();
         let mut drv = Driver::new(nimbus());
         let mut now = SimTime::ZERO;
         let mut ocl = Ocl::new(&mut drv, &mut now);
@@ -69,7 +84,9 @@ proptest! {
         let mut expect = 0u64;
         for (kib, release_one) in plan {
             let size = kib * 1024;
-            let m = ocl.create_buffer(ctx, MemFlags::READ_WRITE, size, None).unwrap();
+            let m = ocl
+                .create_buffer(ctx, MemFlags::READ_WRITE, size, None)
+                .unwrap();
             live.push((m, size));
             expect += size;
             if release_one && !live.is_empty() {
@@ -83,24 +100,33 @@ proptest! {
             ocl.release_mem(m).unwrap();
             expect -= sz;
         }
-        prop_assert_eq!(expect, 0);
+        assert_eq!(expect, 0);
         let _ = ocl;
         assert_eq!(drv.device_mem_used(0), 0);
-    }
+    });
+}
 
-    /// Wait lists are honoured across queues for any dependency chain:
-    /// each command starts no earlier than its predecessor's end.
-    #[test]
-    fn wait_list_chains(hops in proptest::collection::vec(0u8..2, 1..8)) {
+/// Wait lists are honoured across queues for any dependency chain:
+/// each command starts no earlier than its predecessor's end.
+#[test]
+fn wait_list_chains() {
+    qcheck("wait_list_chains", 48, |g| {
+        let hops: Vec<u8> = (0..g.usize_in(1, 8)).map(|_| g.range(0, 2) as u8).collect();
         let mut drv = Driver::new(nimbus());
         let mut now = SimTime::ZERO;
         let mut ocl = Ocl::new(&mut drv, &mut now);
         let p = ocl.get_platform_ids().unwrap();
         let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
         let ctx = ocl.create_context(&d).unwrap();
-        let q1 = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
-        let q2 = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
-        let buf = ocl.create_buffer(ctx, MemFlags::READ_WRITE, 1 << 16, None).unwrap();
+        let q1 = ocl
+            .create_command_queue(ctx, d[0], QueueProps::default())
+            .unwrap();
+        let q2 = ocl
+            .create_command_queue(ctx, d[0], QueueProps::default())
+            .unwrap();
+        let buf = ocl
+            .create_buffer(ctx, MemFlags::READ_WRITE, 1 << 16, None)
+            .unwrap();
 
         let mut prev: Option<clspec::Event> = None;
         let mut prev_end = 0u64;
@@ -111,9 +137,9 @@ proptest! {
                 .enqueue_write_buffer(q, buf, false, 0, vec![0u8; 1 << 16], &wait)
                 .unwrap();
             let prof = ocl.get_event_profiling(ev).unwrap();
-            prop_assert!(prof.start >= prev_end, "dependency violated");
+            assert!(prof.start >= prev_end, "dependency violated");
             prev_end = prof.end;
             prev = Some(ev);
         }
-    }
+    });
 }

@@ -579,10 +579,9 @@ fn s3d_source(k: u32) -> ProgramSource {
     // set (and thus the numeric result) differs per program index. The
     // name is static for ProgramSource, so intern the 27 variants.
     const NAMES: [&str; 27] = [
-        "s3d_0", "s3d_1", "s3d_2", "s3d_3", "s3d_4", "s3d_5", "s3d_6", "s3d_7", "s3d_8",
-        "s3d_9", "s3d_10", "s3d_11", "s3d_12", "s3d_13", "s3d_14", "s3d_15", "s3d_16",
-        "s3d_17", "s3d_18", "s3d_19", "s3d_20", "s3d_21", "s3d_22", "s3d_23", "s3d_24",
-        "s3d_25", "s3d_26",
+        "s3d_0", "s3d_1", "s3d_2", "s3d_3", "s3d_4", "s3d_5", "s3d_6", "s3d_7", "s3d_8", "s3d_9",
+        "s3d_10", "s3d_11", "s3d_12", "s3d_13", "s3d_14", "s3d_15", "s3d_16", "s3d_17", "s3d_18",
+        "s3d_19", "s3d_20", "s3d_21", "s3d_22", "s3d_23", "s3d_24", "s3d_25", "s3d_26",
     ];
     let source = format!(
         r#"
@@ -661,8 +660,7 @@ mod tests {
     #[test]
     fn every_program_has_source() {
         for name in all_program_names() {
-            let p = program_source(&name)
-                .unwrap_or_else(|| panic!("missing source for {name}"));
+            let p = program_source(&name).unwrap_or_else(|| panic!("missing source for {name}"));
             assert!(p.source.contains("__kernel"), "{name} has no kernel");
         }
     }

@@ -700,11 +700,8 @@ fn mri_core(args: &mut [ArgData], fhd: bool) -> Result<(), ExecError> {
     let tau = 2.0 * std::f32::consts::PI;
     if fhd {
         // k-space inputs are nk long, spatial inputs and outputs nx.
-        for idx in 0..5 {
-            check_len(idx, args[idx].buffer()?, nk * 4)?;
-        }
-        for idx in 5..10 {
-            check_len(idx, args[idx].buffer()?, nx * 4)?;
+        for (idx, arg) in args.iter().enumerate().take(10) {
+            check_len(idx, arg.buffer()?, if idx < 5 { nk * 4 } else { nx * 4 })?;
         }
         let rphi = to_f32_vec(args[0].buffer()?);
         let iphi = to_f32_vec(args[1].buffer()?);
@@ -730,11 +727,8 @@ fn mri_core(args: &mut [ArgData], fhd: bool) -> Result<(), ExecError> {
         write_f32s(args[8].buffer_mut()?, &rr_out);
         write_f32s(args[9].buffer_mut()?, &ii_out);
     } else {
-        for idx in 0..4 {
-            check_len(idx, args[idx].buffer()?, nk * 4)?;
-        }
-        for idx in 4..9 {
-            check_len(idx, args[idx].buffer()?, nx * 4)?;
+        for (idx, arg) in args.iter().enumerate().take(9) {
+            check_len(idx, arg.buffer()?, if idx < 4 { nk * 4 } else { nx * 4 })?;
         }
         let phi = to_f32_vec(args[0].buffer()?);
         let kx = to_f32_vec(args[1].buffer()?);
@@ -946,8 +940,9 @@ mod tests {
     #[test]
     fn full_bitonic_schedule_sorts() {
         let n: usize = 64;
-        let mut keys: Vec<u32> =
-            (0..n as u32).map(|i| i.wrapping_mul(2_654_435_761) % 1000).collect();
+        let mut keys: Vec<u32> = (0..n as u32)
+            .map(|i| i.wrapping_mul(2_654_435_761) % 1000)
+            .collect();
         let mut expected = keys.clone();
         expected.sort_unstable();
         let mut buf = buf_u32(&keys);
@@ -1246,15 +1241,15 @@ mod tests {
     fn mri_q_single_sample() {
         // One k-space sample at the origin: q = phi * (cos 0, sin 0).
         let mut args = vec![
-            buf_f32(&[2.0]),                      // phi_mag
-            buf_f32(&[0.0]),                      // kx
-            buf_f32(&[0.0]),                      // ky
-            buf_f32(&[0.0]),                      // kz
-            buf_f32(&[1.0]),                      // x
-            buf_f32(&[1.0]),                      // y
-            buf_f32(&[1.0]),                      // z
-            buf_f32(&[0.0]),                      // qr
-            buf_f32(&[0.0]),                      // qi
+            buf_f32(&[2.0]), // phi_mag
+            buf_f32(&[0.0]), // kx
+            buf_f32(&[0.0]), // ky
+            buf_f32(&[0.0]), // kz
+            buf_f32(&[1.0]), // x
+            buf_f32(&[1.0]), // y
+            buf_f32(&[1.0]), // z
+            buf_f32(&[0.0]), // qr
+            buf_f32(&[0.0]), // qi
             scalar_u32(1),
             scalar_u32(1),
         ];
@@ -1311,7 +1306,10 @@ mod tests {
         let mut args = vec![buf_f32(&[1.0])];
         assert!(matches!(
             execute("vec_add", [1, 1, 1], &mut args),
-            Err(ExecError::ArgCount { expected: 4, got: 1 })
+            Err(ExecError::ArgCount {
+                expected: 4,
+                got: 1
+            })
         ));
         // Buffer too small for requested n.
         let mut args = vec![

@@ -17,8 +17,8 @@ use crate::handles::{
     RawHandle, Sampler,
 };
 use crate::types::{
-    ArgValue, DeviceInfo, DeviceType, EventStatus, MemFlags, NDRange, PlatformInfo,
-    ProfilingInfo, QueueProps, SamplerDesc,
+    ArgValue, DeviceInfo, DeviceType, EventStatus, MemFlags, NDRange, PlatformInfo, ProfilingInfo,
+    QueueProps, SamplerDesc,
 };
 use simcore::SimTime;
 
@@ -245,9 +245,9 @@ impl ApiRequest {
             CreateBuffer { host_data, .. } | CreateImage2D { host_data, .. } => {
                 host_data.as_ref().map_or(0, |d| d.len() as u64)
             }
-            EnqueueWriteImage { data, wait_list, .. } => {
-                data.len() as u64 + 8 * wait_list.len() as u64
-            }
+            EnqueueWriteImage {
+                data, wait_list, ..
+            } => data.len() as u64 + 8 * wait_list.len() as u64,
             EnqueueReadImage { wait_list, .. } => 8 * wait_list.len() as u64,
             CreateProgramWithSource { source, .. } => source.len() as u64,
             CreateProgramWithBinary { binary, .. } => binary.len() as u64,
@@ -255,9 +255,9 @@ impl ApiRequest {
                 ArgValue::Bytes(b) => b.len() as u64,
                 ArgValue::LocalMem(_) => 8,
             },
-            EnqueueWriteBuffer { data, wait_list, .. } => {
-                data.len() as u64 + 8 * wait_list.len() as u64
-            }
+            EnqueueWriteBuffer {
+                data, wait_list, ..
+            } => data.len() as u64 + 8 * wait_list.len() as u64,
             EnqueueNDRangeKernel { wait_list, .. }
             | EnqueueReadBuffer { wait_list, .. }
             | EnqueueCopyBuffer { wait_list, .. } => 8 * wait_list.len() as u64,
@@ -319,16 +319,12 @@ impl ApiRequest {
                     f(HandleKind::Event, &mut e.0);
                 }
             }
-            RetainMemObject { mem } | ReleaseMemObject { mem } => {
-                f(HandleKind::Mem, &mut mem.0)
-            }
+            RetainMemObject { mem } | ReleaseMemObject { mem } => f(HandleKind::Mem, &mut mem.0),
             CreateSampler { context, .. } => f(HandleKind::Context, &mut context.0),
             RetainSampler { sampler } | ReleaseSampler { sampler } => {
                 f(HandleKind::Sampler, &mut sampler.0)
             }
-            CreateProgramWithSource { context, .. } => {
-                f(HandleKind::Context, &mut context.0)
-            }
+            CreateProgramWithSource { context, .. } => f(HandleKind::Context, &mut context.0),
             CreateProgramWithBinary {
                 context, device, ..
             } => {
@@ -683,9 +679,7 @@ mod tests {
     fn no_opencl_fails_everything() {
         let mut api = NoOpenCl;
         let mut now = SimTime::ZERO;
-        let err = api
-            .call(&mut now, ApiRequest::GetPlatformIds)
-            .unwrap_err();
+        let err = api.call(&mut now, ApiRequest::GetPlatformIds).unwrap_err();
         assert_eq!(err, ClError::DeviceNotAvailable);
     }
 }

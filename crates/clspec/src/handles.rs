@@ -217,8 +217,8 @@ mod tests {
         assert_eq!(
             names,
             [
-                "platform", "device", "context", "cmd_que", "mem", "sampler", "prog",
-                "kernel", "event"
+                "platform", "device", "context", "cmd_que", "mem", "sampler", "prog", "kernel",
+                "event"
             ]
         );
     }

@@ -12,8 +12,8 @@ use crate::handles::{
     CommandQueue, Context, DeviceId, Event, Kernel, Mem, PlatformId, Program, Sampler,
 };
 use crate::types::{
-    ArgValue, DeviceInfo, DeviceType, EventStatus, MemFlags, NDRange, PlatformInfo,
-    ProfilingInfo, QueueProps, SamplerDesc,
+    ArgValue, DeviceInfo, DeviceType, EventStatus, MemFlags, NDRange, PlatformInfo, ProfilingInfo,
+    QueueProps, SamplerDesc,
 };
 use simcore::SimTime;
 
@@ -84,7 +84,8 @@ impl<'a> Ocl<'a> {
 
     /// `clReleaseContext`.
     pub fn release_context(&mut self, context: Context) -> ClResult<()> {
-        self.call(ApiRequest::ReleaseContext { context })?.into_unit()
+        self.call(ApiRequest::ReleaseContext { context })?
+            .into_unit()
     }
 
     /// `clCreateCommandQueue`.
@@ -104,7 +105,8 @@ impl<'a> Ocl<'a> {
 
     /// `clReleaseCommandQueue`.
     pub fn release_command_queue(&mut self, queue: CommandQueue) -> ClResult<()> {
-        self.call(ApiRequest::ReleaseCommandQueue { queue })?.into_unit()
+        self.call(ApiRequest::ReleaseCommandQueue { queue })?
+            .into_unit()
     }
 
     /// `clCreateBuffer`.
@@ -186,7 +188,8 @@ impl<'a> Ocl<'a> {
 
     /// `clCreateSampler`.
     pub fn create_sampler(&mut self, context: Context, desc: SamplerDesc) -> ClResult<Sampler> {
-        self.call(ApiRequest::CreateSampler { context, desc })?.into_sampler()
+        self.call(ApiRequest::CreateSampler { context, desc })?
+            .into_sampler()
     }
 
     /// `clCreateProgramWithSource`.
@@ -236,7 +239,8 @@ impl<'a> Ocl<'a> {
 
     /// `clReleaseProgram`.
     pub fn release_program(&mut self, program: Program) -> ClResult<()> {
-        self.call(ApiRequest::ReleaseProgram { program })?.into_unit()
+        self.call(ApiRequest::ReleaseProgram { program })?
+            .into_unit()
     }
 
     /// `clCreateKernel`.
@@ -441,7 +445,10 @@ mod tests {
         let mut ocl = Ocl::new(&mut api, &mut now);
         ocl.get_platform_ids().unwrap();
         ocl.get_platform_ids().unwrap();
-        assert_eq!(ocl.now(), SimTime::ZERO + simcore::SimDuration::from_micros(2));
+        assert_eq!(
+            ocl.now(),
+            SimTime::ZERO + simcore::SimDuration::from_micros(2)
+        );
     }
 
     #[test]
@@ -449,6 +456,9 @@ mod tests {
         let mut api = NoOpenCl;
         let mut now = SimTime::ZERO;
         let mut ocl = Ocl::new(&mut api, &mut now);
-        assert_eq!(ocl.get_platform_ids().unwrap_err(), ClError::DeviceNotAvailable);
+        assert_eq!(
+            ocl.get_platform_ids().unwrap_err(),
+            ClError::DeviceNotAvailable
+        );
     }
 }

@@ -190,7 +190,8 @@ fn classify_param(decl: &str, structs_with_handles: &BTreeMap<String, bool>) -> 
         // (skipping qualifiers like const/unsigned).
         let type_name = tokens
             .iter()
-            .map(|t| t.trim_matches('*')).rfind(|t| !t.is_empty() && *t != "const" && *t != name)
+            .map(|t| t.trim_matches('*'))
+            .rfind(|t| !t.is_empty() && *t != "const" && *t != name)
             .unwrap_or("int")
             .to_string();
         let _ = structs_with_handles;
@@ -306,7 +307,8 @@ pub fn parse_kernel_sigs(source: &str) -> Result<Vec<KernelSig>, ParseError> {
             .ok_or_else(|| ParseError::Malformed("missing parameter list".into()))?;
         let header = &rest[..open];
         let name = header
-            .split(|c: char| !is_ident_char(c)).rfind(|t| !t.is_empty())
+            .split(|c: char| !is_ident_char(c))
+            .rfind(|t| !t.is_empty())
             .ok_or_else(|| ParseError::Malformed("missing kernel name".into()))?
             .to_string();
         if name == "void" {
@@ -375,7 +377,11 @@ impl Codec for ParamKind {
     }
 }
 
-simcore::impl_codec_struct!(ParamInfo { name, kind, is_const });
+simcore::impl_codec_struct!(ParamInfo {
+    name,
+    kind,
+    is_const
+});
 simcore::impl_codec_struct!(KernelSig { name, params });
 
 /// Convenience: which argument indices of `sig` carry handles.
@@ -525,7 +531,7 @@ __kernel void uses(BufDesc d, Plain p, __global float* out) { }
         assert_eq!(parse_struct_defs(src).get("A"), Some(&true));
         let tail = "\u{e9}".repeat(16) + "struct";
         let _ = parse_struct_defs(&tail); // must not panic
-        // Non-ASCII comments don't disturb kernel parsing either.
+                                          // Non-ASCII comments don't disturb kernel parsing either.
         let k = "// commentaire accentu\u{e9}\n__kernel void k(__global float* a) {}";
         assert_eq!(parse_kernel_sigs(k).unwrap()[0].name, "k");
     }

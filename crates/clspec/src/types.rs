@@ -4,9 +4,9 @@
 //! its wrapper objects, and the wrapper objects travel inside the
 //! checkpoint image.
 
+use crate::handles::RawHandle;
 use simcore::codec::{decode_bytes, encode_bytes, Codec, CodecError, Reader};
 use simcore::{impl_codec_struct, ByteSize};
-use crate::handles::RawHandle;
 
 /// `cl_device_type` — the device classes an application can request.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]

@@ -20,7 +20,7 @@
 //! via `checl` without a dependency cycle.
 
 use osproc::{Cluster, NodeId, Pid};
-use simcore::{calib, ByteSize, SimDuration, SimTime};
+use simcore::{calib, telemetry, ByteSize, SimDuration, SimTime};
 
 /// A communicator: rank index → process.
 #[derive(Clone, Debug)]
@@ -34,9 +34,14 @@ impl MpiWorld {
     pub fn init(cluster: &mut Cluster, nodes: &[NodeId], n_ranks: usize) -> MpiWorld {
         assert!(!nodes.is_empty(), "need at least one node");
         assert!(n_ranks > 0, "need at least one rank");
-        let ranks = (0..n_ranks)
+        let ranks: Vec<Pid> = (0..n_ranks)
             .map(|i| cluster.spawn(nodes[i % nodes.len()]))
             .collect();
+        if telemetry::enabled() {
+            for (i, &p) in ranks.iter().enumerate() {
+                telemetry::name_process(p.0 as u64, &format!("rank {i} ({p})"));
+            }
+        }
         MpiWorld { ranks }
     }
 
@@ -74,9 +79,7 @@ impl MpiWorld {
         let rounds = (self.size().max(2) as f64).log2().ceil() as u64;
         let cost = calib::gige_link().cost_empty() * rounds;
         let target = self.max_clock(cluster) + cost;
-        for &p in &self.ranks {
-            cluster.process_mut(p).clock = target;
-        }
+        self.collective(cluster, "mpi.barrier", target, None);
     }
 
     /// `MPI_Allreduce` on `bytes` of payload: a barrier-equivalent
@@ -85,8 +88,39 @@ impl MpiWorld {
         let rounds = (self.size().max(2) as f64).log2().ceil() as u64;
         let per_round = calib::gige_link().cost(bytes);
         let target = self.max_clock(cluster) + per_round * rounds;
+        self.collective(cluster, "mpi.allreduce", target, Some(bytes));
+    }
+
+    /// Advance every rank to `target`, tracing one wait span per rank
+    /// (ranks that arrived early show longer waits on their timeline).
+    fn collective(
+        &self,
+        cluster: &mut Cluster,
+        name: &'static str,
+        target: SimTime,
+        bytes: Option<ByteSize>,
+    ) {
+        let trace = telemetry::enabled();
         for &p in &self.ranks {
+            let arrived = cluster.process(p).clock;
             cluster.process_mut(p).clock = target;
+            if trace {
+                let _rank = telemetry::track_scope(telemetry::Track::process(p.0 as u64));
+                let mut args = vec![("ranks", (self.size() as u64).into())];
+                if let Some(b) = bytes {
+                    args.push(("bytes", b.as_u64().into()));
+                }
+                telemetry::span_begin("mpi", name, arrived, args);
+                telemetry::span_end(
+                    "mpi",
+                    name,
+                    target,
+                    vec![("wait_ns", target.since(arrived).into())],
+                );
+            }
+        }
+        if trace {
+            telemetry::counter_add("mpi.collectives", 1);
         }
     }
 
@@ -99,6 +133,32 @@ impl MpiWorld {
         cluster.process_mut(sender).clock = depart;
         let r = cluster.process_mut(receiver);
         r.clock = r.clock.max(depart);
+        if telemetry::enabled() {
+            let arrive = cluster.process(receiver).clock;
+            {
+                let _s = telemetry::track_scope(telemetry::Track::process(sender.0 as u64));
+                telemetry::instant(
+                    "mpi",
+                    "mpi.send",
+                    depart,
+                    vec![("to", (to as u64).into()), ("bytes", bytes.as_u64().into())],
+                );
+            }
+            {
+                let _r = telemetry::track_scope(telemetry::Track::process(receiver.0 as u64));
+                telemetry::instant(
+                    "mpi",
+                    "mpi.recv",
+                    arrive,
+                    vec![
+                        ("from", (from as u64).into()),
+                        ("bytes", bytes.as_u64().into()),
+                    ],
+                );
+            }
+            telemetry::counter_add("mpi.messages", 1);
+            telemetry::counter_add("mpi.bytes", bytes.as_u64());
+        }
     }
 }
 
@@ -138,6 +198,18 @@ pub fn coordinated_checkpoint<E>(
 ) -> Result<GlobalSnapshot, E> {
     world.barrier(cluster);
     let start = world.max_clock(cluster);
+    if telemetry::enabled() {
+        let _cluster_track = telemetry::track_scope(telemetry::Track::CLUSTER);
+        telemetry::span_begin(
+            "mpi",
+            "mpi.global_snapshot",
+            start,
+            vec![
+                ("ranks", (world.size() as u64).into()),
+                ("prefix", prefix.into()),
+            ],
+        );
+    }
     let mut files = Vec::with_capacity(world.size());
     let mut sizes = Vec::with_capacity(world.size());
     // One writer at a time on the shared server: each rank may begin
@@ -155,11 +227,25 @@ pub fn coordinated_checkpoint<E>(
         files.push(path);
         sizes.push(size);
     }
-    Ok(GlobalSnapshot {
+    let snapshot = GlobalSnapshot {
         files,
         sizes,
         elapsed: server_free.since(start),
-    })
+    };
+    if telemetry::enabled() {
+        let _cluster_track = telemetry::track_scope(telemetry::Track::CLUSTER);
+        telemetry::span_end(
+            "mpi",
+            "mpi.global_snapshot",
+            server_free,
+            vec![
+                ("elapsed_ns", snapshot.elapsed.into()),
+                ("total_bytes", snapshot.total_size().as_u64().into()),
+            ],
+        );
+        telemetry::counter_add("mpi.global_snapshots", 1);
+    }
+    Ok(snapshot)
 }
 
 /// Restart every rank of a failed job from a global snapshot,
@@ -276,8 +362,7 @@ mod tests {
         }
         // Bring it back on one surviving node.
         let nodes = [cluster.node_ids()[0]];
-        let new_world =
-            restart_world(&mut cluster, &snap, &nodes, blcr::restart).unwrap();
+        let new_world = restart_world(&mut cluster, &snap, &nodes, blcr::restart).unwrap();
         assert_eq!(new_world.size(), 4);
         for (i, &p) in new_world.pids().iter().enumerate() {
             assert_eq!(

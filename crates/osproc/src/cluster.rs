@@ -204,7 +204,12 @@ impl Cluster {
 
     /// Write a file at an absolute path as seen by `pid`, charging that
     /// process's clock. Returns the I/O cost.
-    pub fn write_file(&mut self, pid: Pid, path: &str, data: Vec<u8>) -> Result<SimDuration, FsError> {
+    pub fn write_file(
+        &mut self,
+        pid: Pid,
+        path: &str,
+        data: Vec<u8>,
+    ) -> Result<SimDuration, FsError> {
         let (fs_id, rel, mut clock) = self.resolve_for(pid, path)?;
         let cost = self.filesystems[fs_id.0 as usize].write(&mut clock, &rel, data);
         self.process_mut(pid).clock = clock;
@@ -271,7 +276,10 @@ mod tests {
         assert_eq!(c.process(child).parent, Some(parent));
         assert_eq!(c.process(parent).children, vec![child]);
         // Both clocks advanced by the fork cost.
-        assert_eq!(c.process(parent).clock, SimTime::ZERO + SimDuration::from_millis(80));
+        assert_eq!(
+            c.process(parent).clock,
+            SimTime::ZERO + SimDuration::from_millis(80)
+        );
         assert_eq!(c.process(child).clock, c.process(parent).clock);
     }
 
@@ -313,7 +321,8 @@ mod tests {
         let n = c.node_ids()[0];
         let p = c.spawn(n);
         let before = c.process(p).clock;
-        c.write_file(p, "/local/big", vec![0u8; 11_000_000]).unwrap();
+        c.write_file(p, "/local/big", vec![0u8; 11_000_000])
+            .unwrap();
         let after = c.process(p).clock;
         // 11 MB at 110 MB/s = 100 ms (+8 ms seek).
         let took = after.since(before).as_secs_f64();

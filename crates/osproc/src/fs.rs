@@ -26,7 +26,9 @@ impl FsKind {
     /// The calibrated write path for this storage kind.
     pub fn write_link(self) -> LinkModel {
         match self {
-            FsKind::LocalDisk => LinkModel::new(SimDuration::from_millis(8), calib::disk_local_write()),
+            FsKind::LocalDisk => {
+                LinkModel::new(SimDuration::from_millis(8), calib::disk_local_write())
+            }
             FsKind::RamDisk => LinkModel::new(SimDuration::from_micros(5), calib::ramdisk_write()),
             FsKind::Nfs => LinkModel::new(SimDuration::from_millis(1), calib::nfs_write()),
         }
@@ -35,7 +37,9 @@ impl FsKind {
     /// The calibrated read path for this storage kind.
     pub fn read_link(self) -> LinkModel {
         match self {
-            FsKind::LocalDisk => LinkModel::new(SimDuration::from_millis(8), calib::disk_local_read()),
+            FsKind::LocalDisk => {
+                LinkModel::new(SimDuration::from_millis(8), calib::disk_local_read())
+            }
             FsKind::RamDisk => LinkModel::new(SimDuration::from_micros(5), calib::ramdisk_read()),
             FsKind::Nfs => LinkModel::new(SimDuration::from_millis(1), calib::nfs_read()),
         }
@@ -152,7 +156,9 @@ impl Fs {
 
     /// Size of a file, if it exists.
     pub fn file_size(&self, path: &str) -> Option<ByteSize> {
-        self.files.get(path).map(|d| ByteSize::bytes(d.len() as u64))
+        self.files
+            .get(path)
+            .map(|d| ByteSize::bytes(d.len() as u64))
     }
 
     /// All paths currently stored, in sorted order.

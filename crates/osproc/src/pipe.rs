@@ -8,7 +8,7 @@
 //! memory space of the API proxy".
 
 use crate::ids::Pid;
-use simcore::{calib, ByteSize, LinkModel, SimDuration, SimTime};
+use simcore::{calib, telemetry, ByteSize, LinkModel, SimDuration, SimTime};
 
 /// Cumulative pipe statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -55,9 +55,20 @@ impl Pipe {
     /// return the cost.
     pub fn transfer(&mut self, now: &mut SimTime, payload: u64) -> SimDuration {
         let cost = self.link.cost(ByteSize::bytes(payload));
+        let sent_at = *now;
         *now += cost;
         self.stats.messages += 1;
         self.stats.bytes += payload;
+        if telemetry::enabled() {
+            telemetry::instant(
+                "ipc",
+                "ipc.msg",
+                sent_at,
+                vec![("bytes", payload.into()), ("cost_ns", cost.into())],
+            );
+            telemetry::counter_add("ipc.messages", 1);
+            telemetry::counter_add("ipc.bytes", payload);
+        }
         cost
     }
 
@@ -103,7 +114,13 @@ mod tests {
         let mut now = SimTime::ZERO;
         p.transfer(&mut now, 100);
         p.transfer(&mut now, 200);
-        assert_eq!(p.stats(), PipeStats { messages: 2, bytes: 300 });
+        assert_eq!(
+            p.stats(),
+            PipeStats {
+                messages: 2,
+                bytes: 300
+            }
+        );
     }
 
     #[test]

@@ -105,10 +105,7 @@ mod tests {
 
     #[test]
     fn link_cost_adds_latency() {
-        let link = LinkModel::new(
-            SimDuration::from_micros(10),
-            Bandwidth::bytes_per_sec(1e9),
-        );
+        let link = LinkModel::new(SimDuration::from_micros(10), Bandwidth::bytes_per_sec(1e9));
         let c = link.cost(ByteSize::bytes(1_000_000));
         // 10us latency + 1ms transfer
         assert_eq!(c, SimDuration::from_micros(1010));
@@ -117,10 +114,7 @@ mod tests {
 
     #[test]
     fn zero_size_costs_latency_only() {
-        let link = LinkModel::new(
-            SimDuration::from_micros(3),
-            Bandwidth::gb_per_sec(5.0),
-        );
+        let link = LinkModel::new(SimDuration::from_micros(3), Bandwidth::gb_per_sec(5.0));
         assert_eq!(link.cost(ByteSize::ZERO), SimDuration::from_micros(3));
     }
 

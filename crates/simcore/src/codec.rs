@@ -43,7 +43,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected EOF: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected EOF: needed {needed} bytes, {remaining} remain"
+                )
             }
             CodecError::BadMagic => write!(f, "bad frame magic"),
             CodecError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
@@ -391,7 +394,10 @@ mod tests {
 
     #[test]
     fn primitive_roundtrips() {
-        assert_eq!(u32::from_bytes(&0xdead_beefu32.to_bytes()).unwrap(), 0xdead_beef);
+        assert_eq!(
+            u32::from_bytes(&0xdead_beefu32.to_bytes()).unwrap(),
+            0xdead_beef
+        );
         assert_eq!(i64::from_bytes(&(-42i64).to_bytes()).unwrap(), -42);
         assert_eq!(f64::from_bytes(&3.25f64.to_bytes()).unwrap(), 3.25);
         assert!(bool::from_bytes(&true.to_bytes()).unwrap());
@@ -411,7 +417,10 @@ mod tests {
         assert_eq!(Option::<String>::from_bytes(&n.to_bytes()).unwrap(), n);
         let mut m = BTreeMap::new();
         m.insert(7u64, "seven".to_string());
-        assert_eq!(BTreeMap::<u64, String>::from_bytes(&m.to_bytes()).unwrap(), m);
+        assert_eq!(
+            BTreeMap::<u64, String>::from_bytes(&m.to_bytes()).unwrap(),
+            m
+        );
         let t = (1u8, "a".to_string(), 2u64);
         assert_eq!(<(u8, String, u64)>::from_bytes(&t.to_bytes()).unwrap(), t);
     }

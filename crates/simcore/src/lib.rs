@@ -14,15 +14,18 @@
 //!   checksummed binary codec. This *is* the artifact's checkpoint file
 //!   format, not an incidental dependency.
 //!
-//! Helpers for deterministic pseudo-randomness ([`rng`]) and content
-//! checksums ([`checksum`]) round out the crate.
+//! Helpers for deterministic pseudo-randomness ([`rng`]), content
+//! checksums ([`checksum`]), virtual-clock tracing ([`telemetry`]) and
+//! an offline property-test harness ([`qcheck`]) round out the crate.
 
 pub mod bandwidth;
 pub mod bytesize;
 pub mod calib;
 pub mod checksum;
 pub mod codec;
+pub mod qcheck;
 pub mod rng;
+pub mod telemetry;
 pub mod time;
 
 pub use bandwidth::{Bandwidth, LinkModel};

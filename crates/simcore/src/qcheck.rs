@@ -1,0 +1,133 @@
+//! A tiny, dependency-free property-test harness on [`SplitMix64`].
+//!
+//! The workspace must build and test offline (path dependencies only),
+//! so it cannot pull in `proptest`. This module provides the subset the
+//! test suite actually needs: a seeded [`Gen`] with convenience
+//! generators, and [`qcheck`] which runs a property over many derived
+//! seeds and reports the failing seed so a case can be replayed by
+//! pinning it.
+//!
+//! There is no shrinking; cases are kept small instead. Seeds derive
+//! deterministically from the property name, so runs are reproducible
+//! across machines and sessions.
+
+use crate::checksum::fnv1a64;
+use crate::rng::SplitMix64;
+
+/// A deterministic generator of arbitrary test inputs.
+pub struct Gen {
+    rng: SplitMix64,
+}
+
+impl Gen {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Gen {
+        Gen {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `u32`.
+    pub fn u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+
+    /// Uniform byte.
+    pub fn byte(&mut self) -> u8 {
+        (self.rng.next_u64() >> 56) as u8
+    }
+
+    /// Uniform `bool`.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.rng.next_below(hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.range(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + self.rng.next_f32() * (hi - lo)
+    }
+
+    /// `len` arbitrary bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        self.rng.fill_bytes(&mut buf);
+        buf
+    }
+
+    /// An identifier matching `[a-z][a-z0-9_]*` with length in
+    /// `[min_len, max_len]`.
+    pub fn ident(&mut self, min_len: usize, max_len: usize) -> String {
+        const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+        const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+        let len = self.usize_in(min_len, max_len + 1).max(1);
+        let mut s = String::with_capacity(len);
+        s.push(FIRST[self.usize_in(0, FIRST.len())] as char);
+        for _ in 1..len {
+            s.push(REST[self.usize_in(0, REST.len())] as char);
+        }
+        s
+    }
+
+    /// A reference to a uniformly chosen element of `xs`.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.usize_in(0, xs.len())]
+    }
+}
+
+/// Run `prop` over `cases` deterministic seeds derived from `name`.
+/// On panic, the failing case index and seed are printed before the
+/// panic propagates, so the case can be replayed with
+/// `prop(&mut Gen::new(seed))`.
+pub fn qcheck(name: &str, cases: u32, mut prop: impl FnMut(&mut Gen)) {
+    for case in 0..cases {
+        let seed = fnv1a64(name.as_bytes()) ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(&mut Gen::new(seed))));
+        if let Err(payload) = result {
+            eprintln!("qcheck '{name}' failed at case {case}/{cases} (seed {seed:#018x})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = Gen::new(5);
+        let mut b = Gen::new(5);
+        for _ in 0..32 {
+            assert_eq!(a.u64(), b.u64());
+            assert_eq!(a.ident(1, 8), b.ident(1, 8));
+        }
+    }
+
+    #[test]
+    fn range_and_ident_shapes() {
+        qcheck("range_and_ident_shapes", 64, |g| {
+            let v = g.range(10, 20);
+            assert!((10..20).contains(&v));
+            let id = g.ident(1, 12);
+            assert!(!id.is_empty() && id.len() <= 12);
+            assert!(id.as_bytes()[0].is_ascii_lowercase());
+        });
+    }
+}

@@ -314,8 +314,22 @@ impl B {
 fn ocl_vector_add(cfg: &WorkloadCfg) -> Script {
     let n = cfg.n_pow2(1 << 23);
     let mut b = B::new(cfg);
-    let a = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 1, lo: -1.0, hi: 1.0 }));
-    let bb = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 2, lo: -1.0, hi: 1.0 }));
+    let a = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 1,
+            lo: -1.0,
+            hi: 1.0,
+        }),
+    );
+    let bb = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 2,
+            lo: -1.0,
+            hi: 1.0,
+        }),
+    );
     let c = b.buffer(n * 4, None);
     let k = b.prog_kernel("vector_add", "vec_add");
     b.arg_mem(k, 0, a);
@@ -347,9 +361,30 @@ fn ocl_black_scholes(cfg: &WorkloadCfg) -> Script {
     let mut b = B::new(cfg);
     let call = b.buffer(n * 4, None);
     let put = b.buffer(n * 4, None);
-    let s = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 3, lo: 10.0, hi: 100.0 }));
-    let x = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 4, lo: 10.0, hi: 100.0 }));
-    let t = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 5, lo: 0.25, hi: 5.0 }));
+    let s = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 3,
+            lo: 10.0,
+            hi: 100.0,
+        }),
+    );
+    let x = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 4,
+            lo: 10.0,
+            hi: 100.0,
+        }),
+    );
+    let t = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 5,
+            lo: 0.25,
+            hi: 5.0,
+        }),
+    );
     let k = b.prog_kernel("black_scholes", "black_scholes");
     b.arg_mem(k, 0, call);
     b.arg_mem(k, 1, put);
@@ -374,10 +409,24 @@ fn ocl_convolution_separable(cfg: &WorkloadCfg) -> Script {
     let radius = 8u32;
     let taps = (2 * radius + 1) as u64;
     let mut b = B::new(cfg);
-    let src = b.buffer(w * h * 4, Some(BufInit::RandomF32 { seed: 6, lo: 0.0, hi: 1.0 }));
+    let src = b.buffer(
+        w * h * 4,
+        Some(BufInit::RandomF32 {
+            seed: 6,
+            lo: 0.0,
+            hi: 1.0,
+        }),
+    );
     let tmp = b.buffer(w * h * 4, None);
     let dst = b.buffer(w * h * 4, None);
-    let filter = b.buffer(taps * 4, Some(BufInit::RandomF32 { seed: 7, lo: 0.0, hi: 0.1 }));
+    let filter = b.buffer(
+        taps * 4,
+        Some(BufInit::RandomF32 {
+            seed: 7,
+            lo: 0.0,
+            hi: 0.1,
+        }),
+    );
     let p = b.program("convolution_separable");
     let k_rows = b.kernel(p, "conv_rows");
     let k_cols = b.kernel(p, "conv_cols");
@@ -401,7 +450,14 @@ fn ocl_dct8x8(cfg: &WorkloadCfg) -> Script {
     let w = cfg.n_pow2(512);
     let h = w;
     let mut b = B::new(cfg);
-    let src = b.buffer(w * h * 4, Some(BufInit::RandomF32 { seed: 8, lo: 0.0, hi: 255.0 }));
+    let src = b.buffer(
+        w * h * 4,
+        Some(BufInit::RandomF32 {
+            seed: 8,
+            lo: 0.0,
+            hi: 255.0,
+        }),
+    );
     let dst = b.buffer(w * h * 4, None);
     let k = b.prog_kernel("dct8x8", "dct8x8");
     b.arg_mem(k, 0, src);
@@ -421,7 +477,14 @@ fn ocl_dxt_compression(cfg: &WorkloadCfg) -> Script {
     let h = w;
     let blocks = w * h / 16;
     let mut b = B::new(cfg);
-    let src = b.buffer(w * h * 4, Some(BufInit::RandomF32 { seed: 9, lo: 0.0, hi: 1.0 }));
+    let src = b.buffer(
+        w * h * 4,
+        Some(BufInit::RandomF32 {
+            seed: 9,
+            lo: 0.0,
+            hi: 1.0,
+        }),
+    );
     let dst = b.buffer(blocks * 8, None);
     let k = b.prog_kernel("dxtc", "dxt_compress");
     b.arg_mem(k, 0, src);
@@ -439,8 +502,22 @@ fn ocl_dxt_compression(cfg: &WorkloadCfg) -> Script {
 fn ocl_dot_product(cfg: &WorkloadCfg) -> Script {
     let n = cfg.n_pow2(1 << 16); // float4 elements
     let mut b = B::new(cfg);
-    let a = b.buffer(n * 16, Some(BufInit::RandomF32 { seed: 10, lo: -1.0, hi: 1.0 }));
-    let bb = b.buffer(n * 16, Some(BufInit::RandomF32 { seed: 11, lo: -1.0, hi: 1.0 }));
+    let a = b.buffer(
+        n * 16,
+        Some(BufInit::RandomF32 {
+            seed: 10,
+            lo: -1.0,
+            hi: 1.0,
+        }),
+    );
+    let bb = b.buffer(
+        n * 16,
+        Some(BufInit::RandomF32 {
+            seed: 11,
+            lo: -1.0,
+            hi: 1.0,
+        }),
+    );
     let c = b.buffer(n * 4, None);
     let k = b.prog_kernel("dot_product", "dot_product");
     b.arg_mem(k, 0, a);
@@ -462,11 +539,22 @@ fn ocl_fdtd3d(cfg: &WorkloadCfg) -> Script {
     let dim = (((target / 8) as f64).cbrt() as u64).clamp(16, 192);
     let vol = dim * dim * dim;
     let mut b = B::new(cfg);
-    let ping = b.buffer(vol * 4, Some(BufInit::RandomF32 { seed: 12, lo: 0.0, hi: 1.0 }));
+    let ping = b.buffer(
+        vol * 4,
+        Some(BufInit::RandomF32 {
+            seed: 12,
+            lo: 0.0,
+            hi: 1.0,
+        }),
+    );
     let pong = b.buffer(vol * 4, None);
     let k = b.prog_kernel("fdtd3d", "fdtd3d");
     for step in 0..8 {
-        let (src, dst) = if step % 2 == 0 { (ping, pong) } else { (pong, ping) };
+        let (src, dst) = if step % 2 == 0 {
+            (ping, pong)
+        } else {
+            (pong, ping)
+        };
         b.arg_mem(k, 0, src);
         b.arg_mem(k, 1, dst);
         b.arg_u32(k, 2, dim as u32);
@@ -482,7 +570,14 @@ fn ocl_fdtd3d(cfg: &WorkloadCfg) -> Script {
 fn ocl_histogram(cfg: &WorkloadCfg) -> Script {
     let n = cfg.n_pow2(1 << 22);
     let mut b = B::new(cfg);
-    let data = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 13, lo: 0.0, hi: 1.0 }));
+    let data = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 13,
+            lo: 0.0,
+            hi: 1.0,
+        }),
+    );
     let hist = b.buffer(64 * 4, None);
     let k = b.prog_kernel("histogram", "histogram64");
     b.arg_mem(k, 0, data);
@@ -503,8 +598,22 @@ fn ocl_matvecmul(cfg: &WorkloadCfg) -> Script {
     let target = cfg.n(cfg.device_mem.as_u64() / 256);
     let dim = (((target / 4) as f64).sqrt() as u64).clamp(64, 4096);
     let mut b = B::new(cfg);
-    let mat = b.buffer(dim * dim * 4, Some(BufInit::RandomF32 { seed: 14, lo: -1.0, hi: 1.0 }));
-    let vec = b.buffer(dim * 4, Some(BufInit::RandomF32 { seed: 15, lo: -1.0, hi: 1.0 }));
+    let mat = b.buffer(
+        dim * dim * 4,
+        Some(BufInit::RandomF32 {
+            seed: 14,
+            lo: -1.0,
+            hi: 1.0,
+        }),
+    );
+    let vec = b.buffer(
+        dim * 4,
+        Some(BufInit::RandomF32 {
+            seed: 15,
+            lo: -1.0,
+            hi: 1.0,
+        }),
+    );
     let out = b.buffer(dim * 4, None);
     let k = b.prog_kernel("matvec", "matvec");
     b.arg_mem(k, 0, mat);
@@ -523,8 +632,22 @@ fn ocl_matvecmul(cfg: &WorkloadCfg) -> Script {
 fn ocl_matrixmul(cfg: &WorkloadCfg) -> Script {
     let n = cfg.n_pow2(128);
     let mut b = B::new(cfg);
-    let a = b.buffer(n * n * 4, Some(BufInit::RandomF32 { seed: 16, lo: -1.0, hi: 1.0 }));
-    let bb = b.buffer(n * n * 4, Some(BufInit::RandomF32 { seed: 17, lo: -1.0, hi: 1.0 }));
+    let a = b.buffer(
+        n * n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 16,
+            lo: -1.0,
+            hi: 1.0,
+        }),
+    );
+    let bb = b.buffer(
+        n * n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 17,
+            lo: -1.0,
+            hi: 1.0,
+        }),
+    );
     let c = b.buffer(n * n * 4, None);
     let k = b.prog_kernel("matmul", "matmul");
     b.arg_mem(k, 0, a);
@@ -593,7 +716,14 @@ fn ocl_radix_sort(cfg: &WorkloadCfg) -> Script {
 fn ocl_reduction(cfg: &WorkloadCfg) -> Script {
     let n = cfg.n_pow2(1 << 22);
     let mut b = B::new(cfg);
-    let input = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 20, lo: 0.0, hi: 1.0 }));
+    let input = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 20,
+            lo: 0.0,
+            hi: 1.0,
+        }),
+    );
     let output = b.buffer(4, None);
     let k = b.prog_kernel("reduction", "reduce_sum");
     b.arg_mem(k, 0, input);
@@ -613,7 +743,14 @@ fn ocl_scan(cfg: &WorkloadCfg) -> Script {
     // without any time-consuming computation" (§IV-A).
     let n = cfg.n_pow2(1 << 16);
     let mut b = B::new(cfg);
-    let input = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 21, lo: 0.0, hi: 1.0 }));
+    let input = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 21,
+            lo: 0.0,
+            hi: 1.0,
+        }),
+    );
     let output = b.buffer(n * 4, None);
     let k = b.prog_kernel("scan", "scan_exclusive");
     b.arg_mem(k, 0, input);
@@ -634,8 +771,22 @@ fn ocl_simple_multi_gpu(cfg: &WorkloadCfg) -> Script {
     let n = cfg.n_pow2(1 << 19);
     let mut b = B::new(cfg);
     let q2 = b.extra_queue();
-    let a = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 22, lo: -1.0, hi: 1.0 }));
-    let bb = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 23, lo: -1.0, hi: 1.0 }));
+    let a = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 22,
+            lo: -1.0,
+            hi: 1.0,
+        }),
+    );
+    let bb = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 23,
+            lo: -1.0,
+            hi: 1.0,
+        }),
+    );
     let c1 = b.buffer(n * 4, None);
     let c2 = b.buffer(n * 4, None);
     let p = b.program("vector_add");
@@ -685,7 +836,14 @@ fn ocl_sorting_networks(cfg: &WorkloadCfg) -> Script {
 fn ocl_transpose(cfg: &WorkloadCfg) -> Script {
     let n = cfg.n_pow2(1024);
     let mut b = B::new(cfg);
-    let input = b.buffer(n * n * 4, Some(BufInit::RandomF32 { seed: 25, lo: 0.0, hi: 1.0 }));
+    let input = b.buffer(
+        n * n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 25,
+            lo: 0.0,
+            hi: 1.0,
+        }),
+    );
     let output = b.buffer(n * n * 4, None);
     let k = b.prog_kernel("transpose", "transpose");
     b.arg_mem(k, 0, input);
@@ -727,7 +885,14 @@ fn shoc_bus_speed_readback(cfg: &WorkloadCfg) -> Script {
 fn shoc_device_memory(cfg: &WorkloadCfg) -> Script {
     let n = cfg.n_pow2(1 << 22);
     let mut b = B::new(cfg);
-    let src = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 27, lo: 0.0, hi: 1.0 }));
+    let src = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 27,
+            lo: 0.0,
+            hi: 1.0,
+        }),
+    );
     let dst = b.buffer(n * 4, None);
     let k = b.prog_kernel("device_copy", "copy_buf");
     b.arg_mem(k, 0, src);
@@ -744,7 +909,14 @@ fn shoc_device_memory(cfg: &WorkloadCfg) -> Script {
 fn shoc_fft(cfg: &WorkloadCfg) -> Script {
     let n = cfg.n_pow2(1 << 16);
     let mut b = B::new(cfg);
-    let re = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 28, lo: -1.0, hi: 1.0 }));
+    let re = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 28,
+            lo: -1.0,
+            hi: 1.0,
+        }),
+    );
     let im = b.buffer(n * 4, Some(BufInit::Zero));
     let k = b.prog_kernel("fft", "fft_radix2");
     b.arg_mem(k, 0, re);
@@ -780,7 +952,14 @@ fn shoc_max_flops(cfg: &WorkloadCfg) -> Script {
     // checkpoint is dominated by the synchronization phase in Fig. 5.
     let n = cfg.n_pow2(1 << 20);
     let mut b = B::new(cfg);
-    let data = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 29, lo: 0.5, hi: 1.5 }));
+    let data = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 29,
+            lo: 0.5,
+            hi: 1.5,
+        }),
+    );
     let k = b.prog_kernel("max_flops", "max_flops");
     b.arg_mem(k, 0, data);
     b.arg_u32(k, 1, n as u32);
@@ -796,7 +975,14 @@ fn shoc_max_flops(cfg: &WorkloadCfg) -> Script {
 fn shoc_md(cfg: &WorkloadCfg) -> Script {
     let n = cfg.n_pow2(1 << 17);
     let mut b = B::new(cfg);
-    let pos = b.buffer(n * 12, Some(BufInit::RandomF32 { seed: 30, lo: 0.0, hi: 20.0 }));
+    let pos = b.buffer(
+        n * 12,
+        Some(BufInit::RandomF32 {
+            seed: 30,
+            lo: 0.0,
+            hi: 20.0,
+        }),
+    );
     let force = b.buffer(n * 12, None);
     let k = b.prog_kernel("md", "md_forces");
     b.arg_mem(k, 0, pos);
@@ -827,7 +1013,14 @@ fn shoc_queue_delay(cfg: &WorkloadCfg) -> Script {
 fn shoc_reduction(cfg: &WorkloadCfg) -> Script {
     let n = cfg.n_pow2(1 << 22);
     let mut b = B::new(cfg);
-    let input = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 31, lo: 0.0, hi: 1.0 }));
+    let input = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 31,
+            lo: 0.0,
+            hi: 1.0,
+        }),
+    );
     let output = b.buffer(4, None);
     let k = b.prog_kernel("reduction", "reduce_sum");
     b.arg_mem(k, 0, input);
@@ -846,7 +1039,14 @@ fn shoc_s3d(cfg: &WorkloadCfg) -> Script {
     // 27 separate cl_program objects — the restart outlier of Fig. 7.
     let n = cfg.n_pow2(1 << 16);
     let mut b = B::new(cfg);
-    let state = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 32, lo: 0.5, hi: 2.0 }));
+    let state = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 32,
+            lo: 0.5,
+            hi: 2.0,
+        }),
+    );
     let rates = b.buffer(n * 4, None);
     for kidx in 0..27 {
         let prog = b.program(&format!("s3d_{kidx}"));
@@ -864,8 +1064,22 @@ fn shoc_s3d(cfg: &WorkloadCfg) -> Script {
 fn shoc_sgemm(cfg: &WorkloadCfg) -> Script {
     let n = cfg.n_pow2(128);
     let mut b = B::new(cfg);
-    let a = b.buffer(n * n * 4, Some(BufInit::RandomF32 { seed: 33, lo: -1.0, hi: 1.0 }));
-    let bb = b.buffer(n * n * 4, Some(BufInit::RandomF32 { seed: 34, lo: -1.0, hi: 1.0 }));
+    let a = b.buffer(
+        n * n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 33,
+            lo: -1.0,
+            hi: 1.0,
+        }),
+    );
+    let bb = b.buffer(
+        n * n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 34,
+            lo: -1.0,
+            hi: 1.0,
+        }),
+    );
     let c = b.buffer(n * n * 4, Some(BufInit::Zero));
     let k = b.prog_kernel("sgemm", "sgemm");
     b.arg_mem(k, 0, a);
@@ -887,7 +1101,14 @@ fn shoc_sgemm(cfg: &WorkloadCfg) -> Script {
 fn shoc_scan(cfg: &WorkloadCfg) -> Script {
     let n = cfg.n_pow2(1 << 16);
     let mut b = B::new(cfg);
-    let input = b.buffer(n * 4, Some(BufInit::RandomF32 { seed: 35, lo: 0.0, hi: 1.0 }));
+    let input = b.buffer(
+        n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 35,
+            lo: 0.0,
+            hi: 1.0,
+        }),
+    );
     let output = b.buffer(n * 4, None);
     let k = b.prog_kernel("scan", "scan_exclusive");
     b.arg_mem(k, 0, input);
@@ -921,11 +1142,22 @@ fn shoc_stencil2d(cfg: &WorkloadCfg) -> Script {
     // Chatty *and* compute-light: overhead shows under CheCL (§IV-A).
     let n = cfg.n_pow2(1024);
     let mut b = B::new(cfg);
-    let ping = b.buffer(n * n * 4, Some(BufInit::RandomF32 { seed: 37, lo: 0.0, hi: 1.0 }));
+    let ping = b.buffer(
+        n * n * 4,
+        Some(BufInit::RandomF32 {
+            seed: 37,
+            lo: 0.0,
+            hi: 1.0,
+        }),
+    );
     let pong = b.buffer(n * n * 4, None);
     let k = b.prog_kernel("stencil2d", "stencil2d");
     for step in 0..32 {
-        let (s, d) = if step % 2 == 0 { (ping, pong) } else { (pong, ping) };
+        let (s, d) = if step % 2 == 0 {
+            (ping, pong)
+        } else {
+            (pong, ping)
+        };
         b.arg_mem(k, 0, s);
         b.arg_mem(k, 1, d);
         b.arg_u32(k, 2, n as u32);
@@ -952,8 +1184,24 @@ fn shoc_triad(cfg: &WorkloadCfg) -> Script {
     b.arg_f32(k, 3, 1.75);
     b.arg_u32(k, 4, n as u32);
     for i in 0..8 {
-        b.write(bb, n * 4, BufInit::RandomF32 { seed: 300 + i, lo: 0.0, hi: 1.0 });
-        b.write(c, n * 4, BufInit::RandomF32 { seed: 400 + i, lo: 0.0, hi: 1.0 });
+        b.write(
+            bb,
+            n * 4,
+            BufInit::RandomF32 {
+                seed: 300 + i,
+                lo: 0.0,
+                hi: 1.0,
+            },
+        );
+        b.write(
+            c,
+            n * 4,
+            BufInit::RandomF32 {
+                seed: 400 + i,
+                lo: 0.0,
+                hi: 1.0,
+            },
+        );
         b.launch1(k, n);
         b.read_checksum(a, n * 4);
     }
@@ -969,7 +1217,14 @@ fn parboil_cp(cfg: &WorkloadCfg) -> Script {
     let gw = cfg.n_pow2(512);
     let gh = gw;
     let mut b = B::new(cfg);
-    let atoms = b.buffer(natoms * 16, Some(BufInit::RandomF32 { seed: 38, lo: 0.0, hi: 64.0 }));
+    let atoms = b.buffer(
+        natoms * 16,
+        Some(BufInit::RandomF32 {
+            seed: 38,
+            lo: 0.0,
+            hi: 64.0,
+        }),
+    );
     let grid = b.buffer(gw * gh * 4, None);
     let k = b.prog_kernel("cp", "cp_potential");
     b.arg_mem(k, 0, atoms);
@@ -993,7 +1248,14 @@ fn parboil_mri(cfg: &WorkloadCfg, fhd: bool, large: bool) -> Script {
     };
     let mut b = B::new(cfg);
     let mk_buf = |b: &mut B, n: u64, seed: u64| {
-        b.buffer(n * 4, Some(BufInit::RandomF32 { seed, lo: -1.0, hi: 1.0 }))
+        b.buffer(
+            n * 4,
+            Some(BufInit::RandomF32 {
+                seed,
+                lo: -1.0,
+                hi: 1.0,
+            }),
+        )
     };
     if fhd {
         let rphi = mk_buf(&mut b, nk, 40);
@@ -1007,7 +1269,10 @@ fn parboil_mri(cfg: &WorkloadCfg, fhd: bool, large: bool) -> Script {
         let rfhd = b.buffer(nx * 4, None);
         let ifhd = b.buffer(nx * 4, None);
         let k = b.prog_kernel("mri_fhd", "mri_fhd");
-        for (i, buf) in [rphi, iphi, kx, ky, kz, x, y, z, rfhd, ifhd].iter().enumerate() {
+        for (i, buf) in [rphi, iphi, kx, ky, kz, x, y, z, rfhd, ifhd]
+            .iter()
+            .enumerate()
+        {
             b.arg_mem(k, i as u32, *buf);
         }
         b.arg_u32(k, 10, nk as u32);
@@ -1064,7 +1329,11 @@ pub fn all_workloads() -> Vec<Workload> {
     vec![
         workload!("oclBandwidthTest", NvidiaSdk, ocl_bandwidth_test),
         workload!("oclBlackScholes", NvidiaSdk, ocl_black_scholes),
-        workload!("oclConvolutionSeparable", NvidiaSdk, ocl_convolution_separable),
+        workload!(
+            "oclConvolutionSeparable",
+            NvidiaSdk,
+            ocl_convolution_separable
+        ),
         workload!("oclDCT8x8", NvidiaSdk, ocl_dct8x8),
         workload!("oclDXTCompression", NvidiaSdk, ocl_dxt_compression),
         workload!("oclDotProduct", NvidiaSdk, ocl_dot_product),
@@ -1173,7 +1442,9 @@ mod tests {
 
     #[test]
     fn s3d_builds_27_programs() {
-        let s = workload_by_name("S3D").unwrap().script(&WorkloadCfg::default());
+        let s = workload_by_name("S3D")
+            .unwrap()
+            .script(&WorkloadCfg::default());
         let programs = s
             .ops
             .iter()

@@ -10,9 +10,7 @@
 
 use clspec::api::{ApiRequest, ClApi};
 use clspec::error::ClResult;
-use clspec::handles::{
-    CommandQueue, Context, DeviceId, Event, Kernel, Mem, Program, RawHandle,
-};
+use clspec::handles::{CommandQueue, Context, DeviceId, Event, Kernel, Mem, Program, RawHandle};
 use clspec::types::{ArgValue, DeviceType, MemFlags, NDRange, QueueProps, SamplerDesc};
 use simcore::codec::{Codec, CodecError, Reader};
 use simcore::{fnv1a64, impl_codec_struct, SimTime, SplitMix64};
@@ -137,11 +135,7 @@ pub enum Op {
     /// `clCreateContext` over one device.
     CreateContext { device: Reg, out: Reg },
     /// `clCreateCommandQueue`.
-    CreateQueue {
-        context: Reg,
-        device: Reg,
-        out: Reg,
-    },
+    CreateQueue { context: Reg, device: Reg, out: Reg },
     /// `clCreateBuffer`, optionally initialised via `COPY_HOST_PTR`.
     CreateBuffer {
         context: Reg,
@@ -161,15 +155,15 @@ pub enum Op {
     /// appended to the application's checksum log.
     ReadBufferChecksum { queue: Reg, buf: Reg, size: u64 },
     /// `clCreateProgramWithSource` from the named corpus program.
-    CreateProgram { name: String, context: Reg, out: Reg },
+    CreateProgram {
+        name: String,
+        context: Reg,
+        out: Reg,
+    },
     /// `clBuildProgram`.
     BuildProgram { prog: Reg },
     /// `clCreateKernel`.
-    CreateKernel {
-        prog: Reg,
-        name: String,
-        out: Reg,
-    },
+    CreateKernel { prog: Reg, name: String, out: Reg },
     /// `clCreateSampler`.
     CreateSampler { context: Reg, out: Reg },
     /// `clSetKernelArg` with a buffer handle.
@@ -272,7 +266,10 @@ pub struct Script {
 impl Script {
     /// Number of `Launch` ops in the script.
     pub fn kernel_launches(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, Op::Launch { .. })).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Launch { .. }))
+            .count()
     }
 }
 
@@ -372,7 +369,9 @@ impl AppProgram {
     fn exec(&mut self, api: &mut dyn ClApi, now: &mut SimTime, op: &Op) -> ClResult<()> {
         match op {
             Op::GetPlatform { out } => {
-                let platforms = api.call(now, ApiRequest::GetPlatformIds)?.into_platforms()?;
+                let platforms = api
+                    .call(now, ApiRequest::GetPlatformIds)?
+                    .into_platforms()?;
                 self.set_reg(*out, platforms[0].raw().0);
             }
             Op::GetDevices {
@@ -540,7 +539,13 @@ impl AppProgram {
                 self.set_reg(*out, s.raw().0);
             }
             Op::SetArgMem { kernel, index, buf } => {
-                self.set_arg(api, now, *kernel, *index, ArgValue::handle(RawHandle(self.reg(*buf))))?;
+                self.set_arg(
+                    api,
+                    now,
+                    *kernel,
+                    *index,
+                    ArgValue::handle(RawHandle(self.reg(*buf))),
+                )?;
             }
             Op::SetArgSampler {
                 kernel,
@@ -925,7 +930,7 @@ mod tests {
         assert_eq!(status, RunStatus::Paused);
         assert_eq!(app.kernels_launched, 1);
         assert!(!app.is_done()); // Finish not yet executed
-        // Resume.
+                                 // Resume.
         let status = app
             .run_until(&mut drv, &mut now, StopCondition::Completion)
             .unwrap();

@@ -9,13 +9,13 @@
 use crate::script::{AppProgram, RunStatus, Script, StopCondition};
 use checl::cpr::{restart_checl_process, CheckpointReport, CheclCprError, RestoreTarget};
 use checl::migrate::MigrationReport;
-use checl::{boot_checl, checkpoint_checl, CheclConfig, ChecLib};
+use checl::{boot_checl, checkpoint_checl, ChecLib, CheclConfig};
 use cldriver::{Driver, VendorConfig};
 use clspec::api::ClApi;
 use clspec::error::ClResult;
 use osproc::{Cluster, NodeId, Pid};
 use simcore::codec::Codec;
-use simcore::{SimDuration, SimTime};
+use simcore::{telemetry, SimDuration, SimTime};
 
 /// Image segment holding the serialized application state (script, pc,
 /// registers, checksums) — the part of "host memory" the interpreter
@@ -52,6 +52,7 @@ impl NativeSession {
 
     /// Run until `stop`, keeping the cluster clock coherent.
     pub fn run(&mut self, cluster: &mut Cluster, stop: StopCondition) -> ClResult<RunStatus> {
+        let _track = telemetry::track_scope(telemetry::Track::process(self.pid.0 as u64));
         let mut now = cluster.process(self.pid).clock;
         let status = self.program.run_until(&mut self.driver, &mut now, stop);
         cluster.process_mut(self.pid).clock = now;
@@ -106,6 +107,7 @@ impl CheclSession {
 
     /// Run until `stop`, keeping the cluster clock coherent.
     pub fn run(&mut self, cluster: &mut Cluster, stop: StopCondition) -> ClResult<RunStatus> {
+        let _track = telemetry::track_scope(telemetry::Track::process(self.pid.0 as u64));
         let mut now = cluster.process(self.pid).clock;
         let status = self.program.run_until(&mut self.lib, &mut now, stop);
         cluster.process_mut(self.pid).clock = now;
@@ -122,6 +124,7 @@ impl CheclSession {
     /// device work. Used to model checkpoints or scheduling decisions
     /// taken at a synchronization point.
     pub fn drain(&mut self, cluster: &mut Cluster) {
+        let _track = telemetry::track_scope(telemetry::Track::process(self.pid.0 as u64));
         let mut now = cluster.process(self.pid).clock;
         let queues: Vec<u64> = self
             .lib
@@ -280,7 +283,10 @@ impl CheclSession {
                 }
             }
             let mut now = cluster.process(self.pid).clock;
-            let step = self.program.step(&mut self.lib, &mut now);
+            let step = {
+                let _track = telemetry::track_scope(telemetry::Track::process(self.pid.0 as u64));
+                self.program.step(&mut self.lib, &mut now)
+            };
             cluster.process_mut(self.pid).clock = now;
             step.map_err(CheclCprError::Cl)?;
         }

@@ -118,7 +118,9 @@ fn signal_checkpoint_restart_preserves_results() {
         RestoreTarget::default(),
     )
     .unwrap();
-    resumed.run(&mut cluster, StopCondition::Completion).unwrap();
+    resumed
+        .run(&mut cluster, StopCondition::Completion)
+        .unwrap();
     assert_eq!(resumed.program.checksums, golden);
 }
 
@@ -129,7 +131,8 @@ fn delayed_signal_after_last_finish_checkpoints_at_exit() {
     // Run past the last Finish, then signal: delayed mode has no sync
     // point left, so the checkpoint lands at program exit.
     let total = s.program.script.ops.len() as u64;
-    s.run(&mut cluster, StopCondition::AfterOps(total - 1)).unwrap();
+    s.run(&mut cluster, StopCondition::AfterOps(total - 1))
+        .unwrap();
     cluster.signal(s.pid, Signal::Usr1);
     let outcome = s
         .run_with_cpr(&mut cluster, CheckpointMode::Delayed, "/ram/exit.ckpt")

@@ -40,8 +40,7 @@ fn all_workloads_run_natively() {
     for w in all_workloads() {
         let sums = native_checksums(&w, &cfg);
         // Every workload that reads back data produced checksums.
-        if w.name != "KernelCompile" && w.name != "QueueDelay" && w.name != "BusSpeedDownload"
-        {
+        if w.name != "KernelCompile" && w.name != "QueueDelay" && w.name != "BusSpeedDownload" {
             assert!(!sums.is_empty(), "{} produced no checksums", w.name);
         }
     }
@@ -64,7 +63,11 @@ fn checl_is_transparent_for_every_workload() {
         );
         let status = s.run(&mut cluster, StopCondition::Completion).unwrap();
         assert_eq!(status, RunStatus::Done, "{}", w.name);
-        assert_eq!(s.program.checksums, golden, "{} diverged under CheCL", w.name);
+        assert_eq!(
+            s.program.checksums, golden,
+            "{} diverged under CheCL",
+            w.name
+        );
     }
 }
 
@@ -83,8 +86,13 @@ fn checl_adds_overhead_but_not_too_much() {
 
     let mut cc = Cluster::with_standard_nodes(1);
     let node = cc.node_ids()[0];
-    let mut checl_run =
-        CheclSession::launch(&mut cc, node, nimbus(), CheclConfig::default(), w.script(&cfg));
+    let mut checl_run = CheclSession::launch(
+        &mut cc,
+        node,
+        nimbus(),
+        CheclConfig::default(),
+        w.script(&cfg),
+    );
     checl_run.run(&mut cc, StopCondition::Completion).unwrap();
     let t_checl = checl_run.elapsed(&cc);
 
@@ -172,7 +180,9 @@ fn cross_vendor_suite_spotcheck() {
             )
             .unwrap();
         assert!(report.actual.as_secs_f64() > 0.0);
-        resumed.run(&mut cluster, StopCondition::Completion).unwrap();
+        resumed
+            .run(&mut cluster, StopCondition::Completion)
+            .unwrap();
         assert_eq!(resumed.program.checksums, golden, "{name} diverged");
     }
 }
@@ -366,7 +376,9 @@ fn image_workload_survives_midrun_checkpoint() {
         checl::RestoreTarget::default(),
     )
     .unwrap();
-    resumed.run(&mut cluster, StopCondition::Completion).unwrap();
+    resumed
+        .run(&mut cluster, StopCondition::Completion)
+        .unwrap();
     assert_eq!(resumed.program.checksums, golden);
 }
 

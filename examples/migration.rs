@@ -10,8 +10,8 @@
 //! vendor. The migration-cost model `Tm = αM + Tr + β` is evaluated
 //! against the measured cost.
 
-use clspec::api::ClApi;
 use checl::{CheclConfig, RestoreTarget};
+use clspec::api::ClApi;
 use osproc::Cluster;
 use workloads::{workload_by_name, CheclSession, NativeSession, StopCondition, WorkloadCfg};
 
@@ -41,7 +41,8 @@ fn main() {
         CheclConfig::default(),
         workload.script(&cfg),
     );
-    job.run(&mut cluster, StopCondition::AfterKernel(2)).unwrap();
+    job.run(&mut cluster, StopCondition::AfterKernel(2))
+        .unwrap();
     println!(
         "job running on node0 [{}], {} kernels done",
         job.lib.impl_name(),

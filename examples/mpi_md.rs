@@ -52,12 +52,13 @@ fn main() {
     // Coordinated global snapshot on NFS.
     let mut libs: Vec<_> = sessions.iter_mut().map(|s| &mut s.lib).collect();
     let mut idx = 0;
-    let snapshot = coordinated_checkpoint(&mut cluster, &world, "/nfs/md-global", |c, pid, path| {
-        let lib = &mut libs[idx];
-        idx += 1;
-        checl::checkpoint_checl(lib, c, pid, path).map(|r| r.file_size)
-    })
-    .unwrap();
+    let snapshot =
+        coordinated_checkpoint(&mut cluster, &world, "/nfs/md-global", |c, pid, path| {
+            let lib = &mut libs[idx];
+            idx += 1;
+            checl::checkpoint_checl(lib, c, pid, path).map(|r| r.file_size)
+        })
+        .unwrap();
     println!(
         "global snapshot: {} across {} ranks in {}",
         snapshot.total_size(),

@@ -32,8 +32,12 @@ fn main() {
         CheclConfig::default(),
         workload.script(&cfg),
     );
-    job.run(&mut cluster, StopCondition::AfterKernel(4)).unwrap();
-    println!("phase 1: {} kernels on the GPU", job.program.kernels_launched);
+    job.run(&mut cluster, StopCondition::AfterKernel(4))
+        .unwrap();
+    println!(
+        "phase 1: {} kernels on the GPU",
+        job.program.kernels_launched
+    );
 
     // The GPU is wanted by a higher-priority job: fall back to the CPU
     // via a RAM-disk checkpoint.
@@ -53,8 +57,12 @@ fn main() {
         to_cpu.actual, to_cpu.checkpoint.file_size
     );
 
-    job.run(&mut cluster, StopCondition::AfterKernel(8)).unwrap();
-    println!("phase 2: {} kernels total, now on the CPU", job.program.kernels_launched);
+    job.run(&mut cluster, StopCondition::AfterKernel(8))
+        .unwrap();
+    println!(
+        "phase 2: {} kernels total, now on the CPU",
+        job.program.kernels_launched
+    );
 
     // GPU freed up again: switch back.
     let (mut job, to_gpu) = job

@@ -12,8 +12,8 @@
 //! killed, and it resumes from the checkpoint file on the same node,
 //! finishing with the same checksums.
 
-use clspec::api::ClApi;
 use checl::{CheclConfig, RestoreTarget};
+use clspec::api::ClApi;
 use osproc::Cluster;
 use workloads::{workload_by_name, CheclSession, NativeSession, StopCondition, WorkloadCfg};
 
@@ -35,7 +35,8 @@ fn main() {
         workload.script(&cfg),
     );
     native.run(&mut cluster, StopCondition::Completion).unwrap();
-    println!("native   [{}]: {} (checksums {:x?})",
+    println!(
+        "native   [{}]: {} (checksums {:x?})",
         native.driver.impl_name(),
         native.elapsed(&cluster),
         native.program.checksums,
@@ -58,14 +59,22 @@ fn main() {
         workload.script(&cfg),
     );
     // Pause with the kernel still in flight...
-    session.run(&mut cluster, StopCondition::AfterKernel(1)).unwrap();
+    session
+        .run(&mut cluster, StopCondition::AfterKernel(1))
+        .unwrap();
     // ...and checkpoint. The application process is clean; only the API
     // proxy holds GPU state, and CheCL knows how to rebuild it.
-    let report = session.checkpoint(&mut cluster, "/nfs/quickstart.ckpt").unwrap();
+    let report = session
+        .checkpoint(&mut cluster, "/nfs/quickstart.ckpt")
+        .unwrap();
     println!(
         "checkpoint: sync {} + preprocess {} + write {} + postprocess {} = {} ({} file)",
-        report.sync, report.preprocess, report.write, report.postprocess,
-        report.total(), report.file_size,
+        report.sync,
+        report.preprocess,
+        report.write,
+        report.postprocess,
+        report.total(),
+        report.file_size,
     );
 
     // Simulate a crash: application and proxy die, GPU state is lost.
@@ -80,7 +89,9 @@ fn main() {
         RestoreTarget::default(),
     )
     .unwrap();
-    resumed.run(&mut cluster, StopCondition::Completion).unwrap();
+    resumed
+        .run(&mut cluster, StopCondition::Completion)
+        .unwrap();
     println!(
         "restarted [{}] on {:?}: checksums {:x?}",
         resumed.lib.impl_name(),

@@ -12,8 +12,8 @@
 //! running job pays off, exactly the policy loop the paper proposes
 //! CheCL as an infrastructure for.
 
-use clspec::api::ClApi;
 use checl::{CheclConfig, MigrationModel, RestoreTarget};
+use clspec::api::ClApi;
 use osproc::{Cluster, FsKind};
 use simcore::SimDuration;
 use workloads::{workload_by_name, CheclSession, StopCondition, WorkloadCfg};
@@ -35,7 +35,9 @@ fn main() {
         CheclConfig::default(),
         batch.script(&cfg),
     );
-    batch_job.run(&mut cluster, StopCondition::AfterKernel(12)).unwrap();
+    batch_job
+        .run(&mut cluster, StopCondition::AfterKernel(12))
+        .unwrap();
     println!(
         "batch job on node0/{}: {} of {} kernels done",
         batch_job.lib.impl_name(),
@@ -50,12 +52,8 @@ fn main() {
 
     // Should the batch job be migrated to node 1 (Crimson), or killed
     // and re-run from scratch later?
-    let file_estimate = simcore::calib::base_process_image()
-        + simcore::ByteSize::mib(3); // its buffers
-    let tr = checl::migrate::estimate_recompile_time(
-        &batch_job.lib,
-        &cldriver::vendor::crimson(),
-    );
+    let file_estimate = simcore::calib::base_process_image() + simcore::ByteSize::mib(3); // its buffers
+    let tr = checl::migrate::estimate_recompile_time(&batch_job.lib, &cldriver::vendor::crimson());
     let model = MigrationModel::for_medium(FsKind::Nfs);
     let migration_cost = model.predict(file_estimate, tr);
     // Restarting from scratch forfeits the finished work: estimate it
@@ -97,14 +95,18 @@ fn main() {
         CheclConfig::default(),
         urgent.script(&cfg),
     );
-    urgent_job.run(&mut cluster, StopCondition::Completion).unwrap();
+    urgent_job
+        .run(&mut cluster, StopCondition::Completion)
+        .unwrap();
     println!(
         "urgent job finished on node0 in {}",
         urgent_job.elapsed(&cluster)
     );
 
     // Meanwhile the batch job completes on node 1.
-    batch_job.run(&mut cluster, StopCondition::Completion).unwrap();
+    batch_job
+        .run(&mut cluster, StopCondition::Completion)
+        .unwrap();
     println!(
         "batch job finished on node1 [{}] with checksums {:x?}",
         batch_job.lib.impl_name(),

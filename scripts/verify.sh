@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full offline verification: format, lints, build, tests, and a smoke
+# run of one figure harness with trace recording + validation.
+#
+# Usage: scripts/verify.sh [--quick]
+#   --quick   skip clippy and the micro-bench smoke (CI uses the full run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+if [[ "$QUICK" -eq 0 ]]; then
+    echo "==> cargo clippy (deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> smoke: fig5_checkpoint with trace recording"
+cargo run -q --release -p checl-bench --bin fig5_checkpoint -- \
+    --trace results/fig5.trace.json >/dev/null
+# TraceSession::finish panics unless telemetry::validate accepts the
+# trace, so reaching here means the export is structurally sound.
+test -s results/fig5.trace.json
+test -s results/BENCH_fig5_checkpoint.json
+
+if [[ "$QUICK" -eq 0 ]]; then
+    echo "==> smoke: micro-benches (codec filter)"
+    cargo bench -q -p checl-bench -- codec >/dev/null
+fi
+
+echo "verify: OK"

@@ -1,36 +1,39 @@
-//! Property-based tests over the core invariants.
+//! Property-based tests over the core invariants, driven by the
+//! dependency-free `simcore::qcheck` harness.
 
 use checl_repro as _;
-use proptest::prelude::*;
 use simcore::codec::Codec;
+use simcore::qcheck::{qcheck, Gen};
 
 // ---------------------------------------------------------------------
 // Codec invariants
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Any MemImage round-trips through the checkpoint codec.
-    #[test]
-    fn memimage_roundtrip(segments in proptest::collection::btree_map(
-        "[a-z]{1,12}", proptest::collection::vec(any::<u8>(), 0..512), 0..6)
-    ) {
+/// Any MemImage round-trips through the checkpoint codec.
+#[test]
+fn memimage_roundtrip() {
+    qcheck("memimage_roundtrip", 64, |g| {
         let mut img = osproc::MemImage::new();
-        for (name, data) in &segments {
-            img.put(name, data.clone());
+        for _ in 0..g.usize_in(0, 6) {
+            let name = g.ident(1, 12);
+            let len = g.usize_in(0, 512);
+            img.put(&name, g.bytes(len));
         }
         let back = osproc::MemImage::from_bytes(&img.to_bytes()).unwrap();
-        prop_assert_eq!(back, img);
-    }
+        assert_eq!(back, img);
+    });
+}
 
-    /// Any checkpoint file round-trips; any single-byte corruption of
-    /// the frame region is detected (never silently accepted as
-    /// different data).
-    #[test]
-    fn checkpoint_file_integrity(
-        data in proptest::collection::vec(any::<u8>(), 1..256),
-        pid in any::<u32>(),
-        flip in any::<u8>(),
-    ) {
+/// Any checkpoint file round-trips; any single-byte corruption of
+/// the frame region is detected (never silently accepted as
+/// different data).
+#[test]
+fn checkpoint_file_integrity() {
+    qcheck("checkpoint_file_integrity", 64, |g| {
+        let len = g.usize_in(1, 256);
+        let data = g.bytes(len);
+        let pid = g.u32();
+        let flip = g.byte();
         let mut img = osproc::MemImage::new();
         img.put("seg", data);
         let ck = blcr::CheckpointFile {
@@ -39,7 +42,10 @@ proptest! {
             image: img,
         };
         let bytes = ck.to_file_bytes();
-        prop_assert_eq!(blcr::CheckpointFile::from_file_bytes(&bytes).unwrap(), ck.clone());
+        assert_eq!(
+            blcr::CheckpointFile::from_file_bytes(&bytes).unwrap(),
+            ck.clone()
+        );
 
         // Corrupt one byte inside the frame (skip the trailing zero
         // padding, which is not covered by the checksum).
@@ -49,87 +55,92 @@ proptest! {
         bad[pos] ^= 0x55;
         match blcr::CheckpointFile::from_file_bytes(&bad) {
             Err(_) => {}
-            Ok(parsed) => prop_assert_eq!(parsed, ck),
+            Ok(parsed) => assert_eq!(parsed, ck),
         }
-    }
+    });
+}
 
-    /// The generic codec rejects truncation of any encoded stream
-    /// rather than panicking or looping.
-    #[test]
-    fn truncation_always_errors(
-        values in proptest::collection::vec(any::<u64>(), 1..20),
-        cut in any::<u16>(),
-    ) {
+/// The generic codec rejects truncation of any encoded stream
+/// rather than panicking or looping.
+#[test]
+fn truncation_always_errors() {
+    qcheck("truncation_always_errors", 64, |g| {
+        let values: Vec<u64> = (0..g.usize_in(1, 20)).map(|_| g.u64()).collect();
         let bytes = values.to_bytes();
-        let cut = (cut as usize) % bytes.len();
+        let cut = g.usize_in(0, bytes.len());
         if cut < bytes.len() {
-            prop_assert!(Vec::<u64>::from_bytes(&bytes[..cut]).is_err());
+            assert!(Vec::<u64>::from_bytes(&bytes[..cut]).is_err());
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Signature parser invariants
 // ---------------------------------------------------------------------
 
-fn arb_param() -> impl Strategy<Value = (String, clspec::sig::ParamKind)> {
+fn gen_param(g: &mut Gen) -> (String, clspec::sig::ParamKind) {
     use clspec::sig::ParamKind;
-    prop_oneof![
-        "[a-z][a-z0-9_]{0,8}".prop_map(|n| {
-            (format!("__global float* {n}"), ParamKind::GlobalPtr)
-        }),
-        "[a-z][a-z0-9_]{0,8}".prop_map(|n| {
-            (format!("__constant float* {n}"), ParamKind::ConstantPtr)
-        }),
-        "[a-z][a-z0-9_]{0,8}".prop_map(|n| {
-            (format!("__local float* {n}"), ParamKind::LocalPtr)
-        }),
-        "[a-z][a-z0-9_]{0,8}".prop_map(|n| (format!("image2d_t {n}"), ParamKind::Image2d)),
-        "[a-z][a-z0-9_]{0,8}".prop_map(|n| (format!("sampler_t {n}"), ParamKind::Sampler)),
-        "[a-z][a-z0-9_]{0,8}".prop_map(|n| {
-            (format!("const uint {n}"), ParamKind::Scalar("uint".into()))
-        }),
-        "[a-z][a-z0-9_]{0,8}".prop_map(|n| {
-            (format!("float {n}"), ParamKind::Scalar("float".into()))
-        }),
-    ]
+    let n = g.ident(1, 9);
+    match g.range(0, 7) {
+        0 => (format!("__global float* {n}"), ParamKind::GlobalPtr),
+        1 => (format!("__constant float* {n}"), ParamKind::ConstantPtr),
+        2 => (format!("__local float* {n}"), ParamKind::LocalPtr),
+        3 => (format!("image2d_t {n}"), ParamKind::Image2d),
+        4 => (format!("sampler_t {n}"), ParamKind::Sampler),
+        5 => (format!("const uint {n}"), ParamKind::Scalar("uint".into())),
+        _ => (format!("float {n}"), ParamKind::Scalar("float".into())),
+    }
 }
 
-proptest! {
-    /// For any synthesized kernel declaration, the parser recovers the
-    /// kernel name, arity and per-parameter classification exactly.
-    #[test]
-    fn parser_recovers_synthesized_signatures(
-        kname in "[a-z][a-z0-9_]{0,12}",
-        params in proptest::collection::vec(arb_param(), 0..8),
-    ) {
+/// For any synthesized kernel declaration, the parser recovers the
+/// kernel name, arity and per-parameter classification exactly.
+#[test]
+fn parser_recovers_synthesized_signatures() {
+    qcheck("parser_recovers_synthesized_signatures", 64, |g| {
+        let kname = g.ident(1, 13);
+        let params: Vec<(String, clspec::sig::ParamKind)> =
+            (0..g.usize_in(0, 8)).map(|_| gen_param(g)).collect();
         let list: Vec<String> = params.iter().map(|(d, _)| d.clone()).collect();
         let src = format!(
             "// synthesized\n__kernel void {kname}({}) {{ /* body */ }}\n",
             list.join(", ")
         );
         let sigs = clspec::sig::parse_kernel_sigs(&src).unwrap();
-        prop_assert_eq!(sigs.len(), 1);
-        prop_assert_eq!(&sigs[0].name, &kname);
-        prop_assert_eq!(sigs[0].params.len(), params.len());
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(&sigs[0].name, &kname);
+        assert_eq!(sigs[0].params.len(), params.len());
         for (got, (_, want)) in sigs[0].params.iter().zip(&params) {
-            prop_assert_eq!(&got.kind, want);
+            assert_eq!(&got.kind, want);
         }
         // And the signature round-trips through the codec (it is part
         // of the CheCL database).
         let sig = sigs[0].clone();
-        prop_assert_eq!(
+        assert_eq!(
             clspec::sig::KernelSig::from_bytes(&sig.to_bytes()).unwrap(),
             sig
         );
-    }
+    });
+}
 
-    /// The parser never panics on arbitrary input.
-    #[test]
-    fn parser_total_on_garbage(src in ".{0,300}") {
+/// The parser never panics on arbitrary input.
+#[test]
+fn parser_total_on_garbage() {
+    qcheck("parser_total_on_garbage", 96, |g| {
+        // A mix of arbitrary bytes forced into UTF-8 and random ASCII
+        // punctuation soup that resembles broken source.
+        let src = if g.bool() {
+            let len = g.usize_in(0, 300);
+            String::from_utf8_lossy(&g.bytes(len)).into_owned()
+        } else {
+            const SOUP: &[u8] = b"__kernel void (){};*,/ \n\tconst uint float image2d_t";
+            let len = g.usize_in(0, 300);
+            (0..len)
+                .map(|_| SOUP[g.usize_in(0, SOUP.len())] as char)
+                .collect()
+        };
         let _ = clspec::sig::parse_kernel_sigs(&src);
         let _ = clspec::sig::parse_struct_defs(&src);
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -146,10 +157,11 @@ fn bytes_to_u32s(b: &[u8]) -> Vec<u32> {
         .collect()
 }
 
-proptest! {
-    /// radix_sort agrees with the standard library sort on any input.
-    #[test]
-    fn radix_sort_correct(mut keys in proptest::collection::vec(any::<u32>(), 1..300)) {
+/// radix_sort agrees with the standard library sort on any input.
+#[test]
+fn radix_sort_correct() {
+    qcheck("radix_sort_correct", 48, |g| {
+        let mut keys: Vec<u32> = (0..g.usize_in(1, 300)).map(|_| g.u32()).collect();
         let n = keys.len() as u32;
         let mut args = vec![
             clkernels::ArgData::Buffer(u32s_to_bytes(&keys)),
@@ -157,15 +169,17 @@ proptest! {
         ];
         clkernels::execute("radix_sort", [n as u64, 1, 1], &mut args).unwrap();
         keys.sort_unstable();
-        prop_assert_eq!(bytes_to_u32s(args[0].buffer().unwrap()), keys);
-    }
+        assert_eq!(bytes_to_u32s(args[0].buffer().unwrap()), keys);
+    });
+}
 
-    /// The full bitonic schedule sorts any power-of-two input.
-    #[test]
-    fn bitonic_schedule_correct(seed in any::<u64>(), log_n in 2u32..9) {
+/// The full bitonic schedule sorts any power-of-two input.
+#[test]
+fn bitonic_schedule_correct() {
+    qcheck("bitonic_schedule_correct", 32, |g| {
+        let log_n = g.range(2, 9) as u32;
         let n = 1usize << log_n;
-        let mut rng = simcore::SplitMix64::new(seed);
-        let keys: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+        let keys: Vec<u32> = (0..n).map(|_| g.u32()).collect();
         let mut buf = clkernels::ArgData::Buffer(u32s_to_bytes(&keys));
         for stage in 0..log_n {
             for pass in (0..=stage).rev() {
@@ -181,13 +195,18 @@ proptest! {
         }
         let mut expected = keys;
         expected.sort_unstable();
-        prop_assert_eq!(bytes_to_u32s(buf.buffer().unwrap()), expected);
-    }
+        assert_eq!(bytes_to_u32s(buf.buffer().unwrap()), expected);
+    });
+}
 
-    /// Exclusive scan and reduction are consistent:
-    /// scan[n-1] + input[n-1] == reduce(input).
-    #[test]
-    fn scan_reduce_consistent(values in proptest::collection::vec(0.0f32..10.0, 1..200)) {
+/// Exclusive scan and reduction are consistent:
+/// scan[n-1] + input[n-1] == reduce(input).
+#[test]
+fn scan_reduce_consistent() {
+    qcheck("scan_reduce_consistent", 48, |g| {
+        let values: Vec<f32> = (0..g.usize_in(1, 200))
+            .map(|_| g.f32_in(0.0, 10.0))
+            .collect();
         let n = values.len() as u32;
         let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
         let mut scan_args = vec![
@@ -207,37 +226,44 @@ proptest! {
 
         let scan_out = scan_args[1].buffer().unwrap();
         let last_scan = f32::from_le_bytes(
-            scan_out[(n as usize - 1) * 4..(n as usize) * 4].try_into().unwrap(),
+            scan_out[(n as usize - 1) * 4..(n as usize) * 4]
+                .try_into()
+                .unwrap(),
         );
         let total = f32::from_le_bytes(red_args[1].buffer().unwrap()[..4].try_into().unwrap());
         let expected = last_scan + values[values.len() - 1];
-        prop_assert!((total - expected).abs() <= total.abs().max(1.0) * 1e-4);
-    }
+        assert!((total - expected).abs() <= total.abs().max(1.0) * 1e-4);
+    });
 }
 
 // ---------------------------------------------------------------------
 // CheCL end-to-end invariant
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-    /// Arbitrary buffer contents survive checkpoint + cross-vendor
-    /// restart bit-exactly, whatever the bytes are.
-    #[test]
-    fn arbitrary_buffers_survive_cpr(data in proptest::collection::vec(any::<u8>(), 64..512)) {
+/// Arbitrary buffer contents survive checkpoint + cross-vendor
+/// restart bit-exactly, whatever the bytes are.
+#[test]
+fn arbitrary_buffers_survive_cpr() {
+    qcheck("arbitrary_buffers_survive_cpr", 12, |g| {
         use checl::{CheclConfig, RestoreTarget};
         use clspec::types::{DeviceType, MemFlags, QueueProps};
         use clspec::Ocl;
         use osproc::Cluster;
 
-        let size = (data.len() & !3) as u64;
-        let data = data[..size as usize].to_vec();
+        let len = g.usize_in(64, 512);
+        let raw = g.bytes(len);
+        let size = (raw.len() & !3) as u64;
+        let data = raw[..size as usize].to_vec();
 
         let mut cluster = Cluster::with_standard_nodes(2);
         let nodes = cluster.node_ids();
         let app = cluster.spawn(nodes[0]);
         let mut booted = checl::boot_checl(
-            &mut cluster, app, cldriver::vendor::nimbus(), CheclConfig::default());
+            &mut cluster,
+            app,
+            cldriver::vendor::nimbus(),
+            CheclConfig::default(),
+        );
         let mut now = cluster.process(app).clock;
         let mut ocl = Ocl::new(&mut booted.lib, &mut now);
         let p = ocl.get_platform_ids().unwrap();
@@ -246,9 +272,16 @@ proptest! {
         // The application keeps this CheCL queue handle across the
         // checkpoint — handles are stable, only the wrapped vendor
         // handles change.
-        let q = ocl.create_command_queue(ctx, d[0], QueueProps::default()).unwrap();
+        let q = ocl
+            .create_command_queue(ctx, d[0], QueueProps::default())
+            .unwrap();
         let buf = ocl
-            .create_buffer(ctx, MemFlags::READ_WRITE | MemFlags::COPY_HOST_PTR, size, Some(data.clone()))
+            .create_buffer(
+                ctx,
+                MemFlags::READ_WRITE | MemFlags::COPY_HOST_PTR,
+                size,
+                Some(data.clone()),
+            )
             .unwrap();
         let _ = ocl;
         cluster.process_mut(app).clock = now;
@@ -267,7 +300,9 @@ proptest! {
         .unwrap();
         let mut now2 = cluster.process(pid2).clock;
         let mut ocl2 = Ocl::new(&mut lib2, &mut now2);
-        let (back, _) = ocl2.enqueue_read_buffer(q, buf, true, 0, size, &[]).unwrap();
-        prop_assert_eq!(back, data);
-    }
+        let (back, _) = ocl2
+            .enqueue_read_buffer(q, buf, true, 0, size, &[])
+            .unwrap();
+        assert_eq!(back, data);
+    });
 }

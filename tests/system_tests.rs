@@ -21,8 +21,15 @@ fn blcr_fails_native_succeeds_under_checl() {
     let node = cluster.node_ids()[0];
     let w = workload_by_name("oclVectorAdd").unwrap();
 
-    let mut native = NativeSession::launch(&mut cluster, node, cldriver::vendor::nimbus(), w.script(&quick()));
-    native.run(&mut cluster, StopCondition::AfterKernel(1)).unwrap();
+    let mut native = NativeSession::launch(
+        &mut cluster,
+        node,
+        cldriver::vendor::nimbus(),
+        w.script(&quick()),
+    );
+    native
+        .run(&mut cluster, StopCondition::AfterKernel(1))
+        .unwrap();
     assert!(matches!(
         blcr::checkpoint(&mut cluster, native.pid, "/local/native.ckpt"),
         Err(blcr::CprError::DeviceMapped { .. })
@@ -35,7 +42,8 @@ fn blcr_fails_native_succeeds_under_checl() {
         CheclConfig::default(),
         w.script(&quick()),
     );
-    shim.run(&mut cluster, StopCondition::AfterKernel(1)).unwrap();
+    shim.run(&mut cluster, StopCondition::AfterKernel(1))
+        .unwrap();
     shim.checkpoint(&mut cluster, "/local/checl.ckpt").unwrap();
 }
 
@@ -90,7 +98,12 @@ fn init_overhead_is_once_per_process() {
     let mut cluster = Cluster::with_standard_nodes(1);
     let node = cluster.node_ids()[0];
     let w = workload_by_name("QueueDelay").unwrap();
-    let native = NativeSession::launch(&mut cluster, node, cldriver::vendor::nimbus(), w.script(&quick()));
+    let native = NativeSession::launch(
+        &mut cluster,
+        node,
+        cldriver::vendor::nimbus(),
+        w.script(&quick()),
+    );
     let t_native0 = native.elapsed(&cluster);
     let checl_run = CheclSession::launch(
         &mut cluster,
@@ -187,8 +200,12 @@ fn many_generations_of_restart() {
     let golden = {
         let mut cluster = Cluster::with_standard_nodes(1);
         let node = cluster.node_ids()[0];
-        let mut s =
-            NativeSession::launch(&mut cluster, node, cldriver::vendor::nimbus(), w.script(&cfg));
+        let mut s = NativeSession::launch(
+            &mut cluster,
+            node,
+            cldriver::vendor::nimbus(),
+            w.script(&cfg),
+        );
         s.run(&mut cluster, StopCondition::Completion).unwrap();
         s.program.checksums
     };
