@@ -15,6 +15,7 @@
 //! | `ablation_incremental`  | §IV-D incremental checkpointing (future work) |
 //! | `ablation_procsel`      | §IV-C runtime processor selection via RAM disk |
 //! | `ablation_hostptr`      | §IV-D CL_MEM_USE_HOST_PTR degradation |
+//! | `ablation_faults`       | fault injection + recovery, one scenario per fault class |
 //!
 //! All timings are virtual-clock measurements, deterministic across
 //! runs. Every binary prints an aligned table and writes the same data

@@ -56,10 +56,21 @@ impl CheckpointFile {
     }
 
     /// Parse file bytes written by [`CheckpointFile::to_file_bytes`].
+    ///
+    /// The leading `frame_len` is untrusted input (the file may be
+    /// truncated, corrupted, or lying): it is checked against the bytes
+    /// actually present *before* any narrowing cast, so a bogus header
+    /// yields a clean [`CodecError`] rather than a panic or over-read.
     pub fn from_file_bytes(bytes: &[u8]) -> Result<CheckpointFile, CodecError> {
         let mut r = Reader::new(bytes);
-        let frame_len = u64::decode(&mut r)? as usize;
-        let frame = r.take(frame_len)?;
+        let frame_len = u64::decode(&mut r)?;
+        if frame_len > r.remaining() as u64 {
+            return Err(CodecError::UnexpectedEof {
+                needed: frame_len.min(usize::MAX as u64) as usize,
+                remaining: r.remaining(),
+            });
+        }
+        let frame = r.take(frame_len as usize)?;
         decode_framed(CKPT_MAGIC, CKPT_VERSION, frame)
     }
 
@@ -116,5 +127,48 @@ mod tests {
         let ck = sample();
         let bytes = ck.to_file_bytes();
         assert!(CheckpointFile::from_file_bytes(&bytes[..16]).is_err());
+    }
+
+    #[test]
+    fn lying_frame_len_detected() {
+        let ck = sample();
+        let mut bytes = ck.to_file_bytes();
+        // Claim a frame far bigger than the file (would wrap a 32-bit
+        // usize if cast before checking).
+        bytes[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            CheckpointFile::from_file_bytes(&bytes),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+        // Claim zero: the frame decoder must reject the empty frame.
+        bytes[..8].copy_from_slice(&0u64.to_le_bytes());
+        assert!(CheckpointFile::from_file_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn arbitrary_mutations_never_panic() {
+        // qcheck property (satellite of ISSUE 2): take a valid file and
+        // apply random byte edits and truncations — the parser must
+        // either succeed or return a clean CodecError, never panic or
+        // over-read.
+        let base = sample().to_file_bytes();
+        simcore::qcheck::qcheck("ckptfile_mutations_are_safe", 300, |g| {
+            let mut bytes = base.clone();
+            // Random truncation to any length (including past the
+            // padding start and into the length prefix itself).
+            if g.bool() {
+                let keep = g.usize_in(0, bytes.len());
+                bytes.truncate(keep);
+            }
+            // Up to 8 random byte overwrites.
+            for _ in 0..g.usize_in(0, 8) {
+                if bytes.is_empty() {
+                    break;
+                }
+                let pos = g.usize_in(0, bytes.len());
+                bytes[pos] = g.byte();
+            }
+            let _ = CheckpointFile::from_file_bytes(&bytes);
+        });
     }
 }

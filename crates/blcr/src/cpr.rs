@@ -141,7 +141,14 @@ pub fn dmtcp_checkpoint(cluster: &mut Cluster, pid: Pid, path: &str) -> Result<B
 pub fn restart(cluster: &mut Cluster, node: NodeId, path: &str) -> Result<Pid, CprError> {
     let pid = cluster.spawn(node);
     let t0 = cluster.process(pid).clock;
-    let bytes = cluster.read_file(pid, path)?;
+    let bytes = match cluster.read_file(pid, path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            // Failed exec: don't leak the half-started process.
+            cluster.kill(pid);
+            return Err(CprError::Fs(e));
+        }
+    };
     if telemetry::enabled() {
         let t1 = cluster.process(pid).clock;
         let size = ByteSize::bytes(bytes.len() as u64);
@@ -162,7 +169,13 @@ pub fn restart(cluster: &mut Cluster, node: NodeId, path: &str) -> Result<Pid, C
         telemetry::counter_add("blcr.restarts", 1);
         telemetry::counter_add("blcr.bytes_read", size.as_u64());
     }
-    let file = CheckpointFile::from_file_bytes(&bytes).map_err(CprError::Corrupt)?;
+    let file = match CheckpointFile::from_file_bytes(&bytes) {
+        Ok(file) => file,
+        Err(e) => {
+            cluster.kill(pid);
+            return Err(CprError::Corrupt(e));
+        }
+    };
     cluster.process_mut(pid).image = file.image;
     Ok(pid)
 }

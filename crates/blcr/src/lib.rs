@@ -17,6 +17,8 @@
 
 pub mod ckptfile;
 pub mod cpr;
+pub mod robust;
 
 pub use ckptfile::{CheckpointFile, CKPT_MAGIC, CKPT_VERSION};
 pub use cpr::{checkpoint, dmtcp_checkpoint, restart, CprError};
+pub use robust::{checkpoint_robust, restart_from_chain, RecoveryOutcome, RetryPolicy};

@@ -101,6 +101,17 @@ pub enum CheclCprError {
     BadState(CodecError),
     /// The dump did not contain a CheCL state segment.
     MissingState,
+    /// The restore host enumerates no platform/device that can satisfy
+    /// a recorded query — e.g. restarting on a box with no OpenCL
+    /// implementation, or with no device of the requested type.
+    NoSuchDevice {
+        /// What could not be re-created.
+        kind: HandleKind,
+        /// The index recorded at creation time.
+        index: u32,
+        /// How many candidates the restore host offered.
+        available: usize,
+    },
 }
 
 impl fmt::Display for CheclCprError {
@@ -114,6 +125,15 @@ impl fmt::Display for CheclCprError {
             }
             CheclCprError::BadState(e) => write!(f, "CheCL state segment corrupt: {e}"),
             CheclCprError::MissingState => write!(f, "no CheCL state in checkpoint"),
+            CheclCprError::NoSuchDevice {
+                kind,
+                index,
+                available,
+            } => write!(
+                f,
+                "cannot restore {} #{index}: restore host enumerates only {available} candidate(s)",
+                kind.short_name()
+            ),
         }
     }
 }
@@ -308,7 +328,55 @@ fn checkpoint_checl_inner(
         .image
         .put(CHECL_STATE_SEGMENT, lib.encode_state());
     cluster.process_mut(app_pid).clock = now;
-    let file_size = blcr::checkpoint(cluster, app_pid, path)?;
+    let file_size = match blcr::checkpoint(cluster, app_pid, path) {
+        Ok(size) => size,
+        Err(e) => {
+            // Failed write (disk fault, NFS outage): undo this attempt's
+            // bookkeeping so the shim stays consistent — take the state
+            // segment back out, forget the references to the file that
+            // never landed (a later incremental checkpoint must not skip
+            // buffers "saved" in it) — and close the open spans so the
+            // trace stays well-formed.
+            now = cluster.process(app_pid).clock;
+            cluster.process_mut(app_pid).image.take(CHECL_STATE_SEGMENT);
+            let mems: Vec<u64> = lib
+                .db
+                .live_of_kind(HandleKind::Mem)
+                .map(|e| e.checl)
+                .collect();
+            for h in mems {
+                if let Some(entry) = lib.db.get_mut(h) {
+                    if let ObjectRecord::Mem {
+                        saved_data,
+                        saved_in,
+                        dirty,
+                        ..
+                    } = &mut entry.record
+                    {
+                        if saved_in.as_deref() == Some(path) {
+                            *saved_data = None;
+                            *saved_in = None;
+                            *dirty = true;
+                        }
+                    }
+                }
+            }
+            let err = CheclCprError::from(e);
+            telemetry::span_end(
+                "cpr",
+                telemetry::QUIESCE_UNTIL,
+                now,
+                vec![("error", err.to_string().into())],
+            );
+            telemetry::span_end(
+                "cpr",
+                "checkpoint",
+                now,
+                vec![("error", err.to_string().into())],
+            );
+            return Err(err);
+        }
+    };
     now = cluster.process(app_pid).clock;
     let write = now.since(t0);
     telemetry::span_end(
@@ -431,6 +499,16 @@ fn restore_one(
             let platforms = lib
                 .forward(now, ApiRequest::GetPlatformIds)?
                 .into_platforms()?;
+            // A degraded restore host may enumerate nothing at all —
+            // `len() - 1` would underflow, so refuse with a typed error
+            // instead.
+            if platforms.is_empty() {
+                return Err(CheclCprError::NoSuchDevice {
+                    kind: HandleKind::Platform,
+                    index: *index,
+                    available: 0,
+                });
+            }
             let i = (*index as usize).min(platforms.len() - 1);
             Ok(platforms[i].raw())
         }
@@ -441,15 +519,27 @@ fn restore_one(
         } => {
             let v_platform = vendor_of(lib, *platform)?;
             let qt = target.device_type.unwrap_or(*query_type);
-            let devices = lib
-                .forward(
-                    now,
-                    ApiRequest::GetDeviceIds {
-                        platform: PlatformId::from_raw(v_platform),
-                        device_type: qt,
-                    },
-                )?
-                .into_devices()?;
+            // The driver reports "no device of this type" as an error;
+            // treat it as an empty enumeration so both shapes of a
+            // degraded host take the typed-error path below.
+            let devices = match lib.forward(
+                now,
+                ApiRequest::GetDeviceIds {
+                    platform: PlatformId::from_raw(v_platform),
+                    device_type: qt,
+                },
+            ) {
+                Ok(resp) => resp.into_devices()?,
+                Err(ClError::DeviceNotFound) => Vec::new(),
+                Err(e) => return Err(CheclCprError::Cl(e)),
+            };
+            if devices.is_empty() {
+                return Err(CheclCprError::NoSuchDevice {
+                    kind: HandleKind::Device,
+                    index: *index,
+                    available: 0,
+                });
+            }
             // Clamp: the new platform may expose fewer devices of this
             // type than the source did.
             let i = (*index as usize).min(devices.len() - 1);
@@ -707,14 +797,24 @@ pub fn restart_checl_process(
 ) -> Result<(ChecLib, Pid, RestoreReport), CheclCprError> {
     let pid = blcr::restart(cluster, node, path)?;
     let _scope = telemetry::track_scope(telemetry::Track::process(pid.0 as u64));
-    let state = cluster
-        .process(pid)
-        .image
-        .get(CHECL_STATE_SEGMENT)
-        .ok_or(CheclCprError::MissingState)?
-        .to_vec();
-    let mut lib = ChecLib::decode_state(&state).map_err(CheclCprError::BadState)?;
-    resolve_incremental_data(cluster, pid, &mut lib, path)?;
+    let state = match cluster.process(pid).image.get(CHECL_STATE_SEGMENT) {
+        Some(bytes) => bytes.to_vec(),
+        None => {
+            cluster.kill(pid);
+            return Err(CheclCprError::MissingState);
+        }
+    };
+    let mut lib = match ChecLib::decode_state(&state) {
+        Ok(lib) => lib,
+        Err(e) => {
+            cluster.kill(pid);
+            return Err(CheclCprError::BadState(e));
+        }
+    };
+    if let Err(e) = resolve_incremental_data(cluster, pid, &mut lib, path) {
+        cluster.kill(pid);
+        return Err(e);
+    }
     telemetry::span_begin(
         "cpr",
         "restart",
@@ -723,7 +823,19 @@ pub fn restart_checl_process(
     );
     refork_proxy(cluster, &mut lib, pid, vendor);
     let mut now = cluster.process(pid).clock;
-    let report = restore_checl(&mut lib, &mut now, target)?;
+    let report = match restore_checl(&mut lib, &mut now, target) {
+        Ok(report) => report,
+        Err(e) => {
+            // Restore failed (e.g. the host has no usable device):
+            // surface the typed error, but don't leak the half-restored
+            // process or its proxy.
+            cluster.process_mut(pid).clock = now;
+            telemetry::span_end("cpr", "restart", now, vec![("error", e.to_string().into())]);
+            crate::boot::kill_proxy(cluster, &mut lib);
+            cluster.kill(pid);
+            return Err(e);
+        }
+    };
     cluster.process_mut(pid).clock = now;
     telemetry::span_end(
         "cpr",
@@ -746,6 +858,20 @@ fn resolve_incremental_data(
     lib: &mut ChecLib,
     current_path: &str,
 ) -> Result<(), CheclCprError> {
+    resolve_saved_data(cluster, pid, lib, Some(current_path)).map(|_| ())
+}
+
+/// Load `saved_data` for every clean buffer whose bytes live in a
+/// checkpoint file (`saved_in`), except the file named by `exclude`
+/// (whose data rides in the current dump already). Returns which
+/// buffers were filled from which files, so a caller that did *not*
+/// lose the node (proxy respawn) can re-mark them clean afterwards.
+pub(crate) fn resolve_saved_data(
+    cluster: &mut Cluster,
+    pid: Pid,
+    lib: &mut ChecLib,
+    exclude: Option<&str>,
+) -> Result<Vec<(u64, String)>, CheclCprError> {
     let missing: Vec<(u64, String)> = lib
         .db
         .live_of_kind(HandleKind::Mem)
@@ -754,15 +880,16 @@ fn resolve_incremental_data(
                 saved_data: None,
                 saved_in: Some(file),
                 ..
-            } if file != current_path => Some((e.checl, file.clone())),
+            } if exclude != Some(file.as_str()) => Some((e.checl, file.clone())),
             _ => None,
         })
         .collect();
     if missing.is_empty() {
-        return Ok(());
+        return Ok(Vec::new());
     }
     let mut cache: BTreeMap<String, ChecLib> = BTreeMap::new();
-    for (checl_mem, file) in missing {
+    for (checl_mem, file) in &missing {
+        let (checl_mem, file) = (*checl_mem, file.clone());
         if !cache.contains_key(&file) {
             let bytes = cluster
                 .read_file(pid, &file)
@@ -793,5 +920,5 @@ fn resolve_incremental_data(
             }
         }
     }
-    Ok(())
+    Ok(missing)
 }

@@ -48,13 +48,15 @@ pub mod cpr;
 pub mod guess;
 pub mod migrate;
 pub mod objects;
+pub mod recovery;
 pub mod runtime;
 
 pub use boot::{boot_checl, BootedChecl};
 pub use cpr::{
-    checkpoint_checl, checkpoint_checl_incremental, restore_checl, CheckpointMode,
-    CheckpointReport, RestoreReport, RestoreTarget,
+    checkpoint_checl, checkpoint_checl_incremental, restart_checl_process, restore_checl,
+    CheckpointMode, CheckpointReport, CheclCprError, RestoreReport, RestoreTarget,
 };
 pub use migrate::{migrate_process, predict_migration_time, MigrationModel, MigrationReport};
 pub use objects::{CheclDb, CheclEntry, ObjectRecord, RecordedArg};
+pub use recovery::{checkpoint_with_recovery, respawn_proxy_and_restore, restart_checl_chain};
 pub use runtime::{ChecLib, CheclConfig, CheclStats, StructArgPolicy};

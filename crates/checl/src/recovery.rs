@@ -1,0 +1,550 @@
+//! CheCL-level recovery policies, layered over the [`crate::cpr`]
+//! engine the way [`blcr::robust`](blcr) layers over raw BLCR:
+//!
+//! * **robust checkpointing** — [`checkpoint_with_recovery`] runs the
+//!   four-phase CheCL checkpoint against `<target>.tmp`, verifies the
+//!   file on disk, and commits it with an atomic rename; transient I/O
+//!   failures are retried with doubling virtual-time backoff and fall
+//!   through an ordered target list (local → RAM disk → NFS);
+//! * **proxy respawn** — [`respawn_proxy_and_restore`] recovers from
+//!   API-proxy death or a broken app↔proxy pipe *without* restarting
+//!   the application process: fork a new proxy and re-create the object
+//!   graph from the last good checkpoint (§III-C's restart procedure,
+//!   applied in place);
+//! * **restart chains** — [`restart_checl_chain`] walks a newest-first
+//!   list of checkpoint files and restarts from the newest one that is
+//!   readable, uncorrupted and carries a decodable CheCL state.
+//!
+//! Every recovery action is a telemetry instant in
+//! [`telemetry::RECOVERY_CATEGORY`], mirroring the fault instants the
+//! injection layer emits — a trace shows cause and response side by
+//! side.
+
+use crate::boot::{kill_proxy, refork_proxy};
+use crate::cpr::{
+    checkpoint_checl, resolve_saved_data, restart_checl_process, restore_checl, CheckpointReport,
+    CheclCprError, RestoreReport, RestoreTarget, CHECL_STATE_SEGMENT,
+};
+use crate::objects::ObjectRecord;
+use crate::runtime::ChecLib;
+use blcr::{CprError, RecoveryOutcome, RetryPolicy};
+use cldriver::VendorConfig;
+use clspec::handles::HandleKind;
+use osproc::{Cluster, FsError, NodeId, Pid};
+use simcore::telemetry;
+
+fn recovery_event(cluster: &Cluster, pid: Pid, name: &str, path: &str) {
+    if telemetry::enabled() {
+        let _scope = telemetry::track_scope(telemetry::Track::process(pid.0 as u64));
+        telemetry::instant(
+            telemetry::RECOVERY_CATEGORY,
+            name,
+            cluster.process(pid).clock,
+            vec![("path", path.into())],
+        );
+        telemetry::counter_add("recovery.actions", 1);
+    }
+}
+
+/// Rewrite `saved_in` references from the temp name to the committed
+/// name after a successful rename.
+fn repoint_saves(lib: &mut ChecLib, from: &str, to: &str) {
+    let mems: Vec<u64> = lib
+        .db
+        .live_of_kind(HandleKind::Mem)
+        .map(|e| e.checl)
+        .collect();
+    for h in mems {
+        if let Some(entry) = lib.db.get_mut(h) {
+            if let ObjectRecord::Mem { saved_in, .. } = &mut entry.record {
+                if saved_in.as_deref() == Some(from) {
+                    *saved_in = Some(to.to_string());
+                }
+            }
+        }
+    }
+}
+
+/// Forget references to a checkpoint file that never landed (failed or
+/// deleted temp): the buffers must be re-saved next time.
+fn invalidate_saves(lib: &mut ChecLib, path: &str) {
+    let mems: Vec<u64> = lib
+        .db
+        .live_of_kind(HandleKind::Mem)
+        .map(|e| e.checl)
+        .collect();
+    for h in mems {
+        if let Some(entry) = lib.db.get_mut(h) {
+            if let ObjectRecord::Mem {
+                saved_data,
+                saved_in,
+                dirty,
+                ..
+            } = &mut entry.record
+            {
+                if saved_in.as_deref() == Some(path) {
+                    *saved_data = None;
+                    *saved_in = None;
+                    *dirty = true;
+                }
+            }
+        }
+    }
+}
+
+/// Post-write verification for a CheCL checkpoint: the file must be the
+/// expected length (catches short writes), its frame checksum must hold
+/// (catches corruption in the live region), and the CheCL state segment
+/// must decode. Corruption confined to the zero padding of the process
+/// image is invisible here — and harmless, since a restore never reads
+/// it.
+fn verify_checl_file(
+    cluster: &mut Cluster,
+    pid: Pid,
+    path: &str,
+    expected_len: u64,
+) -> Result<(), CheclCprError> {
+    let bytes = cluster
+        .read_file(pid, path)
+        .map_err(|e| CheclCprError::Cpr(CprError::Fs(e)))?;
+    if bytes.len() as u64 != expected_len {
+        return Err(CheclCprError::Cpr(CprError::Corrupt(
+            simcore::CodecError::Invalid("checkpoint read-back length mismatch"),
+        )));
+    }
+    let ck = blcr::CheckpointFile::from_file_bytes(&bytes)
+        .map_err(|e| CheclCprError::Cpr(CprError::Corrupt(e)))?;
+    let state = ck
+        .image
+        .get(CHECL_STATE_SEGMENT)
+        .ok_or(CheclCprError::MissingState)?;
+    ChecLib::decode_state(state).map_err(CheclCprError::BadState)?;
+    Ok(())
+}
+
+/// Checkpoint a CheCL application with atomic commit, post-write
+/// verification, bounded retry and target fallback.
+///
+/// `targets` is tried in order (e.g. `["/local/a.ckpt", "/ram/a.ckpt",
+/// "/nfs/a.ckpt"]`). Each attempt writes to `<target>.tmp` and renames
+/// on success, so a fault mid-write never leaves a half-written file
+/// under a name a restart would trust. Only transient failures — I/O
+/// errors and verification mismatches — are retried; everything else
+/// (no proxy, OpenCL failure during preprocess) aborts immediately.
+pub fn checkpoint_with_recovery(
+    lib: &mut ChecLib,
+    cluster: &mut Cluster,
+    app_pid: Pid,
+    targets: &[&str],
+    policy: &RetryPolicy,
+) -> Result<(CheckpointReport, RecoveryOutcome), CheclCprError> {
+    assert!(
+        !targets.is_empty(),
+        "checkpoint_with_recovery needs >= 1 target"
+    );
+    let t_start = cluster.process(app_pid).clock;
+    let mut attempts = 0u32;
+    let mut fallbacks = 0u32;
+    let mut last_err: Option<CheclCprError> = None;
+    for (ti, target) in targets.iter().enumerate() {
+        if ti > 0 {
+            fallbacks += 1;
+            recovery_event(cluster, app_pid, "recovery.fallback_target", target);
+        }
+        let tmp = format!("{target}.tmp");
+        for attempt in 0..policy.max_attempts_per_target {
+            if attempt > 0 {
+                let wait = policy.backoff * (1u64 << (attempt - 1).min(16));
+                cluster.process_mut(app_pid).clock += wait;
+                recovery_event(cluster, app_pid, "recovery.retry_write", target);
+            }
+            attempts += 1;
+            let report = match checkpoint_checl(lib, cluster, app_pid, &tmp) {
+                Ok(r) => r,
+                Err(e @ CheclCprError::Cpr(CprError::Fs(_))) => {
+                    last_err = Some(e);
+                    continue;
+                }
+                Err(fatal) => return Err(fatal),
+            };
+            if policy.verify {
+                match verify_checl_file(cluster, app_pid, &tmp, report.file_size.as_u64()) {
+                    Ok(()) => {}
+                    Err(e @ CheclCprError::Cpr(CprError::Fs(_))) => {
+                        invalidate_saves(lib, &tmp);
+                        last_err = Some(e);
+                        continue;
+                    }
+                    Err(e) => {
+                        recovery_event(cluster, app_pid, "recovery.verify_failed", &tmp);
+                        let _ = cluster.delete_file(app_pid, &tmp);
+                        invalidate_saves(lib, &tmp);
+                        last_err = Some(e);
+                        continue;
+                    }
+                }
+            }
+            cluster
+                .rename_file(app_pid, &tmp, target)
+                .map_err(|e| CheclCprError::Cpr(CprError::Fs(e)))?;
+            repoint_saves(lib, &tmp, target);
+            recovery_event(cluster, app_pid, "recovery.commit", target);
+            let elapsed = cluster.process(app_pid).clock.since(t_start);
+            let outcome = RecoveryOutcome {
+                path: target.to_string(),
+                size: report.file_size,
+                attempts,
+                fallbacks,
+                elapsed,
+            };
+            return Ok((report, outcome));
+        }
+    }
+    Err(
+        last_err.unwrap_or(CheclCprError::Cpr(CprError::Fs(FsError::WriteFailed(
+            targets[0].to_string(),
+        )))),
+    )
+}
+
+/// Recover from API-proxy death or a broken app↔proxy pipe *without*
+/// restarting the application process.
+///
+/// The vendor-side state newer than `last_ckpt` died with the proxy, so
+/// the shim is rolled back to the object database dumped in that
+/// checkpoint (the application's own rollback — re-running from the
+/// checkpointed program counter — is the caller's job, e.g.
+/// `CheclSession::run_with_recovery`). Then the §III-C restart
+/// procedure runs in place: fork a new proxy, re-create every object,
+/// upload the saved buffer contents.
+pub fn respawn_proxy_and_restore(
+    cluster: &mut Cluster,
+    lib: &mut ChecLib,
+    app_pid: Pid,
+    last_ckpt: &str,
+    vendor: VendorConfig,
+    target: RestoreTarget,
+) -> Result<RestoreReport, CheclCprError> {
+    recovery_event(cluster, app_pid, "recovery.respawn_proxy", last_ckpt);
+    // The old proxy is dead or unreachable either way; make it official.
+    kill_proxy(cluster, lib);
+    let bytes = cluster
+        .read_file(app_pid, last_ckpt)
+        .map_err(|e| CheclCprError::Cpr(CprError::Fs(e)))?;
+    let ck = blcr::CheckpointFile::from_file_bytes(&bytes)
+        .map_err(|e| CheclCprError::Cpr(CprError::Corrupt(e)))?;
+    let state = ck
+        .image
+        .get(CHECL_STATE_SEGMENT)
+        .ok_or(CheclCprError::MissingState)?;
+    *lib = ChecLib::decode_state(state).map_err(CheclCprError::BadState)?;
+    // Clean buffers may reference still-earlier incremental files.
+    resolve_saved_data(cluster, app_pid, lib, Some(last_ckpt))?;
+    refork_proxy(cluster, lib, app_pid, vendor);
+    let mut now = cluster.process(app_pid).clock;
+    let report = match restore_checl(lib, &mut now, target) {
+        Ok(r) => r,
+        Err(e) => {
+            cluster.process_mut(app_pid).clock = now;
+            kill_proxy(cluster, lib);
+            return Err(e);
+        }
+    };
+    cluster.process_mut(app_pid).clock = now;
+    recovery_event(cluster, app_pid, "recovery.objects_recreated", last_ckpt);
+    if telemetry::enabled() {
+        telemetry::counter_add("recovery.proxy_respawns", 1);
+    }
+    Ok(report)
+}
+
+/// Restart a CheCL process from the newest good checkpoint in `paths`
+/// (newest first). Unreadable, corrupt or state-less files are skipped
+/// with a telemetry note; host-degradation errors ([`NoSuchDevice`])
+/// are fatal — an older checkpoint cannot conjure a device the restore
+/// host does not have.
+///
+/// [`NoSuchDevice`]: CheclCprError::NoSuchDevice
+pub fn restart_checl_chain(
+    cluster: &mut Cluster,
+    node: NodeId,
+    paths: &[&str],
+    vendor: &VendorConfig,
+    target: RestoreTarget,
+) -> Result<(ChecLib, Pid, RestoreReport, usize), CheclCprError> {
+    assert!(!paths.is_empty(), "restart_checl_chain needs >= 1 path");
+    let mut last_err: Option<CheclCprError> = None;
+    for (i, path) in paths.iter().enumerate() {
+        match restart_checl_process(cluster, node, path, vendor.clone(), target) {
+            Ok((lib, pid, report)) => {
+                if i > 0 {
+                    recovery_event(cluster, pid, "recovery.restart_fallback", path);
+                }
+                return Ok((lib, pid, report, i));
+            }
+            Err(
+                e @ (CheclCprError::Cpr(CprError::Corrupt(_) | CprError::Fs(_))
+                | CheclCprError::BadState(_)
+                | CheclCprError::MissingState),
+            ) => {
+                if telemetry::enabled() {
+                    let _scope = telemetry::track_scope(telemetry::Track::CLUSTER);
+                    telemetry::instant(
+                        telemetry::RECOVERY_CATEGORY,
+                        "recovery.skip_checkpoint",
+                        simcore::SimTime::ZERO,
+                        vec![("path", (*path).into()), ("error", e.to_string().into())],
+                    );
+                }
+                last_err = Some(e);
+            }
+            Err(fatal) => return Err(fatal),
+        }
+    }
+    Err(last_err.expect("loop ran at least once"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boot::boot_checl;
+    use crate::runtime::CheclConfig;
+    use clspec::types::{DeviceType, MemFlags, QueueProps};
+    use clspec::Ocl;
+    use osproc::FaultPlan;
+
+    /// Boot a CheCL app with one context, one queue and one buffer
+    /// holding `data`.
+    fn booted_app(data: &[u8]) -> (Cluster, ChecLib, Pid, u64) {
+        let mut cluster = Cluster::with_standard_nodes(1);
+        let node = cluster.node_ids()[0];
+        let app = cluster.spawn(node);
+        let mut booted = boot_checl(
+            &mut cluster,
+            app,
+            cldriver::vendor::nimbus(),
+            CheclConfig::default(),
+        );
+        let mut now = cluster.process(app).clock;
+        let buf = {
+            let mut ocl = Ocl::new(&mut booted.lib, &mut now);
+            let p = ocl.get_platform_ids().unwrap();
+            let d = ocl.get_device_ids(p[0], DeviceType::Gpu).unwrap();
+            let ctx = ocl.create_context(&d).unwrap();
+            let _q = ocl
+                .create_command_queue(ctx, d[0], QueueProps::default())
+                .unwrap();
+            ocl.create_buffer(
+                ctx,
+                MemFlags::READ_WRITE | MemFlags::COPY_HOST_PTR,
+                data.len() as u64,
+                Some(data.to_vec()),
+            )
+            .unwrap()
+        };
+        cluster.process_mut(app).clock = now;
+        (cluster, booted.lib, app, buf.raw().0)
+    }
+
+    fn read_buffer(cluster: &Cluster, lib: &mut ChecLib, app: Pid, buf: u64, len: u64) -> Vec<u8> {
+        let mut now = cluster.process(app).clock;
+        let (_q_checl, q_vendor) = lib
+            .db
+            .live_of_kind(HandleKind::CommandQueue)
+            .map(|e| (e.checl, e.vendor))
+            .next()
+            .unwrap();
+        let v_mem = lib.db.vendor_of(buf).unwrap();
+        let (data, _ev) = lib
+            .forward(
+                &mut now,
+                clspec::ApiRequest::EnqueueReadBuffer {
+                    queue: clspec::handles::CommandQueue::from_raw(q_vendor),
+                    mem: clspec::handles::Mem::from_raw(v_mem),
+                    blocking: true,
+                    offset: 0,
+                    size: len,
+                    wait_list: vec![],
+                },
+            )
+            .unwrap()
+            .into_data_event()
+            .unwrap();
+        data
+    }
+
+    #[test]
+    fn clean_run_commits_first_try() {
+        let (mut cluster, mut lib, app, _) = booted_app(&[7u8; 256]);
+        let (_, out) = checkpoint_with_recovery(
+            &mut lib,
+            &mut cluster,
+            app,
+            &["/local/a.ckpt"],
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(!out.recovered());
+        assert_eq!(out.path, "/local/a.ckpt");
+        // Committed under the final name, no stray temp file.
+        assert!(cluster.read_file(app, "/local/a.ckpt").is_ok());
+        assert!(cluster.read_file(app, "/local/a.ckpt.tmp").is_err());
+    }
+
+    #[test]
+    fn disk_faults_are_retried_and_saved_in_points_at_final_name() {
+        let (mut cluster, mut lib, app, buf) = booted_app(&[3u8; 256]);
+        cluster.install_faults(FaultPlan::new(11).fail_next_writes(2));
+        let (_, out) = checkpoint_with_recovery(
+            &mut lib,
+            &mut cluster,
+            app,
+            &["/local/a.ckpt"],
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(out.attempts, 3);
+        assert!(out.recovered());
+        let entry = lib.db.get(buf).unwrap();
+        match &entry.record {
+            ObjectRecord::Mem { saved_in, .. } => {
+                assert_eq!(saved_in.as_deref(), Some("/local/a.ckpt"));
+            }
+            _ => panic!("not a mem"),
+        }
+    }
+
+    #[test]
+    fn persistent_failure_falls_to_next_target() {
+        let (mut cluster, mut lib, app, _) = booted_app(&[1u8; 128]);
+        cluster.install_faults(
+            FaultPlan::new(12)
+                .fail_next_writes(u32::MAX)
+                .only_paths_containing("/local/"),
+        );
+        let (_, out) = checkpoint_with_recovery(
+            &mut lib,
+            &mut cluster,
+            app,
+            &["/local/a.ckpt", "/ram/a.ckpt"],
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(out.path, "/ram/a.ckpt");
+        assert_eq!(out.fallbacks, 1);
+    }
+
+    #[test]
+    fn corrupted_write_is_rejected_and_rewritten() {
+        let (mut cluster, mut lib, app, _) = booted_app(&[5u8; 128]);
+        cluster.install_faults(
+            FaultPlan::new(13)
+                .corrupt_next_writes(1)
+                .corrupt_in_prefix(64),
+        );
+        let (_, out) = checkpoint_with_recovery(
+            &mut lib,
+            &mut cluster,
+            app,
+            &["/local/a.ckpt"],
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(out.attempts >= 2, "verify must have rejected attempt 1");
+        // The committed file restores.
+        let node = cluster.process(app).node;
+        let vendor = cldriver::vendor::nimbus();
+        restart_checl_process(
+            &mut cluster,
+            node,
+            "/local/a.ckpt",
+            vendor,
+            RestoreTarget::default(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn proxy_death_recovers_buffer_contents() {
+        let data: Vec<u8> = (0..512u32).map(|i| (i * 7) as u8).collect();
+        let (mut cluster, mut lib, app, buf) = booted_app(&data);
+        checkpoint_with_recovery(
+            &mut lib,
+            &mut cluster,
+            app,
+            &["/local/a.ckpt"],
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        // The proxy dies; the pipe breaks with it.
+        let proxy = lib.proxy_pid().unwrap();
+        cluster.kill(proxy);
+        lib.break_pipe();
+        let mut now = cluster.process(app).clock;
+        assert!(lib
+            .forward(&mut now, clspec::ApiRequest::GetPlatformIds)
+            .is_err());
+        respawn_proxy_and_restore(
+            &mut cluster,
+            &mut lib,
+            app,
+            "/local/a.ckpt",
+            cldriver::vendor::nimbus(),
+            RestoreTarget::default(),
+        )
+        .unwrap();
+        assert!(lib.has_proxy());
+        assert!(!lib.pipe_broken());
+        let back = read_buffer(&cluster, &mut lib, app, buf, data.len() as u64);
+        assert_eq!(back, data, "buffer contents must match the checkpoint");
+    }
+
+    #[test]
+    fn restart_chain_skips_corrupt_newest() {
+        let (mut cluster, mut lib, app, buf) = booted_app(&[42u8; 64]);
+        let node = cluster.process(app).node;
+        checkpoint_checl(&mut lib, &mut cluster, app, "/local/old.ckpt").unwrap();
+        // Newest checkpoint lands corrupted in the live frame region.
+        cluster.install_faults(
+            FaultPlan::new(14)
+                .corrupt_next_writes(1)
+                .corrupt_in_prefix(64),
+        );
+        checkpoint_checl(&mut lib, &mut cluster, app, "/local/new.ckpt").unwrap();
+        let vendor = cldriver::vendor::nimbus();
+        let (mut restored, pid, _, idx) = restart_checl_chain(
+            &mut cluster,
+            node,
+            &["/local/new.ckpt", "/local/old.ckpt"],
+            &vendor,
+            RestoreTarget::default(),
+        )
+        .unwrap();
+        assert_eq!(idx, 1, "should have fallen back to the old file");
+        let back = read_buffer(&cluster, &mut restored, pid, buf, 64);
+        assert_eq!(back, vec![42u8; 64]);
+    }
+
+    #[test]
+    fn restart_chain_degraded_host_is_fatal_not_skipped() {
+        let (mut cluster, mut lib, app, _) = booted_app(&[9u8; 64]);
+        let node = cluster.process(app).node;
+        checkpoint_checl(&mut lib, &mut cluster, app, "/local/a.ckpt").unwrap();
+        checkpoint_checl(&mut lib, &mut cluster, app, "/local/b.ckpt").unwrap();
+        let headless = cldriver::vendor::headless();
+        let err = match restart_checl_chain(
+            &mut cluster,
+            node,
+            &["/local/b.ckpt", "/local/a.ckpt"],
+            &headless,
+            RestoreTarget::default(),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("restart on a headless host must fail"),
+        };
+        assert!(
+            matches!(err, CheclCprError::NoSuchDevice { available: 0, .. }),
+            "got {err}"
+        );
+    }
+}

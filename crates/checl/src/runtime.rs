@@ -90,6 +90,10 @@ pub struct ChecLib {
     /// the "API-chatty" programs of Fig. 4 show up here).
     call_histogram: std::collections::BTreeMap<&'static str, u64>,
     proxy: Option<ProxyLink>,
+    /// The app↔proxy pipe has failed (SIGPIPE territory). Set by fault
+    /// injection; cleared when a fresh proxy is attached. Not part of
+    /// the dumped state — a restart always begins with a working pipe.
+    pipe_broken: bool,
 }
 
 impl ChecLib {
@@ -102,6 +106,7 @@ impl ChecLib {
             stats: CheclStats::default(),
             call_histogram: std::collections::BTreeMap::new(),
             proxy: None,
+            pipe_broken: false,
         }
     }
 
@@ -109,6 +114,20 @@ impl ChecLib {
     pub fn attach_proxy(&mut self, link: ProxyLink) {
         assert!(self.proxy.is_none(), "proxy already attached");
         self.proxy = Some(link);
+        self.pipe_broken = false;
+    }
+
+    /// Sever the app↔proxy pipe without detaching the proxy: every
+    /// subsequent forward fails with `DeviceNotAvailable` until a new
+    /// proxy is attached. This is what a fault-injected `SIGPIPE` /
+    /// proxy wedge looks like from the application side.
+    pub fn break_pipe(&mut self) {
+        self.pipe_broken = true;
+    }
+
+    /// `true` once the pipe has been severed by fault injection.
+    pub fn pipe_broken(&self) -> bool {
+        self.pipe_broken
     }
 
     /// Detach (e.g. the proxy is being killed for checkpointing under
@@ -213,6 +232,7 @@ impl ChecLib {
             stats: CheclStats::default(),
             call_histogram: std::collections::BTreeMap::new(),
             proxy: None,
+            pipe_broken: false,
         })
     }
 
@@ -223,6 +243,9 @@ impl ChecLib {
     /// Ship one request to the proxy and return its response, paying
     /// the IPC costs on both legs.
     pub(crate) fn forward(&mut self, now: &mut SimTime, req: ApiRequest) -> ClResult<ApiResponse> {
+        if self.pipe_broken {
+            return Err(ClError::DeviceNotAvailable);
+        }
         let link = self.proxy.as_mut().ok_or(ClError::DeviceNotAvailable)?;
         // Single bookkeeping site for the per-entry-point histogram:
         // the in-process map is always on, and the same increment is

@@ -388,6 +388,11 @@ impl Driver {
             *now += self.cfg.init_cost;
             self.initialized = true;
         }
+        // A platform with no devices is not enumerable — the ICD
+        // behaves as if no implementation were installed at all.
+        if self.devices.is_empty() {
+            return Ok(ApiResponse::Platforms(vec![]));
+        }
         Ok(ApiResponse::Platforms(vec![PlatformId::from_raw(
             self.platform,
         )]))

@@ -115,6 +115,30 @@ pub fn crimson() -> VendorConfig {
     }
 }
 
+/// A degraded host: the OpenCL runtime is installed but enumerates no
+/// platform (no device, no driver module loaded — the §IV restart-
+/// anywhere scenario gone wrong). `clGetPlatformIDs` returns an empty
+/// list, which is what a restore must survive without panicking.
+pub fn headless() -> VendorConfig {
+    VendorConfig {
+        kind: VendorKind::Nimbus,
+        platform: PlatformInfo {
+            name: "Headless OpenCL".into(),
+            vendor: "Nimbus Corporation".into(),
+            version: "OpenCL 1.0 Nimbus 256.40".into(),
+            profile: "FULL_PROFILE".into(),
+        },
+        devices: vec![],
+        compile: CompileModel {
+            base: SimDuration::from_millis(18),
+            per_source_byte: SimDuration::from_nanos(12_000),
+            per_kernel: SimDuration::from_millis(4),
+        },
+        device_file: "/dev/null".into(),
+        init_cost: SimDuration::from_millis(5),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

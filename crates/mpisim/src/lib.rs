@@ -248,6 +248,163 @@ pub fn coordinated_checkpoint<E>(
     Ok(snapshot)
 }
 
+/// A coordinated checkpoint that aborted at one rank's local snapshot.
+/// The partial global snapshot has been rolled back — local snapshots
+/// already on the shared store are deleted — because a global snapshot
+/// missing any rank is unrestartable and worse than none: a restart
+/// chain must not be tempted by it.
+#[derive(Debug)]
+pub struct SnapshotAbort<E> {
+    /// The rank whose local snapshot failed.
+    pub rank: usize,
+    /// The underlying per-rank failure.
+    pub error: E,
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for SnapshotAbort<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "global snapshot aborted at rank {}: {}",
+            self.rank, self.error
+        )
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for SnapshotAbort<E> {}
+
+/// [`coordinated_checkpoint`] with abort/rollback semantics: if any
+/// rank's local snapshot fails (disk fault, NFS outage), the local
+/// snapshots already written under `prefix` are deleted and the whole
+/// attempt reports a [`SnapshotAbort`] naming the failed rank. Either a
+/// complete global snapshot lands or nothing does.
+pub fn coordinated_checkpoint_atomic<E>(
+    cluster: &mut Cluster,
+    world: &MpiWorld,
+    prefix: &str,
+    mut ckpt_rank: impl FnMut(&mut Cluster, Pid, &str) -> Result<ByteSize, E>,
+) -> Result<GlobalSnapshot, SnapshotAbort<E>> {
+    world.barrier(cluster);
+    let start = world.max_clock(cluster);
+    if telemetry::enabled() {
+        let _cluster_track = telemetry::track_scope(telemetry::Track::CLUSTER);
+        telemetry::span_begin(
+            "mpi",
+            "mpi.global_snapshot",
+            start,
+            vec![
+                ("ranks", (world.size() as u64).into()),
+                ("prefix", prefix.into()),
+            ],
+        );
+    }
+    let mut files = Vec::with_capacity(world.size());
+    let mut sizes = Vec::with_capacity(world.size());
+    let mut server_free = start;
+    for rank in 0..world.size() {
+        let pid = world.rank_pid(rank);
+        {
+            let p = cluster.process_mut(pid);
+            p.clock = p.clock.max(server_free);
+        }
+        let path = format!("{prefix}.rank{rank}.ckpt");
+        match ckpt_rank(cluster, pid, &path) {
+            Ok(size) => {
+                server_free = cluster.process(pid).clock;
+                files.push(path);
+                sizes.push(size);
+            }
+            Err(error) => {
+                server_free = cluster.process(pid).clock.max(server_free);
+                // Roll back the ranks that did land. Deletion may itself
+                // fail mid-outage; a leftover local snapshot under a
+                // rank-file name is harmless without its siblings.
+                for (r, f) in files.iter().enumerate() {
+                    let _ = cluster.delete_file(world.rank_pid(r), f);
+                }
+                if telemetry::enabled() {
+                    let _cluster_track = telemetry::track_scope(telemetry::Track::CLUSTER);
+                    telemetry::instant(
+                        telemetry::RECOVERY_CATEGORY,
+                        "recovery.snapshot_abort",
+                        server_free,
+                        vec![
+                            ("rank", (rank as u64).into()),
+                            ("rolled_back", (files.len() as u64).into()),
+                        ],
+                    );
+                    telemetry::span_end(
+                        "mpi",
+                        "mpi.global_snapshot",
+                        server_free,
+                        vec![("aborted_rank", (rank as u64).into())],
+                    );
+                    telemetry::counter_add("recovery.snapshot_aborts", 1);
+                }
+                return Err(SnapshotAbort { rank, error });
+            }
+        }
+    }
+    let snapshot = GlobalSnapshot {
+        files,
+        sizes,
+        elapsed: server_free.since(start),
+    };
+    if telemetry::enabled() {
+        let _cluster_track = telemetry::track_scope(telemetry::Track::CLUSTER);
+        telemetry::span_end(
+            "mpi",
+            "mpi.global_snapshot",
+            server_free,
+            vec![
+                ("elapsed_ns", snapshot.elapsed.into()),
+                ("total_bytes", snapshot.total_size().as_u64().into()),
+            ],
+        );
+        telemetry::counter_add("mpi.global_snapshots", 1);
+    }
+    Ok(snapshot)
+}
+
+/// Retry [`coordinated_checkpoint_atomic`] up to `max_attempts` times
+/// with doubling virtual-time backoff charged to every rank — the
+/// job-level answer to a transient storage fault (an NFS outage window
+/// ends, the retry lands).
+pub fn coordinated_checkpoint_with_retry<E>(
+    cluster: &mut Cluster,
+    world: &MpiWorld,
+    prefix: &str,
+    max_attempts: u32,
+    backoff: SimDuration,
+    mut ckpt_rank: impl FnMut(&mut Cluster, Pid, &str) -> Result<ByteSize, E>,
+) -> Result<GlobalSnapshot, SnapshotAbort<E>> {
+    assert!(max_attempts >= 1, "need at least one attempt");
+    let mut last: Option<SnapshotAbort<E>> = None;
+    for attempt in 0..max_attempts {
+        if attempt > 0 {
+            let wait = backoff * (1u64 << (attempt - 1).min(16));
+            for &p in world.pids() {
+                cluster.process_mut(p).clock += wait;
+            }
+            if telemetry::enabled() {
+                let _cluster_track = telemetry::track_scope(telemetry::Track::CLUSTER);
+                telemetry::instant(
+                    telemetry::RECOVERY_CATEGORY,
+                    "recovery.snapshot_retry",
+                    world.max_clock(cluster),
+                    vec![("attempt", (u64::from(attempt) + 1).into())],
+                );
+                telemetry::counter_add("recovery.actions", 1);
+            }
+        }
+        match coordinated_checkpoint_atomic(cluster, world, prefix, &mut ckpt_rank) {
+            Ok(snapshot) => return Ok(snapshot),
+            Err(abort) => last = Some(abort),
+        }
+    }
+    Err(last.expect("loop ran at least once"))
+}
+
 /// Restart every rank of a failed job from a global snapshot,
 /// round-robin across `nodes`, returning the new world.
 ///
@@ -372,6 +529,67 @@ mod tests {
             );
             assert_eq!(cluster.process(p).node, nodes[0]);
         }
+    }
+
+    #[test]
+    fn aborted_snapshot_rolls_back_earlier_ranks() {
+        let (mut cluster, world) = cluster_and_world(2, 3);
+        // Rank 1's local snapshot fails; ranks write in rank order, so
+        // rank 0's file is already on the shared store by then.
+        cluster.install_faults(
+            osproc::FaultPlan::new(21)
+                .fail_next_writes(u32::MAX)
+                .only_paths_containing(".rank1."),
+        );
+        let abort =
+            coordinated_checkpoint_atomic(&mut cluster, &world, "/nfs/job", |c, p, path| {
+                blcr::checkpoint(c, p, path)
+            })
+            .unwrap_err();
+        assert_eq!(abort.rank, 1);
+        // Rank 0's partial contribution must be gone.
+        let node0 = cluster.process(world.rank_pid(0)).node;
+        assert_eq!(cluster.file_size_on(node0, "/nfs/job.rank0.ckpt"), None);
+    }
+
+    #[test]
+    fn snapshot_retry_survives_transient_faults() {
+        let (mut cluster, world) = cluster_and_world(2, 2);
+        // Exactly one write fails: the first attempt aborts at rank 0,
+        // the retry lands a complete global snapshot.
+        cluster.install_faults(osproc::FaultPlan::new(22).fail_next_writes(1));
+        let t0 = world.max_clock(&cluster);
+        let snap = coordinated_checkpoint_with_retry(
+            &mut cluster,
+            &world,
+            "/nfs/job",
+            3,
+            SimDuration::from_millis(50),
+            blcr::checkpoint,
+        )
+        .unwrap();
+        assert_eq!(snap.files.len(), 2);
+        // The retry's backoff shows up as virtual time.
+        assert!(world.max_clock(&cluster).since(t0) > SimDuration::from_millis(50));
+        // And the snapshot restarts.
+        let node0 = cluster.node_ids()[0];
+        blcr::restart(&mut cluster, node0, &snap.files[1]).unwrap();
+    }
+
+    #[test]
+    fn snapshot_retry_gives_up_after_max_attempts() {
+        let (mut cluster, world) = cluster_and_world(1, 2);
+        cluster.install_faults(osproc::FaultPlan::new(23).fail_next_writes(u32::MAX));
+        let abort = coordinated_checkpoint_with_retry(
+            &mut cluster,
+            &world,
+            "/nfs/job",
+            2,
+            SimDuration::from_millis(10),
+            blcr::checkpoint,
+        )
+        .unwrap_err();
+        assert_eq!(abort.rank, 0);
     }
 
     #[test]

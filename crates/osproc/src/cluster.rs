@@ -1,5 +1,6 @@
 //! The cluster: nodes, mounted filesystems, and the process table.
 
+use crate::fault::{FaultPlan, WriteFault};
 use crate::fs::{Fs, FsError, FsKind};
 use crate::ids::{FsId, NodeId, Pid};
 use crate::process::{ProcState, Process, Signal};
@@ -40,6 +41,9 @@ pub struct Cluster {
     filesystems: Vec<Fs>,
     processes: BTreeMap<Pid, Process>,
     next_pid: u32,
+    /// Installed fault schedule, if any. `None` (the default) means the
+    /// fault hooks are never consulted — zero cost when off.
+    faults: Option<FaultPlan>,
 }
 
 impl Cluster {
@@ -202,6 +206,42 @@ impl Cluster {
         }
     }
 
+    /// Install a fault schedule. Filesystem, node and process faults
+    /// fire from here on; pass the plan built with
+    /// [`FaultPlan`](crate::FaultPlan) combinators.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any (to inspect its log).
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Mutable access to the installed fault plan (the session layer
+    /// polls process-fault schedules through this).
+    pub fn faults_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.faults.as_mut()
+    }
+
+    /// Remove and return the installed fault plan.
+    pub fn take_faults(&mut self) -> Option<FaultPlan> {
+        self.faults.take()
+    }
+
+    /// Deliver node crashes scheduled at or before `now`, killing every
+    /// process on the crashed nodes. Returns the nodes that failed.
+    pub fn poll_faults(&mut self, now: SimTime) -> Vec<NodeId> {
+        let due = match self.faults.as_mut() {
+            Some(plan) => plan.due_node_crashes(now),
+            None => return Vec::new(),
+        };
+        for node in &due {
+            self.fail_node(*node);
+        }
+        due
+    }
+
     /// Write a file at an absolute path as seen by `pid`, charging that
     /// process's clock. Returns the I/O cost.
     pub fn write_file(
@@ -211,6 +251,27 @@ impl Cluster {
         data: Vec<u8>,
     ) -> Result<SimDuration, FsError> {
         let (fs_id, rel, mut clock) = self.resolve_for(pid, path)?;
+        let mut data = data;
+        if let Some(plan) = self.faults.as_mut() {
+            let kind = self.filesystems[fs_id.0 as usize].kind();
+            match plan.on_write(kind, path, clock, data.len()) {
+                WriteFault::None => {}
+                WriteFault::Fail => {
+                    // A failed write still pays the submission latency.
+                    clock += kind.write_link().cost_empty();
+                    self.process_mut(pid).clock = clock;
+                    return Err(FsError::WriteFailed(path.to_string()));
+                }
+                WriteFault::Short(n) => data.truncate(n),
+                WriteFault::Corrupt(flips) => {
+                    for (pos, mask) in flips {
+                        if let Some(b) = data.get_mut(pos) {
+                            *b ^= mask;
+                        }
+                    }
+                }
+            }
+        }
         let cost = self.filesystems[fs_id.0 as usize].write(&mut clock, &rel, data);
         self.process_mut(pid).clock = clock;
         Ok(cost)
@@ -219,9 +280,35 @@ impl Cluster {
     /// Read a file at an absolute path as seen by `pid`.
     pub fn read_file(&mut self, pid: Pid, path: &str) -> Result<Vec<u8>, FsError> {
         let (fs_id, rel, mut clock) = self.resolve_for(pid, path)?;
+        if let Some(plan) = self.faults.as_mut() {
+            let kind = self.filesystems[fs_id.0 as usize].kind();
+            if plan.on_read(kind, path, clock) {
+                clock += kind.read_link().cost_empty();
+                self.process_mut(pid).clock = clock;
+                return Err(FsError::Unavailable(path.to_string()));
+            }
+        }
         let data = self.filesystems[fs_id.0 as usize].read(&mut clock, &rel)?;
         self.process_mut(pid).clock = clock;
         Ok(data)
+    }
+
+    /// Rename a file as seen by `pid`. Within one mount this is the
+    /// cheap atomic commit; across mounts it degrades to copy + delete,
+    /// paying full I/O costs. Rename itself is never fault-injected —
+    /// it models POSIX `rename(2)`, which is atomic.
+    pub fn rename_file(&mut self, pid: Pid, from: &str, to: &str) -> Result<(), FsError> {
+        let (from_fs, from_rel, mut clock) = self.resolve_for(pid, from)?;
+        let (to_fs, to_rel, _) = self.resolve_for(pid, to)?;
+        if from_fs == to_fs {
+            self.filesystems[from_fs.0 as usize].rename(&mut clock, &from_rel, &to_rel)?;
+        } else {
+            let data = self.filesystems[from_fs.0 as usize].read(&mut clock, &from_rel)?;
+            self.filesystems[to_fs.0 as usize].write(&mut clock, &to_rel, data);
+            self.filesystems[from_fs.0 as usize].delete(&mut clock, &from_rel)?;
+        }
+        self.process_mut(pid).clock = clock;
+        Ok(())
     }
 
     /// Delete a file at an absolute path as seen by `pid`.
@@ -369,6 +456,72 @@ mod tests {
         // Local disk contents survive the crash for post-mortem restart.
         let p2 = c.spawn(nodes[0]);
         assert_eq!(c.read_file(p2, "/local/survives").unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn injected_write_failure_stores_nothing() {
+        let mut c = Cluster::with_standard_nodes(1);
+        let n = c.node_ids()[0];
+        let p = c.spawn(n);
+        c.install_faults(FaultPlan::new(1).fail_next_writes(1));
+        let before = c.process(p).clock;
+        assert!(matches!(
+            c.write_file(p, "/local/f", vec![1, 2, 3]),
+            Err(FsError::WriteFailed(_))
+        ));
+        // The failed attempt still cost time, but stored nothing.
+        assert!(c.process(p).clock > before);
+        assert!(matches!(
+            c.read_file(p, "/local/f"),
+            Err(FsError::NotFound(_))
+        ));
+        // The counter is spent; the retry goes through.
+        c.write_file(p, "/local/f", vec![1, 2, 3]).unwrap();
+        assert_eq!(c.read_file(p, "/local/f").unwrap(), vec![1, 2, 3]);
+        assert_eq!(c.faults().unwrap().log().len(), 1);
+    }
+
+    #[test]
+    fn injected_corruption_mangles_stored_bytes() {
+        let mut c = Cluster::with_standard_nodes(1);
+        let n = c.node_ids()[0];
+        let p = c.spawn(n);
+        c.install_faults(FaultPlan::new(2).corrupt_next_writes(1));
+        let data = vec![0u8; 64];
+        c.write_file(p, "/ram/f", data.clone()).unwrap();
+        assert_ne!(c.read_file(p, "/ram/f").unwrap(), data);
+    }
+
+    #[test]
+    fn scheduled_node_crash_fires_via_poll() {
+        let mut c = Cluster::with_standard_nodes(2);
+        let nodes = c.node_ids();
+        let victim = c.spawn(nodes[0]);
+        let other = c.spawn(nodes[1]);
+        let at = SimTime::ZERO + SimDuration::from_secs(1);
+        c.install_faults(FaultPlan::new(3).schedule_node_crash(at, nodes[0]));
+        assert!(c.poll_faults(SimTime::ZERO).is_empty());
+        assert!(c.process(victim).is_alive());
+        assert_eq!(c.poll_faults(at), vec![nodes[0]]);
+        assert!(!c.process(victim).is_alive());
+        assert!(c.process(other).is_alive());
+        // One-shot: already delivered.
+        assert!(c.poll_faults(at + SimDuration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn rename_commits_within_a_mount() {
+        let mut c = Cluster::with_standard_nodes(1);
+        let n = c.node_ids()[0];
+        let p = c.spawn(n);
+        c.write_file(p, "/local/ck.tmp", vec![9]).unwrap();
+        c.rename_file(p, "/local/ck.tmp", "/local/ck").unwrap();
+        assert_eq!(c.read_file(p, "/local/ck").unwrap(), vec![9]);
+        assert!(c.read_file(p, "/local/ck.tmp").is_err());
+        // Cross-mount rename degrades to copy + delete.
+        c.rename_file(p, "/local/ck", "/ram/ck").unwrap();
+        assert_eq!(c.read_file(p, "/ram/ck").unwrap(), vec![9]);
+        assert!(c.read_file(p, "/local/ck").is_err());
     }
 
     #[test]

@@ -1,0 +1,504 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded, virtual-time-scheduled fault schedule
+//! installed on a [`Cluster`](crate::Cluster). It can fail or mangle
+//! filesystem writes (outright failure, short write, bit-flip
+//! corruption), make the NFS mount unavailable for a window of virtual
+//! time, crash whole nodes at scheduled instants, and deliver
+//! process-level faults (API-proxy death, pipe breakage) that the
+//! CheCL runtime polls for.
+//!
+//! Everything is driven either by explicit schedules (virtual-time
+//! instants, one-shot counters) or by a [`SplitMix64`] stream seeded at
+//! construction, so a plan replays bit-for-bit: the same seed over the
+//! same workload injects the same faults at the same virtual times.
+//! When no plan is installed the hooks are never consulted — fault
+//! support is zero-cost when off.
+//!
+//! Every injected fault is appended to [`FaultPlan::log`] and, when a
+//! telemetry sink is installed, emitted as an instant event in the
+//! [`telemetry::FAULT_CATEGORY`] category named `fault.<class>`.
+
+use crate::fs::FsKind;
+use crate::ids::NodeId;
+use simcore::{telemetry, SimTime, SplitMix64};
+
+/// The classes of fault the plan can inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A filesystem write returns an error; nothing is stored.
+    DiskWriteFail,
+    /// A filesystem write silently stores a prefix of the data.
+    ShortWrite,
+    /// A filesystem write silently stores bit-flipped data.
+    CorruptWrite,
+    /// The NFS mount rejects reads and writes during a window.
+    NfsOutage,
+    /// A whole node fails; its processes die, local files survive.
+    NodeCrash,
+    /// The app↔proxy pipe breaks; calls fail until a respawn.
+    PipeBreak,
+    /// The API proxy process dies.
+    ProxyDeath,
+}
+
+impl FaultKind {
+    /// Stable lower-case name used in telemetry and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::DiskWriteFail => "disk_write_fail",
+            FaultKind::ShortWrite => "short_write",
+            FaultKind::CorruptWrite => "corrupt_write",
+            FaultKind::NfsOutage => "nfs_outage",
+            FaultKind::NodeCrash => "node_crash",
+            FaultKind::PipeBreak => "pipe_break",
+            FaultKind::ProxyDeath => "proxy_death",
+        }
+    }
+}
+
+/// One fault that actually fired.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// What fired.
+    pub kind: FaultKind,
+    /// Virtual time of injection.
+    pub at: SimTime,
+    /// Human-readable context (path, node, …).
+    pub detail: String,
+}
+
+/// What the plan decided about one filesystem write.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Proceed untouched.
+    None,
+    /// Fail the write; store nothing.
+    Fail,
+    /// Store only the first `n` bytes, reporting success.
+    Short(usize),
+    /// XOR the given `(offset, mask)` flips into the data, reporting
+    /// success.
+    Corrupt(Vec<(usize, u8)>),
+}
+
+/// A seeded, deterministic fault schedule. Build with the `with_*` /
+/// `schedule_*` combinators, then install via
+/// [`Cluster::install_faults`](crate::Cluster::install_faults).
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rng: SplitMix64,
+    /// Probability each eligible write fails outright.
+    write_fail_prob: f64,
+    /// Probability each eligible write is stored short.
+    short_write_prob: f64,
+    /// Probability each eligible write is stored corrupted.
+    corrupt_write_prob: f64,
+    /// One-shot counters: the next N eligible writes fail / go short /
+    /// corrupt. Checked before any probabilistic draw so tests can
+    /// script exact fault sequences.
+    fail_next_writes: u32,
+    short_next_writes: u32,
+    corrupt_next_writes: u32,
+    /// When set, write faults only hit paths containing this substring
+    /// (e.g. `".ckpt"` to target checkpoint files only).
+    path_filter: Option<String>,
+    /// When set, corruption bit flips land within the first N bytes of
+    /// the data (the header / live-frame region of a checkpoint file);
+    /// unset means uniform over the whole write.
+    corrupt_prefix: Option<usize>,
+    /// Half-open `[from, until)` windows during which NFS is down.
+    nfs_outages: Vec<(SimTime, SimTime)>,
+    /// Scheduled node crashes, delivered by `Cluster::poll_faults`.
+    node_crashes: Vec<(SimTime, NodeId)>,
+    /// Scheduled proxy deaths, polled by the CheCL session layer.
+    proxy_deaths: Vec<SimTime>,
+    /// Scheduled pipe breaks, polled by the CheCL session layer.
+    pipe_breaks: Vec<SimTime>,
+    log: Vec<InjectedFault>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing until combinators arm it.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rng: SplitMix64::new(seed),
+            write_fail_prob: 0.0,
+            short_write_prob: 0.0,
+            corrupt_write_prob: 0.0,
+            fail_next_writes: 0,
+            short_next_writes: 0,
+            corrupt_next_writes: 0,
+            path_filter: None,
+            corrupt_prefix: None,
+            nfs_outages: Vec::new(),
+            node_crashes: Vec::new(),
+            proxy_deaths: Vec::new(),
+            pipe_breaks: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Seed the plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Each eligible write fails with probability `p`.
+    pub fn with_write_fail_prob(mut self, p: f64) -> Self {
+        self.write_fail_prob = p;
+        self
+    }
+
+    /// Each eligible write is stored short with probability `p`.
+    pub fn with_short_write_prob(mut self, p: f64) -> Self {
+        self.short_write_prob = p;
+        self
+    }
+
+    /// Each eligible write is stored corrupted with probability `p`.
+    pub fn with_corrupt_write_prob(mut self, p: f64) -> Self {
+        self.corrupt_write_prob = p;
+        self
+    }
+
+    /// The next `n` eligible writes fail outright.
+    pub fn fail_next_writes(mut self, n: u32) -> Self {
+        self.fail_next_writes = n;
+        self
+    }
+
+    /// The next `n` eligible writes are stored short.
+    pub fn short_next_writes(mut self, n: u32) -> Self {
+        self.short_next_writes = n;
+        self
+    }
+
+    /// The next `n` eligible writes are stored corrupted.
+    pub fn corrupt_next_writes(mut self, n: u32) -> Self {
+        self.corrupt_next_writes = n;
+        self
+    }
+
+    /// Restrict write faults to paths containing `substr`.
+    pub fn only_paths_containing(mut self, substr: &str) -> Self {
+        self.path_filter = Some(substr.to_string());
+        self
+    }
+
+    /// Land corruption bit flips within the first `n` bytes of each
+    /// write — the header / frame region of a checkpoint file, whose
+    /// damage the frame checksum is guaranteed to notice. Without this
+    /// the flips are uniform over the write (and may hit bytes only a
+    /// byte-exact read-back verification can vouch for).
+    pub fn corrupt_in_prefix(mut self, n: usize) -> Self {
+        self.corrupt_prefix = Some(n);
+        self
+    }
+
+    /// NFS is unavailable during `[from, until)`.
+    pub fn schedule_nfs_outage(mut self, from: SimTime, until: SimTime) -> Self {
+        self.nfs_outages.push((from, until));
+        self
+    }
+
+    /// Crash `node` at virtual time `at` (delivered by
+    /// [`Cluster::poll_faults`](crate::Cluster::poll_faults)).
+    pub fn schedule_node_crash(mut self, at: SimTime, node: NodeId) -> Self {
+        self.node_crashes.push((at, node));
+        self
+    }
+
+    /// Kill the API proxy at virtual time `at` (polled by the session
+    /// layer via [`FaultPlan::proxy_death_due`]).
+    pub fn schedule_proxy_death(mut self, at: SimTime) -> Self {
+        self.proxy_deaths.push(at);
+        self
+    }
+
+    /// Break the app↔proxy pipe at virtual time `at`.
+    pub fn schedule_pipe_break(mut self, at: SimTime) -> Self {
+        self.pipe_breaks.push(at);
+        self
+    }
+
+    /// Everything injected so far, in injection order.
+    pub fn log(&self) -> &[InjectedFault] {
+        &self.log
+    }
+
+    /// How many faults of `kind` have fired.
+    pub fn count(&self, kind: FaultKind) -> usize {
+        self.log.iter().filter(|f| f.kind == kind).count()
+    }
+
+    /// `true` while scheduled (non-probabilistic) faults remain armed.
+    pub fn has_pending(&self) -> bool {
+        self.fail_next_writes > 0
+            || self.short_next_writes > 0
+            || self.corrupt_next_writes > 0
+            || !self.node_crashes.is_empty()
+            || !self.proxy_deaths.is_empty()
+            || !self.pipe_breaks.is_empty()
+    }
+
+    fn record(&mut self, kind: FaultKind, at: SimTime, detail: String) {
+        if telemetry::enabled() {
+            telemetry::instant(
+                telemetry::FAULT_CATEGORY,
+                &format!("fault.{}", kind.name()),
+                at,
+                vec![("detail", detail.as_str().into())],
+            );
+            telemetry::counter_add("faults.injected", 1);
+        }
+        self.log.push(InjectedFault { kind, at, detail });
+    }
+
+    fn path_matches(&self, path: &str) -> bool {
+        match &self.path_filter {
+            Some(s) => path.contains(s.as_str()),
+            None => true,
+        }
+    }
+
+    fn in_nfs_outage(&self, now: SimTime) -> bool {
+        self.nfs_outages
+            .iter()
+            .any(|(from, until)| now >= *from && now < *until)
+    }
+
+    /// Decide the fate of a write of `len` bytes to `path` on a mount
+    /// of kind `fs`. Called by `Cluster::write_file`.
+    pub fn on_write(&mut self, fs: FsKind, path: &str, now: SimTime, len: usize) -> WriteFault {
+        if fs == FsKind::Nfs && self.in_nfs_outage(now) {
+            self.record(FaultKind::NfsOutage, now, format!("write {path}"));
+            return WriteFault::Fail;
+        }
+        if !self.path_matches(path) {
+            return WriteFault::None;
+        }
+        if self.fail_next_writes > 0 {
+            self.fail_next_writes -= 1;
+            self.record(FaultKind::DiskWriteFail, now, path.to_string());
+            return WriteFault::Fail;
+        }
+        if self.short_next_writes > 0 && len > 0 {
+            self.short_next_writes -= 1;
+            let kept = self.rng.next_below(len as u64) as usize;
+            self.record(
+                FaultKind::ShortWrite,
+                now,
+                format!("{path}: {kept}/{len} bytes"),
+            );
+            return WriteFault::Short(kept);
+        }
+        if self.corrupt_next_writes > 0 && len > 0 {
+            self.corrupt_next_writes -= 1;
+            return self.corrupt(path, now, len);
+        }
+        if self.write_fail_prob > 0.0 && self.rng.next_f64() < self.write_fail_prob {
+            self.record(FaultKind::DiskWriteFail, now, path.to_string());
+            return WriteFault::Fail;
+        }
+        if self.short_write_prob > 0.0 && len > 0 && self.rng.next_f64() < self.short_write_prob {
+            let kept = self.rng.next_below(len as u64) as usize;
+            self.record(
+                FaultKind::ShortWrite,
+                now,
+                format!("{path}: {kept}/{len} bytes"),
+            );
+            return WriteFault::Short(kept);
+        }
+        if self.corrupt_write_prob > 0.0 && len > 0 && self.rng.next_f64() < self.corrupt_write_prob
+        {
+            return self.corrupt(path, now, len);
+        }
+        WriteFault::None
+    }
+
+    fn corrupt(&mut self, path: &str, now: SimTime, len: usize) -> WriteFault {
+        let span = self
+            .corrupt_prefix
+            .map(|p| p.min(len))
+            .unwrap_or(len)
+            .max(1);
+        let n = 1 + self.rng.next_below(3) as usize;
+        let flips: Vec<(usize, u8)> = (0..n)
+            .map(|_| {
+                let pos = self.rng.next_below(span as u64) as usize;
+                let mask = 1u8 << self.rng.next_below(8);
+                (pos, mask)
+            })
+            .collect();
+        self.record(
+            FaultKind::CorruptWrite,
+            now,
+            format!("{path}: {} bit flip(s)", flips.len()),
+        );
+        WriteFault::Corrupt(flips)
+    }
+
+    /// `true` if a read from a mount of kind `fs` must fail right now
+    /// (NFS outage window). Called by `Cluster::read_file`.
+    pub fn on_read(&mut self, fs: FsKind, path: &str, now: SimTime) -> bool {
+        if fs == FsKind::Nfs && self.in_nfs_outage(now) {
+            self.record(FaultKind::NfsOutage, now, format!("read {path}"));
+            return true;
+        }
+        false
+    }
+
+    /// Drain node crashes scheduled at or before `now`.
+    pub fn due_node_crashes(&mut self, now: SimTime) -> Vec<NodeId> {
+        let mut due = Vec::new();
+        let mut remaining = Vec::new();
+        for (at, node) in std::mem::take(&mut self.node_crashes) {
+            if at <= now {
+                due.push((at, node));
+            } else {
+                remaining.push((at, node));
+            }
+        }
+        self.node_crashes = remaining;
+        due.iter().for_each(|(at, node)| {
+            self.record(FaultKind::NodeCrash, *at, format!("node {node:?}"))
+        });
+        due.into_iter().map(|(_, node)| node).collect()
+    }
+
+    /// `true` if a proxy death scheduled at or before `now` is due
+    /// (consumes it).
+    pub fn proxy_death_due(&mut self, now: SimTime) -> bool {
+        self.take_due(now, FaultKind::ProxyDeath)
+    }
+
+    /// `true` if a pipe break scheduled at or before `now` is due
+    /// (consumes it).
+    pub fn pipe_break_due(&mut self, now: SimTime) -> bool {
+        self.take_due(now, FaultKind::PipeBreak)
+    }
+
+    fn take_due(&mut self, now: SimTime, kind: FaultKind) -> bool {
+        let list = match kind {
+            FaultKind::ProxyDeath => &mut self.proxy_deaths,
+            FaultKind::PipeBreak => &mut self.pipe_breaks,
+            _ => unreachable!("take_due only handles process faults"),
+        };
+        if let Some(i) = list.iter().position(|at| *at <= now) {
+            let at = list.remove(i);
+            self.record(kind, at, String::new());
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + simcore::SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn scripted_counters_fire_in_order() {
+        let mut plan = FaultPlan::new(1).fail_next_writes(1).short_next_writes(1);
+        assert_eq!(
+            plan.on_write(FsKind::LocalDisk, "/local/a", t(0), 100),
+            WriteFault::Fail
+        );
+        match plan.on_write(FsKind::LocalDisk, "/local/a", t(1), 100) {
+            WriteFault::Short(n) => assert!(n < 100),
+            other => panic!("expected short write, got {other:?}"),
+        }
+        assert_eq!(
+            plan.on_write(FsKind::LocalDisk, "/local/a", t(2), 100),
+            WriteFault::None
+        );
+        assert_eq!(plan.count(FaultKind::DiskWriteFail), 1);
+        assert_eq!(plan.count(FaultKind::ShortWrite), 1);
+        assert!(!plan.has_pending());
+    }
+
+    #[test]
+    fn path_filter_scopes_faults() {
+        let mut plan = FaultPlan::new(2)
+            .fail_next_writes(1)
+            .only_paths_containing(".ckpt");
+        assert_eq!(
+            plan.on_write(FsKind::LocalDisk, "/local/data.bin", t(0), 10),
+            WriteFault::None
+        );
+        assert_eq!(
+            plan.on_write(FsKind::LocalDisk, "/local/app.ckpt", t(0), 10),
+            WriteFault::Fail
+        );
+    }
+
+    #[test]
+    fn nfs_outage_window_blocks_reads_and_writes() {
+        let mut plan = FaultPlan::new(3).schedule_nfs_outage(t(10), t(20));
+        assert_eq!(
+            plan.on_write(FsKind::Nfs, "/nfs/a", t(5), 10),
+            WriteFault::None
+        );
+        assert_eq!(
+            plan.on_write(FsKind::Nfs, "/nfs/a", t(15), 10),
+            WriteFault::Fail
+        );
+        assert!(plan.on_read(FsKind::Nfs, "/nfs/a", t(19)));
+        assert!(!plan.on_read(FsKind::Nfs, "/nfs/a", t(20)));
+        // Local disks ride out the outage.
+        assert_eq!(
+            plan.on_write(FsKind::LocalDisk, "/local/a", t(15), 10),
+            WriteFault::None
+        );
+        assert_eq!(plan.count(FaultKind::NfsOutage), 2);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let run = |seed| {
+            let mut plan = FaultPlan::new(seed).with_write_fail_prob(0.3);
+            (0..64)
+                .map(|i| plan.on_write(FsKind::LocalDisk, "/local/x", t(i), 8) == WriteFault::Fail)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn scheduled_process_faults_are_consumed_once() {
+        let mut plan = FaultPlan::new(4)
+            .schedule_proxy_death(t(10))
+            .schedule_pipe_break(t(30));
+        assert!(!plan.proxy_death_due(t(5)));
+        assert!(plan.proxy_death_due(t(10)));
+        assert!(!plan.proxy_death_due(t(11)));
+        assert!(!plan.pipe_break_due(t(29)));
+        assert!(plan.pipe_break_due(t(31)));
+        assert!(!plan.pipe_break_due(t(32)));
+        assert_eq!(plan.log().len(), 2);
+    }
+
+    #[test]
+    fn corrupt_flips_are_in_bounds() {
+        let mut plan = FaultPlan::new(5).corrupt_next_writes(1);
+        match plan.on_write(FsKind::RamDisk, "/ram/a", t(0), 16) {
+            WriteFault::Corrupt(flips) => {
+                assert!(!flips.is_empty() && flips.len() <= 3);
+                for (pos, mask) in flips {
+                    assert!(pos < 16);
+                    assert_eq!(mask.count_ones(), 1);
+                }
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+}

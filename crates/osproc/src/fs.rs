@@ -51,12 +51,18 @@ impl FsKind {
 pub enum FsError {
     /// Path does not exist.
     NotFound(String),
+    /// A write failed (injected disk fault); nothing was stored.
+    WriteFailed(String),
+    /// The mount is temporarily unreachable (injected NFS outage).
+    Unavailable(String),
 }
 
 impl fmt::Display for FsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FsError::NotFound(p) => write!(f, "no such file: {p}"),
+            FsError::WriteFailed(p) => write!(f, "write failed: {p}"),
+            FsError::Unavailable(p) => write!(f, "filesystem unavailable: {p}"),
         }
     }
 }
@@ -146,6 +152,18 @@ impl Fs {
             return Err(FsError::NotFound(path.to_string()));
         }
         *now += SimDuration::from_micros(50);
+        Ok(())
+    }
+
+    /// Rename a file within this filesystem (cheap; metadata only —
+    /// the atomic-commit primitive for write-to-temp checkpointing).
+    pub fn rename(&mut self, now: &mut SimTime, from: &str, to: &str) -> Result<(), FsError> {
+        let data = self
+            .files
+            .remove(from)
+            .ok_or_else(|| FsError::NotFound(from.to_string()))?;
+        *now += SimDuration::from_micros(50);
+        self.files.insert(to.to_string(), data);
         Ok(())
     }
 
@@ -258,5 +276,19 @@ mod tests {
         fs.write(&mut now, "/a", vec![1]);
         fs.delete(&mut now, "/a").unwrap();
         assert!(!fs.exists("/a"));
+    }
+
+    #[test]
+    fn rename_moves_contents() {
+        let mut fs = Fs::new(FsKind::RamDisk, "ram");
+        let mut now = SimTime::ZERO;
+        fs.write(&mut now, "/a.tmp", vec![7, 8]);
+        fs.rename(&mut now, "/a.tmp", "/a").unwrap();
+        assert!(!fs.exists("/a.tmp"));
+        assert_eq!(fs.read(&mut now, "/a").unwrap(), vec![7, 8]);
+        assert!(matches!(
+            fs.rename(&mut now, "/missing", "/b"),
+            Err(FsError::NotFound(_))
+        ));
     }
 }

@@ -17,6 +17,7 @@
 //!   message — the API-proxy forwarding overhead of Fig. 4.
 
 pub mod cluster;
+pub mod fault;
 pub mod fs;
 pub mod ids;
 pub mod memimage;
@@ -24,6 +25,7 @@ pub mod pipe;
 pub mod process;
 
 pub use cluster::{Cluster, Node};
+pub use fault::{FaultKind, FaultPlan, InjectedFault, WriteFault};
 pub use fs::{Fs, FsError, FsKind, FsStats};
 pub use ids::{FsId, NodeId, Pid};
 pub use memimage::MemImage;

@@ -683,6 +683,12 @@ pub const QUIESCE_UNTIL: &str = "checkpoint.write";
 /// Category of application-facing API-call spans, the ones forbidden
 /// inside the quiescent window.
 pub const API_CATEGORY: &str = "api";
+/// Category of injected-fault instants (`osproc`'s fault plan). One
+/// instant per injected fault, named `fault.<class>`.
+pub const FAULT_CATEGORY: &str = "fault";
+/// Category of recovery-action events (retries, fallbacks, verification
+/// failures, proxy respawns, snapshot aborts).
+pub const RECOVERY_CATEGORY: &str = "recovery";
 
 /// Check structural invariants of a recording:
 ///

@@ -25,4 +25,4 @@ pub mod session;
 
 pub use catalog::{all_workloads, workload_by_name, Suite, Workload, WorkloadCfg};
 pub use script::{AppProgram, BufInit, Op, Reg, RunStatus, Script, StopCondition};
-pub use session::{CheclSession, NativeSession, APP_SEGMENT};
+pub use session::{CheclSession, NativeSession, RecoveryRunReport, APP_SEGMENT};

@@ -163,6 +163,19 @@ impl CheclSession {
         checkpoint_checl(&mut self.lib, cluster, self.pid, path)
     }
 
+    /// Checkpoint with the full recovery policy — atomic
+    /// write-to-temp-then-rename, post-write verification, bounded
+    /// retry and target fallback ([`checl::checkpoint_with_recovery`]).
+    pub fn checkpoint_with_recovery(
+        &mut self,
+        cluster: &mut Cluster,
+        targets: &[&str],
+        policy: &blcr::RetryPolicy,
+    ) -> Result<(CheckpointReport, blcr::RecoveryOutcome), CheclCprError> {
+        self.persist_program(cluster);
+        checl::checkpoint_with_recovery(&mut self.lib, cluster, self.pid, targets, policy)
+    }
+
     /// Kill this session's processes (simulating failure or teardown).
     pub fn kill(mut self, cluster: &mut Cluster) {
         checl::boot::kill_proxy(cluster, &mut self.lib);
@@ -290,6 +303,149 @@ impl CheclSession {
             cluster.process_mut(self.pid).clock = now;
             step.map_err(CheclCprError::Cl)?;
         }
+    }
+}
+
+/// What it took to run a program segment under fault injection.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecoveryRunReport {
+    /// How the segment ended.
+    pub status: RunStatus,
+    /// Proxy respawn + object-graph re-creation cycles performed.
+    pub respawns: u32,
+}
+
+impl CheclSession {
+    /// Run until `stop` while surviving API-proxy death and app↔proxy
+    /// pipe breakage.
+    ///
+    /// Scheduled process faults from the cluster's
+    /// [`FaultPlan`](osproc::FaultPlan) are delivered before each op;
+    /// when one strikes (or a step fails with `DeviceNotAvailable`),
+    /// the §III-C restart procedure runs in place: fork a new proxy,
+    /// re-create the object graph from `last_ckpt`, and roll the
+    /// interpreter back to the checkpointed program counter — device
+    /// work since the checkpoint died with the proxy, so re-executing
+    /// from the checkpoint is the only consistent continuation. The
+    /// final buffer contents are bit-exact with an undisturbed run.
+    ///
+    /// `last_ckpt` must name a checkpoint taken with
+    /// [`CheclSession::checkpoint`] (so it carries the program state).
+    /// At most `max_respawns` recoveries are attempted; a fault storm
+    /// beyond that surfaces as `DeviceNotAvailable`.
+    pub fn run_with_recovery(
+        &mut self,
+        cluster: &mut Cluster,
+        stop: StopCondition,
+        last_ckpt: &str,
+        vendor: &VendorConfig,
+        max_respawns: u32,
+    ) -> Result<RecoveryRunReport, CheclCprError> {
+        let mut respawns = 0u32;
+        loop {
+            if self.program.is_done() {
+                return Ok(RecoveryRunReport {
+                    status: RunStatus::Done,
+                    respawns,
+                });
+            }
+            // Deliver scheduled process faults that have come due.
+            let now = cluster.process(self.pid).clock;
+            let (proxy_dies, pipe_breaks) = match cluster.faults_mut() {
+                Some(plan) => (plan.proxy_death_due(now), plan.pipe_break_due(now)),
+                None => (false, false),
+            };
+            if proxy_dies {
+                if let Some(proxy) = self.lib.proxy_pid() {
+                    cluster.kill(proxy);
+                }
+                self.lib.break_pipe();
+            }
+            if pipe_breaks {
+                self.lib.break_pipe();
+            }
+            if self.lib.pipe_broken() || !self.lib.has_proxy() {
+                if respawns >= max_respawns {
+                    return Err(CheclCprError::Cl(
+                        clspec::error::ClError::DeviceNotAvailable,
+                    ));
+                }
+                respawns += 1;
+                self.recover(cluster, last_ckpt, vendor.clone())?;
+                continue;
+            }
+            let mut now = cluster.process(self.pid).clock;
+            let step = {
+                let _track = telemetry::track_scope(telemetry::Track::process(self.pid.0 as u64));
+                self.program.step(&mut self.lib, &mut now)
+            };
+            cluster.process_mut(self.pid).clock = now;
+            match step {
+                Ok(()) => {}
+                Err(clspec::error::ClError::DeviceNotAvailable) => {
+                    // The proxy died under the op (pc not advanced: a
+                    // failed step leaves the interpreter retryable).
+                    if respawns >= max_respawns {
+                        return Err(CheclCprError::Cl(
+                            clspec::error::ClError::DeviceNotAvailable,
+                        ));
+                    }
+                    respawns += 1;
+                    self.recover(cluster, last_ckpt, vendor.clone())?;
+                    continue;
+                }
+                Err(e) => return Err(CheclCprError::Cl(e)),
+            }
+            match stop {
+                StopCondition::Completion => {}
+                StopCondition::AfterKernel(n) => {
+                    if self.program.kernels_launched >= n {
+                        return Ok(RecoveryRunReport {
+                            status: RunStatus::Paused,
+                            respawns,
+                        });
+                    }
+                }
+                StopCondition::AfterOps(n) => {
+                    if self.program.pc >= n {
+                        return Ok(RecoveryRunReport {
+                            status: RunStatus::Paused,
+                            respawns,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// In-place recovery: respawn the proxy, restore the object graph
+    /// from `last_ckpt`, and roll the interpreter back to the program
+    /// state dumped in the same checkpoint.
+    fn recover(
+        &mut self,
+        cluster: &mut Cluster,
+        last_ckpt: &str,
+        vendor: VendorConfig,
+    ) -> Result<(), CheclCprError> {
+        checl::respawn_proxy_and_restore(
+            cluster,
+            &mut self.lib,
+            self.pid,
+            last_ckpt,
+            vendor,
+            RestoreTarget::default(),
+        )?;
+        let bytes = cluster
+            .read_file(self.pid, last_ckpt)
+            .map_err(|e| CheclCprError::Cpr(blcr::CprError::Fs(e)))?;
+        let ck = blcr::CheckpointFile::from_file_bytes(&bytes)
+            .map_err(|e| CheclCprError::Cpr(blcr::CprError::Corrupt(e)))?;
+        let app = ck
+            .image
+            .get(APP_SEGMENT)
+            .ok_or(CheclCprError::MissingState)?;
+        self.program = AppProgram::from_bytes(app).map_err(CheclCprError::BadState)?;
+        Ok(())
     }
 }
 

@@ -32,6 +32,13 @@ cargo run -q --release -p checl-bench --bin fig5_checkpoint -- \
 test -s results/fig5.trace.json
 test -s results/BENCH_fig5_checkpoint.json
 
+echo "==> smoke: fault-injection matrix (fixed seed, diffed against golden)"
+cargo run -q --release -p checl-bench --bin ablation_faults -- \
+    --trace /tmp/faults.trace.json >/dev/null
+# Fault schedules are seeded and virtual-time-driven, so the regenerated
+# JSON must be byte-identical to the committed golden.
+git diff --exit-code -- results/BENCH_ablation_faults.json
+
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> smoke: micro-benches (codec filter)"
     cargo bench -q -p checl-bench -- codec >/dev/null
