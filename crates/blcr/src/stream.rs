@@ -1,0 +1,501 @@
+//! Chunked (streamed) checkpoint files for the pipelined data path.
+//!
+//! The classic [`crate::checkpoint`] serialises the whole process image
+//! in memory and writes it in one shot, so the dump cannot begin until
+//! every device buffer has reached the host. A [`StreamWriter`] instead
+//! appends independently framed, checksummed pieces through
+//! `osproc::fs` as they become available:
+//!
+//! ```text
+//! | len | header frame | len | chunk 0 | len | chunk 1 | … | len | trailer + padding |
+//! ```
+//!
+//! * the **header** carries the process image with buffer payloads
+//!   stripped — it can be written while the first device→host copy is
+//!   still in flight;
+//! * each **chunk** carries one buffer's bytes, tagged with the CheCL
+//!   handle it belongs to, appended in completion order (the writer is
+//!   double-buffered: the chunk being written and the copy in flight
+//!   own separate host buffers);
+//! * the **trailer** seals the stream with the chunk count and a
+//!   checksum over all chunk payloads, followed by the usual
+//!   process-baseline zero padding.
+//!
+//! Every frame reuses the framed+checksummed codec of the sequential
+//! format (distinct magic), so torn or corrupted streams are detected
+//! at parse time. The commit protocol is unchanged from the robust
+//! sequential path: everything is appended to `<target>.tmp` and a
+//! single atomic rename publishes the checkpoint — a fault during any
+//! streamed chunk leaves the previous generation at `target` intact.
+
+use crate::cpr::CprError;
+use osproc::{Cluster, FsError, MemImage, Pid};
+use simcore::codec::{decode_framed, encode_framed, Codec, CodecError, Reader};
+use simcore::{calib, impl_codec_struct, ByteSize, Fnv64, SimDuration};
+
+/// Magic bytes of a streamed-checkpoint frame (the sequential format
+/// uses `BLCR`; the first frame's magic is what tells the two apart).
+pub const STREAM_MAGIC: [u8; 4] = *b"BLCS";
+/// Streamed format version.
+pub const STREAM_VERSION: u32 = 1;
+
+/// First frame of a stream: everything the sequential
+/// [`crate::CheckpointFile`] holds, minus the buffer payloads that
+/// follow as chunks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamHeader {
+    /// Pid the dump was taken from (diagnostic only).
+    pub source_pid: u32,
+    /// Hostname of the source node (diagnostic only).
+    pub source_host: String,
+    /// The dumped host memory, with streamed buffer data stripped.
+    pub image: MemImage,
+}
+
+impl_codec_struct!(StreamHeader {
+    source_pid,
+    source_host,
+    image
+});
+
+/// One buffer's bytes, streamed as soon as its device→host copy lands.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamChunk {
+    /// Position in the stream (0-based, write order).
+    pub seq: u32,
+    /// Opaque owner tag — CheCL stores the buffer's CheCL handle here
+    /// so restore knows which object the bytes belong to.
+    pub handle: u64,
+    /// The buffer contents.
+    pub data: Vec<u8>,
+}
+
+impl_codec_struct!(StreamChunk { seq, handle, data });
+
+/// Final frame sealing the stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamTrailer {
+    /// Number of chunk frames that must precede this trailer.
+    pub chunks: u32,
+    /// Total chunk payload bytes.
+    pub data_bytes: u64,
+    /// FNV-64 over every chunk payload, in stream order.
+    pub data_checksum: u64,
+}
+
+impl_codec_struct!(StreamTrailer {
+    chunks,
+    data_bytes,
+    data_checksum
+});
+
+/// The three frame kinds, as stored on disk.
+#[derive(Clone, Debug, PartialEq)]
+enum StreamFrame {
+    Header(StreamHeader),
+    Chunk(StreamChunk),
+    Trailer(StreamTrailer),
+}
+
+impl Codec for StreamFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            StreamFrame::Header(h) => {
+                out.push(0);
+                h.encode(out);
+            }
+            StreamFrame::Chunk(c) => {
+                out.push(1);
+                c.encode(out);
+            }
+            StreamFrame::Trailer(t) => {
+                out.push(2);
+                t.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match u8::decode(r)? {
+            0 => StreamFrame::Header(StreamHeader::decode(r)?),
+            1 => StreamFrame::Chunk(StreamChunk::decode(r)?),
+            2 => StreamFrame::Trailer(StreamTrailer::decode(r)?),
+            _ => return Err(CodecError::Invalid("stream frame tag")),
+        })
+    }
+}
+
+/// Length-prefixed framed bytes of one [`StreamFrame`].
+fn frame_bytes(f: &StreamFrame) -> Vec<u8> {
+    let frame = encode_framed(STREAM_MAGIC, STREAM_VERSION, f);
+    let mut out = Vec::with_capacity(frame.len() + 8);
+    (frame.len() as u64).encode(&mut out);
+    out.extend_from_slice(&frame);
+    out
+}
+
+/// `true` if `bytes` look like a streamed checkpoint (as opposed to the
+/// sequential [`crate::CheckpointFile`] format).
+pub fn is_stream_file(bytes: &[u8]) -> bool {
+    bytes.len() >= 12 && bytes[8..12] == STREAM_MAGIC
+}
+
+/// A fully parsed streamed checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedStream {
+    /// The header frame.
+    pub header: StreamHeader,
+    /// Chunk frames, in stream (`seq`) order.
+    pub chunks: Vec<StreamChunk>,
+    /// The sealing trailer.
+    pub trailer: StreamTrailer,
+    /// On-disk size of the header frame (with its length prefix).
+    pub header_bytes: u64,
+    /// On-disk size of each chunk frame, in stream order.
+    pub chunk_bytes: Vec<u64>,
+    /// On-disk size of the trailer frame plus the baseline padding.
+    pub tail_bytes: u64,
+}
+
+/// Parse and fully validate the bytes of a streamed checkpoint file:
+/// every frame's magic/version/checksum, the header-first /
+/// trailer-last shape, contiguous `seq` numbering, and the trailer's
+/// count/bytes/checksum over the chunk payloads. A stream missing its
+/// trailer (torn mid-write) is rejected.
+pub fn parse_stream(bytes: &[u8]) -> Result<ParsedStream, CodecError> {
+    let mut r = Reader::new(bytes);
+    let mut header: Option<(StreamHeader, u64)> = None;
+    let mut chunks: Vec<StreamChunk> = Vec::new();
+    let mut chunk_bytes: Vec<u64> = Vec::new();
+    let mut hasher = Fnv64::new();
+    let mut data_bytes: u64 = 0;
+    loop {
+        if r.is_empty() {
+            // Ran off the end without seeing a trailer: torn stream.
+            return Err(CodecError::Invalid("stream has no trailer"));
+        }
+        let frame_len = u64::decode(&mut r)?;
+        if frame_len > r.remaining() as u64 {
+            return Err(CodecError::UnexpectedEof {
+                needed: frame_len.min(usize::MAX as u64) as usize,
+                remaining: r.remaining(),
+            });
+        }
+        let frame = r.take(frame_len as usize)?;
+        let on_disk = frame_len + 8;
+        match decode_framed::<StreamFrame>(STREAM_MAGIC, STREAM_VERSION, frame)? {
+            StreamFrame::Header(h) => {
+                if header.is_some() {
+                    return Err(CodecError::Invalid("duplicate stream header"));
+                }
+                if !chunks.is_empty() {
+                    return Err(CodecError::Invalid("stream header after chunks"));
+                }
+                header = Some((h, on_disk));
+            }
+            StreamFrame::Chunk(c) => {
+                if header.is_none() {
+                    return Err(CodecError::Invalid("stream chunk before header"));
+                }
+                if c.seq as usize != chunks.len() {
+                    return Err(CodecError::Invalid("stream chunk out of order"));
+                }
+                hasher.update(&c.data);
+                data_bytes += c.data.len() as u64;
+                chunk_bytes.push(on_disk);
+                chunks.push(c);
+            }
+            StreamFrame::Trailer(t) => {
+                let Some((header, header_bytes)) = header else {
+                    return Err(CodecError::Invalid("stream trailer before header"));
+                };
+                if t.chunks as usize != chunks.len()
+                    || t.data_bytes != data_bytes
+                    || t.data_checksum != hasher.finish()
+                {
+                    return Err(CodecError::ChecksumMismatch);
+                }
+                // Everything after the trailer is baseline padding.
+                let tail_bytes = on_disk + r.remaining() as u64;
+                return Ok(ParsedStream {
+                    header,
+                    chunks,
+                    trailer: t,
+                    header_bytes,
+                    chunk_bytes,
+                    tail_bytes,
+                });
+            }
+        }
+    }
+}
+
+/// Double-buffered streamed checkpoint writer.
+///
+/// Appends verified (framed + checksummed) chunks to `<target>.tmp` as
+/// they arrive and atomically renames to `target` on [`finish`]
+/// (`StreamWriter::finish`). Any error leaves the previous generation
+/// at `target` untouched; call [`abort`](StreamWriter::abort) to clean
+/// up the temporary file.
+#[derive(Debug)]
+pub struct StreamWriter {
+    pid: Pid,
+    target: String,
+    tmp: String,
+    /// Logical bytes appended so far, cross-checked against the file
+    /// size after every append to catch short writes immediately.
+    written: u64,
+    chunks: u32,
+    data_bytes: u64,
+    hasher: Fnv64,
+}
+
+impl StreamWriter {
+    /// Validate `pid` exactly like [`crate::checkpoint`] (alive, no
+    /// device mappings) and open the stream: the header frame — the
+    /// process image as it stands, buffer payloads excluded by the
+    /// caller — is appended to `<target>.tmp` immediately, before any
+    /// chunk data exists.
+    pub fn begin(cluster: &mut Cluster, pid: Pid, target: &str) -> Result<StreamWriter, CprError> {
+        let (image, host) = {
+            let p = cluster.process(pid);
+            if !p.is_alive() {
+                return Err(CprError::ProcessDead(pid));
+            }
+            if p.has_device_mappings() {
+                return Err(CprError::DeviceMapped {
+                    pid,
+                    mappings: p.device_mappings.clone(),
+                });
+            }
+            (p.image.clone(), cluster.node(p.node).name.clone())
+        };
+        let tmp = format!("{target}.tmp");
+        // A stale tmp from an earlier failed attempt must not be
+        // appended to.
+        let _ = cluster.delete_file(pid, &tmp);
+        let mut w = StreamWriter {
+            pid,
+            target: target.to_string(),
+            tmp,
+            written: 0,
+            chunks: 0,
+            data_bytes: 0,
+            hasher: Fnv64::new(),
+        };
+        let header = StreamFrame::Header(StreamHeader {
+            source_pid: pid.0,
+            source_host: host,
+            image,
+        });
+        w.append_raw(cluster, &frame_bytes(&header))?;
+        Ok(w)
+    }
+
+    fn append_raw(&mut self, cluster: &mut Cluster, bytes: &[u8]) -> Result<SimDuration, CprError> {
+        let cost = cluster
+            .append_file(self.pid, &self.tmp, bytes)
+            .map_err(CprError::Fs)?;
+        self.written += bytes.len() as u64;
+        // Verified append: the cheap size probe catches injected short
+        // writes at once; bit corruption is caught by the per-frame
+        // checksum at parse time (same guarantee as the sequential
+        // format).
+        let node = cluster.process(self.pid).node;
+        let on_disk = cluster
+            .file_size_on(node, &self.tmp)
+            .map(|s| s.as_u64())
+            .unwrap_or(0);
+        if on_disk != self.written {
+            return Err(CprError::Fs(FsError::WriteFailed(self.tmp.clone())));
+        }
+        Ok(cost)
+    }
+
+    /// Stream one completed buffer. Returns the append's I/O cost.
+    pub fn append_chunk(
+        &mut self,
+        cluster: &mut Cluster,
+        handle: u64,
+        data: Vec<u8>,
+    ) -> Result<SimDuration, CprError> {
+        self.hasher.update(&data);
+        self.data_bytes += data.len() as u64;
+        let chunk = StreamFrame::Chunk(StreamChunk {
+            seq: self.chunks,
+            handle,
+            data,
+        });
+        self.chunks += 1;
+        self.append_raw(cluster, &frame_bytes(&chunk))
+    }
+
+    /// Seal the stream (trailer + baseline padding) and atomically
+    /// publish it at `target`. Returns `(file size, I/O cost of the
+    /// tail append)` — the rename itself charges the process clock.
+    pub fn finish(&mut self, cluster: &mut Cluster) -> Result<(ByteSize, SimDuration), CprError> {
+        let trailer = StreamFrame::Trailer(StreamTrailer {
+            chunks: self.chunks,
+            data_bytes: self.data_bytes,
+            data_checksum: self.hasher.finish(),
+        });
+        let mut tail = frame_bytes(&trailer);
+        tail.resize(
+            tail.len() + calib::base_process_image().as_u64() as usize,
+            0,
+        );
+        let cost = self.append_raw(cluster, &tail)?;
+        cluster
+            .rename_file(self.pid, &self.tmp, &self.target)
+            .map_err(CprError::Fs)?;
+        Ok((ByteSize::bytes(self.written), cost))
+    }
+
+    /// Discard the temporary file after a mid-stream failure. The
+    /// previous generation at `target` is untouched.
+    pub fn abort(&mut self, cluster: &mut Cluster) {
+        let _ = cluster.delete_file(self.pid, &self.tmp);
+    }
+
+    /// Bytes appended so far.
+    pub fn written(&self) -> ByteSize {
+        ByteSize::bytes(self.written)
+    }
+
+    /// The temporary path the stream is accumulating in.
+    pub fn tmp_path(&self) -> &str {
+        &self.tmp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osproc::FaultPlan;
+
+    fn setup() -> (Cluster, Pid) {
+        let mut c = Cluster::with_standard_nodes(1);
+        let n = c.node_ids()[0];
+        let p = c.spawn(n);
+        c.process_mut(p).image.put("state", vec![9; 64]);
+        (c, p)
+    }
+
+    #[test]
+    fn stream_roundtrips_and_is_detectable() {
+        let (mut c, p) = setup();
+        let mut w = StreamWriter::begin(&mut c, p, "/local/s.ckpt").unwrap();
+        w.append_chunk(&mut c, 0x60, vec![1, 2, 3]).unwrap();
+        w.append_chunk(&mut c, 0x61, vec![4; 1000]).unwrap();
+        let (size, _) = w.finish(&mut c).unwrap();
+        let bytes = c.read_file(p, "/local/s.ckpt").unwrap();
+        assert_eq!(bytes.len() as u64, size.as_u64());
+        assert!(is_stream_file(&bytes));
+        let parsed = parse_stream(&bytes).unwrap();
+        assert_eq!(parsed.header.image.get("state"), Some(&[9u8; 64][..]));
+        assert_eq!(parsed.chunks.len(), 2);
+        assert_eq!(parsed.chunks[0].handle, 0x60);
+        assert_eq!(parsed.chunks[1].data, vec![4; 1000]);
+        assert_eq!(parsed.trailer.chunks, 2);
+        // The sequential format is NOT a stream.
+        crate::checkpoint(&mut c, p, "/local/seq.ckpt").unwrap();
+        let seq = c.read_file(p, "/local/seq.ckpt").unwrap();
+        assert!(!is_stream_file(&seq));
+        assert!(parse_stream(&seq).is_err());
+    }
+
+    #[test]
+    fn file_size_includes_baseline_padding() {
+        let (mut c, p) = setup();
+        let mut w = StreamWriter::begin(&mut c, p, "/local/s.ckpt").unwrap();
+        let (size, _) = w.finish(&mut c).unwrap();
+        assert!(size >= calib::base_process_image());
+    }
+
+    #[test]
+    fn torn_stream_without_trailer_rejected() {
+        let (mut c, p) = setup();
+        let mut w = StreamWriter::begin(&mut c, p, "/local/s.ckpt").unwrap();
+        w.append_chunk(&mut c, 0x60, vec![7; 32]).unwrap();
+        // Never finished: inspect the tmp directly.
+        let bytes = c.read_file(p, "/local/s.ckpt.tmp").unwrap();
+        assert!(matches!(
+            parse_stream(&bytes),
+            Err(CodecError::Invalid("stream has no trailer"))
+        ));
+        w.abort(&mut c);
+        assert!(c.read_file(p, "/local/s.ckpt.tmp").is_err());
+    }
+
+    #[test]
+    fn corrupted_chunk_detected_at_parse() {
+        let (mut c, p) = setup();
+        let mut w = StreamWriter::begin(&mut c, p, "/local/s.ckpt").unwrap();
+        w.append_chunk(&mut c, 0x60, vec![1; 256]).unwrap();
+        let (_, _) = w.finish(&mut c).unwrap();
+        let mut bytes = c.read_file(p, "/local/s.ckpt").unwrap();
+        // Flip a byte inside the chunk frame (right after the header).
+        let pos = parse_stream(&bytes).unwrap().header_bytes as usize + 50;
+        bytes[pos] ^= 0xff;
+        assert!(parse_stream(&bytes).is_err());
+    }
+
+    #[test]
+    fn short_write_fault_detected_immediately() {
+        let (mut c, p) = setup();
+        let mut w = StreamWriter::begin(&mut c, p, "/local/s.ckpt").unwrap();
+        c.install_faults(FaultPlan::new(11).short_next_writes(1));
+        assert!(matches!(
+            w.append_chunk(&mut c, 0x60, vec![5; 4096]),
+            Err(CprError::Fs(FsError::WriteFailed(_)))
+        ));
+        w.abort(&mut c);
+    }
+
+    #[test]
+    fn failed_append_leaves_previous_generation_intact() {
+        let (mut c, p) = setup();
+        // Generation 1 commits clean.
+        let mut w = StreamWriter::begin(&mut c, p, "/local/g.ckpt").unwrap();
+        w.append_chunk(&mut c, 0x60, vec![1; 128]).unwrap();
+        w.finish(&mut c).unwrap();
+        // Generation 2 faults mid-stream.
+        let mut w = StreamWriter::begin(&mut c, p, "/local/g.ckpt").unwrap();
+        c.install_faults(FaultPlan::new(3).fail_next_writes(1));
+        assert!(w.append_chunk(&mut c, 0x60, vec![2; 128]).is_err());
+        w.abort(&mut c);
+        // The committed generation still parses and holds gen-1 data.
+        let bytes = c.read_file(p, "/local/g.ckpt").unwrap();
+        let parsed = parse_stream(&bytes).unwrap();
+        assert_eq!(parsed.chunks[0].data, vec![1; 128]);
+    }
+
+    #[test]
+    fn stale_tmp_is_discarded_on_begin() {
+        let (mut c, p) = setup();
+        c.write_file(p, "/local/s.ckpt.tmp", vec![0xde; 100])
+            .unwrap();
+        let mut w = StreamWriter::begin(&mut c, p, "/local/s.ckpt").unwrap();
+        w.append_chunk(&mut c, 0x60, vec![3; 16]).unwrap();
+        let (_, _) = w.finish(&mut c).unwrap();
+        let bytes = c.read_file(p, "/local/s.ckpt").unwrap();
+        parse_stream(&bytes).unwrap(); // stale junk did not leak in
+    }
+
+    #[test]
+    fn dead_or_mapped_process_refused() {
+        let (mut c, p) = setup();
+        c.process_mut(p)
+            .map_device("/dev/nimbus0", ByteSize::mib(64));
+        assert!(matches!(
+            StreamWriter::begin(&mut c, p, "/local/s.ckpt"),
+            Err(CprError::DeviceMapped { .. })
+        ));
+        c.process_mut(p).unmap_device("/dev/nimbus0");
+        c.kill(p);
+        assert!(matches!(
+            StreamWriter::begin(&mut c, p, "/local/s.ckpt"),
+            Err(CprError::ProcessDead(_))
+        ));
+    }
+}

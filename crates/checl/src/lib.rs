@@ -53,8 +53,9 @@ pub mod runtime;
 
 pub use boot::{boot_checl, BootedChecl};
 pub use cpr::{
-    checkpoint_checl, checkpoint_checl_incremental, restart_checl_process, restore_checl,
-    CheckpointMode, CheckpointReport, CheclCprError, RestoreReport, RestoreTarget,
+    checkpoint_checl, checkpoint_checl_incremental, checkpoint_checl_pipelined,
+    checkpoint_checl_pipelined_incremental, restart_checl_pipelined, restart_checl_process,
+    restore_checl, CheckpointMode, CheckpointReport, CheclCprError, RestoreReport, RestoreTarget,
 };
 pub use migrate::{migrate_process, predict_migration_time, MigrationModel, MigrationReport};
 pub use objects::{CheclDb, CheclEntry, ObjectRecord, RecordedArg};

@@ -14,7 +14,7 @@ use clspec::sig::KernelSig;
 use clspec::types::{DeviceType, MemFlags, QueueProps, SamplerDesc};
 use simcore::codec::{decode_bytes, encode_bytes, Codec, CodecError, Reader};
 use simcore::impl_codec_struct;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A recorded `clSetKernelArg` value, in CheCL-handle space.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -338,8 +338,12 @@ pub struct CheclDb {
     /// Entries in creation order — which is also a valid dependency
     /// order within each kind.
     entries: Vec<CheclEntry>,
-    /// checl handle → index in `entries`.
-    index: BTreeMap<u64, usize>,
+    /// checl handle → index in `entries`. A hash map, so `get`,
+    /// `get_mut`, `vendor_of` and `is_live_handle` are O(1) — these sit
+    /// on the per-API-call translation path. Never iterated (iteration
+    /// order would be non-deterministic) and never serialised: the codec
+    /// writes `entries` only and rebuilds the map on decode.
+    index: HashMap<u64, usize>,
     next_handle: u64,
 }
 
@@ -461,7 +465,7 @@ impl Codec for CheclDb {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let entries: Vec<CheclEntry> = Vec::decode(r)?;
         let next_handle = u64::decode(r)?;
-        let mut index = BTreeMap::new();
+        let mut index = HashMap::new();
         for (i, e) in entries.iter().enumerate() {
             index.insert(e.checl, i);
         }

@@ -94,6 +94,18 @@ pub struct ChecLib {
     /// injection; cleared when a fresh proxy is attached. Not part of
     /// the dumped state — a restart always begins with a working pipe.
     pipe_broken: bool,
+    /// Kernel handle → `(program handle, index into its `sigs`)`,
+    /// resolved once per kernel so the hot `clSetKernelArg`/launch
+    /// paths stop re-scanning the program's signature list per call.
+    /// Kernel name and program binding are immutable after creation and
+    /// handles are never reused, so entries never go stale. Not part of
+    /// the dumped state — rebuilt lazily after a restart.
+    sig_cache: std::collections::HashMap<u64, Option<(u64, usize)>>,
+    /// Program handle → parsed struct definitions (`type name →
+    /// contains-handles`), so struct-argument classification stops
+    /// cloning and re-parsing the program source per `clSetKernelArg`.
+    /// Same lifetime rules (and non-serialisation) as `sig_cache`.
+    struct_defs_cache: std::collections::HashMap<u64, std::collections::BTreeMap<String, bool>>,
 }
 
 impl ChecLib {
@@ -107,6 +119,8 @@ impl ChecLib {
             call_histogram: std::collections::BTreeMap::new(),
             proxy: None,
             pipe_broken: false,
+            sig_cache: std::collections::HashMap::new(),
+            struct_defs_cache: std::collections::HashMap::new(),
         }
     }
 
@@ -233,6 +247,8 @@ impl ChecLib {
             call_histogram: std::collections::BTreeMap::new(),
             proxy: None,
             pipe_broken: false,
+            sig_cache: std::collections::HashMap::new(),
+            struct_defs_cache: std::collections::HashMap::new(),
         })
     }
 
@@ -425,6 +441,46 @@ impl ChecLib {
         Ok(ApiResponse::Devices(out))
     }
 
+    /// Cached lookup of a kernel's signature: `(program handle, index
+    /// into the program's `sigs`)`. Scans the signature list only the
+    /// first time each kernel handle is seen.
+    fn sig_index_of_kernel(&mut self, kernel_checl: u64) -> Option<(u64, usize)> {
+        if let Some(cached) = self.sig_cache.get(&kernel_checl) {
+            return *cached;
+        }
+        let resolved = (|| {
+            let kentry = self.db.get(kernel_checl)?;
+            let ObjectRecord::Kernel { program, name, .. } = &kentry.record else {
+                return None;
+            };
+            let pentry = self.db.get(*program)?;
+            let ObjectRecord::Program { sigs, .. } = &pentry.record else {
+                return None;
+            };
+            sigs.iter()
+                .position(|s| &s.name == name)
+                .map(|i| (*program, i))
+        })();
+        self.sig_cache.insert(kernel_checl, resolved);
+        resolved
+    }
+
+    /// Cached "does this named type contain handles" classification for
+    /// one program's source. Parses the struct definitions only the
+    /// first time each program handle is seen.
+    fn is_handle_struct_type(&mut self, program: u64, ty: &str) -> bool {
+        if !self.struct_defs_cache.contains_key(&program) {
+            let defs = match self.db.get(program).map(|e| &e.record) {
+                Some(ObjectRecord::Program {
+                    source: Some(src), ..
+                }) => parse_struct_defs(src),
+                _ => std::collections::BTreeMap::new(),
+            };
+            self.struct_defs_cache.insert(program, defs);
+        }
+        self.struct_defs_cache[&program].get(ty) == Some(&true)
+    }
+
     /// Decide how to record + translate one `clSetKernelArg` value.
     fn classify_and_translate_arg(
         &mut self,
@@ -433,24 +489,22 @@ impl ChecLib {
         value: &ArgValue,
     ) -> ClResult<(RecordedArg, ArgValue)> {
         // Pull what we need from the kernel/program records first.
-        let (param_kind, program_source) = {
+        let sig_loc = self.sig_index_of_kernel(kernel_checl);
+        let (param_kind, program) = {
             let kentry = self.db.get(kernel_checl).ok_or(ClError::InvalidKernel)?;
-            let (program, name) = match &kentry.record {
-                ObjectRecord::Kernel { program, name, .. } => (*program, name.clone()),
+            let program = match &kentry.record {
+                ObjectRecord::Kernel { program, .. } => *program,
                 _ => return Err(ClError::InvalidKernel),
             };
             let pentry = self.db.get(program).ok_or(ClError::InvalidProgram)?;
-            match &pentry.record {
-                ObjectRecord::Program { sigs, source, .. } => {
-                    let kind = sigs
-                        .iter()
-                        .find(|s| s.name == name)
-                        .and_then(|s| s.params.get(index as usize))
-                        .map(|p| p.kind.clone());
-                    (kind, source.clone())
-                }
-                _ => return Err(ClError::InvalidProgram),
-            }
+            let ObjectRecord::Program { sigs, .. } = &pentry.record else {
+                return Err(ClError::InvalidProgram);
+            };
+            let kind = sig_loc
+                .and_then(|(_, i)| sigs.get(i))
+                .and_then(|s| s.params.get(index as usize))
+                .map(|p| p.kind.clone());
+            (kind, program)
         };
 
         match (param_kind, value) {
@@ -490,10 +544,7 @@ impl ChecLib {
             }
             (Some(ParamKind::Scalar(ty)), ArgValue::Bytes(b)) => {
                 // Is this a user-defined struct containing handles?
-                let is_handle_struct = program_source
-                    .as_deref()
-                    .map(|src| parse_struct_defs(src).get(&ty) == Some(&true))
-                    .unwrap_or(false);
+                let is_handle_struct = self.is_handle_struct_type(program, &ty);
                 if is_handle_struct {
                     match self.config.struct_arg_policy {
                         StructArgPolicy::PassThrough => {
@@ -598,11 +649,14 @@ impl ChecLib {
         // be written, so their buffers stay clean — the per-parameter
         // modification tracking the paper lists as future work, which
         // is what makes incremental checkpointing effective.
+        let sig_loc = self.sig_index_of_kernel(kernel.raw().0);
         let bound_mems: Vec<u64> = {
-            let writable_of = |idx: u32, sigs: &[clspec::sig::KernelSig], name: &str| {
-                sigs.iter()
-                    .find(|s| s.name == name)
-                    .and_then(|s| s.params.get(idx as usize))
+            let sig = sig_loc.and_then(|(p, i)| match self.db.get(p).map(|e| &e.record) {
+                Some(ObjectRecord::Program { sigs, .. }) => sigs.get(i),
+                _ => None,
+            });
+            let writable_of = |idx: u32| {
+                sig.and_then(|s| s.params.get(idx as usize))
                     // Unknown signature (binary program): conservative.
                     .is_none_or(|p| {
                         !p.is_const
@@ -610,23 +664,13 @@ impl ChecLib {
                     })
             };
             match self.db.get(kernel.raw().0).map(|e| &e.record) {
-                Some(ObjectRecord::Kernel {
-                    args,
-                    program,
-                    name,
-                }) => {
-                    let sigs: Vec<clspec::sig::KernelSig> =
-                        match self.db.get(*program).map(|e| &e.record) {
-                            Some(ObjectRecord::Program { sigs, .. }) => sigs.clone(),
-                            _ => Vec::new(),
-                        };
-                    args.iter()
-                        .filter_map(|(idx, a)| match a {
-                            RecordedArg::Handle(h) if writable_of(*idx, &sigs, name) => Some(*h),
-                            _ => None,
-                        })
-                        .collect()
-                }
+                Some(ObjectRecord::Kernel { args, .. }) => args
+                    .iter()
+                    .filter_map(|(idx, a)| match a {
+                        RecordedArg::Handle(h) if writable_of(*idx) => Some(*h),
+                        _ => None,
+                    })
+                    .collect(),
                 _ => Vec::new(),
             }
         };

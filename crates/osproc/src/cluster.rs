@@ -277,6 +277,44 @@ impl Cluster {
         Ok(cost)
     }
 
+    /// Append to a file at an absolute path as seen by `pid`, charging
+    /// that process's clock. Creates the file if absent. Each chunk
+    /// goes through the same fault hooks as [`Cluster::write_file`], so
+    /// an injected disk fault can hit any individual append of a
+    /// streamed checkpoint.
+    pub fn append_file(
+        &mut self,
+        pid: Pid,
+        path: &str,
+        data: &[u8],
+    ) -> Result<SimDuration, FsError> {
+        let (fs_id, rel, mut clock) = self.resolve_for(pid, path)?;
+        let mut data = data.to_vec();
+        if let Some(plan) = self.faults.as_mut() {
+            let kind = self.filesystems[fs_id.0 as usize].kind();
+            match plan.on_write(kind, path, clock, data.len()) {
+                WriteFault::None => {}
+                WriteFault::Fail => {
+                    // A failed append still pays the submission latency.
+                    clock += kind.write_link().cost_empty();
+                    self.process_mut(pid).clock = clock;
+                    return Err(FsError::WriteFailed(path.to_string()));
+                }
+                WriteFault::Short(n) => data.truncate(n),
+                WriteFault::Corrupt(flips) => {
+                    for (pos, mask) in flips {
+                        if let Some(b) = data.get_mut(pos) {
+                            *b ^= mask;
+                        }
+                    }
+                }
+            }
+        }
+        let cost = self.filesystems[fs_id.0 as usize].append(&mut clock, &rel, &data);
+        self.process_mut(pid).clock = clock;
+        Ok(cost)
+    }
+
     /// Read a file at an absolute path as seen by `pid`.
     pub fn read_file(&mut self, pid: Pid, path: &str) -> Result<Vec<u8>, FsError> {
         let (fs_id, rel, mut clock) = self.resolve_for(pid, path)?;
@@ -479,6 +517,24 @@ mod tests {
         c.write_file(p, "/local/f", vec![1, 2, 3]).unwrap();
         assert_eq!(c.read_file(p, "/local/f").unwrap(), vec![1, 2, 3]);
         assert_eq!(c.faults().unwrap().log().len(), 1);
+    }
+
+    #[test]
+    fn append_file_hits_fault_hooks_per_chunk() {
+        let mut c = Cluster::with_standard_nodes(1);
+        let n = c.node_ids()[0];
+        let p = c.spawn(n);
+        // First chunk lands clean; then arm a one-shot write failure so
+        // the *second* append is the one that faults.
+        c.append_file(p, "/local/stream", &[1, 2]).unwrap();
+        c.install_faults(FaultPlan::new(7).fail_next_writes(1));
+        assert!(matches!(
+            c.append_file(p, "/local/stream", &[3, 4]),
+            Err(FsError::WriteFailed(_))
+        ));
+        // The earlier chunk is still on disk (partial file; the caller
+        // is responsible for discarding the tmp).
+        assert_eq!(c.read_file(p, "/local/stream").unwrap(), vec![1, 2]);
     }
 
     #[test]

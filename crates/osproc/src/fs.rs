@@ -130,6 +130,29 @@ impl Fs {
         cost
     }
 
+    /// Append to a file, creating it if absent, charging the caller's
+    /// clock. The per-operation seek/issue latency is paid once, when
+    /// the file is created; subsequent appends stream at the medium's
+    /// sequential bandwidth, so a chunked writer pays (asymptotically)
+    /// the same total cost as one large [`Fs::write`].
+    pub fn append(&mut self, now: &mut SimTime, path: &str, data: &[u8]) -> SimDuration {
+        let size = ByteSize::bytes(data.len() as u64);
+        let link = self.kind.write_link();
+        let cost = if self.files.contains_key(path) {
+            link.bandwidth.transfer_time(size)
+        } else {
+            link.cost(size)
+        };
+        *now += cost;
+        self.stats.bytes_written += data.len() as u64;
+        self.stats.writes += 1;
+        self.files
+            .entry(path.to_string())
+            .or_default()
+            .extend_from_slice(data);
+        cost
+    }
+
     /// Read a file, charging the caller's clock.
     pub fn read(&mut self, now: &mut SimTime, path: &str) -> Result<Vec<u8>, FsError> {
         let data = self
@@ -203,6 +226,44 @@ mod tests {
         assert_eq!(fs.read(&mut now, "/ckpt/a").unwrap(), vec![1, 2, 3]);
         assert!(fs.exists("/ckpt/a"));
         assert_eq!(fs.file_size("/ckpt/a"), Some(ByteSize::bytes(3)));
+    }
+
+    #[test]
+    fn chunked_appends_cost_like_one_write() {
+        let total = 32 * 1024 * 1024usize;
+        let chunk = 4 * 1024 * 1024usize;
+        let mut whole = Fs::new(FsKind::LocalDisk, "hd");
+        let mut chunked = Fs::new(FsKind::LocalDisk, "hd");
+        let mut t_whole = SimTime::ZERO;
+        let mut t_chunked = SimTime::ZERO;
+        whole.write(&mut t_whole, "/f", vec![0u8; total]);
+        for _ in 0..(total / chunk) {
+            chunked.append(&mut t_chunked, "/f", &vec![0u8; chunk]);
+        }
+        // Per-chunk bandwidth costs round down independently, so allow
+        // one nanosecond of drift per chunk.
+        let drift = t_whole
+            .since(SimTime::ZERO)
+            .as_nanos()
+            .abs_diff(t_chunked.since(SimTime::ZERO).as_nanos());
+        assert!(
+            drift <= (total / chunk) as u64,
+            "appends must amortize to one write (drift {drift}ns)"
+        );
+        assert_eq!(
+            whole.file_size("/f"),
+            chunked.file_size("/f"),
+            "same bytes on disk"
+        );
+    }
+
+    #[test]
+    fn append_extends_existing_contents() {
+        let mut fs = Fs::new(FsKind::RamDisk, "ram");
+        let mut now = SimTime::ZERO;
+        fs.append(&mut now, "/a", &[1, 2]);
+        fs.append(&mut now, "/a", &[3]);
+        assert_eq!(fs.read(&mut now, "/a").unwrap(), vec![1, 2, 3]);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 pub mod bandwidth;
 pub mod bytesize;
 pub mod calib;
+pub mod channels;
 pub mod checksum;
 pub mod codec;
 pub mod qcheck;

@@ -163,6 +163,28 @@ impl CheclSession {
         checkpoint_checl(&mut self.lib, cluster, self.pid, path)
     }
 
+    /// Checkpoint through the pipelined engine: D2H copies overlap the
+    /// streamed chunk writes ([`checl::checkpoint_checl_pipelined`]).
+    pub fn checkpoint_pipelined(
+        &mut self,
+        cluster: &mut Cluster,
+        path: &str,
+    ) -> Result<CheckpointReport, CheclCprError> {
+        self.persist_program(cluster);
+        checl::checkpoint_checl_pipelined(&mut self.lib, cluster, self.pid, path)
+    }
+
+    /// Pipelined + incremental checkpoint
+    /// ([`checl::checkpoint_checl_pipelined_incremental`]).
+    pub fn checkpoint_pipelined_incremental(
+        &mut self,
+        cluster: &mut Cluster,
+        path: &str,
+    ) -> Result<CheckpointReport, CheclCprError> {
+        self.persist_program(cluster);
+        checl::checkpoint_checl_pipelined_incremental(&mut self.lib, cluster, self.pid, path)
+    }
+
     /// Checkpoint with the full recovery policy — atomic
     /// write-to-temp-then-rename, post-write verification, bounded
     /// retry and target fallback ([`checl::checkpoint_with_recovery`]).
@@ -191,6 +213,29 @@ impl CheclSession {
         target: RestoreTarget,
     ) -> Result<CheclSession, CheclCprError> {
         let (lib, pid, _report) = restart_checl_process(cluster, node, path, vendor, target)?;
+        let bytes = cluster
+            .process(pid)
+            .image
+            .get(APP_SEGMENT)
+            .ok_or(CheclCprError::MissingState)?
+            .to_vec();
+        let program = AppProgram::from_bytes(&bytes).map_err(CheclCprError::BadState)?;
+        Ok(CheclSession { pid, lib, program })
+    }
+
+    /// Restart through the pipelined engine
+    /// ([`checl::restart_checl_pipelined`]): streamed checkpoints are
+    /// read and uploaded overlapped; sequential dumps are handled
+    /// identically to [`CheclSession::restart`].
+    pub fn restart_pipelined(
+        cluster: &mut Cluster,
+        node: NodeId,
+        path: &str,
+        vendor: VendorConfig,
+        target: RestoreTarget,
+    ) -> Result<CheclSession, CheclCprError> {
+        let (lib, pid, _report) =
+            checl::restart_checl_pipelined(cluster, node, path, vendor, target)?;
         let bytes = cluster
             .process(pid)
             .image

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Perf-regression guard over the ablation_pipeline golden.
+
+For every scenario in the checkpoint-engine sections that has more than
+one buffer (or any number of GPUs — each GPU contributes two buffers),
+the pipelined engine's wall-clock total must be strictly below the
+sequential engine's. A regression in the channel scheduler or the
+streamed data path shows up here before it shows up in a plot.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_pipeline_golden: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "results/BENCH_ablation_pipeline.json"
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    checked = 0
+    for section in doc["sections"]:
+        cols = section["columns"]
+        if "mode" not in cols or "total[s]" not in cols:
+            continue  # the restart-equivalence section has no timings
+        mode_i = cols.index("mode")
+        total_i = cols.index("total[s]")
+        saved_i = cols.index("saved[s]")
+        # Scenario key = every column that is not a timing/size result.
+        key_is = [
+            i
+            for i, c in enumerate(cols)
+            if c in ("bufs", "MiB/buf", "gpus")
+        ]
+        totals: dict[tuple, dict[str, float]] = {}
+        saved: dict[tuple, float] = {}
+        for row in section["rows"]:
+            key = tuple(row[i] for i in key_is)
+            totals.setdefault(key, {})[row[mode_i]] = row[total_i]
+            if row[mode_i] == "pipelined":
+                saved[key] = row[saved_i]
+        for key, by_mode in totals.items():
+            if "sequential" not in by_mode or "pipelined" not in by_mode:
+                fail(f"scenario {key} is missing an engine row")
+            multi_buffer = "bufs" not in [cols[i] for i in key_is] or key[0] > 1
+            if multi_buffer:
+                if not by_mode["pipelined"] < by_mode["sequential"]:
+                    fail(
+                        f"scenario {key}: pipelined {by_mode['pipelined']}s is not "
+                        f"strictly below sequential {by_mode['sequential']}s"
+                    )
+                if not saved.get(key, 0.0) > 0.0:
+                    fail(f"scenario {key}: overlap_saved is not positive")
+                checked += 1
+
+    if checked == 0:
+        fail("no multi-buffer scenarios found — wrong file or schema drift")
+    print(f"check_pipeline_golden: OK ({checked} scenarios, pipelined < sequential)")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,13 @@ cargo run -q --release -p checl-bench --bin ablation_faults -- \
 # JSON must be byte-identical to the committed golden.
 git diff --exit-code -- results/BENCH_ablation_faults.json
 
+echo "==> smoke: pipelined checkpoint engine (golden diff + perf guard)"
+cargo run -q --release -p checl-bench --bin ablation_pipeline >/dev/null
+git diff --exit-code -- results/BENCH_ablation_pipeline.json
+# Perf-regression guard: on every multi-buffer/multi-GPU scenario the
+# pipelined engine's wall-clock must stay strictly below sequential.
+python3 scripts/check_pipeline_golden.py results/BENCH_ablation_pipeline.json
+
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> smoke: micro-benches (codec filter)"
     cargo bench -q -p checl-bench -- codec >/dev/null
