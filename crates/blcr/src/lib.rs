@@ -18,11 +18,16 @@
 pub mod ckptfile;
 pub mod cpr;
 pub mod robust;
+pub mod sniff;
 pub mod stream;
 
 pub use ckptfile::{CheckpointFile, CKPT_MAGIC, CKPT_VERSION};
 pub use cpr::{checkpoint, dmtcp_checkpoint, restart, CprError};
-pub use robust::{checkpoint_robust, restart_from_chain, RecoveryOutcome, RetryPolicy};
+pub use robust::{
+    checkpoint_robust, drive_recovery, restart_from_chain, RecoveryAttempt, RecoveryOutcome,
+    RetryPolicy,
+};
+pub use sniff::{sniff_dump, SniffedDump};
 pub use stream::{
     is_stream_file, parse_stream, ParsedStream, StreamChunk, StreamHeader, StreamTrailer,
     StreamWriter, STREAM_MAGIC, STREAM_VERSION,

@@ -105,6 +105,81 @@ fn verify_file(
     Ok(())
 }
 
+/// One attempt's outcome inside [`drive_recovery`].
+pub enum RecoveryAttempt<T, E> {
+    /// The attempt wrote, verified and renamed onto the target; the
+    /// driver emits the commit event and stops.
+    Committed {
+        /// The caller's per-attempt result (e.g. a phase report).
+        value: T,
+        /// Committed file size, for the [`RecoveryOutcome`].
+        size: ByteSize,
+    },
+    /// Transient failure (I/O fault, verification mismatch): retry this
+    /// target, then fall through to the next one.
+    Transient(E),
+    /// Structural failure: abort the whole recovery immediately.
+    Fatal(E),
+}
+
+/// The retry/fallback skeleton shared by every robust writer: walk
+/// `targets` in order, attempt each up to
+/// [`RetryPolicy::max_attempts_per_target`] times with doubling
+/// virtual-time backoff, and emit the `recovery.*` telemetry instants
+/// (`fallback_target`, `retry_write`, `commit`) at the same points for
+/// every caller. The `attempt` closure receives `(cluster, tmp,
+/// target)` — with `tmp = "<target>.tmp"` — and owns the write / verify
+/// / rename of one attempt; `exhausted` supplies the error when every
+/// target fails without a transient error to report.
+pub fn drive_recovery<T, E>(
+    cluster: &mut Cluster,
+    pid: Pid,
+    targets: &[&str],
+    policy: &RetryPolicy,
+    mut attempt: impl FnMut(&mut Cluster, &str, &str) -> RecoveryAttempt<T, E>,
+    exhausted: impl FnOnce() -> E,
+) -> Result<(T, RecoveryOutcome), E> {
+    assert!(!targets.is_empty(), "drive_recovery needs >= 1 target");
+    let t_start = cluster.process(pid).clock;
+    let mut attempts = 0u32;
+    let mut fallbacks = 0u32;
+    let mut last_err: Option<E> = None;
+    for (ti, target) in targets.iter().enumerate() {
+        if ti > 0 {
+            fallbacks += 1;
+            recovery_event(cluster, pid, "recovery.fallback_target", target);
+        }
+        let tmp = format!("{target}.tmp");
+        for retry in 0..policy.max_attempts_per_target {
+            if retry > 0 {
+                let wait = policy.backoff * (1u64 << (retry - 1).min(16));
+                cluster.process_mut(pid).clock += wait;
+                recovery_event(cluster, pid, "recovery.retry_write", target);
+            }
+            attempts += 1;
+            match attempt(cluster, &tmp, target) {
+                RecoveryAttempt::Committed { value, size } => {
+                    recovery_event(cluster, pid, "recovery.commit", target);
+                    let elapsed = cluster.process(pid).clock.since(t_start);
+                    return Ok((
+                        value,
+                        RecoveryOutcome {
+                            path: target.to_string(),
+                            size,
+                            attempts,
+                            fallbacks,
+                            elapsed,
+                        },
+                    ));
+                }
+                RecoveryAttempt::Transient(e) => last_err = Some(e),
+                RecoveryAttempt::Fatal(e) => return Err(e),
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(exhausted))
+}
+
 /// Checkpoint `pid` with atomic commit, verification, bounded retry and
 /// target fallback. `targets` is tried in order (e.g.
 /// `["/local/a.ckpt", "/ram/a.ckpt", "/nfs/a.ckpt"]`); the committed
@@ -120,7 +195,6 @@ pub fn checkpoint_robust(
     policy: &RetryPolicy,
 ) -> Result<(ByteSize, RecoveryOutcome), CprError> {
     assert!(!targets.is_empty(), "checkpoint_robust needs >= 1 target");
-    let t_start = cluster.process(pid).clock;
     // What the dump *should* look like on disk; `checkpoint` serializes
     // deterministically, so this is exact (free of charge: the sim
     // clock only moves on modelled I/O).
@@ -136,61 +210,35 @@ pub fn checkpoint_robust(
     } else {
         (0, 0)
     };
-    let mut attempts = 0u32;
-    let mut fallbacks = 0u32;
-    let mut last_err: Option<CprError> = None;
-    for (ti, target) in targets.iter().enumerate() {
-        if ti > 0 {
-            fallbacks += 1;
-            recovery_event(cluster, pid, "recovery.fallback_target", target);
-        }
-        let tmp = format!("{target}.tmp");
-        for attempt in 0..policy.max_attempts_per_target {
-            if attempt > 0 {
-                let wait = policy.backoff * (1u64 << (attempt - 1).min(16));
-                cluster.process_mut(pid).clock += wait;
-                recovery_event(cluster, pid, "recovery.retry_write", target);
-            }
-            attempts += 1;
-            let size = match checkpoint(cluster, pid, &tmp) {
+    drive_recovery(
+        cluster,
+        pid,
+        targets,
+        policy,
+        |cluster, tmp, target| {
+            let size = match checkpoint(cluster, pid, tmp) {
                 Ok(size) => size,
-                Err(CprError::Fs(e)) => {
-                    last_err = Some(CprError::Fs(e));
-                    continue;
-                }
-                Err(fatal) => return Err(fatal),
+                Err(CprError::Fs(e)) => return RecoveryAttempt::Transient(CprError::Fs(e)),
+                Err(fatal) => return RecoveryAttempt::Fatal(fatal),
             };
             if policy.verify {
-                match verify_file(cluster, pid, &tmp, expected_len, expected_hash) {
+                match verify_file(cluster, pid, tmp, expected_len, expected_hash) {
                     Ok(()) => {}
-                    Err(CprError::Fs(e)) => {
-                        last_err = Some(CprError::Fs(e));
-                        continue;
-                    }
+                    Err(CprError::Fs(e)) => return RecoveryAttempt::Transient(CprError::Fs(e)),
                     Err(e) => {
-                        recovery_event(cluster, pid, "recovery.verify_failed", &tmp);
-                        let _ = cluster.delete_file(pid, &tmp);
-                        last_err = Some(e);
-                        continue;
+                        recovery_event(cluster, pid, "recovery.verify_failed", tmp);
+                        let _ = cluster.delete_file(pid, tmp);
+                        return RecoveryAttempt::Transient(e);
                     }
                 }
             }
-            cluster.rename_file(pid, &tmp, target)?;
-            recovery_event(cluster, pid, "recovery.commit", target);
-            let elapsed = cluster.process(pid).clock.since(t_start);
-            return Ok((
-                size,
-                RecoveryOutcome {
-                    path: target.to_string(),
-                    size,
-                    attempts,
-                    fallbacks,
-                    elapsed,
-                },
-            ));
-        }
-    }
-    Err(last_err.unwrap_or(CprError::Fs(FsError::WriteFailed(targets[0].to_string()))))
+            match cluster.rename_file(pid, tmp, target) {
+                Ok(()) => RecoveryAttempt::Committed { value: size, size },
+                Err(e) => RecoveryAttempt::Fatal(CprError::Fs(e)),
+            }
+        },
+        || CprError::Fs(FsError::WriteFailed(targets[0].to_string())),
+    )
 }
 
 /// Restart from the newest good checkpoint in `paths` (newest first).

@@ -1,23 +1,28 @@
-//! The checkpoint/restart engine (§III-C).
+//! The legacy checkpoint/restart API (§III-C), kept as thin shims.
 //!
 //! Checkpoint = synchronize → preprocess (device→host copies) → write
 //! (BLCR dump) → postprocess (free the copies). Restart = BLCR restore
 //! → fork a new proxy → re-create OpenCL objects in dependency order →
 //! upload user data → mint dummy events.
+//!
+//! The four-phase machinery itself lives in [`crate::engine`]; every
+//! entry point here is a fixed point in the [`crate::engine::CprPolicy`]
+//! lattice (see the table in that module's docs). Object re-creation
+//! ([`restore_checl`]) stays here: it is the §III-C dependency-order
+//! replay, shared by every restore path and by proxy respawn.
 
-use crate::boot::refork_proxy;
+use crate::engine::{self, CprPolicy};
 use crate::objects::{ObjectRecord, RecordedArg};
 use crate::runtime::{ChecLib, StructArgPolicy};
-use blcr::{CprError, StreamWriter};
+use blcr::CprError;
 use cldriver::VendorConfig;
 use clspec::api::ApiRequest;
 use clspec::error::ClError;
 use clspec::handles::{
-    CommandQueue, Context, DeviceId, Event, HandleKind, Kernel, Mem, PlatformId, Program, RawHandle,
+    CommandQueue, Context, DeviceId, HandleKind, Kernel, PlatformId, Program, RawHandle,
 };
 use clspec::types::{ArgValue, DeviceType, MemFlags};
 use osproc::{Cluster, FsKind, NodeId, Pid};
-use simcore::channels::ChannelSet;
 use simcore::codec::CodecError;
 use simcore::{telemetry, ByteSize, SimDuration, SimTime};
 use std::collections::BTreeMap;
@@ -172,7 +177,7 @@ impl From<CprError> for CheclCprError {
 pub const CHECL_STATE_SEGMENT: &str = "checl-state";
 
 /// Find a restored queue in the same context, for internal transfers.
-fn queue_in_context(lib: &ChecLib, context: u64) -> Option<(u64, RawHandle)> {
+pub(crate) fn queue_in_context(lib: &ChecLib, context: u64) -> Option<(u64, RawHandle)> {
     lib.db
         .live_of_kind(HandleKind::CommandQueue)
         .find(|e| matches!(e.record, ObjectRecord::Queue { context: c, .. } if c == context))
@@ -182,7 +187,7 @@ fn queue_in_context(lib: &ChecLib, context: u64) -> Option<(u64, RawHandle)> {
 /// Like [`queue_in_context`], but also resolve the creation-order index
 /// of the device the queue drives — the pipelined engine names one PCIe
 /// channel per device index, so transfers on distinct devices overlap.
-fn queue_and_device_in_context(lib: &ChecLib, context: u64) -> Option<(RawHandle, u32)> {
+pub(crate) fn queue_and_device_in_context(lib: &ChecLib, context: u64) -> Option<(RawHandle, u32)> {
     let (vendor, device) = lib
         .db
         .live_of_kind(HandleKind::CommandQueue)
@@ -202,7 +207,7 @@ fn queue_and_device_in_context(lib: &ChecLib, context: u64) -> Option<(RawHandle
 /// Channel name of the storage medium `path` resolves to on `pid`'s
 /// node, so checkpoints to NFS and to the local disk occupy distinct
 /// timelines.
-fn storage_channel_name(cluster: &Cluster, pid: Pid, path: &str) -> &'static str {
+pub(crate) fn storage_channel_name(cluster: &Cluster, pid: Pid, path: &str) -> &'static str {
     let node = cluster.process(pid).node;
     match cluster
         .node(node)
@@ -221,14 +226,15 @@ fn storage_channel_name(cluster: &Cluster, pid: Pid, path: &str) -> &'static str
 /// signal, or delayed to the next sync point — [`CheckpointMode`]); the
 /// phases and their costs are the same either way, except that in
 /// delayed mode the queues are already drained so the sync phase is
-/// almost free.
+/// almost free. Equivalent to [`engine::snapshot`] with
+/// [`CprPolicy::sequential`].
 pub fn checkpoint_checl(
     lib: &mut ChecLib,
     cluster: &mut Cluster,
     app_pid: Pid,
     path: &str,
 ) -> Result<CheckpointReport, CheclCprError> {
-    checkpoint_checl_inner(lib, cluster, app_pid, path, false)
+    engine::snapshot(lib, cluster, app_pid, path, &CprPolicy::sequential()).map(|o| o.report)
 }
 
 /// Incremental checkpoint (the §IV-D future-work feature): buffers
@@ -243,245 +249,8 @@ pub fn checkpoint_checl_incremental(
     app_pid: Pid,
     path: &str,
 ) -> Result<CheckpointReport, CheclCprError> {
-    checkpoint_checl_inner(lib, cluster, app_pid, path, true)
-}
-
-fn checkpoint_checl_inner(
-    lib: &mut ChecLib,
-    cluster: &mut Cluster,
-    app_pid: Pid,
-    path: &str,
-    incremental: bool,
-) -> Result<CheckpointReport, CheclCprError> {
-    if !lib.has_proxy() {
-        return Err(CheclCprError::NoProxy);
-    }
-    let mut now = cluster.process(app_pid).clock;
-    let _scope = telemetry::track_scope(telemetry::Track::process(app_pid.0 as u64));
-    let start = now;
-    telemetry::span_begin(
-        "cpr",
-        "checkpoint",
-        start,
-        vec![
-            ("path", path.into()),
-            ("incremental", u64::from(incremental).into()),
-        ],
-    );
-
-    // Phase 1: synchronize the host and all command queues.
-    let t0 = now;
-    telemetry::span_begin("cpr", telemetry::QUIESCE_AFTER, t0, Vec::new());
-    let queues: Vec<RawHandle> = lib
-        .db
-        .live_of_kind(HandleKind::CommandQueue)
-        .map(|e| e.vendor)
-        .collect();
-    let queue_count = queues.len();
-    for q in queues {
-        lib.forward(
-            &mut now,
-            ApiRequest::Finish {
-                queue: CommandQueue::from_raw(q),
-            },
-        )?;
-    }
-    let sync = now.since(t0);
-    telemetry::span_end(
-        "cpr",
-        telemetry::QUIESCE_AFTER,
-        now,
-        vec![("queues", queue_count.into())],
-    );
-
-    // Phase 2: preprocess — copy all user data in device memory to the
-    // host memory.
-    let t0 = now;
-    telemetry::span_begin("cpr", "checkpoint.preprocess", t0, Vec::new());
-    let mut copied_bytes: u64 = 0;
-    let mut skipped: u64 = 0;
-    let mems: Vec<(u64, RawHandle, u64, u64, bool)> = lib
-        .db
-        .live_of_kind(HandleKind::Mem)
-        .map(|e| {
-            let (context, size, skip) = match &e.record {
-                ObjectRecord::Mem {
-                    context,
-                    size,
-                    dirty,
-                    saved_in,
-                    ..
-                } => (*context, *size, incremental && !dirty && saved_in.is_some()),
-                _ => unreachable!("kind filter"),
-            };
-            (e.checl, e.vendor, context, size, skip)
-        })
-        .collect();
-    for (checl_mem, vendor_mem, context, size, skip) in mems {
-        if skip {
-            // Clean buffer: its bytes already live in a previous
-            // checkpoint file; nothing to copy.
-            skipped += 1;
-            continue;
-        }
-        copied_bytes += size;
-        let (_q_checl, q_vendor) =
-            queue_in_context(lib, context).ok_or(CheclCprError::Cl(ClError::InvalidContext))?;
-        let (data, ev) = lib
-            .forward(
-                &mut now,
-                ApiRequest::EnqueueReadBuffer {
-                    queue: CommandQueue::from_raw(q_vendor),
-                    mem: Mem::from_raw(vendor_mem),
-                    blocking: true,
-                    offset: 0,
-                    size,
-                    wait_list: vec![],
-                },
-            )?
-            .into_data_event()?;
-        lib.forward(
-            &mut now,
-            ApiRequest::ReleaseEvent {
-                event: Event::from_raw(ev.raw()),
-            },
-        )?;
-        if let Some(e) = lib.db.get_mut(checl_mem) {
-            if let ObjectRecord::Mem {
-                saved_data,
-                dirty,
-                saved_in,
-                ..
-            } = &mut e.record
-            {
-                *saved_data = Some(data);
-                *dirty = false;
-                *saved_in = Some(path.to_string());
-            }
-        }
-    }
-    let preprocess = now.since(t0);
-    telemetry::span_end(
-        "cpr",
-        "checkpoint.preprocess",
-        now,
-        vec![
-            ("copied_bytes", copied_bytes.into()),
-            ("skipped_clean", skipped.into()),
-        ],
-    );
-
-    // Phase 3: write — dump the host process (CheCL state included)
-    // via the conventional CPR system.
-    let t0 = now;
-    telemetry::span_begin("cpr", telemetry::QUIESCE_UNTIL, t0, Vec::new());
-    cluster
-        .process_mut(app_pid)
-        .image
-        .put(CHECL_STATE_SEGMENT, lib.encode_state());
-    cluster.process_mut(app_pid).clock = now;
-    let file_size = match blcr::checkpoint(cluster, app_pid, path) {
-        Ok(size) => size,
-        Err(e) => {
-            // Failed write (disk fault, NFS outage): undo this attempt's
-            // bookkeeping so the shim stays consistent — take the state
-            // segment back out, forget the references to the file that
-            // never landed (a later incremental checkpoint must not skip
-            // buffers "saved" in it) — and close the open spans so the
-            // trace stays well-formed.
-            now = cluster.process(app_pid).clock;
-            cluster.process_mut(app_pid).image.take(CHECL_STATE_SEGMENT);
-            let mems: Vec<u64> = lib
-                .db
-                .live_of_kind(HandleKind::Mem)
-                .map(|e| e.checl)
-                .collect();
-            for h in mems {
-                if let Some(entry) = lib.db.get_mut(h) {
-                    if let ObjectRecord::Mem {
-                        saved_data,
-                        saved_in,
-                        dirty,
-                        ..
-                    } = &mut entry.record
-                    {
-                        if saved_in.as_deref() == Some(path) {
-                            *saved_data = None;
-                            *saved_in = None;
-                            *dirty = true;
-                        }
-                    }
-                }
-            }
-            let err = CheclCprError::from(e);
-            telemetry::span_end(
-                "cpr",
-                telemetry::QUIESCE_UNTIL,
-                now,
-                vec![("error", err.to_string().into())],
-            );
-            telemetry::span_end(
-                "cpr",
-                "checkpoint",
-                now,
-                vec![("error", err.to_string().into())],
-            );
-            return Err(err);
-        }
-    };
-    now = cluster.process(app_pid).clock;
-    let write = now.since(t0);
-    telemetry::span_end(
-        "cpr",
-        telemetry::QUIESCE_UNTIL,
-        now,
-        vec![("file_bytes", file_size.as_u64().into())],
-    );
-
-    // Phase 4: postprocess — delete the host copies to save memory.
-    let t0 = now;
-    telemetry::span_begin("cpr", "checkpoint.postprocess", t0, Vec::new());
-    let mem_handles: Vec<u64> = lib
-        .db
-        .live_of_kind(HandleKind::Mem)
-        .map(|e| e.checl)
-        .collect();
-    for h in mem_handles {
-        if let Some(e) = lib.db.get_mut(h) {
-            if let ObjectRecord::Mem { saved_data, .. } = &mut e.record {
-                *saved_data = None;
-            }
-        }
-        now += SimDuration::from_micros(15); // free()
-    }
-    cluster.process_mut(app_pid).image.take(CHECL_STATE_SEGMENT);
-    cluster.process_mut(app_pid).clock = now;
-    let postprocess = now.since(t0);
-    telemetry::span_end("cpr", "checkpoint.postprocess", now, Vec::new());
-
-    let report = CheckpointReport {
-        sync,
-        preprocess,
-        write,
-        postprocess,
-        file_size,
-        overlap_saved: SimDuration::ZERO,
-    };
-    debug_assert_eq!(now.since(start), report.total());
-    telemetry::span_end(
-        "cpr",
-        "checkpoint",
-        now,
-        vec![
-            ("total_ns", report.total().into()),
-            ("file_bytes", file_size.as_u64().into()),
-        ],
-    );
-    if telemetry::enabled() {
-        telemetry::counter_add("cpr.checkpoints", 1);
-        telemetry::observe("cpr.checkpoint_ns", report.total().as_nanos());
-    }
-    Ok(report)
+    let policy = CprPolicy::sequential().incremental(true);
+    engine::snapshot(lib, cluster, app_pid, path, &policy).map(|o| o.report)
 }
 
 /// Pipelined checkpoint: the same four phases as [`checkpoint_checl`],
@@ -501,7 +270,7 @@ pub fn checkpoint_checl_pipelined(
     app_pid: Pid,
     path: &str,
 ) -> Result<CheckpointReport, CheclCprError> {
-    checkpoint_checl_pipelined_inner(lib, cluster, app_pid, path, false)
+    engine::snapshot(lib, cluster, app_pid, path, &CprPolicy::pipelined()).map(|o| o.report)
 }
 
 /// Pipelined + incremental checkpoint: clean buffers are neither copied
@@ -514,339 +283,9 @@ pub fn checkpoint_checl_pipelined_incremental(
     app_pid: Pid,
     path: &str,
 ) -> Result<CheckpointReport, CheclCprError> {
-    checkpoint_checl_pipelined_inner(lib, cluster, app_pid, path, true)
+    let policy = CprPolicy::pipelined().incremental(true);
+    engine::snapshot(lib, cluster, app_pid, path, &policy).map(|o| o.report)
 }
-
-/// The overlapped copy/stream window: open the stream writer (header
-/// first), then for each buffer schedule the D2H copy on its device's
-/// PCIe channel and the chunk append on the storage channel. Returns
-/// `(end of the last copy, end of the commit, file size)`. The caller
-/// aborts `writer_slot` and rolls back on error.
-#[allow(clippy::too_many_arguments)]
-fn pipelined_data_path(
-    lib: &mut ChecLib,
-    cluster: &mut Cluster,
-    app_pid: Pid,
-    path: &str,
-    mems: &[(u64, RawHandle, u64, u64, bool)],
-    channels: &mut ChannelSet,
-    writer_slot: &mut Option<StreamWriter>,
-) -> Result<(SimTime, SimTime, ByteSize), CheclCprError> {
-    let phase0 = channels.origin();
-    let disk = channels.channel(storage_channel_name(cluster, app_pid, path));
-    let ipc = channels.channel("ipc");
-
-    // The header (process image + stripped CheCL state) goes to disk
-    // before any copy has landed.
-    cluster.process_mut(app_pid).clock = phase0;
-    *writer_slot = Some(StreamWriter::begin(cluster, app_pid, path)?);
-    let header_end = cluster.process(app_pid).clock;
-    channels.place(disk, phase0, header_end.since(phase0), "stream.header");
-
-    let mut copies_done = phase0;
-    for &(checl_mem, vendor_mem, context, size, skip) in mems {
-        if skip {
-            continue;
-        }
-        let (q_vendor, dev_index) = queue_and_device_in_context(lib, context)
-            .ok_or(CheclCprError::Cl(ClError::InvalidContext))?;
-        let pcie = channels.channel(&format!("pcie.dev{dev_index}"));
-        // D2H copy: starts as soon as this device's PCIe link frees up.
-        let ready = channels.free_at(pcie).max(phase0);
-        let mut t = ready;
-        let (data, ev) = lib
-            .forward(
-                &mut t,
-                ApiRequest::EnqueueReadBuffer {
-                    queue: CommandQueue::from_raw(q_vendor),
-                    mem: Mem::from_raw(vendor_mem),
-                    blocking: true,
-                    offset: 0,
-                    size,
-                    wait_list: vec![],
-                },
-            )?
-            .into_data_event()?;
-        let copy = channels.place(pcie, ready, t.since(ready), "d2h");
-        // Event release is cheap app↔proxy chatter on its own channel.
-        let mut t2 = copy.end;
-        lib.forward(
-            &mut t2,
-            ApiRequest::ReleaseEvent {
-                event: Event::from_raw(ev.raw()),
-            },
-        )?;
-        let rel = channels.place(ipc, copy.end, t2.since(copy.end), "release");
-        copies_done = copies_done.max(rel.end);
-        // Stream the chunk while the next copy is in flight. The chunk
-        // buffer is moved into the writer, never cloned.
-        let wready = channels.free_at(disk).max(copy.end);
-        cluster.process_mut(app_pid).clock = wready;
-        writer_slot
-            .as_mut()
-            .expect("writer open")
-            .append_chunk(cluster, checl_mem, data)?;
-        let wend = cluster.process(app_pid).clock;
-        channels.place(disk, wready, wend.since(wready), "stream.chunk");
-    }
-
-    // Seal + atomically publish once the last chunk has landed.
-    let fready = channels.free_at(disk).max(copies_done);
-    cluster.process_mut(app_pid).clock = fready;
-    let (file_size, _) = writer_slot.as_mut().expect("writer open").finish(cluster)?;
-    let commit_end = cluster.process(app_pid).clock;
-    channels.place(disk, fready, commit_end.since(fready), "stream.commit");
-    Ok((copies_done, commit_end, file_size))
-}
-
-fn checkpoint_checl_pipelined_inner(
-    lib: &mut ChecLib,
-    cluster: &mut Cluster,
-    app_pid: Pid,
-    path: &str,
-    incremental: bool,
-) -> Result<CheckpointReport, CheclCprError> {
-    if !lib.has_proxy() {
-        return Err(CheclCprError::NoProxy);
-    }
-    let mut now = cluster.process(app_pid).clock;
-    let _scope = telemetry::track_scope(telemetry::Track::process(app_pid.0 as u64));
-    let start = now;
-    telemetry::span_begin(
-        "cpr",
-        "checkpoint",
-        start,
-        vec![
-            ("path", path.into()),
-            ("incremental", u64::from(incremental).into()),
-            ("pipelined", 1u64.into()),
-        ],
-    );
-
-    // Phase 1: synchronize — identical to the sequential engine.
-    let t0 = now;
-    telemetry::span_begin("cpr", telemetry::QUIESCE_AFTER, t0, Vec::new());
-    let queues: Vec<RawHandle> = lib
-        .db
-        .live_of_kind(HandleKind::CommandQueue)
-        .map(|e| e.vendor)
-        .collect();
-    let queue_count = queues.len();
-    for q in queues {
-        lib.forward(
-            &mut now,
-            ApiRequest::Finish {
-                queue: CommandQueue::from_raw(q),
-            },
-        )?;
-    }
-    let sync = now.since(t0);
-    telemetry::span_end(
-        "cpr",
-        telemetry::QUIESCE_AFTER,
-        now,
-        vec![("queues", queue_count.into())],
-    );
-
-    // Phases 2+3: the overlapped copy/stream window.
-    let phase0 = now;
-    telemetry::span_begin("cpr", "checkpoint.preprocess", phase0, Vec::new());
-    let mems: Vec<(u64, RawHandle, u64, u64, bool)> = lib
-        .db
-        .live_of_kind(HandleKind::Mem)
-        .map(|e| {
-            let (context, size, skip) = match &e.record {
-                ObjectRecord::Mem {
-                    context,
-                    size,
-                    dirty,
-                    saved_in,
-                    ..
-                } => (*context, *size, incremental && !dirty && saved_in.is_some()),
-                _ => unreachable!("kind filter"),
-            };
-            (e.checl, e.vendor, context, size, skip)
-        })
-        .collect();
-    let copied_bytes: u64 = mems.iter().filter(|m| !m.4).map(|m| m.3).sum();
-    let skipped: u64 = mems.iter().filter(|m| m.4).count() as u64;
-    // Mark every streamed buffer clean *before* encoding the state: the
-    // dumped records must say "bytes live in `path`", because the
-    // chunks ride in this very file (the state segment itself carries
-    // no payloads). A failed attempt un-marks them below, exactly like
-    // the sequential rollback.
-    for &(checl_mem, _, _, _, skip) in &mems {
-        if skip {
-            continue;
-        }
-        if let Some(e) = lib.db.get_mut(checl_mem) {
-            if let ObjectRecord::Mem {
-                saved_data,
-                dirty,
-                saved_in,
-                ..
-            } = &mut e.record
-            {
-                *saved_data = None;
-                *dirty = false;
-                *saved_in = Some(path.to_string());
-            }
-        }
-    }
-    cluster
-        .process_mut(app_pid)
-        .image
-        .put(CHECL_STATE_SEGMENT, lib.encode_state());
-
-    let mut channels = ChannelSet::new(phase0).with_telemetry(app_pid.0 as u64, CHANNEL_TRACK_BASE);
-    let mut writer: Option<StreamWriter> = None;
-    let (copies_done, commit_end, file_size) = match pipelined_data_path(
-        lib,
-        cluster,
-        app_pid,
-        path,
-        &mems,
-        &mut channels,
-        &mut writer,
-    ) {
-        Ok(done) => done,
-        Err(err) => {
-            // Same rollback as the sequential engine: drop the tmp (the
-            // previous generation at `path` is untouched), take the
-            // state segment back out, forget the references to the file
-            // that never landed, and close the open spans.
-            if let Some(w) = writer.as_mut() {
-                w.abort(cluster);
-            }
-            let now = channels.makespan().max(cluster.process(app_pid).clock);
-            cluster.process_mut(app_pid).clock = now;
-            cluster.process_mut(app_pid).image.take(CHECL_STATE_SEGMENT);
-            let mem_handles: Vec<u64> = lib
-                .db
-                .live_of_kind(HandleKind::Mem)
-                .map(|e| e.checl)
-                .collect();
-            for h in mem_handles {
-                if let Some(entry) = lib.db.get_mut(h) {
-                    if let ObjectRecord::Mem {
-                        saved_data,
-                        saved_in,
-                        dirty,
-                        ..
-                    } = &mut entry.record
-                    {
-                        if saved_in.as_deref() == Some(path) {
-                            *saved_data = None;
-                            *saved_in = None;
-                            *dirty = true;
-                        }
-                    }
-                }
-            }
-            telemetry::span_end(
-                "cpr",
-                "checkpoint.preprocess",
-                now,
-                vec![("error", err.to_string().into())],
-            );
-            telemetry::span_begin("cpr", telemetry::QUIESCE_UNTIL, now, Vec::new());
-            telemetry::span_end(
-                "cpr",
-                telemetry::QUIESCE_UNTIL,
-                now,
-                vec![("error", err.to_string().into())],
-            );
-            telemetry::span_end(
-                "cpr",
-                "checkpoint",
-                now,
-                vec![("error", err.to_string().into())],
-            );
-            return Err(err);
-        }
-    };
-
-    // The preprocess phase of the Fig. 5 breakdown ends when the last
-    // copy lands; everything past that is write-side wall-clock.
-    let preprocess = copies_done.since(phase0);
-    telemetry::span_end(
-        "cpr",
-        "checkpoint.preprocess",
-        copies_done,
-        vec![
-            ("copied_bytes", copied_bytes.into()),
-            ("skipped_clean", skipped.into()),
-        ],
-    );
-    telemetry::span_begin("cpr", telemetry::QUIESCE_UNTIL, copies_done, Vec::new());
-    let mut now = channels.makespan().max(commit_end);
-    let write = now.since(copies_done);
-    telemetry::span_end(
-        "cpr",
-        telemetry::QUIESCE_UNTIL,
-        now,
-        vec![("file_bytes", file_size.as_u64().into())],
-    );
-
-    // Phase 4: postprocess — the streamed chunk buffers still had host
-    // copies to free, so the per-buffer cost matches the sequential
-    // engine exactly.
-    let t0 = now;
-    telemetry::span_begin("cpr", "checkpoint.postprocess", t0, Vec::new());
-    let mem_handles: Vec<u64> = lib
-        .db
-        .live_of_kind(HandleKind::Mem)
-        .map(|e| e.checl)
-        .collect();
-    for h in mem_handles {
-        if let Some(e) = lib.db.get_mut(h) {
-            if let ObjectRecord::Mem { saved_data, .. } = &mut e.record {
-                *saved_data = None;
-            }
-        }
-        now += SimDuration::from_micros(15); // free()
-    }
-    cluster.process_mut(app_pid).image.take(CHECL_STATE_SEGMENT);
-    cluster.process_mut(app_pid).clock = now;
-    let postprocess = now.since(t0);
-    telemetry::span_end("cpr", "checkpoint.postprocess", now, Vec::new());
-
-    let report = CheckpointReport {
-        sync,
-        preprocess,
-        write,
-        postprocess,
-        file_size,
-        overlap_saved: channels.overlap_saved(),
-    };
-    debug_assert_eq!(now.since(start), report.total());
-    telemetry::span_end(
-        "cpr",
-        "checkpoint",
-        now,
-        vec![
-            ("total_ns", report.total().into()),
-            ("file_bytes", file_size.as_u64().into()),
-            ("overlap_saved_ns", report.overlap_saved.into()),
-        ],
-    );
-    if telemetry::enabled() {
-        telemetry::counter_add("cpr.checkpoints", 1);
-        telemetry::observe("cpr.checkpoint_ns", report.total().as_nanos());
-        telemetry::observe("cpr.overlap_saved_ns", report.overlap_saved.as_nanos());
-        for stat in channels.stats() {
-            telemetry::counter_add(
-                &format!("cpr.chan.{}.busy_ns", stat.name),
-                stat.busy.as_nanos(),
-            );
-        }
-    }
-    Ok(report)
-}
-
-/// Telemetry `tid` base for per-channel swimlanes (well above any real
-/// thread id the simulation mints).
-const CHANNEL_TRACK_BASE: u64 = 100;
 
 /// Re-create every OpenCL object recorded in the database, in the
 /// dependency order of §III-C, against a freshly attached proxy.
@@ -1239,7 +678,8 @@ fn restore_one(
 
 /// Full restart: BLCR-restore the application process from `path` on
 /// `node`, rebuild the CheCL shim from its dumped state, fork a new
-/// proxy with `vendor`, and re-create all OpenCL objects.
+/// proxy with `vendor`, and re-create all OpenCL objects. Expects a
+/// sequential dump; [`engine::restore`] handles either format.
 pub fn restart_checl_process(
     cluster: &mut Cluster,
     node: NodeId,
@@ -1247,78 +687,7 @@ pub fn restart_checl_process(
     vendor: VendorConfig,
     target: RestoreTarget,
 ) -> Result<(ChecLib, Pid, RestoreReport), CheclCprError> {
-    let pid = blcr::restart(cluster, node, path)?;
-    let _scope = telemetry::track_scope(telemetry::Track::process(pid.0 as u64));
-    let state = match cluster.process(pid).image.get(CHECL_STATE_SEGMENT) {
-        Some(bytes) => bytes.to_vec(),
-        None => {
-            cluster.kill(pid);
-            return Err(CheclCprError::MissingState);
-        }
-    };
-    let mut lib = match ChecLib::decode_state(&state) {
-        Ok(lib) => lib,
-        Err(e) => {
-            cluster.kill(pid);
-            return Err(CheclCprError::BadState(e));
-        }
-    };
-    if let Err(e) = resolve_incremental_data(cluster, pid, &mut lib, path) {
-        cluster.kill(pid);
-        return Err(e);
-    }
-    telemetry::span_begin(
-        "cpr",
-        "restart",
-        cluster.process(pid).clock,
-        vec![("path", path.into())],
-    );
-    refork_proxy(cluster, &mut lib, pid, vendor);
-    let mut now = cluster.process(pid).clock;
-    let report = match restore_checl(&mut lib, &mut now, target) {
-        Ok(report) => report,
-        Err(e) => {
-            // Restore failed (e.g. the host has no usable device):
-            // surface the typed error, but don't leak the half-restored
-            // process or its proxy.
-            cluster.process_mut(pid).clock = now;
-            telemetry::span_end("cpr", "restart", now, vec![("error", e.to_string().into())]);
-            crate::boot::kill_proxy(cluster, &mut lib);
-            cluster.kill(pid);
-            return Err(e);
-        }
-    };
-    cluster.process_mut(pid).clock = now;
-    telemetry::span_end(
-        "cpr",
-        "restart",
-        now,
-        vec![("restore_total_ns", report.total().into())],
-    );
-    if telemetry::enabled() {
-        telemetry::counter_add("cpr.restarts", 1);
-    }
-    Ok((lib, pid, report))
-}
-
-/// Close the restart span and tear down the half-restored process and
-/// its proxy after a mid-restart failure.
-fn restart_cleanup(
-    cluster: &mut Cluster,
-    lib: &mut ChecLib,
-    pid: Pid,
-    now: SimTime,
-    err: &CheclCprError,
-) {
-    cluster.process_mut(pid).clock = now;
-    telemetry::span_end(
-        "cpr",
-        "restart",
-        now,
-        vec![("error", err.to_string().into())],
-    );
-    crate::boot::kill_proxy(cluster, lib);
-    cluster.kill(pid);
+    engine::restore_sequential(cluster, node, path, vendor, target)
 }
 
 /// Pipelined restart: the mirror of [`checkpoint_checl_pipelined`].
@@ -1336,214 +705,7 @@ pub fn restart_checl_pipelined(
     vendor: VendorConfig,
     target: RestoreTarget,
 ) -> Result<(ChecLib, Pid, RestoreReport), CheclCprError> {
-    let pid = cluster.spawn(node);
-    let t0 = cluster.process(pid).clock;
-    let bytes = match cluster.read_file(pid, path) {
-        Ok(bytes) => bytes,
-        Err(e) => {
-            cluster.kill(pid);
-            return Err(CheclCprError::Cpr(CprError::Fs(e)));
-        }
-    };
-    if !blcr::is_stream_file(&bytes) {
-        // Sequential dump: the classic restart handles it (and
-        // re-charges the file read to the process it spawns).
-        cluster.kill(pid);
-        return restart_checl_process(cluster, node, path, vendor, target);
-    }
-    let parsed = match blcr::parse_stream(&bytes) {
-        Ok(parsed) => parsed,
-        Err(e) => {
-            cluster.kill(pid);
-            return Err(CheclCprError::Cpr(CprError::Corrupt(e)));
-        }
-    };
-    drop(bytes);
-    let blcr::ParsedStream {
-        header,
-        chunks,
-        chunk_bytes,
-        tail_bytes,
-        header_bytes,
-        ..
-    } = parsed;
-
-    let _scope = telemetry::track_scope(telemetry::Track::process(pid.0 as u64));
-    // The whole-file read above validated the stream but charged the
-    // clock as one blocking read; rewind and re-account it as a
-    // progressive scan on the storage channel, so later chunks are
-    // still streaming in while the restore below is already running.
-    cluster.process_mut(pid).clock = t0;
-    let read_link = {
-        let node_id = cluster.process(pid).node;
-        cluster
-            .node(node_id)
-            .resolve(path)
-            .map(|(fs, _)| cluster.fs(fs).kind())
-            .unwrap_or(FsKind::LocalDisk)
-            .read_link()
-    };
-    let mut channels = ChannelSet::new(t0).with_telemetry(pid.0 as u64, CHANNEL_TRACK_BASE);
-    let disk = channels.channel(storage_channel_name(cluster, pid, path));
-    let ipc = channels.channel("ipc");
-    let hdr = channels.place(
-        disk,
-        t0,
-        read_link.cost(ByteSize::bytes(header_bytes)),
-        "stream.header",
-    );
-    cluster.process_mut(pid).clock = hdr.end;
-    cluster.process_mut(pid).image = header.image;
-
-    let state = match cluster.process(pid).image.get(CHECL_STATE_SEGMENT) {
-        Some(bytes) => bytes.to_vec(),
-        None => {
-            cluster.kill(pid);
-            return Err(CheclCprError::MissingState);
-        }
-    };
-    let mut lib = match ChecLib::decode_state(&state) {
-        Ok(lib) => lib,
-        Err(e) => {
-            cluster.kill(pid);
-            return Err(CheclCprError::BadState(e));
-        }
-    };
-    // Buffers streamed into *this* file are excluded here (their bytes
-    // arrive as chunks below); only references into older incremental
-    // generations are resolved from disk.
-    if let Err(e) = resolve_incremental_data(cluster, pid, &mut lib, path) {
-        cluster.kill(pid);
-        return Err(e);
-    }
-    telemetry::span_begin(
-        "cpr",
-        "restart",
-        cluster.process(pid).clock,
-        vec![("path", path.into()), ("pipelined", 1u64.into())],
-    );
-    refork_proxy(cluster, &mut lib, pid, vendor);
-    let mut now = cluster.process(pid).clock;
-    let mut report = match restore_checl(&mut lib, &mut now, target) {
-        Ok(report) => report,
-        Err(e) => {
-            restart_cleanup(cluster, &mut lib, pid, now, &e);
-            return Err(e);
-        }
-    };
-
-    // Overlapped data path: chunk reads serialize on the storage
-    // channel (they follow the header in file order), while each
-    // chunk's upload starts once the chunk is in host memory, the
-    // objects exist (`now`), and its device's PCIe link is free.
-    let mut upload_end = now;
-    for (i, chunk) in chunks.into_iter().enumerate() {
-        let rd = channels.place(
-            disk,
-            hdr.end,
-            read_link
-                .bandwidth
-                .transfer_time(ByteSize::bytes(chunk_bytes[i])),
-            "stream.chunk",
-        );
-        let context = match lib.db.get(chunk.handle).map(|e| &e.record) {
-            Some(ObjectRecord::Mem { context, .. }) => *context,
-            _ => {
-                let err = CheclCprError::MissingState;
-                restart_cleanup(cluster, &mut lib, pid, now, &err);
-                return Err(err);
-            }
-        };
-        let vendor_mem = match lib.db.vendor_of(chunk.handle) {
-            Some(v) => v,
-            None => {
-                let err = CheclCprError::MissingState;
-                restart_cleanup(cluster, &mut lib, pid, now, &err);
-                return Err(err);
-            }
-        };
-        let Some((q_vendor, dev_index)) = queue_and_device_in_context(&lib, context) else {
-            let err = CheclCprError::Cl(ClError::InvalidContext);
-            restart_cleanup(cluster, &mut lib, pid, now, &err);
-            return Err(err);
-        };
-        let pcie = channels.channel(&format!("pcie.dev{dev_index}"));
-        let ready = channels.free_at(pcie).max(rd.end).max(now);
-        let mut t = ready;
-        let upload = lib
-            .forward(
-                &mut t,
-                ApiRequest::EnqueueWriteBuffer {
-                    queue: CommandQueue::from_raw(q_vendor),
-                    mem: Mem::from_raw(vendor_mem),
-                    blocking: true,
-                    offset: 0,
-                    data: chunk.data,
-                    wait_list: vec![],
-                },
-            )
-            .and_then(|resp| resp.into_event());
-        let ev = match upload {
-            Ok(ev) => ev,
-            Err(e) => {
-                let err = CheclCprError::Cl(e);
-                restart_cleanup(cluster, &mut lib, pid, now, &err);
-                return Err(err);
-            }
-        };
-        let up = channels.place(pcie, ready, t.since(ready), "h2d");
-        let mut t2 = up.end;
-        if let Err(e) = lib.forward(&mut t2, ApiRequest::ReleaseEvent { event: ev }) {
-            let err = CheclCprError::Cl(e);
-            restart_cleanup(cluster, &mut lib, pid, now, &err);
-            return Err(err);
-        }
-        let rel = channels.place(ipc, up.end, t2.since(up.end), "release");
-        upload_end = upload_end.max(rel.end);
-    }
-    // The trailer + baseline padding finish the file scan.
-    let tail = channels.place(
-        disk,
-        hdr.end,
-        read_link
-            .bandwidth
-            .transfer_time(ByteSize::bytes(tail_bytes)),
-        "stream.tail",
-    );
-    let end = upload_end.max(tail.end).max(now);
-    // The streamed-data window past the object restore counts toward
-    // the Mem row of the Fig. 7 breakdown.
-    let stream_wall = end.since(now);
-    if stream_wall > SimDuration::ZERO {
-        *report
-            .per_kind
-            .entry(HandleKind::Mem)
-            .or_insert(SimDuration::ZERO) += stream_wall;
-    }
-    let now = end;
-    cluster.process_mut(pid).clock = now;
-    telemetry::span_end(
-        "cpr",
-        "restart",
-        now,
-        vec![("restore_total_ns", report.total().into())],
-    );
-    if telemetry::enabled() {
-        telemetry::counter_add("cpr.restarts", 1);
-    }
-    Ok((lib, pid, report))
-}
-
-/// Fill in buffer data that an incremental checkpoint left in earlier
-/// checkpoint files. Each referenced file is read (and its CheCL state
-/// decoded) at most once.
-fn resolve_incremental_data(
-    cluster: &mut Cluster,
-    pid: Pid,
-    lib: &mut ChecLib,
-    current_path: &str,
-) -> Result<(), CheclCprError> {
-    resolve_saved_data(cluster, pid, lib, Some(current_path)).map(|_| ())
+    engine::restore(cluster, node, path, vendor, target)
 }
 
 /// Load `saved_data` for every clean buffer whose bytes live in a
@@ -1579,36 +741,12 @@ pub(crate) fn resolve_saved_data(
             let bytes = cluster
                 .read_file(pid, &file)
                 .map_err(|e| CheclCprError::Cpr(CprError::Fs(e)))?;
-            let old = if blcr::is_stream_file(&bytes) {
-                // Pipelined (streamed) dump: the state segment carries no
-                // payloads; buffer bytes ride in the chunk frames, keyed
-                // by CheCL handle. Re-attach them so the lookup below is
-                // format-agnostic.
-                let parsed = blcr::parse_stream(&bytes).map_err(CheclCprError::BadState)?;
-                let state = parsed
-                    .header
-                    .image
-                    .get(CHECL_STATE_SEGMENT)
-                    .ok_or(CheclCprError::MissingState)?;
-                let mut old = ChecLib::decode_state(state).map_err(CheclCprError::BadState)?;
-                for chunk in parsed.chunks {
-                    if let Some(e) = old.db.get_mut(chunk.handle) {
-                        if let ObjectRecord::Mem { saved_data, .. } = &mut e.record {
-                            *saved_data = Some(chunk.data);
-                        }
-                    }
-                }
-                old
-            } else {
-                let ck = blcr::CheckpointFile::from_file_bytes(&bytes)
-                    .map_err(CheclCprError::BadState)?;
-                let state = ck
-                    .image
-                    .get(CHECL_STATE_SEGMENT)
-                    .ok_or(CheclCprError::MissingState)?;
-                ChecLib::decode_state(state).map_err(CheclCprError::BadState)?
-            };
-            cache.insert(file.clone(), old);
+            // Whatever policy wrote the referenced file, the sniffer
+            // identifies it and `shim_from_dump` hands back a shim with
+            // the payloads attached (for a streamed dump the bytes ride
+            // in the chunk frames, keyed by CheCL handle).
+            let dump = blcr::sniff_dump(&bytes).map_err(CheclCprError::BadState)?;
+            cache.insert(file.clone(), engine::shim_from_dump(dump)?);
         }
         // The cached old shim is a throwaway: move the bytes out of it
         // instead of cloning a multi-MB payload.

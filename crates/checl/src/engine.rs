@@ -1,0 +1,1134 @@
+//! The unified checkpoint/restore engine (§III-C + §IV-C/D behind one
+//! policy).
+//!
+//! Every way this codebase knows how to snapshot a CheCL application —
+//! sequential or streamed on-disk format, full or incremental payloads,
+//! back-to-back or channel-overlapped data path, raw or
+//! verify/retry/fallback-wrapped commit — is one [`CprPolicy`] handed
+//! to [`snapshot`]. The four-phase structure (synchronize → preprocess
+//! → write → postprocess) and its telemetry live here exactly once;
+//! the legacy entry points in [`crate::cpr`] and [`crate::recovery`]
+//! are thin shims over this module, as is process migration
+//! ([`crate::migrate`]) and the MPI-rank plumbing in `mpisim`.
+//!
+//! The policy lattice maps onto the legacy API like this:
+//!
+//! | legacy entry point                       | policy                                    |
+//! |------------------------------------------|-------------------------------------------|
+//! | `checkpoint_checl`                       | `CprPolicy::sequential()`                  |
+//! | `checkpoint_checl_incremental`           | `CprPolicy::sequential().incremental(true)`|
+//! | `checkpoint_checl_pipelined`             | `CprPolicy::pipelined()`                   |
+//! | `checkpoint_checl_pipelined_incremental` | `CprPolicy::pipelined().incremental(true)` |
+//! | `checkpoint_with_recovery`               | `CprPolicy::sequential().with_recovery(…)` |
+//! | `restart_checl_process`                  | [`restore`] (sequential dump)              |
+//! | `restart_checl_pipelined`                | [`restore`] (either dump format)           |
+//!
+//! [`restore`] sniffs the on-disk format ([`blcr::sniff_dump`]) and
+//! rebuilds the process with the matching data path, so a restore
+//! site never needs to know which policy produced the file.
+
+use crate::boot::{kill_proxy, refork_proxy};
+use crate::cpr::{
+    queue_and_device_in_context, queue_in_context, resolve_saved_data, restore_checl,
+    storage_channel_name, CheckpointMode, CheckpointReport, CheclCprError, RestoreReport,
+    RestoreTarget, CHECL_STATE_SEGMENT,
+};
+use crate::objects::ObjectRecord;
+use crate::runtime::ChecLib;
+use blcr::{CprError, RecoveryAttempt, RecoveryOutcome, RetryPolicy, SniffedDump, StreamWriter};
+use cldriver::VendorConfig;
+use clspec::api::ApiRequest;
+use clspec::error::ClError;
+use clspec::handles::{CommandQueue, Event, HandleKind, Mem, RawHandle};
+use osproc::{Cluster, FsError, FsKind, NodeId, Pid};
+use simcore::channels::ChannelSet;
+use simcore::{telemetry, ByteSize, SimDuration, SimTime};
+
+/// Telemetry `tid` base for per-channel swimlanes (well above any real
+/// thread id the simulation mints).
+pub(crate) const CHANNEL_TRACK_BASE: u64 = 100;
+
+/// On-disk layout of a snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SnapshotFormat {
+    /// One framed [`blcr::CheckpointFile`]; buffer payloads ride inside
+    /// the dumped state segment.
+    #[default]
+    Sequential,
+    /// The chunked `BLCS` stream ([`blcr::stream`]): header image +
+    /// per-buffer chunk frames + sealing trailer.
+    Streamed,
+}
+
+/// Commit hardening for a snapshot: each attempt writes `<target>.tmp`,
+/// is verified on read-back, and is published by one atomic rename;
+/// transient I/O failures retry with doubling virtual-time backoff and
+/// fall through the ordered target list.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryPolicy {
+    /// Attempts per target, backoff base, and whether to verify.
+    pub retry: RetryPolicy,
+    /// Targets tried (in order) after the primary path fails
+    /// persistently, e.g. `["/ram/a.ckpt", "/nfs/a.ckpt"]`.
+    pub fallback_targets: Vec<String>,
+}
+
+/// Everything that can vary about taking a snapshot, in one value.
+#[derive(Clone, Debug, Default)]
+pub struct CprPolicy {
+    /// On-disk format. [`SnapshotFormat::Streamed`] is implied by
+    /// `pipelined` (the overlapped data path writes chunk streams).
+    pub format: SnapshotFormat,
+    /// Skip clean buffers whose bytes already live in an earlier file.
+    pub incremental: bool,
+    /// Overlap D2H copies with chunk writes on per-resource channels.
+    pub pipelined: bool,
+    /// Verify/retry/fallback commit hardening; `None` means one raw
+    /// attempt at the primary path (legacy semantics).
+    pub recovery: Option<RecoveryPolicy>,
+    /// When the snapshot runs relative to the triggering signal.
+    /// Advisory: enacted by signal-driven callers (e.g.
+    /// `CheclSession::run_with_cpr`), not by [`snapshot`] itself.
+    pub trigger: CheckpointMode,
+}
+
+impl CprPolicy {
+    /// The classic §III-C engine: sequential format, full payloads,
+    /// back-to-back data path, no commit hardening.
+    pub fn sequential() -> CprPolicy {
+        CprPolicy::default()
+    }
+
+    /// The overlapped engine: streamed format, copies and chunk writes
+    /// pipelined across resource channels.
+    pub fn pipelined() -> CprPolicy {
+        CprPolicy {
+            format: SnapshotFormat::Streamed,
+            pipelined: true,
+            ..CprPolicy::default()
+        }
+    }
+
+    /// Toggle incremental payloads.
+    pub fn incremental(mut self, on: bool) -> CprPolicy {
+        self.incremental = on;
+        self
+    }
+
+    /// Add verify/retry/fallback commit hardening.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> CprPolicy {
+        self.recovery = Some(recovery);
+        self
+    }
+
+    /// Postpone the snapshot to the next natural sync point.
+    pub fn delayed(mut self) -> CprPolicy {
+        self.trigger = CheckpointMode::Delayed;
+        self
+    }
+
+    /// Whether this policy writes the streamed (`BLCS`) format — true
+    /// for an explicit [`SnapshotFormat::Streamed`] and always for the
+    /// pipelined data path.
+    pub fn streamed(&self) -> bool {
+        self.pipelined || self.format == SnapshotFormat::Streamed
+    }
+}
+
+/// What one [`snapshot`] call produced.
+#[derive(Clone, Debug)]
+pub struct SnapshotOutcome {
+    /// The four-phase breakdown of the committed attempt.
+    pub report: CheckpointReport,
+    /// Where the snapshot actually landed — the requested path, or a
+    /// fallback target if commit hardening had to fall through.
+    pub path: String,
+    /// Retry/fallback accounting when a [`RecoveryPolicy`] was active.
+    pub recovery: Option<RecoveryOutcome>,
+}
+
+/// Snapshot a CheCL application under `policy`.
+///
+/// Without a [`RecoveryPolicy`] this is exactly one four-phase
+/// checkpoint at `path` (a failed write rolls the shim's bookkeeping
+/// back and leaves any previous generation at `path` untouched). With
+/// one, every attempt lands in `<target>.tmp`, is verified, and is
+/// atomically renamed into place, retrying and falling through targets
+/// on transient faults.
+pub fn snapshot(
+    lib: &mut ChecLib,
+    cluster: &mut Cluster,
+    app_pid: Pid,
+    path: &str,
+    policy: &CprPolicy,
+) -> Result<SnapshotOutcome, CheclCprError> {
+    let streamed = policy.streamed();
+    let incremental = policy.incremental;
+    let Some(rp) = &policy.recovery else {
+        let report = snapshot_once(lib, cluster, app_pid, path, streamed, incremental)?;
+        return Ok(SnapshotOutcome {
+            report,
+            path: path.to_string(),
+            recovery: None,
+        });
+    };
+    let mut targets: Vec<&str> = vec![path];
+    targets.extend(rp.fallback_targets.iter().map(String::as_str));
+    let retry = rp.retry;
+    let (report, outcome) = blcr::drive_recovery(
+        cluster,
+        app_pid,
+        &targets,
+        &retry,
+        |cluster, tmp, target| {
+            let report = match snapshot_once(lib, cluster, app_pid, tmp, streamed, incremental) {
+                Ok(r) => r,
+                Err(e @ CheclCprError::Cpr(CprError::Fs(_))) => {
+                    return RecoveryAttempt::Transient(e)
+                }
+                Err(fatal) => return RecoveryAttempt::Fatal(fatal),
+            };
+            if retry.verify {
+                match verify_snapshot_file(cluster, app_pid, tmp, report.file_size.as_u64()) {
+                    Ok(()) => {}
+                    Err(e @ CheclCprError::Cpr(CprError::Fs(_))) => {
+                        // The read-back itself failed: the file may be
+                        // fine, but we can't prove it — drop the
+                        // references and retry (the temp is reused).
+                        invalidate_saves(lib, tmp);
+                        return RecoveryAttempt::Transient(e);
+                    }
+                    Err(e) => {
+                        recovery_event(cluster, app_pid, "recovery.verify_failed", tmp);
+                        let _ = cluster.delete_file(app_pid, tmp);
+                        invalidate_saves(lib, tmp);
+                        return RecoveryAttempt::Transient(e);
+                    }
+                }
+            }
+            if let Err(e) = cluster.rename_file(app_pid, tmp, target) {
+                return RecoveryAttempt::Fatal(CheclCprError::Cpr(CprError::Fs(e)));
+            }
+            repoint_saves(lib, tmp, target);
+            RecoveryAttempt::Committed {
+                value: report,
+                size: report.file_size,
+            }
+        },
+        || CheclCprError::Cpr(CprError::Fs(FsError::WriteFailed(path.to_string()))),
+    )?;
+    Ok(SnapshotOutcome {
+        report,
+        path: outcome.path.clone(),
+        recovery: Some(outcome),
+    })
+}
+
+/// One raw four-phase checkpoint attempt — the single place the
+/// synchronize → preprocess → write → postprocess structure exists.
+/// `streamed` selects the data path for the middle phases; the sync
+/// and postprocess phases (and the report/telemetry bookkeeping) are
+/// shared.
+pub(crate) fn snapshot_once(
+    lib: &mut ChecLib,
+    cluster: &mut Cluster,
+    app_pid: Pid,
+    path: &str,
+    streamed: bool,
+    incremental: bool,
+) -> Result<CheckpointReport, CheclCprError> {
+    if !lib.has_proxy() {
+        return Err(CheclCprError::NoProxy);
+    }
+    let mut now = cluster.process(app_pid).clock;
+    let _scope = telemetry::track_scope(telemetry::Track::process(app_pid.0 as u64));
+    let start = now;
+    let mut open_args = vec![
+        ("path", path.into()),
+        ("incremental", u64::from(incremental).into()),
+    ];
+    if streamed {
+        open_args.push(("pipelined", 1u64.into()));
+    }
+    telemetry::span_begin("cpr", "checkpoint", start, open_args);
+
+    // Phase 1: synchronize the host and all command queues. An error
+    // here propagates with the spans deliberately left open: the
+    // process is in an undefined quiesce state and the trace should
+    // show exactly where it stopped.
+    let sync = sync_queues(lib, &mut now)?;
+
+    let mems = collect_mems(lib, incremental);
+
+    let (now, preprocess, write, file_size, channels) = if !streamed {
+        // Phase 2: preprocess — copy all user data in device memory to
+        // the host memory.
+        let t0 = now;
+        telemetry::span_begin("cpr", "checkpoint.preprocess", t0, Vec::new());
+        let mut copied_bytes: u64 = 0;
+        let mut skipped: u64 = 0;
+        for &(checl_mem, vendor_mem, context, size, skip) in &mems {
+            if skip {
+                // Clean buffer: its bytes already live in a previous
+                // checkpoint file; nothing to copy.
+                skipped += 1;
+                continue;
+            }
+            copied_bytes += size;
+            let (_q_checl, q_vendor) =
+                queue_in_context(lib, context).ok_or(CheclCprError::Cl(ClError::InvalidContext))?;
+            let (data, ev) = lib
+                .forward(
+                    &mut now,
+                    ApiRequest::EnqueueReadBuffer {
+                        queue: CommandQueue::from_raw(q_vendor),
+                        mem: Mem::from_raw(vendor_mem),
+                        blocking: true,
+                        offset: 0,
+                        size,
+                        wait_list: vec![],
+                    },
+                )?
+                .into_data_event()?;
+            lib.forward(
+                &mut now,
+                ApiRequest::ReleaseEvent {
+                    event: Event::from_raw(ev.raw()),
+                },
+            )?;
+            if let Some(e) = lib.db.get_mut(checl_mem) {
+                if let ObjectRecord::Mem {
+                    saved_data,
+                    dirty,
+                    saved_in,
+                    ..
+                } = &mut e.record
+                {
+                    *saved_data = Some(data);
+                    *dirty = false;
+                    *saved_in = Some(path.to_string());
+                }
+            }
+        }
+        let preprocess = now.since(t0);
+        telemetry::span_end(
+            "cpr",
+            "checkpoint.preprocess",
+            now,
+            vec![
+                ("copied_bytes", copied_bytes.into()),
+                ("skipped_clean", skipped.into()),
+            ],
+        );
+
+        // Phase 3: write — dump the host process (CheCL state included)
+        // via the conventional CPR system.
+        let t0 = now;
+        telemetry::span_begin("cpr", telemetry::QUIESCE_UNTIL, t0, Vec::new());
+        cluster
+            .process_mut(app_pid)
+            .image
+            .put(CHECL_STATE_SEGMENT, lib.encode_state());
+        cluster.process_mut(app_pid).clock = now;
+        let file_size = match blcr::checkpoint(cluster, app_pid, path) {
+            Ok(size) => size,
+            Err(e) => {
+                // Failed write (disk fault, NFS outage): undo this
+                // attempt's bookkeeping so the shim stays consistent,
+                // and close the open spans so the trace stays
+                // well-formed.
+                now = cluster.process(app_pid).clock;
+                rollback_failed_write(lib, cluster, app_pid, path);
+                let err = CheclCprError::from(e);
+                telemetry::span_end(
+                    "cpr",
+                    telemetry::QUIESCE_UNTIL,
+                    now,
+                    vec![("error", err.to_string().into())],
+                );
+                telemetry::span_end(
+                    "cpr",
+                    "checkpoint",
+                    now,
+                    vec![("error", err.to_string().into())],
+                );
+                return Err(err);
+            }
+        };
+        now = cluster.process(app_pid).clock;
+        let write = now.since(t0);
+        telemetry::span_end(
+            "cpr",
+            telemetry::QUIESCE_UNTIL,
+            now,
+            vec![("file_bytes", file_size.as_u64().into())],
+        );
+        (now, preprocess, write, file_size, None)
+    } else {
+        // Phases 2+3: the overlapped copy/stream window.
+        let phase0 = now;
+        telemetry::span_begin("cpr", "checkpoint.preprocess", phase0, Vec::new());
+        let copied_bytes: u64 = mems.iter().filter(|m| !m.4).map(|m| m.3).sum();
+        let skipped: u64 = mems.iter().filter(|m| m.4).count() as u64;
+        // Mark every streamed buffer clean *before* encoding the state:
+        // the dumped records must say "bytes live in `path`", because
+        // the chunks ride in this very file (the state segment itself
+        // carries no payloads). A failed attempt un-marks them below,
+        // exactly like the sequential rollback.
+        for &(checl_mem, _, _, _, skip) in &mems {
+            if skip {
+                continue;
+            }
+            if let Some(e) = lib.db.get_mut(checl_mem) {
+                if let ObjectRecord::Mem {
+                    saved_data,
+                    dirty,
+                    saved_in,
+                    ..
+                } = &mut e.record
+                {
+                    *saved_data = None;
+                    *dirty = false;
+                    *saved_in = Some(path.to_string());
+                }
+            }
+        }
+        cluster
+            .process_mut(app_pid)
+            .image
+            .put(CHECL_STATE_SEGMENT, lib.encode_state());
+
+        let mut channels =
+            ChannelSet::new(phase0).with_telemetry(app_pid.0 as u64, CHANNEL_TRACK_BASE);
+        let mut writer: Option<StreamWriter> = None;
+        let (copies_done, commit_end, file_size) = match pipelined_data_path(
+            lib,
+            cluster,
+            app_pid,
+            path,
+            &mems,
+            &mut channels,
+            &mut writer,
+        ) {
+            Ok(done) => done,
+            Err(err) => {
+                // Same rollback as the sequential engine: drop the tmp
+                // (the previous generation at `path` is untouched),
+                // take the state segment back out, forget the
+                // references to the file that never landed, and close
+                // the open spans.
+                if let Some(w) = writer.as_mut() {
+                    w.abort(cluster);
+                }
+                let now = channels.makespan().max(cluster.process(app_pid).clock);
+                cluster.process_mut(app_pid).clock = now;
+                rollback_failed_write(lib, cluster, app_pid, path);
+                telemetry::span_end(
+                    "cpr",
+                    "checkpoint.preprocess",
+                    now,
+                    vec![("error", err.to_string().into())],
+                );
+                telemetry::span_begin("cpr", telemetry::QUIESCE_UNTIL, now, Vec::new());
+                telemetry::span_end(
+                    "cpr",
+                    telemetry::QUIESCE_UNTIL,
+                    now,
+                    vec![("error", err.to_string().into())],
+                );
+                telemetry::span_end(
+                    "cpr",
+                    "checkpoint",
+                    now,
+                    vec![("error", err.to_string().into())],
+                );
+                return Err(err);
+            }
+        };
+
+        // The preprocess phase of the Fig. 5 breakdown ends when the
+        // last copy lands; everything past that is write-side
+        // wall-clock.
+        let preprocess = copies_done.since(phase0);
+        telemetry::span_end(
+            "cpr",
+            "checkpoint.preprocess",
+            copies_done,
+            vec![
+                ("copied_bytes", copied_bytes.into()),
+                ("skipped_clean", skipped.into()),
+            ],
+        );
+        telemetry::span_begin("cpr", telemetry::QUIESCE_UNTIL, copies_done, Vec::new());
+        let now = channels.makespan().max(commit_end);
+        let write = now.since(copies_done);
+        telemetry::span_end(
+            "cpr",
+            telemetry::QUIESCE_UNTIL,
+            now,
+            vec![("file_bytes", file_size.as_u64().into())],
+        );
+        (now, preprocess, write, file_size, Some(channels))
+    };
+
+    Ok(finish_snapshot(
+        lib,
+        cluster,
+        app_pid,
+        now,
+        start,
+        sync,
+        preprocess,
+        write,
+        file_size,
+        channels.as_ref(),
+    ))
+}
+
+/// Phase 1, shared by both data paths: drain the host and every
+/// command queue. Emits the quiesce-after span.
+fn sync_queues(lib: &mut ChecLib, now: &mut SimTime) -> Result<SimDuration, CheclCprError> {
+    let t0 = *now;
+    telemetry::span_begin("cpr", telemetry::QUIESCE_AFTER, t0, Vec::new());
+    let queues: Vec<RawHandle> = lib
+        .db
+        .live_of_kind(HandleKind::CommandQueue)
+        .map(|e| e.vendor)
+        .collect();
+    let queue_count = queues.len();
+    for q in queues {
+        lib.forward(
+            now,
+            ApiRequest::Finish {
+                queue: CommandQueue::from_raw(q),
+            },
+        )?;
+    }
+    let sync = now.since(t0);
+    telemetry::span_end(
+        "cpr",
+        telemetry::QUIESCE_AFTER,
+        *now,
+        vec![("queues", queue_count.into())],
+    );
+    Ok(sync)
+}
+
+/// Per-buffer checkpoint plan: `(checl handle, vendor handle, context,
+/// size, skip)` — `skip` marks clean buffers an incremental snapshot
+/// leaves referenced in their previous file.
+type MemPlan = (u64, RawHandle, u64, u64, bool);
+
+fn collect_mems(lib: &ChecLib, incremental: bool) -> Vec<MemPlan> {
+    lib.db
+        .live_of_kind(HandleKind::Mem)
+        .map(|e| {
+            let (context, size, skip) = match &e.record {
+                ObjectRecord::Mem {
+                    context,
+                    size,
+                    dirty,
+                    saved_in,
+                    ..
+                } => (*context, *size, incremental && !dirty && saved_in.is_some()),
+                _ => unreachable!("kind filter"),
+            };
+            (e.checl, e.vendor, context, size, skip)
+        })
+        .collect()
+}
+
+/// The overlapped copy/stream window: open the stream writer (header
+/// first), then for each buffer schedule the D2H copy on its device's
+/// PCIe channel and the chunk append on the storage channel. Returns
+/// `(end of the last copy, end of the commit, file size)`. The caller
+/// aborts `writer_slot` and rolls back on error.
+#[allow(clippy::too_many_arguments)]
+fn pipelined_data_path(
+    lib: &mut ChecLib,
+    cluster: &mut Cluster,
+    app_pid: Pid,
+    path: &str,
+    mems: &[MemPlan],
+    channels: &mut ChannelSet,
+    writer_slot: &mut Option<StreamWriter>,
+) -> Result<(SimTime, SimTime, ByteSize), CheclCprError> {
+    let phase0 = channels.origin();
+    let disk = channels.channel(storage_channel_name(cluster, app_pid, path));
+    let ipc = channels.channel("ipc");
+
+    // The header (process image + stripped CheCL state) goes to disk
+    // before any copy has landed.
+    cluster.process_mut(app_pid).clock = phase0;
+    *writer_slot = Some(StreamWriter::begin(cluster, app_pid, path)?);
+    let header_end = cluster.process(app_pid).clock;
+    channels.place(disk, phase0, header_end.since(phase0), "stream.header");
+
+    let mut copies_done = phase0;
+    for &(checl_mem, vendor_mem, context, size, skip) in mems {
+        if skip {
+            continue;
+        }
+        let (q_vendor, dev_index) = queue_and_device_in_context(lib, context)
+            .ok_or(CheclCprError::Cl(ClError::InvalidContext))?;
+        let pcie = channels.channel(&format!("pcie.dev{dev_index}"));
+        // D2H copy: starts as soon as this device's PCIe link frees up.
+        let ready = channels.free_at(pcie).max(phase0);
+        let mut t = ready;
+        let (data, ev) = lib
+            .forward(
+                &mut t,
+                ApiRequest::EnqueueReadBuffer {
+                    queue: CommandQueue::from_raw(q_vendor),
+                    mem: Mem::from_raw(vendor_mem),
+                    blocking: true,
+                    offset: 0,
+                    size,
+                    wait_list: vec![],
+                },
+            )?
+            .into_data_event()?;
+        let copy = channels.place(pcie, ready, t.since(ready), "d2h");
+        // Event release is cheap app↔proxy chatter on its own channel.
+        let mut t2 = copy.end;
+        lib.forward(
+            &mut t2,
+            ApiRequest::ReleaseEvent {
+                event: Event::from_raw(ev.raw()),
+            },
+        )?;
+        let rel = channels.place(ipc, copy.end, t2.since(copy.end), "release");
+        copies_done = copies_done.max(rel.end);
+        // Stream the chunk while the next copy is in flight. The chunk
+        // buffer is moved into the writer, never cloned.
+        let wready = channels.free_at(disk).max(copy.end);
+        cluster.process_mut(app_pid).clock = wready;
+        writer_slot
+            .as_mut()
+            .expect("writer open")
+            .append_chunk(cluster, checl_mem, data)?;
+        let wend = cluster.process(app_pid).clock;
+        channels.place(disk, wready, wend.since(wready), "stream.chunk");
+    }
+
+    // Seal + atomically publish once the last chunk has landed.
+    let fready = channels.free_at(disk).max(copies_done);
+    cluster.process_mut(app_pid).clock = fready;
+    let (file_size, _) = writer_slot.as_mut().expect("writer open").finish(cluster)?;
+    let commit_end = cluster.process(app_pid).clock;
+    channels.place(disk, fready, commit_end.since(fready), "stream.commit");
+    Ok((copies_done, commit_end, file_size))
+}
+
+/// Undo a failed write attempt's bookkeeping: take the state segment
+/// back out of the image and forget the buffer references to the file
+/// that never landed (a later incremental checkpoint must not skip
+/// buffers "saved" in it).
+fn rollback_failed_write(lib: &mut ChecLib, cluster: &mut Cluster, app_pid: Pid, path: &str) {
+    cluster.process_mut(app_pid).image.take(CHECL_STATE_SEGMENT);
+    invalidate_saves(lib, path);
+}
+
+/// Phase 4 + report assembly, shared by both data paths: free the host
+/// copies, close the checkpoint span, bump the counters. `channels` is
+/// present for the pipelined path only and contributes the
+/// overlap-saved accounting.
+#[allow(clippy::too_many_arguments)]
+fn finish_snapshot(
+    lib: &mut ChecLib,
+    cluster: &mut Cluster,
+    app_pid: Pid,
+    mut now: SimTime,
+    start: SimTime,
+    sync: SimDuration,
+    preprocess: SimDuration,
+    write: SimDuration,
+    file_size: ByteSize,
+    channels: Option<&ChannelSet>,
+) -> CheckpointReport {
+    let t0 = now;
+    telemetry::span_begin("cpr", "checkpoint.postprocess", t0, Vec::new());
+    let mem_handles: Vec<u64> = lib
+        .db
+        .live_of_kind(HandleKind::Mem)
+        .map(|e| e.checl)
+        .collect();
+    for h in mem_handles {
+        if let Some(e) = lib.db.get_mut(h) {
+            if let ObjectRecord::Mem { saved_data, .. } = &mut e.record {
+                *saved_data = None;
+            }
+        }
+        now += SimDuration::from_micros(15); // free()
+    }
+    cluster.process_mut(app_pid).image.take(CHECL_STATE_SEGMENT);
+    cluster.process_mut(app_pid).clock = now;
+    let postprocess = now.since(t0);
+    telemetry::span_end("cpr", "checkpoint.postprocess", now, Vec::new());
+
+    let report = CheckpointReport {
+        sync,
+        preprocess,
+        write,
+        postprocess,
+        file_size,
+        overlap_saved: channels
+            .map(|c| c.overlap_saved())
+            .unwrap_or(SimDuration::ZERO),
+    };
+    debug_assert_eq!(now.since(start), report.total());
+    let mut close_args = vec![
+        ("total_ns", report.total().into()),
+        ("file_bytes", file_size.as_u64().into()),
+    ];
+    if channels.is_some() {
+        close_args.push(("overlap_saved_ns", report.overlap_saved.into()));
+    }
+    telemetry::span_end("cpr", "checkpoint", now, close_args);
+    if telemetry::enabled() {
+        telemetry::counter_add("cpr.checkpoints", 1);
+        telemetry::observe("cpr.checkpoint_ns", report.total().as_nanos());
+        if let Some(channels) = channels {
+            telemetry::observe("cpr.overlap_saved_ns", report.overlap_saved.as_nanos());
+            for stat in channels.stats() {
+                telemetry::counter_add(
+                    &format!("cpr.chan.{}.busy_ns", stat.name),
+                    stat.busy.as_nanos(),
+                );
+            }
+        }
+    }
+    report
+}
+
+/// Restore a CheCL application from `path` on `node`, whatever policy
+/// wrote the file: the format is sniffed once ([`blcr::sniff_dump`])
+/// and the matching data path rebuilds the process — the classic
+/// sequential restart, or the overlapped chunk-read/upload pipeline for
+/// a streamed dump.
+pub fn restore(
+    cluster: &mut Cluster,
+    node: NodeId,
+    path: &str,
+    vendor: VendorConfig,
+    target: RestoreTarget,
+) -> Result<(ChecLib, Pid, RestoreReport), CheclCprError> {
+    let pid = cluster.spawn(node);
+    let t0 = cluster.process(pid).clock;
+    let bytes = match cluster.read_file(pid, path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            cluster.kill(pid);
+            return Err(CheclCprError::Cpr(CprError::Fs(e)));
+        }
+    };
+    let parsed = match blcr::sniff_dump(&bytes) {
+        Ok(SniffedDump::Streamed(parsed)) => *parsed,
+        Ok(SniffedDump::Sequential(_)) => {
+            // Sequential dump: the classic restart handles it (and
+            // re-charges the file read to the process it spawns).
+            cluster.kill(pid);
+            return restore_sequential(cluster, node, path, vendor, target);
+        }
+        Err(e) => {
+            cluster.kill(pid);
+            return Err(CheclCprError::Cpr(CprError::Corrupt(e)));
+        }
+    };
+    drop(bytes);
+    let blcr::ParsedStream {
+        header,
+        chunks,
+        chunk_bytes,
+        tail_bytes,
+        header_bytes,
+        ..
+    } = parsed;
+
+    let _scope = telemetry::track_scope(telemetry::Track::process(pid.0 as u64));
+    // The whole-file read above validated the stream but charged the
+    // clock as one blocking read; rewind and re-account it as a
+    // progressive scan on the storage channel, so later chunks are
+    // still streaming in while the restore below is already running.
+    cluster.process_mut(pid).clock = t0;
+    let read_link = {
+        let node_id = cluster.process(pid).node;
+        cluster
+            .node(node_id)
+            .resolve(path)
+            .map(|(fs, _)| cluster.fs(fs).kind())
+            .unwrap_or(FsKind::LocalDisk)
+            .read_link()
+    };
+    let mut channels = ChannelSet::new(t0).with_telemetry(pid.0 as u64, CHANNEL_TRACK_BASE);
+    let disk = channels.channel(storage_channel_name(cluster, pid, path));
+    let ipc = channels.channel("ipc");
+    let hdr = channels.place(
+        disk,
+        t0,
+        read_link.cost(ByteSize::bytes(header_bytes)),
+        "stream.header",
+    );
+    cluster.process_mut(pid).clock = hdr.end;
+    cluster.process_mut(pid).image = header.image;
+
+    let state = match cluster.process(pid).image.get(CHECL_STATE_SEGMENT) {
+        Some(bytes) => bytes.to_vec(),
+        None => {
+            cluster.kill(pid);
+            return Err(CheclCprError::MissingState);
+        }
+    };
+    let mut lib = match ChecLib::decode_state(&state) {
+        Ok(lib) => lib,
+        Err(e) => {
+            cluster.kill(pid);
+            return Err(CheclCprError::BadState(e));
+        }
+    };
+    // A commit-hardened dump was written to `<target>.tmp` and
+    // published by one rename, so its encoded state may still carry the
+    // temp name; whatever the state says, a buffer with a chunk in this
+    // file lives *here*.
+    for chunk in &chunks {
+        if let Some(entry) = lib.db.get_mut(chunk.handle) {
+            if let ObjectRecord::Mem { saved_in, .. } = &mut entry.record {
+                *saved_in = Some(path.to_string());
+            }
+        }
+    }
+    // Buffers streamed into *this* file are excluded here (their bytes
+    // arrive as chunks below); only references into older incremental
+    // generations are resolved from disk.
+    if let Err(e) = resolve_incremental_data(cluster, pid, &mut lib, path) {
+        cluster.kill(pid);
+        return Err(e);
+    }
+    telemetry::span_begin(
+        "cpr",
+        "restart",
+        cluster.process(pid).clock,
+        vec![("path", path.into()), ("pipelined", 1u64.into())],
+    );
+    refork_proxy(cluster, &mut lib, pid, vendor);
+    let mut now = cluster.process(pid).clock;
+    let mut report = match restore_checl(&mut lib, &mut now, target) {
+        Ok(report) => report,
+        Err(e) => {
+            restart_cleanup(cluster, &mut lib, pid, now, &e);
+            return Err(e);
+        }
+    };
+
+    // Overlapped data path: chunk reads serialize on the storage
+    // channel (they follow the header in file order), while each
+    // chunk's upload starts once the chunk is in host memory, the
+    // objects exist (`now`), and its device's PCIe link is free.
+    let mut upload_end = now;
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        let rd = channels.place(
+            disk,
+            hdr.end,
+            read_link
+                .bandwidth
+                .transfer_time(ByteSize::bytes(chunk_bytes[i])),
+            "stream.chunk",
+        );
+        let context = match lib.db.get(chunk.handle).map(|e| &e.record) {
+            Some(ObjectRecord::Mem { context, .. }) => *context,
+            _ => {
+                let err = CheclCprError::MissingState;
+                restart_cleanup(cluster, &mut lib, pid, now, &err);
+                return Err(err);
+            }
+        };
+        let vendor_mem = match lib.db.vendor_of(chunk.handle) {
+            Some(v) => v,
+            None => {
+                let err = CheclCprError::MissingState;
+                restart_cleanup(cluster, &mut lib, pid, now, &err);
+                return Err(err);
+            }
+        };
+        let Some((q_vendor, dev_index)) = queue_and_device_in_context(&lib, context) else {
+            let err = CheclCprError::Cl(ClError::InvalidContext);
+            restart_cleanup(cluster, &mut lib, pid, now, &err);
+            return Err(err);
+        };
+        let pcie = channels.channel(&format!("pcie.dev{dev_index}"));
+        let ready = channels.free_at(pcie).max(rd.end).max(now);
+        let mut t = ready;
+        let upload = lib
+            .forward(
+                &mut t,
+                ApiRequest::EnqueueWriteBuffer {
+                    queue: CommandQueue::from_raw(q_vendor),
+                    mem: Mem::from_raw(vendor_mem),
+                    blocking: true,
+                    offset: 0,
+                    data: chunk.data,
+                    wait_list: vec![],
+                },
+            )
+            .and_then(|resp| resp.into_event());
+        let ev = match upload {
+            Ok(ev) => ev,
+            Err(e) => {
+                let err = CheclCprError::Cl(e);
+                restart_cleanup(cluster, &mut lib, pid, now, &err);
+                return Err(err);
+            }
+        };
+        let up = channels.place(pcie, ready, t.since(ready), "h2d");
+        let mut t2 = up.end;
+        if let Err(e) = lib.forward(&mut t2, ApiRequest::ReleaseEvent { event: ev }) {
+            let err = CheclCprError::Cl(e);
+            restart_cleanup(cluster, &mut lib, pid, now, &err);
+            return Err(err);
+        }
+        let rel = channels.place(ipc, up.end, t2.since(up.end), "release");
+        upload_end = upload_end.max(rel.end);
+    }
+    // The trailer + baseline padding finish the file scan.
+    let tail = channels.place(
+        disk,
+        hdr.end,
+        read_link
+            .bandwidth
+            .transfer_time(ByteSize::bytes(tail_bytes)),
+        "stream.tail",
+    );
+    let end = upload_end.max(tail.end).max(now);
+    // The streamed-data window past the object restore counts toward
+    // the Mem row of the Fig. 7 breakdown.
+    let stream_wall = end.since(now);
+    if stream_wall > SimDuration::ZERO {
+        *report
+            .per_kind
+            .entry(HandleKind::Mem)
+            .or_insert(SimDuration::ZERO) += stream_wall;
+    }
+    let now = end;
+    cluster.process_mut(pid).clock = now;
+    telemetry::span_end(
+        "cpr",
+        "restart",
+        now,
+        vec![("restore_total_ns", report.total().into())],
+    );
+    if telemetry::enabled() {
+        telemetry::counter_add("cpr.restarts", 1);
+    }
+    Ok((lib, pid, report))
+}
+
+/// The classic sequential restart: BLCR-restore the application process
+/// from `path` on `node`, rebuild the CheCL shim from its dumped state,
+/// fork a new proxy with `vendor`, and re-create all OpenCL objects.
+pub(crate) fn restore_sequential(
+    cluster: &mut Cluster,
+    node: NodeId,
+    path: &str,
+    vendor: VendorConfig,
+    target: RestoreTarget,
+) -> Result<(ChecLib, Pid, RestoreReport), CheclCprError> {
+    let pid = blcr::restart(cluster, node, path)?;
+    let _scope = telemetry::track_scope(telemetry::Track::process(pid.0 as u64));
+    let state = match cluster.process(pid).image.get(CHECL_STATE_SEGMENT) {
+        Some(bytes) => bytes.to_vec(),
+        None => {
+            cluster.kill(pid);
+            return Err(CheclCprError::MissingState);
+        }
+    };
+    let mut lib = match ChecLib::decode_state(&state) {
+        Ok(lib) => lib,
+        Err(e) => {
+            cluster.kill(pid);
+            return Err(CheclCprError::BadState(e));
+        }
+    };
+    if let Err(e) = resolve_incremental_data(cluster, pid, &mut lib, path) {
+        cluster.kill(pid);
+        return Err(e);
+    }
+    telemetry::span_begin(
+        "cpr",
+        "restart",
+        cluster.process(pid).clock,
+        vec![("path", path.into())],
+    );
+    refork_proxy(cluster, &mut lib, pid, vendor);
+    let mut now = cluster.process(pid).clock;
+    let report = match restore_checl(&mut lib, &mut now, target) {
+        Ok(report) => report,
+        Err(e) => {
+            // Restore failed (e.g. the host has no usable device):
+            // surface the typed error, but don't leak the half-restored
+            // process or its proxy.
+            restart_cleanup(cluster, &mut lib, pid, now, &e);
+            return Err(e);
+        }
+    };
+    cluster.process_mut(pid).clock = now;
+    telemetry::span_end(
+        "cpr",
+        "restart",
+        now,
+        vec![("restore_total_ns", report.total().into())],
+    );
+    if telemetry::enabled() {
+        telemetry::counter_add("cpr.restarts", 1);
+    }
+    Ok((lib, pid, report))
+}
+
+/// Close the restart span and tear down the half-restored process and
+/// its proxy after a mid-restart failure.
+fn restart_cleanup(
+    cluster: &mut Cluster,
+    lib: &mut ChecLib,
+    pid: Pid,
+    now: SimTime,
+    err: &CheclCprError,
+) {
+    cluster.process_mut(pid).clock = now;
+    telemetry::span_end(
+        "cpr",
+        "restart",
+        now,
+        vec![("error", err.to_string().into())],
+    );
+    kill_proxy(cluster, lib);
+    cluster.kill(pid);
+}
+
+/// Fill in buffer data that an incremental checkpoint left in earlier
+/// checkpoint files. Each referenced file is read (and its CheCL state
+/// decoded) at most once.
+fn resolve_incremental_data(
+    cluster: &mut Cluster,
+    pid: Pid,
+    lib: &mut ChecLib,
+    current_path: &str,
+) -> Result<(), CheclCprError> {
+    resolve_saved_data(cluster, pid, lib, Some(current_path)).map(|_| ())
+}
+
+/// Rebuild a [`ChecLib`] from a sniffed dump: fetch + decode the CheCL
+/// state segment, and for a streamed dump re-attach the chunk payloads
+/// to their buffer records so downstream code is format-agnostic.
+/// Callers own the mapping of the sniff error itself.
+pub(crate) fn shim_from_dump(dump: SniffedDump) -> Result<ChecLib, CheclCprError> {
+    match dump {
+        SniffedDump::Sequential(ck) => {
+            let state = ck
+                .image
+                .get(CHECL_STATE_SEGMENT)
+                .ok_or(CheclCprError::MissingState)?;
+            ChecLib::decode_state(state).map_err(CheclCprError::BadState)
+        }
+        SniffedDump::Streamed(parsed) => {
+            let state = parsed
+                .header
+                .image
+                .get(CHECL_STATE_SEGMENT)
+                .ok_or(CheclCprError::MissingState)?;
+            let mut lib = ChecLib::decode_state(state).map_err(CheclCprError::BadState)?;
+            for chunk in parsed.chunks {
+                if let Some(e) = lib.db.get_mut(chunk.handle) {
+                    if let ObjectRecord::Mem { saved_data, .. } = &mut e.record {
+                        *saved_data = Some(chunk.data);
+                    }
+                }
+            }
+            Ok(lib)
+        }
+    }
+}
+
+/// Post-write verification for a snapshot in either format: the file
+/// must be the expected length (catches short writes), its frame
+/// checksums must hold (catches corruption in the live region), and
+/// the CheCL state segment must decode. Corruption confined to the
+/// zero padding of the process image is invisible here — and harmless,
+/// since a restore never reads it.
+fn verify_snapshot_file(
+    cluster: &mut Cluster,
+    pid: Pid,
+    path: &str,
+    expected_len: u64,
+) -> Result<(), CheclCprError> {
+    let bytes = cluster
+        .read_file(pid, path)
+        .map_err(|e| CheclCprError::Cpr(CprError::Fs(e)))?;
+    if bytes.len() as u64 != expected_len {
+        return Err(CheclCprError::Cpr(CprError::Corrupt(
+            simcore::CodecError::Invalid("checkpoint read-back length mismatch"),
+        )));
+    }
+    let dump = blcr::sniff_dump(&bytes).map_err(|e| CheclCprError::Cpr(CprError::Corrupt(e)))?;
+    shim_from_dump(dump)?;
+    Ok(())
+}
+
+/// Telemetry instant for a recovery action, mirroring the fault
+/// instants the injection layer emits.
+pub(crate) fn recovery_event(cluster: &Cluster, pid: Pid, name: &str, path: &str) {
+    if telemetry::enabled() {
+        let _scope = telemetry::track_scope(telemetry::Track::process(pid.0 as u64));
+        telemetry::instant(
+            telemetry::RECOVERY_CATEGORY,
+            name,
+            cluster.process(pid).clock,
+            vec![("path", path.into())],
+        );
+        telemetry::counter_add("recovery.actions", 1);
+    }
+}
+
+/// Rewrite `saved_in` references from the temp name to the committed
+/// name after a successful rename.
+pub(crate) fn repoint_saves(lib: &mut ChecLib, from: &str, to: &str) {
+    let mems: Vec<u64> = lib
+        .db
+        .live_of_kind(HandleKind::Mem)
+        .map(|e| e.checl)
+        .collect();
+    for h in mems {
+        if let Some(entry) = lib.db.get_mut(h) {
+            if let ObjectRecord::Mem { saved_in, .. } = &mut entry.record {
+                if saved_in.as_deref() == Some(from) {
+                    *saved_in = Some(to.to_string());
+                }
+            }
+        }
+    }
+}
+
+/// Forget references to a checkpoint file that never landed (failed or
+/// deleted temp): the buffers must be re-saved next time.
+pub(crate) fn invalidate_saves(lib: &mut ChecLib, path: &str) {
+    let mems: Vec<u64> = lib
+        .db
+        .live_of_kind(HandleKind::Mem)
+        .map(|e| e.checl)
+        .collect();
+    for h in mems {
+        if let Some(entry) = lib.db.get_mut(h) {
+            if let ObjectRecord::Mem {
+                saved_data,
+                saved_in,
+                dirty,
+                ..
+            } = &mut entry.record
+            {
+                if saved_in.as_deref() == Some(path) {
+                    *saved_data = None;
+                    *saved_in = None;
+                    *dirty = true;
+                }
+            }
+        }
+    }
+}

@@ -14,9 +14,11 @@
 //!   everything needed to re-create the object: creation arguments,
 //!   program sources and build options, kernel argument history, buffer
 //!   contents captured at checkpoint time.
-//! * **Checkpoint/restart engine** ([`cpr`]) — synchronize, copy device
-//!   data to host memory, dump via BLCR, restore objects in dependency
-//!   order, substitute dummy events from `clEnqueueMarker`.
+//! * **Checkpoint/restart engine** ([`engine`], legacy API in [`cpr`])
+//!   — synchronize, copy device data to host memory, dump via BLCR,
+//!   restore objects in dependency order, substitute dummy events from
+//!   `clEnqueueMarker`. Every variation (format, incremental,
+//!   pipelining, commit hardening) is a [`CprPolicy`] field.
 //! * **Migration** ([`migrate`]) — restart on another node, another
 //!   vendor, or another device type (GPU↔CPU), plus the
 //!   `Tm = αM + Tr + β` cost model of §IV-C.
@@ -45,6 +47,7 @@
 
 pub mod boot;
 pub mod cpr;
+pub mod engine;
 pub mod guess;
 pub mod migrate;
 pub mod objects;
@@ -57,6 +60,7 @@ pub use cpr::{
     checkpoint_checl_pipelined_incremental, restart_checl_pipelined, restart_checl_process,
     restore_checl, CheckpointMode, CheckpointReport, CheclCprError, RestoreReport, RestoreTarget,
 };
+pub use engine::{restore, snapshot, CprPolicy, RecoveryPolicy, SnapshotFormat, SnapshotOutcome};
 pub use migrate::{migrate_process, predict_migration_time, MigrationModel, MigrationReport};
 pub use objects::{CheclDb, CheclEntry, ObjectRecord, RecordedArg};
 pub use recovery::{checkpoint_with_recovery, respawn_proxy_and_restore, restart_checl_chain};

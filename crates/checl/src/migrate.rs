@@ -5,12 +5,11 @@
 //! the program recompilation time `Tr`, plus a system constant β
 //! (proxy fork, object-creation overheads).
 
-use crate::cpr::{
-    checkpoint_checl, restart_checl_process, CheckpointReport, CheclCprError, RestoreReport,
-    RestoreTarget,
-};
+use crate::cpr::{CheckpointReport, CheclCprError, RestoreReport, RestoreTarget};
+use crate::engine::{self, CprPolicy};
 use crate::objects::ObjectRecord;
 use crate::runtime::ChecLib;
+use blcr::RecoveryOutcome;
 use cldriver::VendorConfig;
 use clspec::handles::HandleKind;
 use osproc::{Cluster, FsKind, NodeId, Pid};
@@ -79,11 +78,13 @@ pub fn predict_migration_time(
 
 /// The outcome of one migration.
 pub struct MigrationReport {
-    /// Checkpoint phase breakdown on the source node.
+    /// Checkpoint phase breakdown on the source node (includes
+    /// `overlap_saved` for a pipelined dump).
     pub checkpoint: CheckpointReport,
     /// Object recreation breakdown on the destination node.
     pub restore: RestoreReport,
-    /// Measured end-to-end migration time: checkpoint total plus
+    /// Measured end-to-end migration time: source-side dump wall-clock
+    /// (checkpoint, plus any retry/fallback the policy spent) plus
     /// everything the destination process did before it was ready
     /// (file read, proxy fork, object recreation).
     pub actual: SimDuration,
@@ -93,13 +94,22 @@ pub struct MigrationReport {
     pub new_pid: Pid,
     /// The rebuilt shim driving the new process.
     pub new_lib: ChecLib,
+    /// Retry/fallback accounting when the policy carried a
+    /// [`crate::engine::RecoveryPolicy`].
+    pub recovery: Option<RecoveryOutcome>,
 }
 
-/// Migrate a CheCL application: checkpoint on its current node, kill
-/// it (and its proxy), restart on `dest_node` with `dest_vendor`.
+/// Migrate a CheCL application: snapshot on its current node under
+/// `policy`, kill it (and its proxy), restart on `dest_node` with
+/// `dest_vendor`.
 ///
 /// `path` must be reachable from both nodes (the shared `/nfs` mount,
-/// or `/ram` for same-node processor switching).
+/// or `/ram` for same-node processor switching) — and so must any
+/// `fallback_targets` the policy's recovery carries, since the restore
+/// runs from wherever the snapshot actually landed. The source process
+/// is only torn down after the snapshot commits: a fault that exhausts
+/// the policy propagates with the source still running.
+#[allow(clippy::too_many_arguments)]
 pub fn migrate_process(
     cluster: &mut Cluster,
     mut lib: ChecLib,
@@ -108,6 +118,7 @@ pub fn migrate_process(
     dest_vendor: VendorConfig,
     path: &str,
     target: RestoreTarget,
+    policy: &CprPolicy,
 ) -> Result<MigrationReport, CheclCprError> {
     let medium = {
         let node = cluster.process(app_pid).node;
@@ -126,14 +137,18 @@ pub fn migrate_process(
         telemetry::span_begin("migrate", "migrate", t_start, vec![("path", path.into())]);
     }
 
-    let checkpoint = checkpoint_checl(&mut lib, cluster, app_pid, path)?;
+    let outcome = engine::snapshot(&mut lib, cluster, app_pid, path, policy)?;
+    let checkpoint = outcome.report;
+    // Wall-clock the dump cost the source, retries and backoff
+    // included (equals `checkpoint.total()` without a recovery policy).
+    let source_side = cluster.process(app_pid).clock.since(t_start);
     let predicted = MigrationModel::for_medium(medium).predict(checkpoint.file_size, predicted_tr);
     {
         let _cluster = telemetry::track_scope(telemetry::Track::CLUSTER);
         telemetry::instant(
             "migrate",
             "migrate.checkpointed",
-            t_start + checkpoint.total(),
+            t_start + source_side,
             vec![("file_bytes", checkpoint.file_size.as_u64().into())],
         );
     }
@@ -144,12 +159,20 @@ pub fn migrate_process(
     cluster.kill(app_pid);
     drop(lib);
 
-    let (new_lib, new_pid, restore) =
-        restart_checl_process(cluster, dest_node, path, dest_vendor, target)?;
+    // Restore from wherever the snapshot landed (a recovery policy may
+    // have fallen through to another target); the engine sniffs the
+    // on-disk format, so sequential and streamed dumps both work. The
+    // policy already fixes the format, so skip the probe for a
+    // sequential dump.
+    let (new_lib, new_pid, restore) = if policy.streamed() {
+        engine::restore(cluster, dest_node, &outcome.path, dest_vendor, target)?
+    } else {
+        engine::restore_sequential(cluster, dest_node, &outcome.path, dest_vendor, target)?
+    };
     // The destination process clock started at zero and now reads
     // "everything the restart cost": file read + proxy fork + restore.
     let dest_side = cluster.process(new_pid).clock.since(SimTime::ZERO);
-    let actual = checkpoint.total() + dest_side;
+    let actual = source_side + dest_side;
 
     if telemetry::enabled() {
         let _cluster = telemetry::track_scope(telemetry::Track::CLUSTER);
@@ -180,5 +203,6 @@ pub fn migrate_process(
         predicted,
         new_pid,
         new_lib,
+        recovery: outcome.recovery,
     })
 }

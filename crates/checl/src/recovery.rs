@@ -1,5 +1,5 @@
-//! CheCL-level recovery policies, layered over the [`crate::cpr`]
-//! engine the way [`blcr::robust`](blcr) layers over raw BLCR:
+//! CheCL-level recovery policies, layered over the [`crate::engine`]
+//! the way [`blcr::robust`](blcr) layers over raw BLCR:
 //!
 //! * **robust checkpointing** — [`checkpoint_with_recovery`] runs the
 //!   four-phase CheCL checkpoint against `<target>.tmp`, verifies the
@@ -22,105 +22,15 @@
 
 use crate::boot::{kill_proxy, refork_proxy};
 use crate::cpr::{
-    checkpoint_checl, resolve_saved_data, restart_checl_process, restore_checl, CheckpointReport,
-    CheclCprError, RestoreReport, RestoreTarget, CHECL_STATE_SEGMENT,
+    resolve_saved_data, restart_checl_process, restore_checl, CheckpointReport, CheclCprError,
+    RestoreReport, RestoreTarget,
 };
-use crate::objects::ObjectRecord;
+use crate::engine::{self, recovery_event, CprPolicy, RecoveryPolicy};
 use crate::runtime::ChecLib;
 use blcr::{CprError, RecoveryOutcome, RetryPolicy};
 use cldriver::VendorConfig;
-use clspec::handles::HandleKind;
-use osproc::{Cluster, FsError, NodeId, Pid};
+use osproc::{Cluster, NodeId, Pid};
 use simcore::telemetry;
-
-fn recovery_event(cluster: &Cluster, pid: Pid, name: &str, path: &str) {
-    if telemetry::enabled() {
-        let _scope = telemetry::track_scope(telemetry::Track::process(pid.0 as u64));
-        telemetry::instant(
-            telemetry::RECOVERY_CATEGORY,
-            name,
-            cluster.process(pid).clock,
-            vec![("path", path.into())],
-        );
-        telemetry::counter_add("recovery.actions", 1);
-    }
-}
-
-/// Rewrite `saved_in` references from the temp name to the committed
-/// name after a successful rename.
-fn repoint_saves(lib: &mut ChecLib, from: &str, to: &str) {
-    let mems: Vec<u64> = lib
-        .db
-        .live_of_kind(HandleKind::Mem)
-        .map(|e| e.checl)
-        .collect();
-    for h in mems {
-        if let Some(entry) = lib.db.get_mut(h) {
-            if let ObjectRecord::Mem { saved_in, .. } = &mut entry.record {
-                if saved_in.as_deref() == Some(from) {
-                    *saved_in = Some(to.to_string());
-                }
-            }
-        }
-    }
-}
-
-/// Forget references to a checkpoint file that never landed (failed or
-/// deleted temp): the buffers must be re-saved next time.
-fn invalidate_saves(lib: &mut ChecLib, path: &str) {
-    let mems: Vec<u64> = lib
-        .db
-        .live_of_kind(HandleKind::Mem)
-        .map(|e| e.checl)
-        .collect();
-    for h in mems {
-        if let Some(entry) = lib.db.get_mut(h) {
-            if let ObjectRecord::Mem {
-                saved_data,
-                saved_in,
-                dirty,
-                ..
-            } = &mut entry.record
-            {
-                if saved_in.as_deref() == Some(path) {
-                    *saved_data = None;
-                    *saved_in = None;
-                    *dirty = true;
-                }
-            }
-        }
-    }
-}
-
-/// Post-write verification for a CheCL checkpoint: the file must be the
-/// expected length (catches short writes), its frame checksum must hold
-/// (catches corruption in the live region), and the CheCL state segment
-/// must decode. Corruption confined to the zero padding of the process
-/// image is invisible here — and harmless, since a restore never reads
-/// it.
-fn verify_checl_file(
-    cluster: &mut Cluster,
-    pid: Pid,
-    path: &str,
-    expected_len: u64,
-) -> Result<(), CheclCprError> {
-    let bytes = cluster
-        .read_file(pid, path)
-        .map_err(|e| CheclCprError::Cpr(CprError::Fs(e)))?;
-    if bytes.len() as u64 != expected_len {
-        return Err(CheclCprError::Cpr(CprError::Corrupt(
-            simcore::CodecError::Invalid("checkpoint read-back length mismatch"),
-        )));
-    }
-    let ck = blcr::CheckpointFile::from_file_bytes(&bytes)
-        .map_err(|e| CheclCprError::Cpr(CprError::Corrupt(e)))?;
-    let state = ck
-        .image
-        .get(CHECL_STATE_SEGMENT)
-        .ok_or(CheclCprError::MissingState)?;
-    ChecLib::decode_state(state).map_err(CheclCprError::BadState)?;
-    Ok(())
-}
 
 /// Checkpoint a CheCL application with atomic commit, post-write
 /// verification, bounded retry and target fallback.
@@ -131,6 +41,8 @@ fn verify_checl_file(
 /// under a name a restart would trust. Only transient failures — I/O
 /// errors and verification mismatches — are retried; everything else
 /// (no proxy, OpenCL failure during preprocess) aborts immediately.
+/// Equivalent to [`engine::snapshot`] with
+/// [`CprPolicy::sequential`]`.with_recovery(…)`.
 pub fn checkpoint_with_recovery(
     lib: &mut ChecLib,
     cluster: &mut Cluster,
@@ -142,69 +54,12 @@ pub fn checkpoint_with_recovery(
         !targets.is_empty(),
         "checkpoint_with_recovery needs >= 1 target"
     );
-    let t_start = cluster.process(app_pid).clock;
-    let mut attempts = 0u32;
-    let mut fallbacks = 0u32;
-    let mut last_err: Option<CheclCprError> = None;
-    for (ti, target) in targets.iter().enumerate() {
-        if ti > 0 {
-            fallbacks += 1;
-            recovery_event(cluster, app_pid, "recovery.fallback_target", target);
-        }
-        let tmp = format!("{target}.tmp");
-        for attempt in 0..policy.max_attempts_per_target {
-            if attempt > 0 {
-                let wait = policy.backoff * (1u64 << (attempt - 1).min(16));
-                cluster.process_mut(app_pid).clock += wait;
-                recovery_event(cluster, app_pid, "recovery.retry_write", target);
-            }
-            attempts += 1;
-            let report = match checkpoint_checl(lib, cluster, app_pid, &tmp) {
-                Ok(r) => r,
-                Err(e @ CheclCprError::Cpr(CprError::Fs(_))) => {
-                    last_err = Some(e);
-                    continue;
-                }
-                Err(fatal) => return Err(fatal),
-            };
-            if policy.verify {
-                match verify_checl_file(cluster, app_pid, &tmp, report.file_size.as_u64()) {
-                    Ok(()) => {}
-                    Err(e @ CheclCprError::Cpr(CprError::Fs(_))) => {
-                        invalidate_saves(lib, &tmp);
-                        last_err = Some(e);
-                        continue;
-                    }
-                    Err(e) => {
-                        recovery_event(cluster, app_pid, "recovery.verify_failed", &tmp);
-                        let _ = cluster.delete_file(app_pid, &tmp);
-                        invalidate_saves(lib, &tmp);
-                        last_err = Some(e);
-                        continue;
-                    }
-                }
-            }
-            cluster
-                .rename_file(app_pid, &tmp, target)
-                .map_err(|e| CheclCprError::Cpr(CprError::Fs(e)))?;
-            repoint_saves(lib, &tmp, target);
-            recovery_event(cluster, app_pid, "recovery.commit", target);
-            let elapsed = cluster.process(app_pid).clock.since(t_start);
-            let outcome = RecoveryOutcome {
-                path: target.to_string(),
-                size: report.file_size,
-                attempts,
-                fallbacks,
-                elapsed,
-            };
-            return Ok((report, outcome));
-        }
-    }
-    Err(
-        last_err.unwrap_or(CheclCprError::Cpr(CprError::Fs(FsError::WriteFailed(
-            targets[0].to_string(),
-        )))),
-    )
+    let policy = CprPolicy::sequential().with_recovery(RecoveryPolicy {
+        retry: *policy,
+        fallback_targets: targets[1..].iter().map(|t| t.to_string()).collect(),
+    });
+    let out = engine::snapshot(lib, cluster, app_pid, targets[0], &policy)?;
+    Ok((out.report, out.recovery.expect("recovery policy set")))
 }
 
 /// Recover from API-proxy death or a broken app↔proxy pipe *without*
@@ -231,13 +86,8 @@ pub fn respawn_proxy_and_restore(
     let bytes = cluster
         .read_file(app_pid, last_ckpt)
         .map_err(|e| CheclCprError::Cpr(CprError::Fs(e)))?;
-    let ck = blcr::CheckpointFile::from_file_bytes(&bytes)
-        .map_err(|e| CheclCprError::Cpr(CprError::Corrupt(e)))?;
-    let state = ck
-        .image
-        .get(CHECL_STATE_SEGMENT)
-        .ok_or(CheclCprError::MissingState)?;
-    *lib = ChecLib::decode_state(state).map_err(CheclCprError::BadState)?;
+    let dump = blcr::sniff_dump(&bytes).map_err(|e| CheclCprError::Cpr(CprError::Corrupt(e)))?;
+    *lib = engine::shim_from_dump(dump)?;
     // Clean buffers may reference still-earlier incremental files.
     resolve_saved_data(cluster, app_pid, lib, Some(last_ckpt))?;
     refork_proxy(cluster, lib, app_pid, vendor);
@@ -308,7 +158,10 @@ pub fn restart_checl_chain(
 mod tests {
     use super::*;
     use crate::boot::boot_checl;
+    use crate::cpr::checkpoint_checl;
+    use crate::objects::ObjectRecord;
     use crate::runtime::CheclConfig;
+    use clspec::handles::HandleKind;
     use clspec::types::{DeviceType, MemFlags, QueueProps};
     use clspec::Ocl;
     use osproc::FaultPlan;

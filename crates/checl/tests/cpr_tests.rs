@@ -199,6 +199,7 @@ fn cross_vendor_migration_nimbus_to_crimson() {
         crimson(),
         "/nfs/mig.ckpt",
         RestoreTarget::default(),
+        &checl::CprPolicy::sequential(),
     )
     .unwrap();
     assert!(report.actual > SimDuration::ZERO);
@@ -249,6 +250,7 @@ fn runtime_processor_selection_gpu_to_cpu() {
         RestoreTarget {
             device_type: Some(DeviceType::Cpu),
         },
+        &checl::CprPolicy::sequential(),
     )
     .unwrap();
     let mut lib2 = report.new_lib;
@@ -935,6 +937,7 @@ fn incremental_chain_survives_migration() {
         nimbus(),
         "/nfs/mig-inc.ckpt",
         RestoreTarget::default(),
+        &checl::CprPolicy::sequential(),
     )
     .unwrap();
     let mut lib2 = report.new_lib;

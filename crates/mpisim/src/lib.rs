@@ -194,8 +194,25 @@ pub fn coordinated_checkpoint<E>(
     cluster: &mut Cluster,
     world: &MpiWorld,
     prefix: &str,
-    mut ckpt_rank: impl FnMut(&mut Cluster, Pid, &str) -> Result<ByteSize, E>,
+    ckpt_rank: impl FnMut(&mut Cluster, Pid, &str) -> Result<ByteSize, E>,
 ) -> Result<GlobalSnapshot, E> {
+    coordinated_core(cluster, world, prefix, false, ckpt_rank).map_err(|abort| abort.error)
+}
+
+/// The single serialized-writer loop behind both coordination flavors.
+///
+/// With `rollback_on_error` the failure path is the atomic contract:
+/// delete the local snapshots already landed, trace the abort, close
+/// the global-snapshot span. Without it the error propagates
+/// immediately — earlier rank files stay on disk and the span stays
+/// open, exactly as a `?` out of the loop would leave things.
+fn coordinated_core<E>(
+    cluster: &mut Cluster,
+    world: &MpiWorld,
+    prefix: &str,
+    rollback_on_error: bool,
+    mut ckpt_rank: impl FnMut(&mut Cluster, Pid, &str) -> Result<ByteSize, E>,
+) -> Result<GlobalSnapshot, SnapshotAbort<E>> {
     world.barrier(cluster);
     let start = world.max_clock(cluster);
     if telemetry::enabled() {
@@ -222,10 +239,45 @@ pub fn coordinated_checkpoint<E>(
             p.clock = p.clock.max(server_free);
         }
         let path = format!("{prefix}.rank{rank}.ckpt");
-        let size = ckpt_rank(cluster, pid, &path)?;
-        server_free = cluster.process(pid).clock;
-        files.push(path);
-        sizes.push(size);
+        match ckpt_rank(cluster, pid, &path) {
+            Ok(size) => {
+                server_free = cluster.process(pid).clock;
+                files.push(path);
+                sizes.push(size);
+            }
+            Err(error) => {
+                if !rollback_on_error {
+                    return Err(SnapshotAbort { rank, error });
+                }
+                server_free = cluster.process(pid).clock.max(server_free);
+                // Roll back the ranks that did land. Deletion may itself
+                // fail mid-outage; a leftover local snapshot under a
+                // rank-file name is harmless without its siblings.
+                for (r, f) in files.iter().enumerate() {
+                    let _ = cluster.delete_file(world.rank_pid(r), f);
+                }
+                if telemetry::enabled() {
+                    let _cluster_track = telemetry::track_scope(telemetry::Track::CLUSTER);
+                    telemetry::instant(
+                        telemetry::RECOVERY_CATEGORY,
+                        "recovery.snapshot_abort",
+                        server_free,
+                        vec![
+                            ("rank", (rank as u64).into()),
+                            ("rolled_back", (files.len() as u64).into()),
+                        ],
+                    );
+                    telemetry::span_end(
+                        "mpi",
+                        "mpi.global_snapshot",
+                        server_free,
+                        vec![("aborted_rank", (rank as u64).into())],
+                    );
+                    telemetry::counter_add("recovery.snapshot_aborts", 1);
+                }
+                return Err(SnapshotAbort { rank, error });
+            }
+        }
     }
     let snapshot = GlobalSnapshot {
         files,
@@ -282,88 +334,9 @@ pub fn coordinated_checkpoint_atomic<E>(
     cluster: &mut Cluster,
     world: &MpiWorld,
     prefix: &str,
-    mut ckpt_rank: impl FnMut(&mut Cluster, Pid, &str) -> Result<ByteSize, E>,
+    ckpt_rank: impl FnMut(&mut Cluster, Pid, &str) -> Result<ByteSize, E>,
 ) -> Result<GlobalSnapshot, SnapshotAbort<E>> {
-    world.barrier(cluster);
-    let start = world.max_clock(cluster);
-    if telemetry::enabled() {
-        let _cluster_track = telemetry::track_scope(telemetry::Track::CLUSTER);
-        telemetry::span_begin(
-            "mpi",
-            "mpi.global_snapshot",
-            start,
-            vec![
-                ("ranks", (world.size() as u64).into()),
-                ("prefix", prefix.into()),
-            ],
-        );
-    }
-    let mut files = Vec::with_capacity(world.size());
-    let mut sizes = Vec::with_capacity(world.size());
-    let mut server_free = start;
-    for rank in 0..world.size() {
-        let pid = world.rank_pid(rank);
-        {
-            let p = cluster.process_mut(pid);
-            p.clock = p.clock.max(server_free);
-        }
-        let path = format!("{prefix}.rank{rank}.ckpt");
-        match ckpt_rank(cluster, pid, &path) {
-            Ok(size) => {
-                server_free = cluster.process(pid).clock;
-                files.push(path);
-                sizes.push(size);
-            }
-            Err(error) => {
-                server_free = cluster.process(pid).clock.max(server_free);
-                // Roll back the ranks that did land. Deletion may itself
-                // fail mid-outage; a leftover local snapshot under a
-                // rank-file name is harmless without its siblings.
-                for (r, f) in files.iter().enumerate() {
-                    let _ = cluster.delete_file(world.rank_pid(r), f);
-                }
-                if telemetry::enabled() {
-                    let _cluster_track = telemetry::track_scope(telemetry::Track::CLUSTER);
-                    telemetry::instant(
-                        telemetry::RECOVERY_CATEGORY,
-                        "recovery.snapshot_abort",
-                        server_free,
-                        vec![
-                            ("rank", (rank as u64).into()),
-                            ("rolled_back", (files.len() as u64).into()),
-                        ],
-                    );
-                    telemetry::span_end(
-                        "mpi",
-                        "mpi.global_snapshot",
-                        server_free,
-                        vec![("aborted_rank", (rank as u64).into())],
-                    );
-                    telemetry::counter_add("recovery.snapshot_aborts", 1);
-                }
-                return Err(SnapshotAbort { rank, error });
-            }
-        }
-    }
-    let snapshot = GlobalSnapshot {
-        files,
-        sizes,
-        elapsed: server_free.since(start),
-    };
-    if telemetry::enabled() {
-        let _cluster_track = telemetry::track_scope(telemetry::Track::CLUSTER);
-        telemetry::span_end(
-            "mpi",
-            "mpi.global_snapshot",
-            server_free,
-            vec![
-                ("elapsed_ns", snapshot.elapsed.into()),
-                ("total_bytes", snapshot.total_size().as_u64().into()),
-            ],
-        );
-        telemetry::counter_add("mpi.global_snapshots", 1);
-    }
-    Ok(snapshot)
+    coordinated_core(cluster, world, prefix, true, ckpt_rank)
 }
 
 /// Retry [`coordinated_checkpoint_atomic`] up to `max_attempts` times
@@ -423,6 +396,129 @@ pub fn restart_world<E>(
         ranks.push(restart_rank(cluster, node, file)?);
     }
     Ok(MpiWorld { ranks })
+}
+
+/// The outcome of migrating one rank to another node.
+#[derive(Clone, Debug)]
+pub struct RankMigration {
+    /// The migrated rank index.
+    pub rank: usize,
+    /// Node the rank left.
+    pub from_node: NodeId,
+    /// Node the rank now runs on.
+    pub to_node: NodeId,
+    /// The torn-down source process.
+    pub old_pid: Pid,
+    /// The restarted destination process (now behind `rank`).
+    pub new_pid: Pid,
+    /// The migration checkpoint file on the shared store.
+    pub file: String,
+    /// Size of that checkpoint file.
+    pub size: ByteSize,
+    /// Wall time from the coordination barrier until the destination
+    /// process is ready to rejoin collectives.
+    pub elapsed: SimDuration,
+}
+
+/// Migrate one rank of a live job to `dest_node`: barrier the world
+/// (so no in-flight message targets the moving rank), dump the rank to
+/// `{prefix}.rank{N}.migrate.ckpt`, restart it on the destination, and
+/// splice the new process into the communicator.
+///
+/// `ckpt_rank` / `restart_rank` are injected exactly as in
+/// [`coordinated_checkpoint`] and [`restart_world`] — `blcr` for plain
+/// ranks, a `checl` policy-driven snapshot/restore pair for OpenCL
+/// ranks — so a single rank can hop vendors mid-job. On any failure
+/// the source rank is left alive and in place: the world is unchanged
+/// and the job may simply continue (or retry toward another node).
+pub fn migrate_rank<E>(
+    cluster: &mut Cluster,
+    world: &mut MpiWorld,
+    rank: usize,
+    dest_node: NodeId,
+    prefix: &str,
+    ckpt_rank: impl FnOnce(&mut Cluster, Pid, &str) -> Result<ByteSize, E>,
+    restart_rank: impl FnOnce(&mut Cluster, NodeId, &str) -> Result<Pid, E>,
+) -> Result<RankMigration, E> {
+    assert!(rank < world.size(), "rank out of range");
+    world.barrier(cluster);
+    let old_pid = world.rank_pid(rank);
+    let from_node = cluster.process(old_pid).node;
+    let start = world.max_clock(cluster);
+    if telemetry::enabled() {
+        let _cluster_track = telemetry::track_scope(telemetry::Track::CLUSTER);
+        telemetry::span_begin(
+            "mpi",
+            "mpi.migrate_rank",
+            start,
+            vec![("rank", (rank as u64).into()), ("prefix", prefix.into())],
+        );
+    }
+    let file = format!("{prefix}.rank{rank}.migrate.ckpt");
+    let size = match ckpt_rank(cluster, old_pid, &file) {
+        Ok(size) => size,
+        Err(error) => {
+            if telemetry::enabled() {
+                let _cluster_track = telemetry::track_scope(telemetry::Track::CLUSTER);
+                telemetry::span_end(
+                    "mpi",
+                    "mpi.migrate_rank",
+                    cluster.process(old_pid).clock,
+                    vec![("failed_phase", "checkpoint".into())],
+                );
+            }
+            return Err(error);
+        }
+    };
+    let dump_done = cluster.process(old_pid).clock;
+    let new_pid = match restart_rank(cluster, dest_node, &file) {
+        Ok(pid) => pid,
+        Err(error) => {
+            // The restart never came up; the source rank is still alive
+            // and the communicator still points at it.
+            if telemetry::enabled() {
+                let _cluster_track = telemetry::track_scope(telemetry::Track::CLUSTER);
+                telemetry::span_end(
+                    "mpi",
+                    "mpi.migrate_rank",
+                    dump_done,
+                    vec![("failed_phase", "restart".into())],
+                );
+            }
+            return Err(error);
+        }
+    };
+    // The destination clock started at zero and now reads the restart
+    // cost; in wall time that work began only once the dump landed.
+    let dest_side = cluster.process(new_pid).clock.since(SimTime::ZERO);
+    let ready = dump_done + dest_side;
+    cluster.process_mut(new_pid).clock = ready;
+    cluster.kill(old_pid);
+    world.replace_rank(rank, new_pid);
+    let migration = RankMigration {
+        rank,
+        from_node,
+        to_node: dest_node,
+        old_pid,
+        new_pid,
+        file,
+        size,
+        elapsed: ready.since(start),
+    };
+    if telemetry::enabled() {
+        let _cluster_track = telemetry::track_scope(telemetry::Track::CLUSTER);
+        telemetry::span_end(
+            "mpi",
+            "mpi.migrate_rank",
+            ready,
+            vec![
+                ("elapsed_ns", migration.elapsed.into()),
+                ("file_bytes", migration.size.as_u64().into()),
+            ],
+        );
+        telemetry::counter_add("mpi.rank_migrations", 1);
+    }
+    Ok(migration)
 }
 
 #[cfg(test)]
@@ -590,6 +686,77 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(abort.rank, 0);
+    }
+
+    #[test]
+    fn migrate_rank_moves_one_rank_and_preserves_state() {
+        let (mut cluster, mut world) = cluster_and_world(2, 4);
+        for (i, &p) in world.pids().iter().enumerate() {
+            cluster
+                .process_mut(p)
+                .image
+                .put("rank-data", vec![i as u8 + 10; 32]);
+        }
+        let node0 = cluster.node_ids()[0];
+        let old_pid = world.rank_pid(1);
+        let from_node = cluster.process(old_pid).node;
+        assert_ne!(from_node, node0, "rank 1 starts off node 0");
+        let mig = migrate_rank(
+            &mut cluster,
+            &mut world,
+            1,
+            node0,
+            "/nfs/job",
+            blcr::checkpoint,
+            blcr::restart,
+        )
+        .unwrap();
+        assert_eq!(mig.rank, 1);
+        assert_eq!(mig.from_node, from_node);
+        assert_eq!(mig.to_node, node0);
+        assert_eq!(mig.file, "/nfs/job.rank1.migrate.ckpt");
+        assert!(mig.elapsed > SimDuration::ZERO);
+        // The communicator now routes rank 1 to the new process…
+        assert_eq!(world.rank_pid(1), mig.new_pid);
+        assert_ne!(mig.new_pid, mig.old_pid);
+        assert_eq!(cluster.process(mig.new_pid).node, node0);
+        assert_eq!(
+            cluster.process(mig.new_pid).image.get("rank-data"),
+            Some(&[11u8; 32][..])
+        );
+        // …the old one is dead, and collectives still work.
+        assert!(!cluster.process(mig.old_pid).is_alive());
+        world.barrier(&mut cluster);
+        world.allreduce(&mut cluster, ByteSize::mib(1));
+        // The migrated rank's clock includes both dump and restart.
+        assert!(world.max_clock(&cluster) > SimTime::ZERO + mig.elapsed);
+    }
+
+    #[test]
+    fn migrate_rank_failure_leaves_source_rank_alive() {
+        let (mut cluster, mut world) = cluster_and_world(2, 2);
+        cluster.install_faults(
+            osproc::FaultPlan::new(31)
+                .fail_next_writes(u32::MAX)
+                .only_paths_containing(".migrate."),
+        );
+        let node0 = cluster.node_ids()[0];
+        let old_pid = world.rank_pid(1);
+        migrate_rank(
+            &mut cluster,
+            &mut world,
+            1,
+            node0,
+            "/nfs/job",
+            blcr::checkpoint,
+            blcr::restart,
+        )
+        .unwrap_err();
+        // The dump failed, so nothing moved: the rank is intact and the
+        // job keeps running.
+        assert_eq!(world.rank_pid(1), old_pid);
+        assert!(cluster.process(old_pid).is_alive());
+        world.barrier(&mut cluster);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::script::{AppProgram, RunStatus, Script, StopCondition};
 use checl::cpr::{restart_checl_process, CheckpointReport, CheclCprError, RestoreTarget};
 use checl::migrate::MigrationReport;
-use checl::{boot_checl, checkpoint_checl, ChecLib, CheclConfig};
+use checl::{boot_checl, checkpoint_checl, ChecLib, CheclConfig, CprPolicy, SnapshotOutcome};
 use cldriver::{Driver, VendorConfig};
 use clspec::api::ClApi;
 use clspec::error::ClResult;
@@ -198,6 +198,18 @@ impl CheclSession {
         checl::checkpoint_with_recovery(&mut self.lib, cluster, self.pid, targets, policy)
     }
 
+    /// Checkpoint under an arbitrary [`CprPolicy`] — the unified-engine
+    /// entry point the legacy `checkpoint*` methods are shims over.
+    pub fn checkpoint_with_policy(
+        &mut self,
+        cluster: &mut Cluster,
+        path: &str,
+        policy: &CprPolicy,
+    ) -> Result<SnapshotOutcome, CheclCprError> {
+        self.persist_program(cluster);
+        checl::snapshot(&mut self.lib, cluster, self.pid, path, policy)
+    }
+
     /// Kill this session's processes (simulating failure or teardown).
     pub fn kill(mut self, cluster: &mut Cluster) {
         checl::boot::kill_proxy(cluster, &mut self.lib);
@@ -246,14 +258,37 @@ impl CheclSession {
         Ok(CheclSession { pid, lib, program })
     }
 
-    /// Migrate this session to another node/vendor/device and resume.
+    /// Migrate this session to another node/vendor/device and resume,
+    /// using the classic sequential dump.
     pub fn migrate(
+        self,
+        cluster: &mut Cluster,
+        dest_node: NodeId,
+        dest_vendor: VendorConfig,
+        path: &str,
+        target: RestoreTarget,
+    ) -> Result<(CheclSession, MigrationReport), CheclCprError> {
+        self.migrate_with_policy(
+            cluster,
+            dest_node,
+            dest_vendor,
+            path,
+            target,
+            &CprPolicy::sequential(),
+        )
+    }
+
+    /// Migrate under an arbitrary [`CprPolicy`]: a pipelined policy
+    /// overlaps the dump's copies and writes, a recovery policy adds
+    /// verify/retry/fallback to the source-side snapshot.
+    pub fn migrate_with_policy(
         mut self,
         cluster: &mut Cluster,
         dest_node: NodeId,
         dest_vendor: VendorConfig,
         path: &str,
         target: RestoreTarget,
+        policy: &CprPolicy,
     ) -> Result<(CheclSession, MigrationReport), CheclCprError> {
         self.persist_program(cluster);
         let mut report = checl::migrate_process(
@@ -264,6 +299,7 @@ impl CheclSession {
             dest_vendor,
             path,
             target,
+            policy,
         )?;
         let bytes = cluster
             .process(report.new_pid)
@@ -483,12 +519,10 @@ impl CheclSession {
         let bytes = cluster
             .read_file(self.pid, last_ckpt)
             .map_err(|e| CheclCprError::Cpr(blcr::CprError::Fs(e)))?;
-        let ck = blcr::CheckpointFile::from_file_bytes(&bytes)
-            .map_err(|e| CheclCprError::Cpr(blcr::CprError::Corrupt(e)))?;
-        let app = ck
-            .image
-            .get(APP_SEGMENT)
-            .ok_or(CheclCprError::MissingState)?;
+        let image = blcr::sniff_dump(&bytes)
+            .map_err(|e| CheclCprError::Cpr(blcr::CprError::Corrupt(e)))?
+            .into_image();
+        let app = image.get(APP_SEGMENT).ok_or(CheclCprError::MissingState)?;
         self.program = AppProgram::from_bytes(app).map_err(CheclCprError::BadState)?;
         Ok(())
     }

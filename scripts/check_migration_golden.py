@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Perf-regression guard over the fig8_migration golden.
+
+For every multi-buffer scenario in the migration-engine section, the
+pipelined dump's end-to-end migration time must be strictly below the
+sequential dump's, and the reported overlap saving must be positive. A
+regression in the engine's streamed data path or the channel scheduler
+shows up here before it shows up in a plot.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_migration_golden: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "results/BENCH_fig8_migration.json"
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    checked = 0
+    for section in doc["sections"]:
+        cols = section["columns"]
+        if "mode" not in cols or "actual[s]" not in cols:
+            continue  # the per-benchmark prediction sections have no engine sweep
+        mode_i = cols.index("mode")
+        actual_i = cols.index("actual[s]")
+        saved_i = cols.index("saved[s]")
+        bufs_i = cols.index("bufs")
+        mib_i = cols.index("MiB/buf")
+        actuals: dict[tuple, dict[str, float]] = {}
+        saved: dict[tuple, float] = {}
+        for row in section["rows"]:
+            key = (row[bufs_i], row[mib_i])
+            actuals.setdefault(key, {})[row[mode_i]] = row[actual_i]
+            if row[mode_i] == "pipelined":
+                saved[key] = row[saved_i]
+        for key, by_mode in actuals.items():
+            if "sequential" not in by_mode or "pipelined" not in by_mode:
+                fail(f"scenario {key} is missing an engine row")
+            if key[0] > 1:
+                if not by_mode["pipelined"] < by_mode["sequential"]:
+                    fail(
+                        f"scenario {key}: pipelined migration {by_mode['pipelined']}s "
+                        f"is not strictly below sequential {by_mode['sequential']}s"
+                    )
+                if not saved.get(key, 0.0) > 0.0:
+                    fail(f"scenario {key}: overlap_saved is not positive")
+                checked += 1
+
+    if checked == 0:
+        fail("no multi-buffer migration scenarios found — wrong file or schema drift")
+    print(f"check_migration_golden: OK ({checked} scenarios, pipelined < sequential)")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,15 @@ git diff --exit-code -- results/BENCH_ablation_pipeline.json
 # pipelined engine's wall-clock must stay strictly below sequential.
 python3 scripts/check_pipeline_golden.py results/BENCH_ablation_pipeline.json
 
+echo "==> smoke: migration engines (golden diff + perf guard)"
+# The bench itself asserts cross-vendor checksum equivalence between
+# the sequential and pipelined dump engines (nimbus → crimson).
+cargo run -q --release -p checl-bench --bin fig8_migration >/dev/null
+git diff --exit-code -- results/BENCH_fig8_migration.json
+# Perf-regression guard: on every multi-buffer scenario the pipelined
+# migration's end-to-end time must stay strictly below sequential.
+python3 scripts/check_migration_golden.py results/BENCH_fig8_migration.json
+
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> smoke: micro-benches (codec filter)"
     cargo bench -q -p checl-bench -- codec >/dev/null
