@@ -17,12 +17,14 @@
 
 pub mod ckptfile;
 pub mod cpr;
+pub mod replica;
 pub mod robust;
 pub mod sniff;
 pub mod stream;
 
 pub use ckptfile::{CheckpointFile, CKPT_MAGIC, CKPT_VERSION};
 pub use cpr::{checkpoint, dmtcp_checkpoint, restart, CprError};
+pub use replica::{DumpVault, Generation, ScrubReport};
 pub use robust::{
     checkpoint_robust, drive_recovery, restart_from_chain, RecoveryAttempt, RecoveryOutcome,
     RetryPolicy,

@@ -1,0 +1,410 @@
+//! Replicated checkpoint storage: generations, mirrors, scrubbing, GC.
+//!
+//! A single committed dump is one disk failure away from worthless. The
+//! supervision layer therefore stores every checkpoint as a
+//! *generation* with two replicas — a **primary** (typically the fast
+//! local disk of Table I) and a **mirror** on an independent mount
+//! (typically the shared NFS export, which survives a node crash). A
+//! [`DumpVault`] tracks the generations and offers:
+//!
+//! * [`DumpVault::commit`] — hash the freshly staged primary dump and
+//!   copy it to the mirror, then garbage-collect generations beyond the
+//!   retention budget;
+//! * [`DumpVault::scrub`] — re-read every retained replica, compare it
+//!   against the committed FNV-64, and repair a corrupt or missing
+//!   replica from its healthy sibling (this is what re-seeds a spare
+//!   node's local disk after a failover);
+//! * [`DumpVault::restore_chain`] — a newest-first path list, primary
+//!   before mirror, ready for [`restart_from_chain`] and the restore
+//!   engines' chain walkers.
+//!
+//! Replica actions are emitted as `replica.*` telemetry instants in
+//! [`telemetry::RECOVERY_CATEGORY`].
+//!
+//! [`restart_from_chain`]: crate::robust::restart_from_chain
+
+use osproc::{Cluster, FsError, Pid};
+use simcore::{fnv1a64, telemetry, ByteSize};
+
+/// One retained checkpoint generation and its two replicas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Generation {
+    /// Monotonic generation number (never reused).
+    pub gen: u64,
+    /// Primary replica path (fast, node-local).
+    pub primary: String,
+    /// Mirror replica path (independent mount, crash-surviving).
+    pub mirror: String,
+    /// Committed size in bytes.
+    pub size: ByteSize,
+    /// FNV-64 of the committed bytes; scrubbing re-verifies against it.
+    pub hash: u64,
+}
+
+/// What one [`DumpVault::scrub`] pass found and did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Replicas that read back bit-identical to their committed hash.
+    pub verified: u32,
+    /// Replicas rewritten from their healthy sibling.
+    pub repaired: u32,
+    /// Generations with *no* healthy replica left (dropped from the
+    /// vault — restoring from them would be silent corruption).
+    pub lost: u32,
+}
+
+/// Replicated, generation-addressed checkpoint storage.
+#[derive(Clone, Debug)]
+pub struct DumpVault {
+    primary_base: String,
+    mirror_base: String,
+    keep: usize,
+    next_gen: u64,
+    generations: Vec<Generation>,
+}
+
+fn replica_event(cluster: &Cluster, pid: Pid, name: &str, path: &str) {
+    if telemetry::enabled() {
+        let _scope = telemetry::track_scope(telemetry::Track::process(pid.0 as u64));
+        telemetry::instant(
+            telemetry::RECOVERY_CATEGORY,
+            name,
+            cluster.process(pid).clock,
+            vec![("path", path.into())],
+        );
+        telemetry::counter_add("replica.actions", 1);
+    }
+}
+
+impl DumpVault {
+    /// A vault writing primaries as `<primary_base>.gen<N>.ckpt` and
+    /// mirrors as `<mirror_base>.gen<N>.ckpt`, retaining the newest
+    /// `keep` generations. The two bases should live on independent
+    /// mounts (e.g. `/local/app` and `/nfs/app`) or the mirror buys
+    /// nothing.
+    pub fn new(primary_base: &str, mirror_base: &str, keep: usize) -> DumpVault {
+        assert!(keep >= 1, "a vault keeping zero generations is a /dev/null");
+        DumpVault {
+            primary_base: primary_base.to_string(),
+            mirror_base: mirror_base.to_string(),
+            keep,
+            next_gen: 0,
+            generations: Vec::new(),
+        }
+    }
+
+    /// Where the *next* generation's primary dump must be written. The
+    /// caller stages the checkpoint there (through whatever engine and
+    /// recovery policy it likes) and then calls [`DumpVault::commit`].
+    pub fn stage_path(&self) -> String {
+        format!("{}.gen{}.ckpt", self.primary_base, self.next_gen)
+    }
+
+    /// Retention budget.
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    /// All retained generations, oldest first.
+    pub fn generations(&self) -> &[Generation] {
+        &self.generations
+    }
+
+    /// The newest retained generation.
+    pub fn latest(&self) -> Option<&Generation> {
+        self.generations.last()
+    }
+
+    /// Newest-first replica paths (primary before mirror per
+    /// generation) — the input shape of [`restart_from_chain`] and the
+    /// engine's chain restore.
+    ///
+    /// [`restart_from_chain`]: crate::robust::restart_from_chain
+    pub fn restore_chain(&self) -> Vec<String> {
+        let mut chain = Vec::with_capacity(self.generations.len() * 2);
+        for g in self.generations.iter().rev() {
+            chain.push(g.primary.clone());
+            chain.push(g.mirror.clone());
+        }
+        chain
+    }
+
+    /// Seal the dump staged at [`DumpVault::stage_path`] into a
+    /// generation: read it back (charging `pid`), record its hash, copy
+    /// it to the mirror, and garbage-collect generations beyond the
+    /// retention budget. Returns the new generation.
+    pub fn commit(&mut self, cluster: &mut Cluster, pid: Pid) -> Result<Generation, FsError> {
+        self.commit_at(cluster, pid, &self.stage_path())
+    }
+
+    /// [`DumpVault::commit`] for a dump that landed somewhere other
+    /// than the staged path — e.g. a commit-hardened snapshot that fell
+    /// through to a fallback target. The actual `primary` path is
+    /// recorded as the generation's primary replica.
+    pub fn commit_at(
+        &mut self,
+        cluster: &mut Cluster,
+        pid: Pid,
+        primary: &str,
+    ) -> Result<Generation, FsError> {
+        let primary = primary.to_string();
+        let mirror = format!("{}.gen{}.ckpt", self.mirror_base, self.next_gen);
+        let bytes = cluster.read_file(pid, &primary)?;
+        let size = ByteSize::bytes(bytes.len() as u64);
+        let hash = fnv1a64(&bytes);
+        cluster.write_file(pid, &mirror, bytes)?;
+        replica_event(cluster, pid, "replica.mirror", &mirror);
+        let generation = Generation {
+            gen: self.next_gen,
+            primary,
+            mirror,
+            size,
+            hash,
+        };
+        self.generations.push(generation.clone());
+        self.next_gen += 1;
+        self.gc(cluster, pid);
+        Ok(generation)
+    }
+
+    /// Drop generations beyond the retention budget, deleting their
+    /// replicas (best-effort: a replica on an unreachable mount is
+    /// simply left for a later pass).
+    fn gc(&mut self, cluster: &mut Cluster, pid: Pid) {
+        while self.generations.len() > self.keep {
+            let g = self.generations.remove(0);
+            let _ = cluster.delete_file(pid, &g.primary);
+            let _ = cluster.delete_file(pid, &g.mirror);
+            replica_event(cluster, pid, "replica.gc", &g.primary);
+        }
+    }
+
+    /// Re-verify every retained replica against its committed hash and
+    /// repair corrupt or missing replicas from their healthy sibling. A
+    /// generation whose replicas are *both* bad is dropped from the
+    /// vault and counted as lost.
+    pub fn scrub(&mut self, cluster: &mut Cluster, pid: Pid) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let mut kept = Vec::with_capacity(self.generations.len());
+        for g in std::mem::take(&mut self.generations) {
+            let primary_ok = Self::replica_healthy(cluster, pid, &g.primary, g.hash);
+            let mirror_ok = Self::replica_healthy(cluster, pid, &g.mirror, g.hash);
+            match (primary_ok, mirror_ok) {
+                (true, true) => report.verified += 2,
+                (true, false) => {
+                    report.verified += 1;
+                    if Self::repair(cluster, pid, &g.primary, &g.mirror, g.hash) {
+                        report.repaired += 1;
+                    }
+                }
+                (false, true) => {
+                    report.verified += 1;
+                    if Self::repair(cluster, pid, &g.mirror, &g.primary, g.hash) {
+                        report.repaired += 1;
+                    }
+                }
+                (false, false) => {
+                    replica_event(cluster, pid, "replica.lost", &g.primary);
+                    let _ = cluster.delete_file(pid, &g.primary);
+                    let _ = cluster.delete_file(pid, &g.mirror);
+                    report.lost += 1;
+                    continue;
+                }
+            }
+            kept.push(g);
+        }
+        self.generations = kept;
+        report
+    }
+
+    /// `true` if the replica at `path` reads back with the committed
+    /// hash.
+    fn replica_healthy(cluster: &mut Cluster, pid: Pid, path: &str, hash: u64) -> bool {
+        matches!(cluster.read_file(pid, path), Ok(bytes) if fnv1a64(&bytes) == hash)
+    }
+
+    /// Rewrite the replica at `to` from the healthy copy at `from`,
+    /// verifying the round trip. `false` if the repair itself failed
+    /// (e.g. an injected write fault) — the generation stays, a later
+    /// scrub retries.
+    fn repair(cluster: &mut Cluster, pid: Pid, from: &str, to: &str, hash: u64) -> bool {
+        let Ok(bytes) = cluster.read_file(pid, from) else {
+            return false;
+        };
+        if cluster.write_file(pid, to, bytes).is_err() {
+            return false;
+        }
+        if !Self::replica_healthy(cluster, pid, to, hash) {
+            return false;
+        }
+        replica_event(cluster, pid, "replica.scrub_repair", to);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osproc::{Cluster, FaultPlan};
+
+    fn one_node() -> (Cluster, Pid) {
+        let mut c = Cluster::with_standard_nodes(1);
+        let n = c.node_ids()[0];
+        let p = c.spawn(n);
+        (c, p)
+    }
+
+    fn stage(c: &mut Cluster, p: Pid, vault: &DumpVault, fill: u8) {
+        c.write_file(p, &vault.stage_path(), vec![fill; 256])
+            .unwrap();
+    }
+
+    #[test]
+    fn commit_mirrors_and_gc_retains_k() {
+        let (mut c, p) = one_node();
+        let mut vault = DumpVault::new("/local/app", "/nfs/app", 2);
+        for i in 0..4u8 {
+            stage(&mut c, p, &vault, i);
+            let g = vault.commit(&mut c, p).unwrap();
+            assert_eq!(g.gen, i as u64);
+            // The mirror is byte-identical to the primary.
+            assert_eq!(
+                c.read_file(p, &g.primary).unwrap(),
+                c.read_file(p, &g.mirror).unwrap()
+            );
+        }
+        assert_eq!(vault.generations().len(), 2);
+        let gens: Vec<u64> = vault.generations().iter().map(|g| g.gen).collect();
+        assert_eq!(gens, vec![2, 3]);
+        // GC really deleted the old replicas.
+        assert!(c.read_file(p, "/local/app.gen0.ckpt").is_err());
+        assert!(c.read_file(p, "/nfs/app.gen0.ckpt").is_err());
+        // Chain is newest-first, primary before mirror.
+        assert_eq!(
+            vault.restore_chain(),
+            vec![
+                "/local/app.gen3.ckpt",
+                "/nfs/app.gen3.ckpt",
+                "/local/app.gen2.ckpt",
+                "/nfs/app.gen2.ckpt",
+            ]
+        );
+    }
+
+    #[test]
+    fn scrub_repairs_a_corrupt_primary_from_the_mirror() {
+        let (mut c, p) = one_node();
+        let mut vault = DumpVault::new("/local/app", "/nfs/app", 3);
+        stage(&mut c, p, &vault, 7);
+        let g = vault.commit(&mut c, p).unwrap();
+        // Corrupt the primary behind the vault's back.
+        c.write_file(p, &g.primary, vec![0xFF; 256]).unwrap();
+        let report = vault.scrub(&mut c, p);
+        assert_eq!(
+            report,
+            ScrubReport {
+                verified: 1,
+                repaired: 1,
+                lost: 0
+            }
+        );
+        // Repaired primary reads back with the committed content.
+        assert_eq!(c.read_file(p, &g.primary).unwrap(), vec![7u8; 256]);
+        // A second pass is all-green.
+        let report = vault.scrub(&mut c, p);
+        assert_eq!(
+            report,
+            ScrubReport {
+                verified: 2,
+                repaired: 0,
+                lost: 0
+            }
+        );
+    }
+
+    #[test]
+    fn scrub_restores_a_missing_primary_after_node_loss() {
+        // A spare node inherits the vault: its /local is empty, only the
+        // NFS mirror survived. Scrubbing re-seeds the local replica.
+        let mut c = Cluster::with_standard_nodes(2);
+        let nodes = c.node_ids();
+        let p0 = c.spawn(nodes[0]);
+        let mut vault = DumpVault::new("/local/app", "/nfs/app", 3);
+        stage(&mut c, p0, &vault, 3);
+        vault.commit(&mut c, p0).unwrap();
+        c.fail_node(nodes[0]);
+        let spare = c.spawn(nodes[1]);
+        let report = vault.scrub(&mut c, spare);
+        assert_eq!(
+            report,
+            ScrubReport {
+                verified: 1,
+                repaired: 1,
+                lost: 0
+            }
+        );
+        assert_eq!(
+            c.read_file(spare, "/local/app.gen0.ckpt").unwrap(),
+            vec![3u8; 256]
+        );
+    }
+
+    #[test]
+    fn scrub_drops_a_generation_with_no_healthy_replica() {
+        let (mut c, p) = one_node();
+        let mut vault = DumpVault::new("/local/app", "/ram/app", 3);
+        stage(&mut c, p, &vault, 1);
+        let g0 = vault.commit(&mut c, p).unwrap();
+        stage(&mut c, p, &vault, 2);
+        vault.commit(&mut c, p).unwrap();
+        c.write_file(p, &g0.primary, vec![9; 8]).unwrap();
+        c.write_file(p, &g0.mirror, vec![9; 8]).unwrap();
+        let report = vault.scrub(&mut c, p);
+        assert_eq!(
+            report,
+            ScrubReport {
+                verified: 2,
+                repaired: 0,
+                lost: 1
+            }
+        );
+        assert_eq!(vault.generations().len(), 1);
+        assert_eq!(vault.latest().unwrap().gen, 1);
+    }
+
+    #[test]
+    fn failed_repair_keeps_the_generation_for_a_later_pass() {
+        let (mut c, p) = one_node();
+        let mut vault = DumpVault::new("/local/app", "/nfs/app", 3);
+        stage(&mut c, p, &vault, 5);
+        let g = vault.commit(&mut c, p).unwrap();
+        c.write_file(p, &g.primary, vec![0; 4]).unwrap();
+        // Every repair write to /local fails.
+        c.install_faults(
+            FaultPlan::new(21)
+                .fail_next_writes(u32::MAX)
+                .only_paths_containing("/local/"),
+        );
+        let report = vault.scrub(&mut c, p);
+        assert_eq!(
+            report,
+            ScrubReport {
+                verified: 1,
+                repaired: 0,
+                lost: 0
+            }
+        );
+        assert_eq!(vault.generations().len(), 1, "generation must survive");
+        // Faults lifted: the next pass completes the repair.
+        c.take_faults();
+        let report = vault.scrub(&mut c, p);
+        assert_eq!(
+            report,
+            ScrubReport {
+                verified: 1,
+                repaired: 1,
+                lost: 0
+            }
+        );
+    }
+}

@@ -173,9 +173,19 @@ pub fn drive_recovery<T, E>(
                     ));
                 }
                 RecoveryAttempt::Transient(e) => last_err = Some(e),
-                RecoveryAttempt::Fatal(e) => return Err(e),
+                RecoveryAttempt::Fatal(e) => {
+                    // A fatal abort must not strand a half-written temp
+                    // under the target's name; deleting a non-existent
+                    // file is free, so this is pure cleanup.
+                    let _ = cluster.delete_file(pid, &tmp);
+                    return Err(e);
+                }
             }
         }
+        // This target is being abandoned (fallback or exhaustion): drop
+        // any temp a failed attempt left behind so aborted commits never
+        // orphan `.tmp` files.
+        let _ = cluster.delete_file(pid, &tmp);
     }
     Err(last_err.unwrap_or_else(exhausted))
 }
@@ -391,6 +401,58 @@ mod tests {
             faulted.as_secs_f64() > clean.as_secs_f64() + 0.149,
             "faulted {faulted} vs clean {clean}"
         );
+    }
+
+    #[test]
+    fn no_tmp_files_survive_a_failed_commit() {
+        let (mut c, p) = one_node();
+        let node = c.process(p).node;
+        // Open an NFS outage window one tick after the first write is
+        // submitted: the write itself lands (creating the temp), the
+        // verify read-back then fails, and every retry's write fails —
+        // the historical recipe for an orphaned `.tmp` on fallback.
+        let t0 = c.process(p).clock;
+        c.install_faults(FaultPlan::new(11).schedule_nfs_outage(
+            t0 + SimDuration::from_nanos(1),
+            t0 + SimDuration::from_secs(3600),
+        ));
+        let (_, out) = checkpoint_robust(
+            &mut c,
+            p,
+            &["/nfs/a.ckpt", "/local/a.ckpt"],
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(out.path, "/local/a.ckpt");
+        assert_eq!(out.fallbacks, 1);
+        let strays: Vec<String> = c
+            .paths_on(node)
+            .into_iter()
+            .filter(|f| f.ends_with(".tmp"))
+            .collect();
+        assert!(strays.is_empty(), "orphaned temp files: {strays:?}");
+    }
+
+    #[test]
+    fn exhausted_recovery_leaves_no_tmp_behind() {
+        let (mut c, p) = one_node();
+        let node = c.process(p).node;
+        let t0 = c.process(p).clock;
+        // Same shape but with no healthy fallback: the whole recovery
+        // fails, which must still not orphan temps.
+        c.install_faults(FaultPlan::new(12).schedule_nfs_outage(
+            t0 + SimDuration::from_nanos(1),
+            t0 + SimDuration::from_secs(3600),
+        ));
+        let err =
+            checkpoint_robust(&mut c, p, &["/nfs/a.ckpt"], &RetryPolicy::default()).unwrap_err();
+        assert!(matches!(err, CprError::Fs(_)));
+        let strays: Vec<String> = c
+            .paths_on(node)
+            .into_iter()
+            .filter(|f| f.ends_with(".tmp"))
+            .collect();
+        assert!(strays.is_empty(), "orphaned temp files: {strays:?}");
     }
 
     #[test]

@@ -73,6 +73,21 @@ pub struct RecoveryPolicy {
     pub fallback_targets: Vec<String>,
 }
 
+/// How a supervision loop spaces its checkpoints in virtual time.
+///
+/// Enacted by the supervisor (`checl::supervisor`), not by
+/// [`snapshot`] itself — a single snapshot call has no cadence.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum IntervalPolicy {
+    /// Checkpoint every fixed virtual-time interval.
+    Fixed(SimDuration),
+    /// Young/Daly optimal interval `sqrt(2 · δ · MTBF)` from the
+    /// observed checkpoint cost δ and an online MTBF estimate,
+    /// recomputed after every checkpoint and failure.
+    #[default]
+    DalyAdaptive,
+}
+
 /// Everything that can vary about taking a snapshot, in one value.
 #[derive(Clone, Debug, Default)]
 pub struct CprPolicy {
@@ -90,6 +105,9 @@ pub struct CprPolicy {
     /// Advisory: enacted by signal-driven callers (e.g.
     /// `CheclSession::run_with_cpr`), not by [`snapshot`] itself.
     pub trigger: CheckpointMode,
+    /// Checkpoint cadence for supervision loops. Advisory: enacted by
+    /// `checl::supervisor`, not by [`snapshot`] itself.
+    pub interval: IntervalPolicy,
 }
 
 impl CprPolicy {
@@ -124,6 +142,12 @@ impl CprPolicy {
     /// Postpone the snapshot to the next natural sync point.
     pub fn delayed(mut self) -> CprPolicy {
         self.trigger = CheckpointMode::Delayed;
+        self
+    }
+
+    /// Set the supervision checkpoint cadence.
+    pub fn with_interval(mut self, interval: IntervalPolicy) -> CprPolicy {
+        self.interval = interval;
         self
     }
 

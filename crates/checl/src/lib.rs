@@ -53,6 +53,7 @@ pub mod migrate;
 pub mod objects;
 pub mod recovery;
 pub mod runtime;
+pub mod supervisor;
 
 pub use boot::{boot_checl, BootedChecl};
 pub use cpr::{
@@ -60,8 +61,13 @@ pub use cpr::{
     checkpoint_checl_pipelined_incremental, restart_checl_pipelined, restart_checl_process,
     restore_checl, CheckpointMode, CheckpointReport, CheclCprError, RestoreReport, RestoreTarget,
 };
-pub use engine::{restore, snapshot, CprPolicy, RecoveryPolicy, SnapshotFormat, SnapshotOutcome};
+pub use engine::{
+    restore, snapshot, CprPolicy, IntervalPolicy, RecoveryPolicy, SnapshotFormat, SnapshotOutcome,
+};
 pub use migrate::{migrate_process, predict_migration_time, MigrationModel, MigrationReport};
 pub use objects::{CheclDb, CheclEntry, ObjectRecord, RecordedArg};
 pub use recovery::{checkpoint_with_recovery, respawn_proxy_and_restore, restart_checl_chain};
 pub use runtime::{ChecLib, CheclConfig, CheclStats, StructArgPolicy};
+pub use supervisor::{
+    IntervalController, Supervisor, SupervisorConfig, SupervisorError, SupervisorReport,
+};

@@ -521,6 +521,48 @@ pub fn migrate_rank<E>(
     Ok(migration)
 }
 
+/// Re-create a *dead* rank on `spare` from its file in the last global
+/// snapshot and splice the new process into the communicator — the
+/// node-crash half of supervision, where [`migrate_rank`] is
+/// impossible because there is no live source to dump.
+///
+/// The respawned rank's clock is pushed up to the world's frontier:
+/// the survivors kept computing while the rank was down, and the
+/// replacement cannot rejoin collectives in their past. The rank then
+/// re-executes from the snapshot, which is exactly the wasted work the
+/// supervisor accounts for.
+pub fn respawn_rank_on_spare<E>(
+    cluster: &mut Cluster,
+    world: &mut MpiWorld,
+    rank: usize,
+    snapshot: &GlobalSnapshot,
+    spare: NodeId,
+    restart_rank: impl FnOnce(&mut Cluster, NodeId, &str) -> Result<Pid, E>,
+) -> Result<Pid, E> {
+    assert!(rank < world.size(), "rank out of range");
+    assert!(rank < snapshot.files.len(), "snapshot lacks this rank");
+    let frontier = world.max_clock(cluster);
+    let new_pid = restart_rank(cluster, spare, &snapshot.files[rank])?;
+    let restore_cost = cluster.process(new_pid).clock.since(SimTime::ZERO);
+    let ready = frontier + restore_cost;
+    cluster.process_mut(new_pid).clock = ready;
+    world.replace_rank(rank, new_pid);
+    if telemetry::enabled() {
+        let _cluster_track = telemetry::track_scope(telemetry::Track::CLUSTER);
+        telemetry::instant(
+            "mpi",
+            "mpi.respawn_rank",
+            ready,
+            vec![
+                ("rank", (rank as u64).into()),
+                ("file", snapshot.files[rank].as_str().into()),
+            ],
+        );
+        telemetry::counter_add("mpi.rank_respawns", 1);
+    }
+    Ok(new_pid)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -541,6 +583,36 @@ mod tests {
         let n2 = cluster.process(world.rank_pid(2)).node;
         assert_ne!(n0, n1);
         assert_eq!(n0, n2);
+    }
+
+    #[test]
+    fn dead_rank_respawns_on_a_spare_at_the_frontier() {
+        let (mut cluster, mut world) = cluster_and_world(3, 2);
+        for (i, &p) in world.pids().iter().enumerate() {
+            cluster.process_mut(p).image.put("rank", vec![i as u8; 8]);
+        }
+        let snap =
+            coordinated_checkpoint(&mut cluster, &world, "/nfs/w", blcr::checkpoint).unwrap();
+        // Rank 1's node dies; the survivor computes on.
+        let dead_node = cluster.process(world.rank_pid(1)).node;
+        cluster.fail_node(dead_node);
+        cluster.process_mut(world.rank_pid(0)).clock += SimDuration::from_millis(40);
+        let frontier = world.max_clock(&cluster);
+        let spare = cluster.node_ids()[2];
+        let new_pid =
+            respawn_rank_on_spare(&mut cluster, &mut world, 1, &snap, spare, blcr::restart)
+                .unwrap();
+        assert_eq!(world.rank_pid(1), new_pid);
+        assert_eq!(cluster.process(new_pid).node, spare);
+        assert!(cluster.process(new_pid).is_alive());
+        // State is from the snapshot, clock is past the frontier.
+        assert_eq!(
+            cluster.process(new_pid).image.get("rank"),
+            Some(&vec![1u8; 8][..])
+        );
+        assert!(cluster.process(new_pid).clock > frontier);
+        // The world can barrier again.
+        world.barrier(&mut cluster);
     }
 
     #[test]

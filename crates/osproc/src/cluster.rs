@@ -364,6 +364,23 @@ impl Cluster {
         self.fs(fs_id).file_size(&rel)
     }
 
+    /// Every file path reachable from `node` through its mount table,
+    /// sorted and de-duplicated. Costs nothing in virtual time — this
+    /// is an inspection helper for tests and the supervisor's scrubber,
+    /// not a modelled `readdir`.
+    pub fn paths_on(&self, node: NodeId) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .node(node)
+            .mounts
+            .values()
+            .flat_map(|fs_id| self.fs(*fs_id).list())
+            .map(|p| p.to_string())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
     fn resolve_for(&self, pid: Pid, path: &str) -> Result<(FsId, String, SimTime), FsError> {
         let p = self.process(pid);
         let node = self.node(p.node);

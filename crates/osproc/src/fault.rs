@@ -21,7 +21,7 @@
 
 use crate::fs::FsKind;
 use crate::ids::NodeId;
-use simcore::{telemetry, SimTime, SplitMix64};
+use simcore::{telemetry, SimDuration, SimTime, SplitMix64};
 
 /// The classes of fault the plan can inject.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -116,7 +116,60 @@ pub struct FaultPlan {
     proxy_deaths: Vec<SimTime>,
     /// Scheduled pipe breaks, polled by the CheCL session layer.
     pipe_breaks: Vec<SimTime>,
+    /// Recurring proxy deaths: mean inter-arrival time, the next armed
+    /// instant (armed lazily at the first poll), and a dedicated RNG
+    /// stream so arming never perturbs the write-fault draws.
+    proxy_death_rate: Option<RecurringFaults<()>>,
+    /// Recurring node crashes: same shape, plus the candidate victims.
+    node_crash_rate: Option<RecurringFaults<Vec<NodeId>>>,
     log: Vec<InjectedFault>,
+}
+
+/// An open-ended stream of one fault class: arrivals are drawn one at
+/// a time from a dedicated [`SplitMix64`] stream, uniformly jittered
+/// in `[0.25, 1.75] × mean` so the mean inter-arrival time is exactly
+/// `mean` while staying free of transcendental math (bit-identical
+/// across platforms, which the golden-guarded benches rely on).
+#[derive(Clone, Debug)]
+struct RecurringFaults<T> {
+    mean: SimDuration,
+    next: Option<SimTime>,
+    rng: SplitMix64,
+    targets: T,
+}
+
+impl<T> RecurringFaults<T> {
+    fn new(seed: u64, salt: u64, mean: SimDuration, targets: T) -> Self {
+        RecurringFaults {
+            mean: mean.max(SimDuration::from_micros(1)),
+            next: None,
+            rng: SplitMix64::new(seed ^ salt),
+            targets,
+        }
+    }
+
+    /// Draw the next inter-arrival gap.
+    fn gap(&mut self) -> SimDuration {
+        self.mean * (0.25 + 1.5 * self.rng.next_f64())
+    }
+
+    /// `true` when an arrival at or before `now` is due; the stream is
+    /// armed on its first consult and re-armed after each delivery.
+    fn due(&mut self, now: SimTime) -> bool {
+        match self.next {
+            None => {
+                let gap = self.gap();
+                self.next = Some(now + gap);
+                false
+            }
+            Some(at) if at <= now => {
+                let gap = self.gap();
+                self.next = Some(at + gap.max(SimDuration::from_micros(1)));
+                true
+            }
+            Some(_) => false,
+        }
+    }
 }
 
 impl FaultPlan {
@@ -137,6 +190,8 @@ impl FaultPlan {
             node_crashes: Vec::new(),
             proxy_deaths: Vec::new(),
             pipe_breaks: Vec::new(),
+            proxy_death_rate: None,
+            node_crash_rate: None,
             log: Vec::new(),
         }
     }
@@ -221,6 +276,37 @@ impl FaultPlan {
     /// Break the app↔proxy pipe at virtual time `at`.
     pub fn schedule_pipe_break(mut self, at: SimTime) -> Self {
         self.pipe_breaks.push(at);
+        self
+    }
+
+    /// Kill the API proxy *recurringly*, with mean inter-arrival time
+    /// `mean` — an open-ended fault stream rather than a one-shot
+    /// schedule, for testing supervision loops. Arrivals are drawn from
+    /// a dedicated seeded stream; the first arrival is armed relative
+    /// to the first [`FaultPlan::proxy_death_due`] poll, so installing
+    /// the plan mid-run does not deliver a burst of back-dated deaths.
+    pub fn with_proxy_death_rate(mut self, mean: SimDuration) -> Self {
+        self.proxy_death_rate = Some(RecurringFaults::new(
+            self.seed,
+            0x70726f_78795f64, // "proxy_d"
+            mean,
+            (),
+        ));
+        self
+    }
+
+    /// Crash one of `nodes` (chosen uniformly per arrival) recurringly,
+    /// with mean inter-arrival time `mean`. Delivered through
+    /// [`Cluster::poll_faults`](crate::Cluster::poll_faults) exactly
+    /// like the one-shot schedule.
+    pub fn with_node_crash_rate(mut self, mean: SimDuration, nodes: &[NodeId]) -> Self {
+        assert!(!nodes.is_empty(), "node crash rate needs >= 1 victim");
+        self.node_crash_rate = Some(RecurringFaults::new(
+            self.seed,
+            0x6e6f64_655f6372, // "node_cr"
+            mean,
+            nodes.to_vec(),
+        ));
         self
     }
 
@@ -351,7 +437,9 @@ impl FaultPlan {
         false
     }
 
-    /// Drain node crashes scheduled at or before `now`.
+    /// Drain node crashes scheduled at or before `now` — one-shot
+    /// schedule entries plus at most one recurring-rate arrival per
+    /// poll.
     pub fn due_node_crashes(&mut self, now: SimTime) -> Vec<NodeId> {
         let mut due = Vec::new();
         let mut remaining = Vec::new();
@@ -366,13 +454,32 @@ impl FaultPlan {
         due.iter().for_each(|(at, node)| {
             self.record(FaultKind::NodeCrash, *at, format!("node {node:?}"))
         });
-        due.into_iter().map(|(_, node)| node).collect()
+        let mut out: Vec<NodeId> = due.into_iter().map(|(_, node)| node).collect();
+        if let Some(rate) = self.node_crash_rate.as_mut() {
+            if rate.due(now) {
+                let victim = rate.targets[rate.rng.next_below(rate.targets.len() as u64) as usize];
+                self.record(FaultKind::NodeCrash, now, format!("node {victim:?} (rate)"));
+                out.push(victim);
+            }
+        }
+        out
     }
 
     /// `true` if a proxy death scheduled at or before `now` is due
-    /// (consumes it).
+    /// (consumes it). A recurring rate armed with
+    /// [`FaultPlan::with_proxy_death_rate`] delivers through the same
+    /// poll.
     pub fn proxy_death_due(&mut self, now: SimTime) -> bool {
-        self.take_due(now, FaultKind::ProxyDeath)
+        if self.take_due(now, FaultKind::ProxyDeath) {
+            return true;
+        }
+        if let Some(rate) = self.proxy_death_rate.as_mut() {
+            if rate.due(now) {
+                self.record(FaultKind::ProxyDeath, now, "(rate)".to_string());
+                return true;
+            }
+        }
+        false
     }
 
     /// `true` if a pipe break scheduled at or before `now` is due
@@ -485,6 +592,52 @@ mod tests {
         assert!(plan.pipe_break_due(t(31)));
         assert!(!plan.pipe_break_due(t(32)));
         assert_eq!(plan.log().len(), 2);
+    }
+
+    #[test]
+    fn proxy_death_rate_is_recurring_and_replayable() {
+        let run = |seed| {
+            let mut plan = FaultPlan::new(seed).with_proxy_death_rate(SimDuration::from_millis(10));
+            (0..400)
+                .map(|i| plan.proxy_death_due(t(i)))
+                .collect::<Vec<bool>>()
+        };
+        let a = run(11);
+        let fired = a.iter().filter(|b| **b).count();
+        // 400 ms of polling at a 10 ms mean: many arrivals, not one.
+        assert!(fired > 10, "only {fired} recurring deaths fired");
+        assert_eq!(a, run(11), "same seed must replay the same stream");
+        assert_ne!(a, run(12));
+    }
+
+    #[test]
+    fn node_crash_rate_hits_only_candidates() {
+        let victims = [NodeId(1), NodeId(2)];
+        let mut plan =
+            FaultPlan::new(13).with_node_crash_rate(SimDuration::from_millis(5), &victims);
+        let mut crashed = Vec::new();
+        for i in 0..200 {
+            crashed.extend(plan.due_node_crashes(t(i)));
+        }
+        assert!(crashed.len() > 5, "only {} crashes fired", crashed.len());
+        assert!(crashed.iter().all(|n| victims.contains(n)));
+        assert_eq!(plan.count(FaultKind::NodeCrash), crashed.len());
+    }
+
+    #[test]
+    fn rate_arms_relative_to_first_poll() {
+        let mut plan = FaultPlan::new(14).with_proxy_death_rate(SimDuration::from_millis(10));
+        // First poll far into virtual time: arming, never a back-dated
+        // burst.
+        assert!(!plan.proxy_death_due(t(10_000)));
+        let mut fired = 0;
+        for i in 0..40 {
+            if plan.proxy_death_due(t(10_000 + i)) {
+                fired += 1;
+            }
+        }
+        assert!(fired >= 1, "the stream must keep delivering after arming");
+        assert!(fired <= 20, "a 10 ms mean cannot fire {fired}x in 40 ms");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 pub mod cluster;
 pub mod fault;
 pub mod fs;
+pub mod heartbeat;
 pub mod ids;
 pub mod memimage;
 pub mod pipe;
@@ -27,6 +28,7 @@ pub mod process;
 pub use cluster::{Cluster, Node};
 pub use fault::{FaultKind, FaultPlan, InjectedFault, WriteFault};
 pub use fs::{Fs, FsError, FsKind, FsStats};
+pub use heartbeat::{BeatSource, DetectorPolicy, HeartbeatMonitor};
 pub use ids::{FsId, NodeId, Pid};
 pub use memimage::MemImage;
 pub use pipe::Pipe;

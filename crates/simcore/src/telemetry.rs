@@ -689,6 +689,9 @@ pub const FAULT_CATEGORY: &str = "fault";
 /// Category of recovery-action events (retries, fallbacks, verification
 /// failures, proxy respawns, snapshot aborts).
 pub const RECOVERY_CATEGORY: &str = "recovery";
+/// Category of supervision events (failure detection, interval
+/// recomputation, automatic repair, replica scrubbing).
+pub const SUPERVISOR_CATEGORY: &str = "supervisor";
 
 /// Check structural invariants of a recording:
 ///

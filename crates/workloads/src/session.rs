@@ -387,6 +387,69 @@ impl CheclSession {
     }
 }
 
+/// Outcome of a policy-driven signal-aware run segment.
+#[derive(Debug)]
+pub enum PolicyRunOutcome {
+    /// Script finished; no checkpoint was triggered.
+    Done,
+    /// A checkpoint was taken (triggered by SIGUSR1) under the policy
+    /// and the program paused right after it.
+    Checkpointed(SnapshotOutcome),
+}
+
+impl CheclSession {
+    /// Run the program while honouring checkpoint signals under an
+    /// arbitrary [`CprPolicy`] — the unified-engine sibling of
+    /// [`CheclSession::run_with_cpr`]. The policy's `trigger` decides
+    /// Immediate vs Delayed placement, and the snapshot itself goes
+    /// through [`CheclSession::checkpoint_with_policy`], so Delayed
+    /// triggering composes with streaming, pipelining and commit
+    /// hardening.
+    pub fn run_with_cpr_policy(
+        &mut self,
+        cluster: &mut Cluster,
+        policy: &CprPolicy,
+        path: &str,
+    ) -> Result<PolicyRunOutcome, CheclCprError> {
+        use crate::script::Op;
+        let mut armed = false;
+        loop {
+            if self.program.is_done() {
+                return if armed {
+                    let outcome = self.checkpoint_with_policy(cluster, path, policy)?;
+                    Ok(PolicyRunOutcome::Checkpointed(outcome))
+                } else {
+                    Ok(PolicyRunOutcome::Done)
+                };
+            }
+            if cluster.process_mut(self.pid).poll_signal() == Some(osproc::Signal::Usr1) {
+                armed = true;
+            }
+            if armed {
+                let at_sync_point = matches!(
+                    self.program.script.ops[self.program.pc as usize],
+                    Op::Finish { .. }
+                );
+                let take_now = match policy.trigger {
+                    checl::CheckpointMode::Immediate => true,
+                    checl::CheckpointMode::Delayed => at_sync_point,
+                };
+                if take_now {
+                    let outcome = self.checkpoint_with_policy(cluster, path, policy)?;
+                    return Ok(PolicyRunOutcome::Checkpointed(outcome));
+                }
+            }
+            let mut now = cluster.process(self.pid).clock;
+            let step = {
+                let _track = telemetry::track_scope(telemetry::Track::process(self.pid.0 as u64));
+                self.program.step(&mut self.lib, &mut now)
+            };
+            cluster.process_mut(self.pid).clock = now;
+            step.map_err(CheclCprError::Cl)?;
+        }
+    }
+}
+
 /// What it took to run a program segment under fault injection.
 #[derive(Debug, PartialEq, Eq)]
 pub struct RecoveryRunReport {

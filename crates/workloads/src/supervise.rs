@@ -1,0 +1,345 @@
+//! The supervised run: a CheCL workload driven to completion under an
+//! adversarial [`FaultPlan`](osproc::FaultPlan) with no manual recovery
+//! calls.
+//!
+//! This is the workload-side half of the self-healing supervisor; the
+//! decision machinery (detector, Young/Daly interval controller, repair
+//! ladder, accounting) lives in [`checl::supervisor`]. The loop here:
+//!
+//! 1. steps the program one op at a time, feeding heartbeats from the
+//!    app node and the API proxy into the failure detector;
+//! 2. checkpoints into a replicated [`DumpVault`] (local primary + NFS
+//!    mirror, generation GC) whenever the controller's interval has
+//!    elapsed — honouring Delayed triggers by waiting for the next
+//!    sync point;
+//! 3. on **proxy death** respawns the proxy and restores the object
+//!    graph from the newest healthy replica (rolling the program back
+//!    to the checkpointed pc);
+//! 4. on **node crash** restarts the whole session from the vault on a
+//!    healthy spare and re-seeds the spare's local replicas by
+//!    scrubbing;
+//! 5. escalates with a typed [`SupervisorError::Escalated`] when the
+//!    per-incident repair ladder or the global failure-storm backstop
+//!    is exhausted — never a panic, never silent corruption.
+
+use crate::script::AppProgram;
+use crate::session::{CheclSession, APP_SEGMENT};
+use blcr::DumpVault;
+use checl::cpr::{CheclCprError, RestoreTarget};
+use checl::supervisor::{Supervisor, SupervisorConfig, SupervisorError, SupervisorReport};
+use checl::CprPolicy;
+use cldriver::VendorConfig;
+use osproc::{BeatSource, Cluster, NodeId};
+use simcore::codec::Codec;
+use simcore::{telemetry, SimDuration, SimTime};
+
+/// Everything a supervised run needs beyond the session itself.
+#[derive(Clone, Debug)]
+pub struct SuperviseSetup {
+    /// Detector, repair ladder and retention knobs.
+    pub config: SupervisorConfig,
+    /// Snapshot policy — format, pipelining, commit hardening, trigger
+    /// placement and the checkpoint [`IntervalPolicy`]
+    /// (`policy.interval`).
+    ///
+    /// [`IntervalPolicy`]: checl::IntervalPolicy
+    pub policy: CprPolicy,
+    /// Vendor used for proxy respawns and spare-node restarts.
+    pub vendor: VendorConfig,
+    /// Device selection on restore.
+    pub restore: RestoreTarget,
+    /// Primary replica base (node-local fast storage), e.g.
+    /// `/local/app`.
+    pub primary_base: String,
+    /// Mirror replica base on a crash-surviving mount, e.g. `/nfs/app`.
+    pub mirror_base: String,
+    /// Healthy nodes a node-crash failover may restart onto.
+    pub spares: Vec<NodeId>,
+}
+
+impl SuperviseSetup {
+    /// A setup with the default supervisor knobs and sequential
+    /// snapshots.
+    pub fn new(vendor: VendorConfig, primary_base: &str, mirror_base: &str) -> SuperviseSetup {
+        SuperviseSetup {
+            config: SupervisorConfig::default(),
+            policy: CprPolicy::sequential(),
+            vendor,
+            restore: RestoreTarget::default(),
+            primary_base: primary_base.to_string(),
+            mirror_base: mirror_base.to_string(),
+            spares: Vec::new(),
+        }
+    }
+}
+
+fn escalate(repairs: u32, detail: impl Into<String>) -> SupervisorError {
+    SupervisorError::Escalated {
+        repairs,
+        detail: detail.into(),
+    }
+}
+
+/// Checkpoint the session into the vault's next generation and account
+/// it with the supervisor. Progress is reported in the "since last
+/// commit" frame the loop uses throughout.
+fn commit_checkpoint(
+    cluster: &mut Cluster,
+    session: &mut CheclSession,
+    vault: &mut DumpVault,
+    sup: &mut Supervisor,
+    policy: &CprPolicy,
+) -> Result<SimTime, CheclCprError> {
+    let before = cluster.process(session.pid).clock;
+    let stage = vault.stage_path();
+    let outcome = session.checkpoint_with_policy(cluster, &stage, policy)?;
+    vault
+        .commit_at(cluster, session.pid, &outcome.path)
+        .map_err(|e| CheclCprError::Cpr(blcr::CprError::Fs(e)))?;
+    let after = cluster.process(session.pid).clock;
+    sup.advance(after);
+    sup.checkpoint_committed(after.since(before), SimDuration::ZERO);
+    Ok(after)
+}
+
+/// Reload the interpreter from the dump at `path` (the rollback half of
+/// a proxy respawn — device state came back via the object graph, host
+/// state must come from the same generation).
+fn reload_program(
+    cluster: &mut Cluster,
+    session: &mut CheclSession,
+    path: &str,
+) -> Result<(), CheclCprError> {
+    let bytes = cluster
+        .read_file(session.pid, path)
+        .map_err(|e| CheclCprError::Cpr(blcr::CprError::Fs(e)))?;
+    let image = blcr::sniff_dump(&bytes)
+        .map_err(|e| CheclCprError::Cpr(blcr::CprError::Corrupt(e)))?
+        .into_image();
+    let app = image.get(APP_SEGMENT).ok_or(CheclCprError::MissingState)?;
+    session.program = AppProgram::from_bytes(app).map_err(CheclCprError::BadState)?;
+    Ok(())
+}
+
+/// Run `session` to completion under supervision. Returns the finished
+/// session and the supervisor's accounting, or a typed
+/// [`SupervisorError::Escalated`] when repair is exhausted.
+pub fn run_supervised(
+    cluster: &mut Cluster,
+    mut session: CheclSession,
+    setup: &SuperviseSetup,
+) -> Result<(CheclSession, SupervisorReport), SupervisorError> {
+    let start = cluster.process(session.pid).clock;
+    let mut sup = Supervisor::new(setup.config.clone(), setup.policy.interval, start);
+    let mut vault = DumpVault::new(
+        &setup.primary_base,
+        &setup.mirror_base,
+        setup.config.keep_generations,
+    );
+    let mut spares = setup.spares.clone();
+    let mut node = cluster.process(session.pid).node;
+    sup.monitor_mut().watch(BeatSource::Node(node), start);
+    if let Some(proxy) = session.lib.proxy_pid() {
+        sup.monitor_mut().watch(BeatSource::Proxy(proxy), start);
+    }
+
+    // Generation 0: a supervised run must always have a restore point,
+    // or the first failure is unrecoverable by construction.
+    let mut commit_clock =
+        commit_checkpoint(cluster, &mut session, &mut vault, &mut sup, &setup.policy)
+            .map_err(|e| escalate(0, format!("initial checkpoint: {e}")))?;
+
+    loop {
+        if session.program.is_done() {
+            sup.advance(cluster.process(session.pid).clock);
+            return Ok((session, sup.finish(true)));
+        }
+
+        // Deliver cluster faults that have come due at the app's clock.
+        let now = cluster.process(session.pid).clock;
+        let crashed = cluster.poll_faults(now);
+        spares.retain(|s| !crashed.contains(s));
+        let node_dead = crashed.contains(&node) || !cluster.process(session.pid).is_alive();
+        if !node_dead {
+            let (proxy_dies, pipe_breaks) = match cluster.faults_mut() {
+                Some(plan) => (plan.proxy_death_due(now), plan.pipe_break_due(now)),
+                None => (false, false),
+            };
+            if proxy_dies {
+                if let Some(proxy) = session.lib.proxy_pid() {
+                    cluster.kill(proxy);
+                }
+                session.lib.break_pipe();
+            }
+            if pipe_breaks {
+                session.lib.break_pipe();
+            }
+        }
+
+        if node_dead {
+            // ---- node-crash incident: failover to a spare ----
+            sup.advance(now);
+            if sup.storming() {
+                return Err(escalate(sup.failures(), "failure storm: too many failures"));
+            }
+            let old_proxy = session.lib.proxy_pid();
+            sup.failure_detected(BeatSource::Node(node), now.since(commit_clock));
+            let mut last_err = format!("node {} crashed", node.0);
+            session = loop {
+                sup.sanction_repair(&last_err)?;
+                let Some(&spare) = spares.iter().find(|s| **s != node) else {
+                    return Err(escalate(sup.failures(), "no healthy spare node left"));
+                };
+                let chain = vault.restore_chain();
+                let mut restored: Option<CheclSession> = None;
+                for path in &chain {
+                    match CheclSession::restart(
+                        cluster,
+                        spare,
+                        path,
+                        setup.vendor.clone(),
+                        setup.restore,
+                    ) {
+                        Ok(s) => {
+                            restored = Some(s);
+                            break;
+                        }
+                        Err(e) => last_err = format!("restart from {path}: {e}"),
+                    }
+                }
+                match restored {
+                    Some(s) => {
+                        // Re-seed the spare's local replicas from the
+                        // surviving mirrors; the scrub I/O is part of the
+                        // repair and lands in downtime.
+                        vault.scrub(cluster, s.pid);
+                        let took = cluster.process(s.pid).clock.since(SimTime::ZERO);
+                        sup.repair_succeeded(took);
+                        // The replacement cannot live in the cluster's
+                        // past: push its clock up to the supervision
+                        // cursor (restore + scrub costs included).
+                        let p = cluster.process_mut(s.pid);
+                        p.clock = p.clock.max(sup.now());
+                        sup.monitor_mut().unwatch(BeatSource::Node(node));
+                        if let Some(p) = old_proxy {
+                            sup.monitor_mut().unwatch(BeatSource::Proxy(p));
+                        }
+                        node = spare;
+                        let at = sup.now();
+                        sup.monitor_mut().watch(BeatSource::Node(node), at);
+                        if let Some(p) = s.lib.proxy_pid() {
+                            sup.monitor_mut().watch(BeatSource::Proxy(p), at);
+                        }
+                        commit_clock = cluster.process(s.pid).clock;
+                        break s;
+                    }
+                    None => sup.repair_failed(SimDuration::from_millis(1)),
+                }
+            };
+            continue;
+        }
+
+        if session.lib.pipe_broken() || !session.lib.has_proxy() {
+            // ---- proxy-death incident: respawn + rollback ----
+            sup.advance(now);
+            if sup.storming() {
+                return Err(escalate(sup.failures(), "failure storm: too many failures"));
+            }
+            let proxy_src = session.lib.proxy_pid().map(BeatSource::Proxy);
+            if let Some(src) = proxy_src {
+                sup.failure_detected(src, now.since(commit_clock));
+            } else {
+                sup.failure_detected(BeatSource::Node(node), now.since(commit_clock));
+            }
+            let mut last_err = String::from("api proxy died");
+            loop {
+                sup.sanction_repair(&last_err)?;
+                let chain = vault.restore_chain();
+                let before = cluster.process(session.pid).clock;
+                let mut ok = false;
+                for path in &chain {
+                    let respawned = checl::respawn_proxy_and_restore(
+                        cluster,
+                        &mut session.lib,
+                        session.pid,
+                        path,
+                        setup.vendor.clone(),
+                        setup.restore,
+                    )
+                    .and_then(|_| reload_program(cluster, &mut session, path));
+                    match respawned {
+                        Ok(()) => {
+                            ok = true;
+                            break;
+                        }
+                        Err(e) => last_err = format!("respawn from {path}: {e}"),
+                    }
+                }
+                let after = cluster.process(session.pid).clock;
+                if ok {
+                    if let Some(src) = proxy_src {
+                        sup.monitor_mut().unwatch(src);
+                    }
+                    sup.repair_succeeded(after.since(before));
+                    let at = sup.now();
+                    if let Some(p) = session.lib.proxy_pid() {
+                        sup.monitor_mut().watch(BeatSource::Proxy(p), at);
+                    }
+                    commit_clock = after;
+                    break;
+                }
+                sup.repair_failed(after.since(before).max(SimDuration::from_millis(1)));
+            }
+            continue;
+        }
+
+        // ---- healthy: beats, cadence, one op ----
+        sup.advance(now);
+        sup.beat(BeatSource::Node(node));
+        if let Some(p) = session.lib.proxy_pid() {
+            sup.beat(BeatSource::Proxy(p));
+        }
+        if sup.checkpoint_due(now.since(commit_clock)) {
+            let at_sync_point = matches!(
+                session.program.script.ops[session.program.pc as usize],
+                crate::script::Op::Finish { .. }
+            );
+            let take_now = match setup.policy.trigger {
+                checl::CheckpointMode::Immediate => true,
+                checl::CheckpointMode::Delayed => at_sync_point,
+            };
+            if take_now {
+                match commit_checkpoint(cluster, &mut session, &mut vault, &mut sup, &setup.policy)
+                {
+                    Ok(t) => {
+                        commit_clock = t;
+                        continue;
+                    }
+                    Err(_) => {
+                        // A checkpoint that cannot commit is an incident
+                        // like any other: mark the proxy path broken and
+                        // let the repair ladder roll the session back.
+                        session.lib.break_pipe();
+                        sup.advance(cluster.process(session.pid).clock);
+                        continue;
+                    }
+                }
+            }
+        }
+
+        let mut op_clock = cluster.process(session.pid).clock;
+        let step = {
+            let _track = telemetry::track_scope(telemetry::Track::process(session.pid.0 as u64));
+            session.program.step(&mut session.lib, &mut op_clock)
+        };
+        cluster.process_mut(session.pid).clock = op_clock;
+        match step {
+            Ok(()) => {}
+            Err(clspec::error::ClError::DeviceNotAvailable) => {
+                // The proxy died under the op; the pc did not advance.
+                session.lib.break_pipe();
+            }
+            Err(e) => return Err(escalate(sup.failures(), format!("unrecoverable: {e}"))),
+        }
+    }
+}

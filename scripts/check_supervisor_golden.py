@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Availability guard over the ablation_supervisor golden.
+
+Two properties of the self-healing supervisor are load-bearing and must
+never regress:
+
+* the adaptive Young/Daly interval policy completes at **every** swept
+  failure rate, and its total overhead (wasted work + checkpoint
+  overhead + detection/repair downtime) beats **both** fixed baselines
+  at two or more failure rates — a baseline that escalates instead of
+  completing counts as beaten;
+* the redundant-dump scrub detects the injected bit-rot and repairs it
+  from the mirror without losing a generation.
+
+A regression in the failure detector, the interval controller, the
+repair ladder or the dump vault shows up here before it shows up in a
+plot.
+"""
+
+import json
+import sys
+
+ADAPTIVE = "daly-adaptive"
+
+
+def fail(msg: str) -> None:
+    print(f"check_supervisor_golden: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "results/BENCH_ablation_supervisor.json"
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    regimes_won = 0
+    regimes = 0
+    scrubs = 0
+    for section in doc["sections"]:
+        cols = section["columns"]
+        if "interval policy" in cols:
+            policy_i = cols.index("interval policy")
+            regime_i = cols.index("failure regime")
+            done_i = cols.index("completed")
+            total_i = cols.index("total overhead [s]")
+            by_regime: dict[str, dict[str, object]] = {}
+            for row in section["rows"]:
+                by_regime.setdefault(row[regime_i], {})[row[policy_i]] = (
+                    row[total_i] if row[done_i] == "yes" else None
+                )
+            for regime, by_policy in by_regime.items():
+                if ADAPTIVE not in by_policy:
+                    fail(f"regime {regime}: no {ADAPTIVE} row")
+                adaptive = by_policy.pop(ADAPTIVE)
+                if adaptive is None:
+                    fail(f"regime {regime}: {ADAPTIVE} did not complete")
+                if not by_policy:
+                    fail(f"regime {regime}: no fixed baselines to compare against")
+                regimes += 1
+                # An escalated (non-completing) baseline is an infinite
+                # overhead: the adaptive policy beats it by definition.
+                if all(base is None or adaptive < base for base in by_policy.values()):
+                    regimes_won += 1
+        elif "scrub repaired" in cols:
+            scen_i = cols.index("scenario")
+            rep_i = cols.index("scrub repaired")
+            lost_i = cols.index("scrub lost")
+            for row in section["rows"]:
+                if row[scen_i] != "corrupt-primary":
+                    continue
+                if row[rep_i] != 1:
+                    fail(f"scrub repaired {row[rep_i]} replicas, expected exactly 1")
+                if row[lost_i] != 0:
+                    fail(f"scrub lost {row[lost_i]} generations, expected 0")
+                scrubs += 1
+
+    if regimes == 0:
+        fail("no interval-policy sweep found — wrong file or schema drift")
+    if scrubs == 0:
+        fail("no corrupt-primary scrub row found — wrong file or schema drift")
+    if regimes_won < 2:
+        fail(
+            f"{ADAPTIVE} beats both fixed baselines at only {regimes_won} of "
+            f"{regimes} failure rates (need >= 2)"
+        )
+    print(
+        f"check_supervisor_golden: OK ({ADAPTIVE} completes at all {regimes} "
+        f"failure rates, wins {regimes_won}; scrub repairs bit-rot)"
+    )
+
+
+if __name__ == "__main__":
+    main()

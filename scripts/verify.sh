@@ -55,6 +55,14 @@ git diff --exit-code -- results/BENCH_fig8_migration.json
 # migration's end-to-end time must stay strictly below sequential.
 python3 scripts/check_migration_golden.py results/BENCH_fig8_migration.json
 
+echo "==> smoke: self-healing supervisor (golden diff + availability guard)"
+# Every supervised cell proves bit-exactness against a native run; the
+# guard then holds the headline: the adaptive interval policy completes
+# at every failure rate and beats both fixed baselines at >= 2 of them.
+cargo run -q --release -p checl-bench --bin ablation_supervisor >/dev/null
+git diff --exit-code -- results/BENCH_ablation_supervisor.json
+python3 scripts/check_supervisor_golden.py results/BENCH_ablation_supervisor.json
+
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> smoke: micro-benches (codec filter)"
     cargo bench -q -p checl-bench -- codec >/dev/null
