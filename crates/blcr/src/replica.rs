@@ -24,7 +24,7 @@
 //! [`restart_from_chain`]: crate::robust::restart_from_chain
 
 use osproc::{Cluster, FsError, Pid};
-use simcore::{fnv1a64, telemetry, ByteSize};
+use simcore::{fnv1a64, obs, telemetry, ByteSize};
 
 /// One retained checkpoint generation and its two replicas.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -161,6 +161,17 @@ impl DumpVault {
             size,
             hash,
         };
+        obs::emit(
+            "vault",
+            cluster.process(pid).clock,
+            obs::EventKind::GenerationCommitted {
+                generation: generation.gen,
+                path: generation.primary.clone(),
+                bytes: size.as_u64(),
+                checksum: hash,
+                replicas: vec![generation.primary.clone(), generation.mirror.clone()],
+            },
+        );
         self.generations.push(generation.clone());
         self.next_gen += 1;
         self.gc(cluster, pid);
@@ -176,6 +187,14 @@ impl DumpVault {
             let _ = cluster.delete_file(pid, &g.primary);
             let _ = cluster.delete_file(pid, &g.mirror);
             replica_event(cluster, pid, "replica.gc", &g.primary);
+            obs::emit(
+                "vault",
+                cluster.process(pid).clock,
+                obs::EventKind::GenerationRetired {
+                    generation: g.gen,
+                    path: g.primary.clone(),
+                },
+            );
         }
     }
 
@@ -189,18 +208,37 @@ impl DumpVault {
         for g in std::mem::take(&mut self.generations) {
             let primary_ok = Self::replica_healthy(cluster, pid, &g.primary, g.hash);
             let mirror_ok = Self::replica_healthy(cluster, pid, &g.mirror, g.hash);
+            let verified = primary_ok as u64 + mirror_ok as u64;
             match (primary_ok, mirror_ok) {
                 (true, true) => report.verified += 2,
                 (true, false) => {
                     report.verified += 1;
                     if Self::repair(cluster, pid, &g.primary, &g.mirror, g.hash) {
                         report.repaired += 1;
+                        obs::emit(
+                            "vault",
+                            cluster.process(pid).clock,
+                            obs::EventKind::ReplicaRepaired {
+                                generation: g.gen,
+                                path: g.primary.clone(),
+                                replica: g.mirror.clone(),
+                            },
+                        );
                     }
                 }
                 (false, true) => {
                     report.verified += 1;
                     if Self::repair(cluster, pid, &g.mirror, &g.primary, g.hash) {
                         report.repaired += 1;
+                        obs::emit(
+                            "vault",
+                            cluster.process(pid).clock,
+                            obs::EventKind::ReplicaRepaired {
+                                generation: g.gen,
+                                path: g.primary.clone(),
+                                replica: g.primary.clone(),
+                            },
+                        );
                     }
                 }
                 (false, false) => {
@@ -208,9 +246,26 @@ impl DumpVault {
                     let _ = cluster.delete_file(pid, &g.primary);
                     let _ = cluster.delete_file(pid, &g.mirror);
                     report.lost += 1;
+                    obs::emit(
+                        "vault",
+                        cluster.process(pid).clock,
+                        obs::EventKind::ReplicaLost {
+                            generation: g.gen,
+                            path: g.primary.clone(),
+                        },
+                    );
                     continue;
                 }
             }
+            obs::emit(
+                "vault",
+                cluster.process(pid).clock,
+                obs::EventKind::ReplicaScrubbed {
+                    generation: g.gen,
+                    path: g.primary.clone(),
+                    verified,
+                },
+            );
             kept.push(g);
         }
         self.generations = kept;

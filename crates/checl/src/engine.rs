@@ -42,7 +42,7 @@ use clspec::error::ClError;
 use clspec::handles::{CommandQueue, Event, HandleKind, Mem, RawHandle};
 use osproc::{Cluster, FsError, FsKind, NodeId, Pid};
 use simcore::channels::ChannelSet;
-use simcore::{telemetry, ByteSize, SimDuration, SimTime};
+use simcore::{obs, telemetry, ByteSize, SimDuration, SimTime};
 
 /// Telemetry `tid` base for per-channel swimlanes (well above any real
 /// thread id the simulation mints).
@@ -157,6 +157,34 @@ impl CprPolicy {
     pub fn streamed(&self) -> bool {
         self.pipelined || self.format == SnapshotFormat::Streamed
     }
+
+    /// Stable human-readable name of this lattice point, recorded in
+    /// every dump's provenance (e.g.
+    /// `"streamed+pipelined+incremental+recovery+daly"`).
+    pub fn label(&self) -> String {
+        let mut parts: Vec<&str> = vec![if self.streamed() {
+            "streamed"
+        } else {
+            "sequential"
+        }];
+        if self.pipelined {
+            parts.push("pipelined");
+        }
+        if self.incremental {
+            parts.push("incremental");
+        }
+        if self.recovery.is_some() {
+            parts.push("recovery");
+        }
+        if self.trigger == CheckpointMode::Delayed {
+            parts.push("delayed");
+        }
+        match self.interval {
+            IntervalPolicy::Fixed(_) => parts.push("fixed"),
+            IntervalPolicy::DalyAdaptive => parts.push("daly"),
+        }
+        parts.join("+")
+    }
 }
 
 /// What one [`snapshot`] call produced.
@@ -189,7 +217,9 @@ pub fn snapshot(
     let streamed = policy.streamed();
     let incremental = policy.incremental;
     let Some(rp) = &policy.recovery else {
-        let report = snapshot_once(lib, cluster, app_pid, path, streamed, incremental)?;
+        let (report, provenance) =
+            snapshot_once(lib, cluster, app_pid, path, streamed, incremental)?;
+        emit_checkpoint_committed(cluster, app_pid, path, policy, &provenance, &report);
         return Ok(SnapshotOutcome {
             report,
             path: path.to_string(),
@@ -199,19 +229,20 @@ pub fn snapshot(
     let mut targets: Vec<&str> = vec![path];
     targets.extend(rp.fallback_targets.iter().map(String::as_str));
     let retry = rp.retry;
-    let (report, outcome) = blcr::drive_recovery(
+    let ((report, provenance), outcome) = blcr::drive_recovery(
         cluster,
         app_pid,
         &targets,
         &retry,
         |cluster, tmp, target| {
-            let report = match snapshot_once(lib, cluster, app_pid, tmp, streamed, incremental) {
-                Ok(r) => r,
-                Err(e @ CheclCprError::Cpr(CprError::Fs(_))) => {
-                    return RecoveryAttempt::Transient(e)
-                }
-                Err(fatal) => return RecoveryAttempt::Fatal(fatal),
-            };
+            let (report, provenance) =
+                match snapshot_once(lib, cluster, app_pid, tmp, streamed, incremental) {
+                    Ok(r) => r,
+                    Err(e @ CheclCprError::Cpr(CprError::Fs(_))) => {
+                        return RecoveryAttempt::Transient(e)
+                    }
+                    Err(fatal) => return RecoveryAttempt::Fatal(fatal),
+                };
             if retry.verify {
                 match verify_snapshot_file(cluster, app_pid, tmp, report.file_size.as_u64()) {
                     Ok(()) => {}
@@ -234,18 +265,67 @@ pub fn snapshot(
                 return RecoveryAttempt::Fatal(CheclCprError::Cpr(CprError::Fs(e)));
             }
             repoint_saves(lib, tmp, target);
+            let size = report.file_size;
             RecoveryAttempt::Committed {
-                value: report,
-                size: report.file_size,
+                value: (report, provenance),
+                size,
             }
         },
         || CheclCprError::Cpr(CprError::Fs(FsError::WriteFailed(path.to_string()))),
     )?;
+    emit_checkpoint_committed(
+        cluster,
+        app_pid,
+        &outcome.path,
+        policy,
+        &provenance,
+        &report,
+    );
     Ok(SnapshotOutcome {
         report,
         path: outcome.path.clone(),
         recovery: Some(outcome),
     })
+}
+
+/// Record a committed dump's provenance in the obs ledger: where it
+/// landed, the policy lattice point, its incremental bases, byte and
+/// chunk accounting, and the four-phase cost breakdown.
+fn emit_checkpoint_committed(
+    cluster: &Cluster,
+    app_pid: Pid,
+    path: &str,
+    policy: &CprPolicy,
+    provenance: &DumpProvenance,
+    report: &CheckpointReport,
+) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::emit(
+        "engine",
+        cluster.process(app_pid).clock,
+        obs::EventKind::CheckpointCommitted {
+            path: path.to_string(),
+            format: if policy.streamed() {
+                "streamed".to_string()
+            } else {
+                "sequential".to_string()
+            },
+            policy: policy.label(),
+            bases: provenance.bases.clone(),
+            buffers: provenance.buffers,
+            skipped: provenance.skipped,
+            chunks: provenance.chunks,
+            logical_bytes: provenance.logical_bytes,
+            file_bytes: report.file_size.as_u64(),
+            sync_ns: report.sync.as_nanos(),
+            preprocess_ns: report.preprocess.as_nanos(),
+            write_ns: report.write.as_nanos(),
+            postprocess_ns: report.postprocess.as_nanos(),
+            cost_ns: report.total().as_nanos(),
+        },
+    );
 }
 
 /// One raw four-phase checkpoint attempt — the single place the
@@ -260,7 +340,7 @@ pub(crate) fn snapshot_once(
     path: &str,
     streamed: bool,
     incremental: bool,
-) -> Result<CheckpointReport, CheclCprError> {
+) -> Result<(CheckpointReport, DumpProvenance), CheclCprError> {
     if !lib.has_proxy() {
         return Err(CheclCprError::NoProxy);
     }
@@ -283,6 +363,7 @@ pub(crate) fn snapshot_once(
     let sync = sync_queues(lib, &mut now)?;
 
     let mems = collect_mems(lib, incremental);
+    let provenance = dump_provenance(lib, &mems, streamed);
 
     let (now, preprocess, write, file_size, channels) = if !streamed {
         // Phase 2: preprocess — copy all user data in device memory to
@@ -495,17 +576,20 @@ pub(crate) fn snapshot_once(
         (now, preprocess, write, file_size, Some(channels))
     };
 
-    Ok(finish_snapshot(
-        lib,
-        cluster,
-        app_pid,
-        now,
-        start,
-        sync,
-        preprocess,
-        write,
-        file_size,
-        channels.as_ref(),
+    Ok((
+        finish_snapshot(
+            lib,
+            cluster,
+            app_pid,
+            now,
+            start,
+            sync,
+            preprocess,
+            write,
+            file_size,
+            channels.as_ref(),
+        ),
+        provenance,
     ))
 }
 
@@ -542,6 +626,52 @@ fn sync_queues(lib: &mut ChecLib, now: &mut SimTime) -> Result<SimDuration, Chec
 /// size, skip)` — `skip` marks clean buffers an incremental snapshot
 /// leaves referenced in their previous file.
 type MemPlan = (u64, RawHandle, u64, u64, bool);
+
+/// Provenance facts of one snapshot attempt, recorded in the obs
+/// ledger at commit: which earlier dumps its skipped buffers reference,
+/// and the buffer/byte/chunk accounting of the payload.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DumpProvenance {
+    /// Distinct files holding the clean bytes of skipped buffers.
+    bases: Vec<String>,
+    /// Live buffers considered.
+    buffers: u64,
+    /// Buffers skipped by incremental dedup.
+    skipped: u64,
+    /// Chunk frames written (streamed format only).
+    chunks: u64,
+    /// Logical bytes across all live buffers.
+    logical_bytes: u64,
+}
+
+/// Collect the provenance of the attempt described by `mems` *before*
+/// any buffer record is repointed at the new file: a skipped buffer's
+/// `saved_in` still names the earlier dump its bytes live in.
+fn dump_provenance(lib: &ChecLib, mems: &[MemPlan], streamed: bool) -> DumpProvenance {
+    let mut bases: Vec<String> = Vec::new();
+    for &(checl_mem, _, _, _, skip) in mems {
+        if !skip {
+            continue;
+        }
+        if let Some(ObjectRecord::Mem {
+            saved_in: Some(p), ..
+        }) = lib.db.get(checl_mem).map(|e| &e.record)
+        {
+            bases.push(p.clone());
+        }
+    }
+    bases.sort();
+    bases.dedup();
+    let buffers = mems.len() as u64;
+    let skipped = mems.iter().filter(|m| m.4).count() as u64;
+    DumpProvenance {
+        bases,
+        buffers,
+        skipped,
+        chunks: if streamed { buffers - skipped } else { 0 },
+        logical_bytes: mems.iter().map(|m| m.3).sum(),
+    }
+}
 
 fn collect_mems(lib: &ChecLib, incremental: bool) -> Vec<MemPlan> {
     lib.db
@@ -722,7 +852,29 @@ fn finish_snapshot(
             }
         }
     }
+    if let Some(channels) = channels {
+        emit_channel_utilization(channels, now);
+    }
     report
+}
+
+/// Ledger a per-channel utilization snapshot of one overlapped
+/// operation (checkpoint or restore data path).
+fn emit_channel_utilization(channels: &ChannelSet, now: SimTime) {
+    if !obs::enabled() {
+        return;
+    }
+    for stat in channels.stats() {
+        obs::emit(
+            "channel",
+            now,
+            obs::EventKind::ChannelObserved {
+                channel: stat.name.clone(),
+                busy_ns: stat.busy.as_nanos(),
+                ops: stat.ops,
+            },
+        );
+    }
 }
 
 /// Restore a CheCL application from `path` on `node`, whatever policy
@@ -770,6 +922,14 @@ pub fn restore(
     } = parsed;
 
     let _scope = telemetry::track_scope(telemetry::Track::process(pid.0 as u64));
+    obs::emit(
+        "engine",
+        t0,
+        obs::EventKind::RestoreStarted {
+            path: path.to_string(),
+            format: "streamed".to_string(),
+        },
+    );
     // The whole-file read above validated the stream but charged the
     // clock as one blocking read; rewind and re-account it as a
     // progressive scan on the storage channel, so later chunks are
@@ -943,6 +1103,16 @@ pub fn restore(
     if telemetry::enabled() {
         telemetry::counter_add("cpr.restarts", 1);
     }
+    emit_channel_utilization(&channels, now);
+    obs::emit(
+        "engine",
+        now,
+        obs::EventKind::RestoreCompleted {
+            path: path.to_string(),
+            objects: report.counts.values().map(|&n| n as u64).sum(),
+            cost_ns: now.since(t0).as_nanos(),
+        },
+    );
     Ok((lib, pid, report))
 }
 
@@ -958,6 +1128,16 @@ pub(crate) fn restore_sequential(
 ) -> Result<(ChecLib, Pid, RestoreReport), CheclCprError> {
     let pid = blcr::restart(cluster, node, path)?;
     let _scope = telemetry::track_scope(telemetry::Track::process(pid.0 as u64));
+    // The restored process's timeline starts at zero; the restart call
+    // above already charged the file read and fork.
+    obs::emit(
+        "engine",
+        SimTime::ZERO,
+        obs::EventKind::RestoreStarted {
+            path: path.to_string(),
+            format: "sequential".to_string(),
+        },
+    );
     let state = match cluster.process(pid).image.get(CHECL_STATE_SEGMENT) {
         Some(bytes) => bytes.to_vec(),
         None => {
@@ -1004,6 +1184,15 @@ pub(crate) fn restore_sequential(
     if telemetry::enabled() {
         telemetry::counter_add("cpr.restarts", 1);
     }
+    obs::emit(
+        "engine",
+        now,
+        obs::EventKind::RestoreCompleted {
+            path: path.to_string(),
+            objects: report.counts.values().map(|&n| n as u64).sum(),
+            cost_ns: now.since(SimTime::ZERO).as_nanos(),
+        },
+    );
     Ok((lib, pid, report))
 }
 

@@ -51,6 +51,7 @@ pub mod engine;
 pub mod guess;
 pub mod migrate;
 pub mod objects;
+pub mod obs;
 pub mod recovery;
 pub mod runtime;
 pub mod supervisor;

@@ -13,7 +13,7 @@ use blcr::RecoveryOutcome;
 use cldriver::VendorConfig;
 use clspec::handles::HandleKind;
 use osproc::{Cluster, FsKind, NodeId, Pid};
-use simcore::{telemetry, ByteSize, SimDuration, SimTime};
+use simcore::{obs, telemetry, ByteSize, SimDuration, SimTime};
 
 /// The fitted `Tm = αM + Tr + β` predictor.
 #[derive(Clone, Copy, Debug)]
@@ -195,6 +195,16 @@ pub fn migrate_process(
         );
         telemetry::counter_add("migrate.migrations", 1);
     }
+    obs::emit(
+        "migrate",
+        t_start + actual,
+        obs::EventKind::MigrationCompleted {
+            path: outcome.path.clone(),
+            file_bytes: checkpoint.file_size.as_u64(),
+            actual_ns: actual.as_nanos(),
+            predicted_ns: predicted.as_nanos(),
+        },
+    );
 
     Ok(MigrationReport {
         checkpoint,

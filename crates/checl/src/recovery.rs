@@ -30,7 +30,7 @@ use crate::runtime::ChecLib;
 use blcr::{CprError, RecoveryOutcome, RetryPolicy};
 use cldriver::VendorConfig;
 use osproc::{Cluster, NodeId, Pid};
-use simcore::telemetry;
+use simcore::{obs, telemetry};
 
 /// Checkpoint a CheCL application with atomic commit, post-write
 /// verification, bounded retry and target fallback.
@@ -81,6 +81,15 @@ pub fn respawn_proxy_and_restore(
     target: RestoreTarget,
 ) -> Result<RestoreReport, CheclCprError> {
     recovery_event(cluster, app_pid, "recovery.respawn_proxy", last_ckpt);
+    let t0 = cluster.process(app_pid).clock;
+    obs::emit(
+        "recovery",
+        t0,
+        obs::EventKind::RestoreStarted {
+            path: last_ckpt.to_string(),
+            format: "respawn".to_string(),
+        },
+    );
     // The old proxy is dead or unreachable either way; make it official.
     kill_proxy(cluster, lib);
     let bytes = cluster
@@ -105,6 +114,15 @@ pub fn respawn_proxy_and_restore(
     if telemetry::enabled() {
         telemetry::counter_add("recovery.proxy_respawns", 1);
     }
+    obs::emit(
+        "recovery",
+        now,
+        obs::EventKind::RestoreCompleted {
+            path: last_ckpt.to_string(),
+            objects: report.counts.values().map(|&n| n as u64).sum(),
+            cost_ns: now.since(t0).as_nanos(),
+        },
+    );
     Ok(report)
 }
 

@@ -36,7 +36,7 @@
 use crate::cpr::CheclCprError;
 use crate::engine::IntervalPolicy;
 use osproc::{BeatSource, DetectorPolicy, HeartbeatMonitor};
-use simcore::{telemetry, SimDuration, SimTime};
+use simcore::{obs, telemetry, SimDuration, SimTime};
 
 /// Knobs for a supervised run.
 #[derive(Clone, Debug)]
@@ -272,6 +272,13 @@ pub struct Supervisor {
     committed_progress: SimDuration,
     /// Repair attempts in the incident currently being handled.
     incident_repairs: u32,
+    /// Source of the incident currently open in the obs ledger.
+    incident_source: Option<String>,
+    /// Downtime charged to the open incident so far. Every place
+    /// `report.downtime` grows while an incident is open also grows
+    /// this, so the ledger's per-incident downtimes sum to the
+    /// report's total exactly.
+    incident_downtime: SimDuration,
     report: SupervisorReport,
 }
 
@@ -289,6 +296,8 @@ impl Supervisor {
             started: now,
             committed_progress: SimDuration::ZERO,
             incident_repairs: 0,
+            incident_source: None,
+            incident_downtime: SimDuration::ZERO,
             report: SupervisorReport::default(),
         }
     }
@@ -350,7 +359,17 @@ impl Supervisor {
         self.report.checkpoint_overhead += cost;
         self.committed_progress = progress;
         let elapsed = self.now.since(self.started);
+        let interval_before = self.intervals.current();
         self.intervals.record_checkpoint(cost, elapsed);
+        obs::emit(
+            "supervisor",
+            self.now,
+            obs::EventKind::CheckpointAccounted {
+                cost_ns: cost.as_nanos(),
+                progress: progress.as_nanos(),
+            },
+        );
+        self.emit_retune(interval_before, elapsed);
         supervisor_event(
             "supervisor.checkpoint",
             self.now,
@@ -381,8 +400,25 @@ impl Supervisor {
         let wasted = progress_at_failure.max(self.committed_progress) - self.committed_progress;
         self.report.wasted_work += wasted;
         let elapsed = self.now.since(self.started);
+        let interval_before = self.intervals.current();
         self.intervals.record_failure(elapsed);
+        // Defensive: the supervision loop handles incidents one at a
+        // time, but if a new failure ever lands on an open incident,
+        // close the old one first so downtime attribution stays exact.
+        self.close_incident(0);
         self.incident_repairs = 0;
+        self.incident_source = Some(src.to_string());
+        self.incident_downtime = latency;
+        obs::emit(
+            "supervisor",
+            self.now,
+            obs::EventKind::IncidentOpened {
+                source: src.to_string(),
+                wasted_ns: wasted.as_nanos(),
+                detect_ns: latency.as_nanos(),
+            },
+        );
+        self.emit_retune(interval_before, elapsed);
         supervisor_event(
             "supervisor.detect",
             self.now,
@@ -409,6 +445,7 @@ impl Supervisor {
                 self.now,
                 vec![("detail", detail.to_string().into())],
             );
+            self.close_incident(0);
             return Err(SupervisorError::Escalated {
                 repairs: self.incident_repairs,
                 detail: detail.to_string(),
@@ -423,6 +460,7 @@ impl Supervisor {
         };
         self.now += backoff;
         self.report.downtime += backoff;
+        self.incident_downtime += backoff;
         supervisor_event(
             "supervisor.repair",
             self.now,
@@ -439,6 +477,8 @@ impl Supervisor {
     pub fn repair_succeeded(&mut self, took: SimDuration) {
         self.now += took;
         self.report.downtime += took;
+        self.incident_downtime += took;
+        self.close_incident(1);
         self.incident_repairs = 0;
     }
 
@@ -447,12 +487,52 @@ impl Supervisor {
     pub fn repair_failed(&mut self, took: SimDuration) {
         self.now += took;
         self.report.downtime += took;
+        self.incident_downtime += took;
+    }
+
+    /// Emit the ledger's IncidentClosed record for the open incident,
+    /// if any. `resolved` is 1 when service was restored.
+    fn close_incident(&mut self, resolved: u64) {
+        if let Some(source) = self.incident_source.take() {
+            obs::emit(
+                "supervisor",
+                self.now,
+                obs::EventKind::IncidentClosed {
+                    source,
+                    downtime_ns: self.incident_downtime.as_nanos(),
+                    repairs: self.incident_repairs as u64,
+                    resolved,
+                },
+            );
+            self.incident_downtime = SimDuration::ZERO;
+        }
+    }
+
+    /// Emit an IntervalRetuned record when the controller's interval
+    /// moved (one ledger record per entry the controller appends to its
+    /// history after construction).
+    fn emit_retune(&mut self, before: SimDuration, elapsed: SimDuration) {
+        let current = self.intervals.current();
+        if current != before {
+            obs::emit(
+                "supervisor",
+                self.now,
+                obs::EventKind::IntervalRetuned {
+                    interval_ns: current.as_nanos(),
+                    mtbf_ns: self.intervals.mtbf(elapsed).as_nanos(),
+                },
+            );
+        }
     }
 
     /// Close the run and take the report. `completed` says whether the
     /// workload finished; `final_progress` is its total application
     /// progress (used only for the wall clock).
     pub fn finish(mut self, completed: bool) -> SupervisorReport {
+        // An incident still open here ended the run without a repair
+        // sticking — close it unresolved so ledger downtime stays
+        // exact.
+        self.close_incident(0);
         self.report.completed = completed;
         self.report.wall_clock = self.now.since(self.started);
         self.report.interval_history = self.intervals.history().to_vec();

@@ -20,7 +20,7 @@
 //! via `checl` without a dependency cycle.
 
 use osproc::{Cluster, NodeId, Pid};
-use simcore::{calib, telemetry, ByteSize, SimDuration, SimTime};
+use simcore::{calib, obs, telemetry, ByteSize, SimDuration, SimTime};
 
 /// A communicator: rank index → process.
 #[derive(Clone, Debug)]
@@ -296,6 +296,31 @@ fn coordinated_core<E>(
             ],
         );
         telemetry::counter_add("mpi.global_snapshots", 1);
+    }
+    // The global snapshot is itself a dump whose provenance is the set
+    // of per-rank files: a node with `bases` pointing at each rank's
+    // checkpoint, so `lineage(prefix)` walks the whole coordinated set.
+    if obs::enabled() {
+        obs::emit(
+            "mpi",
+            server_free,
+            obs::EventKind::CheckpointCommitted {
+                path: prefix.to_string(),
+                format: "coordinated".to_string(),
+                policy: "coordinated".to_string(),
+                bases: snapshot.files.clone(),
+                buffers: world.size() as u64,
+                skipped: 0,
+                chunks: snapshot.files.len() as u64,
+                logical_bytes: snapshot.total_size().as_u64(),
+                file_bytes: snapshot.total_size().as_u64(),
+                sync_ns: 0,
+                preprocess_ns: 0,
+                write_ns: snapshot.elapsed.as_nanos(),
+                postprocess_ns: 0,
+                cost_ns: snapshot.elapsed.as_nanos(),
+            },
+        );
     }
     Ok(snapshot)
 }

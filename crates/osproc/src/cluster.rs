@@ -364,6 +364,14 @@ impl Cluster {
         self.fs(fs_id).file_size(&rel)
     }
 
+    /// Stored bytes of a file as seen from `node`, costing nothing in
+    /// virtual time and bypassing fault hooks — an inspection helper
+    /// for lineage verification and tests, not a modelled read.
+    pub fn peek_file_on(&self, node: NodeId, path: &str) -> Option<&[u8]> {
+        let (fs_id, rel) = self.node(node).resolve(path)?;
+        self.fs(fs_id).peek(&rel)
+    }
+
     /// Every file path reachable from `node` through its mount table,
     /// sorted and de-duplicated. Costs nothing in virtual time — this
     /// is an inspection helper for tests and the supervisor's scrubber,

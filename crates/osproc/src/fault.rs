@@ -21,7 +21,7 @@
 
 use crate::fs::FsKind;
 use crate::ids::NodeId;
-use simcore::{telemetry, SimDuration, SimTime, SplitMix64};
+use simcore::{obs, telemetry, SimDuration, SimTime, SplitMix64};
 
 /// The classes of fault the plan can inject.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -340,6 +340,18 @@ impl FaultPlan {
             );
             telemetry::counter_add("faults.injected", 1);
         }
+        // Every injection site funnels through here, so the ledger sees
+        // one FaultInjected record per fault — the invariant that lets
+        // `checl_inspect` reconcile injected faults against observed
+        // incidents 1:1.
+        obs::emit(
+            "fault",
+            at,
+            obs::EventKind::FaultInjected {
+                fault: kind.name().to_string(),
+                detail: detail.clone(),
+            },
+        );
         self.log.push(InjectedFault { kind, at, detail });
     }
 

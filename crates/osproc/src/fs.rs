@@ -195,6 +195,12 @@ impl Fs {
         self.files.contains_key(path)
     }
 
+    /// Stored bytes of a file without charging any clock or touching
+    /// the stats — inspection only (lineage verification, tests).
+    pub fn peek(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(Vec::as_slice)
+    }
+
     /// Size of a file, if it exists.
     pub fn file_size(&self, path: &str) -> Option<ByteSize> {
         self.files

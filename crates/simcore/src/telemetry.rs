@@ -208,6 +208,60 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimate the `p`-quantile (`0.0 ≤ p ≤ 1.0`), or `None` when the
+    /// histogram is empty.
+    ///
+    /// Walks the power-of-two buckets to the one holding the target
+    /// rank and interpolates linearly inside it, clamped to the
+    /// observed `[min, max]` range so the estimate never leaves the
+    /// data. Deterministic: integer bucket walk plus one fixed-point
+    /// interpolation, so merged and replayed histograms agree exactly.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based, in [1, count].
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                // Interpolate within bucket i: values span
+                // [2^i, 2^(i+1)) (bucket 0 also holds v == 0).
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let width = if i == 0 { 1u64 } else { 1u64 << i };
+                let into = rank - seen; // 1..=n
+                let est = lo + width.saturating_mul(into - 1) / n;
+                return Some(est.clamp(self.min, self.max));
+            }
+            seen += n;
+        }
+        Some(self.max)
+    }
+
+    /// Fold another histogram into this one. Merging is commutative
+    /// and associative (all fields are sums, mins or maxes), so
+    /// per-shard digests can be combined in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
 }
 
 /// The counters/gauges/histograms registry accumulated by a

@@ -1,0 +1,325 @@
+#!/usr/bin/env python3
+"""One guard over every committed bench golden.
+
+Replaces the former per-bench scripts (`check_pipeline_golden.py`,
+`check_migration_golden.py`, `check_supervisor_golden.py`) with a single
+entry point and a per-bench invariant spec. Each bench names the
+properties that are load-bearing — the ones a refactor must never
+regress — and a tolerance (all comparisons are strict by default; a
+bench that needs slack declares it here, visibly, instead of baking it
+into ad-hoc code).
+
+Usage:
+    scripts/check_goldens.py [bench ...]
+
+with bench names from SPECS (default: all). Each bench reads its
+committed golden `results/BENCH_<figure>.json`; pass `name=path` to
+point one at a different file.
+
+Invariants guarded:
+
+* pipeline   — on every multi-buffer/multi-GPU scenario the pipelined
+               checkpoint engine beats sequential, with positive
+               overlap savings;
+* migration  — same property end-to-end across a vendor-switch
+               migration;
+* supervisor — the adaptive Young/Daly interval policy completes at
+               every failure rate and beats both fixed baselines at
+               >= 2 of them; the replica scrub repairs injected
+               bit-rot without losing a generation;
+* inspect    — the ledger-derived health report is internally
+               consistent: every incident names the injected fault
+               behind it, fault/incident reconciliation is 1:1, and
+               availability degrades monotonically with failure rate;
+* obs        — the event ledger is free in virtual time (delta vs the
+               bare run is exactly 0 ns in every regime) and every
+               emission site is alive (incidents == faults ==
+               restores, checkpoints and retunes positive).
+"""
+
+import json
+import sys
+
+ADAPTIVE = "daly-adaptive"
+
+
+def fail(bench: str, msg: str) -> None:
+    print(f"check_goldens[{bench}]: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(bench: str, path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        fail(bench, f"cannot read {path}: {e}")
+
+
+def section_with(doc: dict, *columns: str):
+    """First section whose header carries every named column."""
+    for section in doc["sections"]:
+        if all(c in section["columns"] for c in columns):
+            return section
+    return None
+
+
+# ---------------------------------------------------------------------
+# pipeline — checkpoint engine ablation
+# ---------------------------------------------------------------------
+
+
+def check_pipeline(doc: dict) -> str:
+    checked = 0
+    for section in doc["sections"]:
+        cols = section["columns"]
+        if "mode" not in cols or "total[s]" not in cols:
+            continue  # the restart-equivalence section has no timings
+        mode_i = cols.index("mode")
+        total_i = cols.index("total[s]")
+        saved_i = cols.index("saved[s]")
+        key_is = [i for i, c in enumerate(cols) if c in ("bufs", "MiB/buf", "gpus")]
+        totals: dict[tuple, dict[str, float]] = {}
+        saved: dict[tuple, float] = {}
+        for row in section["rows"]:
+            key = tuple(row[i] for i in key_is)
+            totals.setdefault(key, {})[row[mode_i]] = row[total_i]
+            if row[mode_i] == "pipelined":
+                saved[key] = row[saved_i]
+        for key, by_mode in totals.items():
+            if "sequential" not in by_mode or "pipelined" not in by_mode:
+                fail("pipeline", f"scenario {key} is missing an engine row")
+            multi_buffer = "bufs" not in [cols[i] for i in key_is] or key[0] > 1
+            if multi_buffer:
+                if not by_mode["pipelined"] < by_mode["sequential"]:
+                    fail(
+                        "pipeline",
+                        f"scenario {key}: pipelined {by_mode['pipelined']}s is not "
+                        f"strictly below sequential {by_mode['sequential']}s",
+                    )
+                if not saved.get(key, 0.0) > 0.0:
+                    fail("pipeline", f"scenario {key}: overlap_saved is not positive")
+                checked += 1
+    if checked == 0:
+        fail("pipeline", "no multi-buffer scenarios found — wrong file or schema drift")
+    return f"{checked} scenarios, pipelined < sequential"
+
+
+# ---------------------------------------------------------------------
+# migration — fig8 engine sweep
+# ---------------------------------------------------------------------
+
+
+def check_migration(doc: dict) -> str:
+    checked = 0
+    for section in doc["sections"]:
+        cols = section["columns"]
+        if "mode" not in cols or "actual[s]" not in cols:
+            continue  # the per-benchmark prediction sections have no engine sweep
+        mode_i = cols.index("mode")
+        actual_i = cols.index("actual[s]")
+        saved_i = cols.index("saved[s]")
+        bufs_i = cols.index("bufs")
+        mib_i = cols.index("MiB/buf")
+        actuals: dict[tuple, dict[str, float]] = {}
+        saved: dict[tuple, float] = {}
+        for row in section["rows"]:
+            key = (row[bufs_i], row[mib_i])
+            actuals.setdefault(key, {})[row[mode_i]] = row[actual_i]
+            if row[mode_i] == "pipelined":
+                saved[key] = row[saved_i]
+        for key, by_mode in actuals.items():
+            if "sequential" not in by_mode or "pipelined" not in by_mode:
+                fail("migration", f"scenario {key} is missing an engine row")
+            if key[0] > 1:
+                if not by_mode["pipelined"] < by_mode["sequential"]:
+                    fail(
+                        "migration",
+                        f"scenario {key}: pipelined migration {by_mode['pipelined']}s "
+                        f"is not strictly below sequential {by_mode['sequential']}s",
+                    )
+                if not saved.get(key, 0.0) > 0.0:
+                    fail("migration", f"scenario {key}: overlap_saved is not positive")
+                checked += 1
+    if checked == 0:
+        fail("migration", "no multi-buffer migration scenarios found")
+    return f"{checked} scenarios, pipelined < sequential"
+
+
+# ---------------------------------------------------------------------
+# supervisor — interval policy × failure rate
+# ---------------------------------------------------------------------
+
+
+def check_supervisor(doc: dict) -> str:
+    regimes_won = 0
+    regimes = 0
+    scrubs = 0
+    for section in doc["sections"]:
+        cols = section["columns"]
+        if "interval policy" in cols:
+            policy_i = cols.index("interval policy")
+            regime_i = cols.index("failure regime")
+            done_i = cols.index("completed")
+            total_i = cols.index("total overhead [s]")
+            by_regime: dict[str, dict[str, object]] = {}
+            for row in section["rows"]:
+                by_regime.setdefault(row[regime_i], {})[row[policy_i]] = (
+                    row[total_i] if row[done_i] == "yes" else None
+                )
+            for regime, by_policy in by_regime.items():
+                if ADAPTIVE not in by_policy:
+                    fail("supervisor", f"regime {regime}: no {ADAPTIVE} row")
+                adaptive = by_policy.pop(ADAPTIVE)
+                if adaptive is None:
+                    fail("supervisor", f"regime {regime}: {ADAPTIVE} did not complete")
+                if not by_policy:
+                    fail("supervisor", f"regime {regime}: no fixed baselines")
+                regimes += 1
+                # An escalated (non-completing) baseline is an infinite
+                # overhead: the adaptive policy beats it by definition.
+                if all(base is None or adaptive < base for base in by_policy.values()):
+                    regimes_won += 1
+        elif "scrub repaired" in cols:
+            scen_i = cols.index("scenario")
+            rep_i = cols.index("scrub repaired")
+            lost_i = cols.index("scrub lost")
+            for row in section["rows"]:
+                if row[scen_i] != "corrupt-primary":
+                    continue
+                if row[rep_i] != 1:
+                    fail("supervisor", f"scrub repaired {row[rep_i]}, expected exactly 1")
+                if row[lost_i] != 0:
+                    fail("supervisor", f"scrub lost {row[lost_i]} generations, expected 0")
+                scrubs += 1
+    if regimes == 0:
+        fail("supervisor", "no interval-policy sweep found — schema drift")
+    if scrubs == 0:
+        fail("supervisor", "no corrupt-primary scrub row found — schema drift")
+    if regimes_won < 2:
+        fail(
+            "supervisor",
+            f"{ADAPTIVE} beats both fixed baselines at only {regimes_won} of "
+            f"{regimes} failure rates (need >= 2)",
+        )
+    return f"{ADAPTIVE} completes at all {regimes} rates, wins {regimes_won}; scrub repairs bit-rot"
+
+
+# ---------------------------------------------------------------------
+# inspect — ledger-derived health report
+# ---------------------------------------------------------------------
+
+
+def check_inspect(doc: dict) -> str:
+    slo = section_with(doc, "availability", "incidents", "faults matched")
+    if slo is None:
+        fail("inspect", "no SLO section found — schema drift")
+    cols = slo["columns"]
+    avail_i = cols.index("availability")
+    inc_i = cols.index("incidents")
+    match_i = cols.index("faults matched")
+    down_i = cols.index("downtime [s]")
+    availabilities = []
+    for row in slo["rows"]:
+        if not 0.0 < row[avail_i] <= 100.0:
+            fail("inspect", f"availability {row[avail_i]} out of (0, 100]")
+        if row[inc_i] != row[match_i]:
+            fail(
+                "inspect",
+                f"{row[0]}: {row[inc_i]} incidents but {row[match_i]} matched faults "
+                f"— the 1:1 reconciliation broke",
+            )
+        if row[inc_i] > 0 and not row[down_i] > 0.0:
+            fail("inspect", f"{row[0]}: incidents occurred but downtime is zero")
+        availabilities.append(row[avail_i])
+    if availabilities != sorted(availabilities, reverse=True):
+        fail(
+            "inspect",
+            f"availability must degrade with failure rate, got {availabilities}",
+        )
+
+    prov = section_with(doc, "generation", "checksum", "retired")
+    if prov is None or not prov["rows"]:
+        fail("inspect", "no provenance rows — the generation table is empty")
+
+    timeline = section_with(doc, "fault behind it", "resolved")
+    if timeline is None:
+        fail("inspect", "no incident-timeline section found")
+    for row in timeline["rows"]:
+        fault = row[timeline["columns"].index("fault behind it")]
+        if fault == "?":
+            fail("inspect", "an incident has no injected fault behind it")
+
+    channels = section_with(doc, "channel", "ops")
+    if channels is None or not channels["rows"]:
+        fail("inspect", "no channel-utilization rows from the pipelined dump")
+    return (
+        f"{len(slo['rows'])} regimes consistent, {len(prov['rows'])} generations, "
+        f"{len(timeline['rows'])} incidents attributed, {len(channels['rows'])} channels"
+    )
+
+
+# ---------------------------------------------------------------------
+# obs — ledger overhead ablation
+# ---------------------------------------------------------------------
+
+
+def check_obs(doc: dict) -> str:
+    census = section_with(doc, "delta vs bare [ns]", "events")
+    if census is None:
+        fail("obs", "no census section found — schema drift")
+    cols = census["columns"]
+    delta_i = cols.index("delta vs bare [ns]")
+    events_i = cols.index("events")
+    ckpt_i = cols.index("checkpoints")
+    inc_i = cols.index("incidents")
+    fault_i = cols.index("faults")
+    restore_i = cols.index("restores")
+    retune_i = cols.index("retunes")
+    if not census["rows"]:
+        fail("obs", "census has no rows")
+    for row in census["rows"]:
+        regime = row[0]
+        if row[delta_i] != 0:
+            fail("obs", f"{regime}: ledger cost {row[delta_i]} ns of virtual time")
+        if not row[events_i] > 0:
+            fail("obs", f"{regime}: empty ledger — emission sites are dead")
+        if not row[ckpt_i] >= 1:
+            fail("obs", f"{regime}: no checkpoint_committed events")
+        if not (row[inc_i] == row[fault_i] == row[restore_i]):
+            fail(
+                "obs",
+                f"{regime}: incidents/faults/restores diverge "
+                f"({row[inc_i]}/{row[fault_i]}/{row[restore_i]})",
+            )
+        if not row[retune_i] >= 1:
+            fail("obs", f"{regime}: the adaptive controller never retuned")
+    return f"{len(census['rows'])} regimes, ledger free in virtual time, sites alive"
+
+
+# ---------------------------------------------------------------------
+# registry + entry point
+# ---------------------------------------------------------------------
+
+SPECS = {
+    "pipeline": ("results/BENCH_ablation_pipeline.json", check_pipeline),
+    "migration": ("results/BENCH_fig8_migration.json", check_migration),
+    "supervisor": ("results/BENCH_ablation_supervisor.json", check_supervisor),
+    "inspect": ("results/BENCH_checl_inspect.json", check_inspect),
+    "obs": ("results/BENCH_ablation_obs.json", check_obs),
+}
+
+
+def main() -> None:
+    requested = sys.argv[1:] or list(SPECS)
+    for arg in requested:
+        bench, _, override = arg.partition("=")
+        if bench not in SPECS:
+            fail(bench, f"unknown bench (choose from {', '.join(SPECS)})")
+        path, checker = SPECS[bench]
+        summary = checker(load(bench, override or path))
+        print(f"check_goldens[{bench}]: OK ({summary})")
+
+
+if __name__ == "__main__":
+    main()
