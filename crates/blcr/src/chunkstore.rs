@@ -1,0 +1,440 @@
+//! Content-addressed chunk store for dedup'd checkpoint streams.
+//!
+//! A dedup dump splits each buffer payload with **content-defined
+//! chunking** (a gear rolling hash picks cut points from the bytes
+//! themselves, so an insertion early in a buffer does not shift every
+//! later chunk boundary), addresses each chunk by its FNV-64, and
+//! appends only *novel* chunks — compressed — to an append-only `.cas`
+//! file shared by every generation on the same mount. The stream file
+//! then carries a [`crate::stream::StreamChunkMap`] of `(hash, len)`
+//! references instead of the bytes, so a slowly-mutating buffer costs
+//! near-zero stream bytes across generations.
+//!
+//! The store is crash-safe by construction: records are only ever
+//! appended, and a reference published by a *committed* generation can
+//! never dangle — a dump aborted mid-write leaves at most unreferenced
+//! (harmless) records behind, never a missing one. Records carry the
+//! same framed+checksummed codec as the stream format, so bit-rot is
+//! caught when the store is scanned.
+//!
+//! Compression is a deterministic byte-level RLE with a raw fallback
+//! (never expands). It is a *model* of a real codec: the simulator
+//! cares that compressed bytes hit the disk channel and that the
+//! compression work occupies a CPU `compress` resource channel, not
+//! about ratio-chasing.
+
+use crate::cpr::CprError;
+use osproc::{Cluster, Pid};
+use simcore::codec::{decode_framed, encode_framed, Codec, CodecError, Reader};
+use simcore::{fnv1a64, impl_codec_struct, SimDuration, SplitMix64};
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Magic bytes of one chunk-store record frame.
+pub const STORE_MAGIC: [u8; 4] = *b"BLCC";
+/// Chunk-store format version.
+pub const STORE_VERSION: u32 = 1;
+
+/// Content-defined chunking bounds: no chunk smaller than this…
+pub const CDC_MIN_CHUNK: usize = 2 << 10;
+/// …none larger than this…
+pub const CDC_MAX_CHUNK: usize = 64 << 10;
+/// …and a cut wherever the gear hash masks to zero (≈ 8 KiB average).
+pub const CDC_MASK: u64 = (1 << 13) - 1;
+
+fn gear_table() -> &'static [u64; 256] {
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        // Fixed seed: cut points must agree across runs and machines.
+        let mut rng = SplitMix64::new(0x43686543_4c636173);
+        let mut t = [0u64; 256];
+        for v in t.iter_mut() {
+            *v = rng.next_u64();
+        }
+        t
+    })
+}
+
+/// Split `data` into content-defined chunks; returns `(offset, len)`
+/// pairs covering the input exactly, in order. Deterministic in the
+/// bytes alone.
+pub fn cdc_chunks(data: &[u8]) -> Vec<(u64, u64)> {
+    let table = gear_table();
+    let mut cuts = Vec::new();
+    let mut start = 0usize;
+    let mut hash = 0u64;
+    let mut i = 0usize;
+    while i < data.len() {
+        hash = (hash << 1).wrapping_add(table[data[i] as usize]);
+        let len = i + 1 - start;
+        if (len >= CDC_MIN_CHUNK && hash & CDC_MASK == 0) || len >= CDC_MAX_CHUNK {
+            cuts.push((start as u64, len as u64));
+            start = i + 1;
+            hash = 0;
+        }
+        i += 1;
+    }
+    if start < data.len() || data.is_empty() {
+        cuts.push((start as u64, (data.len() - start) as u64));
+    }
+    cuts
+}
+
+/// How a stored chunk's payload is encoded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Encoding {
+    /// Bytes as-is.
+    Raw,
+    /// Byte-level run-length encoding (`[run_len, byte]` pairs).
+    Rle,
+}
+
+/// Deterministic RLE with raw fallback: returns the smaller of the RLE
+/// form and the input itself, so compression never expands a chunk.
+pub fn compress(data: &[u8]) -> (Encoding, Vec<u8>) {
+    let mut rle = Vec::with_capacity(data.len() / 2 + 2);
+    let mut i = 0usize;
+    while i < data.len() && rle.len() < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while run < 255 && i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        rle.push(run as u8);
+        rle.push(b);
+        i += run;
+    }
+    if i >= data.len() && rle.len() < data.len() {
+        (Encoding::Rle, rle)
+    } else {
+        (Encoding::Raw, data.to_vec())
+    }
+}
+
+/// Invert [`compress`].
+pub fn decompress(encoding: Encoding, payload: &[u8], raw_len: u64) -> Result<Vec<u8>, CodecError> {
+    match encoding {
+        Encoding::Raw => {
+            if payload.len() as u64 != raw_len {
+                return Err(CodecError::Invalid("chunk raw length mismatch"));
+            }
+            Ok(payload.to_vec())
+        }
+        Encoding::Rle => {
+            let mut out = Vec::with_capacity(raw_len as usize);
+            let mut it = payload.chunks_exact(2);
+            for pair in &mut it {
+                out.extend(std::iter::repeat_n(pair[1], pair[0] as usize));
+            }
+            if !it.remainder().is_empty() || out.len() as u64 != raw_len {
+                return Err(CodecError::Invalid("chunk RLE payload malformed"));
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// One record of the append-only store file.
+#[derive(Clone, Debug, PartialEq)]
+struct StoreRecord {
+    /// FNV-64 of the *raw* chunk bytes — the content address.
+    hash: u64,
+    /// Raw (decompressed) length.
+    raw_len: u64,
+    /// 0 = raw, 1 = RLE.
+    encoding: u8,
+    /// Stored payload.
+    payload: Vec<u8>,
+}
+
+impl_codec_struct!(StoreRecord {
+    hash,
+    raw_len,
+    encoding,
+    payload
+});
+
+/// Index entry for one stored chunk.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChunkMeta {
+    /// Raw (logical) chunk length.
+    pub raw_len: u64,
+    /// Bytes the record occupies on disk, framing included.
+    pub stored_len: u64,
+    /// Whether the payload is RLE-compressed.
+    pub compressed: bool,
+}
+
+/// Outcome of offering one chunk to the store.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PutOutcome {
+    /// The chunk was already present: zero new bytes.
+    Deduped(ChunkMeta),
+    /// The chunk was appended; `cost` is the I/O cost of the append.
+    Stored(ChunkMeta, SimDuration),
+}
+
+/// A content-addressed chunk store: one append-only `.cas` file plus
+/// an in-memory hash index rebuilt by scanning it.
+pub struct ChunkStore {
+    pid: Pid,
+    path: String,
+    index: BTreeMap<u64, ChunkMeta>,
+}
+
+fn frame_record(rec: &StoreRecord) -> Vec<u8> {
+    let frame = encode_framed(STORE_MAGIC, STORE_VERSION, rec);
+    let mut out = Vec::with_capacity(frame.len() + 8);
+    (frame.len() as u64).encode(&mut out);
+    out.extend_from_slice(&frame);
+    out
+}
+
+/// Index + optional payload map a scan yields, keyed by chunk hash.
+type ScanResult = (BTreeMap<u64, ChunkMeta>, BTreeMap<u64, Vec<u8>>);
+
+/// Scan the raw bytes of a store file; `keep_payloads` controls whether
+/// chunk bytes are materialised (restore) or only indexed (dump).
+fn scan(bytes: &[u8], keep_payloads: bool) -> Result<ScanResult, CodecError> {
+    let mut index = BTreeMap::new();
+    let mut payloads = BTreeMap::new();
+    let mut r = Reader::new(bytes);
+    while !r.is_empty() {
+        let frame_len = u64::decode(&mut r)?;
+        if frame_len > r.remaining() as u64 {
+            return Err(CodecError::UnexpectedEof {
+                needed: frame_len.min(usize::MAX as u64) as usize,
+                remaining: r.remaining(),
+            });
+        }
+        let frame = r.take(frame_len as usize)?;
+        let rec = decode_framed::<StoreRecord>(STORE_MAGIC, STORE_VERSION, frame)?;
+        let encoding = match rec.encoding {
+            0 => Encoding::Raw,
+            1 => Encoding::Rle,
+            _ => return Err(CodecError::Invalid("chunk store encoding tag")),
+        };
+        if keep_payloads {
+            payloads.insert(rec.hash, decompress(encoding, &rec.payload, rec.raw_len)?);
+        }
+        // Duplicate records (two writers racing an abort) are
+        // harmless: content addressing makes them identical.
+        index.insert(
+            rec.hash,
+            ChunkMeta {
+                raw_len: rec.raw_len,
+                stored_len: frame_len + 8,
+                compressed: encoding == Encoding::Rle,
+            },
+        );
+    }
+    Ok((index, payloads))
+}
+
+impl ChunkStore {
+    /// Open (or create) the store at `path`, rebuilding the hash index
+    /// by scanning any existing records. Reading the existing file
+    /// charges `pid`'s clock like any other read.
+    pub fn open(cluster: &mut Cluster, pid: Pid, path: &str) -> Result<ChunkStore, CprError> {
+        let index = match cluster.read_file(pid, path) {
+            Ok(bytes) => scan(&bytes, false).map_err(CprError::Corrupt)?.0,
+            Err(_) => BTreeMap::new(), // no store yet
+        };
+        Ok(ChunkStore {
+            pid,
+            path: path.to_string(),
+            index,
+        })
+    }
+
+    /// The store's on-cluster path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Whether a chunk with this content hash is already stored.
+    pub fn contains(&self, hash: u64) -> bool {
+        self.index.contains_key(&hash)
+    }
+
+    /// Metadata of a stored chunk.
+    pub fn meta(&self, hash: u64) -> Option<ChunkMeta> {
+        self.index.get(&hash).copied()
+    }
+
+    /// Number of distinct chunks stored.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` when no chunk has ever been stored.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Offer one raw chunk. A known hash dedups to zero I/O; a novel
+    /// one is compressed and appended. The caller models the
+    /// compression CPU cost separately (it depends on scheduling, not
+    /// on the store).
+    pub fn put(
+        &mut self,
+        cluster: &mut Cluster,
+        data: &[u8],
+    ) -> Result<(u64, PutOutcome), CprError> {
+        let hash = fnv1a64(data);
+        if let Some(meta) = self.index.get(&hash) {
+            return Ok((hash, PutOutcome::Deduped(*meta)));
+        }
+        let (encoding, payload) = compress(data);
+        let rec = StoreRecord {
+            hash,
+            raw_len: data.len() as u64,
+            encoding: if encoding == Encoding::Rle { 1 } else { 0 },
+            payload,
+        };
+        let framed = frame_record(&rec);
+        let meta = ChunkMeta {
+            raw_len: rec.raw_len,
+            stored_len: framed.len() as u64,
+            compressed: encoding == Encoding::Rle,
+        };
+        let cost = cluster
+            .append_file(self.pid, &self.path, &framed)
+            .map_err(CprError::Fs)?;
+        self.index.insert(hash, meta);
+        Ok((hash, PutOutcome::Stored(meta, cost)))
+    }
+
+    /// Read the whole store back, decompressing every chunk: the
+    /// restore-side view. Charges `pid`'s clock for the file read.
+    pub fn load_all(
+        cluster: &mut Cluster,
+        pid: Pid,
+        path: &str,
+    ) -> Result<BTreeMap<u64, Vec<u8>>, CprError> {
+        let bytes = cluster.read_file(pid, path).map_err(CprError::Fs)?;
+        Ok(scan(&bytes, true).map_err(CprError::Corrupt)?.1)
+    }
+
+    /// Total on-disk bytes of the records referenced by `segments`
+    /// (for migration-size accounting: the bytes that must cross the
+    /// wire alongside the stream file).
+    pub fn referenced_bytes(&self, segments: &[(u64, u64)]) -> u64 {
+        let mut seen = std::collections::BTreeSet::new();
+        segments
+            .iter()
+            .filter(|(h, _)| seen.insert(*h))
+            .filter_map(|(h, _)| self.index.get(h).map(|m| m.stored_len))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::qcheck::qcheck;
+
+    #[test]
+    fn cdc_covers_input_exactly_and_is_deterministic() {
+        qcheck("cdc_covers_input", 32, |g| {
+            let len = g.usize_in(0, 300_000);
+            let data = g.bytes(len);
+            let cuts = cdc_chunks(&data);
+            let again = cdc_chunks(&data);
+            assert_eq!(cuts, again);
+            let mut expect = 0u64;
+            for (off, len) in &cuts {
+                assert_eq!(*off, expect);
+                expect += len;
+                assert!(*len as usize <= CDC_MAX_CHUNK);
+            }
+            assert_eq!(expect, data.len() as u64);
+        });
+    }
+
+    #[test]
+    fn cdc_boundaries_resist_prefix_shift() {
+        // Content-defined: appending a prefix leaves most later cut
+        // points (as absolute content, not offsets) unchanged.
+        let mut g = simcore::qcheck::Gen::new(42);
+        let data = g.bytes(256 << 10);
+        let mut shifted = vec![0xAB; 7];
+        shifted.extend_from_slice(&data);
+        let a: std::collections::BTreeSet<u64> = cdc_chunks(&data)
+            .iter()
+            .map(|(off, len)| fnv1a64(&data[*off as usize..(*off + *len) as usize]))
+            .collect();
+        let b: std::collections::BTreeSet<u64> = cdc_chunks(&shifted)
+            .iter()
+            .map(|(off, len)| fnv1a64(&shifted[*off as usize..(*off + *len) as usize]))
+            .collect();
+        let common = a.intersection(&b).count();
+        assert!(
+            common * 2 > a.len(),
+            "only {common} of {} chunks survived a 7-byte prefix shift",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn compress_roundtrips_and_never_expands() {
+        qcheck("compress_roundtrip", 64, |g| {
+            let data = match g.usize_in(0, 3) {
+                0 => {
+                    let (b, n) = (g.byte(), g.usize_in(0, 4096));
+                    vec![b; n] // runs
+                }
+                1 => {
+                    let n = g.usize_in(0, 4096);
+                    g.bytes(n) // noise
+                }
+                _ => {
+                    let mut v = vec![0u8; g.usize_in(0, 2048)];
+                    let n = g.usize_in(0, 2048);
+                    v.extend(g.bytes(n));
+                    v
+                }
+            };
+            let (enc, payload) = compress(&data);
+            assert!(payload.len() <= data.len().max(1));
+            assert_eq!(decompress(enc, &payload, data.len() as u64).unwrap(), data);
+        });
+    }
+
+    fn setup() -> (Cluster, Pid) {
+        let mut c = Cluster::with_standard_nodes(1);
+        let n = c.node_ids()[0];
+        let p = c.spawn(n);
+        (c, p)
+    }
+
+    #[test]
+    fn put_dedups_and_survives_reopen() {
+        let (mut c, p) = setup();
+        let mut s = ChunkStore::open(&mut c, p, "/local/a.cas").unwrap();
+        let (h1, o1) = s.put(&mut c, &[7u8; 10_000]).unwrap();
+        assert!(matches!(o1, PutOutcome::Stored(m, _) if m.compressed));
+        let (h2, o2) = s.put(&mut c, &[7u8; 10_000]).unwrap();
+        assert_eq!(h1, h2);
+        assert!(matches!(o2, PutOutcome::Deduped(_)));
+        // Reopen: the index rebuilds from the file alone.
+        let s2 = ChunkStore::open(&mut c, p, "/local/a.cas").unwrap();
+        assert!(s2.contains(h1));
+        assert_eq!(s2.len(), 1);
+        // And the payload restores bit-exact.
+        let all = ChunkStore::load_all(&mut c, p, "/local/a.cas").unwrap();
+        assert_eq!(all[&h1], vec![7u8; 10_000]);
+    }
+
+    #[test]
+    fn referenced_bytes_counts_each_chunk_once() {
+        let (mut c, p) = setup();
+        let mut s = ChunkStore::open(&mut c, p, "/local/b.cas").unwrap();
+        let (h, out) = s.put(&mut c, &[1u8; 5000]).unwrap();
+        let PutOutcome::Stored(meta, _) = out else {
+            panic!("novel chunk must store")
+        };
+        assert_eq!(s.referenced_bytes(&[(h, 5000), (h, 5000)]), meta.stored_len);
+        assert_eq!(s.referenced_bytes(&[(0xdead, 8)]), 0);
+    }
+}

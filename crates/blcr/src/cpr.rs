@@ -32,6 +32,9 @@ pub enum CprError {
     Fs(FsError),
     /// The checkpoint file failed validation.
     Corrupt(CodecError),
+    /// Stream-writer lifecycle misuse (append/finish after the stream
+    /// was already sealed or aborted).
+    Stream(crate::stream::StreamError),
 }
 
 impl fmt::Display for CprError {
@@ -50,6 +53,7 @@ impl fmt::Display for CprError {
             CprError::ProcessDead(pid) => write!(f, "{pid} is not running"),
             CprError::Fs(e) => write!(f, "checkpoint I/O failed: {e}"),
             CprError::Corrupt(e) => write!(f, "checkpoint file invalid: {e}"),
+            CprError::Stream(e) => write!(f, "stream writer misuse: {e}"),
         }
     }
 }

@@ -15,6 +15,7 @@
 //! process tree, reproducing the §V observation that DMTCP fails on a
 //! CheCL application *unless the API proxy is killed first*.
 
+pub mod chunkstore;
 pub mod ckptfile;
 pub mod cpr;
 pub mod replica;
@@ -22,6 +23,7 @@ pub mod robust;
 pub mod sniff;
 pub mod stream;
 
+pub use chunkstore::{cdc_chunks, ChunkMeta, ChunkStore, PutOutcome};
 pub use ckptfile::{CheckpointFile, CKPT_MAGIC, CKPT_VERSION};
 pub use cpr::{checkpoint, dmtcp_checkpoint, restart, CprError};
 pub use replica::{DumpVault, Generation, ScrubReport};
@@ -31,6 +33,7 @@ pub use robust::{
 };
 pub use sniff::{sniff_dump, SniffedDump};
 pub use stream::{
-    is_stream_file, parse_stream, ParsedStream, StreamChunk, StreamHeader, StreamTrailer,
-    StreamWriter, STREAM_MAGIC, STREAM_VERSION,
+    is_stream_file, parse_stream, sweep_orphaned_tmps, take_orphaned_tmps, ParsedStream,
+    StreamChunk, StreamChunkMap, StreamError, StreamHeader, StreamTrailer, StreamWriter,
+    STREAM_MAGIC, STREAM_VERSION,
 };

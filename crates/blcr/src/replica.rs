@@ -61,6 +61,11 @@ pub struct DumpVault {
     keep: usize,
     next_gen: u64,
     generations: Vec<Generation>,
+    /// Replica paths dropped by GC or scrub since the last
+    /// [`DumpVault::take_retired_paths`] drain. An incremental dump may
+    /// hold `saved_in` references into these files; the caller must
+    /// invalidate them or later restores chase a dead generation.
+    retired_paths: Vec<String>,
 }
 
 fn replica_event(cluster: &Cluster, pid: Pid, name: &str, path: &str) {
@@ -90,7 +95,16 @@ impl DumpVault {
             keep,
             next_gen: 0,
             generations: Vec::new(),
+            retired_paths: Vec::new(),
         }
+    }
+
+    /// Drain the replica paths GC and scrub have dropped since the last
+    /// drain. Callers holding incremental `saved_in` references into
+    /// vault generations must invalidate (or re-dirty) any reference
+    /// into these paths — the bytes are gone.
+    pub fn take_retired_paths(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.retired_paths)
     }
 
     /// Where the *next* generation's primary dump must be written. The
@@ -186,6 +200,8 @@ impl DumpVault {
             let g = self.generations.remove(0);
             let _ = cluster.delete_file(pid, &g.primary);
             let _ = cluster.delete_file(pid, &g.mirror);
+            self.retired_paths.push(g.primary.clone());
+            self.retired_paths.push(g.mirror.clone());
             replica_event(cluster, pid, "replica.gc", &g.primary);
             obs::emit(
                 "vault",
@@ -245,6 +261,8 @@ impl DumpVault {
                     replica_event(cluster, pid, "replica.lost", &g.primary);
                     let _ = cluster.delete_file(pid, &g.primary);
                     let _ = cluster.delete_file(pid, &g.mirror);
+                    self.retired_paths.push(g.primary.clone());
+                    self.retired_paths.push(g.mirror.clone());
                     report.lost += 1;
                     obs::emit(
                         "vault",
@@ -425,6 +443,27 @@ mod tests {
         );
         assert_eq!(vault.generations().len(), 1);
         assert_eq!(vault.latest().unwrap().gen, 1);
+    }
+
+    #[test]
+    fn gc_and_scrub_surface_retired_replica_paths() {
+        let (mut c, p) = one_node();
+        let mut vault = DumpVault::new("/local/app", "/nfs/app", 1);
+        stage(&mut c, p, &vault, 1);
+        let g0 = vault.commit(&mut c, p).unwrap();
+        assert!(vault.take_retired_paths().is_empty(), "nothing GC'd yet");
+        stage(&mut c, p, &vault, 2);
+        let g1 = vault.commit(&mut c, p).unwrap();
+        // keep=1: committing gen1 retired gen0's replicas.
+        let retired = vault.take_retired_paths();
+        assert_eq!(retired, vec![g0.primary.clone(), g0.mirror.clone()]);
+        assert!(vault.take_retired_paths().is_empty(), "drain is a drain");
+        // A scrub that loses a generation surfaces its paths too.
+        c.write_file(p, &g1.primary, vec![9; 4]).unwrap();
+        c.write_file(p, &g1.mirror, vec![9; 4]).unwrap();
+        vault.scrub(&mut c, p);
+        let retired = vault.take_retired_paths();
+        assert_eq!(retired, vec![g1.primary, g1.mirror]);
     }
 
     #[test]

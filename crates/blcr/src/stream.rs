@@ -72,6 +72,49 @@ pub struct StreamChunk {
 
 impl_codec_struct!(StreamChunk { seq, handle, data });
 
+/// A dedup'd buffer: instead of inline bytes, a list of
+/// content-addressed references into a chunk store file. The payload is
+/// reassembled at restore by concatenating the referenced chunks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamChunkMap {
+    /// Position in the stream (0-based, shared numbering with inline
+    /// chunks — write order across both frame kinds).
+    pub seq: u32,
+    /// Opaque owner tag, same meaning as [`StreamChunk::handle`].
+    pub handle: u64,
+    /// Path of the content-addressed chunk store holding the bytes.
+    pub store: String,
+    /// Total reassembled payload length.
+    pub total_len: u64,
+    /// `(FNV-64 content hash, raw chunk length)` references, in
+    /// concatenation order.
+    pub segments: Vec<(u64, u64)>,
+}
+
+impl_codec_struct!(StreamChunkMap {
+    seq,
+    handle,
+    store,
+    total_len,
+    segments
+});
+
+impl StreamChunkMap {
+    /// The bytes this map contributes to the trailer checksum: the
+    /// references themselves, not the payload (which lives in the
+    /// store). Deterministic, so the trailer still seals the stream
+    /// without the store being readable at parse time.
+    fn checksum_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 * self.segments.len() + 8);
+        out.extend_from_slice(&self.total_len.to_le_bytes());
+        for (hash, len) in &self.segments {
+            out.extend_from_slice(&hash.to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+        out
+    }
+}
+
 /// Final frame sealing the stream.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StreamTrailer {
@@ -89,12 +132,13 @@ impl_codec_struct!(StreamTrailer {
     data_checksum
 });
 
-/// The three frame kinds, as stored on disk.
+/// The frame kinds, as stored on disk.
 #[derive(Clone, Debug, PartialEq)]
 enum StreamFrame {
     Header(StreamHeader),
     Chunk(StreamChunk),
     Trailer(StreamTrailer),
+    ChunkMap(StreamChunkMap),
 }
 
 impl Codec for StreamFrame {
@@ -112,6 +156,10 @@ impl Codec for StreamFrame {
                 out.push(2);
                 t.encode(out);
             }
+            StreamFrame::ChunkMap(m) => {
+                out.push(3);
+                m.encode(out);
+            }
         }
     }
 
@@ -120,6 +168,7 @@ impl Codec for StreamFrame {
             0 => StreamFrame::Header(StreamHeader::decode(r)?),
             1 => StreamFrame::Chunk(StreamChunk::decode(r)?),
             2 => StreamFrame::Trailer(StreamTrailer::decode(r)?),
+            3 => StreamFrame::ChunkMap(StreamChunkMap::decode(r)?),
             _ => return Err(CodecError::Invalid("stream frame tag")),
         })
     }
@@ -145,14 +194,19 @@ pub fn is_stream_file(bytes: &[u8]) -> bool {
 pub struct ParsedStream {
     /// The header frame.
     pub header: StreamHeader,
-    /// Chunk frames, in stream (`seq`) order.
+    /// Inline chunk frames, in stream (`seq`) order.
     pub chunks: Vec<StreamChunk>,
+    /// Dedup'd chunk-map frames, in stream (`seq`) order. Empty for a
+    /// non-dedup stream.
+    pub maps: Vec<StreamChunkMap>,
     /// The sealing trailer.
     pub trailer: StreamTrailer,
     /// On-disk size of the header frame (with its length prefix).
     pub header_bytes: u64,
-    /// On-disk size of each chunk frame, in stream order.
+    /// On-disk size of each inline chunk frame, parallel to `chunks`.
     pub chunk_bytes: Vec<u64>,
+    /// On-disk size of each chunk-map frame, parallel to `maps`.
+    pub map_bytes: Vec<u64>,
     /// On-disk size of the trailer frame plus the baseline padding.
     pub tail_bytes: u64,
 }
@@ -167,6 +221,8 @@ pub fn parse_stream(bytes: &[u8]) -> Result<ParsedStream, CodecError> {
     let mut header: Option<(StreamHeader, u64)> = None;
     let mut chunks: Vec<StreamChunk> = Vec::new();
     let mut chunk_bytes: Vec<u64> = Vec::new();
+    let mut maps: Vec<StreamChunkMap> = Vec::new();
+    let mut map_bytes: Vec<u64> = Vec::new();
     let mut hasher = Fnv64::new();
     let mut data_bytes: u64 = 0;
     loop {
@@ -197,7 +253,7 @@ pub fn parse_stream(bytes: &[u8]) -> Result<ParsedStream, CodecError> {
                 if header.is_none() {
                     return Err(CodecError::Invalid("stream chunk before header"));
                 }
-                if c.seq as usize != chunks.len() {
+                if c.seq as usize != chunks.len() + maps.len() {
                     return Err(CodecError::Invalid("stream chunk out of order"));
                 }
                 hasher.update(&c.data);
@@ -205,11 +261,24 @@ pub fn parse_stream(bytes: &[u8]) -> Result<ParsedStream, CodecError> {
                 chunk_bytes.push(on_disk);
                 chunks.push(c);
             }
+            StreamFrame::ChunkMap(m) => {
+                if header.is_none() {
+                    return Err(CodecError::Invalid("stream chunk before header"));
+                }
+                if m.seq as usize != chunks.len() + maps.len() {
+                    return Err(CodecError::Invalid("stream chunk out of order"));
+                }
+                let sealed = m.checksum_bytes();
+                hasher.update(&sealed);
+                data_bytes += sealed.len() as u64;
+                map_bytes.push(on_disk);
+                maps.push(m);
+            }
             StreamFrame::Trailer(t) => {
                 let Some((header, header_bytes)) = header else {
                     return Err(CodecError::Invalid("stream trailer before header"));
                 };
-                if t.chunks as usize != chunks.len()
+                if t.chunks as usize != chunks.len() + maps.len()
                     || t.data_bytes != data_bytes
                     || t.data_checksum != hasher.finish()
                 {
@@ -220,14 +289,85 @@ pub fn parse_stream(bytes: &[u8]) -> Result<ParsedStream, CodecError> {
                 return Ok(ParsedStream {
                     header,
                     chunks,
+                    maps,
                     trailer: t,
                     header_bytes,
                     chunk_bytes,
+                    map_bytes,
                     tail_bytes,
                 });
             }
         }
     }
+}
+
+/// Misuse of the [`StreamWriter`] lifecycle. Typed (instead of a
+/// panic) so the engine's error path can roll back cleanly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamError {
+    /// An append or a second `finish` after the stream was sealed and
+    /// published.
+    UseAfterFinish {
+        /// The already-published target path.
+        target: String,
+    },
+    /// An append or `finish` after `abort` discarded the stream.
+    UseAfterAbort {
+        /// The abandoned target path.
+        target: String,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::UseAfterFinish { target } => {
+                write!(f, "stream writer for {target} already finished")
+            }
+            StreamError::UseAfterAbort { target } => {
+                write!(f, "stream writer for {target} already aborted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WriterState {
+    Open,
+    Finished,
+    Aborted,
+}
+
+std::thread_local! {
+    /// Temp files abandoned by [`StreamWriter`]s dropped while still
+    /// open. `Drop` has no cluster access, so the path is parked here
+    /// for [`take_orphaned_tmps`] / [`sweep_orphaned_tmps`] — the same
+    /// no-orphaned-`.tmp` discipline the robust sequential path audits.
+    static ORPHANED_TMPS: std::cell::RefCell<Vec<(Pid, String)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Drain the registry of `.tmp` paths left behind by stream writers
+/// dropped without `finish`/`abort`. Each entry is the owning pid and
+/// the temporary path.
+pub fn take_orphaned_tmps() -> Vec<(Pid, String)> {
+    ORPHANED_TMPS.with(|o| std::mem::take(&mut *o.borrow_mut()))
+}
+
+/// Delete every registered orphan tmp from the cluster filesystem.
+/// Returns how many paths were swept (missing files count — the goal
+/// is an empty registry, not I/O).
+pub fn sweep_orphaned_tmps(cluster: &mut Cluster) -> usize {
+    let orphans = take_orphaned_tmps();
+    let n = orphans.len();
+    for (pid, tmp) in orphans {
+        if cluster.process(pid).is_alive() {
+            let _ = cluster.delete_file(pid, &tmp);
+        }
+    }
+    n
 }
 
 /// Double-buffered streamed checkpoint writer.
@@ -236,7 +376,9 @@ pub fn parse_stream(bytes: &[u8]) -> Result<ParsedStream, CodecError> {
 /// they arrive and atomically renames to `target` on [`finish`]
 /// (`StreamWriter::finish`). Any error leaves the previous generation
 /// at `target` untouched; call [`abort`](StreamWriter::abort) to clean
-/// up the temporary file.
+/// up the temporary file. A writer dropped while still open registers
+/// its tmp with the orphan audit ([`take_orphaned_tmps`]) instead of
+/// leaking it silently.
 #[derive(Debug)]
 pub struct StreamWriter {
     pid: Pid,
@@ -248,6 +390,15 @@ pub struct StreamWriter {
     chunks: u32,
     data_bytes: u64,
     hasher: Fnv64,
+    state: WriterState,
+}
+
+impl Drop for StreamWriter {
+    fn drop(&mut self) {
+        if self.state == WriterState::Open {
+            ORPHANED_TMPS.with(|o| o.borrow_mut().push((self.pid, self.tmp.clone())));
+        }
+    }
 }
 
 impl StreamWriter {
@@ -282,6 +433,7 @@ impl StreamWriter {
             chunks: 0,
             data_bytes: 0,
             hasher: Fnv64::new(),
+            state: WriterState::Open,
         };
         let header = StreamFrame::Header(StreamHeader {
             source_pid: pid.0,
@@ -312,6 +464,19 @@ impl StreamWriter {
         Ok(cost)
     }
 
+    /// Typed guard: the writer must still be open.
+    fn ensure_open(&self) -> Result<(), CprError> {
+        match self.state {
+            WriterState::Open => Ok(()),
+            WriterState::Finished => Err(CprError::Stream(StreamError::UseAfterFinish {
+                target: self.target.clone(),
+            })),
+            WriterState::Aborted => Err(CprError::Stream(StreamError::UseAfterAbort {
+                target: self.target.clone(),
+            })),
+        }
+    }
+
     /// Stream one completed buffer. Returns the append's I/O cost.
     pub fn append_chunk(
         &mut self,
@@ -319,6 +484,7 @@ impl StreamWriter {
         handle: u64,
         data: Vec<u8>,
     ) -> Result<SimDuration, CprError> {
+        self.ensure_open()?;
         self.hasher.update(&data);
         self.data_bytes += data.len() as u64;
         let chunk = StreamFrame::Chunk(StreamChunk {
@@ -330,10 +496,37 @@ impl StreamWriter {
         self.append_raw(cluster, &frame_bytes(&chunk))
     }
 
+    /// Stream one dedup'd buffer as content-addressed references into
+    /// `store` instead of inline bytes. Returns the append's I/O cost
+    /// (tiny: only the refs hit the stream file).
+    pub fn append_chunk_map(
+        &mut self,
+        cluster: &mut Cluster,
+        handle: u64,
+        store: &str,
+        total_len: u64,
+        segments: Vec<(u64, u64)>,
+    ) -> Result<SimDuration, CprError> {
+        self.ensure_open()?;
+        let map = StreamChunkMap {
+            seq: self.chunks,
+            handle,
+            store: store.to_string(),
+            total_len,
+            segments,
+        };
+        let sealed = map.checksum_bytes();
+        self.hasher.update(&sealed);
+        self.data_bytes += sealed.len() as u64;
+        self.chunks += 1;
+        self.append_raw(cluster, &frame_bytes(&StreamFrame::ChunkMap(map)))
+    }
+
     /// Seal the stream (trailer + baseline padding) and atomically
     /// publish it at `target`. Returns `(file size, I/O cost of the
     /// tail append)` — the rename itself charges the process clock.
     pub fn finish(&mut self, cluster: &mut Cluster) -> Result<(ByteSize, SimDuration), CprError> {
+        self.ensure_open()?;
         let trailer = StreamFrame::Trailer(StreamTrailer {
             chunks: self.chunks,
             data_bytes: self.data_bytes,
@@ -348,13 +541,18 @@ impl StreamWriter {
         cluster
             .rename_file(self.pid, &self.tmp, &self.target)
             .map_err(CprError::Fs)?;
+        self.state = WriterState::Finished;
         Ok((ByteSize::bytes(self.written), cost))
     }
 
     /// Discard the temporary file after a mid-stream failure. The
-    /// previous generation at `target` is untouched.
+    /// previous generation at `target` is untouched. Idempotent, and a
+    /// no-op after a successful `finish` (the tmp no longer exists).
     pub fn abort(&mut self, cluster: &mut Cluster) {
-        let _ = cluster.delete_file(self.pid, &self.tmp);
+        if self.state == WriterState::Open {
+            let _ = cluster.delete_file(self.pid, &self.tmp);
+            self.state = WriterState::Aborted;
+        }
     }
 
     /// Bytes appended so far.
@@ -480,6 +678,92 @@ mod tests {
         let (_, _) = w.finish(&mut c).unwrap();
         let bytes = c.read_file(p, "/local/s.ckpt").unwrap();
         parse_stream(&bytes).unwrap(); // stale junk did not leak in
+    }
+
+    #[test]
+    fn append_after_finish_is_a_typed_error_not_a_panic() {
+        let (mut c, p) = setup();
+        let mut w = StreamWriter::begin(&mut c, p, "/local/s.ckpt").unwrap();
+        w.append_chunk(&mut c, 0x60, vec![1; 8]).unwrap();
+        w.finish(&mut c).unwrap();
+        assert!(matches!(
+            w.append_chunk(&mut c, 0x61, vec![2; 8]),
+            Err(CprError::Stream(StreamError::UseAfterFinish { .. }))
+        ));
+        assert!(matches!(
+            w.finish(&mut c),
+            Err(CprError::Stream(StreamError::UseAfterFinish { .. }))
+        ));
+        // The published file is untouched by the misuse.
+        let bytes = c.read_file(p, "/local/s.ckpt").unwrap();
+        assert_eq!(parse_stream(&bytes).unwrap().chunks.len(), 1);
+    }
+
+    #[test]
+    fn append_after_abort_is_a_typed_error() {
+        let (mut c, p) = setup();
+        let mut w = StreamWriter::begin(&mut c, p, "/local/s.ckpt").unwrap();
+        w.abort(&mut c);
+        assert!(matches!(
+            w.append_chunk(&mut c, 0x60, vec![1; 8]),
+            Err(CprError::Stream(StreamError::UseAfterAbort { .. }))
+        ));
+    }
+
+    #[test]
+    fn dropped_open_writer_routes_tmp_through_orphan_audit() {
+        let (mut c, p) = setup();
+        let _ = take_orphaned_tmps(); // isolate from other tests
+        {
+            let mut w = StreamWriter::begin(&mut c, p, "/local/orphan.ckpt").unwrap();
+            w.append_chunk(&mut c, 0x60, vec![5; 64]).unwrap();
+            // Dropped without finish/abort.
+        }
+        assert!(c.read_file(p, "/local/orphan.ckpt.tmp").is_ok());
+        assert_eq!(sweep_orphaned_tmps(&mut c), 1);
+        assert!(c.read_file(p, "/local/orphan.ckpt.tmp").is_err());
+        // A finished or aborted writer does NOT register an orphan.
+        let mut w = StreamWriter::begin(&mut c, p, "/local/ok.ckpt").unwrap();
+        w.finish(&mut c).unwrap();
+        drop(w);
+        let mut w = StreamWriter::begin(&mut c, p, "/local/ab.ckpt").unwrap();
+        w.abort(&mut c);
+        drop(w);
+        assert!(take_orphaned_tmps().is_empty());
+    }
+
+    #[test]
+    fn chunk_map_roundtrips_and_seals_in_trailer() {
+        let (mut c, p) = setup();
+        let mut w = StreamWriter::begin(&mut c, p, "/local/m.ckpt").unwrap();
+        w.append_chunk(&mut c, 0x60, vec![1, 2, 3]).unwrap();
+        w.append_chunk_map(
+            &mut c,
+            0x61,
+            "/local/m.cas",
+            9000,
+            vec![(0xabc, 4000), (0xdef, 5000)],
+        )
+        .unwrap();
+        w.append_chunk(&mut c, 0x62, vec![9; 10]).unwrap();
+        w.finish(&mut c).unwrap();
+        let bytes = c.read_file(p, "/local/m.ckpt").unwrap();
+        let parsed = parse_stream(&bytes).unwrap();
+        assert_eq!(parsed.chunks.len(), 2);
+        assert_eq!(parsed.maps.len(), 1);
+        assert_eq!(parsed.map_bytes.len(), 1);
+        let m = &parsed.maps[0];
+        assert_eq!(m.seq, 1);
+        assert_eq!(m.handle, 0x61);
+        assert_eq!(m.store, "/local/m.cas");
+        assert_eq!(m.total_len, 9000);
+        assert_eq!(m.segments, vec![(0xabc, 4000), (0xdef, 5000)]);
+        assert_eq!(parsed.trailer.chunks, 3);
+        // Tampering with a map reference breaks the trailer seal.
+        let hdr = parsed.header_bytes as usize + parsed.chunk_bytes[0] as usize;
+        let mut bad = bytes.clone();
+        bad[hdr + 40] ^= 0xff;
+        assert!(parse_stream(&bad).is_err());
     }
 
     #[test]

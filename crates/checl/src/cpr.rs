@@ -22,7 +22,7 @@ use clspec::handles::{
     CommandQueue, Context, DeviceId, HandleKind, Kernel, PlatformId, Program, RawHandle,
 };
 use clspec::types::{ArgValue, DeviceType, MemFlags};
-use osproc::{Cluster, FsKind, NodeId, Pid};
+use osproc::{Cluster, FsError, FsKind, NodeId, Pid};
 use simcore::codec::CodecError;
 use simcore::{telemetry, ByteSize, SimDuration, SimTime};
 use std::collections::BTreeMap;
@@ -39,6 +39,41 @@ pub enum CheckpointMode {
     /// Postpone until the application reaches its next natural
     /// synchronization point (`clFinish`), hiding the sync cost.
     Delayed,
+}
+
+/// Byte accounting of one dedup (content-addressed) checkpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DedupStats {
+    /// Content-defined chunks across every streamed buffer.
+    pub chunks_total: u64,
+    /// Chunks whose hash already lived in the store (zero bytes
+    /// written).
+    pub chunks_deduped: u64,
+    /// Dedup hits proven by dirty-region tracking alone — no hashing
+    /// CPU was spent on them.
+    pub chunks_region_clean: u64,
+    /// Raw payload bytes across every streamed buffer.
+    pub raw_bytes: u64,
+    /// Raw bytes the dedup hits avoided writing.
+    pub deduped_bytes: u64,
+    /// Bytes actually appended to the chunk store (post-compression,
+    /// framing included).
+    pub stored_bytes: u64,
+    /// On-store bytes the dump's chunk maps reference — what a
+    /// migration must move alongside the stream file.
+    pub store_referenced_bytes: u64,
+    /// CPU time spent on the `cpu.compress` channel (chunking +
+    /// compression), in virtual nanoseconds.
+    pub compress_ns: u64,
+}
+
+impl DedupStats {
+    /// Raw payload bytes per byte that hit storage this generation
+    /// (stream maps excluded). `None` while nothing was stored — a
+    /// fully deduplicated generation has no finite ratio.
+    pub fn dedup_ratio(&self) -> Option<f64> {
+        (self.stored_bytes > 0).then(|| self.raw_bytes as f64 / self.stored_bytes as f64)
+    }
 }
 
 /// Per-phase timing of one checkpoint — the Fig. 5 breakdown.
@@ -59,6 +94,8 @@ pub struct CheckpointReport {
     /// per-channel busy time that hid behind other channels. Always
     /// zero for the sequential engine.
     pub overlap_saved: SimDuration,
+    /// Chunk-store byte accounting; present only for a dedup policy.
+    pub dedup: Option<DedupStats>,
 }
 
 impl CheckpointReport {
@@ -122,6 +159,16 @@ pub enum CheclCprError {
     BadState(CodecError),
     /// The dump did not contain a CheCL state segment.
     MissingState,
+    /// An incremental restore chased a buffer's `saved_in` reference
+    /// into a base checkpoint that no longer exists or no longer
+    /// yields the buffer's bytes — pruned by generation GC, lost to a
+    /// failed scrub, or truncated.
+    MissingBase {
+        /// CheCL handle of the buffer whose bytes are unreachable.
+        buffer: u64,
+        /// The base checkpoint file the reference names.
+        base: String,
+    },
     /// The restore host enumerates no platform/device that can satisfy
     /// a recorded query — e.g. restarting on a box with no OpenCL
     /// implementation, or with no device of the requested type.
@@ -146,6 +193,11 @@ impl fmt::Display for CheclCprError {
             }
             CheclCprError::BadState(e) => write!(f, "CheCL state segment corrupt: {e}"),
             CheclCprError::MissingState => write!(f, "no CheCL state in checkpoint"),
+            CheclCprError::MissingBase { buffer, base } => write!(
+                f,
+                "buffer {buffer:#x}: incremental base checkpoint {base} is missing or \
+                 unreadable (pruned by generation GC or lost to a failed scrub)"
+            ),
             CheclCprError::NoSuchDevice {
                 kind,
                 index,
@@ -533,12 +585,16 @@ fn restore_one(
                     saved_data,
                     saved_in,
                     dirty,
+                    dirty_regions,
+                    saved_chunks,
                     ..
                 } = &mut e.record
                 {
                     *saved_data = None;
                     *saved_in = None;
                     *dirty = true;
+                    dirty_regions.clear();
+                    *saved_chunks = None;
                 }
             }
             Ok(v_mem.raw())
@@ -738,15 +794,34 @@ pub(crate) fn resolve_saved_data(
     for (checl_mem, file) in &missing {
         let (checl_mem, file) = (*checl_mem, file.clone());
         if !cache.contains_key(&file) {
-            let bytes = cluster
-                .read_file(pid, &file)
-                .map_err(|e| CheclCprError::Cpr(CprError::Fs(e)))?;
+            // A base generation can vanish between the checkpoint that
+            // referenced it and this restore — keep-k GC in `DumpVault`
+            // or a failed scrub retires the file. Name the dead base in
+            // a typed error instead of surfacing a raw fs failure.
+            let bytes = cluster.read_file(pid, &file).map_err(|e| match e {
+                FsError::NotFound(_) => CheclCprError::MissingBase {
+                    buffer: checl_mem,
+                    base: file.clone(),
+                },
+                other => CheclCprError::Cpr(CprError::Fs(other)),
+            })?;
             // Whatever policy wrote the referenced file, the sniffer
-            // identifies it and `shim_from_dump` hands back a shim with
-            // the payloads attached (for a streamed dump the bytes ride
-            // in the chunk frames, keyed by CheCL handle).
-            let dump = blcr::sniff_dump(&bytes).map_err(CheclCprError::BadState)?;
-            cache.insert(file.clone(), engine::shim_from_dump(dump)?);
+            // identifies it and `shim_from_dump_on` hands back a shim
+            // with the payloads attached (for a streamed dump the bytes
+            // ride in chunk frames keyed by CheCL handle; for a dedup
+            // dump, chunk-map frames are resolved against the store).
+            let dump = match blcr::sniff_dump(&bytes) {
+                Ok(d) => d,
+                Err(_) => {
+                    // A truncated/corrupt base is as dead as a pruned
+                    // one for the purposes of chasing a reference.
+                    return Err(CheclCprError::MissingBase {
+                        buffer: checl_mem,
+                        base: file.clone(),
+                    });
+                }
+            };
+            cache.insert(file.clone(), engine::shim_from_dump_on(cluster, pid, dump)?);
         }
         // The cached old shim is a throwaway: move the bytes out of it
         // instead of cloning a multi-MB payload.
@@ -756,7 +831,10 @@ pub(crate) fn resolve_saved_data(
             _ => None,
         });
         let Some(data) = data else {
-            return Err(CheclCprError::MissingState);
+            return Err(CheclCprError::MissingBase {
+                buffer: checl_mem,
+                base: file.clone(),
+            });
         };
         if let Some(e) = lib.db.get_mut(checl_mem) {
             if let ObjectRecord::Mem { saved_data, .. } = &mut e.record {

@@ -30,19 +30,23 @@
 use crate::boot::{kill_proxy, refork_proxy};
 use crate::cpr::{
     queue_and_device_in_context, queue_in_context, resolve_saved_data, restore_checl,
-    storage_channel_name, CheckpointMode, CheckpointReport, CheclCprError, RestoreReport,
-    RestoreTarget, CHECL_STATE_SEGMENT,
+    storage_channel_name, CheckpointMode, CheckpointReport, CheclCprError, DedupStats,
+    RestoreReport, RestoreTarget, CHECL_STATE_SEGMENT,
 };
 use crate::objects::ObjectRecord;
 use crate::runtime::ChecLib;
-use blcr::{CprError, RecoveryAttempt, RecoveryOutcome, RetryPolicy, SniffedDump, StreamWriter};
+use blcr::{
+    cdc_chunks, ChunkStore, CprError, PutOutcome, RecoveryAttempt, RecoveryOutcome, RetryPolicy,
+    SniffedDump, StreamWriter,
+};
 use cldriver::VendorConfig;
 use clspec::api::ApiRequest;
 use clspec::error::ClError;
 use clspec::handles::{CommandQueue, Event, HandleKind, Mem, RawHandle};
 use osproc::{Cluster, FsError, FsKind, NodeId, Pid};
 use simcore::channels::ChannelSet;
-use simcore::{obs, telemetry, ByteSize, SimDuration, SimTime};
+use simcore::{calib, obs, telemetry, ByteSize, SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// Telemetry `tid` base for per-channel swimlanes (well above any real
 /// thread id the simulation mints).
@@ -98,6 +102,11 @@ pub struct CprPolicy {
     pub incremental: bool,
     /// Overlap D2H copies with chunk writes on per-resource channels.
     pub pipelined: bool,
+    /// Route buffer payloads through the content-addressed chunk store:
+    /// content-defined chunking, FNV-64 dedup against every earlier
+    /// generation, per-chunk compression on the `cpu.compress` channel.
+    /// Implies the streamed format (the dump carries chunk-map frames).
+    pub dedup: bool,
     /// Verify/retry/fallback commit hardening; `None` means one raw
     /// attempt at the primary path (legacy semantics).
     pub recovery: Option<RecoveryPolicy>,
@@ -133,6 +142,12 @@ impl CprPolicy {
         self
     }
 
+    /// Toggle content-addressed dedup + compression of buffer payloads.
+    pub fn dedup(mut self, on: bool) -> CprPolicy {
+        self.dedup = on;
+        self
+    }
+
     /// Add verify/retry/fallback commit hardening.
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> CprPolicy {
         self.recovery = Some(recovery);
@@ -155,7 +170,7 @@ impl CprPolicy {
     /// for an explicit [`SnapshotFormat::Streamed`] and always for the
     /// pipelined data path.
     pub fn streamed(&self) -> bool {
-        self.pipelined || self.format == SnapshotFormat::Streamed
+        self.pipelined || self.dedup || self.format == SnapshotFormat::Streamed
     }
 
     /// Stable human-readable name of this lattice point, recorded in
@@ -172,6 +187,9 @@ impl CprPolicy {
         }
         if self.incremental {
             parts.push("incremental");
+        }
+        if self.dedup {
+            parts.push("dedup");
         }
         if self.recovery.is_some() {
             parts.push("recovery");
@@ -216,10 +234,12 @@ pub fn snapshot(
 ) -> Result<SnapshotOutcome, CheclCprError> {
     let streamed = policy.streamed();
     let incremental = policy.incremental;
+    let dedup = policy.dedup;
     let Some(rp) = &policy.recovery else {
         let (report, provenance) =
-            snapshot_once(lib, cluster, app_pid, path, streamed, incremental)?;
+            snapshot_once(lib, cluster, app_pid, path, streamed, incremental, dedup)?;
         emit_checkpoint_committed(cluster, app_pid, path, policy, &provenance, &report);
+        emit_dedup_generation(lib, cluster, app_pid, path, &report);
         return Ok(SnapshotOutcome {
             report,
             path: path.to_string(),
@@ -236,7 +256,7 @@ pub fn snapshot(
         &retry,
         |cluster, tmp, target| {
             let (report, provenance) =
-                match snapshot_once(lib, cluster, app_pid, tmp, streamed, incremental) {
+                match snapshot_once(lib, cluster, app_pid, tmp, streamed, incremental, dedup) {
                     Ok(r) => r,
                     Err(e @ CheclCprError::Cpr(CprError::Fs(_))) => {
                         return RecoveryAttempt::Transient(e)
@@ -281,11 +301,67 @@ pub fn snapshot(
         &provenance,
         &report,
     );
+    emit_dedup_generation(lib, cluster, app_pid, &outcome.path, &report);
     Ok(SnapshotOutcome {
         report,
         path: outcome.path.clone(),
         recovery: Some(outcome),
     })
+}
+
+/// Close out one committed dedup generation: bump the shim's generation
+/// counter and ledger the chunk accounting so `checl_inspect` can
+/// report a per-generation dedup ratio. A no-op for non-dedup dumps.
+fn emit_dedup_generation(
+    lib: &mut ChecLib,
+    cluster: &Cluster,
+    app_pid: Pid,
+    path: &str,
+    report: &CheckpointReport,
+) {
+    let Some(stats) = report.dedup else {
+        return;
+    };
+    let generation = lib.dedup_generation;
+    lib.dedup_generation += 1;
+    if !obs::enabled() {
+        return;
+    }
+    let now = cluster.process(app_pid).clock;
+    let store = chunk_store_path(path);
+    obs::emit(
+        "engine",
+        now,
+        obs::EventKind::ChunkDeduped {
+            store: store.clone(),
+            generation,
+            chunks: stats.chunks_deduped,
+            raw_bytes: stats.deduped_bytes,
+        },
+    );
+    obs::emit(
+        "engine",
+        now,
+        obs::EventKind::ChunkCompressed {
+            store,
+            generation,
+            chunks: stats.chunks_total - stats.chunks_deduped,
+            raw_bytes: stats.raw_bytes.saturating_sub(stats.deduped_bytes),
+            stored_bytes: stats.stored_bytes,
+            compress_ns: stats.compress_ns,
+        },
+    );
+}
+
+/// Where the content-addressed chunk store for dumps at `target` lives:
+/// `checl.cas` next to the dump, so every generation in a directory
+/// (including `<target>.tmp` attempts) shares one dedup domain on the
+/// same mount.
+pub(crate) fn chunk_store_path(target: &str) -> String {
+    match target.rfind('/') {
+        Some(i) => format!("{}/checl.cas", &target[..i]),
+        None => "checl.cas".to_string(),
+    }
 }
 
 /// Record a committed dump's provenance in the obs ledger: where it
@@ -333,6 +409,7 @@ fn emit_checkpoint_committed(
 /// `streamed` selects the data path for the middle phases; the sync
 /// and postprocess phases (and the report/telemetry bookkeeping) are
 /// shared.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn snapshot_once(
     lib: &mut ChecLib,
     cluster: &mut Cluster,
@@ -340,6 +417,7 @@ pub(crate) fn snapshot_once(
     path: &str,
     streamed: bool,
     incremental: bool,
+    dedup: bool,
 ) -> Result<(CheckpointReport, DumpProvenance), CheclCprError> {
     if !lib.has_proxy() {
         return Err(CheclCprError::NoProxy);
@@ -365,6 +443,7 @@ pub(crate) fn snapshot_once(
     let mems = collect_mems(lib, incremental);
     let provenance = dump_provenance(lib, &mems, streamed);
 
+    let mut dedup_stats: Option<DedupStats> = None;
     let (now, preprocess, write, file_size, channels) = if !streamed {
         // Phase 2: preprocess — copy all user data in device memory to
         // the host memory.
@@ -506,15 +585,32 @@ pub(crate) fn snapshot_once(
         let mut channels =
             ChannelSet::new(phase0).with_telemetry(app_pid.0 as u64, CHANNEL_TRACK_BASE);
         let mut writer: Option<StreamWriter> = None;
-        let (copies_done, commit_end, file_size) = match pipelined_data_path(
-            lib,
-            cluster,
-            app_pid,
-            path,
-            &mems,
-            &mut channels,
-            &mut writer,
-        ) {
+        let data_path = if dedup {
+            dedup_data_path(
+                lib,
+                cluster,
+                app_pid,
+                path,
+                &mems,
+                &mut channels,
+                &mut writer,
+            )
+            .map(|(copies, commit, size, stats)| {
+                dedup_stats = Some(stats);
+                (copies, commit, size)
+            })
+        } else {
+            pipelined_data_path(
+                lib,
+                cluster,
+                app_pid,
+                path,
+                &mems,
+                &mut channels,
+                &mut writer,
+            )
+        };
+        let (copies_done, commit_end, file_size) = match data_path {
             Ok(done) => done,
             Err(err) => {
                 // Same rollback as the sequential engine: drop the tmp
@@ -588,6 +684,7 @@ pub(crate) fn snapshot_once(
             write,
             file_size,
             channels.as_ref(),
+            dedup_stats,
         ),
         provenance,
     ))
@@ -774,6 +871,215 @@ fn pipelined_data_path(
     Ok((copies_done, commit_end, file_size))
 }
 
+/// The content-addressed data path: like [`pipelined_data_path`], but
+/// each buffer's payload is content-defined-chunked, deduplicated
+/// against the shared chunk store (`checl.cas` beside the dump),
+/// compressed on the `cpu.compress` CPU channel, and referenced from
+/// the stream by a chunk-map frame instead of riding inline. Dirty-
+/// region tracking lets chunks whose span no write touched since the
+/// last generation skip even the hashing pass.
+#[allow(clippy::too_many_arguments)]
+fn dedup_data_path(
+    lib: &mut ChecLib,
+    cluster: &mut Cluster,
+    app_pid: Pid,
+    path: &str,
+    mems: &[MemPlan],
+    channels: &mut ChannelSet,
+    writer_slot: &mut Option<StreamWriter>,
+) -> Result<(SimTime, SimTime, ByteSize, DedupStats), CheclCprError> {
+    let phase0 = channels.origin();
+    let disk = channels.channel(storage_channel_name(cluster, app_pid, path));
+    let ipc = channels.channel("ipc");
+    let compress = channels.channel("cpu.compress");
+    let store_path = chunk_store_path(path);
+
+    // Open (or reuse) the shared chunk store. A cold open scans any
+    // existing records to rebuild the hash index — that read goes to
+    // the disk channel before anything else happens.
+    if lib
+        .chunk_store
+        .as_ref()
+        .map(|s| s.path() != store_path)
+        .unwrap_or(true)
+    {
+        cluster.process_mut(app_pid).clock = phase0;
+        let store = ChunkStore::open(cluster, app_pid, &store_path)?;
+        let opened = cluster.process(app_pid).clock;
+        channels.place(disk, phase0, opened.since(phase0), "store.open");
+        lib.chunk_store = Some(store);
+    }
+
+    // Header first, as in the pipelined path.
+    let hready = channels.free_at(disk).max(phase0);
+    cluster.process_mut(app_pid).clock = hready;
+    *writer_slot = Some(StreamWriter::begin(cluster, app_pid, path)?);
+    let header_end = cluster.process(app_pid).clock;
+    channels.place(disk, hready, header_end.since(hready), "stream.header");
+
+    let mut stats = DedupStats::default();
+    let mut referenced: Vec<(u64, u64)> = Vec::new();
+    let mut copies_done = phase0;
+    for &(checl_mem, vendor_mem, context, size, skip) in mems {
+        if skip {
+            continue;
+        }
+        let (q_vendor, dev_index) = queue_and_device_in_context(lib, context)
+            .ok_or(CheclCprError::Cl(ClError::InvalidContext))?;
+        let pcie = channels.channel(&format!("pcie.dev{dev_index}"));
+        let ready = channels.free_at(pcie).max(phase0);
+        let mut t = ready;
+        let (data, ev) = lib
+            .forward(
+                &mut t,
+                ApiRequest::EnqueueReadBuffer {
+                    queue: CommandQueue::from_raw(q_vendor),
+                    mem: Mem::from_raw(vendor_mem),
+                    blocking: true,
+                    offset: 0,
+                    size,
+                    wait_list: vec![],
+                },
+            )?
+            .into_data_event()?;
+        let copy = channels.place(pcie, ready, t.since(ready), "d2h");
+        let mut t2 = copy.end;
+        lib.forward(
+            &mut t2,
+            ApiRequest::ReleaseEvent {
+                event: Event::from_raw(ev.raw()),
+            },
+        )?;
+        let rel = channels.place(ipc, copy.end, t2.since(copy.end), "release");
+        copies_done = copies_done.max(rel.end);
+
+        // What the record knows about this buffer's history: the dirty
+        // regions written since the last dedup generation, and that
+        // generation's chunk list (offsets reconstructible by cumulative
+        // sum). `saved_chunks` only survives while the tracking is
+        // trustworthy — whole-extent invalidation (restore, GC, failed
+        // write) clears it, and whole-buffer dirtying is recorded as one
+        // `(0, size)` region — so "previous chunk at the same cut
+        // points, no intersecting dirty region" proves the bytes are
+        // unchanged.
+        let (regions, prev) = match lib.db.get(checl_mem).map(|e| &e.record) {
+            Some(ObjectRecord::Mem {
+                dirty_regions,
+                saved_chunks,
+                ..
+            }) => (
+                crate::objects::merge_regions(dirty_regions.clone()),
+                saved_chunks.clone(),
+            ),
+            _ => (Vec::new(), None),
+        };
+        let mut prev_at: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        if let Some(prev) = &prev {
+            let mut off = 0u64;
+            for &(hash, len) in prev {
+                prev_at.insert((off, len), hash);
+                off += len;
+            }
+        }
+
+        let segs = cdc_chunks(&data);
+        let mut segments: Vec<(u64, u64)> = Vec::with_capacity(segs.len());
+        let mut cpu = SimDuration::ZERO;
+        let mut io = SimDuration::ZERO;
+        {
+            let store = lib.chunk_store.as_mut().expect("store opened above");
+            for &(off, len) in &segs {
+                stats.chunks_total += 1;
+                stats.raw_bytes += len;
+                // Dirty-region fast path: a chunk whose cut points match
+                // the previous generation and whose span no write
+                // touched holds the same bytes — reuse its hash without
+                // rescanning.
+                let clean = !crate::objects::intersects_regions(&regions, off, len)
+                    && prev_at.get(&(off, len)).is_some_and(|h| store.contains(*h));
+                if clean {
+                    let hash = prev_at[&(off, len)];
+                    stats.chunks_deduped += 1;
+                    stats.chunks_region_clean += 1;
+                    stats.deduped_bytes += len;
+                    segments.push((hash, len));
+                    continue;
+                }
+                cpu += calib::chunking_bandwidth().transfer_time(ByteSize::bytes(len));
+                let slice = &data[off as usize..(off + len) as usize];
+                let (hash, outcome) = store.put(cluster, slice)?;
+                match outcome {
+                    PutOutcome::Deduped(_) => {
+                        stats.chunks_deduped += 1;
+                        stats.deduped_bytes += len;
+                    }
+                    PutOutcome::Stored(meta, cost) => {
+                        cpu += calib::compress_bandwidth().transfer_time(ByteSize::bytes(len));
+                        stats.stored_bytes += meta.stored_len;
+                        io += cost;
+                    }
+                }
+                segments.push((hash, len));
+            }
+        }
+        // Chunking + compression overlap other buffers' PCIe and disk
+        // work on the CPU channel; store appends and the map frame then
+        // serialize on the disk channel behind them.
+        let mut staged = copy.end;
+        if cpu > SimDuration::ZERO {
+            let cready = channels.free_at(compress).max(copy.end);
+            let cp = channels.place(compress, cready, cpu, "chunk.compress");
+            stats.compress_ns += cpu.as_nanos();
+            staged = cp.end;
+        }
+        if io > SimDuration::ZERO {
+            let sready = channels.free_at(disk).max(staged);
+            let sp = channels.place(disk, sready, io, "store.append");
+            staged = sp.end;
+        }
+        let wready = channels.free_at(disk).max(staged);
+        cluster.process_mut(app_pid).clock = wready;
+        writer_slot
+            .as_mut()
+            .expect("writer open")
+            .append_chunk_map(
+                cluster,
+                checl_mem,
+                &store_path,
+                data.len() as u64,
+                segments.clone(),
+            )?;
+        let wend = cluster.process(app_pid).clock;
+        channels.place(disk, wready, wend.since(wready), "stream.map");
+
+        referenced.extend_from_slice(&segments);
+        if let Some(e) = lib.db.get_mut(checl_mem) {
+            if let ObjectRecord::Mem {
+                dirty_regions,
+                saved_chunks,
+                ..
+            } = &mut e.record
+            {
+                dirty_regions.clear();
+                *saved_chunks = Some(segments);
+            }
+        }
+    }
+    stats.store_referenced_bytes = lib
+        .chunk_store
+        .as_ref()
+        .expect("store opened above")
+        .referenced_bytes(&referenced);
+
+    // Seal + atomically publish once the last map frame has landed.
+    let fready = channels.free_at(disk).max(copies_done);
+    cluster.process_mut(app_pid).clock = fready;
+    let (file_size, _) = writer_slot.as_mut().expect("writer open").finish(cluster)?;
+    let commit_end = cluster.process(app_pid).clock;
+    channels.place(disk, fready, commit_end.since(fready), "stream.commit");
+    Ok((copies_done, commit_end, file_size, stats))
+}
+
 /// Undo a failed write attempt's bookkeeping: take the state segment
 /// back out of the image and forget the buffer references to the file
 /// that never landed (a later incremental checkpoint must not skip
@@ -799,6 +1105,7 @@ fn finish_snapshot(
     write: SimDuration,
     file_size: ByteSize,
     channels: Option<&ChannelSet>,
+    dedup: Option<DedupStats>,
 ) -> CheckpointReport {
     let t0 = now;
     telemetry::span_begin("cpr", "checkpoint.postprocess", t0, Vec::new());
@@ -829,6 +1136,7 @@ fn finish_snapshot(
         overlap_saved: channels
             .map(|c| c.overlap_saved())
             .unwrap_or(SimDuration::ZERO),
+        dedup,
     };
     debug_assert_eq!(now.since(start), report.total());
     let mut close_args = vec![
@@ -916,6 +1224,8 @@ pub fn restore(
         header,
         chunks,
         chunk_bytes,
+        maps,
+        map_bytes,
         tail_bytes,
         header_bytes,
         ..
@@ -974,8 +1284,12 @@ pub fn restore(
     // published by one rename, so its encoded state may still carry the
     // temp name; whatever the state says, a buffer with a chunk in this
     // file lives *here*.
-    for chunk in &chunks {
-        if let Some(entry) = lib.db.get_mut(chunk.handle) {
+    for handle in chunks
+        .iter()
+        .map(|c| c.handle)
+        .chain(maps.iter().map(|m| m.handle))
+    {
+        if let Some(entry) = lib.db.get_mut(handle) {
             if let ObjectRecord::Mem { saved_in, .. } = &mut entry.record {
                 *saved_in = Some(path.to_string());
             }
@@ -1072,6 +1386,123 @@ pub fn restore(
         }
         let rel = channels.place(ipc, up.end, t2.since(up.end), "release");
         upload_end = upload_end.max(rel.end);
+    }
+
+    // Dedup'd buffers: read each referenced chunk store once (serialized
+    // on the storage channel), decompress it on the CPU channel, then
+    // reassemble and upload every mapped buffer as above.
+    if !maps.is_empty() {
+        let compress = channels.channel("cpu.compress");
+        let mut stores: BTreeMap<String, BTreeMap<u64, Vec<u8>>> = BTreeMap::new();
+        let mut store_ready: BTreeMap<String, SimTime> = BTreeMap::new();
+        for map in &maps {
+            if stores.contains_key(&map.store) {
+                continue;
+            }
+            let lready = channels.free_at(disk).max(hdr.end);
+            cluster.process_mut(pid).clock = lready;
+            let loaded = match ChunkStore::load_all(cluster, pid, &map.store) {
+                Ok(chunks) => chunks,
+                Err(e) => {
+                    let err = CheclCprError::Cpr(e);
+                    restart_cleanup(cluster, &mut lib, pid, now, &err);
+                    return Err(err);
+                }
+            };
+            let lend = cluster.process(pid).clock;
+            let load = channels.place(disk, lready, lend.since(lready), "store.load");
+            // Decompression of the referenced bytes overlaps the other
+            // channels, mirroring the dump-side compression cost.
+            let raw: u64 = maps
+                .iter()
+                .filter(|m| m.store == map.store)
+                .map(|m| m.total_len)
+                .sum();
+            let dready = channels.free_at(compress).max(load.end);
+            let dp = channels.place(
+                compress,
+                dready,
+                calib::compress_bandwidth().transfer_time(ByteSize::bytes(raw)),
+                "chunk.decompress",
+            );
+            store_ready.insert(map.store.clone(), dp.end);
+            stores.insert(map.store.clone(), loaded);
+        }
+        for (i, map) in maps.iter().enumerate() {
+            let rd = channels.place(
+                disk,
+                hdr.end,
+                read_link
+                    .bandwidth
+                    .transfer_time(ByteSize::bytes(map_bytes[i])),
+                "stream.map",
+            );
+            let data = match assemble_from_store(&stores, map) {
+                Ok(data) => data,
+                Err(err) => {
+                    restart_cleanup(cluster, &mut lib, pid, now, &err);
+                    return Err(err);
+                }
+            };
+            let context = match lib.db.get(map.handle).map(|e| &e.record) {
+                Some(ObjectRecord::Mem { context, .. }) => *context,
+                _ => {
+                    let err = CheclCprError::MissingState;
+                    restart_cleanup(cluster, &mut lib, pid, now, &err);
+                    return Err(err);
+                }
+            };
+            let vendor_mem = match lib.db.vendor_of(map.handle) {
+                Some(v) => v,
+                None => {
+                    let err = CheclCprError::MissingState;
+                    restart_cleanup(cluster, &mut lib, pid, now, &err);
+                    return Err(err);
+                }
+            };
+            let Some((q_vendor, dev_index)) = queue_and_device_in_context(&lib, context) else {
+                let err = CheclCprError::Cl(ClError::InvalidContext);
+                restart_cleanup(cluster, &mut lib, pid, now, &err);
+                return Err(err);
+            };
+            let pcie = channels.channel(&format!("pcie.dev{dev_index}"));
+            let ready = channels
+                .free_at(pcie)
+                .max(rd.end)
+                .max(store_ready[&map.store])
+                .max(now);
+            let mut t = ready;
+            let upload = lib
+                .forward(
+                    &mut t,
+                    ApiRequest::EnqueueWriteBuffer {
+                        queue: CommandQueue::from_raw(q_vendor),
+                        mem: Mem::from_raw(vendor_mem),
+                        blocking: true,
+                        offset: 0,
+                        data,
+                        wait_list: vec![],
+                    },
+                )
+                .and_then(|resp| resp.into_event());
+            let ev = match upload {
+                Ok(ev) => ev,
+                Err(e) => {
+                    let err = CheclCprError::Cl(e);
+                    restart_cleanup(cluster, &mut lib, pid, now, &err);
+                    return Err(err);
+                }
+            };
+            let up = channels.place(pcie, ready, t.since(ready), "h2d");
+            let mut t2 = up.end;
+            if let Err(e) = lib.forward(&mut t2, ApiRequest::ReleaseEvent { event: ev }) {
+                let err = CheclCprError::Cl(e);
+                restart_cleanup(cluster, &mut lib, pid, now, &err);
+                return Err(err);
+            }
+            let rel = channels.place(ipc, up.end, t2.since(up.end), "release");
+            upload_end = upload_end.max(rel.end);
+        }
     }
     // The trailer + baseline padding finish the file scan.
     let tail = channels.place(
@@ -1229,10 +1660,16 @@ fn resolve_incremental_data(
 }
 
 /// Rebuild a [`ChecLib`] from a sniffed dump: fetch + decode the CheCL
-/// state segment, and for a streamed dump re-attach the chunk payloads
-/// to their buffer records so downstream code is format-agnostic.
+/// state segment, and for a streamed dump re-attach the buffer payloads
+/// so downstream code is format-agnostic — inline chunk frames directly,
+/// chunk-map frames by reading their content-addressed stores from
+/// `cluster` and reassembling each buffer from its referenced segments.
 /// Callers own the mapping of the sniff error itself.
-pub(crate) fn shim_from_dump(dump: SniffedDump) -> Result<ChecLib, CheclCprError> {
+pub(crate) fn shim_from_dump_on(
+    cluster: &mut Cluster,
+    pid: Pid,
+    dump: SniffedDump,
+) -> Result<ChecLib, CheclCprError> {
     match dump {
         SniffedDump::Sequential(ck) => {
             let state = ck
@@ -1255,9 +1692,68 @@ pub(crate) fn shim_from_dump(dump: SniffedDump) -> Result<ChecLib, CheclCprError
                     }
                 }
             }
+            if !parsed.maps.is_empty() {
+                let stores = load_stores(cluster, pid, &parsed.maps)?;
+                for map in parsed.maps {
+                    let data = assemble_from_store(&stores, &map)?;
+                    if let Some(e) = lib.db.get_mut(map.handle) {
+                        if let ObjectRecord::Mem { saved_data, .. } = &mut e.record {
+                            *saved_data = Some(data);
+                        }
+                    }
+                }
+            }
             Ok(lib)
         }
     }
+}
+
+/// Read every chunk store referenced by `maps`, each at most once.
+fn load_stores(
+    cluster: &mut Cluster,
+    pid: Pid,
+    maps: &[blcr::StreamChunkMap],
+) -> Result<BTreeMap<String, BTreeMap<u64, Vec<u8>>>, CheclCprError> {
+    let mut stores: BTreeMap<String, BTreeMap<u64, Vec<u8>>> = BTreeMap::new();
+    for map in maps {
+        if !stores.contains_key(&map.store) {
+            let chunks = ChunkStore::load_all(cluster, pid, &map.store)?;
+            stores.insert(map.store.clone(), chunks);
+        }
+    }
+    Ok(stores)
+}
+
+/// Reassemble one buffer's payload from its chunk-map frame and the
+/// already-loaded stores. A hash the store no longer yields means the
+/// dump outlived its chunk store — surfaced as corruption.
+fn assemble_from_store(
+    stores: &BTreeMap<String, BTreeMap<u64, Vec<u8>>>,
+    map: &blcr::StreamChunkMap,
+) -> Result<Vec<u8>, CheclCprError> {
+    let store = stores
+        .get(&map.store)
+        .expect("every referenced store loaded");
+    let mut data = Vec::with_capacity(map.total_len as usize);
+    for &(hash, len) in &map.segments {
+        let chunk = store
+            .get(&hash)
+            .ok_or(CheclCprError::Cpr(CprError::Corrupt(
+                simcore::CodecError::Invalid("chunk store is missing a referenced chunk"),
+            )))?;
+        if chunk.len() as u64 != len {
+            return Err(CheclCprError::Cpr(CprError::Corrupt(
+                simcore::CodecError::Invalid("chunk store length mismatch"),
+            )));
+        }
+        data.extend_from_slice(chunk);
+    }
+    if data.len() as u64 != map.total_len {
+        return Err(CheclCprError::Cpr(CprError::Corrupt(
+            simcore::CodecError::Invalid("chunk map reassembly length mismatch"),
+        )));
+    }
+    Ok(data)
 }
 
 /// Post-write verification for a snapshot in either format: the file
@@ -1281,7 +1777,7 @@ fn verify_snapshot_file(
         )));
     }
     let dump = blcr::sniff_dump(&bytes).map_err(|e| CheclCprError::Cpr(CprError::Corrupt(e)))?;
-    shim_from_dump(dump)?;
+    shim_from_dump_on(cluster, pid, dump)?;
     Ok(())
 }
 
@@ -1319,9 +1815,13 @@ pub(crate) fn repoint_saves(lib: &mut ChecLib, from: &str, to: &str) {
     }
 }
 
-/// Forget references to a checkpoint file that never landed (failed or
-/// deleted temp): the buffers must be re-saved next time.
-pub(crate) fn invalidate_saves(lib: &mut ChecLib, path: &str) {
+/// Forget references to a checkpoint file that no longer holds bytes a
+/// restore could chase: a failed or deleted temp, or a committed
+/// generation retired later by keep-k GC or a failed scrub. The
+/// affected buffers are re-dirtied (whole extent) so the next
+/// incremental or dedup checkpoint re-saves them instead of pointing at
+/// a dead base.
+pub fn invalidate_saves(lib: &mut ChecLib, path: &str) {
     let mems: Vec<u64> = lib
         .db
         .live_of_kind(HandleKind::Mem)
@@ -1333,6 +1833,8 @@ pub(crate) fn invalidate_saves(lib: &mut ChecLib, path: &str) {
                 saved_data,
                 saved_in,
                 dirty,
+                dirty_regions,
+                saved_chunks,
                 ..
             } = &mut entry.record
             {
@@ -1340,6 +1842,8 @@ pub(crate) fn invalidate_saves(lib: &mut ChecLib, path: &str) {
                     *saved_data = None;
                     *saved_in = None;
                     *dirty = true;
+                    dirty_regions.clear();
+                    *saved_chunks = None;
                 }
             }
         }

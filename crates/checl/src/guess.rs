@@ -72,6 +72,8 @@ mod tests {
                 dirty: true,
                 saved_in: None,
                 image_dims: None,
+                dirty_regions: Vec::new(),
+                saved_chunks: None,
             },
         );
         (db, mem)

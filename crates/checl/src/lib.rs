@@ -60,10 +60,12 @@ pub use boot::{boot_checl, BootedChecl};
 pub use cpr::{
     checkpoint_checl, checkpoint_checl_incremental, checkpoint_checl_pipelined,
     checkpoint_checl_pipelined_incremental, restart_checl_pipelined, restart_checl_process,
-    restore_checl, CheckpointMode, CheckpointReport, CheclCprError, RestoreReport, RestoreTarget,
+    restore_checl, CheckpointMode, CheckpointReport, CheclCprError, DedupStats, RestoreReport,
+    RestoreTarget,
 };
 pub use engine::{
-    restore, snapshot, CprPolicy, IntervalPolicy, RecoveryPolicy, SnapshotFormat, SnapshotOutcome,
+    invalidate_saves, restore, snapshot, CprPolicy, IntervalPolicy, RecoveryPolicy, SnapshotFormat,
+    SnapshotOutcome,
 };
 pub use migrate::{migrate_process, predict_migration_time, MigrationModel, MigrationReport};
 pub use objects::{CheclDb, CheclEntry, ObjectRecord, RecordedArg};

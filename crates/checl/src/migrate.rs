@@ -90,6 +90,14 @@ pub struct MigrationReport {
     pub actual: SimDuration,
     /// Model prediction for comparison (Fig. 8).
     pub predicted: SimDuration,
+    /// Bytes a dedup dump actually had to move: the stream file plus
+    /// the chunk-store records its maps reference. Equal to
+    /// `moved_bytes` for non-dedup policies.
+    pub moved_bytes: ByteSize,
+    /// Raw payload bytes the chunk store deduplicated away — what the
+    /// migration did *not* have to move relative to a full dump.
+    /// Zero for non-dedup policies.
+    pub dedup_saved_bytes: u64,
     /// The new application process.
     pub new_pid: Pid,
     /// The rebuilt shim driving the new process.
@@ -142,7 +150,17 @@ pub fn migrate_process(
     // Wall-clock the dump cost the source, retries and backoff
     // included (equals `checkpoint.total()` without a recovery policy).
     let source_side = cluster.process(app_pid).clock.since(t_start);
-    let predicted = MigrationModel::for_medium(medium).predict(checkpoint.file_size, predicted_tr);
+    // A dedup dump's stream file only carries chunk *references*; the
+    // referenced store records cross the wire too, so they count toward
+    // the model's M.
+    let moved_bytes = ByteSize::bytes(
+        checkpoint.file_size.as_u64()
+            + checkpoint
+                .dedup
+                .map(|d| d.store_referenced_bytes)
+                .unwrap_or(0),
+    );
+    let predicted = MigrationModel::for_medium(medium).predict(moved_bytes, predicted_tr);
     {
         let _cluster = telemetry::track_scope(telemetry::Track::CLUSTER);
         telemetry::instant(
@@ -200,7 +218,7 @@ pub fn migrate_process(
         t_start + actual,
         obs::EventKind::MigrationCompleted {
             path: outcome.path.clone(),
-            file_bytes: checkpoint.file_size.as_u64(),
+            file_bytes: moved_bytes.as_u64(),
             actual_ns: actual.as_nanos(),
             predicted_ns: predicted.as_nanos(),
         },
@@ -211,6 +229,8 @@ pub fn migrate_process(
         restore,
         actual,
         predicted,
+        moved_bytes,
+        dedup_saved_bytes: checkpoint.dedup.map(|d| d.deduped_bytes).unwrap_or(0),
         new_pid,
         new_lib,
         recovery: outcome.recovery,

@@ -113,6 +113,17 @@ pub enum ObjectRecord {
         /// `Some((w, h))` when the object is a 2-D image rather than a
         /// plain buffer (created via `clCreateImage2D`).
         image_dims: Option<(u64, u64)>,
+        /// Byte ranges `(offset, len)` written since the last save —
+        /// the sub-buffer dirty map behind the dedup chunker's
+        /// region-clean fast path. An *empty* list while `dirty` is set
+        /// means the extent is unknown (fresh buffer, invalidated
+        /// save): the whole buffer is treated as dirty.
+        dirty_regions: Vec<(u64, u64)>,
+        /// The `(chunk hash, len)` segment list the most recent dedup
+        /// checkpoint stored for this buffer, in buffer order. Live
+        /// bookkeeping for the *next* checkpoint only — restores read
+        /// the chunk-map frames in the stream, never this field.
+        saved_chunks: Option<Vec<(u64, u64)>>,
     },
     /// `clCreateSampler` arguments.
     Sampler {
@@ -170,6 +181,28 @@ impl ObjectRecord {
     }
 }
 
+/// Merge a raw dirty-region list into sorted, disjoint, non-adjacent
+/// `(offset, len)` spans — the canonical form the dedup chunker tests
+/// chunk extents against.
+pub fn merge_regions(mut regions: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    regions.retain(|&(_, len)| len > 0);
+    regions.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(regions.len());
+    for (off, len) in regions {
+        match out.last_mut() {
+            Some((o, l)) if off <= *o + *l => *l = (off + len).max(*o + *l) - *o,
+            _ => out.push((off, len)),
+        }
+    }
+    out
+}
+
+/// `true` when `[off, off+len)` intersects any of the (merged,
+/// sorted) `regions`.
+pub fn intersects_regions(regions: &[(u64, u64)], off: u64, len: u64) -> bool {
+    regions.iter().any(|&(o, l)| off < o + l && o < off + len)
+}
+
 impl Codec for ObjectRecord {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -210,6 +243,8 @@ impl Codec for ObjectRecord {
                 dirty,
                 saved_in,
                 image_dims,
+                dirty_regions,
+                saved_chunks,
             } => {
                 out.push(4);
                 context.encode(out);
@@ -220,6 +255,8 @@ impl Codec for ObjectRecord {
                 dirty.encode(out);
                 saved_in.encode(out);
                 image_dims.encode(out);
+                dirty_regions.encode(out);
+                saved_chunks.encode(out);
             }
             ObjectRecord::Sampler { context, desc } => {
                 out.push(5);
@@ -284,6 +321,8 @@ impl Codec for ObjectRecord {
                 dirty: bool::decode(r)?,
                 saved_in: Option::decode(r)?,
                 image_dims: Option::decode(r)?,
+                dirty_regions: Vec::decode(r)?,
+                saved_chunks: Option::decode(r)?,
             },
             5 => ObjectRecord::Sampler {
                 context: u64::decode(r)?,
@@ -521,6 +560,8 @@ mod tests {
                 dirty: true,
                 saved_in: None,
                 image_dims: None,
+                dirty_regions: Vec::new(),
+                saved_chunks: None,
             },
         );
         db.insert(
@@ -534,6 +575,8 @@ mod tests {
                 dirty: true,
                 saved_in: None,
                 image_dims: None,
+                dirty_regions: Vec::new(),
+                saved_chunks: None,
             },
         );
         let counts = db.live_counts();
@@ -604,6 +647,8 @@ mod tests {
                 dirty: true,
                 saved_in: None,
                 image_dims: None,
+                dirty_regions: Vec::new(),
+                saved_chunks: None,
             },
         );
         assert_eq!(db.saved_data_bytes(), 100);

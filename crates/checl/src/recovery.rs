@@ -96,7 +96,7 @@ pub fn respawn_proxy_and_restore(
         .read_file(app_pid, last_ckpt)
         .map_err(|e| CheclCprError::Cpr(CprError::Fs(e)))?;
     let dump = blcr::sniff_dump(&bytes).map_err(|e| CheclCprError::Cpr(CprError::Corrupt(e)))?;
-    *lib = engine::shim_from_dump(dump)?;
+    *lib = engine::shim_from_dump_on(cluster, app_pid, dump)?;
     // Clean buffers may reference still-earlier incremental files.
     resolve_saved_data(cluster, app_pid, lib, Some(last_ckpt))?;
     refork_proxy(cluster, lib, app_pid, vendor);

@@ -106,6 +106,16 @@ pub struct ChecLib {
     /// cloning and re-parsing the program source per `clSetKernelArg`.
     /// Same lifetime rules (and non-serialisation) as `sig_cache`.
     struct_defs_cache: std::collections::HashMap<u64, std::collections::BTreeMap<String, bool>>,
+    /// Ordinal of the next dedup checkpoint this shim commits, stamped
+    /// into the per-generation `ChunkDeduped`/`ChunkCompressed` ledger
+    /// events. Not part of the dumped state — a restored process starts
+    /// a fresh dedup lineage.
+    pub(crate) dedup_generation: u64,
+    /// The open chunk store's in-memory hash index, kept between
+    /// checkpoints so each dedup snapshot doesn't re-scan the store
+    /// file. Not part of the dumped state — reopening after a restart
+    /// rescans once.
+    pub(crate) chunk_store: Option<blcr::ChunkStore>,
 }
 
 impl ChecLib {
@@ -121,6 +131,8 @@ impl ChecLib {
             pipe_broken: false,
             sig_cache: std::collections::HashMap::new(),
             struct_defs_cache: std::collections::HashMap::new(),
+            dedup_generation: 0,
+            chunk_store: None,
         }
     }
 
@@ -249,6 +261,8 @@ impl ChecLib {
             pipe_broken: false,
             sig_cache: std::collections::HashMap::new(),
             struct_defs_cache: std::collections::HashMap::new(),
+            dedup_generation: 0,
+            chunk_store: None,
         })
     }
 
@@ -311,12 +325,58 @@ impl ChecLib {
         Ok(entry.vendor)
     }
 
+    /// Dirty-region lists longer than this collapse to one whole-buffer
+    /// span — past that point, region bookkeeping costs more than the
+    /// chunker could ever save.
+    const MAX_DIRTY_REGIONS: usize = 64;
+
     /// Mark a buffer's device copy as modified since its last save
-    /// (drives incremental checkpointing).
+    /// (drives incremental checkpointing). The whole extent is dirtied
+    /// — used when the write's footprint is unknown (kernel writes,
+    /// image writes).
     fn mark_mem_dirty(&mut self, checl_mem: u64) {
         if let Some(e) = self.db.get_mut(checl_mem) {
-            if let ObjectRecord::Mem { dirty, .. } = &mut e.record {
+            if let ObjectRecord::Mem {
+                size,
+                dirty,
+                dirty_regions,
+                ..
+            } = &mut e.record
+            {
                 *dirty = true;
+                dirty_regions.clear();
+                dirty_regions.push((0, *size));
+            }
+        }
+    }
+
+    /// Mark one byte range of a buffer as modified — the precise form
+    /// used when the API call carries its footprint
+    /// (`clEnqueueWriteBuffer`, `clEnqueueCopyBuffer` destinations).
+    /// The dedup checkpointer skips hashing chunks that fall entirely
+    /// outside the recorded regions.
+    fn mark_mem_dirty_region(&mut self, checl_mem: u64, offset: u64, len: u64) {
+        if let Some(e) = self.db.get_mut(checl_mem) {
+            if let ObjectRecord::Mem {
+                size,
+                dirty,
+                dirty_regions,
+                ..
+            } = &mut e.record
+            {
+                // A dirty buffer with an empty region list means
+                // "unknown extent"; adding a precise span to it would
+                // silently *shrink* the dirty footprint.
+                if *dirty && dirty_regions.is_empty() {
+                    return;
+                }
+                *dirty = true;
+                dirty_regions.push((offset, len.min(size.saturating_sub(offset))));
+                if dirty_regions.len() > Self::MAX_DIRTY_REGIONS {
+                    let whole = (0, *size);
+                    dirty_regions.clear();
+                    dirty_regions.push(whole);
+                }
             }
         }
     }
@@ -912,6 +972,8 @@ impl ChecLib {
                         dirty: true,
                         saved_in: None,
                         image_dims: None,
+                        dirty_regions: Vec::new(),
+                        saved_chunks: None,
                     },
                 );
                 Ok(ApiResponse::Mem(Mem::from_raw(h)))
@@ -953,6 +1015,8 @@ impl ChecLib {
                         dirty: true,
                         saved_in: None,
                         image_dims: Some((width, height)),
+                        dirty_regions: Vec::new(),
+                        saved_chunks: None,
                     },
                 );
                 Ok(ApiResponse::Mem(Mem::from_raw(h)))
@@ -1251,7 +1315,7 @@ impl ChecLib {
                     .iter()
                     .map(|e| Ok(Event::from_raw(self.xlate(e.raw().0, HandleKind::Event)?)))
                     .collect::<ClResult<Vec<_>>>()?;
-                self.mark_mem_dirty(checl_m);
+                self.mark_mem_dirty_region(checl_m, offset, data.len() as u64);
                 // Keep the USE_HOST_PTR cache coherent with app writes.
                 if let Some(e) = self.db.get_mut(checl_m) {
                     if let ObjectRecord::Mem {
@@ -1291,7 +1355,7 @@ impl ChecLib {
                 let v_q = CommandQueue::from_raw(self.xlate(checl_q, HandleKind::CommandQueue)?);
                 let v_s = Mem::from_raw(self.xlate(src.raw().0, HandleKind::Mem)?);
                 let v_d = Mem::from_raw(self.xlate(dst.raw().0, HandleKind::Mem)?);
-                self.mark_mem_dirty(dst.raw().0);
+                self.mark_mem_dirty_region(dst.raw().0, dst_offset, size);
                 let v_w = wait_list
                     .iter()
                     .map(|e| Ok(Event::from_raw(self.xlate(e.raw().0, HandleKind::Event)?)))

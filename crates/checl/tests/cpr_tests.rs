@@ -876,7 +876,9 @@ fn incremental_restart_fails_cleanly_when_base_file_is_gone() {
         nimbus(),
         RestoreTarget::default(),
     ) {
-        Err(checl::cpr::CheclCprError::Cpr(blcr::CprError::Fs(_))) => {}
+        Err(checl::cpr::CheclCprError::MissingBase { base, .. }) => {
+            assert_eq!(base, "/local/base.ckpt", "error must name the dead base");
+        }
         Err(other) => panic!("wrong error: {other}"),
         Ok(_) => panic!("restart must fail without the base checkpoint"),
     }

@@ -61,6 +61,12 @@ fn db_roundtrip_any_population() {
                     dirty: i % 3 == 0,
                     saved_in: (i % 4 == 0).then(|| format!("/ckpt/{i}")),
                     image_dims: (i % 5 == 0).then_some((8, 8)),
+                    dirty_regions: if i % 2 == 0 {
+                        vec![(0, 8), (16, 4)]
+                    } else {
+                        Vec::new()
+                    },
+                    saved_chunks: (i % 6 == 0).then(|| vec![(i as u64, 8u64)]),
                 },
                 4 => ObjectRecord::Event { queue: ctx_seed },
                 _ => ObjectRecord::Kernel {

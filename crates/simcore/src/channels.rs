@@ -156,34 +156,34 @@ impl ChannelSet {
 
     /// End of the latest placement across all channels (= the origin if
     /// nothing was placed). This is the overlapped wall-clock frontier.
+    /// Channels that were registered but never placed on do not count:
+    /// their `free_at` is a default, not an observation.
     pub fn makespan(&self) -> SimTime {
         self.channels
             .iter()
+            .filter(|c| c.ops > 0)
             .map(|c| c.free_at)
             .max()
             .unwrap_or(self.origin)
     }
 
     /// Sum of every placed cost — what a strictly sequential execution
-    /// of the same operations would pay.
+    /// of the same operations would pay. Saturating: a degenerate set
+    /// of near-`u64::MAX` placements clamps instead of wrapping.
     pub fn total_busy(&self) -> SimDuration {
         self.channels
             .iter()
+            .filter(|c| c.ops > 0)
             .map(|c| c.busy)
-            .fold(SimDuration::ZERO, |a, b| a + b)
+            .fold(SimDuration::ZERO, |a, b| a.saturating_add(b))
     }
 
     /// How much wall-clock the overlap saved versus running every
     /// placement back-to-back: `total_busy − (makespan − origin)`.
     /// Zero when nothing overlapped (e.g. a single channel).
     pub fn overlap_saved(&self) -> SimDuration {
-        let wall = self.makespan().since(self.origin);
-        let total = self.total_busy();
-        if total > wall {
-            total - wall
-        } else {
-            SimDuration::ZERO
-        }
+        self.total_busy()
+            .saturating_sub(self.makespan().since(self.origin))
     }
 
     /// Scheduling origin.
@@ -191,10 +191,13 @@ impl ChannelSet {
         self.origin
     }
 
-    /// Per-channel accounting, in channel registration order.
+    /// Per-channel accounting, in channel registration order. Channels
+    /// that were registered but never placed on are omitted: an unused
+    /// swimlane is not an observation.
     pub fn stats(&self) -> Vec<ChannelStats> {
         self.channels
             .iter()
+            .filter(|c| c.ops > 0)
             .map(|c| ChannelStats {
                 name: c.name.clone(),
                 busy: c.busy,
@@ -288,5 +291,95 @@ mod tests {
         assert_eq!(stats[0].busy, d(10));
         assert_eq!(stats[1].ops, 1);
         assert_eq!(set.placements().len(), 3);
+    }
+
+    #[test]
+    fn unused_channels_do_not_distort_accounting() {
+        // A channel registered after the origin moved forward used to
+        // drag the makespan (and thus overlap_saved) around without a
+        // single placement on it.
+        let mut set = ChannelSet::new(t(50));
+        let a = set.channel("disk");
+        let _idle = set.channel("cpu.compress"); // registered, never used
+        set.place(a, t(50), d(30), "w");
+        assert_eq!(set.makespan(), t(80));
+        assert_eq!(set.total_busy(), d(30));
+        assert_eq!(set.overlap_saved(), SimDuration::ZERO);
+        // Unused swimlanes don't show up in the stats report either.
+        assert_eq!(set.stats().len(), 1);
+        assert_eq!(set.stats()[0].name, "disk");
+    }
+
+    #[test]
+    fn empty_set_with_registered_channels_is_all_zero() {
+        let mut set = ChannelSet::new(t(1000));
+        set.channel("a");
+        set.channel("b");
+        assert_eq!(set.makespan(), t(1000));
+        assert_eq!(set.total_busy(), SimDuration::ZERO);
+        assert_eq!(set.overlap_saved(), SimDuration::ZERO);
+        assert!(set.stats().is_empty());
+    }
+
+    #[test]
+    fn zero_duration_placements_are_safe() {
+        let mut set = ChannelSet::new(t(0));
+        let a = set.channel("ipc");
+        let p = set.place(a, t(0), d(0), "nop");
+        assert_eq!(p.start, p.end);
+        assert_eq!(set.total_busy(), SimDuration::ZERO);
+        assert_eq!(set.overlap_saved(), SimDuration::ZERO);
+        assert_eq!(set.stats()[0].ops, 1);
+    }
+
+    #[test]
+    fn qcheck_accounting_invariants() {
+        use crate::qcheck::qcheck;
+        qcheck("channelset_accounting_invariants", 128, |g| {
+            let origin = t(g.range(0, 1_000));
+            let mut set = ChannelSet::new(origin);
+            let names = ["pcie.dev0", "pcie.dev1", "disk", "ipc", "cpu.compress"];
+            // Register every channel up front; only a random subset is
+            // ever placed on.
+            let ids: Vec<ChannelId> = names.iter().map(|n| set.channel(n)).collect();
+            let used = g.usize_in(0, names.len());
+            for _ in 0..g.usize_in(0, 24) {
+                if used == 0 {
+                    break;
+                }
+                let ch = ids[g.usize_in(0, used)];
+                let ready = t(g.range(0, 2_000));
+                // Zero-duration placements are explicitly in range.
+                let cost = d(g.range(0, 500));
+                let p = set.place(ch, ready, cost, "op");
+                assert!(p.start >= origin.max(ready));
+                assert_eq!(p.end, p.start + cost);
+            }
+            // overlap_saved never exceeds total_busy, and both are
+            // finite/no-panic even with unused registered channels.
+            assert!(set.overlap_saved() <= set.total_busy());
+            // The makespan never precedes the origin.
+            assert!(set.makespan() >= origin);
+            let wall = set.makespan().since(origin);
+            assert_eq!(set.overlap_saved(), set.total_busy().saturating_sub(wall));
+            // stats() covers exactly the channels with placements, and
+            // busy sums match total_busy.
+            let stats = set.stats();
+            assert!(stats.iter().all(|s| s.ops > 0));
+            let stat_total = stats
+                .iter()
+                .map(|s| s.busy)
+                .fold(SimDuration::ZERO, |a, b| a + b);
+            assert_eq!(stat_total, set.total_busy());
+            // No same-channel overlap: placements on one channel never
+            // intersect.
+            for (i, p) in set.placements().iter().enumerate() {
+                for q in &set.placements()[i + 1..] {
+                    if p.channel == q.channel {
+                        assert!(q.start >= p.end, "same-channel placements overlap");
+                    }
+                }
+            }
+        });
     }
 }

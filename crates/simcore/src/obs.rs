@@ -209,6 +209,35 @@ pub enum EventKind {
         /// Site detail recorded by the plan (path, node, …).
         detail: String,
     },
+    /// Aggregated dedup hits for one checkpoint generation: chunks
+    /// whose content already lived in the chunk store, so their bytes
+    /// never touched the disk again.
+    ChunkDeduped {
+        /// Chunk-store path the hits resolved against.
+        store: String,
+        /// Dump ordinal of the emitting checkpoint (0-based).
+        generation: u64,
+        /// Chunks that deduplicated.
+        chunks: u64,
+        /// Raw bytes those chunks would have cost without dedup.
+        raw_bytes: u64,
+    },
+    /// Aggregated novel chunks compressed and appended to the chunk
+    /// store for one checkpoint generation.
+    ChunkCompressed {
+        /// Chunk-store path the records were appended to.
+        store: String,
+        /// Dump ordinal of the emitting checkpoint (0-based).
+        generation: u64,
+        /// Novel chunks stored.
+        chunks: u64,
+        /// Raw bytes before compression.
+        raw_bytes: u64,
+        /// Bytes actually appended to the store.
+        stored_bytes: u64,
+        /// CPU time spent compressing, ns.
+        compress_ns: u64,
+    },
     /// Utilization snapshot of one resource channel at the end of an
     /// overlapped operation.
     ChannelObserved {
@@ -275,6 +304,8 @@ impl EventKind {
             EventKind::MigrationCompleted { .. } => "migration_completed",
             EventKind::IntervalRetuned { .. } => "interval_retuned",
             EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::ChunkDeduped { .. } => "chunk_deduped",
+            EventKind::ChunkCompressed { .. } => "chunk_compressed",
             EventKind::ChannelObserved { .. } => "channel_observed",
         }
     }
@@ -405,6 +436,32 @@ impl EventKind {
             FaultInjected { fault, detail } => {
                 vec![("fault", S(fault.clone())), ("detail", S(detail.clone()))]
             }
+            ChunkDeduped {
+                store,
+                generation,
+                chunks,
+                raw_bytes,
+            } => vec![
+                ("store", S(store.clone())),
+                ("generation", U(*generation)),
+                ("chunks", U(*chunks)),
+                ("raw_bytes", U(*raw_bytes)),
+            ],
+            ChunkCompressed {
+                store,
+                generation,
+                chunks,
+                raw_bytes,
+                stored_bytes,
+                compress_ns,
+            } => vec![
+                ("store", S(store.clone())),
+                ("generation", U(*generation)),
+                ("chunks", U(*chunks)),
+                ("raw_bytes", U(*raw_bytes)),
+                ("stored_bytes", U(*stored_bytes)),
+                ("compress_ns", U(*compress_ns)),
+            ],
             ChannelObserved {
                 channel,
                 busy_ns,
@@ -508,6 +565,20 @@ impl EventKind {
             "fault_injected" => EventKind::FaultInjected {
                 fault: s("fault")?,
                 detail: s("detail")?,
+            },
+            "chunk_deduped" => EventKind::ChunkDeduped {
+                store: s("store")?,
+                generation: u("generation")?,
+                chunks: u("chunks")?,
+                raw_bytes: u("raw_bytes")?,
+            },
+            "chunk_compressed" => EventKind::ChunkCompressed {
+                store: s("store")?,
+                generation: u("generation")?,
+                chunks: u("chunks")?,
+                raw_bytes: u("raw_bytes")?,
+                stored_bytes: u("stored_bytes")?,
+                compress_ns: u("compress_ns")?,
             },
             "channel_observed" => EventKind::ChannelObserved {
                 channel: s("channel")?,

@@ -67,6 +67,11 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
     }
 
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
     /// `true` if this is the zero duration.
     pub const fn is_zero(self) -> bool {
         self.0 == 0

@@ -997,6 +997,50 @@ fn shoc_md(cfg: &WorkloadCfg) -> Script {
     b.build()
 }
 
+/// SHOC MD with a slowly-mutating position buffer: each step rewrites
+/// a `mutation_rate` prefix of the atoms (fresh per-step seed) before
+/// re-running `md_forces`. Because the force kernel only reads a small
+/// neighbour window, the untouched position suffix reproduces its
+/// force suffix bit-for-bit — the workload the dedup chunk store is
+/// built for. Not on the roster; `ablation_dedup` drives it directly.
+pub fn md_mutating(cfg: &WorkloadCfg, mutation_rate: f64, steps: u32) -> Script {
+    let n = cfg.n_pow2(1 << 17);
+    let mut b = B::new(cfg);
+    let pos = b.buffer(
+        n * 12,
+        Some(BufInit::RandomF32 {
+            seed: 30,
+            lo: 0.0,
+            hi: 20.0,
+        }),
+    );
+    let force = b.buffer(n * 12, None);
+    let k = b.prog_kernel("md", "md_forces");
+    b.arg_mem(k, 0, pos);
+    b.arg_mem(k, 1, force);
+    b.arg_u32(k, 2, n as u32);
+    b.arg_f32(k, 3, 5.0);
+    let touched = ((n as f64 * mutation_rate).ceil() as u64).min(n);
+    for step in 0..steps {
+        if touched > 0 {
+            b.write(
+                pos,
+                touched * 12,
+                BufInit::RandomF32 {
+                    seed: 500 + step as u64,
+                    lo: 0.0,
+                    hi: 20.0,
+                },
+            );
+        }
+        b.launch1(k, n);
+        b.finish();
+    }
+    b.read_checksum(pos, n * 12);
+    b.read_checksum(force, n * 12);
+    b.build()
+}
+
 fn shoc_queue_delay(cfg: &WorkloadCfg) -> Script {
     // Minimal kernels, one Finish per launch: pure API latency.
     let mut b = B::new(cfg);

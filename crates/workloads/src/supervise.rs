@@ -96,6 +96,12 @@ fn commit_checkpoint(
     vault
         .commit_at(cluster, session.pid, &outcome.path)
         .map_err(|e| CheclCprError::Cpr(blcr::CprError::Fs(e)))?;
+    // Committing may have GC'd older generations that incremental
+    // buffer records still reference; re-dirty them so no later restore
+    // chases a pruned base.
+    for retired in vault.take_retired_paths() {
+        checl::invalidate_saves(&mut session.lib, &retired);
+    }
     let after = cluster.process(session.pid).clock;
     sup.advance(after);
     sup.checkpoint_committed(after.since(before), SimDuration::ZERO);
@@ -212,7 +218,14 @@ pub fn run_supervised(
                         // Re-seed the spare's local replicas from the
                         // surviving mirrors; the scrub I/O is part of the
                         // repair and lands in downtime.
+                        let mut s = s;
                         vault.scrub(cluster, s.pid);
+                        // A scrub can lose replicas for good (source
+                        // unreadable): drop any buffer references into
+                        // them before the session resumes.
+                        for retired in vault.take_retired_paths() {
+                            checl::invalidate_saves(&mut s.lib, &retired);
+                        }
                         let took = cluster.process(s.pid).clock.since(SimTime::ZERO);
                         sup.repair_succeeded(took);
                         // The replacement cannot live in the cluster's

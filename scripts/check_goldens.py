@@ -31,6 +31,12 @@ Invariants guarded:
                consistent: every incident names the injected fault
                behind it, fault/incident reconciliation is 1:1, and
                availability degrades monotonically with failure rate;
+* dedup      — the content-addressed chunk store earns its keep: on
+               the slowly-mutating MD sweep every restore is
+               checksum-identical to the non-dedup policies, the
+               payload reduction at the slow mutation rate is >= 5x a
+               full dump, and the ratio degrades monotonically as the
+               mutation rate grows;
 * obs        — the event ledger is free in virtual time (delta vs the
                bare run is exactly 0 ns in every regime) and every
                emission site is alive (incidents == faults ==
@@ -253,9 +259,88 @@ def check_inspect(doc: dict) -> str:
     channels = section_with(doc, "channel", "ops")
     if channels is None or not channels["rows"]:
         fail("inspect", "no channel-utilization rows from the pipelined dump")
+
+    dedup = section_with(doc, "generation", "chunks deduped", "dedup ratio")
+    if dedup is None or len(dedup["rows"]) < 2:
+        fail("inspect", "no per-generation dedup rows from the chunk store")
+    dcols = dedup["columns"]
+    deduped_i = dcols.index("chunks deduped")
+    novel_i = dcols.index("chunks novel")
+    ratio_i = dcols.index("dedup ratio")
+    first = dedup["rows"][0]
+    if first[deduped_i] != 0 or not first[novel_i] > 0:
+        fail("inspect", "generation 0 must seed the store (all chunks novel)")
+    for row in dedup["rows"][1:]:
+        if not row[deduped_i] > row[novel_i]:
+            fail(
+                "inspect",
+                f"generation {row[0]}: dedup hits ({row[deduped_i]}) do not dominate "
+                f"novel chunks ({row[novel_i]}) on a slowly-mutating run",
+            )
+        if row[ratio_i] is not None and not row[ratio_i] > 1.0:
+            fail("inspect", f"generation {row[0]}: dedup ratio {row[ratio_i]} <= 1")
+
     return (
         f"{len(slo['rows'])} regimes consistent, {len(prov['rows'])} generations, "
-        f"{len(timeline['rows'])} incidents attributed, {len(channels['rows'])} channels"
+        f"{len(timeline['rows'])} incidents attributed, {len(channels['rows'])} channels, "
+        f"{len(dedup['rows'])} dedup generations"
+    )
+
+
+# ---------------------------------------------------------------------
+# dedup — chunk-store ablation on the mutating MD sweep
+# ---------------------------------------------------------------------
+
+SLOW_RATE = "2%"
+MIN_SLOW_RATIO = 5.0
+
+
+def check_dedup(doc: dict) -> str:
+    sweep = section_with(doc, "mutation", "mode", "payload ratio", "checksum")
+    if sweep is None:
+        fail("dedup", "no policy-sweep section found — schema drift")
+    cols = sweep["columns"]
+    rate_i = cols.index("mutation")
+    mode_i = cols.index("mode")
+    ratio_i = cols.index("payload ratio")
+    sum_i = cols.index("checksum")
+    checksums: dict[str, dict[str, str]] = {}
+    ratios: dict[str, float] = {}
+    for row in sweep["rows"]:
+        checksums.setdefault(row[rate_i], {})[row[mode_i]] = row[sum_i]
+        if row[mode_i] == "dedup":
+            if row[ratio_i] is None:
+                fail("dedup", f"rate {row[rate_i]}: dedup row has no payload ratio")
+            ratios[row[rate_i]] = row[ratio_i]
+    if not checksums:
+        fail("dedup", "sweep section has no rows")
+    for rate, by_mode in checksums.items():
+        for mode in ("full", "incremental", "dedup"):
+            if mode not in by_mode:
+                fail("dedup", f"rate {rate}: no {mode} row")
+        if len(set(by_mode.values())) != 1:
+            fail(
+                "dedup",
+                f"rate {rate}: restored checksums diverge across policies "
+                f"({by_mode}) — the dedup path is not bit-exact",
+            )
+    if SLOW_RATE not in ratios:
+        fail("dedup", f"no dedup row at the slow mutation rate {SLOW_RATE}")
+    if not ratios[SLOW_RATE] >= MIN_SLOW_RATIO:
+        fail(
+            "dedup",
+            f"payload reduction at {SLOW_RATE} mutation is {ratios[SLOW_RATE]}x, "
+            f"below the promised {MIN_SLOW_RATIO}x",
+        )
+    ordered = [ratios[r] for r in ("0%", "2%", "25%") if r in ratios]
+    if ordered != sorted(ordered, reverse=True):
+        fail(
+            "dedup",
+            f"payload ratio must degrade as the mutation rate grows, got {ordered}",
+        )
+    return (
+        f"{len(checksums)} rates bit-exact across policies, "
+        f"{ratios[SLOW_RATE]:.1f}x payload reduction at {SLOW_RATE} mutation"
     )
 
 
@@ -306,6 +391,7 @@ SPECS = {
     "migration": ("results/BENCH_fig8_migration.json", check_migration),
     "supervisor": ("results/BENCH_ablation_supervisor.json", check_supervisor),
     "inspect": ("results/BENCH_checl_inspect.json", check_inspect),
+    "dedup": ("results/BENCH_ablation_dedup.json", check_dedup),
     "obs": ("results/BENCH_ablation_obs.json", check_obs),
 }
 

@@ -54,6 +54,12 @@ echo "==> smoke: self-healing supervisor (golden diff)"
 cargo run -q --release -p checl-bench --bin ablation_supervisor >/dev/null
 git diff --exit-code -- results/BENCH_ablation_supervisor.json
 
+echo "==> smoke: dedup chunk store ablation (golden diff)"
+# Every cell restores its last generation and asserts checksum equality
+# with an uninterrupted baseline before a row is written.
+cargo run -q --release -p checl-bench --bin ablation_dedup >/dev/null
+git diff --exit-code -- results/BENCH_ablation_dedup.json
+
 echo "==> smoke: ledger health report + observability ablation (golden diff)"
 # checl_inspect re-derives the supervisor's books from the event ledger
 # alone (the binary asserts exact agreement); ablation_obs asserts the
@@ -67,7 +73,7 @@ echo "==> golden invariants (perf, availability, reconciliation guards)"
 # One spec per bench: pipelined < sequential (checkpoint + migration),
 # the adaptive interval policy wins, the health report reconciles
 # faults 1:1, and the ledger stays free in virtual time.
-python3 scripts/check_goldens.py pipeline migration supervisor inspect obs
+python3 scripts/check_goldens.py pipeline migration supervisor inspect dedup obs
 
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> smoke: micro-benches (codec filter)"
