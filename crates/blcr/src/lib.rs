@@ -34,6 +34,6 @@ pub use robust::{
 pub use sniff::{sniff_dump, SniffedDump};
 pub use stream::{
     is_stream_file, parse_stream, sweep_orphaned_tmps, take_orphaned_tmps, ParsedStream,
-    StreamChunk, StreamChunkMap, StreamError, StreamHeader, StreamTrailer, StreamWriter,
-    STREAM_MAGIC, STREAM_VERSION,
+    StreamChunk, StreamChunkMap, StreamError, StreamHeader, StreamSlice, StreamTrailer,
+    StreamWriter, STREAM_MAGIC, STREAM_VERSION,
 };

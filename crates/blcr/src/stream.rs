@@ -115,6 +115,32 @@ impl StreamChunkMap {
     }
 }
 
+/// A byte range of one buffer, streamed out of order by the live-dump
+/// background drain. Unlike [`StreamChunk`] (always a whole buffer), a
+/// slice covers `[offset, offset + data.len())` of its owner; restore
+/// assembles a buffer from every slice carrying its handle. COW-forked
+/// ranges and background device reads of the same buffer land as
+/// separate slices in whatever order the drain completes them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamSlice {
+    /// Position in the stream (0-based, shared numbering with chunks
+    /// and chunk maps — write order across all payload frame kinds).
+    pub seq: u32,
+    /// Opaque owner tag, same meaning as [`StreamChunk::handle`].
+    pub handle: u64,
+    /// Byte offset of this slice within the owning buffer.
+    pub offset: u64,
+    /// The slice contents.
+    pub data: Vec<u8>,
+}
+
+impl_codec_struct!(StreamSlice {
+    seq,
+    handle,
+    offset,
+    data
+});
+
 /// Final frame sealing the stream.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StreamTrailer {
@@ -139,6 +165,7 @@ enum StreamFrame {
     Chunk(StreamChunk),
     Trailer(StreamTrailer),
     ChunkMap(StreamChunkMap),
+    Slice(StreamSlice),
 }
 
 impl Codec for StreamFrame {
@@ -160,6 +187,10 @@ impl Codec for StreamFrame {
                 out.push(3);
                 m.encode(out);
             }
+            StreamFrame::Slice(s) => {
+                out.push(4);
+                s.encode(out);
+            }
         }
     }
 
@@ -169,6 +200,7 @@ impl Codec for StreamFrame {
             1 => StreamFrame::Chunk(StreamChunk::decode(r)?),
             2 => StreamFrame::Trailer(StreamTrailer::decode(r)?),
             3 => StreamFrame::ChunkMap(StreamChunkMap::decode(r)?),
+            4 => StreamFrame::Slice(StreamSlice::decode(r)?),
             _ => return Err(CodecError::Invalid("stream frame tag")),
         })
     }
@@ -199,6 +231,9 @@ pub struct ParsedStream {
     /// Dedup'd chunk-map frames, in stream (`seq`) order. Empty for a
     /// non-dedup stream.
     pub maps: Vec<StreamChunkMap>,
+    /// Out-of-order slice frames from a live drain, in stream (`seq`)
+    /// order. Empty for a stop-the-world stream.
+    pub slices: Vec<StreamSlice>,
     /// The sealing trailer.
     pub trailer: StreamTrailer,
     /// On-disk size of the header frame (with its length prefix).
@@ -207,6 +242,8 @@ pub struct ParsedStream {
     pub chunk_bytes: Vec<u64>,
     /// On-disk size of each chunk-map frame, parallel to `maps`.
     pub map_bytes: Vec<u64>,
+    /// On-disk size of each slice frame, parallel to `slices`.
+    pub slice_bytes: Vec<u64>,
     /// On-disk size of the trailer frame plus the baseline padding.
     pub tail_bytes: u64,
 }
@@ -223,6 +260,8 @@ pub fn parse_stream(bytes: &[u8]) -> Result<ParsedStream, CodecError> {
     let mut chunk_bytes: Vec<u64> = Vec::new();
     let mut maps: Vec<StreamChunkMap> = Vec::new();
     let mut map_bytes: Vec<u64> = Vec::new();
+    let mut slices: Vec<StreamSlice> = Vec::new();
+    let mut slice_bytes: Vec<u64> = Vec::new();
     let mut hasher = Fnv64::new();
     let mut data_bytes: u64 = 0;
     loop {
@@ -253,7 +292,7 @@ pub fn parse_stream(bytes: &[u8]) -> Result<ParsedStream, CodecError> {
                 if header.is_none() {
                     return Err(CodecError::Invalid("stream chunk before header"));
                 }
-                if c.seq as usize != chunks.len() + maps.len() {
+                if c.seq as usize != chunks.len() + maps.len() + slices.len() {
                     return Err(CodecError::Invalid("stream chunk out of order"));
                 }
                 hasher.update(&c.data);
@@ -265,7 +304,7 @@ pub fn parse_stream(bytes: &[u8]) -> Result<ParsedStream, CodecError> {
                 if header.is_none() {
                     return Err(CodecError::Invalid("stream chunk before header"));
                 }
-                if m.seq as usize != chunks.len() + maps.len() {
+                if m.seq as usize != chunks.len() + maps.len() + slices.len() {
                     return Err(CodecError::Invalid("stream chunk out of order"));
                 }
                 let sealed = m.checksum_bytes();
@@ -274,11 +313,23 @@ pub fn parse_stream(bytes: &[u8]) -> Result<ParsedStream, CodecError> {
                 map_bytes.push(on_disk);
                 maps.push(m);
             }
+            StreamFrame::Slice(s) => {
+                if header.is_none() {
+                    return Err(CodecError::Invalid("stream chunk before header"));
+                }
+                if s.seq as usize != chunks.len() + maps.len() + slices.len() {
+                    return Err(CodecError::Invalid("stream chunk out of order"));
+                }
+                hasher.update(&s.data);
+                data_bytes += s.data.len() as u64;
+                slice_bytes.push(on_disk);
+                slices.push(s);
+            }
             StreamFrame::Trailer(t) => {
                 let Some((header, header_bytes)) = header else {
                     return Err(CodecError::Invalid("stream trailer before header"));
                 };
-                if t.chunks as usize != chunks.len() + maps.len()
+                if t.chunks as usize != chunks.len() + maps.len() + slices.len()
                     || t.data_bytes != data_bytes
                     || t.data_checksum != hasher.finish()
                 {
@@ -290,10 +341,12 @@ pub fn parse_stream(bytes: &[u8]) -> Result<ParsedStream, CodecError> {
                     header,
                     chunks,
                     maps,
+                    slices,
                     trailer: t,
                     header_bytes,
                     chunk_bytes,
                     map_bytes,
+                    slice_bytes,
                     tail_bytes,
                 });
             }
@@ -520,6 +573,29 @@ impl StreamWriter {
         self.data_bytes += sealed.len() as u64;
         self.chunks += 1;
         self.append_raw(cluster, &frame_bytes(&StreamFrame::ChunkMap(map)))
+    }
+
+    /// Stream one byte range of a buffer out of order (live drain:
+    /// COW-forked ranges and background reads land as they complete,
+    /// not in buffer order). Returns the append's I/O cost.
+    pub fn append_slice(
+        &mut self,
+        cluster: &mut Cluster,
+        handle: u64,
+        offset: u64,
+        data: Vec<u8>,
+    ) -> Result<SimDuration, CprError> {
+        self.ensure_open()?;
+        self.hasher.update(&data);
+        self.data_bytes += data.len() as u64;
+        let slice = StreamFrame::Slice(StreamSlice {
+            seq: self.chunks,
+            handle,
+            offset,
+            data,
+        });
+        self.chunks += 1;
+        self.append_raw(cluster, &frame_bytes(&slice))
     }
 
     /// Seal the stream (trailer + baseline padding) and atomically
@@ -763,6 +839,35 @@ mod tests {
         let hdr = parsed.header_bytes as usize + parsed.chunk_bytes[0] as usize;
         let mut bad = bytes.clone();
         bad[hdr + 40] ^= 0xff;
+        assert!(parse_stream(&bad).is_err());
+    }
+
+    #[test]
+    fn slice_roundtrips_and_seals_in_trailer() {
+        let (mut c, p) = setup();
+        let mut w = StreamWriter::begin(&mut c, p, "/local/l.ckpt").unwrap();
+        // Live drains interleave slice frames of different buffers in
+        // completion order, alongside whole-buffer chunks.
+        w.append_slice(&mut c, 0x70, 4096, vec![7; 512]).unwrap();
+        w.append_chunk(&mut c, 0x71, vec![1, 2, 3]).unwrap();
+        w.append_slice(&mut c, 0x70, 0, vec![8; 4096]).unwrap();
+        w.finish(&mut c).unwrap();
+        let bytes = c.read_file(p, "/local/l.ckpt").unwrap();
+        let parsed = parse_stream(&bytes).unwrap();
+        assert_eq!(parsed.chunks.len(), 1);
+        assert_eq!(parsed.slices.len(), 2);
+        assert_eq!(parsed.slice_bytes.len(), 2);
+        assert_eq!(parsed.slices[0].seq, 0);
+        assert_eq!(parsed.slices[0].handle, 0x70);
+        assert_eq!(parsed.slices[0].offset, 4096);
+        assert_eq!(parsed.slices[0].data, vec![7; 512]);
+        assert_eq!(parsed.slices[1].seq, 2);
+        assert_eq!(parsed.slices[1].offset, 0);
+        assert_eq!(parsed.trailer.chunks, 3);
+        // Tampering with slice payload bytes breaks the trailer seal.
+        let mut bad = bytes.clone();
+        let pos = parsed.header_bytes as usize + 40;
+        bad[pos] ^= 0xff;
         assert!(parse_stream(&bad).is_err());
     }
 

@@ -107,6 +107,18 @@ pub struct CprPolicy {
     /// generation, per-chunk compression on the `cpu.compress` channel.
     /// Implies the streamed format (the dump carries chunk-map frames).
     pub dedup: bool,
+    /// Live (copy-on-write) snapshots: after quiescing, capture the cut
+    /// *logically* (epoch-stamp every buffer, write only the header),
+    /// resume the application immediately, and drain the payload to
+    /// disk in the background. Enqueue paths that would overwrite
+    /// un-drained cut bytes fork the affected 64 KiB chunks first —
+    /// that fork D2H is the only post-quiesce stall. Implies the
+    /// streamed format. The drain has its own temp-and-rename commit
+    /// discipline, so a [`RecoveryPolicy`]'s retry/fallback lattice is
+    /// not applied to live snapshots; dedup requests are honored for
+    /// the lattice label but the drained payload rides inline (the
+    /// chunk store is mutable while the drain is in flight).
+    pub live: bool,
     /// Verify/retry/fallback commit hardening; `None` means one raw
     /// attempt at the primary path (legacy semantics).
     pub recovery: Option<RecoveryPolicy>,
@@ -148,6 +160,14 @@ impl CprPolicy {
         self
     }
 
+    /// Toggle live (copy-on-write) snapshots: the application resumes
+    /// right after the logical cut while a background writer drains the
+    /// payload.
+    pub fn live(mut self, on: bool) -> CprPolicy {
+        self.live = on;
+        self
+    }
+
     /// Add verify/retry/fallback commit hardening.
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> CprPolicy {
         self.recovery = Some(recovery);
@@ -170,7 +190,7 @@ impl CprPolicy {
     /// for an explicit [`SnapshotFormat::Streamed`] and always for the
     /// pipelined data path.
     pub fn streamed(&self) -> bool {
-        self.pipelined || self.dedup || self.format == SnapshotFormat::Streamed
+        self.pipelined || self.dedup || self.live || self.format == SnapshotFormat::Streamed
     }
 
     /// Stable human-readable name of this lattice point, recorded in
@@ -190,6 +210,9 @@ impl CprPolicy {
         }
         if self.dedup {
             parts.push("dedup");
+        }
+        if self.live {
+            parts.push("live");
         }
         if self.recovery.is_some() {
             parts.push("recovery");
@@ -232,6 +255,22 @@ pub fn snapshot(
     path: &str,
     policy: &CprPolicy,
 ) -> Result<SnapshotOutcome, CheclCprError> {
+    // A still-draining earlier live generation must land before a new
+    // cut can re-stamp the same buffers: force it to completion first.
+    // The application only waits out whatever drain time its own
+    // compute did not already cover.
+    complete_live_drain(lib, cluster, app_pid)?;
+    if policy.live {
+        let report = snapshot_live(lib, cluster, app_pid, path, policy)?;
+        // Commit provenance is deferred: `CheckpointCommitted` (and the
+        // channel-utilization ledger) are emitted when the background
+        // drain seals + renames the file, not at the cut.
+        return Ok(SnapshotOutcome {
+            report,
+            path: path.to_string(),
+            recovery: None,
+        });
+    }
     let streamed = policy.streamed();
     let incremental = policy.incremental;
     let dedup = policy.dedup;
@@ -688,6 +727,599 @@ pub(crate) fn snapshot_once(
         ),
         provenance,
     ))
+}
+
+/// The live flavour of [`snapshot_once`]: quiesce, capture the cut
+/// *logically* (epoch-stamp every buffer, write only the stream
+/// header), and return with the payload drain parked on the shim as a
+/// [`LiveDrain`]. The application's stall is the quiesce plus the shim
+/// bookkeeping — every payload byte moves later, either lazily (COW
+/// forks ahead of overwrites, see [`LiveDrain::cow_fork`]) or in the
+/// background drain ([`complete_live_drain`]).
+fn snapshot_live(
+    lib: &mut ChecLib,
+    cluster: &mut Cluster,
+    app_pid: Pid,
+    path: &str,
+    policy: &CprPolicy,
+) -> Result<CheckpointReport, CheclCprError> {
+    if !lib.has_proxy() {
+        return Err(CheclCprError::NoProxy);
+    }
+    let mut now = cluster.process(app_pid).clock;
+    let _scope = telemetry::track_scope(telemetry::Track::process(app_pid.0 as u64));
+    let start = now;
+    telemetry::span_begin(
+        "cpr",
+        "checkpoint",
+        start,
+        vec![
+            ("path", path.into()),
+            ("incremental", u64::from(policy.incremental).into()),
+            ("pipelined", 1u64.into()),
+            ("live", 1u64.into()),
+        ],
+    );
+    let sync = sync_queues(lib, &mut now)?;
+    let mems = collect_mems(lib, policy.incremental);
+    let provenance = dump_provenance(lib, &mems, true);
+    // The drain writes `<path>.tmp` and publishes by one rename at
+    // completion, so an abort mid-drain leaves any previous generation
+    // at `path` untouched.
+    let tmp = format!("{path}.tmp");
+
+    // Phase 2, live flavour: the copy is *logical*. Stamp every
+    // captured buffer with the new cut epoch and mark it clean against
+    // the temp file; its bytes stay on the device until the background
+    // drain (or a COW fork ahead of an overwrite) moves them.
+    let t0 = now;
+    telemetry::span_begin("cpr", "checkpoint.preprocess", t0, Vec::new());
+    lib.live_epoch += 1;
+    let epoch = lib.live_epoch;
+    let mut pending: Vec<LivePending> = Vec::new();
+    for &(checl_mem, vendor_mem, context, size, skip) in &mems {
+        if skip {
+            continue;
+        }
+        if let Some(e) = lib.db.get_mut(checl_mem) {
+            if let ObjectRecord::Mem {
+                saved_data,
+                dirty,
+                dirty_regions,
+                saved_in,
+                saved_chunks,
+                cut_epoch,
+                ..
+            } = &mut e.record
+            {
+                *saved_data = None;
+                *dirty = false;
+                dirty_regions.clear();
+                *saved_in = Some(tmp.clone());
+                *saved_chunks = None;
+                *cut_epoch = epoch;
+            }
+        }
+        pending.push(LivePending {
+            checl: checl_mem,
+            vendor: vendor_mem,
+            context,
+            size,
+            forked: Vec::new(),
+        });
+    }
+    cluster
+        .process_mut(app_pid)
+        .image
+        .put(CHECL_STATE_SEGMENT, lib.encode_state());
+    let preprocess = now.since(t0);
+    telemetry::span_end(
+        "cpr",
+        "checkpoint.preprocess",
+        now,
+        vec![
+            ("cut_bytes", provenance.logical_bytes.into()),
+            ("skipped_clean", provenance.skipped.into()),
+        ],
+    );
+
+    // The header (process image + stripped state) is captured now —
+    // the writer copies it into the temp file before returning — but
+    // its write cost rides on the storage channel, not the app clock.
+    telemetry::span_begin("cpr", telemetry::QUIESCE_UNTIL, now, Vec::new());
+    let mut channels = ChannelSet::new(now).with_telemetry(app_pid.0 as u64, CHANNEL_TRACK_BASE);
+    let disk = channels.channel(storage_channel_name(cluster, app_pid, &tmp));
+    cluster.process_mut(app_pid).clock = now;
+    let writer = match StreamWriter::begin(cluster, app_pid, &tmp) {
+        Ok(w) => w,
+        Err(e) => {
+            cluster.process_mut(app_pid).clock = now;
+            rollback_failed_write(lib, cluster, app_pid, &tmp);
+            let err = CheclCprError::from(e);
+            telemetry::span_end(
+                "cpr",
+                telemetry::QUIESCE_UNTIL,
+                now,
+                vec![("error", err.to_string().into())],
+            );
+            telemetry::span_end(
+                "cpr",
+                "checkpoint",
+                now,
+                vec![("error", err.to_string().into())],
+            );
+            return Err(err);
+        }
+    };
+    let header_end = cluster.process(app_pid).clock;
+    channels.place(disk, now, header_end.since(now), "stream.header");
+    cluster.process_mut(app_pid).clock = now;
+    telemetry::span_end(
+        "cpr",
+        telemetry::QUIESCE_UNTIL,
+        now,
+        vec![("file_bytes", 0u64.into())],
+    );
+
+    let report = finish_snapshot(
+        lib,
+        cluster,
+        app_pid,
+        now,
+        start,
+        sync,
+        preprocess,
+        SimDuration::ZERO,
+        ByteSize::bytes(0),
+        None,
+        None,
+    );
+    lib.live_drain = Some(Box::new(LiveDrain {
+        path: path.to_string(),
+        tmp,
+        policy: policy.clone(),
+        cut: now,
+        writer,
+        channels,
+        pending,
+        provenance,
+        stall: report,
+        forked_chunks: 0,
+        forked_bytes: 0,
+        fork_stall: SimDuration::ZERO,
+    }));
+    Ok(report)
+}
+
+/// COW fork granularity: the dedup chunker's maximum chunk size, so a
+/// forked run is always a whole number of store-sized chunks.
+const COW_GRAIN: u64 = blcr::chunkstore::CDC_MAX_CHUNK as u64;
+
+/// A live snapshot's parked state between the cut and the sealed dump:
+/// the open stream writer on `<path>.tmp`, the channel set whose
+/// origin is the cut, the buffers whose cut bytes are still on the
+/// device, and the runs already preserved by COW forks. Held on the
+/// shim ([`ChecLib::live_drain`]); never serialized — a drain is
+/// completed or aborted before any dump or kill.
+pub(crate) struct LiveDrain {
+    /// Committed name the sealed temp is renamed to.
+    path: String,
+    /// The temp file the drain writes.
+    tmp: String,
+    /// Policy that took the snapshot, for the deferred commit ledger.
+    policy: CprPolicy,
+    /// The quiesce point: channel origin and logical capture time.
+    cut: SimTime,
+    writer: StreamWriter,
+    channels: ChannelSet,
+    pending: Vec<LivePending>,
+    provenance: DumpProvenance,
+    /// The four-phase stall report returned at the cut.
+    stall: CheckpointReport,
+    forked_chunks: u64,
+    forked_bytes: u64,
+    /// Application time spent inside COW forks (charged to the app's
+    /// own enqueues, not to `stall`).
+    fork_stall: SimDuration,
+}
+
+/// One cut buffer whose bytes have not been serialized yet.
+struct LivePending {
+    checl: u64,
+    vendor: RawHandle,
+    context: u64,
+    size: u64,
+    /// Grain-aligned `(offset, bytes, host-ready time)` runs preserved
+    /// ahead of overwrites. Disjoint by construction.
+    forked: Vec<(u64, Vec<u8>, SimTime)>,
+}
+
+impl LiveDrain {
+    /// Preserve the cut bytes an imminent write to
+    /// `[offset, offset+len)` of `checl_mem` would clobber: D2H-read
+    /// the not-yet-forked grain-aligned runs inside that span and
+    /// stash them host-side. The read is charged to the PCIe channel
+    /// *and* the caller's clock — the write may not proceed until the
+    /// old bytes are safe, and that wait is the only stall a live
+    /// checkpoint imposes after the cut. The host-side stash memcpy
+    /// rides the `cpu.fork` channel.
+    pub(crate) fn cow_fork(
+        &mut self,
+        lib: &mut ChecLib,
+        now: &mut SimTime,
+        checl_mem: u64,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), ClError> {
+        let Some(idx) = self.pending.iter().position(|p| p.checl == checl_mem) else {
+            return Ok(());
+        };
+        let (size, context, vendor) = {
+            let p = &self.pending[idx];
+            (p.size, p.context, p.vendor)
+        };
+        if size == 0 {
+            return Ok(());
+        }
+        let lo = offset.min(size);
+        let hi = offset.saturating_add(len).min(size);
+        if hi <= lo {
+            return Ok(());
+        }
+        let lo = lo - lo % COW_GRAIN;
+        let hi = hi.div_ceil(COW_GRAIN).saturating_mul(COW_GRAIN).min(size);
+        // Runs of [lo, hi) no earlier fork already covers.
+        let mut covered: Vec<(u64, u64)> = self.pending[idx]
+            .forked
+            .iter()
+            .map(|(o, d, _)| (*o, *o + d.len() as u64))
+            .collect();
+        covered.sort_unstable();
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        let mut cur = lo;
+        for (a, b) in covered {
+            if cur >= hi {
+                break;
+            }
+            if b <= cur {
+                continue;
+            }
+            if a > cur {
+                runs.push((cur, a.min(hi)));
+            }
+            cur = cur.max(b);
+        }
+        if cur < hi {
+            runs.push((cur, hi));
+        }
+        if runs.is_empty() {
+            return Ok(());
+        }
+        let (q_vendor, dev_index) =
+            queue_and_device_in_context(lib, context).ok_or(ClError::InvalidContext)?;
+        let pcie = self.channels.channel(&format!("pcie.dev{dev_index}"));
+        let cpu = self.channels.channel("cpu.fork");
+        let ipc = self.channels.channel("ipc");
+        let t_begin = *now;
+        let mut chunks = 0u64;
+        let mut bytes = 0u64;
+        for (run_lo, run_hi) in runs {
+            let run_len = run_hi - run_lo;
+            let ready = self.channels.free_at(pcie).max(*now);
+            let mut t = ready;
+            let (data, ev) = lib
+                .forward(
+                    &mut t,
+                    ApiRequest::EnqueueReadBuffer {
+                        queue: CommandQueue::from_raw(q_vendor),
+                        mem: Mem::from_raw(vendor),
+                        blocking: true,
+                        offset: run_lo,
+                        size: run_len,
+                        wait_list: vec![],
+                    },
+                )?
+                .into_data_event()?;
+            let copy = self.channels.place(pcie, ready, t.since(ready), "cow.d2h");
+            let mut t2 = copy.end;
+            lib.forward(
+                &mut t2,
+                ApiRequest::ReleaseEvent {
+                    event: Event::from_raw(ev.raw()),
+                },
+            )?;
+            let rel = self
+                .channels
+                .place(ipc, copy.end, t2.since(copy.end), "release");
+            let mready = self.channels.free_at(cpu).max(rel.end);
+            let stash = self.channels.place(
+                cpu,
+                mready,
+                calib::host_memcpy().transfer_time(ByteSize::bytes(run_len)),
+                "cow.memcpy",
+            );
+            *now = (*now).max(stash.end);
+            chunks += run_len.div_ceil(COW_GRAIN);
+            bytes += run_len;
+            self.pending[idx].forked.push((run_lo, data, stash.end));
+        }
+        let stall = now.since(t_begin);
+        self.forked_chunks += chunks;
+        self.forked_bytes += bytes;
+        self.fork_stall += stall;
+        if obs::enabled() {
+            obs::emit(
+                "engine",
+                *now,
+                obs::EventKind::CowForked {
+                    path: self.path.clone(),
+                    buffer: checl_mem,
+                    chunks,
+                    bytes,
+                    stall_ns: stall.as_nanos(),
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
+/// What completing a live drain produced.
+#[derive(Clone, Debug)]
+pub struct LiveDrainOutcome {
+    /// Committed path (the rename target).
+    pub path: String,
+    /// The stall-window report the cut returned, with the sealed file
+    /// size filled in. This — not the drain — is the checkpoint's cost
+    /// to the application.
+    pub stall: CheckpointReport,
+    /// Cut-to-seal wall time of the background drain.
+    pub drain_wall: SimDuration,
+    /// Sealed file size.
+    pub file_size: ByteSize,
+    /// 64 KiB-granular chunks preserved by COW forks.
+    pub forked_chunks: u64,
+    /// Bytes preserved by COW forks.
+    pub forked_bytes: u64,
+    /// Application time spent inside COW forks.
+    pub fork_stall: SimDuration,
+    /// Bytes the drain pulled from devices in the background.
+    pub drained_bytes: u64,
+}
+
+/// Drive a parked [`LiveDrain`] to completion: background-D2H every
+/// cut buffer still on the device (gap-filled around the foreground's
+/// own PCIe traffic), append the out-of-order slice/chunk frames in
+/// host-ready order, seal the stream, and publish `<path>.tmp` →
+/// `path` by one rename. The app clock only advances if the drain's
+/// virtual-time makespan outran the compute the application managed in
+/// the meantime. A failure aborts the temp and re-dirties the cut
+/// buffers, leaving any previous generation at `path` restorable.
+/// No-op (`Ok(None)`) when nothing is draining.
+pub fn complete_live_drain(
+    lib: &mut ChecLib,
+    cluster: &mut Cluster,
+    app_pid: Pid,
+) -> Result<Option<LiveDrainOutcome>, CheclCprError> {
+    let Some(drain) = lib.live_drain.take() else {
+        return Ok(None);
+    };
+    let LiveDrain {
+        path,
+        tmp,
+        policy,
+        cut,
+        mut writer,
+        mut channels,
+        pending,
+        provenance,
+        mut stall,
+        forked_chunks,
+        forked_bytes,
+        fork_stall,
+    } = *drain;
+    let _scope = telemetry::track_scope(telemetry::Track::process(app_pid.0 as u64));
+    let app_clock = cluster.process(app_pid).clock;
+    let buffers = pending.len() as u64;
+    match drive_live_drain(
+        lib,
+        cluster,
+        app_pid,
+        cut,
+        &tmp,
+        &path,
+        &mut writer,
+        &mut channels,
+        pending,
+    ) {
+        Ok((file_size, drain_end, drained_bytes)) => {
+            repoint_saves(lib, &tmp, &path);
+            // The drain ran behind the application; the app only waits
+            // if it got here (next checkpoint, migration, teardown)
+            // before the drain's own makespan.
+            let now = app_clock.max(drain_end);
+            cluster.process_mut(app_pid).clock = now;
+            stall.file_size = file_size;
+            let drain_wall = drain_end.since(cut);
+            emit_checkpoint_committed(cluster, app_pid, &path, &policy, &provenance, &stall);
+            if obs::enabled() {
+                obs::emit(
+                    "engine",
+                    now,
+                    obs::EventKind::LiveDrainCompleted {
+                        path: path.clone(),
+                        buffers,
+                        forked_chunks,
+                        forked_bytes,
+                        drained_bytes,
+                        stall_ns: (stall.total() + fork_stall).as_nanos(),
+                        drain_ns: drain_wall.as_nanos(),
+                        file_bytes: file_size.as_u64(),
+                    },
+                );
+            }
+            emit_channel_utilization(&channels, now);
+            Ok(Some(LiveDrainOutcome {
+                path,
+                stall,
+                drain_wall,
+                file_size,
+                forked_chunks,
+                forked_bytes,
+                fork_stall,
+                drained_bytes,
+            }))
+        }
+        Err(err) => {
+            // Delete the temp and forget the references to it; the cut
+            // buffers re-dirty so the next snapshot re-saves them.
+            writer.abort(cluster);
+            cluster.process_mut(app_pid).clock = app_clock;
+            invalidate_saves(lib, &tmp);
+            recovery_event(cluster, app_pid, "recovery.live_drain_failed", &tmp);
+            Err(err)
+        }
+    }
+}
+
+/// Abandon a parked live drain without completing it: delete the temp
+/// and re-dirty the cut buffers. Used when the application is being
+/// torn down mid-drain; any previous generation at the target stays
+/// restorable. No-op when nothing is draining.
+pub fn abort_live_drain(lib: &mut ChecLib, cluster: &mut Cluster, app_pid: Pid) {
+    let Some(drain) = lib.live_drain.take() else {
+        return;
+    };
+    let LiveDrain {
+        tmp, mut writer, ..
+    } = *drain;
+    let clock = cluster.process(app_pid).clock;
+    writer.abort(cluster);
+    cluster.process_mut(app_pid).clock = clock;
+    invalidate_saves(lib, &tmp);
+}
+
+/// The fallible body of [`complete_live_drain`]: returns the sealed
+/// file size, the drain's end time, and how many bytes came off the
+/// devices in the background.
+#[allow(clippy::too_many_arguments)]
+fn drive_live_drain(
+    lib: &mut ChecLib,
+    cluster: &mut Cluster,
+    app_pid: Pid,
+    cut: SimTime,
+    tmp: &str,
+    path: &str,
+    writer: &mut StreamWriter,
+    channels: &mut ChannelSet,
+    pending: Vec<LivePending>,
+) -> Result<(ByteSize, SimTime, u64), CheclCprError> {
+    let disk = channels.channel(storage_channel_name(cluster, app_pid, tmp));
+    // Out-of-order append tasks, drained in host-ready order — slices
+    // of different buffers interleave freely in the file; frame seq
+    // numbers are assigned at append time. Keyed `(ready, handle,
+    // offset)` so the order is deterministic.
+    enum Frame {
+        Chunk(Vec<u8>),
+        Slice(u64, Vec<u8>),
+    }
+    let mut tasks: Vec<(SimTime, u64, u64, Frame)> = Vec::new();
+    let mut drained_bytes = 0u64;
+    for p in pending {
+        let forked_cover: u64 = p.forked.iter().map(|(_, d, _)| d.len() as u64).sum();
+        if !p.forked.is_empty() && forked_cover >= p.size {
+            // Fully preserved by forks (released, or wholly
+            // overwritten): every run is already host-side.
+            for (off, data, ready) in p.forked {
+                tasks.push((ready, p.checl, off, Frame::Slice(off, data)));
+            }
+            continue;
+        }
+        // Whatever was not forked still holds cut bytes on the device:
+        // one background full-extent D2H. Regions a later write *did*
+        // touch are discarded below in favour of their fork.
+        let (q_vendor, dev_index) = queue_and_device_in_context(lib, p.context)
+            .ok_or(CheclCprError::Cl(ClError::InvalidContext))?;
+        let pcie = channels.channel(&format!("pcie.dev{dev_index}"));
+        let mut t = cut;
+        let (data, ev) = lib
+            .forward(
+                &mut t,
+                ApiRequest::EnqueueReadBuffer {
+                    queue: CommandQueue::from_raw(q_vendor),
+                    mem: Mem::from_raw(p.vendor),
+                    blocking: true,
+                    offset: 0,
+                    size: p.size,
+                    wait_list: vec![],
+                },
+            )
+            .map_err(CheclCprError::Cl)?
+            .into_data_event()
+            .map_err(CheclCprError::Cl)?;
+        let rd = channels.place_background(pcie, cut, t.since(cut), "drain.d2h");
+        let mut t2 = rd.end;
+        lib.forward(
+            &mut t2,
+            ApiRequest::ReleaseEvent {
+                event: Event::from_raw(ev.raw()),
+            },
+        )
+        .map_err(CheclCprError::Cl)?;
+        if p.forked.is_empty() {
+            drained_bytes += p.size;
+            tasks.push((rd.end, p.checl, 0, Frame::Chunk(data)));
+            continue;
+        }
+        // Partially forked: the forks carry the overwritten runs, the
+        // background read fills the complement.
+        let mut forked = p.forked;
+        forked.sort_by_key(|(o, _, _)| *o);
+        let mut cur = 0u64;
+        for (off, fdata, ready) in forked {
+            if off > cur {
+                drained_bytes += off - cur;
+                tasks.push((
+                    rd.end,
+                    p.checl,
+                    cur,
+                    Frame::Slice(cur, data[cur as usize..off as usize].to_vec()),
+                ));
+            }
+            cur = off + fdata.len() as u64;
+            tasks.push((ready, p.checl, off, Frame::Slice(off, fdata)));
+        }
+        if cur < p.size {
+            drained_bytes += p.size - cur;
+            tasks.push((
+                rd.end,
+                p.checl,
+                cur,
+                Frame::Slice(cur, data[cur as usize..p.size as usize].to_vec()),
+            ));
+        }
+    }
+    tasks.sort_by_key(|t| (t.0, t.1, t.2));
+    for (ready, handle, _off, frame) in tasks {
+        let wready = channels.free_at(disk).max(ready);
+        cluster.process_mut(app_pid).clock = wready;
+        match frame {
+            Frame::Chunk(data) => writer.append_chunk(cluster, handle, data)?,
+            Frame::Slice(off, data) => writer.append_slice(cluster, handle, off, data)?,
+        };
+        let wend = cluster.process(app_pid).clock;
+        channels.place(disk, wready, wend.since(wready), "drain.append");
+    }
+    // Seal, then publish by one rename.
+    let fready = channels.free_at(disk).max(cut);
+    cluster.process_mut(app_pid).clock = fready;
+    let (file_size, _) = writer.finish(cluster)?;
+    let commit_end = cluster.process(app_pid).clock;
+    let seal = channels.place(disk, fready, commit_end.since(fready), "stream.commit");
+    cluster
+        .rename_file(app_pid, tmp, path)
+        .map_err(|e| CheclCprError::Cpr(CprError::Fs(e)))?;
+    Ok((file_size, seal.end, drained_bytes))
 }
 
 /// Phase 1, shared by both data paths: drain the host and every
@@ -1226,6 +1858,8 @@ pub fn restore(
         chunk_bytes,
         maps,
         map_bytes,
+        slices,
+        slice_bytes,
         tail_bytes,
         header_bytes,
         ..
@@ -1288,6 +1922,7 @@ pub fn restore(
         .iter()
         .map(|c| c.handle)
         .chain(maps.iter().map(|m| m.handle))
+        .chain(slices.iter().map(|s| s.handle))
     {
         if let Some(entry) = lib.db.get_mut(handle) {
             if let ObjectRecord::Mem { saved_in, .. } = &mut entry.record {
@@ -1504,6 +2139,93 @@ pub fn restore(
             upload_end = upload_end.max(rel.end);
         }
     }
+    // Live-drained buffers arrive as out-of-order slice frames: the
+    // slice reads serialize on the storage channel in file order, and
+    // each buffer uploads once its last slice is in host memory. A
+    // committed live dump's slices exactly tile each buffer — anything
+    // else is corruption.
+    if !slices.is_empty() {
+        type SliceGroup = (Vec<(u64, Vec<u8>)>, SimTime);
+        let mut groups: BTreeMap<u64, SliceGroup> = BTreeMap::new();
+        for (i, slice) in slices.into_iter().enumerate() {
+            let rd = channels.place(
+                disk,
+                hdr.end,
+                read_link
+                    .bandwidth
+                    .transfer_time(ByteSize::bytes(slice_bytes[i])),
+                "stream.slice",
+            );
+            let g = groups.entry(slice.handle).or_insert((Vec::new(), hdr.end));
+            g.0.push((slice.offset, slice.data));
+            g.1 = g.1.max(rd.end);
+        }
+        for (handle, (mut parts, read_end)) in groups {
+            let (context, size) = match lib.db.get(handle).map(|e| &e.record) {
+                Some(ObjectRecord::Mem { context, size, .. }) => (*context, *size),
+                _ => {
+                    let err = CheclCprError::MissingState;
+                    restart_cleanup(cluster, &mut lib, pid, now, &err);
+                    return Err(err);
+                }
+            };
+            parts.sort_by_key(|p| p.0);
+            let data = match assemble_from_slices(size, parts) {
+                Ok(data) => data,
+                Err(err) => {
+                    restart_cleanup(cluster, &mut lib, pid, now, &err);
+                    return Err(err);
+                }
+            };
+            let vendor_mem = match lib.db.vendor_of(handle) {
+                Some(v) => v,
+                None => {
+                    let err = CheclCprError::MissingState;
+                    restart_cleanup(cluster, &mut lib, pid, now, &err);
+                    return Err(err);
+                }
+            };
+            let Some((q_vendor, dev_index)) = queue_and_device_in_context(&lib, context) else {
+                let err = CheclCprError::Cl(ClError::InvalidContext);
+                restart_cleanup(cluster, &mut lib, pid, now, &err);
+                return Err(err);
+            };
+            let pcie = channels.channel(&format!("pcie.dev{dev_index}"));
+            let ready = channels.free_at(pcie).max(read_end).max(now);
+            let mut t = ready;
+            let upload = lib
+                .forward(
+                    &mut t,
+                    ApiRequest::EnqueueWriteBuffer {
+                        queue: CommandQueue::from_raw(q_vendor),
+                        mem: Mem::from_raw(vendor_mem),
+                        blocking: true,
+                        offset: 0,
+                        data,
+                        wait_list: vec![],
+                    },
+                )
+                .and_then(|resp| resp.into_event());
+            let ev = match upload {
+                Ok(ev) => ev,
+                Err(e) => {
+                    let err = CheclCprError::Cl(e);
+                    restart_cleanup(cluster, &mut lib, pid, now, &err);
+                    return Err(err);
+                }
+            };
+            let up = channels.place(pcie, ready, t.since(ready), "h2d");
+            let mut t2 = up.end;
+            if let Err(e) = lib.forward(&mut t2, ApiRequest::ReleaseEvent { event: ev }) {
+                let err = CheclCprError::Cl(e);
+                restart_cleanup(cluster, &mut lib, pid, now, &err);
+                return Err(err);
+            }
+            let rel = channels.place(ipc, up.end, t2.since(up.end), "release");
+            upload_end = upload_end.max(rel.end);
+        }
+    }
+
     // The trailer + baseline padding finish the file scan.
     let tail = channels.place(
         disk,
@@ -1703,6 +2425,27 @@ pub(crate) fn shim_from_dump_on(
                     }
                 }
             }
+            if !parsed.slices.is_empty() {
+                let mut groups: BTreeMap<u64, Vec<(u64, Vec<u8>)>> = BTreeMap::new();
+                for slice in parsed.slices {
+                    groups
+                        .entry(slice.handle)
+                        .or_default()
+                        .push((slice.offset, slice.data));
+                }
+                for (handle, parts) in groups {
+                    let size = match lib.db.get(handle).map(|e| &e.record) {
+                        Some(ObjectRecord::Mem { size, .. }) => *size,
+                        _ => continue,
+                    };
+                    let data = assemble_from_slices(size, parts)?;
+                    if let Some(e) = lib.db.get_mut(handle) {
+                        if let ObjectRecord::Mem { saved_data, .. } = &mut e.record {
+                            *saved_data = Some(data);
+                        }
+                    }
+                }
+            }
             Ok(lib)
         }
     }
@@ -1751,6 +2494,33 @@ fn assemble_from_store(
     if data.len() as u64 != map.total_len {
         return Err(CheclCprError::Cpr(CprError::Corrupt(
             simcore::CodecError::Invalid("chunk map reassembly length mismatch"),
+        )));
+    }
+    Ok(data)
+}
+
+/// Reassemble one buffer's payload from its out-of-order slice frames.
+/// A committed live dump's slices exactly tile `[0, size)` — gaps,
+/// overlaps, or overruns are surfaced as corruption.
+fn assemble_from_slices(
+    size: u64,
+    mut parts: Vec<(u64, Vec<u8>)>,
+) -> Result<Vec<u8>, CheclCprError> {
+    parts.sort_by_key(|p| p.0);
+    let mut data = vec![0u8; size as usize];
+    let mut cur = 0u64;
+    for (off, part) in parts {
+        if off != cur || off + part.len() as u64 > size {
+            return Err(CheclCprError::Cpr(CprError::Corrupt(
+                simcore::CodecError::Invalid("slice frames do not tile the buffer"),
+            )));
+        }
+        data[off as usize..off as usize + part.len()].copy_from_slice(&part);
+        cur = off + part.len() as u64;
+    }
+    if cur != size {
+        return Err(CheclCprError::Cpr(CprError::Corrupt(
+            simcore::CodecError::Invalid("slice frames do not cover the buffer"),
         )));
     }
     Ok(data)

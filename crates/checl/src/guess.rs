@@ -74,6 +74,7 @@ mod tests {
                 image_dims: None,
                 dirty_regions: Vec::new(),
                 saved_chunks: None,
+                cut_epoch: 0,
             },
         );
         (db, mem)

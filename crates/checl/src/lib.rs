@@ -64,8 +64,8 @@ pub use cpr::{
     RestoreTarget,
 };
 pub use engine::{
-    invalidate_saves, restore, snapshot, CprPolicy, IntervalPolicy, RecoveryPolicy, SnapshotFormat,
-    SnapshotOutcome,
+    abort_live_drain, complete_live_drain, invalidate_saves, restore, snapshot, CprPolicy,
+    IntervalPolicy, LiveDrainOutcome, RecoveryPolicy, SnapshotFormat, SnapshotOutcome,
 };
 pub use migrate::{migrate_process, predict_migration_time, MigrationModel, MigrationReport};
 pub use objects::{CheclDb, CheclEntry, ObjectRecord, RecordedArg};

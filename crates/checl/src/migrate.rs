@@ -146,7 +146,14 @@ pub fn migrate_process(
     }
 
     let outcome = engine::snapshot(&mut lib, cluster, app_pid, path, policy)?;
-    let checkpoint = outcome.report;
+    let mut checkpoint = outcome.report;
+    // A live snapshot parks its payload drain on the shim; migration
+    // needs the sealed file before the source dies, so the drain lands
+    // here (the source waits it out) and the moved bytes come from the
+    // sealed size.
+    if let Some(drained) = engine::complete_live_drain(&mut lib, cluster, app_pid)? {
+        checkpoint.file_size = drained.file_size;
+    }
     // Wall-clock the dump cost the source, retries and backoff
     // included (equals `checkpoint.total()` without a recovery policy).
     let source_side = cluster.process(app_pid).clock.since(t_start);

@@ -124,6 +124,10 @@ pub enum ObjectRecord {
         /// bookkeeping for the *next* checkpoint only — restores read
         /// the chunk-map frames in the stream, never this field.
         saved_chunks: Option<Vec<(u64, u64)>>,
+        /// Epoch stamp of the most recent live-snapshot cut this buffer
+        /// belongs to. A mutation while the engine's pending cut carries
+        /// the same epoch must COW-fork the affected chunks first.
+        cut_epoch: u64,
     },
     /// `clCreateSampler` arguments.
     Sampler {
@@ -245,6 +249,7 @@ impl Codec for ObjectRecord {
                 image_dims,
                 dirty_regions,
                 saved_chunks,
+                cut_epoch,
             } => {
                 out.push(4);
                 context.encode(out);
@@ -257,6 +262,7 @@ impl Codec for ObjectRecord {
                 image_dims.encode(out);
                 dirty_regions.encode(out);
                 saved_chunks.encode(out);
+                cut_epoch.encode(out);
             }
             ObjectRecord::Sampler { context, desc } => {
                 out.push(5);
@@ -323,6 +329,7 @@ impl Codec for ObjectRecord {
                 image_dims: Option::decode(r)?,
                 dirty_regions: Vec::decode(r)?,
                 saved_chunks: Option::decode(r)?,
+                cut_epoch: u64::decode(r)?,
             },
             5 => ObjectRecord::Sampler {
                 context: u64::decode(r)?,
@@ -562,6 +569,7 @@ mod tests {
                 image_dims: None,
                 dirty_regions: Vec::new(),
                 saved_chunks: None,
+                cut_epoch: 0,
             },
         );
         db.insert(
@@ -577,6 +585,7 @@ mod tests {
                 image_dims: None,
                 dirty_regions: Vec::new(),
                 saved_chunks: None,
+                cut_epoch: 0,
             },
         );
         let counts = db.live_counts();
@@ -649,6 +658,7 @@ mod tests {
                 image_dims: None,
                 dirty_regions: Vec::new(),
                 saved_chunks: None,
+                cut_epoch: 0,
             },
         );
         assert_eq!(db.saved_data_bytes(), 100);

@@ -392,6 +392,84 @@ pub fn events_of<'a>(ledger: &'a Ledger, kind: &str) -> Vec<&'a Event> {
     ledger.query(Some(kind), None, None)
 }
 
+/// One live generation's overlap accounting, folded from the ledger:
+/// a `live_drain_completed` seal plus every `cow_forked` event that
+/// preceded it since the previous seal.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LiveOverlapRow {
+    /// Committed dump path.
+    pub path: String,
+    /// When the drain sealed the file.
+    pub sealed_at: SimTime,
+    /// Buffers the consistent cut covered.
+    pub buffers: u64,
+    /// Application-visible stall: quiesce + cut + every COW fork.
+    pub stall_ns: u64,
+    /// Cut-to-seal wall time of the background drain.
+    pub drain_ns: u64,
+    /// `cow_forked` events behind this generation.
+    pub forks: u64,
+    /// 64 KiB-granular chunks those forks preserved.
+    pub forked_chunks: u64,
+    /// Bytes those forks preserved.
+    pub forked_bytes: u64,
+    /// Bytes the drain pulled from devices in the background.
+    pub drained_bytes: u64,
+    /// Sealed file size.
+    pub file_bytes: u64,
+}
+
+impl LiveOverlapRow {
+    /// Fraction of the generation's dump wall-clock the application
+    /// did not have to wait for (0 when nothing overlapped).
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.drain_ns == 0 {
+            return 0.0;
+        }
+        1.0 - (self.stall_ns.min(self.drain_ns) as f64 / self.drain_ns as f64)
+    }
+}
+
+/// Fold the live-checkpoint story out of a ledger: one row per sealed
+/// generation, in seal order, each owning the COW forks that raced its
+/// drain. The per-generation stall/drain split is what `checl_inspect`
+/// renders as the "live overlap" section.
+pub fn live_overlap(ledger: &Ledger) -> Vec<LiveOverlapRow> {
+    let mut rows = Vec::new();
+    let mut forks = 0u64;
+    for e in ledger.sorted() {
+        match &e.kind {
+            EventKind::CowForked { .. } => forks += 1,
+            EventKind::LiveDrainCompleted {
+                path,
+                buffers,
+                forked_chunks,
+                forked_bytes,
+                drained_bytes,
+                stall_ns,
+                drain_ns,
+                file_bytes,
+            } => {
+                rows.push(LiveOverlapRow {
+                    path: path.clone(),
+                    sealed_at: e.t,
+                    buffers: *buffers,
+                    stall_ns: *stall_ns,
+                    drain_ns: *drain_ns,
+                    forks,
+                    forked_chunks: *forked_chunks,
+                    forked_bytes: *forked_bytes,
+                    drained_bytes: *drained_bytes,
+                    file_bytes: *file_bytes,
+                });
+                forks = 0;
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

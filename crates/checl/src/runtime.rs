@@ -116,6 +116,16 @@ pub struct ChecLib {
     /// file. Not part of the dumped state — reopening after a restart
     /// rescans once.
     pub(crate) chunk_store: Option<blcr::ChunkStore>,
+    /// In-flight live checkpoint: the logically captured cut whose
+    /// bytes are still draining to disk in the background. Enqueue
+    /// paths that would overwrite un-serialized cut data fork the
+    /// affected chunks through here first. Not part of the dumped
+    /// state — the drain is completed (or aborted) before any dump.
+    pub(crate) live_drain: Option<Box<crate::engine::LiveDrain>>,
+    /// Monotonic epoch stamped onto each buffer's `cut_epoch` when a
+    /// live snapshot captures it, so COW hooks can tell "belongs to
+    /// the pending cut" from "already re-captured".
+    pub(crate) live_epoch: u64,
 }
 
 impl ChecLib {
@@ -133,6 +143,8 @@ impl ChecLib {
             struct_defs_cache: std::collections::HashMap::new(),
             dedup_generation: 0,
             chunk_store: None,
+            live_drain: None,
+            live_epoch: 0,
         }
     }
 
@@ -263,6 +275,8 @@ impl ChecLib {
             struct_defs_cache: std::collections::HashMap::new(),
             dedup_generation: 0,
             chunk_store: None,
+            live_drain: None,
+            live_epoch: 0,
         })
     }
 
@@ -379,6 +393,28 @@ impl ChecLib {
                 }
             }
         }
+    }
+
+    /// Copy-on-write guard for the live checkpoint drain: when a live
+    /// snapshot's cut still holds this buffer's un-serialized bytes,
+    /// lazily fork the chunks the imminent write would clobber before
+    /// forwarding it (`len == u64::MAX` forks the whole buffer). The
+    /// fork's D2H read is charged to the app clock — that is the only
+    /// stall a live checkpoint imposes after the quiesce point. No-op
+    /// when no live drain is in flight.
+    pub(crate) fn cow_guard(
+        &mut self,
+        now: &mut SimTime,
+        checl_mem: u64,
+        offset: u64,
+        len: u64,
+    ) -> ClResult<()> {
+        let Some(mut drain) = self.live_drain.take() else {
+            return Ok(());
+        };
+        let r = drain.cow_fork(self, now, checl_mem, offset, len);
+        self.live_drain = Some(drain);
+        r
     }
 
     /// Wrap a vendor handle in a fresh CheCL object and hand the CheCL
@@ -710,32 +746,60 @@ impl ChecLib {
         // modification tracking the paper lists as future work, which
         // is what makes incremental checkpointing effective.
         let sig_loc = self.sig_index_of_kernel(kernel.raw().0);
-        let bound_mems: Vec<u64> = {
+        let bound_mems: Vec<(u64, Option<u64>)> = {
             let sig = sig_loc.and_then(|(p, i)| match self.db.get(p).map(|e| &e.record) {
                 Some(ObjectRecord::Program { sigs, .. }) => sigs.get(i),
                 _ => None,
             });
-            let writable_of = |idx: u32| {
-                sig.and_then(|s| s.params.get(idx as usize))
-                    // Unknown signature (binary program): conservative.
-                    .is_none_or(|p| {
-                        !p.is_const
-                            && !matches!(p.kind, ParamKind::ConstantPtr | ParamKind::Sampler)
-                    })
-            };
+            let param_of = |idx: u32| sig.and_then(|s| s.params.get(idx as usize));
             match self.db.get(kernel.raw().0).map(|e| &e.record) {
                 Some(ObjectRecord::Kernel { args, .. }) => args
                     .iter()
                     .filter_map(|(idx, a)| match a {
-                        RecordedArg::Handle(h) if writable_of(*idx) => Some(*h),
+                        RecordedArg::Handle(h) => {
+                            let p = param_of(*idx);
+                            // Unknown signature (binary program):
+                            // conservative.
+                            let writable = p.is_none_or(|p| {
+                                !p.is_const
+                                    && !matches!(
+                                        p.kind,
+                                        ParamKind::ConstantPtr | ParamKind::Sampler
+                                    )
+                            });
+                            if !writable {
+                                return None;
+                            }
+                            // A provably gid-strided parameter of a 1-D
+                            // launch writes at most the first
+                            // `items * elem` bytes — record that instead
+                            // of whole-dirtying the buffer.
+                            let precise = p.and_then(|p| {
+                                if p.gid_stride && global.dims == 1 {
+                                    p.elem_bytes.map(|e| global.sizes[0].saturating_mul(e))
+                                } else {
+                                    None
+                                }
+                            });
+                            Some((*h, precise))
+                        }
                         _ => None,
                     })
                     .collect(),
                 _ => Vec::new(),
             }
         };
-        for m in bound_mems {
-            self.mark_mem_dirty(m);
+        for (m, precise) in bound_mems {
+            match precise {
+                Some(len) => {
+                    self.cow_guard(now, m, 0, len)?;
+                    self.mark_mem_dirty_region(m, 0, len);
+                }
+                None => {
+                    self.cow_guard(now, m, 0, u64::MAX)?;
+                    self.mark_mem_dirty(m);
+                }
+            }
         }
 
         // CL_MEM_USE_HOST_PTR: the cached host copy is pushed to the
@@ -974,6 +1038,7 @@ impl ChecLib {
                         image_dims: None,
                         dirty_regions: Vec::new(),
                         saved_chunks: None,
+                        cut_epoch: 0,
                     },
                 );
                 Ok(ApiResponse::Mem(Mem::from_raw(h)))
@@ -1017,6 +1082,7 @@ impl ChecLib {
                         image_dims: Some((width, height)),
                         dirty_regions: Vec::new(),
                         saved_chunks: None,
+                        cut_epoch: 0,
                     },
                 );
                 Ok(ApiResponse::Mem(Mem::from_raw(h)))
@@ -1060,6 +1126,7 @@ impl ChecLib {
                     .iter()
                     .map(|e| Ok(Event::from_raw(self.xlate(e.raw().0, HandleKind::Event)?)))
                     .collect::<ClResult<Vec<_>>>()?;
+                self.cow_guard(now, checl_m, 0, u64::MAX)?;
                 self.mark_mem_dirty(checl_m);
                 let resp = self.forward(
                     now,
@@ -1079,6 +1146,10 @@ impl ChecLib {
                 })
             }
             ReleaseMemObject { mem } => {
+                // A released buffer's device copy is gone — fork the
+                // whole object into the pending cut first so the drain
+                // never has to read a dead handle.
+                self.cow_guard(now, mem.raw().0, 0, u64::MAX)?;
                 self.release_common(now, mem.raw().0, HandleKind::Mem, |v| ReleaseMemObject {
                     mem: Mem::from_raw(v),
                 })
@@ -1315,6 +1386,7 @@ impl ChecLib {
                     .iter()
                     .map(|e| Ok(Event::from_raw(self.xlate(e.raw().0, HandleKind::Event)?)))
                     .collect::<ClResult<Vec<_>>>()?;
+                self.cow_guard(now, checl_m, offset, data.len() as u64)?;
                 self.mark_mem_dirty_region(checl_m, offset, data.len() as u64);
                 // Keep the USE_HOST_PTR cache coherent with app writes.
                 if let Some(e) = self.db.get_mut(checl_m) {
@@ -1355,6 +1427,7 @@ impl ChecLib {
                 let v_q = CommandQueue::from_raw(self.xlate(checl_q, HandleKind::CommandQueue)?);
                 let v_s = Mem::from_raw(self.xlate(src.raw().0, HandleKind::Mem)?);
                 let v_d = Mem::from_raw(self.xlate(dst.raw().0, HandleKind::Mem)?);
+                self.cow_guard(now, dst.raw().0, dst_offset, size)?;
                 self.mark_mem_dirty_region(dst.raw().0, dst_offset, size);
                 let v_w = wait_list
                     .iter()

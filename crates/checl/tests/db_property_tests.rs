@@ -67,6 +67,7 @@ fn db_roundtrip_any_population() {
                         Vec::new()
                     },
                     saved_chunks: (i % 6 == 0).then(|| vec![(i as u64, 8u64)]),
+                    cut_epoch: i as u64 % 3,
                 },
                 4 => ObjectRecord::Event { queue: ctx_seed },
                 _ => ObjectRecord::Kernel {

@@ -67,6 +67,206 @@ pub struct ParamInfo {
     /// checkpointing skip re-saving such buffers (§IV-D future work:
     /// "checking if a memory object is modified by a kernel").
     pub is_const: bool,
+    /// For pointer parameters, the size in bytes of the pointee element
+    /// type (`__global float4*` → 16), when the declared type is a
+    /// recognized OpenCL C builtin. `None` for user-defined types —
+    /// dirty-range inference must then fall back to whole-buffer.
+    pub elem_bytes: Option<u64>,
+    /// `true` when body analysis proved every store through this
+    /// pointer is indexed by the 1-D global work-item id (or the
+    /// constant 0), so an N-item launch writes at most the first
+    /// `N * elem_bytes` bytes of the bound buffer. Fan-out kernels
+    /// (`out[i*per+j] = …`), indirect indices and any bare use of the
+    /// pointer (aliasing) all leave this `false` — dirty tracking then
+    /// falls back to whole-buffer.
+    pub gid_stride: bool,
+}
+
+/// Byte size of a recognized OpenCL C builtin (scalar or vector) type
+/// name, e.g. `float` → 4, `uchar4` → 4, `double2` → 16. `None` for
+/// anything unrecognized (user-defined structs, images, `half` with
+/// exotic suffixes, ...).
+pub fn builtin_elem_bytes(ty: &str) -> Option<u64> {
+    let split = ty.find(|c: char| c.is_ascii_digit()).unwrap_or(ty.len());
+    let (base, lanes) = ty.split_at(split);
+    let lanes: u64 = if lanes.is_empty() {
+        1
+    } else {
+        match lanes.parse::<u64>().ok()? {
+            n @ (2 | 3 | 4 | 8 | 16) => n,
+            _ => return None,
+        }
+    };
+    let scalar = match base {
+        "char" | "uchar" | "bool" => 1,
+        "short" | "ushort" | "half" => 2,
+        "int" | "uint" | "float" => 4,
+        "long" | "ulong" | "double" => 8,
+        "size_t" | "ptrdiff_t" | "intptr_t" | "uintptr_t" => 8,
+        _ => return None,
+    };
+    Some(scalar * lanes)
+}
+
+/// Minimal token for the write-footprint analysis: identifiers (and
+/// integer literals) vs. single-character symbols. Multi-character
+/// operators (`==`, `+=`) appear as consecutive symbol tokens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum BodyTok {
+    Ident(String),
+    Sym(char),
+}
+
+fn tokenize_body(body: &str) -> Vec<BodyTok> {
+    let mut toks = Vec::new();
+    let mut it = body.chars().peekable();
+    while let Some(&c) = it.peek() {
+        if c.is_whitespace() {
+            it.next();
+        } else if is_ident_char(c) {
+            let mut s = String::new();
+            while let Some(&c) = it.peek() {
+                if is_ident_char(c) {
+                    s.push(c);
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            toks.push(BodyTok::Ident(s));
+        } else {
+            toks.push(BodyTok::Sym(c));
+            it.next();
+        }
+    }
+    toks
+}
+
+/// `true` when `toks[at..]` starts with `get_global_id ( 0 )`.
+fn is_gid_call(toks: &[BodyTok], at: usize) -> bool {
+    matches!(
+        (toks.get(at), toks.get(at + 1), toks.get(at + 2), toks.get(at + 3)),
+        (
+            Some(BodyTok::Ident(f)),
+            Some(BodyTok::Sym('(')),
+            Some(BodyTok::Ident(dim)),
+            Some(BodyTok::Sym(')')),
+        ) if f == "get_global_id" && dim == "0"
+    )
+}
+
+/// `true` when the identifier at `k` is the target of an assignment or
+/// increment/decrement (`v = …`, `v += …`, `v++`, `++v`).
+fn is_assigned_at(toks: &[BodyTok], k: usize) -> bool {
+    // ++v / --v
+    if k >= 2 {
+        if let (BodyTok::Sym(a), BodyTok::Sym(b)) = (&toks[k - 2], &toks[k - 1]) {
+            if (*a == '+' && *b == '+') || (*a == '-' && *b == '-') {
+                return true;
+            }
+        }
+    }
+    match (toks.get(k + 1), toks.get(k + 2)) {
+        // v = … but not v == …
+        (Some(BodyTok::Sym('=')), next) => !matches!(next, Some(BodyTok::Sym('='))),
+        // v += … / v++ / v <<= … and friends
+        (Some(BodyTok::Sym(op)), Some(BodyTok::Sym(eq)))
+            if "+-*/%&|^<>".contains(*op) && (*eq == '=' || eq == op) =>
+        {
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Variables that provably hold `get_global_id(0)` for the whole kernel:
+/// assigned from it once and never reassigned afterwards.
+fn gid_variables(toks: &[BodyTok]) -> Vec<String> {
+    let mut candidates: Vec<String> = Vec::new();
+    for k in 0..toks.len() {
+        if let BodyTok::Ident(v) = &toks[k] {
+            // v = get_global_id(0), with a plain (non-compound) `=`.
+            if matches!(toks.get(k + 1), Some(BodyTok::Sym('='))) && is_gid_call(toks, k + 2) {
+                let compound = k > 0 && matches!(toks[k - 1], BodyTok::Sym(_));
+                if !compound && !candidates.contains(v) {
+                    candidates.push(v.clone());
+                }
+            }
+        }
+    }
+    // Drop any candidate that is assigned more than once (loop counters
+    // like `for (; i < n; i += stride)` no longer track the gid).
+    candidates.retain(|v| {
+        let writes = (0..toks.len())
+            .filter(|&k| matches!(&toks[k], BodyTok::Ident(x) if x == v) && is_assigned_at(toks, k))
+            .count();
+        writes == 1
+    });
+    candidates
+}
+
+/// Decide whether every store through pointer parameter `param` in the
+/// tokenized body is indexed by the 1-D global id (or the constant 0).
+/// Bare (non-subscripted) uses of the pointer disqualify it: the kernel
+/// may alias it or pass it to a helper that writes anywhere.
+fn gid_stride_writes(toks: &[BodyTok], gid_vars: &[String], param: &str) -> bool {
+    let mut k = 0;
+    while k < toks.len() {
+        if !matches!(&toks[k], BodyTok::Ident(x) if x == param) {
+            k += 1;
+            continue;
+        }
+        if !matches!(toks.get(k + 1), Some(BodyTok::Sym('['))) {
+            return false; // bare use: possible aliasing
+        }
+        // Find the matching `]`.
+        let mut depth = 1;
+        let mut m = k + 2;
+        while m < toks.len() && depth > 0 {
+            match toks[m] {
+                BodyTok::Sym('[') => depth += 1,
+                BodyTok::Sym(']') => depth -= 1,
+                _ => {}
+            }
+            m += 1;
+        }
+        if depth > 0 {
+            return false;
+        }
+        let close = m - 1;
+        // Is this subscript a store? `p[i] = …` (not `==`), a compound
+        // assignment (`+=`, `<<=`), or `p[i]++`. Anything else —
+        // including comparisons like `p[i] <= n` — is a read.
+        let t1 = toks.get(close + 1);
+        let t2 = toks.get(close + 2);
+        let t3 = toks.get(close + 3);
+        let is_store = match (t1, t2, t3) {
+            (Some(BodyTok::Sym('=')), Some(BodyTok::Sym('=')), _) => false, // ==
+            (Some(BodyTok::Sym('=')), _, _) => true,                        // =
+            (Some(BodyTok::Sym('+')), Some(BodyTok::Sym('+')), _)
+            | (Some(BodyTok::Sym('-')), Some(BodyTok::Sym('-')), _) => true, // ++ / --
+            (Some(BodyTok::Sym(op)), Some(BodyTok::Sym('=')), _) if "+-*/%&|^".contains(*op) => {
+                true // += and friends
+            }
+            (Some(BodyTok::Sym('<')), Some(BodyTok::Sym('<')), Some(BodyTok::Sym('=')))
+            | (Some(BodyTok::Sym('>')), Some(BodyTok::Sym('>')), Some(BodyTok::Sym('='))) => {
+                true // <<= / >>=
+            }
+            _ => false,
+        };
+        if is_store {
+            let idx = &toks[k + 2..close];
+            let ok = match idx {
+                [BodyTok::Ident(v)] => v == "0" || gid_vars.iter().any(|g| g == v),
+                _ => idx.len() == 4 && is_gid_call(idx, 0),
+            };
+            if !ok {
+                return false;
+            }
+        }
+        k = m;
+    }
+    true
 }
 
 /// One parsed `__kernel` function signature.
@@ -173,6 +373,13 @@ fn classify_param(decl: &str, structs_with_handles: &BTreeMap<String, bool>) -> 
         .to_string();
 
     let is_const = has("const");
+    // The pointee type of a pointer declaration, for dirty-range math:
+    // the first token (qualifiers aside, `*` stripped) naming a builtin.
+    let elem_bytes = tokens
+        .iter()
+        .map(|t| t.trim_matches('*'))
+        .filter(|t| *t != name)
+        .find_map(builtin_elem_bytes);
     let kind = if has("__global") || has("global") {
         ParamKind::GlobalPtr
     } else if has("__constant") || has("constant") {
@@ -197,10 +404,17 @@ fn classify_param(decl: &str, structs_with_handles: &BTreeMap<String, bool>) -> 
         let _ = structs_with_handles;
         ParamKind::Scalar(type_name)
     };
+    let elem_bytes = if kind.is_handle() || kind == ParamKind::LocalPtr {
+        elem_bytes
+    } else {
+        None
+    };
     ParamInfo {
         name,
         kind,
         is_const,
+        elem_bytes,
+        gid_stride: false,
     }
 }
 
@@ -333,7 +547,7 @@ pub fn parse_kernel_sigs(source: &str) -> Result<Vec<KernelSig>, ParseError> {
         let close =
             close.ok_or_else(|| ParseError::Malformed(format!("unbalanced parens in {name}")))?;
         let list = &rest[open + 1..close];
-        let params = if list.trim().is_empty() || list.trim() == "void" {
+        let mut params: Vec<ParamInfo> = if list.trim().is_empty() || list.trim() == "void" {
             Vec::new()
         } else {
             split_params(list)
@@ -341,6 +555,37 @@ pub fn parse_kernel_sigs(source: &str) -> Result<Vec<KernelSig>, ParseError> {
                 .map(|p| classify_param(p, &structs))
                 .collect()
         };
+        // Write-footprint analysis over the kernel body (the brace block
+        // after the parameter list, if present).
+        let after = &rest[close + 1..];
+        if let Some(brace) = after.find('{') {
+            if after[..brace].trim().is_empty() {
+                let mut depth = 0i32;
+                let mut end = None;
+                for (idx, c) in after.char_indices().skip(brace) {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = Some(idx);
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(end) = end {
+                    let toks = tokenize_body(&after[brace + 1..end]);
+                    let gid_vars = gid_variables(&toks);
+                    for p in &mut params {
+                        p.gid_stride = p.kind == ParamKind::GlobalPtr
+                            && !p.is_const
+                            && gid_stride_writes(&toks, &gid_vars, &p.name);
+                    }
+                }
+            }
+        }
         sigs.push(KernelSig { name, params });
     }
     Ok(sigs)
@@ -380,7 +625,9 @@ impl Codec for ParamKind {
 simcore::impl_codec_struct!(ParamInfo {
     name,
     kind,
-    is_const
+    is_const,
+    elem_bytes,
+    gid_stride
 });
 simcore::impl_codec_struct!(KernelSig { name, params });
 
@@ -555,6 +802,83 @@ __kernel void uses(BufDesc d, Plain p, __global float* out) { }
         assert!(sigs[0].params.is_empty());
         let sigs = parse_kernel_sigs("__kernel void nothing2(void) {}").unwrap();
         assert!(sigs[0].params.is_empty());
+    }
+
+    #[test]
+    fn pointer_element_sizes_inferred() {
+        let src = r#"
+__kernel void sizes(__global float* a,
+                    __global const uchar4* b,
+                    __global double2* c,
+                    __local int* scratch,
+                    __global BufDesc* d,
+                    const uint n)
+{ }
+"#;
+        let sigs = parse_kernel_sigs(src).unwrap();
+        let eb: Vec<Option<u64>> = sigs[0].params.iter().map(|p| p.elem_bytes).collect();
+        assert_eq!(
+            eb,
+            vec![Some(4), Some(4), Some(16), Some(4), None, None],
+            "float=4, uchar4=4, double2=16, int=4, user struct and scalar None"
+        );
+        assert_eq!(builtin_elem_bytes("half8"), Some(16));
+        assert_eq!(builtin_elem_bytes("long16"), Some(128));
+        assert_eq!(builtin_elem_bytes("float5"), None);
+        assert_eq!(builtin_elem_bytes("BufDesc"), None);
+    }
+
+    #[test]
+    fn gid_stride_write_analysis() {
+        let src = r#"
+__kernel void mixed(__global const float* a,
+                    __global float* unit,
+                    __global float* fanout,
+                    __global float* swap,
+                    __global float* grouped,
+                    __global float* strided,
+                    __global float* negated,
+                    const uint n,
+                    const uint per)
+{
+    int i = get_global_id(0);
+    if (i < n) unit[i] = a[i] * 2.0f;
+    for (uint j = 0; j < per; ++j) fanout[i * per + j] = a[i];
+    uint partner = i ^ 1u;
+    if (swap[i] > swap[partner]) { swap[partner] = swap[i]; }
+    grouped[get_group_id(0)] += a[i];
+    int s = get_global_id(0);
+    for (; s < n; s += get_global_size(0)) strided[s] = a[s];
+    if (i < n) negated[i] = -a[i];
+}
+"#;
+        let sigs = parse_kernel_sigs(src).unwrap();
+        let by_name = |n: &str| sigs[0].params.iter().find(|p| p.name == n).unwrap();
+        assert!(
+            !by_name("a").gid_stride,
+            "const input is never a store target"
+        );
+        assert!(by_name("unit").gid_stride, "unit[i] = … qualifies");
+        assert!(!by_name("fanout").gid_stride, "fanout writes i*per+j");
+        assert!(!by_name("swap").gid_stride, "swap writes a non-gid partner");
+        assert!(!by_name("grouped").gid_stride, "group-id indexed store");
+        assert!(
+            !by_name("strided").gid_stride,
+            "s is reassigned in the loop"
+        );
+        assert!(by_name("negated").gid_stride, "`= -x` is still a store");
+        // Direct-call indexing and the constant 0 both qualify.
+        let direct = parse_kernel_sigs(
+            "__kernel void d(__global float* o, __global float* z)\
+             { o[get_global_id(0)] = 1.0f; z[0] = 2.0f; }",
+        )
+        .unwrap();
+        assert!(direct[0].params[0].gid_stride);
+        assert!(direct[0].params[1].gid_stride);
+        // A bare (unsubscripted) use of the pointer disqualifies it.
+        let aliased =
+            parse_kernel_sigs("__kernel void al(__global float* p) { helper(p); }").unwrap();
+        assert!(!aliased[0].params[0].gid_stride);
     }
 
     #[test]

@@ -144,6 +144,59 @@ impl ChannelSet {
         placement
     }
 
+    /// Schedule `cost` units of *background* work on `ch`: instead of
+    /// queueing behind everything already placed, the work slides into
+    /// the earliest idle gap (at or after `ready`) wide enough to hold
+    /// it, and only falls back to the tail when no gap fits. Foreground
+    /// placements keep their reserved intervals — a background drain
+    /// competes for the channel's idle time rather than monopolizing
+    /// the resource.
+    pub fn place_background(
+        &mut self,
+        ch: ChannelId,
+        ready: SimTime,
+        cost: SimDuration,
+        label: &str,
+    ) -> Placement {
+        let mut intervals: Vec<(SimTime, SimTime)> = self
+            .log
+            .iter()
+            .filter(|p| p.channel == ch)
+            .map(|p| (p.start, p.end))
+            .collect();
+        intervals.sort();
+        let mut start = ready.max(self.origin);
+        for (s, e) in intervals {
+            if start + cost <= s {
+                break; // fits in the gap before this interval
+            }
+            start = start.max(e);
+        }
+        let end = start + cost;
+        let chan = &mut self.channels[ch.0];
+        chan.free_at = chan.free_at.max(end);
+        chan.busy += cost;
+        chan.ops += 1;
+        let placement = Placement {
+            channel: ch,
+            start,
+            end,
+        };
+        self.log.push(placement);
+        if let Some(base) = self.track {
+            if telemetry::enabled() {
+                let t = Track {
+                    pid: base.pid,
+                    tid: base.tid + ch.0 as u64,
+                };
+                let _scope = telemetry::track_scope(t);
+                telemetry::span_begin("channel", label, start, Vec::new());
+                telemetry::span_end("channel", label, end, vec![("cost_ns", cost.into())]);
+            }
+        }
+        placement
+    }
+
     /// When `ch` next becomes free.
     pub fn free_at(&self, ch: ChannelId) -> SimTime {
         self.channels[ch.0].free_at
@@ -330,6 +383,43 @@ mod tests {
         assert_eq!(set.total_busy(), SimDuration::ZERO);
         assert_eq!(set.overlap_saved(), SimDuration::ZERO);
         assert_eq!(set.stats()[0].ops, 1);
+    }
+
+    #[test]
+    fn background_placements_fill_gaps_before_queueing() {
+        let mut set = ChannelSet::new(t(0));
+        let a = set.channel("disk");
+        set.place(a, t(0), d(50), "fg1");
+        set.place(a, t(100), d(50), "fg2"); // idle gap [50, 100)
+                                            // Fits the gap: starts at 50, not behind fg2.
+        let bg = set.place_background(a, t(10), d(40), "drain");
+        assert_eq!(bg.start, t(50));
+        assert_eq!(bg.end, t(90));
+        // Too wide for any gap: queues at the tail.
+        let bg2 = set.place_background(a, t(10), d(60), "drain");
+        assert_eq!(bg2.start, t(150));
+        assert_eq!(set.free_at(a), t(210));
+        // A gap placement never intersects a foreground interval.
+        let ps = set.placements();
+        for (i, p) in ps.iter().enumerate() {
+            for q in &ps[i + 1..] {
+                if p.channel == q.channel {
+                    assert!(q.start >= p.end || p.start >= q.end, "intervals intersect");
+                }
+            }
+        }
+        // busy counts the background work too.
+        assert_eq!(set.busy(a), d(200));
+    }
+
+    #[test]
+    fn background_respects_ready_and_origin() {
+        let mut set = ChannelSet::new(t(20));
+        let a = set.channel("nfs");
+        let p = set.place_background(a, t(0), d(10), "drain");
+        assert_eq!(p.start, t(20)); // never before the origin
+        let q = set.place_background(a, t(100), d(10), "drain");
+        assert_eq!(q.start, t(100)); // never before ready
     }
 
     #[test]

@@ -248,6 +248,40 @@ pub enum EventKind {
         /// Placements scheduled.
         ops: u64,
     },
+    /// A live snapshot lazily forked chunks of a buffer the application
+    /// was about to overwrite before its cut had drained.
+    CowForked {
+        /// Dump the pending cut belongs to.
+        path: String,
+        /// CheCL handle of the mutated buffer.
+        buffer: u64,
+        /// 64 KiB-granular chunks copied out.
+        chunks: u64,
+        /// Bytes copied out.
+        bytes: u64,
+        /// Application-visible stall charged for the fork, ns.
+        stall_ns: u64,
+    },
+    /// A live snapshot's background drain finished and the dump file
+    /// was sealed.
+    LiveDrainCompleted {
+        /// Final path of the committed dump.
+        path: String,
+        /// Buffers the cut covered.
+        buffers: u64,
+        /// Chunks that had to be COW-forked before overwrites.
+        forked_chunks: u64,
+        /// Bytes preserved by forking.
+        forked_bytes: u64,
+        /// Bytes drained from devices in the background.
+        drained_bytes: u64,
+        /// Application-visible stall of the whole generation, ns.
+        stall_ns: u64,
+        /// Background drain wall-clock (cut to seal), ns.
+        drain_ns: u64,
+        /// Serialized size of the sealed file.
+        file_bytes: u64,
+    },
 }
 
 /// Scalar field value used by the flat JSON codec.
@@ -307,6 +341,8 @@ impl EventKind {
             EventKind::ChunkDeduped { .. } => "chunk_deduped",
             EventKind::ChunkCompressed { .. } => "chunk_compressed",
             EventKind::ChannelObserved { .. } => "channel_observed",
+            EventKind::CowForked { .. } => "cow_forked",
+            EventKind::LiveDrainCompleted { .. } => "live_drain_completed",
         }
     }
 
@@ -471,6 +507,38 @@ impl EventKind {
                 ("busy_ns", U(*busy_ns)),
                 ("ops", U(*ops)),
             ],
+            CowForked {
+                path,
+                buffer,
+                chunks,
+                bytes,
+                stall_ns,
+            } => vec![
+                ("path", S(path.clone())),
+                ("buffer", U(*buffer)),
+                ("chunks", U(*chunks)),
+                ("bytes", U(*bytes)),
+                ("stall_ns", U(*stall_ns)),
+            ],
+            LiveDrainCompleted {
+                path,
+                buffers,
+                forked_chunks,
+                forked_bytes,
+                drained_bytes,
+                stall_ns,
+                drain_ns,
+                file_bytes,
+            } => vec![
+                ("path", S(path.clone())),
+                ("buffers", U(*buffers)),
+                ("forked_chunks", U(*forked_chunks)),
+                ("forked_bytes", U(*forked_bytes)),
+                ("drained_bytes", U(*drained_bytes)),
+                ("stall_ns", U(*stall_ns)),
+                ("drain_ns", U(*drain_ns)),
+                ("file_bytes", U(*file_bytes)),
+            ],
         }
     }
 
@@ -584,6 +652,23 @@ impl EventKind {
                 channel: s("channel")?,
                 busy_ns: u("busy_ns")?,
                 ops: u("ops")?,
+            },
+            "cow_forked" => EventKind::CowForked {
+                path: s("path")?,
+                buffer: u("buffer")?,
+                chunks: u("chunks")?,
+                bytes: u("bytes")?,
+                stall_ns: u("stall_ns")?,
+            },
+            "live_drain_completed" => EventKind::LiveDrainCompleted {
+                path: s("path")?,
+                buffers: u("buffers")?,
+                forked_chunks: u("forked_chunks")?,
+                forked_bytes: u("forked_bytes")?,
+                drained_bytes: u("drained_bytes")?,
+                stall_ns: u("stall_ns")?,
+                drain_ns: u("drain_ns")?,
+                file_bytes: u("file_bytes")?,
             },
             other => return Err(ObsError::Kind(other.to_string())),
         })

@@ -1041,6 +1041,61 @@ pub fn md_mutating(cfg: &WorkloadCfg, mutation_rate: f64, steps: u32) -> Script 
     b.build()
 }
 
+/// Parameterized workload for the live-checkpoint ablation: `bufs`
+/// float buffers of `bytes_each`, stepped by rotating triad launches
+/// that each rewrite only the first eighth of one buffer (plus a
+/// host write of the first sixteenth). The 1D regular-stride kernel
+/// keeps the dirty ranges *precise*, so a live cut taken mid-run only
+/// has to copy-on-write the small prefixes the later steps touch —
+/// the access pattern the live mode is built for. Not on the roster;
+/// `ablation_live` drives it directly.
+pub fn live_mutating(cfg: &WorkloadCfg, bufs: usize, bytes_each: u64, steps: u32) -> Script {
+    assert!(bufs >= 1 && bytes_each >= 64);
+    let n = bytes_each / 4; // f32 elements
+    let mut b = B::new(cfg);
+    let handles: Vec<Reg> = (0..bufs)
+        .map(|i| {
+            b.buffer(
+                bytes_each,
+                Some(BufInit::RandomF32 {
+                    seed: 700 + i as u64,
+                    lo: -1.0,
+                    hi: 1.0,
+                }),
+            )
+        })
+        .collect();
+    let k = b.prog_kernel("triad", "triad");
+    for step in 0..steps {
+        let t = step as usize % bufs;
+        // Host-side rewrite of a sixteenth of the rotating target.
+        b.write(
+            handles[t],
+            (n / 16).max(16) * 4,
+            BufInit::RandomF32 {
+                seed: 900 + step as u64,
+                lo: -1.0,
+                hi: 1.0,
+            },
+        );
+        // Device-side rewrite of an eighth: a[i] = b[i] + s*c[i] over
+        // gid 0..n/8 only, which the stride analysis narrows to the
+        // exact written prefix.
+        let sub = (n / 8).max(16);
+        b.arg_mem(k, 0, handles[t]);
+        b.arg_mem(k, 1, handles[(t + 1) % bufs]);
+        b.arg_mem(k, 2, handles[(t + 2) % bufs]);
+        b.arg_f32(k, 3, 0.5 + step as f32);
+        b.arg_u32(k, 4, sub as u32);
+        b.launch1(k, sub);
+        b.finish();
+    }
+    for &h in &handles {
+        b.read_checksum(h, bytes_each);
+    }
+    b.build()
+}
+
 fn shoc_queue_delay(cfg: &WorkloadCfg) -> Script {
     // Minimal kernels, one Finish per launch: pure API latency.
     let mut b = B::new(cfg);

@@ -210,8 +210,23 @@ impl CheclSession {
         checl::snapshot(&mut self.lib, cluster, self.pid, path, policy)
     }
 
+    /// Drive a parked live-checkpoint drain to completion
+    /// ([`checl::complete_live_drain`]): the background writer seals
+    /// the stream and publishes the dump, and the process clock only
+    /// advances if the drain outran the compute since the cut. `Ok
+    /// (None)` when no live checkpoint is in flight.
+    pub fn complete_live_drain(
+        &mut self,
+        cluster: &mut Cluster,
+    ) -> Result<Option<checl::LiveDrainOutcome>, CheclCprError> {
+        checl::complete_live_drain(&mut self.lib, cluster, self.pid)
+    }
+
     /// Kill this session's processes (simulating failure or teardown).
     pub fn kill(mut self, cluster: &mut Cluster) {
+        // A parked live drain dies with the process: drop its temp so
+        // the previous committed generation stays the restore target.
+        checl::abort_live_drain(&mut self.lib, cluster, self.pid);
         checl::boot::kill_proxy(cluster, &mut self.lib);
         cluster.kill(self.pid);
     }

@@ -80,19 +80,67 @@ fn escalate(repairs: u32, detail: impl Into<String>) -> SupervisorError {
     }
 }
 
+/// Seal a parked live drain: drive the background writer to
+/// completion, hand the sealed file to the vault, and charge the
+/// supervisor for the *stall* window only. The drain time the
+/// application outran is not an interruption — counting it would make
+/// the Young/Daly controller adapt τ to a cost the app never paid.
+fn seal_live(
+    cluster: &mut Cluster,
+    session: &mut CheclSession,
+    vault: &mut DumpVault,
+    sup: &mut Supervisor,
+    pending: &mut Option<String>,
+) -> Result<(), CheclCprError> {
+    let Some(path) = pending.take() else {
+        return Ok(());
+    };
+    let drained = session.complete_live_drain(cluster)?;
+    vault
+        .commit_at(cluster, session.pid, &path)
+        .map_err(|e| CheclCprError::Cpr(blcr::CprError::Fs(e)))?;
+    for retired in vault.take_retired_paths() {
+        checl::invalidate_saves(&mut session.lib, &retired);
+    }
+    sup.advance(cluster.process(session.pid).clock);
+    let stall = drained
+        .map(|d| d.stall.total() + d.fork_stall)
+        .unwrap_or(SimDuration::ZERO);
+    sup.checkpoint_committed(stall, SimDuration::ZERO);
+    Ok(())
+}
+
 /// Checkpoint the session into the vault's next generation and account
 /// it with the supervisor. Progress is reported in the "since last
 /// commit" frame the loop uses throughout.
+///
+/// Under a live policy the snapshot returns at the cut with the
+/// payload still draining; the vault commit (which needs the sealed
+/// file) and the supervisor's overhead charge are deferred to
+/// [`seal_live`], which runs before the next checkpoint, at program
+/// completion, or not at all if an incident rolls the session back
+/// first.
 fn commit_checkpoint(
     cluster: &mut Cluster,
     session: &mut CheclSession,
     vault: &mut DumpVault,
     sup: &mut Supervisor,
     policy: &CprPolicy,
+    pending: &mut Option<String>,
 ) -> Result<SimTime, CheclCprError> {
+    // Seal the previous generation first: the engine would otherwise
+    // force-complete the drain inside `snapshot` and the vault would
+    // never learn about the sealed file.
+    seal_live(cluster, session, vault, sup, pending)?;
     let before = cluster.process(session.pid).clock;
     let stage = vault.stage_path();
     let outcome = session.checkpoint_with_policy(cluster, &stage, policy)?;
+    if policy.live {
+        pending.replace(outcome.path);
+        let after = cluster.process(session.pid).clock;
+        sup.advance(after);
+        return Ok(after);
+    }
     vault
         .commit_at(cluster, session.pid, &outcome.path)
         .map_err(|e| CheclCprError::Cpr(blcr::CprError::Fs(e)))?;
@@ -149,14 +197,34 @@ pub fn run_supervised(
         sup.monitor_mut().watch(BeatSource::Proxy(proxy), start);
     }
 
+    // Live-policy generation whose cut is taken but whose background
+    // drain has not yet sealed into the vault.
+    let mut pending_live: Option<String> = None;
+
     // Generation 0: a supervised run must always have a restore point,
     // or the first failure is unrecoverable by construction.
-    let mut commit_clock =
-        commit_checkpoint(cluster, &mut session, &mut vault, &mut sup, &setup.policy)
-            .map_err(|e| escalate(0, format!("initial checkpoint: {e}")))?;
+    let mut commit_clock = commit_checkpoint(
+        cluster,
+        &mut session,
+        &mut vault,
+        &mut sup,
+        &setup.policy,
+        &mut pending_live,
+    )
+    .map_err(|e| escalate(0, format!("initial checkpoint: {e}")))?;
 
     loop {
         if session.program.is_done() {
+            // Don't exit with a drain in flight: the last generation
+            // must land in the vault before the report freezes.
+            seal_live(
+                cluster,
+                &mut session,
+                &mut vault,
+                &mut sup,
+                &mut pending_live,
+            )
+            .map_err(|e| escalate(sup.failures(), format!("final drain: {e}")))?;
             sup.advance(cluster.process(session.pid).clock);
             return Ok((session, sup.finish(true)));
         }
@@ -188,6 +256,11 @@ pub fn run_supervised(
             if sup.storming() {
                 return Err(escalate(sup.failures(), "failure storm: too many failures"));
             }
+            // An in-flight drain dies with the node: its generation
+            // never reached the vault, so the chain rolls back one
+            // further. The stage temp on the dead node is unreachable
+            // and stays orphaned.
+            pending_live = None;
             let old_proxy = session.lib.proxy_pid();
             sup.failure_detected(BeatSource::Node(node), now.since(commit_clock));
             let mut last_err = format!("node {} crashed", node.0);
@@ -258,6 +331,13 @@ pub fn run_supervised(
             if sup.storming() {
                 return Err(escalate(sup.failures(), "failure storm: too many failures"));
             }
+            // The parked drain's cut refers to vendor handles of the
+            // dead proxy: abort it (deleting the temp) before the
+            // rollback rebuilds the object graph. The previous vault
+            // generation is the restore target either way.
+            if pending_live.take().is_some() {
+                checl::abort_live_drain(&mut session.lib, cluster, session.pid);
+            }
             let proxy_src = session.lib.proxy_pid().map(BeatSource::Proxy);
             if let Some(src) = proxy_src {
                 sup.failure_detected(src, now.since(commit_clock));
@@ -322,8 +402,14 @@ pub fn run_supervised(
                 checl::CheckpointMode::Delayed => at_sync_point,
             };
             if take_now {
-                match commit_checkpoint(cluster, &mut session, &mut vault, &mut sup, &setup.policy)
-                {
+                match commit_checkpoint(
+                    cluster,
+                    &mut session,
+                    &mut vault,
+                    &mut sup,
+                    &setup.policy,
+                    &mut pending_live,
+                ) {
                     Ok(t) => {
                         commit_clock = t;
                         continue;

@@ -40,7 +40,13 @@ Invariants guarded:
 * obs        — the event ledger is free in virtual time (delta vs the
                bare run is exactly 0 ns in every regime) and every
                emission site is alive (incidents == faults ==
-               restores, checkpoints and retunes positive).
+               restores, checkpoints and retunes positive);
+* live       — the live copy-on-write checkpoint keeps its promise:
+               every sweep point restores bit-exact against an
+               uninterrupted baseline, the stall stays within 1.1x the
+               pipelined D2H capture window (the file write is off the
+               critical path), and the headline 4-buffer/4-MiB point
+               stalls for <= 10% of the pipelined stop-the-world total.
 """
 
 import json
@@ -345,6 +351,71 @@ def check_dedup(doc: dict) -> str:
 
 
 # ---------------------------------------------------------------------
+# live — copy-on-write live-checkpoint ablation
+# ---------------------------------------------------------------------
+
+# The live stall may not exceed the pipelined engine's D2H capture
+# window by more than 10% at any sweep point: the claim is that the
+# file write leaves the critical path, so the stall degenerates to (at
+# most) a capture cost.
+STALL_VS_PREPROC = 1.1
+# At the headline point the stall must be <= 10% of the pipelined
+# stop-the-world total.
+HEADLINE = (4, 4)
+STALL_VS_PIPELINED = 0.10
+
+
+def check_live(doc: dict) -> str:
+    sweep = section_with(doc, "stall[s]", "preproc[s]", "pipelined[s]", "bit_exact")
+    if sweep is None:
+        fail("live", "no stall-sweep section found — schema drift")
+    cols = sweep["columns"]
+    bufs_i = cols.index("bufs")
+    mib_i = cols.index("MiB/buf")
+    pipe_i = cols.index("pipelined[s]")
+    pre_i = cols.index("preproc[s]")
+    stall_i = cols.index("stall[s]")
+    drain_i = cols.index("drain[s]")
+    exact_i = cols.index("bit_exact")
+    if not sweep["rows"]:
+        fail("live", "sweep section has no rows")
+    headline_seen = False
+    for row in sweep["rows"]:
+        key = (row[bufs_i], row[mib_i])
+        if row[exact_i] != "yes":
+            fail("live", f"scenario {key}: restore is not bit-exact")
+        if not row[stall_i] <= STALL_VS_PREPROC * row[pre_i]:
+            fail(
+                "live",
+                f"scenario {key}: stall {row[stall_i]}s exceeds "
+                f"{STALL_VS_PREPROC}x the D2H preprocess window {row[pre_i]}s "
+                f"— the dump is back on the critical path",
+            )
+        if not row[stall_i] < row[drain_i]:
+            fail(
+                "live",
+                f"scenario {key}: stall {row[stall_i]}s is not below the "
+                f"drain wall {row[drain_i]}s — nothing was overlapped",
+            )
+        if key == HEADLINE:
+            headline_seen = True
+            if not row[stall_i] <= STALL_VS_PIPELINED * row[pipe_i]:
+                fail(
+                    "live",
+                    f"headline {key}: stall {row[stall_i]}s exceeds "
+                    f"{STALL_VS_PIPELINED:.0%} of the pipelined "
+                    f"stop-the-world total {row[pipe_i]}s",
+                )
+    if not headline_seen:
+        fail("live", f"headline scenario {HEADLINE} missing from the sweep")
+    return (
+        f"{len(sweep['rows'])} scenarios bit-exact, stall <= "
+        f"{STALL_VS_PREPROC}x preproc everywhere, headline stall <= "
+        f"{STALL_VS_PIPELINED:.0%} of pipelined"
+    )
+
+
+# ---------------------------------------------------------------------
 # obs — ledger overhead ablation
 # ---------------------------------------------------------------------
 
@@ -392,6 +463,7 @@ SPECS = {
     "supervisor": ("results/BENCH_ablation_supervisor.json", check_supervisor),
     "inspect": ("results/BENCH_checl_inspect.json", check_inspect),
     "dedup": ("results/BENCH_ablation_dedup.json", check_dedup),
+    "live": ("results/BENCH_ablation_live.json", check_live),
     "obs": ("results/BENCH_ablation_obs.json", check_obs),
 }
 

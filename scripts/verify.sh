@@ -60,6 +60,12 @@ echo "==> smoke: dedup chunk store ablation (golden diff)"
 cargo run -q --release -p checl-bench --bin ablation_dedup >/dev/null
 git diff --exit-code -- results/BENCH_ablation_dedup.json
 
+echo "==> smoke: live copy-on-write checkpoint ablation (golden diff)"
+# Every cell cuts mid-run, races the drain with further mutation, and
+# asserts the restore is bit-exact against an uninterrupted baseline.
+cargo run -q --release -p checl-bench --bin ablation_live >/dev/null
+git diff --exit-code -- results/BENCH_ablation_live.json
+
 echo "==> smoke: ledger health report + observability ablation (golden diff)"
 # checl_inspect re-derives the supervisor's books from the event ledger
 # alone (the binary asserts exact agreement); ablation_obs asserts the
@@ -73,7 +79,7 @@ echo "==> golden invariants (perf, availability, reconciliation guards)"
 # One spec per bench: pipelined < sequential (checkpoint + migration),
 # the adaptive interval policy wins, the health report reconciles
 # faults 1:1, and the ledger stays free in virtual time.
-python3 scripts/check_goldens.py pipeline migration supervisor inspect dedup obs
+python3 scripts/check_goldens.py pipeline migration supervisor inspect dedup live obs
 
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> smoke: micro-benches (codec filter)"
