@@ -52,6 +52,31 @@ use std::collections::BTreeMap;
 /// thread id the simulation mints).
 pub(crate) const CHANNEL_TRACK_BASE: u64 = 100;
 
+/// Resolve the PCIe channel for device `dev_index` without allocating
+/// on the hot path: indices in the standard range use static names (so
+/// even the interning miss is format-free), and every subsequent lookup
+/// is an allocation-free `&str` hit. Dump loops call this once per
+/// buffer, so a per-call `format!` used to dominate the bookkeeping.
+pub(crate) fn pcie_channel(
+    channels: &mut ChannelSet,
+    dev_index: u32,
+) -> simcore::channels::ChannelId {
+    const NAMES: [&str; 8] = [
+        "pcie.dev0",
+        "pcie.dev1",
+        "pcie.dev2",
+        "pcie.dev3",
+        "pcie.dev4",
+        "pcie.dev5",
+        "pcie.dev6",
+        "pcie.dev7",
+    ];
+    match NAMES.get(dev_index as usize) {
+        Some(name) => channels.channel(name),
+        None => channels.channel(&format!("pcie.dev{dev_index}")),
+    }
+}
+
 /// On-disk layout of a snapshot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum SnapshotFormat {
@@ -621,8 +646,9 @@ pub(crate) fn snapshot_once(
             .image
             .put(CHECL_STATE_SEGMENT, lib.encode_state());
 
-        let mut channels =
-            ChannelSet::new(phase0).with_telemetry(app_pid.0 as u64, CHANNEL_TRACK_BASE);
+        let mut channels = ChannelSet::new(phase0)
+            .without_log()
+            .with_telemetry(app_pid.0 as u64, CHANNEL_TRACK_BASE);
         let mut writer: Option<StreamWriter> = None;
         let data_path = if dedup {
             dedup_data_path(
@@ -827,7 +853,9 @@ fn snapshot_live(
     // the writer copies it into the temp file before returning — but
     // its write cost rides on the storage channel, not the app clock.
     telemetry::span_begin("cpr", telemetry::QUIESCE_UNTIL, now, Vec::new());
-    let mut channels = ChannelSet::new(now).with_telemetry(app_pid.0 as u64, CHANNEL_TRACK_BASE);
+    let mut channels = ChannelSet::new(now)
+        .without_log()
+        .with_telemetry(app_pid.0 as u64, CHANNEL_TRACK_BASE);
     let disk = channels.channel(storage_channel_name(cluster, app_pid, &tmp));
     cluster.process_mut(app_pid).clock = now;
     let writer = match StreamWriter::begin(cluster, app_pid, &tmp) {
@@ -997,7 +1025,7 @@ impl LiveDrain {
         }
         let (q_vendor, dev_index) =
             queue_and_device_in_context(lib, context).ok_or(ClError::InvalidContext)?;
-        let pcie = self.channels.channel(&format!("pcie.dev{dev_index}"));
+        let pcie = pcie_channel(&mut self.channels, dev_index);
         let cpu = self.channels.channel("cpu.fork");
         let ipc = self.channels.channel("ipc");
         let t_begin = *now;
@@ -1240,7 +1268,7 @@ fn drive_live_drain(
         // touch are discarded below in favour of their fork.
         let (q_vendor, dev_index) = queue_and_device_in_context(lib, p.context)
             .ok_or(CheclCprError::Cl(ClError::InvalidContext))?;
-        let pcie = channels.channel(&format!("pcie.dev{dev_index}"));
+        let pcie = pcie_channel(channels, dev_index);
         let mut t = cut;
         let (data, ev) = lib
             .forward(
@@ -1454,7 +1482,7 @@ fn pipelined_data_path(
         }
         let (q_vendor, dev_index) = queue_and_device_in_context(lib, context)
             .ok_or(CheclCprError::Cl(ClError::InvalidContext))?;
-        let pcie = channels.channel(&format!("pcie.dev{dev_index}"));
+        let pcie = pcie_channel(channels, dev_index);
         // D2H copy: starts as soon as this device's PCIe link frees up.
         let ready = channels.free_at(pcie).max(phase0);
         let mut t = ready;
@@ -1558,7 +1586,7 @@ fn dedup_data_path(
         }
         let (q_vendor, dev_index) = queue_and_device_in_context(lib, context)
             .ok_or(CheclCprError::Cl(ClError::InvalidContext))?;
-        let pcie = channels.channel(&format!("pcie.dev{dev_index}"));
+        let pcie = pcie_channel(channels, dev_index);
         let ready = channels.free_at(pcie).max(phase0);
         let mut t = ready;
         let (data, ev) = lib
@@ -1888,7 +1916,9 @@ pub fn restore(
             .unwrap_or(FsKind::LocalDisk)
             .read_link()
     };
-    let mut channels = ChannelSet::new(t0).with_telemetry(pid.0 as u64, CHANNEL_TRACK_BASE);
+    let mut channels = ChannelSet::new(t0)
+        .without_log()
+        .with_telemetry(pid.0 as u64, CHANNEL_TRACK_BASE);
     let disk = channels.channel(storage_channel_name(cluster, pid, path));
     let ipc = channels.channel("ipc");
     let hdr = channels.place(
@@ -1988,7 +2018,7 @@ pub fn restore(
             restart_cleanup(cluster, &mut lib, pid, now, &err);
             return Err(err);
         };
-        let pcie = channels.channel(&format!("pcie.dev{dev_index}"));
+        let pcie = pcie_channel(&mut channels, dev_index);
         let ready = channels.free_at(pcie).max(rd.end).max(now);
         let mut t = ready;
         let upload = lib
@@ -2100,7 +2130,7 @@ pub fn restore(
                 restart_cleanup(cluster, &mut lib, pid, now, &err);
                 return Err(err);
             };
-            let pcie = channels.channel(&format!("pcie.dev{dev_index}"));
+            let pcie = pcie_channel(&mut channels, dev_index);
             let ready = channels
                 .free_at(pcie)
                 .max(rd.end)
@@ -2190,7 +2220,7 @@ pub fn restore(
                 restart_cleanup(cluster, &mut lib, pid, now, &err);
                 return Err(err);
             };
-            let pcie = channels.channel(&format!("pcie.dev{dev_index}"));
+            let pcie = pcie_channel(&mut channels, dev_index);
             let ready = channels.free_at(pcie).max(read_end).max(now);
             let mut t = ready;
             let upload = lib

@@ -14,10 +14,19 @@
 //! each operation's cost with the usual link models, then `place` it.
 //! With telemetry attached, every placement is emitted as a span on a
 //! dedicated per-channel track so Perfetto traces show the overlap.
+//!
+//! Names are interned: the set holds one shared allocation per unique
+//! channel name, and lookups by `&str` never allocate. Background
+//! placements fill idle gaps via a per-channel gap list maintained
+//! incrementally, so no placement ever scans history. The per-placement
+//! log exists for tests and trace tooling and can be switched off
+//! ([`ChannelSet::without_log`]) for fleet-scale runs where holding
+//! O(total-placements) memory is unacceptable.
 
 use crate::telemetry::{self, Track};
 use crate::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// Identifier of one registered channel within a [`ChannelSet`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,10 +45,17 @@ pub struct Placement {
 }
 
 struct Channel {
-    name: String,
+    /// Interned name, shared with the `by_name` key (one allocation per
+    /// unique name for the lifetime of the set).
+    name: Rc<str>,
     free_at: SimTime,
     busy: SimDuration,
     ops: u64,
+    /// Idle intervals `[start, end)` strictly before `free_at`, sorted
+    /// by start, maintained incrementally: a foreground placement that
+    /// starts past the old frontier records the skipped span, and a
+    /// background placement carves the earliest fitting gap.
+    gaps: Vec<(SimTime, SimTime)>,
 }
 
 /// Per-channel accounting snapshot (the "per-channel busy time" half of
@@ -60,23 +76,42 @@ pub struct ChannelStats {
 pub struct ChannelSet {
     origin: SimTime,
     channels: Vec<Channel>,
-    by_name: BTreeMap<String, usize>,
+    by_name: BTreeMap<Rc<str>, usize>,
     /// Base telemetry track; channel `i` emits on `tid = base.tid + i`.
     track: Option<Track>,
-    log: Vec<Placement>,
+    /// Placement history; `None` when logging is switched off.
+    log: Option<Vec<Placement>>,
 }
 
 impl ChannelSet {
     /// New empty set; `origin` is the virtual time scheduling starts
-    /// from (all channels begin free at `origin`).
+    /// from (all channels begin free at `origin`). The placement log is
+    /// on by default; long-lived sets should opt out with
+    /// [`without_log`](Self::without_log).
     pub fn new(origin: SimTime) -> Self {
         ChannelSet {
             origin,
             channels: Vec::new(),
             by_name: BTreeMap::new(),
             track: None,
-            log: Vec::new(),
+            log: Some(Vec::new()),
         }
+    }
+
+    /// Switch off the per-placement history log. Accounting
+    /// (`busy`/`ops`/`free_at`/gap-filling) is unaffected;
+    /// [`placements`](Self::placements) returns an empty slice. Use
+    /// this for long-lived sets (fleet node timelines, repeated
+    /// checkpoint generations) where an unbounded `Vec<Placement>`
+    /// would hold O(total-placements) memory for no reader.
+    pub fn without_log(mut self) -> Self {
+        self.log = None;
+        self
+    }
+
+    /// Whether the per-placement history log is being kept.
+    pub fn log_enabled(&self) -> bool {
+        self.log.is_some()
     }
 
     /// Attach telemetry: placements on channel `i` are emitted as spans
@@ -87,25 +122,34 @@ impl ChannelSet {
         self
     }
 
-    /// Get or create the channel named `name`.
+    /// Get or create the channel named `name`. A hit never allocates;
+    /// a miss interns the name once (shared between the lookup map and
+    /// the channel record).
     pub fn channel(&mut self, name: &str) -> ChannelId {
         if let Some(&idx) = self.by_name.get(name) {
             return ChannelId(idx);
         }
         let idx = self.channels.len();
+        let interned: Rc<str> = Rc::from(name);
         self.channels.push(Channel {
-            name: name.to_string(),
+            name: Rc::clone(&interned),
             free_at: self.origin,
             busy: SimDuration::ZERO,
             ops: 0,
+            gaps: Vec::new(),
         });
-        self.by_name.insert(name.to_string(), idx);
+        self.by_name.insert(interned, idx);
         if let Some(base) = self.track {
             if telemetry::enabled() {
                 telemetry::name_thread(base.pid, base.tid + idx as u64, &format!("chan:{name}"));
             }
         }
         ChannelId(idx)
+    }
+
+    /// Look up a channel by name without creating it (never allocates).
+    pub fn lookup(&self, name: &str) -> Option<ChannelId> {
+        self.by_name.get(name).copied().map(ChannelId)
     }
 
     /// Schedule `cost` units of work on `ch`, not starting before
@@ -120,6 +164,10 @@ impl ChannelSet {
     ) -> Placement {
         let chan = &mut self.channels[ch.0];
         let start = ready.max(chan.free_at);
+        if start > chan.free_at {
+            // The skipped span stays claimable by background work.
+            chan.gaps.push((chan.free_at, start));
+        }
         let end = start + cost;
         chan.free_at = end;
         chan.busy += cost;
@@ -129,18 +177,7 @@ impl ChannelSet {
             start,
             end,
         };
-        self.log.push(placement);
-        if let Some(base) = self.track {
-            if telemetry::enabled() {
-                let t = Track {
-                    pid: base.pid,
-                    tid: base.tid + ch.0 as u64,
-                };
-                let _scope = telemetry::track_scope(t);
-                telemetry::span_begin("channel", label, start, Vec::new());
-                telemetry::span_end("channel", label, end, vec![("cost_ns", cost.into())]);
-            }
-        }
+        self.record(placement, cost, label);
         placement
     }
 
@@ -158,23 +195,42 @@ impl ChannelSet {
         cost: SimDuration,
         label: &str,
     ) -> Placement {
-        let mut intervals: Vec<(SimTime, SimTime)> = self
-            .log
-            .iter()
-            .filter(|p| p.channel == ch)
-            .map(|p| (p.start, p.end))
-            .collect();
-        intervals.sort();
-        let mut start = ready.max(self.origin);
-        for (s, e) in intervals {
-            if start + cost <= s {
-                break; // fits in the gap before this interval
-            }
-            start = start.max(e);
-        }
-        let end = start + cost;
+        let ready = ready.max(self.origin);
         let chan = &mut self.channels[ch.0];
-        chan.free_at = chan.free_at.max(end);
+        let mut chosen: Option<(usize, SimTime)> = None;
+        for (i, &(gs, ge)) in chan.gaps.iter().enumerate() {
+            let s = gs.max(ready);
+            if s + cost <= ge {
+                chosen = Some((i, s));
+                break;
+            }
+        }
+        let (start, end) = match chosen {
+            Some((i, s)) => {
+                let (gs, ge) = chan.gaps[i];
+                let e = s + cost;
+                // Carve: replace the gap with its (possibly empty)
+                // remainders on either side of the placement.
+                let mut rest = Vec::with_capacity(2);
+                if s > gs {
+                    rest.push((gs, s));
+                }
+                if e < ge {
+                    rest.push((e, ge));
+                }
+                chan.gaps.splice(i..=i, rest);
+                (s, e)
+            }
+            None => {
+                let s = ready.max(chan.free_at);
+                if s > chan.free_at {
+                    chan.gaps.push((chan.free_at, s));
+                }
+                let e = s + cost;
+                chan.free_at = chan.free_at.max(e);
+                (s, e)
+            }
+        };
         chan.busy += cost;
         chan.ops += 1;
         let placement = Placement {
@@ -182,19 +238,30 @@ impl ChannelSet {
             start,
             end,
         };
-        self.log.push(placement);
+        self.record(placement, cost, label);
+        placement
+    }
+
+    fn record(&mut self, placement: Placement, cost: SimDuration, label: &str) {
+        if let Some(log) = self.log.as_mut() {
+            log.push(placement);
+        }
         if let Some(base) = self.track {
             if telemetry::enabled() {
                 let t = Track {
                     pid: base.pid,
-                    tid: base.tid + ch.0 as u64,
+                    tid: base.tid + placement.channel.0 as u64,
                 };
                 let _scope = telemetry::track_scope(t);
-                telemetry::span_begin("channel", label, start, Vec::new());
-                telemetry::span_end("channel", label, end, vec![("cost_ns", cost.into())]);
+                telemetry::span_begin("channel", label, placement.start, Vec::new());
+                telemetry::span_end(
+                    "channel",
+                    label,
+                    placement.end,
+                    vec![("cost_ns", cost.into())],
+                );
             }
         }
-        placement
     }
 
     /// When `ch` next becomes free.
@@ -252,7 +319,7 @@ impl ChannelSet {
             .iter()
             .filter(|c| c.ops > 0)
             .map(|c| ChannelStats {
-                name: c.name.clone(),
+                name: c.name.to_string(),
                 busy: c.busy,
                 ops: c.ops,
                 free_at: c.free_at,
@@ -260,10 +327,12 @@ impl ChannelSet {
             .collect()
     }
 
-    /// Every placement made so far, in placement order. Exposed so
-    /// property tests can assert the no-same-channel-overlap invariant.
+    /// Every placement made so far, in placement order (empty when the
+    /// log was switched off with [`without_log`](Self::without_log)).
+    /// Exposed so property tests can assert the no-same-channel-overlap
+    /// invariant.
     pub fn placements(&self) -> &[Placement] {
-        &self.log
+        self.log.as_deref().unwrap_or(&[])
     }
 }
 
@@ -315,6 +384,8 @@ mod tests {
         assert_eq!(set.channel("ipc"), a);
         assert_eq!(set.channel("nfs"), b);
         assert_ne!(a, b);
+        assert_eq!(set.lookup("ipc"), Some(a));
+        assert_eq!(set.lookup("never-registered"), None);
     }
 
     #[test]
@@ -344,6 +415,23 @@ mod tests {
         assert_eq!(stats[0].busy, d(10));
         assert_eq!(stats[1].ops, 1);
         assert_eq!(set.placements().len(), 3);
+    }
+
+    #[test]
+    fn without_log_keeps_accounting_but_drops_history() {
+        let mut set = ChannelSet::new(t(0)).without_log();
+        assert!(!set.log_enabled());
+        let a = set.channel("disk");
+        set.place(a, t(0), d(50), "fg1");
+        set.place(a, t(100), d(50), "fg2");
+        // Gap-filling still works without the log: the gap list is
+        // maintained independently.
+        let bg = set.place_background(a, t(10), d(40), "drain");
+        assert_eq!(bg.start, t(50));
+        assert_eq!(bg.end, t(90));
+        assert_eq!(set.busy(a), d(140));
+        assert_eq!(set.stats()[0].ops, 3);
+        assert!(set.placements().is_empty());
     }
 
     #[test]
@@ -420,6 +508,12 @@ mod tests {
         assert_eq!(p.start, t(20)); // never before the origin
         let q = set.place_background(a, t(100), d(10), "drain");
         assert_eq!(q.start, t(100)); // never before ready
+
+        // The idle span [30, 100) the tail fallback skipped is
+        // claimable by later background work.
+        let r = set.place_background(a, t(0), d(70), "drain");
+        assert_eq!(r.start, t(30));
+        assert_eq!(r.end, t(100));
     }
 
     #[test]
@@ -469,6 +563,50 @@ mod tests {
                         assert!(q.start >= p.end, "same-channel placements overlap");
                     }
                 }
+            }
+        });
+    }
+
+    #[test]
+    fn qcheck_background_gap_list_matches_history_scan() {
+        use crate::qcheck::qcheck;
+        // The incremental gap list must pick the exact same slot the
+        // old O(history) scan over the placement log would have picked.
+        qcheck("background_gap_list_matches_history_scan", 128, |g| {
+            let origin = t(g.range(0, 100));
+            let mut set = ChannelSet::new(origin);
+            let ch = set.channel("disk");
+            // Reference model: the full interval list, scanned per op.
+            let mut intervals: Vec<(SimTime, SimTime)> = Vec::new();
+            for _ in 0..g.usize_in(1, 32) {
+                let ready = t(g.range(0, 3_000));
+                let cost = d(g.range(1, 400));
+                let p = if g.bool() {
+                    set.place(ch, ready, cost, "fg")
+                } else {
+                    // Old algorithm: earliest start ≥ max(ready, origin)
+                    // such that [start, start+cost) clears every
+                    // interval, scanning in sorted order.
+                    let mut sorted = intervals.clone();
+                    sorted.sort();
+                    let mut start = ready.max(origin);
+                    for (s, e) in sorted {
+                        if start + cost <= s {
+                            break;
+                        }
+                        start = start.max(e);
+                    }
+                    let p = set.place_background(ch, ready, cost, "bg");
+                    assert_eq!(p.start, start, "gap list diverged from history scan");
+                    p
+                };
+                intervals.push((p.start, p.end));
+            }
+            // Disjointness holds across the mixed sequence.
+            let mut sorted = intervals.clone();
+            sorted.sort();
+            for w in sorted.windows(2) {
+                assert!(w[0].1 <= w[1].0, "placements intersect");
             }
         });
     }

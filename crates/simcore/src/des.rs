@@ -1,0 +1,538 @@
+//! Discrete-event core: indexed event queue, process handles, and
+//! per-node channel registries.
+//!
+//! Everything before the fleet scheduler ran one tenant on one implicit
+//! clock; this module is the substrate that lets O(10k) processes share
+//! a single virtual timeline. Three pieces:
+//!
+//! - [`EventQueue`] — an indexed binary heap of timestamped events with
+//!   deterministic `(time, seq)` tie-breaking. `push`/`pop` are
+//!   O(log n); `cancel` is O(log n) through the slot index (no linear
+//!   scan), which is what makes preemption affordable: a scheduler can
+//!   revoke a victim's pending completion event in place. Every heap
+//!   link traversal is counted in [`EventQueue::ops`], a deterministic
+//!   proxy for scheduler overhead that benches can golden (wall-clock
+//!   would not be reproducible).
+//! - [`ProcSet`] — flat process-handle table with a tiny lifecycle
+//!   state machine, for tenant bookkeeping without hashing.
+//! - [`ChannelMap`] — per-node [`ChannelSet`] registry so each node's
+//!   resource timelines (device slots, disks, NICs) stay independent;
+//!   sets are created lazily and log-free by default (fleet runs place
+//!   millions of intervals).
+//!
+//! Determinism contract: identical push/pop/cancel sequences produce
+//! identical pop orders and identical `ops` counts — the heap never
+//! consults anything but `(time, seq)`.
+
+use crate::channels::ChannelSet;
+use crate::time::SimTime;
+
+/// Stable handle to a pending event, returned by [`EventQueue::push`].
+/// Survives arbitrary heap movement; goes stale once the event is
+/// popped or cancelled (a stale cancel is a no-op returning `None`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
+
+struct Slot<T> {
+    /// (time, seq) ordering key; `seq` is globally unique so ordering
+    /// is total and ties break by insertion order.
+    key: (SimTime, u64),
+    /// Bumped on every reuse so stale [`EventId`]s can't cancel a
+    /// successor occupying the same slot.
+    gen: u32,
+    /// Position in `heap`, maintained by every sift.
+    pos: usize,
+    payload: Option<T>,
+}
+
+/// Indexed binary-heap event queue with deterministic FIFO
+/// tie-breaking at equal timestamps.
+pub struct EventQueue<T> {
+    /// Heap of slot indices, min-ordered by `slots[i].key`.
+    heap: Vec<u32>,
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    next_seq: u64,
+    ops: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// New empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            ops: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Deterministic count of heap link traversals (comparisons during
+    /// sifts) across the queue's lifetime. Grows O(log n) per
+    /// operation; a bench dividing `ops()` by events processed gets a
+    /// reproducible overhead-per-event figure.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Earliest pending timestamp.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|&s| self.slots[s as usize].key.0)
+    }
+
+    /// Schedule `payload` at time `t`. Events at equal `t` pop in push
+    /// order.
+    pub fn push(&mut self, t: SimTime, payload: T) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = (t, seq);
+        let pos = self.heap.len();
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let rec = &mut self.slots[s as usize];
+                rec.key = key;
+                rec.pos = pos;
+                rec.payload = Some(payload);
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    key,
+                    gen: 0,
+                    pos,
+                    payload: Some(payload),
+                });
+                s
+            }
+        };
+        self.heap.push(slot);
+        self.sift_up(pos);
+        EventId {
+            slot,
+            gen: self.slots[slot as usize].gen,
+        }
+    }
+
+    /// Remove and return the earliest event as `(time, id, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, T)> {
+        let &top = self.heap.first()?;
+        let id = EventId {
+            slot: top,
+            gen: self.slots[top as usize].gen,
+        };
+        let (t, payload) = self.remove_at(0);
+        Some((t, id, payload))
+    }
+
+    /// Cancel a pending event, returning its payload. `None` if the
+    /// handle is stale (already popped or cancelled).
+    pub fn cancel(&mut self, id: EventId) -> Option<T> {
+        let rec = self.slots.get(id.slot as usize)?;
+        if rec.gen != id.gen || rec.payload.is_none() {
+            return None;
+        }
+        let pos = rec.pos;
+        let (_, payload) = self.remove_at(pos);
+        Some(payload)
+    }
+
+    /// Remove the slot at heap position `pos`, restoring heap order.
+    fn remove_at(&mut self, pos: usize) -> (SimTime, T) {
+        let slot = self.heap[pos] as usize;
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.slots[self.heap[pos] as usize].pos = pos;
+        self.heap.pop();
+        if pos < self.heap.len() {
+            // The swapped-in element may need to move either way.
+            self.sift_down(pos);
+            self.sift_up(self.slots[self.heap[pos] as usize].pos);
+        }
+        let rec = &mut self.slots[slot];
+        rec.gen = rec.gen.wrapping_add(1);
+        let t = rec.key.0;
+        let payload = rec.payload.take().expect("occupied slot");
+        self.free.push(slot as u32);
+        (t, payload)
+    }
+
+    fn key_at(&self, pos: usize) -> (SimTime, u64) {
+        self.slots[self.heap[pos] as usize].key
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            self.ops += 1;
+            if self.key_at(pos) >= self.key_at(parent) {
+                break;
+            }
+            self.heap.swap(pos, parent);
+            self.slots[self.heap[pos] as usize].pos = pos;
+            self.slots[self.heap[parent] as usize].pos = parent;
+            pos = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let l = 2 * pos + 1;
+            if l >= self.heap.len() {
+                break;
+            }
+            let r = l + 1;
+            self.ops += 1;
+            let mut best = l;
+            if r < self.heap.len() && self.key_at(r) < self.key_at(l) {
+                best = r;
+            }
+            if self.key_at(pos) <= self.key_at(best) {
+                break;
+            }
+            self.heap.swap(pos, best);
+            self.slots[self.heap[pos] as usize].pos = pos;
+            self.slots[self.heap[best] as usize].pos = best;
+            pos = best;
+        }
+    }
+}
+
+/// Lifecycle state of a process handle in a [`ProcSet`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProcState {
+    /// Admitted, waiting for a slot.
+    Ready,
+    /// Occupying a slot, advancing virtual time.
+    Running,
+    /// Suspended (checkpointed out or waiting on a dependency).
+    Blocked,
+    /// Finished; the handle is inert.
+    Done,
+}
+
+/// Handle to one process in a [`ProcSet`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct ProcId(u32);
+
+impl ProcId {
+    /// Dense index (spawn order), usable as a Vec index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Flat table of process lifecycle states: O(1) state flips, O(1)
+/// census counters, no hashing, dense ids.
+pub struct ProcSet {
+    states: Vec<ProcState>,
+    counts: [usize; 4],
+}
+
+impl Default for ProcSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProcSet {
+    /// New empty table.
+    pub fn new() -> Self {
+        ProcSet {
+            states: Vec::new(),
+            counts: [0; 4],
+        }
+    }
+
+    fn bucket(state: ProcState) -> usize {
+        match state {
+            ProcState::Ready => 0,
+            ProcState::Running => 1,
+            ProcState::Blocked => 2,
+            ProcState::Done => 3,
+        }
+    }
+
+    /// Register a new process in `Ready` state.
+    pub fn spawn(&mut self) -> ProcId {
+        let id = ProcId(self.states.len() as u32);
+        self.states.push(ProcState::Ready);
+        self.counts[0] += 1;
+        id
+    }
+
+    /// Current state of `id`.
+    pub fn state(&self, id: ProcId) -> ProcState {
+        self.states[id.index()]
+    }
+
+    /// Flip `id` to `state`, keeping the census in sync.
+    pub fn set_state(&mut self, id: ProcId, state: ProcState) {
+        let old = self.states[id.index()];
+        self.counts[Self::bucket(old)] -= 1;
+        self.counts[Self::bucket(state)] += 1;
+        self.states[id.index()] = state;
+    }
+
+    /// How many processes are currently in `state`.
+    pub fn count(&self, state: ProcState) -> usize {
+        self.counts[Self::bucket(state)]
+    }
+
+    /// Total processes ever spawned.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no process was ever spawned.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Whether every spawned process reached `Done`.
+    pub fn all_done(&self) -> bool {
+        self.count(ProcState::Done) == self.len()
+    }
+}
+
+/// Per-node registry of [`ChannelSet`]s sharing one origin: node `i`'s
+/// resource timelines (device slots, disks, NICs) are independent of
+/// node `j`'s. Sets are created lazily on first touch and — unlike a
+/// bare `ChannelSet::new` — log-free, because a fleet run places one
+/// interval per scheduling slice and would otherwise hold
+/// O(total-placements) memory.
+pub struct ChannelMap {
+    origin: SimTime,
+    nodes: Vec<Option<ChannelSet>>,
+}
+
+impl ChannelMap {
+    /// New registry; every node's channels start free at `origin`.
+    pub fn new(origin: SimTime) -> Self {
+        ChannelMap {
+            origin,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// The node's channel set, created (log-free) on first touch.
+    pub fn node(&mut self, node: usize) -> &mut ChannelSet {
+        if node >= self.nodes.len() {
+            self.nodes.resize_with(node + 1, || None);
+        }
+        self.nodes[node].get_or_insert_with(|| ChannelSet::new(self.origin).without_log())
+    }
+
+    /// The node's channel set if it was ever touched.
+    pub fn try_node(&self, node: usize) -> Option<&ChannelSet> {
+        self.nodes.get(node).and_then(|n| n.as_ref())
+    }
+
+    /// Latest placement end across every node's channels (= `origin`
+    /// when nothing was placed anywhere).
+    pub fn makespan(&self) -> SimTime {
+        self.nodes
+            .iter()
+            .flatten()
+            .map(|s| s.makespan())
+            .max()
+            .unwrap_or(self.origin)
+    }
+
+    /// Shared scheduling origin.
+    pub fn origin(&self) -> SimTime {
+        self.origin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a1");
+        q.push(t(10), "a2");
+        q.push(t(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec!["a1", "a2", "b", "c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_removes_exactly_one_event() {
+        let mut q = EventQueue::new();
+        let _a = q.push(t(10), "a");
+        let b = q.push(t(20), "b");
+        let _c = q.push(t(30), "c");
+        assert_eq!(q.cancel(b), Some("b"));
+        assert_eq!(q.cancel(b), None, "double cancel is a no-op");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn stale_handle_cannot_cancel_slot_reuser() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(10), "a");
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("a"));
+        // "b" reuses a's slot; a's handle must not be able to kill it.
+        let _b = q.push(t(20), "b");
+        assert_eq!(q.cancel(a), None);
+        assert_eq!(q.pop().map(|(_, _, p)| p), Some("b"));
+    }
+
+    #[test]
+    fn peek_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(t(50), ());
+        q.push(t(5), ());
+        assert_eq!(q.peek_time(), Some(t(5)));
+        let (pt, _, _) = q.pop().unwrap();
+        assert_eq!(pt, t(5));
+        assert_eq!(q.peek_time(), Some(t(50)));
+    }
+
+    #[test]
+    fn proc_set_census_tracks_transitions() {
+        let mut ps = ProcSet::new();
+        let a = ps.spawn();
+        let b = ps.spawn();
+        assert_eq!(ps.count(ProcState::Ready), 2);
+        ps.set_state(a, ProcState::Running);
+        ps.set_state(b, ProcState::Blocked);
+        assert_eq!(ps.count(ProcState::Ready), 0);
+        assert_eq!(ps.count(ProcState::Running), 1);
+        assert_eq!(ps.count(ProcState::Blocked), 1);
+        ps.set_state(a, ProcState::Done);
+        ps.set_state(b, ProcState::Done);
+        assert!(ps.all_done());
+    }
+
+    #[test]
+    fn channel_map_keeps_nodes_independent() {
+        let mut map = ChannelMap::new(t(0));
+        let d0 = map.node(0).channel("slot0");
+        map.node(0)
+            .place(d0, t(0), SimDuration::from_nanos(100), "j0");
+        let d1 = map.node(3).channel("slot0");
+        map.node(3)
+            .place(d1, t(0), SimDuration::from_nanos(40), "j1");
+        assert_eq!(map.node(0).free_at(d0), t(100));
+        assert_eq!(map.node(3).free_at(d1), t(40));
+        assert_eq!(map.makespan(), t(100));
+        assert!(map.try_node(1).is_none(), "untouched node stays lazy");
+        // Fleet-scale registries never keep placement history.
+        assert!(!map.node(0).log_enabled());
+    }
+
+    #[test]
+    fn qcheck_heap_matches_sorted_model() {
+        use crate::qcheck::qcheck;
+        // Random interleavings of push/pop/cancel must pop the exact
+        // order a sorted (time, seq) model predicts.
+        qcheck("event_queue_matches_sorted_model", 96, |g| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut model: Vec<(u64, u64, EventId)> = Vec::new(); // (t, seq, id)
+            let mut seq = 0u64;
+            let mut popped = Vec::new();
+            let mut expected = Vec::new();
+            for _ in 0..g.usize_in(1, 64) {
+                match g.range(0, 3) {
+                    0 => {
+                        let tt = g.range(0, 500);
+                        let id = q.push(t(tt), seq);
+                        model.push((tt, seq, id));
+                        seq += 1;
+                    }
+                    1 => {
+                        let want = model
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, &(tt, s, _))| (tt, s))
+                            .map(|(i, _)| i);
+                        match (q.pop(), want) {
+                            (Some((pt, _, payload)), Some(i)) => {
+                                let (tt, s, _) = model.remove(i);
+                                assert_eq!(pt, t(tt));
+                                assert_eq!(payload, s);
+                                popped.push(payload);
+                                expected.push(s);
+                            }
+                            (None, None) => {}
+                            (got, want) => {
+                                panic!("pop mismatch: got {got:?}, model {want:?}")
+                            }
+                        }
+                    }
+                    _ => {
+                        if model.is_empty() {
+                            assert!(q.is_empty());
+                        } else {
+                            let i = g.usize_in(0, model.len());
+                            let (_, s, id) = model.remove(i);
+                            assert_eq!(q.cancel(id), Some(s));
+                        }
+                    }
+                }
+                assert_eq!(q.len(), model.len());
+            }
+            assert_eq!(popped, expected);
+        });
+    }
+
+    #[test]
+    fn ops_per_event_is_logarithmic_not_linear() {
+        // Push/pop N events through a queue that holds W at a time; the
+        // per-event op count must track log2(W), not W.
+        let per_event = |window: u64| -> u64 {
+            let mut q = EventQueue::new();
+            let mut events = 0u64;
+            for i in 0..window {
+                q.push(t(i * 7 % 1000), i);
+            }
+            for i in 0..window * 8 {
+                let (pt, _, _) = q.pop().unwrap();
+                events += 1;
+                q.push(pt + SimDuration::from_nanos(1 + i % 97), i);
+            }
+            q.ops() / events
+        };
+        let small = per_event(64);
+        let big = per_event(4096);
+        // 64x more pending events: a linear structure would cost ~64x
+        // per op; the heap pays log2(4096)/log2(64) = 2x.
+        assert!(
+            big <= small * 4,
+            "per-event ops grew superlogarithmically: {small} -> {big}"
+        );
+    }
+}

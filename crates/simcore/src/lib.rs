@@ -24,6 +24,7 @@ pub mod calib;
 pub mod channels;
 pub mod checksum;
 pub mod codec;
+pub mod des;
 pub mod obs;
 pub mod qcheck;
 pub mod rng;

@@ -282,6 +282,52 @@ pub enum EventKind {
         /// Serialized size of the sealed file.
         file_bytes: u64,
     },
+    /// The fleet scheduler suspended a running tenant by checkpointing
+    /// it out of its slot (priority preemption).
+    TenantPreempted {
+        /// Fleet-unique job name.
+        job: String,
+        /// Node the tenant was running on.
+        node: u64,
+        /// Checkpoint generation this preemption produced (1-based
+        /// count of dumps taken for the job).
+        generation: u64,
+        /// Human-readable CprPolicy lattice point used for the dump.
+        policy: String,
+    },
+    /// A tenant moved nodes: live migration off a hot node, or a
+    /// preempted tenant resumed from its dump on a different node.
+    TenantMigrated {
+        /// Fleet-unique job name.
+        job: String,
+        /// Node the tenant left.
+        from_node: u64,
+        /// Node the tenant landed on.
+        to_node: u64,
+        /// 1 for an end-to-end live migration, 0 for a cold resume of
+        /// an existing dump on a new node.
+        live: u64,
+    },
+    /// A tenant ran to completion; the fleet-level outcome record.
+    TenantCompleted {
+        /// Fleet-unique job name.
+        job: String,
+        /// Node the tenant finished on.
+        node: u64,
+        /// Admission-to-completion latency, ns.
+        latency_ns: u64,
+        /// Times the tenant was preempted.
+        preemptions: u64,
+        /// Times the tenant changed nodes.
+        migrations: u64,
+        /// Checkpoint generations written for the tenant.
+        generations: u64,
+        /// 1 if the final result checksums matched the uninterrupted
+        /// solo baseline, 0 otherwise.
+        bit_exact: u64,
+        /// 1 if the tenant finished within its SLO budget, 0 otherwise.
+        slo_ok: u64,
+    },
 }
 
 /// Scalar field value used by the flat JSON codec.
@@ -343,6 +389,9 @@ impl EventKind {
             EventKind::ChannelObserved { .. } => "channel_observed",
             EventKind::CowForked { .. } => "cow_forked",
             EventKind::LiveDrainCompleted { .. } => "live_drain_completed",
+            EventKind::TenantPreempted { .. } => "tenant_preempted",
+            EventKind::TenantMigrated { .. } => "tenant_migrated",
+            EventKind::TenantCompleted { .. } => "tenant_completed",
         }
     }
 
@@ -539,6 +588,47 @@ impl EventKind {
                 ("drain_ns", U(*drain_ns)),
                 ("file_bytes", U(*file_bytes)),
             ],
+            TenantPreempted {
+                job,
+                node,
+                generation,
+                policy,
+            } => vec![
+                ("job", S(job.clone())),
+                ("node", U(*node)),
+                ("generation", U(*generation)),
+                ("policy", S(policy.clone())),
+            ],
+            TenantMigrated {
+                job,
+                from_node,
+                to_node,
+                live,
+            } => vec![
+                ("job", S(job.clone())),
+                ("from_node", U(*from_node)),
+                ("to_node", U(*to_node)),
+                ("live", U(*live)),
+            ],
+            TenantCompleted {
+                job,
+                node,
+                latency_ns,
+                preemptions,
+                migrations,
+                generations,
+                bit_exact,
+                slo_ok,
+            } => vec![
+                ("job", S(job.clone())),
+                ("node", U(*node)),
+                ("latency_ns", U(*latency_ns)),
+                ("preemptions", U(*preemptions)),
+                ("migrations", U(*migrations)),
+                ("generations", U(*generations)),
+                ("bit_exact", U(*bit_exact)),
+                ("slo_ok", U(*slo_ok)),
+            ],
         }
     }
 
@@ -669,6 +759,28 @@ impl EventKind {
                 stall_ns: u("stall_ns")?,
                 drain_ns: u("drain_ns")?,
                 file_bytes: u("file_bytes")?,
+            },
+            "tenant_preempted" => EventKind::TenantPreempted {
+                job: s("job")?,
+                node: u("node")?,
+                generation: u("generation")?,
+                policy: s("policy")?,
+            },
+            "tenant_migrated" => EventKind::TenantMigrated {
+                job: s("job")?,
+                from_node: u("from_node")?,
+                to_node: u("to_node")?,
+                live: u("live")?,
+            },
+            "tenant_completed" => EventKind::TenantCompleted {
+                job: s("job")?,
+                node: u("node")?,
+                latency_ns: u("latency_ns")?,
+                preemptions: u("preemptions")?,
+                migrations: u("migrations")?,
+                generations: u("generations")?,
+                bit_exact: u("bit_exact")?,
+                slo_ok: u("slo_ok")?,
             },
             other => return Err(ObsError::Kind(other.to_string())),
         })
@@ -1460,6 +1572,50 @@ mod tests {
         let b: Vec<&Event> = back.sorted();
         assert_eq!(a, b);
         // And re-serialization is byte-identical.
+        assert_eq!(text, back.to_jsonl());
+    }
+
+    #[test]
+    fn tenant_kinds_roundtrip_exactly() {
+        start_recording();
+        emit(
+            "fleet",
+            t(10),
+            EventKind::TenantPreempted {
+                job: "j0042.nbody".into(),
+                node: 3,
+                generation: 2,
+                policy: "streamed+incremental+pipelined".into(),
+            },
+        );
+        emit(
+            "fleet",
+            t(20),
+            EventKind::TenantMigrated {
+                job: "j0042.nbody".into(),
+                from_node: 3,
+                to_node: 1,
+                live: 0,
+            },
+        );
+        emit(
+            "fleet",
+            t(30),
+            EventKind::TenantCompleted {
+                job: "j0042.nbody".into(),
+                node: 1,
+                latency_ns: 123_456,
+                preemptions: 1,
+                migrations: 1,
+                generations: 2,
+                bit_exact: 1,
+                slo_ok: 1,
+            },
+        );
+        let ledger = stop_recording().unwrap();
+        let text = ledger.to_jsonl();
+        let back = Ledger::from_jsonl(&text).unwrap();
+        assert_eq!(ledger, back);
         assert_eq!(text, back.to_jsonl());
     }
 

@@ -334,6 +334,72 @@ impl CheclSession {
     }
 }
 
+/// Where a step-driven run segment ([`CheclSession::run_step`])
+/// yielded control back to its scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YieldPoint {
+    /// The program ran to completion.
+    Done,
+    /// The program is parked *before* a `clFinish` — its natural
+    /// synchronization boundary. Every queue will drain at this op
+    /// anyway, so a checkpoint taken here pays a near-zero sync phase
+    /// (the Delayed-trigger observation of §III-C, surfaced as a
+    /// scheduling hook).
+    Sync,
+    /// The run quantum expired at an ordinary op boundary. The
+    /// interpreter state is still checkpointable (pc and registers
+    /// serialize at any op boundary), but a preemption here pays the
+    /// full sync cost for in-flight device work.
+    Quantum,
+}
+
+impl CheclSession {
+    /// Run at most `quantum` of virtual time, yielding at the first
+    /// sync boundary (`clFinish`) reached after making progress — the
+    /// step-driven face of the session that lets a scheduler interleave
+    /// many tenants on one timeline.
+    ///
+    /// The session always executes at least one op per call (a tenant
+    /// resumed *at* a sync point must cross it, or it would yield
+    /// forever), and the process clock in `cluster` stays coherent at
+    /// every yield, so callers can checkpoint, migrate or kill the
+    /// session at any return point. `Sync` is reported in preference to
+    /// `Quantum` when both hold.
+    pub fn run_step(
+        &mut self,
+        cluster: &mut Cluster,
+        quantum: SimDuration,
+    ) -> ClResult<YieldPoint> {
+        use crate::script::Op;
+        let start = cluster.process(self.pid).clock;
+        let mut executed = false;
+        loop {
+            if self.program.is_done() {
+                return Ok(YieldPoint::Done);
+            }
+            if executed {
+                if matches!(
+                    self.program.script.ops[self.program.pc as usize],
+                    Op::Finish { .. }
+                ) {
+                    return Ok(YieldPoint::Sync);
+                }
+                if cluster.process(self.pid).clock.since(start) >= quantum {
+                    return Ok(YieldPoint::Quantum);
+                }
+            }
+            let mut now = cluster.process(self.pid).clock;
+            let step = {
+                let _track = telemetry::track_scope(telemetry::Track::process(self.pid.0 as u64));
+                self.program.step(&mut self.lib, &mut now)
+            };
+            cluster.process_mut(self.pid).clock = now;
+            step?;
+            executed = true;
+        }
+    }
+}
+
 /// Outcome of a signal-aware run segment.
 #[derive(Debug, PartialEq)]
 pub enum CprRunOutcome {

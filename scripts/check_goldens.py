@@ -41,6 +41,13 @@ Invariants guarded:
                bare run is exactly 0 ns in every regime) and every
                emission site is alive (incidents == faults ==
                restores, checkpoints and retunes positive);
+* fleet      — the multi-tenant scheduler honors the des refactor's
+               contract: scheduler work per event stays flat (and under
+               a fixed budget) across a 100x job sweep ending at the
+               10k-job cell, every preempted/cold-resumed/live-migrated
+               tenant restores bit-exact, preemption generations
+               reconcile 1:1, p99 latency stays bounded, and throughput
+               grows monotonically with cluster width;
 * live       — the live copy-on-write checkpoint keeps its promise:
                every sweep point restores bit-exact against an
                uninterrupted baseline, the stall stays within 1.1x the
@@ -286,10 +293,26 @@ def check_inspect(doc: dict) -> str:
         if row[ratio_i] is not None and not row[ratio_i] > 1.0:
             fail("inspect", f"generation {row[0]}: dedup ratio {row[ratio_i]} <= 1")
 
+    tenants = section_with(doc, "job", "preemptions", "policies", "SLO")
+    if tenants is None or not tenants["rows"]:
+        fail("inspect", "no per-tenant rows folded from the fleet ledger")
+    tcols = tenants["columns"]
+    t_pre_i = tcols.index("preemptions")
+    t_mig_i = tcols.index("migrations")
+    t_pol_i = tcols.index("policies")
+    t_bit_i = tcols.index("bit-exact")
+    for row in tenants["rows"]:
+        if row[t_bit_i] != "yes":
+            fail("inspect", f"{row[0]}: a disturbed tenant did not restore bit-exact")
+        if row[t_pre_i] + row[t_mig_i] < 1:
+            fail("inspect", f"{row[0]}: an undisturbed tenant leaked into the table")
+        if row[t_pre_i] > 0 and not row[t_pol_i]:
+            fail("inspect", f"{row[0]}: preempted but no checkpoint policy recorded")
+
     return (
         f"{len(slo['rows'])} regimes consistent, {len(prov['rows'])} generations, "
         f"{len(timeline['rows'])} incidents attributed, {len(channels['rows'])} channels, "
-        f"{len(dedup['rows'])} dedup generations"
+        f"{len(dedup['rows'])} dedup generations, {len(tenants['rows'])} disturbed tenants"
     )
 
 
@@ -454,6 +477,108 @@ def check_obs(doc: dict) -> str:
 
 
 # ---------------------------------------------------------------------
+# fleet — multi-tenant scheduler sweeps
+# ---------------------------------------------------------------------
+
+# The deterministic scheduler-work budget: ops/event must stay under
+# this at every sweep cell, and the largest cell may exceed the
+# smallest by at most OPS_FLATNESS (a linear scan anywhere in the event
+# loop would blow straight through both).
+OPS_BUDGET = 16.0
+OPS_FLATNESS = 1.5
+P99_BOUND_MS = 10_000.0
+
+
+def check_fleet(doc: dict) -> str:
+    sweep = section_with(doc, "jobs", "ops/event", "bit-exact", "generations")
+    if sweep is None or not sweep["rows"]:
+        fail("fleet", "no job-count sweep section found — schema drift")
+    cols = sweep["columns"]
+    jobs_i = cols.index("jobs")
+    thr_i = cols.index("throughput [jobs/s]")
+    p99_i = cols.index("p99 [ms]")
+    pre_i = cols.index("preemptions")
+    cold_i = cols.index("cold migr")
+    live_i = cols.index("live migr")
+    gen_i = cols.index("generations")
+    ops_i = cols.index("ops/event")
+    bit_i = cols.index("bit-exact")
+    job_counts = [row[jobs_i] for row in sweep["rows"]]
+    if job_counts != sorted(job_counts) or job_counts[-1] < 10_000:
+        fail("fleet", f"sweep must grow to the 10k-job cell, got {job_counts}")
+    ops = []
+    for row in sweep["rows"]:
+        jobs = row[jobs_i]
+        if row[bit_i] != jobs:
+            fail(
+                "fleet",
+                f"{jobs} jobs: only {row[bit_i]} verified bit-exact — a "
+                f"preempted or migrated tenant diverged from its baseline",
+            )
+        if not row[thr_i] > 0.0:
+            fail("fleet", f"{jobs} jobs: throughput {row[thr_i]} is not positive")
+        if not row[p99_i] <= P99_BOUND_MS:
+            fail("fleet", f"{jobs} jobs: p99 {row[p99_i]} ms blew the {P99_BOUND_MS} ms bound")
+        if not row[ops_i] <= OPS_BUDGET:
+            fail("fleet", f"{jobs} jobs: {row[ops_i]} sched ops/event over the {OPS_BUDGET} budget")
+        if row[gen_i] != row[pre_i]:
+            fail(
+                "fleet",
+                f"{jobs} jobs: {row[gen_i]} generations vs {row[pre_i]} preemptions "
+                f"— every preemption writes exactly one generation",
+            )
+        ops.append(row[ops_i])
+    if max(ops) > min(ops) * OPS_FLATNESS:
+        fail(
+            "fleet",
+            f"ops/event is not flat across the sweep ({min(ops)} .. {max(ops)}): "
+            f"a linear scan crept into the event loop",
+        )
+    big = [row for row in sweep["rows"] if row[jobs_i] >= 3000]
+    for row in big:
+        if row[pre_i] == 0 or row[cold_i] == 0 or row[live_i] == 0:
+            fail(
+                "fleet",
+                f"{row[jobs_i]} jobs: preemption ({row[pre_i]}), cold migration "
+                f"({row[cold_i]}) and live migration ({row[live_i]}) must all fire "
+                f"at scale",
+            )
+
+    nodes = section_with(doc, "nodes", "slots", "throughput [jobs/s]")
+    if nodes is None or len(nodes["rows"]) < 2:
+        fail("fleet", "no node-count sweep section found — schema drift")
+    ncols = nodes["columns"]
+    n_i = ncols.index("nodes")
+    nthr_i = ncols.index("throughput [jobs/s]")
+    np50_i = ncols.index("p50 [ms]")
+    nbit_i = ncols.index("bit-exact")
+    widths = [row[n_i] for row in nodes["rows"]]
+    if widths != sorted(widths):
+        fail("fleet", f"node sweep out of order: {widths}")
+    thr = [row[nthr_i] for row in nodes["rows"]]
+    if thr != sorted(thr):
+        fail(
+            "fleet",
+            f"throughput must grow monotonically with node count, got {thr}",
+        )
+    p50 = [row[np50_i] for row in nodes["rows"]]
+    if p50 != sorted(p50, reverse=True):
+        fail(
+            "fleet",
+            f"p50 latency must fall monotonically with node count, got {p50}",
+        )
+    for row in nodes["rows"]:
+        if row[nbit_i] != 600:
+            fail("fleet", f"{row[n_i]} nodes: only {row[nbit_i]}/600 bit-exact")
+
+    return (
+        f"{len(sweep['rows'])} sweep cells to {job_counts[-1]} jobs, "
+        f"ops/event within {min(ops)}..{max(ops)} (budget {OPS_BUDGET}), "
+        f"throughput monotone over {len(nodes['rows'])} cluster widths"
+    )
+
+
+# ---------------------------------------------------------------------
 # registry + entry point
 # ---------------------------------------------------------------------
 
@@ -465,6 +590,7 @@ SPECS = {
     "dedup": ("results/BENCH_ablation_dedup.json", check_dedup),
     "live": ("results/BENCH_ablation_live.json", check_live),
     "obs": ("results/BENCH_ablation_obs.json", check_obs),
+    "fleet": ("results/BENCH_fleet.json", check_fleet),
 }
 
 

@@ -75,11 +75,21 @@ git diff --exit-code -- results/BENCH_checl_inspect.json results/checl_inspect.l
 cargo run -q --release -p checl-bench --bin ablation_obs >/dev/null
 git diff --exit-code -- results/BENCH_ablation_obs.json
 
+if [[ "$QUICK" -eq 0 ]]; then
+    echo "==> smoke: fleet scheduler sweep (golden diff, ~3 min)"
+    # Sweeps 100 -> 10,000 admitted jobs; every cell verifies every
+    # tenant bit-exact against an uninterrupted solo run, and the
+    # scheduler's ops/event counter must stay flat across the sweep.
+    cargo run -q --release -p checl-bench --bin fleet >/dev/null
+    git diff --exit-code -- results/BENCH_fleet.json
+fi
+
 echo "==> golden invariants (perf, availability, reconciliation guards)"
 # One spec per bench: pipelined < sequential (checkpoint + migration),
 # the adaptive interval policy wins, the health report reconciles
-# faults 1:1, and the ledger stays free in virtual time.
-python3 scripts/check_goldens.py pipeline migration supervisor inspect dedup live obs
+# faults 1:1, the ledger stays free in virtual time, and the fleet
+# sweep stays flat in ops/event with monotone node-count throughput.
+python3 scripts/check_goldens.py pipeline migration supervisor inspect dedup live obs fleet
 
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> smoke: micro-benches (codec filter)"
