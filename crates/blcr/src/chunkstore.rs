@@ -26,7 +26,7 @@
 use crate::cpr::CprError;
 use osproc::{Cluster, Pid};
 use simcore::codec::{decode_framed, encode_framed, Codec, CodecError, Reader};
-use simcore::{fnv1a64, impl_codec_struct, SimDuration, SplitMix64};
+use simcore::{fnv1a64, impl_codec_struct, obs, SimDuration, SplitMix64};
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
@@ -190,32 +190,89 @@ fn frame_record(rec: &StoreRecord) -> Vec<u8> {
     out
 }
 
-/// Index + optional payload map a scan yields, keyed by chunk hash.
-type ScanResult = (BTreeMap<u64, ChunkMeta>, BTreeMap<u64, Vec<u8>>);
+/// What scanning a store file yielded.
+struct ScanResult {
+    /// Index of every intact record, keyed by chunk hash.
+    index: BTreeMap<u64, ChunkMeta>,
+    /// Decompressed payloads (only when `keep_payloads`).
+    payloads: BTreeMap<u64, Vec<u8>>,
+    /// Byte length of the longest prefix made of intact frames.
+    valid_len: u64,
+    /// `true` when the file ends in a torn frame — a crash landed
+    /// mid-append. Everything before `valid_len` is still good.
+    torn: bool,
+}
 
 /// Scan the raw bytes of a store file; `keep_payloads` controls whether
 /// chunk bytes are materialised (restore) or only indexed (dump).
+///
+/// A *torn final frame* — the file ends inside a length prefix or
+/// inside the last frame's bytes, the signature of a crash mid-append —
+/// is not an error: the scan stops at the last intact frame and flags
+/// `torn`, because an append-only store's committed references only
+/// ever point at earlier, intact records. Corruption *before* the final
+/// frame is still fatal (that is bit-rot, not a torn append, and
+/// dropping mid-file records would dangle committed references).
 fn scan(bytes: &[u8], keep_payloads: bool) -> Result<ScanResult, CodecError> {
     let mut index = BTreeMap::new();
     let mut payloads = BTreeMap::new();
     let mut r = Reader::new(bytes);
+    let mut valid_len = 0u64;
     while !r.is_empty() {
-        let frame_len = u64::decode(&mut r)?;
+        let frame_len = match u64::decode(&mut r) {
+            Ok(v) => v,
+            // The length prefix itself is cut short: torn tail.
+            Err(CodecError::UnexpectedEof { .. }) => {
+                return Ok(ScanResult {
+                    index,
+                    payloads,
+                    valid_len,
+                    torn: true,
+                })
+            }
+            Err(e) => return Err(e),
+        };
         if frame_len > r.remaining() as u64 {
-            return Err(CodecError::UnexpectedEof {
-                needed: frame_len.min(usize::MAX as u64) as usize,
-                remaining: r.remaining(),
+            // The frame body is cut short: torn tail.
+            return Ok(ScanResult {
+                index,
+                payloads,
+                valid_len,
+                torn: true,
             });
         }
         let frame = r.take(frame_len as usize)?;
-        let rec = decode_framed::<StoreRecord>(STORE_MAGIC, STORE_VERSION, frame)?;
-        let encoding = match rec.encoding {
-            0 => Encoding::Raw,
-            1 => Encoding::Rle,
-            _ => return Err(CodecError::Invalid("chunk store encoding tag")),
+        let parsed = (|| {
+            let rec = decode_framed::<StoreRecord>(STORE_MAGIC, STORE_VERSION, frame)?;
+            let encoding = match rec.encoding {
+                0 => Encoding::Raw,
+                1 => Encoding::Rle,
+                _ => return Err(CodecError::Invalid("chunk store encoding tag")),
+            };
+            let payload = if keep_payloads {
+                Some(decompress(encoding, &rec.payload, rec.raw_len)?)
+            } else {
+                None
+            };
+            Ok((rec, encoding, payload))
+        })();
+        let (rec, encoding, payload) = match parsed {
+            Ok(p) => p,
+            // A garbled *final* frame is a torn append whose length
+            // prefix happened to land inside the file; mid-file rot
+            // stays fatal.
+            Err(_) if r.is_empty() => {
+                return Ok(ScanResult {
+                    index,
+                    payloads,
+                    valid_len,
+                    torn: true,
+                })
+            }
+            Err(e) => return Err(e),
         };
-        if keep_payloads {
-            payloads.insert(rec.hash, decompress(encoding, &rec.payload, rec.raw_len)?);
+        if let Some(p) = payload {
+            payloads.insert(rec.hash, p);
         }
         // Duplicate records (two writers racing an abort) are
         // harmless: content addressing makes them identical.
@@ -227,17 +284,46 @@ fn scan(bytes: &[u8], keep_payloads: bool) -> Result<ScanResult, CodecError> {
                 compressed: encoding == Encoding::Rle,
             },
         );
+        valid_len = (bytes.len() - r.remaining()) as u64;
     }
-    Ok((index, payloads))
+    Ok(ScanResult {
+        index,
+        payloads,
+        valid_len,
+        torn: false,
+    })
 }
 
 impl ChunkStore {
     /// Open (or create) the store at `path`, rebuilding the hash index
     /// by scanning any existing records. Reading the existing file
     /// charges `pid`'s clock like any other read.
+    /// A store whose file ends in a *torn* final frame (crash
+    /// mid-append) is recovered, not refused: the file is truncated
+    /// back to the last intact frame — every committed reference points
+    /// before it — and a `store_truncated` obs event records the
+    /// dropped bytes.
     pub fn open(cluster: &mut Cluster, pid: Pid, path: &str) -> Result<ChunkStore, CprError> {
         let index = match cluster.read_file(pid, path) {
-            Ok(bytes) => scan(&bytes, false).map_err(CprError::Corrupt)?.0,
+            Ok(bytes) => {
+                let scanned = scan(&bytes, false).map_err(CprError::Corrupt)?;
+                if scanned.torn {
+                    let intact = bytes[..scanned.valid_len as usize].to_vec();
+                    let dropped = bytes.len() as u64 - scanned.valid_len;
+                    cluster
+                        .write_file(pid, path, intact)
+                        .map_err(CprError::Fs)?;
+                    obs::emit(
+                        "chunkstore",
+                        cluster.process(pid).clock,
+                        obs::EventKind::StoreTruncated {
+                            path: path.to_string(),
+                            dropped,
+                        },
+                    );
+                }
+                scanned.index
+            }
             Err(_) => BTreeMap::new(), // no store yet
         };
         Ok(ChunkStore {
@@ -306,14 +392,17 @@ impl ChunkStore {
     }
 
     /// Read the whole store back, decompressing every chunk: the
-    /// restore-side view. Charges `pid`'s clock for the file read.
+    /// restore-side view. Charges `pid`'s clock for the file read. A
+    /// torn final frame (crash mid-append) is tolerated read-only:
+    /// every chunk a committed generation can reference lies before the
+    /// tear, and restore must not need write access to the store mount.
     pub fn load_all(
         cluster: &mut Cluster,
         pid: Pid,
         path: &str,
     ) -> Result<BTreeMap<u64, Vec<u8>>, CprError> {
         let bytes = cluster.read_file(pid, path).map_err(CprError::Fs)?;
-        Ok(scan(&bytes, true).map_err(CprError::Corrupt)?.1)
+        Ok(scan(&bytes, true).map_err(CprError::Corrupt)?.payloads)
     }
 
     /// Total on-disk bytes of the records referenced by `segments`
@@ -424,6 +513,58 @@ mod tests {
         // And the payload restores bit-exact.
         let all = ChunkStore::load_all(&mut c, p, "/local/a.cas").unwrap();
         assert_eq!(all[&h1], vec![7u8; 10_000]);
+    }
+
+    #[test]
+    fn open_recovers_a_torn_final_frame() {
+        let (mut c, p) = setup();
+        let mut s = ChunkStore::open(&mut c, p, "/local/t.cas").unwrap();
+        let (h1, _) = s.put(&mut c, &[3u8; 9_000]).unwrap();
+        let (h2, _) = s.put(&mut c, &[4u8; 9_000]).unwrap();
+        let intact = c.read_file(p, "/local/t.cas").unwrap();
+        // A crash mid-append: half of a third record's frame lands.
+        let rec = StoreRecord {
+            hash: 0xBEEF,
+            raw_len: 64,
+            encoding: 0,
+            payload: vec![5u8; 64],
+        };
+        let framed = frame_record(&rec);
+        c.append_file(p, "/local/t.cas", &framed[..framed.len() / 2])
+            .unwrap();
+        // Reopen: the intact records survive, the tear is truncated
+        // away, and the file is byte-identical to the pre-crash state.
+        let s2 = ChunkStore::open(&mut c, p, "/local/t.cas").unwrap();
+        assert_eq!(s2.len(), 2);
+        assert!(s2.contains(h1) && s2.contains(h2));
+        assert_eq!(c.read_file(p, "/local/t.cas").unwrap(), intact);
+        // Appends continue cleanly on the truncated file.
+        let mut s2 = s2;
+        let (h3, _) = s2.put(&mut c, &[6u8; 9_000]).unwrap();
+        let all = ChunkStore::load_all(&mut c, p, "/local/t.cas").unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[&h3], vec![6u8; 9_000]);
+    }
+
+    #[test]
+    fn torn_length_prefix_and_read_only_restore_are_tolerated() {
+        let (mut c, p) = setup();
+        let mut s = ChunkStore::open(&mut c, p, "/local/u.cas").unwrap();
+        let (h, _) = s.put(&mut c, &[8u8; 5_000]).unwrap();
+        // The tear cuts inside the 8-byte length prefix itself.
+        c.append_file(p, "/local/u.cas", &[0x10, 0x00, 0x00])
+            .unwrap();
+        // load_all is read-only tolerant: the intact chunk restores.
+        let all = ChunkStore::load_all(&mut c, p, "/local/u.cas").unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[&h], vec![8u8; 5_000]);
+        // Mid-file rot is still fatal, not silently truncated.
+        let bytes = c.read_file(p, "/local/u.cas").unwrap();
+        let mut rotted = bytes.clone();
+        rotted[12] ^= 0xFF;
+        rotted.extend_from_slice(&bytes); // intact frame *after* the rot
+        c.write_file(p, "/local/rot.cas", rotted).unwrap();
+        assert!(ChunkStore::open(&mut c, p, "/local/rot.cas").is_err());
     }
 
     #[test]

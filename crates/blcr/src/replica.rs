@@ -41,6 +41,46 @@ pub struct Generation {
     pub hash: u64,
 }
 
+/// Why a fenced commit was refused.
+///
+/// [`DumpVault::commit_fenced`] distinguishes a writer that lost the
+/// fencing race (its epoch is stale — a healed partition or a respawned
+/// predecessor) from a plain filesystem failure, because the two demand
+/// opposite reactions: a fenced writer must *stop* (someone else owns
+/// the vault now), a failed write should be retried.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommitError {
+    /// The writer presented a stale fencing epoch. Its staged dump was
+    /// deleted (no orphan tmp file survives the fence).
+    Fenced {
+        /// Epoch the writer held when it staged the dump.
+        held: u64,
+        /// Epoch the vault is currently on.
+        current: u64,
+    },
+    /// An ordinary filesystem error while sealing the generation.
+    Fs(FsError),
+}
+
+impl From<FsError> for CommitError {
+    fn from(e: FsError) -> CommitError {
+        CommitError::Fs(e)
+    }
+}
+
+impl std::fmt::Display for CommitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitError::Fenced { held, current } => {
+                write!(f, "writer fenced: held epoch {held}, vault at {current}")
+            }
+            CommitError::Fs(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
 /// What one [`DumpVault::scrub`] pass found and did.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ScrubReport {
@@ -60,6 +100,10 @@ pub struct DumpVault {
     mirror_base: String,
     keep: usize,
     next_gen: u64,
+    /// Fencing epoch: bumped on every failover so a writer from before
+    /// the failover (a healed partition's stale supervisor) can be told
+    /// apart from the current one at commit time.
+    epoch: u64,
     generations: Vec<Generation>,
     /// Replica paths dropped by GC or scrub since the last
     /// [`DumpVault::take_retired_paths`] drain. An incremental dump may
@@ -94,6 +138,7 @@ impl DumpVault {
             mirror_base: mirror_base.to_string(),
             keep,
             next_gen: 0,
+            epoch: 0,
             generations: Vec::new(),
             retired_paths: Vec::new(),
         }
@@ -119,6 +164,24 @@ impl DumpVault {
         self.keep
     }
 
+    /// The current fencing epoch. A writer records this when it starts
+    /// staging a dump and presents it to [`DumpVault::commit_fenced`];
+    /// a failover in between (which bumps the epoch) fences it out.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Bump the fencing epoch — called on failover, *before* the
+    /// replacement writer starts. Any dump staged under the old epoch
+    /// is now fenced: [`DumpVault::commit_fenced`] refuses it and
+    /// deletes the staged file, so a partition that heals after the
+    /// failover cannot double-commit a generation. Returns the new
+    /// epoch.
+    pub fn advance_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
     /// All retained generations, oldest first.
     pub fn generations(&self) -> &[Generation] {
         &self.generations
@@ -139,6 +202,35 @@ impl DumpVault {
         for g in self.generations.iter().rev() {
             chain.push(g.primary.clone());
             chain.push(g.mirror.clone());
+        }
+        chain
+    }
+
+    /// [`DumpVault::restore_chain`] with a quorum read: each replica is
+    /// read back (charging `pid` the read time) and verified against
+    /// the generation's committed hash, and only healthy replicas enter
+    /// the chain — a replica silently corrupted during a brownout is
+    /// skipped instead of poisoning the restore. A generation with *no*
+    /// replica verifying falls back to both paths, unverified: the
+    /// chain walker's own failure handling decides, which is no worse
+    /// than [`DumpVault::restore_chain`].
+    ///
+    /// Costs one read per replica, so it is opt-in (supervision enables
+    /// it under degraded-channel FaultPlans via `quorum_restore`).
+    pub fn verified_chain(&self, cluster: &mut Cluster, pid: Pid) -> Vec<String> {
+        let mut chain = Vec::with_capacity(self.generations.len() * 2);
+        for g in self.generations.iter().rev() {
+            let mut healthy = 0usize;
+            for path in [&g.primary, &g.mirror] {
+                if Self::replica_healthy(cluster, pid, path, g.hash) {
+                    chain.push(path.clone());
+                    healthy += 1;
+                }
+            }
+            if healthy == 0 {
+                chain.push(g.primary.clone());
+                chain.push(g.mirror.clone());
+            }
         }
         chain
     }
@@ -192,6 +284,42 @@ impl DumpVault {
         Ok(generation)
     }
 
+    /// [`DumpVault::commit_at`] guarded by a fencing epoch: the writer
+    /// presents the epoch it held when it *started* staging the dump.
+    /// If a failover advanced the vault's epoch in the meantime, the
+    /// commit is refused, the staged file is deleted (no orphan for a
+    /// later restore to trip over), and a `writer_fenced` obs event is
+    /// emitted — this is what stops a healed partition's stale
+    /// supervisor from double-committing a generation.
+    pub fn commit_fenced(
+        &mut self,
+        cluster: &mut Cluster,
+        pid: Pid,
+        primary: &str,
+        held_epoch: u64,
+    ) -> Result<Generation, CommitError> {
+        if held_epoch != self.epoch {
+            let _ = cluster.delete_file(pid, primary);
+            self.retired_paths.push(primary.to_string());
+            replica_event(cluster, pid, "replica.fenced", primary);
+            obs::emit(
+                "vault",
+                cluster.process(pid).clock,
+                obs::EventKind::WriterFenced {
+                    generation: self.next_gen,
+                    held_epoch,
+                    current_epoch: self.epoch,
+                    path: primary.to_string(),
+                },
+            );
+            return Err(CommitError::Fenced {
+                held: held_epoch,
+                current: self.epoch,
+            });
+        }
+        Ok(self.commit_at(cluster, pid, primary)?)
+    }
+
     /// Drop generations beyond the retention budget, deleting their
     /// replicas (best-effort: a replica on an unreachable mount is
     /// simply left for a later pass).
@@ -219,9 +347,52 @@ impl DumpVault {
     /// generation whose replicas are *both* bad is dropped from the
     /// vault and counted as lost.
     pub fn scrub(&mut self, cluster: &mut Cluster, pid: Pid) -> ScrubReport {
+        self.scrub_budgeted(cluster, pid, usize::MAX).0
+    }
+
+    /// [`DumpVault::scrub`] under a generation budget: verify at most
+    /// `budget` generations, newest first (those are the restore
+    /// targets), and leave the rest untouched for a later, healthier
+    /// pass. Returns the report and how many generations were skipped.
+    /// Under a degraded channel every scrub read pays the brownout tax,
+    /// so supervision trims the budget rather than stalling the app
+    /// behind a full vault re-read.
+    pub fn scrub_budgeted(
+        &mut self,
+        cluster: &mut Cluster,
+        pid: Pid,
+        budget: usize,
+    ) -> (ScrubReport, usize) {
         let mut report = ScrubReport::default();
-        let mut kept = Vec::with_capacity(self.generations.len());
-        for g in std::mem::take(&mut self.generations) {
+        let gens = std::mem::take(&mut self.generations);
+        // Generations are stored oldest-first: skipping the first
+        // `len - budget` scrubs exactly the newest `budget`.
+        let skipped = gens.len().saturating_sub(budget);
+        let mut kept = Vec::with_capacity(gens.len());
+        for (i, g) in gens.into_iter().enumerate() {
+            if i < skipped {
+                kept.push(g);
+                continue;
+            }
+            if let Some(g) = self.scrub_generation(cluster, pid, g, &mut report) {
+                kept.push(g);
+            }
+        }
+        self.generations = kept;
+        (report, skipped)
+    }
+
+    /// Scrub one generation: verify both replicas, repair from the
+    /// healthy sibling, or drop the generation if both are bad.
+    /// Returns the generation if it survives.
+    fn scrub_generation(
+        &mut self,
+        cluster: &mut Cluster,
+        pid: Pid,
+        g: Generation,
+        report: &mut ScrubReport,
+    ) -> Option<Generation> {
+        {
             let primary_ok = Self::replica_healthy(cluster, pid, &g.primary, g.hash);
             let mirror_ok = Self::replica_healthy(cluster, pid, &g.mirror, g.hash);
             let verified = primary_ok as u64 + mirror_ok as u64;
@@ -272,7 +443,7 @@ impl DumpVault {
                             path: g.primary.clone(),
                         },
                     );
-                    continue;
+                    return None;
                 }
             }
             obs::emit(
@@ -284,10 +455,8 @@ impl DumpVault {
                     verified,
                 },
             );
-            kept.push(g);
         }
-        self.generations = kept;
-        report
+        Some(g)
     }
 
     /// `true` if the replica at `path` reads back with the committed
@@ -464,6 +633,95 @@ mod tests {
         vault.scrub(&mut c, p);
         let retired = vault.take_retired_paths();
         assert_eq!(retired, vec![g1.primary, g1.mirror]);
+    }
+
+    #[test]
+    fn fenced_commit_is_refused_and_leaves_no_orphan() {
+        let (mut c, p) = one_node();
+        let mut vault = DumpVault::new("/local/app", "/nfs/app", 3);
+        // A writer records the epoch, stages a dump... and a failover
+        // bumps the epoch before it can commit.
+        let held = vault.epoch();
+        let staged = vault.stage_path();
+        stage(&mut c, p, &vault, 1);
+        assert_eq!(vault.advance_epoch(), held + 1);
+        let err = vault.commit_fenced(&mut c, p, &staged, held).unwrap_err();
+        assert_eq!(
+            err,
+            CommitError::Fenced {
+                held,
+                current: held + 1
+            }
+        );
+        // The staged dump was deleted — no orphan tmp file — and its
+        // path surfaces as retired so incremental refs get invalidated.
+        assert!(c.read_file(p, &staged).is_err());
+        assert_eq!(vault.take_retired_paths(), vec![staged.clone()]);
+        assert!(vault.generations().is_empty(), "nothing committed");
+        // The current-epoch writer commits the same generation fine.
+        stage(&mut c, p, &vault, 2);
+        let g = vault
+            .commit_fenced(&mut c, p, &staged, vault.epoch())
+            .unwrap();
+        assert_eq!(g.gen, 0, "generation number was never burned");
+    }
+
+    #[test]
+    fn verified_chain_skips_a_silently_corrupt_replica() {
+        let (mut c, p) = one_node();
+        let mut vault = DumpVault::new("/local/app", "/nfs/app", 3);
+        stage(&mut c, p, &vault, 4);
+        let g0 = vault.commit(&mut c, p).unwrap();
+        stage(&mut c, p, &vault, 5);
+        let g1 = vault.commit(&mut c, p).unwrap();
+        // Brownout bit-rot on the newest primary.
+        c.write_file(p, &g1.primary, vec![0xEE; 256]).unwrap();
+        assert_eq!(
+            vault.verified_chain(&mut c, p),
+            vec![g1.mirror.clone(), g0.primary.clone(), g0.mirror.clone()],
+            "the corrupt primary must not lead the chain"
+        );
+        // Both replicas of gen0 corrupt: fall back to the plain pair.
+        c.write_file(p, &g0.primary, vec![1; 4]).unwrap();
+        c.write_file(p, &g0.mirror, vec![2; 4]).unwrap();
+        assert_eq!(
+            vault.verified_chain(&mut c, p),
+            vec![g1.mirror, g0.primary, g0.mirror]
+        );
+    }
+
+    #[test]
+    fn budgeted_scrub_verifies_newest_first_and_reports_skips() {
+        let (mut c, p) = one_node();
+        let mut vault = DumpVault::new("/local/app", "/nfs/app", 3);
+        for i in 0..3u8 {
+            stage(&mut c, p, &vault, i);
+            vault.commit(&mut c, p).unwrap();
+        }
+        // Corrupt the oldest primary: a budget of 2 must not see it.
+        let oldest = vault.generations()[0].clone();
+        c.write_file(p, &oldest.primary, vec![9; 4]).unwrap();
+        let (report, skipped) = vault.scrub_budgeted(&mut c, p, 2);
+        assert_eq!(skipped, 1);
+        assert_eq!(
+            report,
+            ScrubReport {
+                verified: 4,
+                repaired: 0,
+                lost: 0
+            }
+        );
+        assert_eq!(vault.generations().len(), 3, "skipped gen untouched");
+        // An unbudgeted pass finds and repairs it.
+        let report = vault.scrub(&mut c, p);
+        assert_eq!(
+            report,
+            ScrubReport {
+                verified: 5,
+                repaired: 1,
+                lost: 0
+            }
+        );
     }
 
     #[test]

@@ -193,6 +193,17 @@ pub struct SupervisorReport {
     /// Application progress that had to be re-executed because it
     /// post-dated the last committed checkpoint.
     pub wasted_work: SimDuration,
+    /// Suspicions that probing proved wrong: the component was alive,
+    /// just slow (heartbeat loss, gray channel). No failure is counted
+    /// — the process kept its progress — but the probe time is booked
+    /// below.
+    pub false_positives: u32,
+    /// Virtual time the *supervisor itself* wasted probing live
+    /// components it wrongly suspected. Kept apart from `wasted_work`
+    /// so the Daly controller's MTBF estimate never sees a
+    /// detector-induced blip as an application failure (which would
+    /// over-stretch τ in the wrong direction).
+    pub induced_overhead: SimDuration,
     /// Virtual time spent taking checkpoints (the price of the cadence).
     pub checkpoint_overhead: SimDuration,
     /// Every checkpoint interval the controller put in force.
@@ -204,9 +215,10 @@ pub struct SupervisorReport {
 impl SupervisorReport {
     /// Everything the failures and the cadence cost on top of the
     /// fault-free run: re-executed work + checkpoint overhead +
-    /// downtime. The figure the interval policy is trying to minimize.
+    /// downtime + supervisor-induced probe time. The figure the
+    /// interval policy is trying to minimize.
     pub fn total_overhead(&self) -> SimDuration {
-        self.wasted_work + self.checkpoint_overhead + self.downtime
+        self.wasted_work + self.checkpoint_overhead + self.downtime + self.induced_overhead
     }
 }
 
@@ -434,6 +446,36 @@ impl Supervisor {
         );
     }
 
+    /// Account a suspicion that probing disproved: `src` was alive,
+    /// just slow (heartbeat loss, gray channel, partition). The probe
+    /// time is booked as *supervisor-induced* overhead — not downtime,
+    /// not wasted work, and crucially not a failure, so the Daly
+    /// controller's MTBF estimate is untouched and τ does not stretch
+    /// over a detector blip. The probe's fresh evidence of life also
+    /// feeds the monitor as a beat, clearing the suspicion.
+    pub fn false_positive(&mut self, src: BeatSource, probe_cost: SimDuration) {
+        self.now += probe_cost;
+        self.report.false_positives += 1;
+        self.report.induced_overhead += probe_cost;
+        self.monitor.beat(src, self.now);
+        obs::emit(
+            "supervisor",
+            self.now,
+            obs::EventKind::FalsePositive {
+                source: src.to_string(),
+                induced_ns: probe_cost.as_nanos(),
+            },
+        );
+        supervisor_event(
+            "supervisor.false_positive",
+            self.now,
+            vec![
+                ("source", src.to_string().into()),
+                ("probe_s", probe_cost.as_secs_f64().into()),
+            ],
+        );
+    }
+
     /// Sanction one repair attempt for the open incident. Returns the
     /// backoff to charge before the attempt, or `Err(Escalated)` when
     /// the ladder is exhausted. The backoff (zero for the first
@@ -636,6 +678,28 @@ mod tests {
         assert_eq!(report.repairs, 3);
         // Downtime: detection latency + 2 backoffs + 3 failed attempts.
         assert!(report.downtime >= SimDuration::from_millis(330));
+    }
+
+    #[test]
+    fn false_positive_books_induced_overhead_not_failure() {
+        let mut sup = Supervisor::new(cfg(), IntervalPolicy::DalyAdaptive, SimTime::ZERO);
+        let src = BeatSource::Proxy(Pid(3));
+        sup.monitor_mut().watch(src, SimTime::ZERO);
+        let tau_before = sup.interval();
+        sup.advance(SimTime::ZERO + SimDuration::from_secs(1));
+        sup.false_positive(src, SimDuration::from_millis(50));
+        // The probe's evidence of life cleared the suspicion…
+        let now = sup.now();
+        assert!(sup.monitor_mut().suspects(now).is_empty());
+        // …and the Daly controller never saw a failure: τ unmoved.
+        assert_eq!(sup.interval(), tau_before);
+        let report = sup.finish(true);
+        assert_eq!(report.failures, 0, "a live process is not a failure");
+        assert_eq!(report.false_positives, 1);
+        assert_eq!(report.induced_overhead, SimDuration::from_millis(50));
+        assert_eq!(report.downtime, SimDuration::ZERO);
+        assert_eq!(report.wasted_work, SimDuration::ZERO);
+        assert_eq!(report.total_overhead(), SimDuration::from_millis(50));
     }
 
     #[test]

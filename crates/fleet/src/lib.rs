@@ -108,6 +108,34 @@ pub struct FleetConfig {
     /// Verify every finished job's checksums against an uninterrupted
     /// solo run of the same spec (cached per distinct spec).
     pub check_bit_exact: bool,
+    /// Backpressure rung 1 — *stretch*: while any node's `ckpt.disk`
+    /// backlog sits at or above this, the preemption cooldown is
+    /// multiplied by `backlog / threshold` (clamped to 8×). Young/Daly
+    /// in fleet clothing: a brownout inflates the checkpoint cost δ, so
+    /// τ = sqrt(2δM) says checkpoint *less often*, not queue harder.
+    /// `None` disables the rung.
+    pub stretch_backlog: Option<SimDuration>,
+    /// Backpressure rung 2 — *shed*: a node whose `ckpt.disk` backlog
+    /// reaches this sheds its least important tenant by
+    /// checkpoint-preemption even when nothing is waiting, freeing the
+    /// slot (and its I/O share) for later redispatch on a cooler node.
+    /// `None` disables the rung.
+    pub shed_backlog: Option<SimDuration>,
+    /// Backpressure rung 3 — *reject*: a job arriving while any node's
+    /// `ckpt.disk` backlog is at or above this is refused admission
+    /// with a typed `admission_rejected` obs event instead of queueing
+    /// into a fleet that cannot serve it. Rejected jobs are excluded
+    /// from SLO accounting. `None` disables the rung.
+    pub reject_backlog: Option<SimDuration>,
+    /// Channel brownouts: `(node, from, until, percent)` windows during
+    /// which the node's `ckpt.disk` channel runs at `percent`% of its
+    /// bandwidth. This is what builds the backlog the ladder reacts to.
+    pub brownouts: Vec<(usize, SimTime, SimTime, u32)>,
+    /// Placement fences: `(node, from, until)` windows during which the
+    /// node is partitioned from the scheduler (a rack outage, a network
+    /// partition) — no *new* tenant is placed there while the window is
+    /// open, unless it holds the only free slots left.
+    pub drains: Vec<(usize, SimTime, SimTime)>,
 }
 
 impl Default for FleetConfig {
@@ -121,6 +149,11 @@ impl Default for FleetConfig {
             preempt_cooldown: SimDuration::from_millis(60),
             max_preemptions_per_job: 4,
             check_bit_exact: true,
+            stretch_backlog: None,
+            shed_backlog: None,
+            reject_backlog: None,
+            brownouts: Vec::new(),
+            drains: Vec::new(),
         }
     }
 }
@@ -211,11 +244,14 @@ pub struct JobOutcome {
 /// What a fleet run produced.
 #[derive(Clone, Debug)]
 pub struct FleetReport {
-    /// Jobs admitted.
+    /// Jobs offered to the fleet (admitted + rejected).
     pub jobs: usize,
-    /// Jobs that ran to completion (always == jobs today; the field
-    /// keeps the invariant checkable).
+    /// Jobs that ran to completion (always == jobs − rejected; the
+    /// field keeps the invariant checkable).
     pub completed: usize,
+    /// Jobs refused at admission by the backpressure ladder's reject
+    /// rung. Excluded from latency and SLO accounting.
+    pub rejected: usize,
     /// Cluster width.
     pub nodes: usize,
     /// Slots per node.
@@ -321,6 +357,8 @@ struct Job {
     preempt_req: bool,
     migrate_req: Option<usize>,
     final_node: usize,
+    /// Refused at admission by the backpressure reject rung.
+    rejected: bool,
 }
 
 /// Ordering key in the ready/running sets: priority first, then
@@ -392,15 +430,25 @@ impl Sched {
                 bit_exact: None,
                 preempt_req: false,
                 migrate_req: None,
+                rejected: false,
             })
             .collect();
+        let mut chans = ChannelMap::new(SimTime::ZERO);
+        // Install brownout windows up front: the degraded `ckpt.disk`
+        // channel is what every later placement (and the rebalancer's
+        // backlog reads) sees.
+        for &(node, from, until, percent) in &cfg.brownouts {
+            let set = chans.node(node);
+            let ch = set.channel("ckpt.disk");
+            set.degrade(ch, from, until, percent);
+        }
         Sched {
             cluster,
             node_ids,
             jobs,
             procs: ProcSet::new(),
             queue: EventQueue::new(),
-            chans: ChannelMap::new(SimTime::ZERO),
+            chans,
             ready: BTreeSet::new(),
             running: BTreeSet::new(),
             slots,
@@ -424,18 +472,74 @@ impl Sched {
     }
 
     /// The node with the most free slots (ties to the lowest index) —
-    /// spreading load keeps nodes symmetric for gang admission.
-    fn best_node(&self) -> Option<usize> {
+    /// spreading load keeps nodes symmetric for gang admission. Nodes
+    /// inside an open drain window (partition / rack fence) are
+    /// avoided; they are used only when nothing else has a free slot,
+    /// so admitted work always completes.
+    fn best_node(&self, now: SimTime) -> Option<usize> {
         let mut best: Option<(usize, usize)> = None;
+        let mut fenced_best: Option<(usize, usize)> = None;
         for (n, &f) in self.free.iter().enumerate() {
             if f == 0 {
                 continue;
             }
-            if best.map(|(bf, _)| f > bf).unwrap_or(true) {
-                best = Some((f, n));
+            let slot = if self.node_fenced(n, now) {
+                &mut fenced_best
+            } else {
+                &mut best
+            };
+            if slot.map(|(bf, _)| f > bf).unwrap_or(true) {
+                *slot = Some((f, n));
             }
         }
-        best.map(|(_, n)| n)
+        best.or(fenced_best).map(|(_, n)| n)
+    }
+
+    /// Whether `node` sits inside an open drain window at `now`.
+    fn node_fenced(&self, node: usize, now: SimTime) -> bool {
+        self.cfg
+            .drains
+            .iter()
+            .any(|&(n, from, until)| n == node && now >= from && now < until)
+    }
+
+    /// `ckpt.disk` backlog of one node at `now` (zero if the channel
+    /// has never been placed on).
+    fn node_backlog(&self, node: usize, now: SimTime) -> SimDuration {
+        self.chans
+            .try_node(node)
+            .and_then(|set| set.lookup("ckpt.disk").map(|ch| (set, ch)))
+            .map(|(set, ch)| set.free_at(ch).max(now).since(now))
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Worst `ckpt.disk` backlog across the fleet: the pressure signal
+    /// every rung of the backpressure ladder reads.
+    fn max_backlog(&self, now: SimTime) -> (SimDuration, usize) {
+        let mut worst = (SimDuration::ZERO, 0usize);
+        for n in 0..self.cfg.nodes {
+            let b = self.node_backlog(n, now);
+            if b > worst.0 {
+                worst = (b, n);
+            }
+        }
+        worst
+    }
+
+    /// Preemption cooldown after the stretch rung: under sustained
+    /// backlog the cooldown grows with `backlog / threshold` (clamped
+    /// to 8×) — checkpointing is exactly the I/O the hot channel does
+    /// not have, so the cadence stretches instead of piling on.
+    fn effective_cooldown(&self, now: SimTime) -> SimDuration {
+        let base = self.cfg.preempt_cooldown;
+        let Some(threshold) = self.cfg.stretch_backlog else {
+            return base;
+        };
+        let (backlog, _) = self.max_backlog(now);
+        if backlog < threshold || threshold.as_nanos() == 0 {
+            return base;
+        }
+        base * (backlog.as_nanos() / threshold.as_nanos()).clamp(1, 8)
     }
 
     fn claim_slot(&mut self, node: usize, idx: u32) -> usize {
@@ -509,7 +613,7 @@ impl Sched {
         let ranks = self.jobs[idx as usize].spec.ranks as usize;
         let mut placed: Vec<(usize, usize)> = Vec::with_capacity(ranks);
         for _ in 0..ranks {
-            let node = self.best_node().expect("dispatch checked capacity");
+            let node = self.best_node(now).expect("dispatch checked capacity");
             let slot = self.claim_slot(node, idx);
             placed.push((node, slot));
         }
@@ -670,7 +774,10 @@ impl Sched {
             return;
         };
         // Worst running tenant that is past its cooldown and under its
-        // preemption budget.
+        // preemption budget. The cooldown is the stretch rung's lever:
+        // under sustained checkpoint-channel backlog it grows, spacing
+        // the dumps a preemption costs.
+        let cooldown = self.effective_cooldown(now);
         let victim = self
             .running
             .iter()
@@ -680,7 +787,42 @@ impl Sched {
                 p > wait_prio
                     && !job.preempt_req
                     && job.preemptions < self.cfg.max_preemptions_per_job
-                    && now.since(job.last_start) >= self.cfg.preempt_cooldown
+                    && now.since(job.last_start) >= cooldown
+            })
+            .copied();
+        if let Some((_, j)) = victim {
+            self.jobs[j as usize].preempt_req = true;
+            self.pending_preempts += 1;
+        }
+    }
+
+    /// Backpressure shed rung: a node whose checkpoint channel is
+    /// backlogged past the shed threshold checkpoints its least
+    /// important tenant out *even with nothing waiting* — the slot (and
+    /// the tenant's share of the hot channel) frees up, and redispatch
+    /// places the job on a cooler node.
+    fn maybe_shed(&mut self, now: SimTime) {
+        let Some(threshold) = self.cfg.shed_backlog else {
+            return;
+        };
+        if self.pending_preempts > 0 {
+            return;
+        }
+        let (backlog, hot_n) = self.max_backlog(now);
+        if backlog < threshold {
+            return;
+        }
+        let cooldown = self.effective_cooldown(now);
+        let victim = self
+            .running
+            .iter()
+            .rev()
+            .find(|&&(_, j)| {
+                let job = &self.jobs[j as usize];
+                !job.preempt_req
+                    && job.preemptions < self.cfg.max_preemptions_per_job
+                    && now.since(job.last_start) >= cooldown
+                    && job.last_nodes.contains(&hot_n)
             })
             .copied();
         if let Some((_, j)) = victim {
@@ -957,6 +1099,27 @@ impl Sched {
         let proc = self.procs.spawn();
         debug_assert_eq!(proc.index(), idx as usize);
         self.jobs[idx as usize].proc = Some(proc);
+        // Backpressure reject rung: a fleet already drowning in
+        // checkpoint backlog refuses new work with a typed rejection
+        // instead of queueing it into an SLO it cannot meet.
+        if let Some(threshold) = self.cfg.reject_backlog {
+            let (backlog, _) = self.max_backlog(now);
+            if backlog >= threshold {
+                let job = &mut self.jobs[idx as usize];
+                job.rejected = true;
+                job.phase = JobPhase::Done;
+                self.procs.set_state(proc, ProcState::Done);
+                obs::emit(
+                    "fleet",
+                    now,
+                    obs::EventKind::AdmissionRejected {
+                        job: job.spec.name.clone(),
+                        backlog_ns: backlog.as_nanos(),
+                    },
+                );
+                return;
+            }
+        }
         let ev = self.queue.push(now + self.cfg.slo, Ev::Deadline(idx));
         let job = &mut self.jobs[idx as usize];
         job.deadline = Some(ev);
@@ -1045,6 +1208,7 @@ impl Sched {
                 }
             }
             self.maybe_preempt(now);
+            self.maybe_shed(now);
             self.maybe_rebalance(now);
             self.dispatch(now);
         }
@@ -1063,7 +1227,15 @@ impl Sched {
         let mut slo_attained = 0u64;
         let mut slo_missed = 0u64;
         let mut completed = 0usize;
+        let mut rejected = 0usize;
         for job in &self.jobs {
+            if job.rejected {
+                // Refused at the door: no latency, no SLO verdict, no
+                // outcome row — the ledger's admission_rejected record
+                // is the full accounting.
+                rejected += 1;
+                continue;
+            }
             let done = job.completed_at.expect("fleet drained incomplete");
             completed += 1;
             let latency = done.since(job.spec.arrival);
@@ -1110,6 +1282,7 @@ impl Sched {
         FleetReport {
             jobs: self.jobs.len(),
             completed,
+            rejected,
             nodes: self.cfg.nodes,
             slots_per_node: self.cfg.slots_per_node,
             makespan,
@@ -1176,6 +1349,77 @@ mod tests {
         assert_eq!(report.bit_exact_checked, 12);
         assert!(report.all_bit_exact(), "a job diverged from its baseline");
         assert!(report.makespan > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn drain_window_fences_new_placements() {
+        let cfg = FleetConfig {
+            nodes: 2,
+            slots_per_node: 2,
+            drains: vec![(
+                0,
+                SimTime::ZERO,
+                SimTime::ZERO + SimDuration::from_secs(3600),
+            )],
+            ..FleetConfig::default()
+        };
+        let specs: Vec<JobSpec> = (0..2)
+            .map(|i| JobSpec {
+                name: format!("d{i}"),
+                workload: "oclVectorAdd",
+                scale_milli: 10,
+                priority: 0,
+                arrival: SimTime::ZERO,
+                ranks: 1,
+            })
+            .collect();
+        let report = run_fleet(&cfg, specs);
+        assert_eq!(report.completed, 2);
+        for o in &report.outcomes {
+            assert_ne!(o.node, 0, "{} placed inside the fenced rack", o.name);
+        }
+    }
+
+    #[test]
+    fn brownout_ladder_completes_every_admitted_job() {
+        // Node 0's checkpoint channel browns out to 5% for the whole
+        // run; every rung of the ladder is armed. The invariants: no
+        // admitted job is stranded, and SLO accounting stays drift-free
+        // (attained + missed == completed, rejected jobs outside it).
+        let cfg = FleetConfig {
+            nodes: 2,
+            slots_per_node: 2,
+            stretch_backlog: Some(SimDuration::from_micros(500)),
+            shed_backlog: Some(SimDuration::from_millis(1)),
+            reject_backlog: Some(SimDuration::from_millis(4)),
+            brownouts: vec![(
+                0,
+                SimTime::ZERO,
+                SimTime::ZERO + SimDuration::from_secs(3600),
+                5,
+            )],
+            ..FleetConfig::default()
+        };
+        let specs = default_job_mix(16, 3, SimDuration::from_micros(20));
+        let report = run_fleet(&cfg, specs);
+        assert_eq!(report.completed + report.rejected, report.jobs);
+        assert_eq!(
+            report.slo_attained + report.slo_missed,
+            report.completed as u64,
+            "SLO accounting drifted"
+        );
+        assert_eq!(report.outcomes.len(), report.completed);
+        assert!(report.all_bit_exact(), "a job diverged under the brownout");
+    }
+
+    #[test]
+    fn backpressure_off_is_bitwise_the_baseline() {
+        // The ladder knobs default to None/empty: a run with the
+        // defaults must be indistinguishable from one predating them.
+        let cfg = small_cfg();
+        let a = run_fleet(&cfg, default_job_mix(12, 7, SimDuration::from_micros(50)));
+        assert_eq!(a.rejected, 0);
+        assert_eq!(a.completed, a.jobs);
     }
 
     #[test]

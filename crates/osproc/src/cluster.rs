@@ -251,9 +251,12 @@ impl Cluster {
         data: Vec<u8>,
     ) -> Result<SimDuration, FsError> {
         let (fs_id, rel, mut clock) = self.resolve_for(pid, path)?;
+        let kind = self.filesystems[fs_id.0 as usize].kind();
         let mut data = data;
         if let Some(plan) = self.faults.as_mut() {
-            let kind = self.filesystems[fs_id.0 as usize].kind();
+            if plan.crash_due(clock) {
+                return Err(FsError::WriteFailed(path.to_string()));
+            }
             match plan.on_write(kind, path, clock, data.len()) {
                 WriteFault::None => {}
                 WriteFault::Fail => {
@@ -272,7 +275,14 @@ impl Cluster {
                 }
             }
         }
-        let cost = self.filesystems[fs_id.0 as usize].write(&mut clock, &rel, data);
+        let mut cost = self.filesystems[fs_id.0 as usize].write(&mut clock, &rel, data);
+        if let Some(plan) = self.faults.as_mut() {
+            // A browned-out mount still stores the bytes — it just
+            // takes `100/percent` as long.
+            let extra = plan.degradation_extra(kind, clock, cost);
+            clock += extra;
+            cost += extra;
+        }
         self.process_mut(pid).clock = clock;
         Ok(cost)
     }
@@ -289,9 +299,12 @@ impl Cluster {
         data: &[u8],
     ) -> Result<SimDuration, FsError> {
         let (fs_id, rel, mut clock) = self.resolve_for(pid, path)?;
+        let kind = self.filesystems[fs_id.0 as usize].kind();
         let mut data = data.to_vec();
         if let Some(plan) = self.faults.as_mut() {
-            let kind = self.filesystems[fs_id.0 as usize].kind();
+            if plan.crash_due(clock) {
+                return Err(FsError::WriteFailed(path.to_string()));
+            }
             match plan.on_write(kind, path, clock, data.len()) {
                 WriteFault::None => {}
                 WriteFault::Fail => {
@@ -310,7 +323,12 @@ impl Cluster {
                 }
             }
         }
-        let cost = self.filesystems[fs_id.0 as usize].append(&mut clock, &rel, &data);
+        let mut cost = self.filesystems[fs_id.0 as usize].append(&mut clock, &rel, &data);
+        if let Some(plan) = self.faults.as_mut() {
+            let extra = plan.degradation_extra(kind, clock, cost);
+            clock += extra;
+            cost += extra;
+        }
         self.process_mut(pid).clock = clock;
         Ok(cost)
     }
@@ -326,7 +344,12 @@ impl Cluster {
                 return Err(FsError::Unavailable(path.to_string()));
             }
         }
+        let before = clock;
         let data = self.filesystems[fs_id.0 as usize].read(&mut clock, &rel)?;
+        if let Some(plan) = self.faults.as_mut() {
+            let kind = self.filesystems[fs_id.0 as usize].kind();
+            clock += plan.degradation_extra(kind, clock, clock.since(before));
+        }
         self.process_mut(pid).clock = clock;
         Ok(data)
     }
@@ -338,6 +361,14 @@ impl Cluster {
     pub fn rename_file(&mut self, pid: Pid, from: &str, to: &str) -> Result<(), FsError> {
         let (from_fs, from_rel, mut clock) = self.resolve_for(pid, from)?;
         let (to_fs, to_rel, _) = self.resolve_for(pid, to)?;
+        if let Some(plan) = self.faults.as_mut() {
+            // The torture gate only: rename is atomic and never
+            // partially fault-injected, but a dead process renames
+            // nothing.
+            if plan.crash_due(clock) {
+                return Err(FsError::WriteFailed(to.to_string()));
+            }
+        }
         if from_fs == to_fs {
             self.filesystems[from_fs.0 as usize].rename(&mut clock, &from_rel, &to_rel)?;
         } else {
@@ -352,6 +383,11 @@ impl Cluster {
     /// Delete a file at an absolute path as seen by `pid`.
     pub fn delete_file(&mut self, pid: Pid, path: &str) -> Result<(), FsError> {
         let (fs_id, rel, mut clock) = self.resolve_for(pid, path)?;
+        if let Some(plan) = self.faults.as_mut() {
+            if plan.crash_due(clock) {
+                return Err(FsError::WriteFailed(path.to_string()));
+            }
+        }
         self.filesystems[fs_id.0 as usize].delete(&mut clock, &rel)?;
         self.process_mut(pid).clock = clock;
         Ok(())

@@ -40,6 +40,17 @@ pub enum FaultKind {
     PipeBreak,
     /// The API proxy process dies.
     ProxyDeath,
+    /// A storage channel runs at reduced bandwidth for a window — the
+    /// gray sibling of an outage: every I/O still succeeds, just
+    /// slower.
+    ChannelDegraded,
+    /// Heartbeats are dropped for a window while the sender stays
+    /// alive, stressing the failure detector with false positives.
+    HeartbeatLoss,
+    /// The supervisor loses network reachability to a set of nodes for
+    /// a window that later heals; the nodes (and any writer on them)
+    /// keep running.
+    Partition,
 }
 
 impl FaultKind {
@@ -53,6 +64,9 @@ impl FaultKind {
             FaultKind::NodeCrash => "node_crash",
             FaultKind::PipeBreak => "pipe_break",
             FaultKind::ProxyDeath => "proxy_death",
+            FaultKind::ChannelDegraded => "channel_degraded",
+            FaultKind::HeartbeatLoss => "heartbeat_loss",
+            FaultKind::Partition => "partition",
         }
     }
 }
@@ -122,7 +136,44 @@ pub struct FaultPlan {
     proxy_death_rate: Option<RecurringFaults<()>>,
     /// Recurring node crashes: same shape, plus the candidate victims.
     node_crash_rate: Option<RecurringFaults<Vec<NodeId>>>,
+    /// Gray-failure windows: storage running at reduced bandwidth.
+    degradations: Vec<GrayWindow>,
+    /// Gray-failure windows: heartbeats silently dropped while the
+    /// sender stays alive.
+    heartbeat_losses: Vec<GrayWindow>,
+    /// Gray-failure windows: supervisor↔node partitions that heal.
+    partitions: Vec<GrayWindow>,
+    /// Named failure domains (rack/zone): members crash together when
+    /// a domain crash is scheduled.
+    domains: Vec<(String, Vec<NodeId>)>,
+    /// Scheduled correlated crashes of a whole domain by name.
+    domain_crashes: Vec<(SimTime, String)>,
+    /// Torture-harness hook: once the obs ledger has recorded this
+    /// many events, every subsequent filesystem mutation fails — the
+    /// process "died" at exactly that event boundary.
+    crash_at_event: Option<u64>,
+    crash_tripped: bool,
     log: Vec<InjectedFault>,
+}
+
+/// One gray-failure window `[from, until)`. `percent` is the surviving
+/// bandwidth for degradations (ignored for loss/partition windows);
+/// `fs`/`nodes` scope the window; `recorded` makes the window log one
+/// `FaultInjected` on first activation instead of one per poll.
+#[derive(Clone, Debug)]
+struct GrayWindow {
+    from: SimTime,
+    until: SimTime,
+    percent: u32,
+    fs: Option<FsKind>,
+    nodes: Vec<NodeId>,
+    recorded: bool,
+}
+
+impl GrayWindow {
+    fn active(&self, now: SimTime) -> bool {
+        now >= self.from && now < self.until
+    }
 }
 
 /// An open-ended stream of one fault class: arrivals are drawn one at
@@ -192,6 +243,13 @@ impl FaultPlan {
             pipe_breaks: Vec::new(),
             proxy_death_rate: None,
             node_crash_rate: None,
+            degradations: Vec::new(),
+            heartbeat_losses: Vec::new(),
+            partitions: Vec::new(),
+            domains: Vec::new(),
+            domain_crashes: Vec::new(),
+            crash_at_event: None,
+            crash_tripped: false,
             log: Vec::new(),
         }
     }
@@ -310,6 +368,203 @@ impl FaultPlan {
         self
     }
 
+    /// Mounts of kind `fs` (all kinds when `None`) run at `percent`%
+    /// of their normal bandwidth during `[from, until)` — a brownout.
+    /// I/O succeeds but each operation's cost inflates by
+    /// `100/percent`. `percent` must be in `1..=99`.
+    pub fn schedule_degradation(
+        mut self,
+        from: SimTime,
+        until: SimTime,
+        percent: u32,
+        fs: Option<FsKind>,
+    ) -> Self {
+        assert!(
+            (1..100).contains(&percent),
+            "degradation percent must be in 1..=99, got {percent}"
+        );
+        self.degradations.push(GrayWindow {
+            from,
+            until,
+            percent,
+            fs,
+            nodes: Vec::new(),
+            recorded: false,
+        });
+        self
+    }
+
+    /// Heartbeats are silently dropped during `[from, until)` while
+    /// every sender stays alive — the classic gray failure that turns
+    /// a timeout detector into a false-positive machine.
+    pub fn schedule_heartbeat_loss(mut self, from: SimTime, until: SimTime) -> Self {
+        self.heartbeat_losses.push(GrayWindow {
+            from,
+            until,
+            percent: 0,
+            fs: None,
+            nodes: Vec::new(),
+            recorded: false,
+        });
+        self
+    }
+
+    /// The supervisor cannot reach `nodes` during `[from, until)`; the
+    /// nodes and their processes keep running and the partition heals
+    /// when the window closes.
+    pub fn schedule_partition(mut self, from: SimTime, until: SimTime, nodes: &[NodeId]) -> Self {
+        assert!(!nodes.is_empty(), "a partition needs >= 1 node");
+        self.partitions.push(GrayWindow {
+            from,
+            until,
+            percent: 0,
+            fs: None,
+            nodes: nodes.to_vec(),
+            recorded: false,
+        });
+        self
+    }
+
+    /// Name a failure domain (rack/zone) containing `nodes`. Used both
+    /// for correlated crashes ([`FaultPlan::schedule_domain_crash`])
+    /// and for domain-aware failover-target selection
+    /// ([`FaultPlan::domain_of`]).
+    pub fn define_domain(mut self, name: &str, nodes: &[NodeId]) -> Self {
+        assert!(!nodes.is_empty(), "a failure domain needs >= 1 node");
+        self.domains.push((name.to_string(), nodes.to_vec()));
+        self
+    }
+
+    /// Crash every member of the named domain together at `at`
+    /// (delivered through `Cluster::poll_faults` like single-node
+    /// crashes).
+    pub fn schedule_domain_crash(mut self, at: SimTime, domain: &str) -> Self {
+        assert!(
+            self.domains.iter().any(|(n, _)| n == domain),
+            "unknown failure domain {domain:?}"
+        );
+        self.domain_crashes.push((at, domain.to_string()));
+        self
+    }
+
+    /// Torture-harness hook: once the obs ledger holds `n` events,
+    /// every subsequent filesystem mutation (write, append, rename,
+    /// delete) fails — the process died at exactly that obs-event
+    /// boundary. Requires obs recording to be on; disarm by taking the
+    /// plan off the cluster.
+    pub fn crash_after_events(mut self, n: u64) -> Self {
+        self.crash_at_event = Some(n);
+        self
+    }
+
+    /// The failure domain `node` belongs to, if any.
+    pub fn domain_of(&self, node: NodeId) -> Option<&str> {
+        self.domains
+            .iter()
+            .find(|(_, members)| members.contains(&node))
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// Extra virtual time a filesystem operation of base cost `cost`
+    /// pays right now on a mount of kind `fs` due to an active
+    /// degradation window (zero when healthy). The first hit of each
+    /// window records one `ChannelDegraded` fault.
+    pub fn degradation_extra(
+        &mut self,
+        fs: FsKind,
+        now: SimTime,
+        cost: SimDuration,
+    ) -> SimDuration {
+        let hit = self
+            .degradations
+            .iter()
+            .position(|w| w.active(now) && w.fs.is_none_or(|k| k == fs));
+        let Some(i) = hit else {
+            return SimDuration::ZERO;
+        };
+        let w = &mut self.degradations[i];
+        let percent = w.percent as u64;
+        let (from, until, first) = (w.from, w.until, !w.recorded);
+        self.degradations[i].recorded = true;
+        if first {
+            self.record(
+                FaultKind::ChannelDegraded,
+                now,
+                format!("{fs:?} at {percent}% bandwidth for {:?}..{:?}", from, until),
+            );
+        }
+        SimDuration::from_nanos(cost.as_nanos() * (100 - percent) / percent)
+    }
+
+    /// `true` while heartbeats are being dropped (the supervise loop
+    /// polls this and suppresses its beats). The first poll inside
+    /// each window records one `HeartbeatLoss` fault.
+    pub fn heartbeats_lost(&mut self, now: SimTime) -> bool {
+        let hit = self.heartbeat_losses.iter().position(|w| w.active(now));
+        let Some(i) = hit else { return false };
+        let (from, until, first) = (
+            self.heartbeat_losses[i].from,
+            self.heartbeat_losses[i].until,
+            !self.heartbeat_losses[i].recorded,
+        );
+        self.heartbeat_losses[i].recorded = true;
+        if first {
+            self.record(
+                FaultKind::HeartbeatLoss,
+                now,
+                format!("heartbeats dropped {:?}..{:?}", from, until),
+            );
+        }
+        true
+    }
+
+    /// `true` while the supervisor cannot reach `node`. The first poll
+    /// inside each window records one `Partition` fault.
+    pub fn partitioned(&mut self, node: NodeId, now: SimTime) -> bool {
+        let hit = self
+            .partitions
+            .iter()
+            .position(|w| w.active(now) && w.nodes.contains(&node));
+        let Some(i) = hit else { return false };
+        let (from, until, first) = (
+            self.partitions[i].from,
+            self.partitions[i].until,
+            !self.partitions[i].recorded,
+        );
+        self.partitions[i].recorded = true;
+        if first {
+            let nodes = self.partitions[i].nodes.clone();
+            self.record(
+                FaultKind::Partition,
+                now,
+                format!("nodes {nodes:?} unreachable {:?}..{:?}", from, until),
+            );
+        }
+        true
+    }
+
+    /// Torture-harness gate, called by every `Cluster` filesystem
+    /// mutation: `true` once the armed obs-event boundary has been
+    /// reached — the process is dead, every further effect must fail.
+    pub fn crash_due(&mut self, now: SimTime) -> bool {
+        if self.crash_tripped {
+            return true;
+        }
+        let Some(n) = self.crash_at_event else {
+            return false;
+        };
+        if obs::event_count() as u64 >= n {
+            self.crash_tripped = true;
+            self.record(
+                FaultKind::NodeCrash,
+                now,
+                format!("torture crash at obs event boundary {n}"),
+            );
+            return true;
+        }
+        false
+    }
+
     /// Everything injected so far, in injection order.
     pub fn log(&self) -> &[InjectedFault] {
         &self.log
@@ -326,6 +581,7 @@ impl FaultPlan {
             || self.short_next_writes > 0
             || self.corrupt_next_writes > 0
             || !self.node_crashes.is_empty()
+            || !self.domain_crashes.is_empty()
             || !self.proxy_deaths.is_empty()
             || !self.pipe_breaks.is_empty()
     }
@@ -467,6 +723,35 @@ impl FaultPlan {
             self.record(FaultKind::NodeCrash, *at, format!("node {node:?}"))
         });
         let mut out: Vec<NodeId> = due.into_iter().map(|(_, node)| node).collect();
+        // Correlated domain crashes: every member of the named domain
+        // goes down together (one recorded fault per member, so the
+        // blast radius is visible in the ledger).
+        let mut due_domains = Vec::new();
+        let mut later = Vec::new();
+        for (at, name) in std::mem::take(&mut self.domain_crashes) {
+            if at <= now {
+                due_domains.push((at, name));
+            } else {
+                later.push((at, name));
+            }
+        }
+        self.domain_crashes = later;
+        for (at, name) in due_domains {
+            let members = self
+                .domains
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, m)| m.clone())
+                .unwrap_or_default();
+            for node in members {
+                self.record(
+                    FaultKind::NodeCrash,
+                    at,
+                    format!("node {node:?} (domain {name})"),
+                );
+                out.push(node);
+            }
+        }
         if let Some(rate) = self.node_crash_rate.as_mut() {
             if rate.due(now) {
                 let victim = rate.targets[rate.rng.next_below(rate.targets.len() as u64) as usize];
@@ -650,6 +935,72 @@ mod tests {
         }
         assert!(fired >= 1, "the stream must keep delivering after arming");
         assert!(fired <= 20, "a 10 ms mean cannot fire {fired}x in 40 ms");
+    }
+
+    #[test]
+    fn degradation_window_inflates_cost_and_records_once() {
+        let mut plan =
+            FaultPlan::new(6).schedule_degradation(t(10), t(20), 25, Some(FsKind::LocalDisk));
+        let cost = SimDuration::from_nanos(1000);
+        // Healthy before the window and on other mounts.
+        assert_eq!(
+            plan.degradation_extra(FsKind::LocalDisk, t(5), cost),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            plan.degradation_extra(FsKind::Nfs, t(15), cost),
+            SimDuration::ZERO
+        );
+        // 25% bandwidth → 4x cost → 3x extra.
+        assert_eq!(
+            plan.degradation_extra(FsKind::LocalDisk, t(15), cost),
+            SimDuration::from_nanos(3000)
+        );
+        // Repeated hits keep inflating but record one fault total.
+        assert_eq!(
+            plan.degradation_extra(FsKind::LocalDisk, t(16), cost),
+            SimDuration::from_nanos(3000)
+        );
+        assert_eq!(plan.count(FaultKind::ChannelDegraded), 1);
+        // Healthy again after the window.
+        assert_eq!(
+            plan.degradation_extra(FsKind::LocalDisk, t(20), cost),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn heartbeat_loss_and_partition_windows_are_half_open() {
+        let mut plan = FaultPlan::new(7)
+            .schedule_heartbeat_loss(t(10), t(20))
+            .schedule_partition(t(30), t(40), &[NodeId(1)]);
+        assert!(!plan.heartbeats_lost(t(9)));
+        assert!(plan.heartbeats_lost(t(10)));
+        assert!(plan.heartbeats_lost(t(19)));
+        assert!(!plan.heartbeats_lost(t(20)));
+        assert!(!plan.partitioned(NodeId(1), t(29)));
+        assert!(plan.partitioned(NodeId(1), t(35)));
+        assert!(!plan.partitioned(NodeId(2), t(35)), "only listed nodes");
+        assert!(!plan.partitioned(NodeId(1), t(40)), "the partition heals");
+        assert_eq!(plan.count(FaultKind::HeartbeatLoss), 1);
+        assert_eq!(plan.count(FaultKind::Partition), 1);
+    }
+
+    #[test]
+    fn domain_crash_takes_every_member_together() {
+        let rack = [NodeId(1), NodeId(2), NodeId(3)];
+        let mut plan = FaultPlan::new(8)
+            .define_domain("rack0", &rack)
+            .define_domain("rack1", &[NodeId(4)])
+            .schedule_domain_crash(t(50), "rack0");
+        assert_eq!(plan.domain_of(NodeId(2)), Some("rack0"));
+        assert_eq!(plan.domain_of(NodeId(4)), Some("rack1"));
+        assert_eq!(plan.domain_of(NodeId(9)), None);
+        assert!(plan.due_node_crashes(t(49)).is_empty());
+        let crashed = plan.due_node_crashes(t(50));
+        assert_eq!(crashed, rack.to_vec());
+        assert_eq!(plan.count(FaultKind::NodeCrash), 3);
+        assert!(plan.due_node_crashes(t(51)).is_empty(), "one-shot");
     }
 
     #[test]

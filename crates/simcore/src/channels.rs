@@ -56,6 +56,29 @@ struct Channel {
     /// starts past the old frontier records the skipped span, and a
     /// background placement carves the earliest fitting gap.
     gaps: Vec<(SimTime, SimTime)>,
+    /// Degradation (brownout) windows `[from, until) → percent`: while
+    /// a placement *starts* inside a window the channel runs at
+    /// `percent`% of its normal bandwidth, so the placed cost inflates
+    /// by `100/percent`. Empty for healthy channels — the common case
+    /// pays one `is_empty` check.
+    degradations: Vec<(SimTime, SimTime, u32)>,
+}
+
+impl Channel {
+    /// Cost of `cost` units of work starting at `at`, inflated by any
+    /// active degradation window. Integer nanosecond math so degraded
+    /// schedules replay bit-exactly.
+    fn scaled(&self, at: SimTime, cost: SimDuration) -> SimDuration {
+        if self.degradations.is_empty() {
+            return cost;
+        }
+        for &(from, until, percent) in &self.degradations {
+            if at >= from && at < until {
+                return SimDuration::from_nanos(cost.as_nanos() * 100 / percent as u64);
+            }
+        }
+        cost
+    }
 }
 
 /// Per-channel accounting snapshot (the "per-channel busy time" half of
@@ -137,6 +160,7 @@ impl ChannelSet {
             busy: SimDuration::ZERO,
             ops: 0,
             gaps: Vec::new(),
+            degradations: Vec::new(),
         });
         self.by_name.insert(interned, idx);
         if let Some(base) = self.track {
@@ -150,6 +174,20 @@ impl ChannelSet {
     /// Look up a channel by name without creating it (never allocates).
     pub fn lookup(&self, name: &str) -> Option<ChannelId> {
         self.by_name.get(name).copied().map(ChannelId)
+    }
+
+    /// Degrade `ch` to `percent`% of its normal bandwidth while a
+    /// placement starts inside `[from, until)` — a brownout, the gray
+    /// sibling of an outage: the channel keeps serving, just slower.
+    /// `percent` must be in `1..=100`; 100 is a no-op window.
+    pub fn degrade(&mut self, ch: ChannelId, from: SimTime, until: SimTime, percent: u32) {
+        assert!(
+            (1..=100).contains(&percent),
+            "degradation percent must be in 1..=100, got {percent}"
+        );
+        self.channels[ch.0]
+            .degradations
+            .push((from, until, percent));
     }
 
     /// Schedule `cost` units of work on `ch`, not starting before
@@ -168,6 +206,7 @@ impl ChannelSet {
             // The skipped span stays claimable by background work.
             chan.gaps.push((chan.free_at, start));
         }
+        let cost = chan.scaled(start, cost);
         let end = start + cost;
         chan.free_at = end;
         chan.busy += cost;
@@ -197,18 +236,22 @@ impl ChannelSet {
     ) -> Placement {
         let ready = ready.max(self.origin);
         let chan = &mut self.channels[ch.0];
-        let mut chosen: Option<(usize, SimTime)> = None;
+        // Each gap candidate is tried at its own (possibly degraded)
+        // cost: a brownout can make a gap too small that was wide
+        // enough at full bandwidth.
+        let mut chosen: Option<(usize, SimTime, SimDuration)> = None;
         for (i, &(gs, ge)) in chan.gaps.iter().enumerate() {
             let s = gs.max(ready);
-            if s + cost <= ge {
-                chosen = Some((i, s));
+            let c = chan.scaled(s, cost);
+            if s + c <= ge {
+                chosen = Some((i, s, c));
                 break;
             }
         }
-        let (start, end) = match chosen {
-            Some((i, s)) => {
+        let (start, end, cost) = match chosen {
+            Some((i, s, c)) => {
                 let (gs, ge) = chan.gaps[i];
-                let e = s + cost;
+                let e = s + c;
                 // Carve: replace the gap with its (possibly empty)
                 // remainders on either side of the placement.
                 let mut rest = Vec::with_capacity(2);
@@ -219,16 +262,17 @@ impl ChannelSet {
                     rest.push((e, ge));
                 }
                 chan.gaps.splice(i..=i, rest);
-                (s, e)
+                (s, e, c)
             }
             None => {
                 let s = ready.max(chan.free_at);
                 if s > chan.free_at {
                     chan.gaps.push((chan.free_at, s));
                 }
-                let e = s + cost;
+                let c = chan.scaled(s, cost);
+                let e = s + c;
                 chan.free_at = chan.free_at.max(e);
-                (s, e)
+                (s, e, c)
             }
         };
         chan.busy += cost;
@@ -514,6 +558,26 @@ mod tests {
         let r = set.place_background(a, t(0), d(70), "drain");
         assert_eq!(r.start, t(30));
         assert_eq!(r.end, t(100));
+    }
+
+    #[test]
+    fn degradation_windows_inflate_cost_deterministically() {
+        let mut set = ChannelSet::new(t(0));
+        let a = set.channel("ckpt.disk");
+        set.degrade(a, t(100), t(200), 25);
+        let p1 = set.place(a, t(0), d(40), "w"); // healthy
+        assert_eq!(p1.end, t(40));
+        let p2 = set.place(a, t(100), d(40), "w"); // browned out: 4x
+        assert_eq!(p2.start, t(100));
+        assert_eq!(p2.end, t(260));
+        let p3 = set.place(a, t(260), d(40), "w"); // window passed
+        assert_eq!(p3.end, t(300));
+        assert_eq!(set.busy(a), d(240));
+        // Background work pays the brownout too: the [40, 100) gap is
+        // healthy, but a start inside the window would inflate.
+        let bg = set.place_background(a, t(0), d(60), "drain");
+        assert_eq!(bg.start, t(40));
+        assert_eq!(bg.end, t(100));
     }
 
     #[test]

@@ -328,6 +328,47 @@ pub enum EventKind {
         /// 1 if the tenant finished within its SLO budget, 0 otherwise.
         slo_ok: u64,
     },
+    /// A chunk store opened with a torn final frame (a crash landed
+    /// mid-append); the store was truncated back to the last intact
+    /// frame instead of erroring the whole `checl.cas`.
+    StoreTruncated {
+        /// Store path.
+        path: String,
+        /// Bytes of torn tail dropped by the truncation.
+        dropped: u64,
+    },
+    /// The failure detector suspected a component that turned out to
+    /// be alive (a gray failure: lost/jittered heartbeats, not a
+    /// death). The probe cost is booked as supervisor-induced
+    /// overhead, not application failure.
+    FalsePositive {
+        /// The suspected-but-alive beat source.
+        source: String,
+        /// Virtual time spent probing before the suspicion cleared.
+        induced_ns: u64,
+    },
+    /// A stale writer (pre-partition epoch) tried to commit a vault
+    /// generation after a failover and was fenced off; its staged
+    /// file was discarded instead of double-committing.
+    WriterFenced {
+        /// Generation the stale writer tried to commit.
+        generation: u64,
+        /// Epoch the writer held.
+        held_epoch: u64,
+        /// Epoch currently in force at the vault.
+        current_epoch: u64,
+        /// Staged path that was discarded.
+        path: String,
+    },
+    /// The fleet scheduler rejected an admission under sustained
+    /// checkpoint-channel backlog (the top rung of the backpressure
+    /// ladder) instead of silently queueing the job forever.
+    AdmissionRejected {
+        /// Fleet-unique job name.
+        job: String,
+        /// Observed `ckpt.disk` backlog at rejection, ns.
+        backlog_ns: u64,
+    },
 }
 
 /// Scalar field value used by the flat JSON codec.
@@ -392,6 +433,10 @@ impl EventKind {
             EventKind::TenantPreempted { .. } => "tenant_preempted",
             EventKind::TenantMigrated { .. } => "tenant_migrated",
             EventKind::TenantCompleted { .. } => "tenant_completed",
+            EventKind::StoreTruncated { .. } => "store_truncated",
+            EventKind::FalsePositive { .. } => "false_positive",
+            EventKind::WriterFenced { .. } => "writer_fenced",
+            EventKind::AdmissionRejected { .. } => "admission_rejected",
         }
     }
 
@@ -629,6 +674,27 @@ impl EventKind {
                 ("bit_exact", U(*bit_exact)),
                 ("slo_ok", U(*slo_ok)),
             ],
+            StoreTruncated { path, dropped } => {
+                vec![("path", S(path.clone())), ("dropped", U(*dropped))]
+            }
+            FalsePositive { source, induced_ns } => vec![
+                ("source", S(source.clone())),
+                ("induced_ns", U(*induced_ns)),
+            ],
+            WriterFenced {
+                generation,
+                held_epoch,
+                current_epoch,
+                path,
+            } => vec![
+                ("generation", U(*generation)),
+                ("held_epoch", U(*held_epoch)),
+                ("current_epoch", U(*current_epoch)),
+                ("path", S(path.clone())),
+            ],
+            AdmissionRejected { job, backlog_ns } => {
+                vec![("job", S(job.clone())), ("backlog_ns", U(*backlog_ns))]
+            }
         }
     }
 
@@ -782,6 +848,24 @@ impl EventKind {
                 bit_exact: u("bit_exact")?,
                 slo_ok: u("slo_ok")?,
             },
+            "store_truncated" => EventKind::StoreTruncated {
+                path: s("path")?,
+                dropped: u("dropped")?,
+            },
+            "false_positive" => EventKind::FalsePositive {
+                source: s("source")?,
+                induced_ns: u("induced_ns")?,
+            },
+            "writer_fenced" => EventKind::WriterFenced {
+                generation: u("generation")?,
+                held_epoch: u("held_epoch")?,
+                current_epoch: u("current_epoch")?,
+                path: s("path")?,
+            },
+            "admission_rejected" => EventKind::AdmissionRejected {
+                job: s("job")?,
+                backlog_ns: u("backlog_ns")?,
+            },
             other => return Err(ObsError::Kind(other.to_string())),
         })
     }
@@ -808,6 +892,14 @@ pub fn start_recording() {
 /// Detach and return the thread's ledger; recording stops.
 pub fn stop_recording() -> Option<Ledger> {
     LEDGER.with(|l| l.borrow_mut().take())
+}
+
+/// Number of events recorded so far on this thread (0 when recording
+/// is off). The crash-point torture harness uses this as its
+/// deterministic boundary counter: every obs event is a point where a
+/// real crash could land between two externally visible effects.
+pub fn event_count() -> usize {
+    LEDGER.with(|l| l.borrow().as_ref().map_or(0, Ledger::len))
 }
 
 /// Append one event at virtual time `t`. No-op when recording is off.

@@ -53,8 +53,22 @@ pub struct SuperviseSetup {
     pub primary_base: String,
     /// Mirror replica base on a crash-surviving mount, e.g. `/nfs/app`.
     pub mirror_base: String,
-    /// Healthy nodes a node-crash failover may restart onto.
+    /// Healthy nodes a node-crash failover may restart onto. When the
+    /// FaultPlan names failure domains, a failover prefers a spare
+    /// *outside* the failed node's domain — a rack-correlated outage
+    /// must not land the replacement in the same blast radius.
     pub spares: Vec<NodeId>,
+    /// Restore through [`DumpVault::verified_chain`] (each replica
+    /// read back and hash-checked, corrupt ones skipped) instead of the
+    /// free [`DumpVault::restore_chain`]. Costs one read per replica,
+    /// so it is off by default; turn it on under brownout FaultPlans
+    /// where silent replica corruption is live.
+    pub quorum_restore: bool,
+    /// Cap the post-failover re-seeding scrub at this many generations
+    /// (newest first). `None` scrubs the whole vault. Under a degraded
+    /// channel every scrub read pays the brownout tax, so capping keeps
+    /// repair downtime bounded.
+    pub scrub_budget: Option<usize>,
 }
 
 impl SuperviseSetup {
@@ -69,6 +83,8 @@ impl SuperviseSetup {
             primary_base: primary_base.to_string(),
             mirror_base: mirror_base.to_string(),
             spares: Vec::new(),
+            quorum_restore: false,
+            scrub_budget: None,
         }
     }
 }
@@ -77,6 +93,27 @@ fn escalate(repairs: u32, detail: impl Into<String>) -> SupervisorError {
     SupervisorError::Escalated {
         repairs,
         detail: detail.into(),
+    }
+}
+
+/// Commit `path` into the vault under the writer's fencing epoch. A
+/// fence (the epoch moved — a failover happened while this writer was
+/// staging) surfaces as an ordinary commit failure: the staged file is
+/// already gone, and the loop's incident path rolls the session back
+/// to the generation the *current* writer committed.
+fn vault_commit(
+    vault: &mut DumpVault,
+    cluster: &mut Cluster,
+    session: &CheclSession,
+    path: &str,
+    epoch: u64,
+) -> Result<(), CheclCprError> {
+    match vault.commit_fenced(cluster, session.pid, path, epoch) {
+        Ok(_) => Ok(()),
+        Err(blcr::CommitError::Fs(e)) => Err(CheclCprError::Cpr(blcr::CprError::Fs(e))),
+        Err(blcr::CommitError::Fenced { .. }) => Err(CheclCprError::Cpr(blcr::CprError::Fs(
+            osproc::FsError::WriteFailed(path.to_string()),
+        ))),
     }
 }
 
@@ -91,14 +128,13 @@ fn seal_live(
     vault: &mut DumpVault,
     sup: &mut Supervisor,
     pending: &mut Option<String>,
+    epoch: u64,
 ) -> Result<(), CheclCprError> {
     let Some(path) = pending.take() else {
         return Ok(());
     };
     let drained = session.complete_live_drain(cluster)?;
-    vault
-        .commit_at(cluster, session.pid, &path)
-        .map_err(|e| CheclCprError::Cpr(blcr::CprError::Fs(e)))?;
+    vault_commit(vault, cluster, session, &path, epoch)?;
     for retired in vault.take_retired_paths() {
         checl::invalidate_saves(&mut session.lib, &retired);
     }
@@ -127,11 +163,12 @@ fn commit_checkpoint(
     sup: &mut Supervisor,
     policy: &CprPolicy,
     pending: &mut Option<String>,
+    epoch: u64,
 ) -> Result<SimTime, CheclCprError> {
     // Seal the previous generation first: the engine would otherwise
     // force-complete the drain inside `snapshot` and the vault would
     // never learn about the sealed file.
-    seal_live(cluster, session, vault, sup, pending)?;
+    seal_live(cluster, session, vault, sup, pending, epoch)?;
     let before = cluster.process(session.pid).clock;
     let stage = vault.stage_path();
     let outcome = session.checkpoint_with_policy(cluster, &stage, policy)?;
@@ -141,9 +178,7 @@ fn commit_checkpoint(
         sup.advance(after);
         return Ok(after);
     }
-    vault
-        .commit_at(cluster, session.pid, &outcome.path)
-        .map_err(|e| CheclCprError::Cpr(blcr::CprError::Fs(e)))?;
+    vault_commit(vault, cluster, session, &outcome.path, epoch)?;
     // Committing may have GC'd older generations that incremental
     // buffer records still reference; re-dirty them so no later restore
     // chases a pruned base.
@@ -201,6 +236,16 @@ pub fn run_supervised(
     // drain has not yet sealed into the vault.
     let mut pending_live: Option<String> = None;
 
+    // Fencing epoch this writer holds; every failover advances the
+    // vault's epoch so a commit staged before the failover (a healed
+    // partition's stale supervisor) is refused.
+    let mut epoch = vault.epoch();
+
+    // `true` when the detector gave up on a partitioned node: the
+    // process may well be alive on the far side, but the supervisor
+    // cannot tell — it fences the old writer and fails over.
+    let mut partition_fenced = false;
+
     // Generation 0: a supervised run must always have a restore point,
     // or the first failure is unrecoverable by construction.
     let mut commit_clock = commit_checkpoint(
@@ -210,6 +255,7 @@ pub fn run_supervised(
         &mut sup,
         &setup.policy,
         &mut pending_live,
+        epoch,
     )
     .map_err(|e| escalate(0, format!("initial checkpoint: {e}")))?;
 
@@ -223,6 +269,7 @@ pub fn run_supervised(
                 &mut vault,
                 &mut sup,
                 &mut pending_live,
+                epoch,
             )
             .map_err(|e| escalate(sup.failures(), format!("final drain: {e}")))?;
             sup.advance(cluster.process(session.pid).clock);
@@ -250,8 +297,10 @@ pub fn run_supervised(
             }
         }
 
-        if node_dead {
-            // ---- node-crash incident: failover to a spare ----
+        if node_dead || partition_fenced {
+            // ---- node-crash (or fenced-partition) incident: failover
+            // to a spare ----
+            let fenced = std::mem::take(&mut partition_fenced);
             sup.advance(now);
             if sup.storming() {
                 return Err(escalate(sup.failures(), "failure storm: too many failures"));
@@ -263,13 +312,53 @@ pub fn run_supervised(
             pending_live = None;
             let old_proxy = session.lib.proxy_pid();
             sup.failure_detected(BeatSource::Node(node), now.since(commit_clock));
-            let mut last_err = format!("node {} crashed", node.0);
+            // Fence the old writer *before* the replacement starts: if
+            // the node was partitioned rather than dead, its process is
+            // still running over there and may try to commit the dump
+            // it was staging once the partition heals. The epoch bump
+            // turns that into a refused, deleted commit instead of a
+            // split-brain double-commit.
+            epoch = vault.advance_epoch();
+            // A rack-correlated outage must not land the replacement in
+            // the same blast radius: prefer a spare outside the failed
+            // node's failure domain when the FaultPlan names one.
+            let failed_domain = cluster
+                .faults()
+                .and_then(|p| p.domain_of(node))
+                .map(str::to_string);
+            let mut last_err = if fenced {
+                format!("node {} partitioned from supervisor", node.0)
+            } else {
+                format!("node {} crashed", node.0)
+            };
             session = loop {
                 sup.sanction_repair(&last_err)?;
-                let Some(&spare) = spares.iter().find(|s| **s != node) else {
+                let candidates: Vec<NodeId> =
+                    spares.iter().copied().filter(|s| *s != node).collect();
+                let pick = match &failed_domain {
+                    Some(fd) => candidates
+                        .iter()
+                        .copied()
+                        .find(|s| {
+                            cluster.faults().and_then(|p| p.domain_of(*s)) != Some(fd.as_str())
+                        })
+                        .or_else(|| candidates.first().copied()),
+                    None => candidates.first().copied(),
+                };
+                let Some(spare) = pick else {
                     return Err(escalate(sup.failures(), "no healthy spare node left"));
                 };
-                let chain = vault.restore_chain();
+                let chain = if setup.quorum_restore {
+                    // Quorum read from the spare's vantage point: a
+                    // short-lived probe process pays the verify reads.
+                    let probe = cluster.spawn(spare);
+                    let chain = vault.verified_chain(cluster, probe);
+                    sup.advance(cluster.process(probe).clock);
+                    cluster.kill(probe);
+                    chain
+                } else {
+                    vault.restore_chain()
+                };
                 let mut restored: Option<CheclSession> = None;
                 for path in &chain {
                     match CheclSession::restart(
@@ -290,9 +379,19 @@ pub fn run_supervised(
                     Some(s) => {
                         // Re-seed the spare's local replicas from the
                         // surviving mirrors; the scrub I/O is part of the
-                        // repair and lands in downtime.
+                        // repair and lands in downtime. Under a brownout
+                        // the caller may cap how many generations the
+                        // re-seed verifies (newest first) so repair
+                        // downtime stays bounded.
                         let mut s = s;
-                        vault.scrub(cluster, s.pid);
+                        match setup.scrub_budget {
+                            Some(b) => {
+                                vault.scrub_budgeted(cluster, s.pid, b);
+                            }
+                            None => {
+                                vault.scrub(cluster, s.pid);
+                            }
+                        }
                         // A scrub can lose replicas for good (source
                         // unreadable): drop any buffer references into
                         // them before the session resumes.
@@ -347,7 +446,11 @@ pub fn run_supervised(
             let mut last_err = String::from("api proxy died");
             loop {
                 sup.sanction_repair(&last_err)?;
-                let chain = vault.restore_chain();
+                let chain = if setup.quorum_restore {
+                    vault.verified_chain(cluster, session.pid)
+                } else {
+                    vault.restore_chain()
+                };
                 let before = cluster.process(session.pid).clock;
                 let mut ok = false;
                 for path in &chain {
@@ -388,9 +491,38 @@ pub fn run_supervised(
 
         // ---- healthy: beats, cadence, one op ----
         sup.advance(now);
-        sup.beat(BeatSource::Node(node));
-        if let Some(p) = session.lib.proxy_pid() {
-            sup.beat(BeatSource::Proxy(p));
+        let (beats_lost, node_partitioned) = match cluster.faults_mut() {
+            Some(plan) => (plan.heartbeats_lost(now), plan.partitioned(node, now)),
+            None => (false, false),
+        };
+        if !beats_lost && !node_partitioned {
+            sup.beat(BeatSource::Node(node));
+            if let Some(p) = session.lib.proxy_pid() {
+                sup.beat(BeatSource::Proxy(p));
+            }
+        } else {
+            // Gray territory: the components are alive but their beats
+            // are not arriving. Once the detector turns suspicious the
+            // supervisor must distinguish slow-from-dead instead of
+            // burning a restore on a live process.
+            let sup_now = sup.now();
+            let suspects = sup.monitor_mut().suspects(sup_now);
+            if !suspects.is_empty() {
+                if node_partitioned {
+                    // Can't probe across a partition. Give the detector
+                    // its verdict: fence the (possibly alive) writer and
+                    // fail over outside the partition.
+                    partition_fenced = true;
+                    continue;
+                }
+                // Beats lost but the path to the node is up: a probe
+                // (one heartbeat round-trip) proves the component
+                // alive. Booked as supervisor-induced overhead, never
+                // as an app failure — τ must not stretch over this.
+                for src in suspects {
+                    sup.false_positive(src, setup.config.heartbeat_every);
+                }
+            }
         }
         if sup.checkpoint_due(now.since(commit_clock)) {
             let at_sync_point = matches!(
@@ -409,6 +541,7 @@ pub fn run_supervised(
                     &mut sup,
                     &setup.policy,
                     &mut pending_live,
+                    epoch,
                 ) {
                     Ok(t) => {
                         commit_clock = t;

@@ -48,6 +48,15 @@ Invariants guarded:
                tenant restores bit-exact, preemption generations
                reconcile 1:1, p99 latency stays bounded, and throughput
                grows monotonically with cluster width;
+* gray       — gray faults degrade but never corrupt: every brownout /
+               heartbeat-loss / partition / rack-crash supervision cell
+               completes bit-exact (false positives booked as induced
+               overhead, never as failures), the fleet backpressure
+               ladder keeps completed + rejected == offered with
+               drift-free SLO accounting and a demonstrably live
+               reject rung, and the crash-point torture sweep restores
+               100% of enumerated obs-event boundaries on all four
+               engine paths;
 * live       — the live copy-on-write checkpoint keeps its promise:
                every sweep point restores bit-exact against an
                uninterrupted baseline, the stall stays within 1.1x the
@@ -579,6 +588,108 @@ def check_fleet(doc: dict) -> str:
 
 
 # ---------------------------------------------------------------------
+# gray — gray-failure & correlated-fault resilience ablation
+# ---------------------------------------------------------------------
+
+
+def check_gray(doc: dict) -> str:
+    # Section 1: every gray-fault scenario completes bit-exact, the
+    # heartbeat-loss cell books zero failures (a slow node is not a
+    # dead node) with positive induced overhead, and the correlated
+    # scenarios actually fail over.
+    sup = section_with(doc, "scenario", "false positives", "induced [s]")
+    if sup is None or not sup["rows"]:
+        fail("gray", "no gray-fault supervision section found — schema drift")
+    cols = sup["columns"]
+    sc_i = cols.index("scenario")
+    comp_i = cols.index("completed")
+    fail_i = cols.index("failures")
+    fp_i = cols.index("false positives")
+    ind_i = cols.index("induced [s]")
+    bit_i = cols.index("bit-exact")
+    saw_heartbeat = saw_failover = False
+    for row in sup["rows"]:
+        name = row[sc_i]
+        if row[comp_i] != "yes" or row[bit_i] != "yes":
+            fail("gray", f"{name}: did not complete bit-exact under gray faults")
+        if "heartbeat" in name:
+            saw_heartbeat = True
+            if row[fail_i] != 0:
+                fail("gray", f"{name}: a slow node was booked as {row[fail_i]} failure(s)")
+            if not row[fp_i] > 0 or not row[ind_i] > 0.0:
+                fail("gray", f"{name}: detector stress left no false-positive bookkeeping")
+        if "partition" in name or "rack" in name:
+            saw_failover = True
+            if not row[fail_i] >= 1:
+                fail("gray", f"{name}: the correlated fault never triggered a failover")
+    if not saw_heartbeat or not saw_failover:
+        fail("gray", "missing heartbeat-loss or partition/rack scenario rows")
+
+    # Section 2: the backpressure ladder keeps accounting drift-free —
+    # completed + rejected == offered on every cell, every admitted job
+    # completes, and the reject rung demonstrably fires somewhere.
+    ladder = section_with(doc, "scenario", "offered", "rejected", "accounting")
+    if ladder is None or not ladder["rows"]:
+        fail("gray", "no backpressure ladder section found — schema drift")
+    cols = ladder["columns"]
+    sc_i = cols.index("scenario")
+    off_i = cols.index("offered")
+    comp_i = cols.index("completed")
+    rej_i = cols.index("rejected")
+    att_i = cols.index("SLO attained")
+    miss_i = cols.index("SLO missed")
+    bit_i = cols.index("bit-exact")
+    acc_i = cols.index("accounting")
+    rejected_total = 0
+    for row in ladder["rows"]:
+        name = row[sc_i]
+        if row[comp_i] + row[rej_i] != row[off_i]:
+            fail("gray", f"{name}: {row[comp_i]} completed + {row[rej_i]} rejected "
+                         f"!= {row[off_i]} offered — an admitted job was stranded")
+        if row[att_i] + row[miss_i] != row[comp_i]:
+            fail("gray", f"{name}: SLO accounting drifted "
+                         f"({row[att_i]} + {row[miss_i]} != {row[comp_i]})")
+        if row[bit_i] != "yes" or row[acc_i] != "zero drift":
+            fail("gray", f"{name}: degraded-mode verification failed")
+        rejected_total += row[rej_i]
+    if rejected_total == 0:
+        fail("gray", "the typed admission-reject rung never fired in any cell")
+
+    # Section 3: the torture sweep enumerated every obs-event boundary
+    # and restored (or survived) 100% of them on every engine path.
+    torture = section_with(doc, "engine path", "crash points", "restores")
+    if torture is None:
+        fail("gray", "no crash-point torture section found — schema drift")
+    cols = torture["columns"]
+    path_i = cols.index("engine path")
+    pts_i = cols.index("crash points")
+    sur_i = cols.index("survivors")
+    res_i = cols.index("restores")
+    kinds_i = cols.index("event kinds")
+    paths = {row[path_i] for row in torture["rows"]}
+    expected = {"sequential", "pipelined", "dedup", "live"}
+    if paths != expected:
+        fail("gray", f"torture sweep covers {sorted(paths)}, want {sorted(expected)}")
+    total_points = 0
+    for row in torture["rows"]:
+        name = row[path_i]
+        if row[sur_i] + row[res_i] != row[pts_i]:
+            fail("gray", f"torture[{name}]: {row[sur_i]} survivors + {row[res_i]} "
+                         f"restores != {row[pts_i]} crash points — a boundary was lost")
+        if not row[res_i] > 0:
+            fail("gray", f"torture[{name}]: no crash point actually tripped")
+        if not row[kinds_i] >= 2:
+            fail("gray", f"torture[{name}]: only {row[kinds_i]} event kind(s) at the "
+                         f"boundaries — the sweep is not covering the sequence")
+        total_points += row[pts_i]
+    return (
+        f"{len(sup['rows'])} gray scenarios bit-exact, ladder drift-free "
+        f"({rejected_total} typed rejections), {total_points} crash points "
+        f"restored across {len(paths)} engine paths"
+    )
+
+
+# ---------------------------------------------------------------------
 # registry + entry point
 # ---------------------------------------------------------------------
 
@@ -591,6 +702,7 @@ SPECS = {
     "live": ("results/BENCH_ablation_live.json", check_live),
     "obs": ("results/BENCH_ablation_obs.json", check_obs),
     "fleet": ("results/BENCH_fleet.json", check_fleet),
+    "gray": ("results/BENCH_ablation_gray.json", check_gray),
 }
 
 

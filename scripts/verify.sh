@@ -75,6 +75,14 @@ git diff --exit-code -- results/BENCH_checl_inspect.json results/checl_inspect.l
 cargo run -q --release -p checl-bench --bin ablation_obs >/dev/null
 git diff --exit-code -- results/BENCH_ablation_obs.json
 
+echo "==> smoke: gray-failure resilience + crash-point torture (golden diff)"
+# Every gray-fault supervision cell asserts bit-exactness, the fleet
+# ladder cells assert drift-free accounting, and the torture sweep
+# replays the dump/drain/commit/GC sequence once per obs-event
+# boundary and restores 100% of them before a row is written.
+cargo run -q --release -p checl-bench --bin ablation_gray >/dev/null
+git diff --exit-code -- results/BENCH_ablation_gray.json
+
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> smoke: fleet scheduler sweep (golden diff, ~3 min)"
     # Sweeps 100 -> 10,000 admitted jobs; every cell verifies every
@@ -89,7 +97,7 @@ echo "==> golden invariants (perf, availability, reconciliation guards)"
 # the adaptive interval policy wins, the health report reconciles
 # faults 1:1, the ledger stays free in virtual time, and the fleet
 # sweep stays flat in ops/event with monotone node-count throughput.
-python3 scripts/check_goldens.py pipeline migration supervisor inspect dedup live obs fleet
+python3 scripts/check_goldens.py pipeline migration supervisor inspect dedup live obs fleet gray
 
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> smoke: micro-benches (codec filter)"
